@@ -1,0 +1,1 @@
+bench/figures.ml: Array Domain Harness Hsq Hsq_hist Hsq_sketch Hsq_storage Hsq_util Hsq_workload List Option Printf Unix

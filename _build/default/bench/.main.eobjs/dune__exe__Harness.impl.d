@@ -1,0 +1,1 @@
+bench/harness.ml: Array Hsq Hsq_hist Hsq_storage Hsq_util Hsq_workload List Option Printf String Unix

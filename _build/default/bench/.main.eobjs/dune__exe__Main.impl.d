@@ -1,0 +1,1 @@
+bench/main.ml: Arg Figures Harness List Micro Printf String Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Harness Hashtbl Hsq Hsq_sketch Hsq_util Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,192 @@
+(* Shared infrastructure for the figure benches.
+
+   A [workload] is a fully materialised instance of one Section-3.1
+   dataset: [steps] archived batches plus one live-stream batch, with an
+   exact oracle over everything.  Workloads are generated once per
+   (dataset, seed) and reused across every configuration cell of a
+   figure, exactly as the paper reuses one dataset across sweeps. *)
+
+module E = Hsq.Engine
+
+type scale = {
+  steps : int; (* archived time steps (T) *)
+  step_size : int; (* elements per batch *)
+  runs : int; (* independent seeds; medians are reported *)
+  block_size : int; (* elements per simulated disk block *)
+  seed : int;
+}
+
+let default_scale = { steps = 100; step_size = 10_000; runs = 3; block_size = 256; seed = 0xBEEF }
+
+(* Quantiles probed by the error figures. *)
+let phis = [ 0.25; 0.5; 0.75; 0.95; 0.99 ]
+
+type workload = {
+  name : string;
+  universe_bits : int;
+  batches : int array array; (* steps batches *)
+  tail : int array; (* the live stream at query time *)
+  oracle : Hsq_workload.Oracle.t;
+  total : int;
+}
+
+let load_workload ?steps ?step_size ~scale ~dataset () =
+  let steps = Option.value steps ~default:scale.steps in
+  let step_size = Option.value step_size ~default:scale.step_size in
+  let ds = Hsq_workload.Datasets.by_name ~seed:scale.seed dataset in
+  let oracle = Hsq_workload.Oracle.create () in
+  let batches =
+    Array.init steps (fun _ ->
+        let b = Hsq_workload.Datasets.next_batch ds step_size in
+        Hsq_workload.Oracle.add_batch oracle b;
+        b)
+  in
+  let tail = Hsq_workload.Datasets.next_batch ds step_size in
+  Hsq_workload.Oracle.add_batch oracle tail;
+  {
+    name = dataset;
+    universe_bits = Hsq_workload.Datasets.universe_bits ds;
+    batches;
+    tail;
+    oracle;
+    total = (steps * step_size) + Array.length tail;
+  }
+
+(* Feed a workload into a fresh engine; returns the per-step update
+   reports.  After this the engine holds all batches archived and the
+   tail as its live stream. *)
+let build_engine ~config w =
+  let eng = E.create config in
+  let reports = Array.map (fun batch -> E.ingest_batch eng batch) w.batches in
+  Array.iter (E.observe eng) w.tail;
+  (eng, reports)
+
+(* Mean relative error over the probe quantiles (Section 3.1 metric). *)
+let accurate_error eng w =
+  let n = E.total_size eng in
+  let errs =
+    List.map
+      (fun phi ->
+        let r = int_of_float (ceil (phi *. float_of_int n)) in
+        let v, _ = E.accurate eng ~rank:r in
+        float_of_int (Hsq_workload.Oracle.rank_error w.oracle ~rank:r ~value:v)
+        /. (phi *. float_of_int n))
+      phis
+  in
+  Hsq_util.Stats.mean errs
+
+let quick_error eng w =
+  let n = E.total_size eng in
+  let errs =
+    List.map
+      (fun phi ->
+        let r = int_of_float (ceil (phi *. float_of_int n)) in
+        let v = E.quick eng ~rank:r in
+        float_of_int (Hsq_workload.Oracle.rank_error w.oracle ~rank:r ~value:v)
+        /. (phi *. float_of_int n))
+      phis
+  in
+  Hsq_util.Stats.mean errs
+
+(* Pure-streaming baseline over the same workload. *)
+let streaming_error ~algorithm ~words w =
+  let b =
+    Hsq.Baselines.Streaming.create ~universe_bits:w.universe_bits ~algorithm ~words
+      ~kappa:10 ~block_size:256 ()
+  in
+  Array.iter
+    (fun batch ->
+      Array.iter (Hsq.Baselines.Streaming.observe b) batch;
+      ignore (Hsq.Baselines.Streaming.end_time_step b))
+    w.batches;
+  Array.iter (Hsq.Baselines.Streaming.observe b) w.tail;
+  let n = Hsq.Baselines.Streaming.count b in
+  let errs =
+    List.map
+      (fun phi ->
+        let r = int_of_float (ceil (phi *. float_of_int n)) in
+        let v = Hsq.Baselines.Streaming.query_rank b r in
+        float_of_int (Hsq_workload.Oracle.rank_error w.oracle ~rank:r ~value:v)
+        /. (phi *. float_of_int n))
+      phis
+  in
+  Hsq_util.Stats.mean errs
+
+(* Average accurate-query cost: wall seconds and disk accesses. *)
+let query_cost ?(reps = 3) eng =
+  let n = E.total_size eng in
+  let t0 = Unix.gettimeofday () in
+  let ios = ref 0 and count = ref 0 in
+  for _ = 1 to reps do
+    List.iter
+      (fun phi ->
+        let r = int_of_float (ceil (phi *. float_of_int n)) in
+        let _, report = E.accurate eng ~rank:r in
+        ios := !ios + Hsq_storage.Io_stats.total report.E.io;
+        incr count)
+      phis
+  done;
+  let seconds = (Unix.gettimeofday () -. t0) /. float_of_int !count in
+  (seconds, float_of_int !ios /. float_of_int !count)
+
+let quick_query_seconds ?(reps = 3) eng =
+  let n = E.total_size eng in
+  let t0 = Unix.gettimeofday () in
+  let count = ref 0 in
+  for _ = 1 to reps do
+    List.iter
+      (fun phi ->
+        let r = int_of_float (ceil (phi *. float_of_int n)) in
+        ignore (E.quick eng ~rank:r);
+        incr count)
+      phis
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int !count
+
+(* Aggregate per-step update reports. *)
+type update_summary = {
+  mean_seconds : float;
+  mean_load : float;
+  mean_sort : float;
+  mean_merge : float;
+  mean_summary : float;
+  mean_io : float;
+  mean_merge_io : float;
+}
+
+let summarize_updates reports =
+  let n = float_of_int (Array.length reports) in
+  let sum f = Array.fold_left (fun acc r -> acc +. f r) 0.0 reports /. n in
+  let open Hsq_hist.Level_index in
+  {
+    mean_seconds =
+      sum (fun r -> r.sort_seconds +. r.load_seconds +. r.merge_seconds +. r.summary_seconds);
+    mean_load = sum (fun r -> r.load_seconds);
+    mean_sort = sum (fun r -> r.sort_seconds);
+    mean_merge = sum (fun r -> r.merge_seconds);
+    mean_summary = sum (fun r -> r.summary_seconds);
+    mean_io = sum (fun r -> float_of_int (Hsq_storage.Io_stats.total r.io_total));
+    mean_merge_io = sum (fun r -> float_of_int (Hsq_storage.Io_stats.total r.io_merge));
+  }
+
+(* Memory budgets mirroring the paper's 100-500 MB for ~100 GB of data:
+   0.1% to 0.5% of N, in words. *)
+let memory_budgets w =
+  List.sort_uniq compare
+    (List.map
+       (fun f -> max 512 (int_of_float (f *. float_of_int w.total)))
+       [ 0.001; 0.002; 0.003; 0.004; 0.005 ])
+
+let median_over_seeds ~scale f =
+  let vals = List.init scale.runs (fun i -> f { scale with seed = scale.seed + (7919 * i) }) in
+  Hsq_util.Stats.median vals
+
+(* Table printing helpers: plain aligned columns, one row per sweep
+   point, matching the series in the paper's plots. *)
+let print_header title = Printf.printf "\n=== %s ===\n%!" title
+
+let print_row cells = print_endline (String.concat "  " cells)
+
+let fmt_e v = Printf.sprintf "%12.3e" v
+let fmt_f v = Printf.sprintf "%12.4f" v
+let fmt_i v = Printf.sprintf "%12d" v

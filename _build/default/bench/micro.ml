@@ -1,0 +1,59 @@
+(* Bechamel micro-benchmarks for the core operations behind every
+   figure: sketch inserts, summary extraction, and the two query paths.
+   Reported as nanoseconds per operation (OLS estimate against the run
+   counter). *)
+
+open Bechamel
+open Toolkit
+
+(* A pre-built medium engine shared (read-only) by the query benches. *)
+let prepared_engine () =
+  let scale = { Harness.default_scale with steps = 20; step_size = 5_000 } in
+  let w = Harness.load_workload ~scale ~dataset:"uniform" () in
+  let config =
+    Hsq.Config.make ~kappa:10 ~block_size:scale.block_size ~steps_hint:scale.steps
+      (Hsq.Config.Epsilon 0.01)
+  in
+  let eng, _ = Harness.build_engine ~config w in
+  eng
+
+let tests () =
+  let rng = Hsq_util.Xoshiro.create 1234 in
+  let gk = Hsq_sketch.Gk.create ~epsilon:0.001 in
+  let qd = Hsq_sketch.Qdigest.create ~bits:30 ~k:1000 in
+  let sp = Hsq_sketch.Sampler.create ~buffers:10 ~buffer_size:500 () in
+  let eng = prepared_engine () in
+  let n = Hsq.Engine.total_size eng in
+  [
+    Test.make ~name:"gk-insert"
+      (Staged.stage (fun () -> Hsq_sketch.Gk.insert gk (Hsq_util.Xoshiro.int rng 1_000_000_000)));
+    Test.make ~name:"qdigest-insert"
+      (Staged.stage (fun () -> Hsq_sketch.Qdigest.insert qd (Hsq_util.Xoshiro.int rng (1 lsl 30))));
+    Test.make ~name:"sampler-insert"
+      (Staged.stage (fun () -> Hsq_sketch.Sampler.insert sp (Hsq_util.Xoshiro.int rng 1_000_000_000)));
+    Test.make ~name:"stream-summary-extract"
+      (Staged.stage (fun () -> ignore (Hsq.Engine.stream_summary eng)));
+    Test.make ~name:"union-summary-build"
+      (Staged.stage (fun () -> ignore (Hsq.Engine.union_summary eng)));
+    Test.make ~name:"quick-query"
+      (Staged.stage (fun () -> ignore (Hsq.Engine.quick eng ~rank:(n / 2))));
+    Test.make ~name:"accurate-query"
+      (Staged.stage (fun () -> ignore (Hsq.Engine.accurate eng ~rank:(n / 2))));
+  ]
+
+let run () =
+  Harness.print_header "Micro-benchmarks (ns/op, OLS vs run count)";
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "%-28s %14.1f ns/op\n%!" name est
+          | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    (tests ())

@@ -1,0 +1,302 @@
+(* hsq — command-line front end.
+
+   Subcommands:
+     simulate  drive a synthetic warehouse (one of the paper's datasets)
+               and report quantiles, accuracy, and I/O costs;
+     stream    read integers from stdin, archiving a time step every N
+               elements, and answer quantile queries at EOF;
+     query     reopen a saved warehouse (see --save-meta) and answer
+               quantile and heavy-hitter queries against it;
+     inspect   print a saved warehouse's partition layout, window
+               alignment, and memory footprint. *)
+
+open Cmdliner
+
+let phi_list =
+  let parse s =
+    try
+      let parts = String.split_on_char ',' (String.trim s) in
+      let phis = List.map float_of_string parts in
+      if List.for_all (fun p -> p > 0.0 && p <= 1.0) phis && phis <> [] then Ok phis
+      else Error (`Msg "quantiles must lie in (0, 1]")
+    with Failure _ -> Error (`Msg "expected a comma-separated list of floats")
+  in
+  let print ppf phis =
+    Format.fprintf ppf "%s" (String.concat "," (List.map string_of_float phis))
+  in
+  Arg.conv (parse, print)
+
+(* Shared engine options. *)
+let epsilon =
+  let doc = "Error parameter ε (error ≤ ε·m where m is the stream size)." in
+  Arg.(value & opt float 0.01 & info [ "epsilon" ] ~docv:"EPS" ~doc)
+
+let kappa =
+  let doc = "Merge threshold κ: maximum partitions per level." in
+  Arg.(value & opt int 10 & info [ "kappa" ] ~docv:"K" ~doc)
+
+let block_size =
+  let doc = "Simulated disk block size, in elements." in
+  Arg.(value & opt int 256 & info [ "block-size" ] ~docv:"B" ~doc)
+
+let phis =
+  let doc = "Quantiles to report." in
+  Arg.(value & opt phi_list [ 0.5; 0.95; 0.99 ] & info [ "quantiles"; "q" ] ~docv:"PHIS" ~doc)
+
+let device_path =
+  let doc = "Back the warehouse with this file instead of memory." in
+  Arg.(value & opt (some string) None & info [ "device" ] ~docv:"PATH" ~doc)
+
+let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint =
+  let config =
+    Hsq.Config.make ~kappa ~block_size ~steps_hint (Hsq.Config.Epsilon epsilon)
+  in
+  match device_path with
+  | None -> Hsq.Engine.create config
+  | Some path ->
+    let dev = Hsq_storage.Block_device.create_file ~block_size ~path () in
+    Hsq.Engine.create ~device:dev config
+
+let report_quantiles eng phis =
+  List.iter
+    (fun phi ->
+      let v, report = Hsq.Engine.quantile eng phi in
+      Printf.printf "phi=%-5g  value=%-12d  (disk accesses: %d, bisection steps: %d)\n" phi v
+        (Hsq_storage.Io_stats.total report.Hsq.Engine.io)
+        report.Hsq.Engine.iterations)
+    phis
+
+let report_footprint eng =
+  Printf.printf
+    "N=%d (historical %d + stream %d), %d time steps, %d partitions over %d levels\n"
+    (Hsq.Engine.total_size eng) (Hsq.Engine.hist_size eng) (Hsq.Engine.stream_size eng)
+    (Hsq.Engine.time_steps eng)
+    (Hsq_hist.Level_index.partition_count (Hsq.Engine.hist eng))
+    (Hsq_hist.Level_index.num_levels (Hsq.Engine.hist eng));
+  Printf.printf "summary memory: %d words (%.1f KiB)\n" (Hsq.Engine.memory_words eng)
+    (float_of_int (8 * Hsq.Engine.memory_words eng) /. 1024.0)
+
+(* --- simulate ---------------------------------------------------------- *)
+
+let save_meta =
+  let doc = "After the run, save warehouse metadata here (requires --device)." in
+  Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
+
+let simulate dataset steps step_size seed epsilon kappa block_size device_path phis verify
+    save_meta =
+  let ds = Hsq_workload.Datasets.by_name ~seed dataset in
+  let eng = make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps in
+  let oracle = if verify then Some (Hsq_workload.Oracle.create ()) else None in
+  let total_io = ref Hsq_storage.Io_stats.zero in
+  for step = 1 to steps do
+    let batch = Hsq_workload.Datasets.next_batch ds step_size in
+    Option.iter (fun o -> Hsq_workload.Oracle.add_batch o batch) oracle;
+    Array.iter (Hsq.Engine.observe eng) batch;
+    let report = Hsq.Engine.end_time_step eng in
+    total_io := Hsq_storage.Io_stats.add !total_io report.Hsq_hist.Level_index.io_total;
+    if step mod 10 = 0 then Printf.eprintf "[simulate] archived step %d/%d\n%!" step steps
+  done;
+  (* live stream: half a batch *)
+  let tail = Hsq_workload.Datasets.next_batch ds (max 1 (step_size / 2)) in
+  Option.iter (fun o -> Hsq_workload.Oracle.add_batch o tail) oracle;
+  Array.iter (Hsq.Engine.observe eng) tail;
+  Printf.printf "dataset=%s  " dataset;
+  report_footprint eng;
+  Printf.printf "update I/O total: %s\n"
+    (Format.asprintf "%a" Hsq_storage.Io_stats.pp !total_io);
+  report_quantiles eng phis;
+  Option.iter
+    (fun o ->
+      print_endline "verification against exact oracle:";
+      List.iter
+        (fun phi ->
+          let v, _ = Hsq.Engine.quantile eng phi in
+          let exact = Hsq_workload.Oracle.quantile o phi in
+          Printf.printf "phi=%-5g  exact=%-12d  relative rank error=%.3e\n" phi exact
+            (Hsq_workload.Oracle.relative_error o ~phi ~value:v))
+        phis)
+    oracle;
+  (match (save_meta, device_path) with
+  | Some meta, Some _ ->
+    Hsq.Persist.save eng ~path:meta;
+    Printf.printf "warehouse metadata saved to %s\n" meta
+  | Some _, None -> prerr_endline "warning: --save-meta ignored without --device"
+  | None, _ -> ());
+  0
+
+let simulate_cmd =
+  let dataset =
+    let doc =
+      Printf.sprintf "Dataset: %s." (String.concat ", " Hsq_workload.Datasets.names)
+    in
+    Arg.(
+      value
+      & opt (enum (List.map (fun n -> (n, n)) Hsq_workload.Datasets.names)) "normal"
+      & info [ "dataset"; "d" ] ~docv:"NAME" ~doc)
+  in
+  let steps =
+    Arg.(value & opt int 20 & info [ "steps" ] ~docv:"T" ~doc:"Time steps to archive.")
+  in
+  let step_size =
+    Arg.(value & opt int 50_000 & info [ "step-size" ] ~docv:"N" ~doc:"Elements per time step.")
+  in
+  let seed = Arg.(value & opt int 0xC0FFEE & info [ "seed" ] ~doc:"RNG seed.") in
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Keep an exact oracle and report true errors.")
+  in
+  let doc = "Drive a synthetic data-stream warehouse and query quantiles." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
+      $ device_path $ phis $ verify $ save_meta)
+
+(* --- stream ------------------------------------------------------------- *)
+
+let stream step_every epsilon kappa block_size device_path phis =
+  let eng =
+    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100
+  in
+  let in_step = ref 0 in
+  (try
+     while true do
+       let line = input_line stdin in
+       let line = String.trim line in
+       if line <> "" then begin
+         match int_of_string_opt line with
+         | None -> Printf.eprintf "[stream] skipping non-integer line %S\n%!" line
+         | Some v ->
+           Hsq.Engine.observe eng v;
+           incr in_step;
+           if !in_step >= step_every then begin
+             let report = Hsq.Engine.end_time_step eng in
+             in_step := 0;
+             Printf.eprintf "[stream] archived step %d (%d block I/Os)\n%!"
+               (Hsq.Engine.time_steps eng)
+               (Hsq_storage.Io_stats.total report.Hsq_hist.Level_index.io_total)
+           end
+       end
+     done
+   with End_of_file -> ());
+  if Hsq.Engine.total_size eng = 0 then begin
+    prerr_endline "no data read";
+    1
+  end
+  else begin
+    report_footprint eng;
+    report_quantiles eng phis;
+    0
+  end
+
+let stream_cmd =
+  let step_every =
+    Arg.(
+      value & opt int 100_000
+      & info [ "step-every" ] ~docv:"N" ~doc:"Archive a time step every N elements.")
+  in
+  let doc = "Read integers from stdin and answer quantile queries at EOF." in
+  Cmd.v
+    (Cmd.info "stream" ~doc)
+    Term.(const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ phis)
+
+(* --- query (restored warehouse) ------------------------------------------ *)
+
+let query device meta phis heavy =
+  match (device, meta) with
+  | Some device_path, Some meta_path -> (
+    try
+      let eng = Hsq.Persist.load_files ~device_path ~meta_path in
+      report_footprint eng;
+      report_quantiles eng phis;
+      (match heavy with
+      | None -> ()
+      | Some phi ->
+        (* Restored engines have an empty stream, so historical counts
+           are exact and the result is certain. *)
+        let capacity = max 64 (int_of_float (ceil (2.0 /. phi))) in
+        let hh = Hsq.Heavy_hitters.of_engine ~capacity eng in
+        let hits, report = Hsq.Heavy_hitters.frequent hh ~phi in
+        Printf.printf "values with frequency >= %g%% (%d candidates verified, %d disk accesses):\n"
+          (100.0 *. phi) report.Hsq.Heavy_hitters.candidates
+          (Hsq_storage.Io_stats.total report.Hsq.Heavy_hitters.io);
+        List.iter
+          (fun (h : Hsq.Heavy_hitters.hit) ->
+            Printf.printf "  %-12d count in [%d, %d]\n" h.value h.lower h.upper)
+          hits);
+      Hsq_storage.Block_device.close (Hsq.Engine.device eng);
+      0
+    with
+    | Hsq.Persist.Corrupt_metadata msg ->
+      Printf.eprintf "corrupt metadata: %s\n" msg;
+      1
+    | Hsq_storage.Block_device.Device_error msg ->
+      Printf.eprintf "device error: %s\n" msg;
+      1)
+  | _ ->
+    prerr_endline "query requires both --device and --meta";
+    2
+
+let query_cmd =
+  let meta =
+    Arg.(value & opt (some string) None & info [ "meta" ] ~docv:"PATH" ~doc:"Metadata sidecar.")
+  in
+  let heavy =
+    let doc = "Also report values with frequency >= PHI (e.g. 0.01)." in
+    Arg.(value & opt (some float) None & info [ "heavy" ] ~docv:"PHI" ~doc)
+  in
+  let doc = "Query a previously saved warehouse (see simulate --save-meta)." in
+  Cmd.v (Cmd.info "query" ~doc) Term.(const query $ device_path $ meta $ phis $ heavy)
+
+(* --- inspect --------------------------------------------------------------- *)
+
+let inspect device meta =
+  match (device, meta) with
+  | Some device_path, Some meta_path -> (
+    try
+      let eng = Hsq.Persist.load_files ~device_path ~meta_path in
+      report_footprint eng;
+      let hist = Hsq.Engine.hist eng in
+      Printf.printf "\npartition layout (newest first):\n";
+      List.iter
+        (fun p ->
+          Printf.printf "  %s  summary=%d entries\n"
+            (Format.asprintf "%a" Hsq_hist.Partition.pp p)
+            (Hsq_hist.Partition_summary.length (Hsq_hist.Partition.summary p)))
+        (Hsq_hist.Level_index.partitions hist);
+      (match Hsq_hist.Level_index.expired_through hist with
+      | 0 -> ()
+      | through -> Printf.printf "retention: steps 1..%d expired\n" through);
+      Printf.printf "answerable windows (steps): %s\n"
+        (String.concat ", " (List.map string_of_int (Hsq.Engine.window_sizes eng)));
+      Printf.printf "aligned range boundaries: %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (a, b) -> Printf.sprintf "[%d-%d]" a b)
+              (Hsq_hist.Level_index.partition_boundaries hist)));
+      (match Hsq_hist.Level_index.check_invariants hist with
+      | [] -> print_endline "invariants: OK"
+      | errs -> List.iter (fun e -> Printf.printf "INVARIANT VIOLATION: %s\n" e) errs);
+      Hsq_storage.Block_device.close (Hsq.Engine.device eng);
+      0
+    with
+    | Hsq.Persist.Corrupt_metadata msg ->
+      Printf.eprintf "corrupt metadata: %s\n" msg;
+      1
+    | Hsq_storage.Block_device.Device_error msg ->
+      Printf.eprintf "device error: %s\n" msg;
+      1)
+  | _ ->
+    prerr_endline "inspect requires both --device and --meta";
+    2
+
+let inspect_cmd =
+  let meta =
+    Arg.(value & opt (some string) None & info [ "meta" ] ~docv:"PATH" ~doc:"Metadata sidecar.")
+  in
+  let doc = "Print a saved warehouse's layout, windows, and health." in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ device_path $ meta)
+
+let () =
+  let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in
+  let info = Cmd.info "hsq" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd ]))

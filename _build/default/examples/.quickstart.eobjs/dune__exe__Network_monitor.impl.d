@@ -1,0 +1,1 @@
+examples/network_monitor.ml: Array Hsq Hsq_util Hsq_workload List Printf String

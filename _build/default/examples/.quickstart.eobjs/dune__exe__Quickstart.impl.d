@@ -1,0 +1,1 @@
+examples/quickstart.ml: Hsq Hsq_storage Hsq_util List Printf String

@@ -1,0 +1,1 @@
+examples/top_talkers.ml: Filename Hsq Hsq_storage Hsq_util Hsq_workload List Printf Sys

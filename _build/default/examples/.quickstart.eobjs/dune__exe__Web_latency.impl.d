@@ -1,0 +1,1 @@
+examples/web_latency.ml: Hsq Hsq_storage Hsq_util Hsq_workload List Printf

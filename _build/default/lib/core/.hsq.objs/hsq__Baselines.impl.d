@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Hsq_sketch Hsq_storage List

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Config Float Fun Hsq_hist Hsq_sketch Hsq_storage List Stream_summary Union_summary

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Hsq_hist Hsq_sketch Hsq_storage Stream_summary Union_summary

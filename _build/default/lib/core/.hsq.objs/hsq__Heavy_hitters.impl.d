@@ -1,0 +1,1 @@
+lib/core/heavy_hitters.ml: Array Engine Hsq_hist Hsq_sketch Hsq_storage Int List Printf Set

@@ -1,0 +1,1 @@
+lib/core/heavy_hitters.mli: Config Engine Hsq_hist Hsq_storage

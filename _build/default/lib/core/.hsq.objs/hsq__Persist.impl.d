@@ -1,0 +1,1 @@
+lib/core/persist.ml: Array Config Engine Fun Hsq_hist Hsq_storage List Printf String

@@ -1,0 +1,1 @@
+lib/core/stream_summary.ml: Array Float Hsq_sketch

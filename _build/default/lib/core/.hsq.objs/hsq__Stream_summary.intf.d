@@ -1,0 +1,1 @@
+lib/core/stream_summary.mli: Hsq_sketch

@@ -1,0 +1,1 @@
+lib/core/union_summary.ml: Array Hsq_hist List Stream_summary

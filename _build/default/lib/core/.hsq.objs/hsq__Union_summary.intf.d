@@ -1,0 +1,1 @@
+lib/core/union_summary.mli: Hsq_hist Stream_summary

@@ -1,0 +1,245 @@
+(* The two comparison systems of Section 2:
+
+   - "Pure streaming": a single in-memory sketch over all of T.  For a
+     fair update-cost comparison the paper gives the baselines the same
+     loading paradigm — batches are still appended to the warehouse and
+     partitions merged on the same kappa cascade, just without sorting —
+     so we model that I/O with a block-count-only raw store.
+
+   - "Strawman": H kept fully sorted in one on-disk run at all times
+     (merged with each incoming batch — expensive), stream summarised by
+     GK; queries bisect the value domain against the single sorted run.
+     Error matches our algorithm; update cost does not. *)
+
+module Raw_store = struct
+  (* Block-level model of the unsorted warehouse: partitions are only
+     block counts; loading writes the batch once; a level overflowing
+     kappa partitions concatenates them (read everything + write
+     everything) into the next level. *)
+  type t = {
+    kappa : int;
+    block_size : int;
+    mutable levels : int list array; (* block counts, per level *)
+    mutable steps : int;
+  }
+
+  let create ~kappa ~block_size =
+    if kappa < 2 then invalid_arg "Raw_store.create: kappa must be >= 2";
+    if block_size < 1 then invalid_arg "Raw_store.create: block_size must be >= 1";
+    { kappa; block_size; levels = Array.make 4 []; steps = 0 }
+
+  let ensure_level t l =
+    if l >= Array.length t.levels then begin
+      let bigger = Array.make (max (l + 1) (2 * Array.length t.levels)) [] in
+      Array.blit t.levels 0 bigger 0 (Array.length t.levels);
+      t.levels <- bigger
+    end
+
+  (* Returns (load_io, merge_io) as (reads, writes) pairs of block
+     counts for ingesting a batch of [elements]. *)
+  let add_batch t ~elements =
+    if elements <= 0 then invalid_arg "Raw_store.add_batch: empty batch";
+    let blocks = (elements + t.block_size - 1) / t.block_size in
+    ensure_level t 0;
+    t.levels.(0) <- t.levels.(0) @ [ blocks ];
+    t.steps <- t.steps + 1;
+    let merge_reads = ref 0 and merge_writes = ref 0 in
+    let l = ref 0 in
+    while !l < Array.length t.levels && List.length t.levels.(!l) > t.kappa do
+      let total = List.fold_left ( + ) 0 t.levels.(!l) in
+      merge_reads := !merge_reads + total;
+      merge_writes := !merge_writes + total;
+      t.levels.(!l) <- [];
+      ensure_level t (!l + 1);
+      t.levels.(!l + 1) <- t.levels.(!l + 1) @ [ total ];
+      incr l
+    done;
+    ((0, blocks), (!merge_reads, !merge_writes))
+
+  let steps t = t.steps
+
+  let total_blocks t =
+    Array.fold_left (fun acc ps -> acc + List.fold_left ( + ) 0 ps) 0 t.levels
+end
+
+module Streaming = struct
+  type algorithm = Gk_stream | Qdigest_stream | Sampler_stream
+
+  type t = {
+    algorithm : algorithm;
+    sketch : Hsq_sketch.Quantile_sketch.packed;
+    store : Raw_store.t;
+    mutable pending : int; (* elements observed since the last step end *)
+    mutable load_reads : int;
+    mutable load_writes : int;
+    mutable merge_reads : int;
+    mutable merge_writes : int;
+  }
+
+  let algorithm_name = function
+    | Gk_stream -> "greenwald-khanna"
+    | Qdigest_stream -> "q-digest"
+    | Sampler_stream -> "random-sampler"
+
+  let create ?(universe_bits = 31) ?(seed = 0x5EED) ~algorithm ~words ~kappa ~block_size () =
+    let sketch =
+      match algorithm with
+      | Gk_stream ->
+        Hsq_sketch.Quantile_sketch.Packed (Hsq_sketch.Gk.sketch, Hsq_sketch.Gk.create_capped ~words)
+      | Qdigest_stream ->
+        Hsq_sketch.Quantile_sketch.Packed
+          (Hsq_sketch.Qdigest.sketch, Hsq_sketch.Qdigest.create_capped ~bits:universe_bits ~words)
+      | Sampler_stream ->
+        Hsq_sketch.Quantile_sketch.Packed
+          (Hsq_sketch.Sampler.sketch, Hsq_sketch.Sampler.create_capped ~seed ~words ())
+    in
+    {
+      algorithm;
+      sketch;
+      store = Raw_store.create ~kappa ~block_size;
+      pending = 0;
+      load_reads = 0;
+      load_writes = 0;
+      merge_reads = 0;
+      merge_writes = 0;
+    }
+
+  let observe t v =
+    Hsq_sketch.Quantile_sketch.insert t.sketch v;
+    t.pending <- t.pending + 1
+
+  (* The warehouse still ingests the batch (same loading paradigm as our
+     algorithm), but the sketch lives on: the pure-streaming summary
+     covers all of T, not just the live stream. *)
+  let end_time_step t =
+    if t.pending = 0 then invalid_arg "Streaming.end_time_step: empty batch";
+    let (lr, lw), (mr, mw) = Raw_store.add_batch t.store ~elements:t.pending in
+    t.pending <- 0;
+    t.load_reads <- t.load_reads + lr;
+    t.load_writes <- t.load_writes + lw;
+    t.merge_reads <- t.merge_reads + mr;
+    t.merge_writes <- t.merge_writes + mw;
+    ((lr, lw), (mr, mw))
+
+  let count t = Hsq_sketch.Quantile_sketch.count t.sketch
+  let memory_words t = Hsq_sketch.Quantile_sketch.memory_words t.sketch
+  let query_rank t r = Hsq_sketch.Quantile_sketch.query_rank t.sketch r
+
+  let quantile t phi =
+    if not (phi > 0.0 && phi <= 1.0) then invalid_arg "Streaming.quantile: phi not in (0,1]";
+    query_rank t (int_of_float (ceil (phi *. float_of_int (count t))))
+
+  let error_bound t = Hsq_sketch.Quantile_sketch.error_bound t.sketch
+  let update_io t = ((t.load_reads, t.load_writes), (t.merge_reads, t.merge_writes))
+end
+
+module Strawman = struct
+  type t = {
+    dev : Hsq_storage.Block_device.t;
+    gk_epsilon : float;
+    mutable sorted : Hsq_storage.Run.t option;
+    mutable gk : Hsq_sketch.Gk.t;
+    mutable batch : int list;
+    mutable batch_len : int;
+  }
+
+  let create ?device ~epsilon ~block_size () =
+    if not (epsilon > 0.0 && epsilon < 1.0) then invalid_arg "Strawman.create: bad epsilon";
+    let dev =
+      match device with
+      | Some d -> d
+      | None -> Hsq_storage.Block_device.create_memory ~block_size ()
+    in
+    {
+      dev;
+      gk_epsilon = epsilon /. 2.0;
+      sorted = None;
+      gk = Hsq_sketch.Gk.create ~epsilon:(epsilon /. 2.0);
+      batch = [];
+      batch_len = 0;
+    }
+
+  let device t = t.dev
+
+  let observe t v =
+    Hsq_sketch.Gk.insert t.gk v;
+    t.batch <- v :: t.batch;
+    t.batch_len <- t.batch_len + 1
+
+  (* Every step rewrites the whole history: sort the batch, two-way
+     merge with the existing run.  This is exactly the cost the paper's
+     Section 2 calls out as prohibitive. *)
+  let end_time_step t =
+    if t.batch_len = 0 then invalid_arg "Strawman.end_time_step: empty batch";
+    let stats = Hsq_storage.Block_device.stats t.dev in
+    let before = Hsq_storage.Io_stats.snapshot stats in
+    let batch = Array.of_list (List.rev t.batch) in
+    Array.sort compare batch;
+    let fresh = Hsq_storage.Run.of_sorted_array t.dev batch in
+    (match t.sorted with
+    | None -> t.sorted <- Some fresh
+    | Some old ->
+      let merged = Hsq_storage.Kway_merge.merge t.dev [ old; fresh ] in
+      Hsq_storage.Run.free old;
+      Hsq_storage.Run.free fresh;
+      t.sorted <- Some merged);
+    t.batch <- [];
+    t.batch_len <- 0;
+    t.gk <- Hsq_sketch.Gk.create ~epsilon:t.gk_epsilon;
+    Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before
+
+  let hist_size t = match t.sorted with None -> 0 | Some r -> Hsq_storage.Run.length r
+  let stream_size t = Hsq_sketch.Gk.count t.gk
+  let total_size t = hist_size t + stream_size t
+
+  let memory_words t = Hsq_sketch.Gk.memory_words t.gk
+
+  (* Value-domain bisection against the single sorted run; the stream
+     rank is estimated from the GK sketch. *)
+  let accurate t ~rank =
+    let n = total_size t in
+    if n = 0 then invalid_arg "Strawman.accurate: no data";
+    let rank = if rank < 1 then 1 else if rank > n then n else rank in
+    let stats = Hsq_storage.Block_device.stats t.dev in
+    let before = Hsq_storage.Io_stats.snapshot stats in
+    let m = stream_size t in
+    let tolerance = 4.0 *. t.gk_epsilon *. float_of_int m in
+    let r = float_of_int rank in
+    let lo_value, hi_value =
+      let run_bounds =
+        match t.sorted with
+        | None -> None
+        | Some run -> Some (Hsq_storage.Run.get run 0, Hsq_storage.Run.get run (Hsq_storage.Run.length run - 1))
+      in
+      let gk_bounds =
+        if m = 0 then None
+        else Some (Hsq_sketch.Gk.min_value t.gk, Hsq_sketch.Gk.max_value t.gk)
+      in
+      match (run_bounds, gk_bounds) with
+      | Some (a, b), Some (c, d) -> (min a c - 1, max b d)
+      | Some (a, b), None -> (a - 1, b)
+      | None, Some (c, d) -> (c - 1, d)
+      | None, None -> assert false
+    in
+    let estimate z =
+      let rho1 = match t.sorted with None -> 0 | Some run -> Hsq_storage.Run.rank_between run ~lo:0 ~hi:(Hsq_storage.Run.length run) z in
+      float_of_int rho1 +. float_of_int (Hsq_sketch.Gk.rank_of t.gk z)
+    in
+    let rec bisect u v =
+      if v - u <= 1 then if estimate u >= r then u else v
+      else begin
+        let z = u + ((v - u) / 2) in
+        let rho = estimate z in
+        if r < rho -. tolerance then bisect u z
+        else if r > rho +. tolerance then bisect z v
+        else z
+      end
+    in
+    let answer = bisect lo_value hi_value in
+    (answer, Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before)
+
+  let quantile t phi =
+    if not (phi > 0.0 && phi <= 1.0) then invalid_arg "Strawman.quantile: phi not in (0,1]";
+    let n = total_size t in
+    accurate t ~rank:(int_of_float (ceil (phi *. float_of_int n)))
+end

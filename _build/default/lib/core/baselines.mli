@@ -1,0 +1,81 @@
+(** The comparison systems of Section 2.
+
+    {!Streaming} is the "pure streaming" approach: one in-memory sketch
+    over all of T (GK, Q-Digest, or the randomized sampler), with the
+    same warehouse-loading I/O model as our algorithm (batches are
+    appended and κ-cascade-merged, but never sorted). {!Strawman} keeps
+    H fully sorted in a single run, re-merged every step. *)
+
+module Raw_store : sig
+  (** Block-count-only model of the unsorted warehouse. *)
+  type t
+
+  val create : kappa:int -> block_size:int -> t
+
+  (** [(load_reads, load_writes), (merge_reads, merge_writes)] in
+      blocks, for one batch of [elements]. *)
+  val add_batch : t -> elements:int -> (int * int) * (int * int)
+
+  val steps : t -> int
+  val total_blocks : t -> int
+end
+
+module Streaming : sig
+  type algorithm = Gk_stream | Qdigest_stream | Sampler_stream
+  type t
+
+  val algorithm_name : algorithm -> string
+
+  (** [words] is the sketch's memory budget; [kappa]/[block_size] feed
+      the warehouse-loading I/O model; [universe_bits] is for Q-Digest. *)
+  val create :
+    ?universe_bits:int ->
+    ?seed:int ->
+    algorithm:algorithm ->
+    words:int ->
+    kappa:int ->
+    block_size:int ->
+    unit ->
+    t
+
+  val observe : t -> int -> unit
+
+  (** Load the pending batch into the warehouse model; the sketch keeps
+      covering all of T. Returns the same I/O pairs as
+      {!Raw_store.add_batch}. *)
+  val end_time_step : t -> (int * int) * (int * int)
+
+  val count : t -> int
+  val memory_words : t -> int
+  val query_rank : t -> int -> int
+  val quantile : t -> float -> int
+  val error_bound : t -> float
+
+  (** Cumulative [(load, merge)] I/O pairs. *)
+  val update_io : t -> (int * int) * (int * int)
+end
+
+module Strawman : sig
+  type t
+
+  val create :
+    ?device:Hsq_storage.Block_device.t -> epsilon:float -> block_size:int -> unit -> t
+
+  val device : t -> Hsq_storage.Block_device.t
+  val observe : t -> int -> unit
+
+  (** Sort the batch and two-way merge it with the full history —
+      the prohibitive cost the paper improves on. Returns the step's
+      I/O. *)
+  val end_time_step : t -> Hsq_storage.Io_stats.counters
+
+  val hist_size : t -> int
+  val stream_size : t -> int
+  val total_size : t -> int
+  val memory_words : t -> int
+
+  (** O(ε·m)-error rank query against the sorted run + GK sketch. *)
+  val accurate : t -> rank:int -> int * Hsq_storage.Io_stats.counters
+
+  val quantile : t -> float -> int * Hsq_storage.Io_stats.counters
+end

@@ -1,0 +1,88 @@
+(* Engine configuration.
+
+   Two sizing modes mirror how the paper presents the algorithm:
+
+   - [Epsilon e]: Algorithm 1.  eps1 = e/2 governs the per-partition
+     historical summaries (beta1 = ceil(1/eps1) + 1) and eps2 = e/4
+     governs the stream sketch.  The internal GK sketch runs at eps2/2
+     because its guarantee is two-sided (+-eps*n) while Lemma 1 needs
+     the one-sided interval [i*eps2*m, (i+1)*eps2*m]; querying the
+     half-precision sketch at rank (i+1/2)*eps2*m lands exactly in that
+     interval.
+
+   - [Memory_words w]: the experimental setup of Section 3.1 — a fixed
+     word budget, split 50/50 between the stream summary and the
+     historical summaries ("we allocate 50 percent of the memory to the
+     stream summary and 50 percent to the historical summary"). *)
+
+type sizing =
+  | Epsilon of float
+  | Memory_words of int
+
+type t = {
+  sizing : sizing;
+  kappa : int; (* merge threshold (Section 2.1) *)
+  block_size : int; (* elements per disk block (B) *)
+  sort_memory : int option; (* external-sort budget in elements *)
+  steps_hint : int; (* expected number of time steps (T), for memory split *)
+  stream_fraction : float; (* share of a memory budget given to the stream sketch *)
+  sort_domains : int option; (* parallel batch sorting (paper future work, Section 4) *)
+}
+
+let default =
+  {
+    sizing = Epsilon 0.01;
+    kappa = 10;
+    block_size = 256;
+    sort_memory = None;
+    steps_hint = 100;
+    stream_fraction = 0.5;
+    sort_domains = None;
+  }
+
+let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memory
+    ?(steps_hint = default.steps_hint) ?(stream_fraction = default.stream_fraction) ?sort_domains
+    sizing =
+  (match sizing with
+  | Epsilon e when not (e > 0.0 && e < 1.0) -> invalid_arg "Config.make: epsilon not in (0,1)"
+  | Epsilon _ -> ()
+  | Memory_words w when w < 128 -> invalid_arg "Config.make: memory budget below 128 words"
+  | Memory_words _ -> ());
+  if kappa < 2 then invalid_arg "Config.make: kappa must be >= 2";
+  if block_size < 2 then invalid_arg "Config.make: block_size must be >= 2";
+  if steps_hint < 1 then invalid_arg "Config.make: steps_hint must be >= 1";
+  if not (stream_fraction > 0.0 && stream_fraction < 1.0) then
+    invalid_arg "Config.make: stream_fraction must lie in (0,1)";
+  (match sort_domains with
+  | Some d when d < 1 -> invalid_arg "Config.make: sort_domains must be >= 1"
+  | _ -> ());
+  { sizing; kappa; block_size; sort_memory; steps_hint; stream_fraction; sort_domains }
+
+(* Maximum simultaneous partitions: kappa per level, over
+   ceil(log_kappa T) + 1 levels (Lemma 8). *)
+let max_partitions t =
+  let levels =
+    int_of_float (ceil (log (float_of_int (max 2 t.steps_hint)) /. log (float_of_int t.kappa))) + 1
+  in
+  t.kappa * levels
+
+(* beta1 (historical summary length per partition, Algorithm 1). *)
+let beta1 t =
+  match t.sizing with
+  | Epsilon e ->
+    let eps1 = e /. 2.0 in
+    int_of_float (ceil (1.0 /. eps1)) + 1
+  | Memory_words w ->
+    let hist_budget = int_of_float ((1.0 -. t.stream_fraction) *. float_of_int w) in
+    (* 3 words per summary entry, over at most [max_partitions]. *)
+    max 2 ((hist_budget - 16) / (3 * max_partitions t))
+
+(* Word budget for the stream sketch in memory mode. *)
+let stream_words t =
+  match t.sizing with
+  | Epsilon _ -> None
+  | Memory_words w -> Some (max 50 (int_of_float (t.stream_fraction *. float_of_int w)))
+
+(* GK error parameter in epsilon mode (= eps2 / 2, see header comment). *)
+let gk_epsilon t =
+  match t.sizing with Epsilon e -> Some (e /. 8.0) | Memory_words _ -> None

@@ -1,0 +1,48 @@
+(** Engine configuration (Algorithm 1 and the experimental setup of
+    Section 3.1).
+
+    [Epsilon e] sizes the structures from an error parameter:
+    ε₁ = e/2 for historical summaries, ε₂ = e/4 for the stream sketch.
+    [Memory_words w] sizes them from a word budget split 50/50 between
+    the stream summary and the historical summaries, as in the paper's
+    experiments. *)
+
+type sizing =
+  | Epsilon of float
+  | Memory_words of int
+
+type t = {
+  sizing : sizing;
+  kappa : int;              (** merge threshold κ *)
+  block_size : int;         (** elements per block (B) *)
+  sort_memory : int option; (** external-sort element budget *)
+  steps_hint : int;         (** expected number of time steps (T) *)
+  stream_fraction : float;  (** share of a memory budget given to the stream sketch (paper: 0.5) *)
+  sort_domains : int option; (** parallel batch sorting on this many domains (future work, §4) *)
+}
+
+val default : t
+
+(** Validated constructor. Raises [Invalid_argument] on out-of-range
+    parameters (ε ∉ (0,1), budget < 128 words, κ < 2, …). *)
+val make :
+  ?kappa:int ->
+  ?block_size:int ->
+  ?sort_memory:int ->
+  ?steps_hint:int ->
+  ?stream_fraction:float ->
+  ?sort_domains:int ->
+  sizing ->
+  t
+
+(** Upper bound on simultaneous partitions: κ · (⌈log_κ T⌉ + 1). *)
+val max_partitions : t -> int
+
+(** Per-partition summary length β₁. *)
+val beta1 : t -> int
+
+(** Stream sketch word budget (memory mode only). *)
+val stream_words : t -> int option
+
+(** Fixed GK ε (epsilon mode only; = ε/8, see the module comment). *)
+val gk_epsilon : t -> float option

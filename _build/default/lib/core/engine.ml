@@ -1,0 +1,318 @@
+(* The integrated historical + streaming quantile engine — the paper's
+   primary contribution (Sections 2.1-2.3).
+
+   Lifecycle per time step (Figure 1):
+     observe       -- every stream element updates the GK sketch and is
+                      spooled into the current batch;
+     end_time_step -- the batch is sorted and loaded into the historical
+                      level index (Algorithm 3) and the stream sketch is
+                      reset (Algorithm 4, StreamReset).
+
+   Queries:
+     quick    -- Algorithm 5, in-memory only, O(eps*N) rank error;
+     accurate -- Algorithms 6-8, a value-domain binary search narrowed
+                 by summaries with disk rank probes, O(eps*m) error. *)
+
+type t = {
+  config : Config.t;
+  dev : Hsq_storage.Block_device.t;
+  hist : Hsq_hist.Level_index.t;
+  mutable gk : Hsq_sketch.Gk.t;
+  mutable batch : int array;
+  mutable batch_len : int;
+}
+
+type query_report = {
+  io : Hsq_storage.Io_stats.counters;
+  iterations : int; (* value-domain bisection steps (Algorithm 8 calls) *)
+}
+
+let fresh_gk config =
+  match Config.gk_epsilon config with
+  | Some eps -> Hsq_sketch.Gk.create ~epsilon:eps
+  | None -> (
+    match Config.stream_words config with
+    | Some words -> Hsq_sketch.Gk.create_capped ~words
+    | None -> assert false)
+
+let create ?device config =
+  let dev =
+    match device with
+    | Some d -> d
+    | None -> Hsq_storage.Block_device.create_memory ~block_size:config.Config.block_size ()
+  in
+  let hist =
+    Hsq_hist.Level_index.create ?sort_memory:config.Config.sort_memory
+      ?sort_domains:config.Config.sort_domains ~kappa:config.Config.kappa
+      ~beta1:(Config.beta1 config) dev
+  in
+  { config; dev; hist; gk = fresh_gk config; batch = Array.make 1024 0; batch_len = 0 }
+
+(* Recovery path (Persist): adopt a restored historical index.  The
+   stream side starts empty — the live stream is volatile by design. *)
+let of_restored ~device config hist =
+  { config; dev = device; hist; gk = fresh_gk config; batch = Array.make 1024 0; batch_len = 0 }
+
+let config t = t.config
+let device t = t.dev
+let hist t = t.hist
+let stream_sketch t = t.gk
+let stream_size t = Hsq_sketch.Gk.count t.gk
+let hist_size t = Hsq_hist.Level_index.total_elements t.hist
+let total_size t = hist_size t + stream_size t
+let time_steps t = Hsq_hist.Level_index.time_steps t.hist
+
+(* eps2 as the engine currently provides it (2x the GK sketch's eps —
+   see Config); eps = 4*eps2 inverts Algorithm 1. *)
+let eps2 t = 2.0 *. Hsq_sketch.Gk.epsilon t.gk
+let epsilon t = 4.0 *. eps2 t
+
+let memory_words t =
+  Hsq_hist.Level_index.memory_words t.hist + Hsq_sketch.Gk.memory_words t.gk
+
+(* StreamUpdate (Algorithm 4) + batch spooling. *)
+let observe t v =
+  Hsq_sketch.Gk.insert t.gk v;
+  if t.batch_len = Array.length t.batch then begin
+    let bigger = Array.make (2 * t.batch_len) 0 in
+    Array.blit t.batch 0 bigger 0 t.batch_len;
+    t.batch <- bigger
+  end;
+  t.batch.(t.batch_len) <- v;
+  t.batch_len <- t.batch_len + 1
+
+(* Load the batch into the warehouse and reset the stream sketch
+   (HistUpdate + StreamReset). *)
+let end_time_step t =
+  if t.batch_len = 0 then invalid_arg "Engine.end_time_step: empty batch";
+  let batch = Array.sub t.batch 0 t.batch_len in
+  let report = Hsq_hist.Level_index.add_batch t.hist batch in
+  t.batch_len <- 0;
+  t.gk <- fresh_gk t.config;
+  report
+
+let ingest_batch t batch =
+  Array.iter (observe t) batch;
+  end_time_step t
+
+(* Retention passthrough: keep only the last [keep_steps] archived
+   steps (whole partitions; see Level_index.expire). *)
+let expire t ~keep_steps = Hsq_hist.Level_index.expire t.hist ~keep_steps
+
+let stream_summary t = Stream_summary.extract t.gk
+
+let union_summary ?partitions t =
+  let partitions =
+    match partitions with Some ps -> ps | None -> Hsq_hist.Level_index.partitions t.hist
+  in
+  Union_summary.build ~partitions ~stream:(stream_summary t)
+
+let clamp_rank ~n r = if r < 1 then 1 else if r > n then n else r
+
+(* Algorithm 5. *)
+let quick_over t ~partitions ~rank =
+  let us = Union_summary.build ~partitions ~stream:(stream_summary t) in
+  let n = Union_summary.n_total us in
+  if n = 0 then invalid_arg "Engine.quick: no data";
+  Union_summary.quick_select us ~rank:(clamp_rank ~n rank)
+
+let quick t ~rank = quick_over t ~partitions:(Hsq_hist.Level_index.partitions t.hist) ~rank
+
+(* Algorithms 6-8: bisect the value domain between the filters, probing
+   each partition with a summary-bounded (and progressively narrowed)
+   binary search for the exact historical rank rho1, and estimating the
+   stream rank rho2 from SS.  Stops inside the +-eps*m band, or at a
+   width-1 interval, where v is the answer when the estimate at u still
+   falls short of r (rank(u) <= r <= rank(v) is invariant). *)
+type probe_state = {
+  partition : Hsq_hist.Partition.t;
+  mutable lo : int; (* rank(z) within this partition is known to be in [lo, hi] *)
+  mutable hi : int;
+}
+
+let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
+  let ss, us =
+    match summaries with
+    | Some pair -> pair
+    | None ->
+      let ss = stream_summary t in
+      (ss, Union_summary.build ~partitions ~stream:ss)
+  in
+  let n = Union_summary.n_total us in
+  if n = 0 then invalid_arg "Engine.accurate: no data";
+  let rank = clamp_rank ~n rank in
+  let stats = Hsq_storage.Block_device.stats t.dev in
+  let before = Hsq_storage.Io_stats.snapshot stats in
+  let u0, v0 = Union_summary.filters us ~rank in
+  let probes =
+    List.map
+      (fun p ->
+        let lo, hi =
+          Hsq_hist.Partition_summary.search_window (Hsq_hist.Partition.summary p) ~u:u0 ~v:v0
+        in
+        { partition = p; lo; hi })
+      partitions
+  in
+  (* Stopping band of Algorithm 8, as a multiple of eps2*m.  The paper
+     stops within +-eps*m (factor 4); we default to the tighter factor
+     1/2 — the rho estimate is already that accurate, the extra
+     bisection steps mostly hit cached blocks, and the answer improves
+     ~4x.  This knob is the accuracy/disk-access axis of the tradeoff
+     space the paper's conclusion discusses; the ablation bench sweeps
+     it. *)
+  let m = float_of_int (Stream_summary.stream_size ss) in
+  let tolerance = tolerance_factor *. Stream_summary.eps2 ss *. m in
+  let r = float_of_int rank in
+  let iterations = ref 0 in
+  (* rho(z) = exact historical rank (lines 2-7) + estimated stream rank
+     (lines 8-10).  Returns the per-partition ranks so the caller can
+     narrow the next iteration's search windows. *)
+  let estimate z =
+    let ranks =
+      List.map
+        (fun st ->
+          if st.lo >= st.hi then st.lo
+          else
+            Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo
+              ~hi:st.hi z)
+        probes
+    in
+    let rho1 = List.fold_left ( + ) 0 ranks in
+    (ranks, float_of_int rho1 +. Stream_summary.rank_estimate ss z)
+  in
+  (* rank(z') for z' < z is at most rank(z), and at least rank(z) for
+     z' > z — so each bisection step halves the per-partition windows
+     too, and the one-block run caches make the tail probes free. *)
+  let narrow ~left ranks =
+    List.iter2
+      (fun st rank_z -> if left then st.hi <- min st.hi rank_z else st.lo <- max st.lo rank_z)
+      probes ranks
+  in
+  let rec bisect u v =
+    incr iterations;
+    if v - u <= 1 then begin
+      (* rank(u,T) <= r <= rank(v,T) is invariant; v is the smallest
+         candidate whose rank can reach r — the Definition-1 answer —
+         unless the estimate says u already covers r. *)
+      let _, rho_u = estimate u in
+      if rho_u >= r then u else v
+    end
+    else begin
+      let z = u + ((v - u) / 2) in
+      let ranks, rho = estimate z in
+      if r < rho -. tolerance then begin
+        narrow ~left:true ranks;
+        bisect u z
+      end
+      else if r > rho +. tolerance then begin
+        narrow ~left:false ranks;
+        bisect z v
+      end
+      else z
+    end
+  in
+  let answer = bisect u0 v0 in
+  let io = Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before in
+  (answer, { io; iterations = !iterations })
+
+let accurate ?tolerance_factor t ~rank =
+  accurate_over ?tolerance_factor t ~partitions:(Hsq_hist.Level_index.partitions t.hist) ~rank
+
+(* Inverse query: estimated rank of an arbitrary value in T.  The
+   historical part is exact (summary-bounded binary searches); the
+   stream part comes from SS, so the error is at most ~eps2*m. *)
+let rank_of t v =
+  let hist = Hsq_hist.Level_index.rank t.hist v in
+  let ss = stream_summary t in
+  hist + int_of_float (Float.round (Stream_summary.rank_estimate ss v))
+
+(* Empirical CDF point: P(X <= v) over T. *)
+let cdf t v =
+  let n = total_size t in
+  if n = 0 then invalid_arg "Engine.cdf: no data";
+  float_of_int (rank_of t v) /. float_of_int n
+
+(* Batched accurate queries: one summary build (the dominant in-memory
+   cost) shared by all ranks. *)
+let accurate_many ?tolerance_factor t ~ranks =
+  let partitions = Hsq_hist.Level_index.partitions t.hist in
+  let ss = stream_summary t in
+  let us = Union_summary.build ~partitions ~stream:ss in
+  List.map
+    (fun rank -> accurate_over ?tolerance_factor ~summaries:(ss, us) t ~partitions ~rank)
+    ranks
+
+(* phi-quantiles per Definition 1. *)
+let rank_of_phi ~n phi =
+  if not (phi > 0.0 && phi <= 1.0) then invalid_arg "Engine: phi not in (0,1]";
+  clamp_rank ~n (int_of_float (ceil (phi *. float_of_int n)))
+
+let quantile t phi =
+  let n = total_size t in
+  if n = 0 then invalid_arg "Engine.quantile: no data";
+  accurate t ~rank:(rank_of_phi ~n phi)
+
+let quick_quantile t phi =
+  let n = total_size t in
+  if n = 0 then invalid_arg "Engine.quick_quantile: no data";
+  quick t ~rank:(rank_of_phi ~n phi)
+
+(* Windowed queries (Section 2.4): the window covers the last [w]
+   archived time steps plus the live stream.  Only partition-aligned
+   windows are answerable. *)
+type window_error = Window_not_aligned of int list
+
+let window_sizes t = Hsq_hist.Level_index.available_window_sizes t.hist
+
+let with_window t ~window k =
+  match Hsq_hist.Level_index.partitions_for_window t.hist window with
+  | Some parts -> Ok (k parts)
+  | None -> Error (Window_not_aligned (window_sizes t))
+
+let window_total t ~window =
+  with_window t ~window (fun parts ->
+      List.fold_left (fun acc p -> acc + Hsq_hist.Partition.size p) (stream_size t) parts)
+
+let accurate_window t ~window ~rank =
+  with_window t ~window (fun parts -> accurate_over t ~partitions:parts ~rank)
+
+let quick_window t ~window ~rank =
+  with_window t ~window (fun parts -> quick_over t ~partitions:parts ~rank)
+
+(* Historical range queries over archived steps [first, last] — the
+   "compare against the same period in the past" use case of the
+   introduction.  Purely historical: the live stream is excluded, so
+   with the exact partition ranks the answers are near-exact. *)
+type range_error = Range_not_aligned of (int * int) list
+
+let with_range t ~first ~last k =
+  match Hsq_hist.Level_index.partitions_for_range t.hist ~first ~last with
+  | Some parts -> Ok (k parts)
+  | None -> Error (Range_not_aligned (Hsq_hist.Level_index.partition_boundaries t.hist))
+
+let range_total t ~first ~last =
+  with_range t ~first ~last (fun parts ->
+      List.fold_left (fun acc p -> acc + Hsq_hist.Partition.size p) 0 parts)
+
+let accurate_range ?tolerance_factor t ~first ~last ~rank =
+  with_range t ~first ~last (fun parts ->
+      (* Build against an empty stream: the range is purely historical. *)
+      let saved = t.gk in
+      t.gk <- fresh_gk t.config;
+      Fun.protect
+        ~finally:(fun () -> t.gk <- saved)
+        (fun () -> accurate_over ?tolerance_factor t ~partitions:parts ~rank))
+
+let quantile_range t ~first ~last phi =
+  match range_total t ~first ~last with
+  | Error e -> Error e
+  | Ok n ->
+    if n = 0 then invalid_arg "Engine.quantile_range: empty range";
+    accurate_range t ~first ~last ~rank:(rank_of_phi ~n phi)
+
+let quantile_window t ~window phi =
+  match window_total t ~window with
+  | Error e -> Error e
+  | Ok n ->
+    if n = 0 then invalid_arg "Engine.quantile_window: empty window";
+    accurate_window t ~window ~rank:(rank_of_phi ~n phi)

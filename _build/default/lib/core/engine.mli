@@ -1,0 +1,136 @@
+(** The integrated historical + streaming quantile engine — the paper's
+    primary contribution.
+
+    Feed stream elements with {!observe}; close a time step with
+    {!end_time_step} (the batch is sorted into the warehouse and the
+    stream sketch reset). Query any time with {!quick} (Algorithm 5,
+    memory-only, O(εN) rank error) or {!accurate} (Algorithms 6–8, a
+    few dozen disk probes, O(εm) rank error — proportional to the
+    stream size only, per Theorem 2). *)
+
+type t
+
+(** Cost of one accurate query: exact I/O counters and the number of
+    value-domain bisection steps (recursive calls of Algorithm 8). *)
+type query_report = {
+  io : Hsq_storage.Io_stats.counters;
+  iterations : int;
+}
+
+(** [create ?device config] — a fresh engine. Without [device] an
+    in-memory simulated block device of [config.block_size] is used. *)
+val create : ?device:Hsq_storage.Block_device.t -> Config.t -> t
+
+(** Adopt a restored historical index (recovery; used by {!Persist}).
+    The stream side starts empty — the live stream is volatile. *)
+val of_restored :
+  device:Hsq_storage.Block_device.t -> Config.t -> Hsq_hist.Level_index.t -> t
+
+val config : t -> Config.t
+val device : t -> Hsq_storage.Block_device.t
+val hist : t -> Hsq_hist.Level_index.t
+val stream_sketch : t -> Hsq_sketch.Gk.t
+
+(** m, n, N = n + m, and T (time steps archived). *)
+val stream_size : t -> int
+
+val hist_size : t -> int
+val total_size : t -> int
+val time_steps : t -> int
+
+(** Current ε₂ (stream summary spacing) and the overall ε = 4·ε₂. In
+    memory mode these reflect the capped sketch's adaptive ε. *)
+val eps2 : t -> float
+
+val epsilon : t -> float
+
+(** Summary footprint: HS + GK, in words. *)
+val memory_words : t -> int
+
+(** StreamUpdate (Algorithm 4) plus batch spooling. *)
+val observe : t -> int -> unit
+
+(** HistUpdate (Algorithm 3) + StreamReset. Raises [Invalid_argument]
+    on an empty batch. *)
+val end_time_step : t -> Hsq_hist.Level_index.update_report
+
+(** [observe] each element, then [end_time_step]. *)
+val ingest_batch : t -> int array -> Hsq_hist.Level_index.update_report
+
+(** Retention: drop partitions entirely older than the last
+    [keep_steps] archived steps. Returns (partitions, elements)
+    dropped. *)
+val expire : t -> keep_steps:int -> int * int
+
+(** Current SS / TS (rebuilt on each call). *)
+val stream_summary : t -> Stream_summary.t
+
+val union_summary : ?partitions:Hsq_hist.Partition.t list -> t -> Union_summary.t
+
+(** Algorithm 5. Rank is clamped to [1, N]. Raises on an empty engine. *)
+val quick : t -> rank:int -> int
+
+(** Algorithms 6–8. Returns the answer and its cost.
+    [tolerance_factor] sets Algorithm 8's stopping band as a multiple
+    of ε₂·m: the paper's band is factor 4 (= ε·m); the default 0.5
+    trades a few (mostly cached) extra probes for ~4× better accuracy.
+    This is the accuracy/disk-access axis of the tradeoff space the
+    paper's conclusion discusses. *)
+val accurate : ?tolerance_factor:float -> t -> rank:int -> int * query_report
+
+(** Estimated rank(v, T): exact over the history, ±ε₂·m over the
+    stream. *)
+val rank_of : t -> int -> int
+
+(** Empirical CDF point P(X ≤ v) over T. Raises on an empty engine. *)
+val cdf : t -> int -> float
+
+(** Batched accurate queries (answers in input order). *)
+val accurate_many :
+  ?tolerance_factor:float -> t -> ranks:int list -> (int * query_report) list
+
+(** φ-quantile of Definition 1 (rank = ⌈φN⌉), accurate / quick path. *)
+val quantile : t -> float -> int * query_report
+
+val quick_quantile : t -> float -> int
+
+(** {2 Windowed queries (Section 2.4)}
+
+    A window covers the last [w] archived time steps plus the live
+    stream; only partition-aligned windows are answerable. *)
+
+type window_error = Window_not_aligned of int list
+
+(** Window sizes currently answerable, ascending. *)
+val window_sizes : t -> int list
+
+(** Elements in the window (including the stream). *)
+val window_total : t -> window:int -> (int, window_error) result
+
+val accurate_window : t -> window:int -> rank:int -> (int * query_report, window_error) result
+val quick_window : t -> window:int -> rank:int -> (int, window_error) result
+val quantile_window : t -> window:int -> float -> (int * query_report, window_error) result
+
+(** {2 Historical range queries}
+
+    Quantiles over the archived steps [first, last] only (the live
+    stream excluded) — "compare current trends with those observed over
+    different time periods" from the paper's introduction. Answerable
+    iff the range is partition-aligned; errors carry the current
+    partition extents so callers can snap. With exact partition ranks
+    and no stream, answers are near-exact. *)
+
+type range_error = Range_not_aligned of (int * int) list
+
+val range_total : t -> first:int -> last:int -> (int, range_error) result
+
+val accurate_range :
+  ?tolerance_factor:float ->
+  t ->
+  first:int ->
+  last:int ->
+  rank:int ->
+  (int * query_report, range_error) result
+
+val quantile_range :
+  t -> first:int -> last:int -> float -> (int * query_report, range_error) result

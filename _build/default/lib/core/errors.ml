@@ -1,0 +1,31 @@
+(* Theoretical error bounds from the paper's lemmas, used by the tests
+   (as pass/fail thresholds) and by the Figure 5 bench ("Relative Error
+   in Theory"). *)
+
+(* Lemma 2(2): U_i - L_i <= eps*N, realised as eps1*n + 2*eps2*m.  The
+   [+ partitions] slack covers the integer ceilings of the per-partition
+   summary spacing, and the +2 the one-per-side integer rounding of the
+   stream summary's rank intervals. *)
+let summary_window ~eps1 ~eps2 ~n ~m ~partitions =
+  (eps1 *. float_of_int n)
+  +. (2.0 *. eps2 *. float_of_int m)
+  +. float_of_int partitions
+  +. 2.0
+
+(* Lemma 3: quick response |r^ - r| <= 1.5*eps*N. *)
+let quick_rank_bound ~eps1 ~eps2 ~n ~m ~partitions =
+  1.5 *. summary_window ~eps1 ~eps2 ~n ~m ~partitions
+
+(* Lemma 5 / Theorem 2: accurate response error is O(eps*m).  The
+   bisection stops inside a +-eps*m band around a rank estimate that is
+   itself off by at most ~eps2*m, plus one for the integer boundary. *)
+let accurate_rank_bound ~eps ~eps2 ~m =
+  (eps *. float_of_int m) +. (2.0 *. eps2 *. float_of_int m) +. 1.0
+
+(* Relative error as the experiments report it: |r - r^| / (phi * N)
+   (Section 3.1, "Performance Metrics"). *)
+let relative ~rank_error ~phi ~total = rank_error /. (phi *. float_of_int total)
+
+(* The Figure 5 theory curve: accurate-response relative error bound. *)
+let theory_relative_accurate ~eps ~eps2 ~m ~phi ~total =
+  relative ~rank_error:(accurate_rank_bound ~eps ~eps2 ~m) ~phi ~total

@@ -1,0 +1,170 @@
+(* Crash/restart persistence for the warehouse.
+
+   The block-device file already holds every partition's data; this
+   module adds a small plain-text metadata sidecar recording the
+   configuration and the partition table.  On [load] the partitions are
+   re-attached and their summaries rebuilt by probing the beta1 target
+   positions on disk (<= beta1 block reads per partition — recovery
+   I/O, charged to the device's counters like everything else).
+
+   The live stream is volatile by design: data not yet archived at save
+   time is not in the warehouse, exactly as in the paper's Figure 1
+   setup, so a restored engine starts with an empty stream. *)
+
+exception Corrupt_metadata of string
+
+let format_version = 1
+
+let sizing_to_string = function
+  | Config.Epsilon e -> Printf.sprintf "epsilon %.17g" e
+  | Config.Memory_words w -> Printf.sprintf "memory %d" w
+
+let sizing_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "epsilon"; e ] -> Config.Epsilon (float_of_string e)
+  | [ "memory"; w ] -> Config.Memory_words (int_of_string w)
+  | _ -> raise (Corrupt_metadata ("bad sizing line: " ^ s))
+
+let save engine ~path =
+  let config = Engine.config engine in
+  let hist = Engine.hist engine in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "hsq-meta %d\n" format_version;
+      Printf.fprintf oc "sizing %s\n" (sizing_to_string config.Config.sizing);
+      Printf.fprintf oc "kappa %d\n" config.Config.kappa;
+      Printf.fprintf oc "block_size %d\n" config.Config.block_size;
+      Printf.fprintf oc "steps_hint %d\n" config.Config.steps_hint;
+      Printf.fprintf oc "stream_fraction %.17g\n" config.Config.stream_fraction;
+      (match config.Config.sort_memory with
+      | None -> Printf.fprintf oc "sort_memory none\n"
+      | Some m -> Printf.fprintf oc "sort_memory %d\n" m);
+      (match config.Config.sort_domains with
+      | None -> Printf.fprintf oc "sort_domains none\n"
+      | Some d -> Printf.fprintf oc "sort_domains %d\n" d);
+      let descriptors = Hsq_hist.Level_index.describe hist in
+      Printf.fprintf oc "partitions %d\n" (List.length descriptors);
+      List.iter
+        (fun (d : Hsq_hist.Level_index.partition_descriptor) ->
+          Printf.fprintf oc "partition %d %d %d %d %d\n" d.first_block d.length d.first_step
+            d.last_step d.level)
+        descriptors)
+
+let parse_lines lines =
+  let expect_prefix prefix line =
+    match line with
+    | Some l when String.length l > String.length prefix && String.sub l 0 (String.length prefix) = prefix
+      ->
+      String.sub l (String.length prefix) (String.length l - String.length prefix)
+    | Some l -> raise (Corrupt_metadata (Printf.sprintf "expected %S..., found %S" prefix l))
+    | None -> raise (Corrupt_metadata (Printf.sprintf "missing %S line" prefix))
+  in
+  let next = let i = ref (-1) in fun () -> incr i; List.nth_opt lines !i in
+  let header = expect_prefix "hsq-meta " (next ()) in
+  if int_of_string_opt header <> Some format_version then
+    raise (Corrupt_metadata ("unsupported format version " ^ header));
+  let sizing = sizing_of_string (expect_prefix "sizing " (next ())) in
+  let kappa = int_of_string (expect_prefix "kappa " (next ())) in
+  let block_size = int_of_string (expect_prefix "block_size " (next ())) in
+  let steps_hint = int_of_string (expect_prefix "steps_hint " (next ())) in
+  let stream_fraction = float_of_string (expect_prefix "stream_fraction " (next ())) in
+  let sort_memory =
+    match expect_prefix "sort_memory " (next ()) with
+    | "none" -> None
+    | m -> Some (int_of_string m)
+  in
+  let sort_domains =
+    match expect_prefix "sort_domains " (next ()) with
+    | "none" -> None
+    | d -> Some (int_of_string d)
+  in
+  let count = int_of_string (expect_prefix "partitions " (next ())) in
+  let descriptors =
+    List.init count (fun _ ->
+        let fields = String.split_on_char ' ' (expect_prefix "partition " (next ())) in
+        match List.map int_of_string fields with
+        | [ first_block; length; first_step; last_step; level ] ->
+          {
+            Hsq_hist.Level_index.first_block;
+            length;
+            first_step;
+            last_step;
+            level;
+          }
+        | _ -> raise (Corrupt_metadata "bad partition line"))
+  in
+  let config =
+    Config.make ~kappa ~block_size ?sort_memory ~steps_hint ~stream_fraction ?sort_domains sizing
+  in
+  (config, descriptors)
+
+(* Cheap consistency check on a restored partition: its summary entries
+   (just re-read from disk) must be sorted — catching truncated or
+   shuffled device files before they can serve wrong answers. *)
+let verify_partition p =
+  let entries = Hsq_hist.Partition_summary.entries (Hsq_hist.Partition.summary p) in
+  let ok = ref true in
+  for i = 1 to Array.length entries - 1 do
+    if entries.(i).Hsq_hist.Partition_summary.value < entries.(i - 1).Hsq_hist.Partition_summary.value
+    then ok := false
+  done;
+  if not !ok then
+    raise
+      (Corrupt_metadata
+         (Printf.sprintf "partition at block %d is not sorted on disk"
+            (Hsq_storage.Run.first_block (Hsq_hist.Partition.run p))))
+
+let load ~device ~path =
+  let lines =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let config, descriptors =
+    try parse_lines lines with
+    | Corrupt_metadata _ as e -> raise e
+    | Failure msg -> raise (Corrupt_metadata msg)
+  in
+  if Hsq_storage.Block_device.block_size device <> config.Config.block_size then
+    raise
+      (Corrupt_metadata
+         (Printf.sprintf "device block size %d disagrees with metadata %d"
+            (Hsq_storage.Block_device.block_size device)
+            config.Config.block_size));
+  let hist =
+    try
+      Hsq_hist.Level_index.restore ?sort_memory:config.Config.sort_memory
+        ~kappa:config.Config.kappa ~beta1:(Config.beta1 config) device descriptors
+    with Invalid_argument msg -> raise (Corrupt_metadata msg)
+  in
+  List.iter verify_partition (Hsq_hist.Level_index.partitions hist);
+  Engine.of_restored ~device config hist
+
+(* Convenience: reopen the device file and the metadata together. *)
+let load_files ~device_path ~meta_path =
+  let block_size =
+    (* peek at the metadata for the block size before opening the device *)
+    let ic = open_in meta_path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec find () =
+          match input_line ic with
+          | line when String.length line > 11 && String.sub line 0 11 = "block_size " ->
+            int_of_string (String.sub line 11 (String.length line - 11))
+          | _ -> find ()
+          | exception End_of_file -> raise (Corrupt_metadata "no block_size in metadata")
+        in
+        find ())
+  in
+  let device = Hsq_storage.Block_device.open_file ~block_size ~path:device_path () in
+  load ~device ~path:meta_path

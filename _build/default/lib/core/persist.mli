@@ -1,0 +1,22 @@
+(** Warehouse persistence across process restarts.
+
+    The block-device file holds every partition's data; a plain-text
+    metadata sidecar records the configuration and partition table.
+    [load] re-attaches the partitions and rebuilds each summary with at
+    most β₁ block reads. The live stream is volatile by design
+    (Figure 1): a restored engine starts with an empty stream. *)
+
+exception Corrupt_metadata of string
+
+(** Write the metadata sidecar for [engine] to [path]. The engine's
+    device should be file-backed for the data itself to survive. *)
+val save : Engine.t -> path:string -> unit
+
+(** Restore an engine from a (reopened) device and its metadata.
+    Raises {!Corrupt_metadata} on version/parse/invariant mismatches,
+    including unsorted on-disk partitions. *)
+val load : device:Hsq_storage.Block_device.t -> path:string -> Engine.t
+
+(** Reopen [device_path] (block size taken from the metadata) and
+    [load]. *)
+val load_files : device_path:string -> meta_path:string -> Engine.t

@@ -1,0 +1,130 @@
+(* The merged summary TS of the entire dataset T = H u R, with per-entry
+   rank bounds L_i and U_i (Section 2.3.1, Figure 3, Lemma 2).
+
+   For each summary value v:
+
+     L(v) = stream_lower(v) + sum_P hist_lower_P(v)
+     U(v) = stream_upper(v) + sum_P hist_upper_P(v)
+
+   The historical contributions use the *exact* indices stored in the
+   partition summaries, which tightens (never loosens) the paper's
+   m_P*eps1*(alpha_P - 1) / m_P*eps1*alpha_P bounds; the stream
+   contributions follow Lemma 2 verbatim. *)
+
+type entry = {
+  value : int;
+  lower : float; (* L_i: rank(value, T) >= lower *)
+  upper : float; (* U_i: rank(value, T) <= upper *)
+}
+
+type t = {
+  entries : entry array; (* sorted by value, distinct values *)
+  n_total : int; (* |T| = n + m *)
+  m_stream : int;
+  hist_elements : int;
+}
+
+let hist_bounds partitions v =
+  List.fold_left
+    (fun (lo, hi) p ->
+      let l, h = Hsq_hist.Partition_summary.rank_bounds (Hsq_hist.Partition.summary p) v in
+      (lo + l, hi + h))
+    (0, 0) partitions
+
+let build ~partitions ~stream =
+  let hist_values =
+    List.concat_map
+      (fun p ->
+        Array.to_list
+          (Array.map
+             (fun (e : Hsq_hist.Partition_summary.entry) -> e.value)
+             (Hsq_hist.Partition_summary.entries (Hsq_hist.Partition.summary p))))
+      partitions
+  in
+  let all = Array.of_list (Array.to_list (Stream_summary.values stream) @ hist_values) in
+  Array.sort compare all;
+  (* Distinct values only: L and U depend on the value alone, so
+     duplicates across summaries carry no extra information. *)
+  let distinct = ref [] in
+  Array.iter
+    (fun v -> match !distinct with x :: _ when x = v -> () | _ -> distinct := v :: !distinct)
+    all;
+  let hist_elements =
+    List.fold_left (fun acc p -> acc + Hsq_hist.Partition.size p) 0 partitions
+  in
+  let m_stream = Stream_summary.stream_size stream in
+  let entries =
+    List.rev_map
+      (fun v ->
+        let hlo, hhi = hist_bounds partitions v in
+        {
+          value = v;
+          lower = float_of_int hlo +. Stream_summary.rank_lower stream v;
+          upper = float_of_int hhi +. Stream_summary.rank_upper stream v;
+        })
+      !distinct
+  in
+  {
+    entries = Array.of_list entries;
+    n_total = hist_elements + m_stream;
+    m_stream;
+    hist_elements;
+  }
+
+let entries t = t.entries
+let size t = Array.length t.entries
+let n_total t = t.n_total
+let m_stream t = t.m_stream
+let hist_elements t = t.hist_elements
+
+(* Algorithm 5: the smallest j with L_j >= r, else the last entry. *)
+let quick_select t ~rank =
+  if Array.length t.entries = 0 then invalid_arg "Union_summary.quick_select: empty summary";
+  let r = float_of_int rank in
+  let n = Array.length t.entries in
+  (* L is non-decreasing in the value, so binary search applies. *)
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.entries.(mid).lower >= r then go lo mid else go (mid + 1) hi
+  in
+  let j = go 0 n in
+  let j = if j = n then n - 1 else j in
+  t.entries.(j).value
+
+(* Algorithm 7 (GenerateFilters): values u <= v bracketing the element
+   of the requested rank: rank(u, T) <= r <= rank(v, T).
+
+   u is the largest entry with U <= r; if every U exceeds r, any value
+   below the global minimum works, so we use min - 1.  v is the
+   smallest entry with L >= r; since L of the last entry is >= N - eps*N
+   and r <= N, the last entry is a safe fallback. *)
+let filters t ~rank =
+  if Array.length t.entries = 0 then invalid_arg "Union_summary.filters: empty summary";
+  let r = float_of_int rank in
+  let n = Array.length t.entries in
+  (* Both L and U are non-decreasing in the value, so binary search. *)
+  let first_upper_gt =
+    (* smallest i with U_i > r (= n when none) *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.entries.(mid).upper > r then go lo mid else go (mid + 1) hi
+    in
+    go 0 n
+  in
+  let u = if first_upper_gt = 0 then t.entries.(0).value - 1 else t.entries.(first_upper_gt - 1).value in
+  let first_lower_ge =
+    (* smallest i with L_i >= r (= n when none) *)
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.entries.(mid).lower >= r then go lo mid else go (mid + 1) hi
+    in
+    go 0 n
+  in
+  let v = if first_lower_ge = n then t.entries.(n - 1).value else t.entries.(first_lower_ge).value in
+  (u, max u v)

@@ -1,0 +1,31 @@
+(** The merged summary TS of T = H ∪ R with rank bounds L/U
+    (Section 2.3.1, Figure 3, Lemma 2).
+
+    Guarantees (checked by the property suites): for each entry,
+    [lower ≤ rank(value, T) ≤ upper], and consecutive bound windows
+    overlap within ε·N. Historical contributions use the exact indices
+    stored in partition summaries, which only tightens the paper's
+    bounds. *)
+
+type entry = { value : int; lower : float; upper : float }
+type t
+
+val build : partitions:Hsq_hist.Partition.t list -> stream:Stream_summary.t -> t
+val entries : t -> entry array
+val size : t -> int
+
+(** |T| = n + m over the partitions and stream given to [build]. *)
+val n_total : t -> int
+
+val m_stream : t -> int
+val hist_elements : t -> int
+
+(** Algorithm 5 (quick response): value of the smallest entry whose L
+    reaches [rank], else the last entry. Error ≤ 1.5·ε·N (Lemma 3). *)
+val quick_select : t -> rank:int -> int
+
+(** Algorithm 7 (GenerateFilters): values [(u, v)] with
+    rank(u,T) ≤ rank ≤ rank(v,T) and rank(v) − rank(u) < 4εN (Lemma 4).
+    [u] may be [global min − 1] when even the minimum's U exceeds
+    [rank]. *)
+val filters : t -> rank:int -> int * int

@@ -1,0 +1,1 @@
+lib/hist/level_index.ml: Array Format Hsq_storage Hsq_util List Partition Partition_summary String Unix

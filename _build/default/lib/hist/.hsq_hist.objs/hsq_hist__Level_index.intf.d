@@ -1,0 +1,1 @@
+lib/hist/level_index.mli: Hsq_storage Partition

@@ -1,0 +1,1 @@
+lib/hist/partition.ml: Format Hsq_storage Partition_summary

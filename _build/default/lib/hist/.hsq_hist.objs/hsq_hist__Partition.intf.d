@@ -1,0 +1,1 @@
+lib/hist/partition.mli: Format Hsq_storage Partition_summary

@@ -1,0 +1,1 @@
+lib/hist/partition_summary.ml: Array Hsq_storage List

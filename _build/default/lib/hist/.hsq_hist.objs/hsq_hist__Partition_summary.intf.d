@@ -1,0 +1,1 @@
+lib/hist/partition_summary.mli: Hsq_storage

@@ -1,0 +1,346 @@
+(* The on-disk historical structure HD and its in-memory summary HS
+   (Section 2.1, Algorithm 3, Figure 2).
+
+   Partitions live in levels; each level holds at most kappa partitions.
+   A new batch is sorted into a level-0 partition; whenever a level
+   exceeds kappa partitions, all of its partitions are multi-way merged
+   into a single partition one level up, recursively.  Merging is the
+   only time data moves, so each element takes part in at most
+   log_kappa(T) merges (Lemma 6).
+
+   Every partition carries a Partition_summary built through the observe
+   hooks of the sort/merge, costing no additional I/O. *)
+
+type update_report = {
+  sort_seconds : float;
+  load_seconds : float;
+  merge_seconds : float;
+  summary_seconds : float;
+  io_total : Hsq_storage.Io_stats.counters;
+  io_merge : Hsq_storage.Io_stats.counters;
+  merges_performed : int;
+  highest_level_after : int;
+}
+
+type t = {
+  dev : Hsq_storage.Block_device.t;
+  kappa : int;
+  beta1 : int;
+  sort_memory : int option;
+  sort_domains : int option; (* parallel chunked batch sorting (paper future work) *)
+  mutable levels : Partition.t list array; (* levels.(l): oldest-first *)
+  mutable total : int;
+  mutable steps : int;
+  mutable expired_through : int; (* steps [1, expired_through] have been dropped *)
+}
+
+let create ?sort_memory ?sort_domains ~kappa ~beta1 dev =
+  if kappa < 2 then invalid_arg "Level_index.create: kappa must be >= 2";
+  if beta1 < 2 then invalid_arg "Level_index.create: beta1 must be >= 2";
+  (match sort_domains with
+  | Some d when d < 1 -> invalid_arg "Level_index.create: sort_domains must be >= 1"
+  | _ -> ());
+  {
+    dev;
+    kappa;
+    beta1;
+    sort_memory;
+    sort_domains;
+    levels = Array.make 4 [];
+    total = 0;
+    steps = 0;
+    expired_through = 0;
+  }
+
+let device t = t.dev
+let expired_through t = t.expired_through
+let kappa t = t.kappa
+let beta1 t = t.beta1
+let total_elements t = t.total
+let time_steps t = t.steps
+
+let num_levels t =
+  let n = ref 0 in
+  Array.iteri (fun i ps -> if ps <> [] then n := i + 1) t.levels;
+  !n
+
+let level_partitions t l = if l < Array.length t.levels then t.levels.(l) else []
+
+(* All partitions, newest time range first. *)
+let partitions t =
+  let all = Array.to_list t.levels |> List.concat in
+  List.sort (fun a b -> compare (Partition.first_step b) (Partition.first_step a)) all
+
+let partition_count t = Array.fold_left (fun acc ps -> acc + List.length ps) 0 t.levels
+
+let memory_words t =
+  Array.fold_left (fun acc ps -> List.fold_left (fun a p -> a + Partition.memory_words p) acc ps) 16
+    t.levels
+
+let ensure_level t l =
+  if l >= Array.length t.levels then begin
+    let bigger = Array.make (max (l + 1) (2 * Array.length t.levels)) [] in
+    Array.blit t.levels 0 bigger 0 (Array.length t.levels);
+    t.levels <- bigger
+  end
+
+let now () = Unix.gettimeofday ()
+
+(* Merge every partition at level [l] into one partition at [l+1]. *)
+let merge_level t l =
+  let parts = t.levels.(l) in
+  let runs = List.map Partition.run parts in
+  let size = List.fold_left (fun acc r -> acc + Hsq_storage.Run.length r) 0 runs in
+  let builder = Partition_summary.builder ~beta1:t.beta1 ~size in
+  (* The cascade only fires when a level exceeds kappa >= 2 partitions,
+     so there are always at least two runs to merge. *)
+  assert (List.length runs >= 2);
+  let merged =
+    Hsq_storage.Kway_merge.merge
+      ~observe:(fun i v -> Partition_summary.builder_feed builder i v)
+      t.dev runs
+  in
+  let summary = Partition_summary.builder_finish builder in
+  let first_step = List.fold_left (fun acc p -> min acc (Partition.first_step p)) max_int parts in
+  let last_step = List.fold_left (fun acc p -> max acc (Partition.last_step p)) min_int parts in
+  List.iter Partition.free parts;
+  let promoted =
+    Partition.create ~run:merged ~summary ~first_step ~last_step ~level:(l + 1)
+  in
+  t.levels.(l) <- [];
+  ensure_level t (l + 1);
+  t.levels.(l + 1) <- t.levels.(l + 1) @ [ promoted ]
+
+(* HistUpdate (Algorithm 3): sort the batch into a level-0 partition,
+   then cascade merges while any level exceeds kappa partitions. *)
+let add_batch t batch =
+  let eta = Array.length batch in
+  if eta = 0 then invalid_arg "Level_index.add_batch: empty batch";
+  let stats = Hsq_storage.Block_device.stats t.dev in
+  let before_total = Hsq_storage.Io_stats.snapshot stats in
+  let step = t.steps + 1 in
+  let fits_in_memory =
+    match t.sort_memory with None -> true | Some budget -> eta <= budget
+  in
+  let t0 = now () in
+  let sort_seconds, load_seconds, summary_seconds, run, summary =
+    if fits_in_memory then begin
+      let sorted = Array.copy batch in
+      (match t.sort_domains with
+      | Some domains -> Hsq_util.Parallel.sort ~domains sorted
+      | None -> Array.sort compare sorted);
+      let t1 = now () in
+      let summary = Partition_summary.of_sorted_array ~beta1:t.beta1 sorted in
+      let t2 = now () in
+      let run = Hsq_storage.Run.of_sorted_array t.dev sorted in
+      let t3 = now () in
+      (t1 -. t0, t3 -. t2, t2 -. t1, run, summary)
+    end
+    else begin
+      let builder = Partition_summary.builder ~beta1:t.beta1 ~size:eta in
+      let run, _report =
+        Hsq_storage.External_sort.sort ?memory_elements:t.sort_memory
+          ~observe:(fun i v -> Partition_summary.builder_feed builder i v)
+          t.dev batch
+      in
+      let t1 = now () in
+      (t1 -. t0, 0.0, 0.0, run, Partition_summary.builder_finish builder)
+    end
+  in
+  ensure_level t 0;
+  t.levels.(0) <-
+    t.levels.(0) @ [ Partition.create ~run ~summary ~first_step:step ~last_step:step ~level:0 ];
+  t.total <- t.total + eta;
+  t.steps <- step;
+  (* Cascade merges. *)
+  let before_merge = Hsq_storage.Io_stats.snapshot stats in
+  let t_merge0 = now () in
+  let merges = ref 0 in
+  let l = ref 0 in
+  while !l < Array.length t.levels && List.length t.levels.(!l) > t.kappa do
+    merge_level t !l;
+    incr merges;
+    incr l
+  done;
+  let merge_seconds = now () -. t_merge0 in
+  let after = Hsq_storage.Io_stats.snapshot stats in
+  {
+    sort_seconds;
+    load_seconds;
+    merge_seconds;
+    summary_seconds;
+    io_total = Hsq_storage.Io_stats.diff after before_total;
+    io_merge = Hsq_storage.Io_stats.diff after before_merge;
+    merges_performed = !merges;
+    highest_level_after = num_levels t - 1;
+  }
+
+(* Exact rank of [v] across all partitions, by disk binary searches
+   bounded by the summaries.  This is the rho_1 computation of
+   Algorithm 8 lines 2-7. *)
+let rank t v =
+  List.fold_left
+    (fun acc p ->
+      let lo, hi = Partition_summary.rank_bounds (Partition.summary p) v in
+      if lo = hi then acc + lo
+      else acc + Hsq_storage.Run.rank_between (Partition.run p) ~lo ~hi v)
+    0 (partitions t)
+
+(* Window support (Section 2.4 "Queries Over Windows"): a query window
+   of w most-recent time steps is answerable iff some suffix of
+   partitions covers exactly steps [steps-w+1, steps]. *)
+let available_window_sizes t =
+  let newest_first = partitions t in
+  let rec go acc covered expect = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      if Partition.last_step p <> expect then List.rev acc (* gap: should not happen *)
+      else begin
+        let covered = covered + Partition.steps_covered p in
+        go (covered :: acc) covered (Partition.first_step p - 1) rest
+      end
+  in
+  go [] 0 t.steps newest_first
+
+(* Generalised form: the partitions tiling exactly the step range
+   [first, last], if that range is partition-aligned.  Windows are the
+   suffix case [steps - w + 1, steps]. *)
+let partitions_for_range t ~first ~last =
+  if first < 1 || last > t.steps || first > last then None
+  else begin
+    let inside =
+      List.filter
+        (fun p -> Partition.first_step p >= first && Partition.last_step p <= last)
+        (partitions t)
+    in
+    (* newest-first; check exact tiling from [last] down to [first]. *)
+    let rec tile expect = function
+      | [] -> expect = first - 1
+      | p :: rest -> Partition.last_step p = expect && tile (Partition.first_step p - 1) rest
+    in
+    if tile last inside then Some inside else None
+  end
+
+(* Step ranges are aligned iff both endpoints sit on partition
+   boundaries; expose the boundary steps so callers can snap. *)
+let partition_boundaries t =
+  List.rev_map (fun p -> (Partition.first_step p, Partition.last_step p)) (partitions t)
+
+let partitions_for_window t w =
+  let newest_first = partitions t in
+  let rec go acc covered = function
+    | _ when covered = w -> Some (List.rev acc)
+    | [] -> None
+    | p :: rest ->
+      let covered = covered + Partition.steps_covered p in
+      if covered > w then None else go (p :: acc) covered rest
+  in
+  if w <= 0 || w > t.steps then None else go [] 0 newest_first
+
+(* Structural invariants, used by the test suites. *)
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  Array.iteri
+    (fun l ps ->
+      if List.length ps > t.kappa then err "level %d has %d > kappa partitions" l (List.length ps);
+      List.iter
+        (fun p -> if Partition.level p <> l then err "partition at level %d tagged %d" l (Partition.level p))
+        ps)
+    t.levels;
+  (* Time-step coverage must tile [1, steps] exactly. *)
+  let newest_first = partitions t in
+  let expect = ref t.steps in
+  List.iter
+    (fun p ->
+      if Partition.last_step p <> !expect then
+        err "coverage gap: expected last step %d, found %d" !expect (Partition.last_step p);
+      expect := Partition.first_step p - 1)
+    newest_first;
+  if t.steps > 0 && !expect <> t.expired_through then
+    err "coverage stops at step %d but retention dropped through %d" !expect t.expired_through;
+  let sum = List.fold_left (fun acc p -> acc + Partition.size p) 0 newest_first in
+  if sum <> t.total then err "element count %d <> recorded total %d" sum t.total;
+  List.rev !errors
+
+
+(* Retention (data-stream warehouses keep bounded history): drop every
+   partition whose data is entirely older than the last [keep_steps]
+   time steps.  Partitions are dropped whole — one straddling the
+   cutoff is kept in full — so coverage stays contiguous and windowed
+   queries keep working unchanged.  Returns (partitions, elements)
+   dropped. *)
+let expire t ~keep_steps =
+  if keep_steps < 1 then invalid_arg "Level_index.expire: keep_steps must be >= 1";
+  let cutoff = t.steps - keep_steps in
+  let dropped_parts = ref 0 and dropped_elems = ref 0 in
+  Array.iteri
+    (fun l ps ->
+      let keep, drop = List.partition (fun p -> Partition.last_step p > cutoff) ps in
+      List.iter
+        (fun p ->
+          dropped_parts := !dropped_parts + 1;
+          dropped_elems := !dropped_elems + Partition.size p;
+          t.expired_through <- max t.expired_through (Partition.last_step p);
+          Partition.free p)
+        drop;
+      t.levels.(l) <- keep)
+    t.levels;
+  t.total <- t.total - !dropped_elems;
+  (!dropped_parts, !dropped_elems)
+
+(* --- Persistence support (used by Hsq.Persist) ------------------------ *)
+
+type partition_descriptor = {
+  first_block : int;
+  length : int;
+  first_step : int;
+  last_step : int;
+  level : int;
+}
+
+let describe t =
+  List.map
+    (fun p ->
+      {
+        first_block = Hsq_storage.Run.first_block (Partition.run p);
+        length = Partition.size p;
+        first_step = Partition.first_step p;
+        last_step = Partition.last_step p;
+        level = Partition.level p;
+      })
+    (partitions t)
+
+(* Rebuild an index over partitions already on the device.  Summaries
+   are re-read from disk (<= beta1 block reads per partition).  The
+   descriptors must tile [1, steps] — check_invariants is run and any
+   violation raises. *)
+let restore ?sort_memory ~kappa ~beta1 dev descriptors =
+  let t = create ?sort_memory ~kappa ~beta1 dev in
+  List.iter
+    (fun d ->
+      let run = Hsq_storage.Run.of_existing dev ~addr:d.first_block ~length:d.length in
+      let summary = Partition_summary.of_run ~beta1 run in
+      let p =
+        Partition.create ~run ~summary ~first_step:d.first_step ~last_step:d.last_step
+          ~level:d.level
+      in
+      ensure_level t d.level;
+      t.levels.(d.level) <- t.levels.(d.level) @ [ p ];
+      t.total <- t.total + d.length;
+      t.steps <- max t.steps d.last_step)
+    descriptors;
+  (* Anything before the oldest restored partition counts as expired. *)
+  let oldest =
+    List.fold_left (fun acc d -> min acc d.first_step) max_int descriptors
+  in
+  t.expired_through <- (if descriptors = [] then 0 else oldest - 1);
+  (* Keep each level ordered oldest-first. *)
+  Array.iteri
+    (fun l ps ->
+      t.levels.(l) <-
+        List.sort (fun a b -> compare (Partition.first_step a) (Partition.first_step b)) ps)
+    t.levels;
+  match check_invariants t with
+  | [] -> t
+  | errs -> invalid_arg ("Level_index.restore: " ^ String.concat "; " errs)

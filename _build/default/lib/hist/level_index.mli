@@ -1,0 +1,126 @@
+(** The historical store HD with in-memory summaries HS
+    (Section 2.1, Algorithm 3, Figure 2).
+
+    Sorted partitions are organised into levels; a level never holds
+    more than κ partitions — exceeding that, all of its partitions are
+    multi-way merged into one partition a level up, recursively. Each
+    partition carries a {!Partition_summary.t} built during the same
+    pass that writes it (no extra I/O). *)
+
+(** Cost breakdown of one [add_batch], matching the four components the
+    paper plots in Figure 6 (load, sort, merge, summary), plus exact
+    I/O counters overall and for the merge cascade alone (Figures 7–8). *)
+type update_report = {
+  sort_seconds : float;
+  load_seconds : float;
+  merge_seconds : float;
+  summary_seconds : float;
+  io_total : Hsq_storage.Io_stats.counters;
+  io_merge : Hsq_storage.Io_stats.counters;
+  merges_performed : int;
+  highest_level_after : int;
+}
+
+type t
+
+(** [create ?sort_memory ?sort_domains ~kappa ~beta1 dev].
+    [sort_memory] is the element budget for batch sorting — batches
+    above it use external sort with on-device temporary runs.
+    [sort_domains] enables parallel chunked in-memory batch sorting on
+    that many OCaml domains (the paper's future-work parallel sort);
+    results are identical to the sequential path. Raises
+    [Invalid_argument] if [kappa < 2], [beta1 < 2], or
+    [sort_domains < 1]. *)
+val create :
+  ?sort_memory:int ->
+  ?sort_domains:int ->
+  kappa:int ->
+  beta1:int ->
+  Hsq_storage.Block_device.t ->
+  t
+
+val device : t -> Hsq_storage.Block_device.t
+val kappa : t -> int
+val beta1 : t -> int
+val total_elements : t -> int
+
+(** Time steps ingested so far (T in the paper). *)
+val time_steps : t -> int
+
+(** Number of non-empty levels (≤ ⌈log_κ T⌉ + 1). *)
+val num_levels : t -> int
+
+val level_partitions : t -> int -> Partition.t list
+
+(** All partitions, newest time range first. *)
+val partitions : t -> Partition.t list
+
+val partition_count : t -> int
+
+(** Total HS footprint in words. *)
+val memory_words : t -> int
+
+(** HistUpdate (Algorithm 3): ingest one time step's batch (unsorted).
+    Raises [Invalid_argument] on an empty batch. *)
+val add_batch : t -> int array -> update_report
+
+(** Exact rank of [v] in H via one summary-bounded binary search per
+    partition (the ρ₁ computation of Algorithm 8). *)
+val rank : t -> int -> int
+
+(** Window sizes (in time steps, ending now) answerable exactly —
+    i.e. aligned with partition boundaries (Section 2.4). Ascending. *)
+val available_window_sizes : t -> int list
+
+(** Partitions covering exactly the last [w] steps, newest first, or
+    [None] if the window is not partition-aligned. *)
+val partitions_for_window : t -> int -> Partition.t list option
+
+(** Partitions tiling exactly the archived step range [first, last]
+    (1-based, inclusive), newest first, or [None] if not aligned.
+    Windows are the suffix case. *)
+val partitions_for_range : t -> first:int -> last:int -> Partition.t list option
+
+(** The (first_step, last_step) extent of every live partition, oldest
+    first — the alignment boundaries for range queries. *)
+val partition_boundaries : t -> (int * int) list
+
+(** Retention: drop every partition entirely older than the last
+    [keep_steps] steps (whole partitions only, so one straddling the
+    cutoff is kept). Returns (partitions, elements) dropped. Raises
+    [Invalid_argument] if [keep_steps < 1]. *)
+val expire : t -> keep_steps:int -> int * int
+
+(** Last time step dropped by retention (0 = nothing expired). *)
+val expired_through : t -> int
+
+(** Structural invariant violations (empty = healthy); used by tests. *)
+val check_invariants : t -> string list
+
+(** {2 Persistence support}
+
+    Enough metadata to re-attach to partitions already on a device
+    (used by [Hsq.Persist]). *)
+
+type partition_descriptor = {
+  first_block : int;
+  length : int;
+  first_step : int;
+  last_step : int;
+  level : int;
+}
+
+(** Descriptors for every live partition, newest first. *)
+val describe : t -> partition_descriptor list
+
+(** Rebuild an index over partitions already present on [dev],
+    re-reading each summary from disk (≤ β₁ block reads per
+    partition). Raises [Invalid_argument] if the descriptors violate
+    the structural invariants. *)
+val restore :
+  ?sort_memory:int ->
+  kappa:int ->
+  beta1:int ->
+  Hsq_storage.Block_device.t ->
+  partition_descriptor list ->
+  t

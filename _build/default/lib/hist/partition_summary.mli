@@ -1,0 +1,52 @@
+(** In-memory summary of one sorted partition (Algorithm 2).
+
+    β₁ elements evenly spaced by rank: slot 0 is the minimum, slot i the
+    element at rank ⌈i·η/(β₁−1)⌉ of an η-element partition. Each entry
+    stores its exact 0-based index in the partition, which yields exact
+    rank bounds (tightening Lemma 2) and the binary-search windows of
+    Algorithm 8. Built through the observe hooks of
+    {!Hsq_storage.External_sort} / {!Hsq_storage.Kway_merge}, i.e. at
+    zero additional disk I/O. *)
+
+type entry = { value : int; index : int }
+type t
+
+(** Incremental builder fed every partition element in order. *)
+type builder
+
+(** Raises [Invalid_argument] if [beta1 < 2] or [size < 1]. *)
+val builder : beta1:int -> size:int -> builder
+
+val builder_feed : builder -> int -> int -> unit
+
+(** Raises [Invalid_argument] if the builder did not see all declared
+    elements. *)
+val builder_finish : builder -> t
+
+(** Capture target for slot [i] (exposed for tests). *)
+val target_index : beta1:int -> size:int -> int -> int
+
+val of_sorted_array : beta1:int -> int array -> t
+
+(** Rebuild from an on-disk run by probing the β₁ target positions
+    (recovery path; ≤ β₁ block reads). *)
+val of_run : beta1:int -> Hsq_storage.Run.t -> t
+val entries : t -> entry array
+val partition_size : t -> int
+
+(** Number of entries (≤ β₁; small partitions deduplicate slots). *)
+val length : t -> int
+
+(** 3 words per entry (value, rank, disk pointer) plus a small header. *)
+val memory_words : t -> int
+
+(** α_P of Lemma 2: summary entries with value ≤ v. *)
+val count_le : t -> int -> int
+
+(** Exact bounds (lower, upper) on rank(v, P) from stored indices. *)
+val rank_bounds : t -> int -> int * int
+
+(** [search_window t ~u ~v] is the index window [lo, hi) within which
+    Algorithm 8 must binary-search for any value in the open interval
+    (u, v). *)
+val search_window : t -> u:int -> v:int -> int * int

@@ -1,0 +1,1 @@
+lib/sketch/ckms.ml: Array Float List Quantile_sketch

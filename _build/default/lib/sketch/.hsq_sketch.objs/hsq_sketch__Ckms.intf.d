@@ -1,0 +1,1 @@
+lib/sketch/ckms.mli: Quantile_sketch

@@ -1,0 +1,1 @@
+lib/sketch/exact.ml: Array Quantile_sketch

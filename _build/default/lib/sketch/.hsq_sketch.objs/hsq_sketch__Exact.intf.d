@@ -1,0 +1,1 @@
+lib/sketch/exact.mli: Quantile_sketch

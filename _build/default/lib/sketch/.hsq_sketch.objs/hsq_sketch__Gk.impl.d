@@ -1,0 +1,1 @@
+lib/sketch/gk.ml: Array Float List Printf Quantile_sketch

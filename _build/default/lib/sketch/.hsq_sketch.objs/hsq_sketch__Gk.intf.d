@@ -1,0 +1,1 @@
+lib/sketch/gk.mli: Quantile_sketch

@@ -1,0 +1,1 @@
+lib/sketch/qdigest.ml: Array Hashtbl List Quantile_sketch

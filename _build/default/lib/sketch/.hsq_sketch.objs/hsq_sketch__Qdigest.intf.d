@@ -1,0 +1,1 @@
+lib/sketch/qdigest.mli: Quantile_sketch

@@ -1,0 +1,1 @@
+lib/sketch/quantile_sketch.ml:

@@ -1,0 +1,1 @@
+lib/sketch/sampler.ml: Array Hsq_util List Quantile_sketch

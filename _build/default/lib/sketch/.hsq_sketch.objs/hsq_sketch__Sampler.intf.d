@@ -1,0 +1,1 @@
+lib/sketch/sampler.mli: Quantile_sketch

@@ -1,0 +1,1 @@
+lib/sketch/spacesaving.ml: Hashtbl List

@@ -1,0 +1,179 @@
+(* CKMS biased quantiles [Cormode, Korn, Muthukrishnan, Srivastava,
+   ICDE'05]: a GK-style summary whose error budget varies with rank, so
+   tail quantiles (the p99/p999 latencies of the paper's introductory
+   use case) get proportionally finer error than the middle of the
+   distribution — at a fraction of the memory a uniform sketch would
+   need for the same tail accuracy.
+
+   The summary keeps value-sorted tuples (v, g, delta) like GK, but the
+   invariant threshold is a function of the tuple's rank:
+
+     g_i + delta_i <= f(rmin_i, n)
+
+   with  f(r, n) = max(2*eps*r, 1)         for Low_biased  (fine small phi)
+         f(r, n) = max(2*eps*(n-r), 1)     for High_biased (fine large phi)
+         f(r, n) = 2*eps*n                 for Uniform     (plain GK)
+
+   A query for rank r is answered within f(r, n)/2 + 1. *)
+
+type bias = Low_biased | High_biased | Uniform
+
+type tuple = { value : int; g : int; delta : int }
+
+type t = {
+  epsilon : float;
+  bias : bias;
+  mutable tuples : tuple array;
+  mutable size : int;
+  mutable n : int;
+  mutable since_compress : int;
+}
+
+let dummy = { value = 0; g = 0; delta = 0 }
+
+let create ?(bias = High_biased) ~epsilon () =
+  if not (epsilon > 0.0 && epsilon < 1.0) then invalid_arg "Ckms.create: epsilon not in (0,1)";
+  { epsilon; bias; tuples = Array.make 16 dummy; size = 0; n = 0; since_compress = 0 }
+
+let count t = t.n
+let size t = t.size
+let epsilon t = t.epsilon
+let bias t = t.bias
+let memory_words t = 8 + (3 * t.size)
+
+let invariant_threshold t r =
+  let fr = float_of_int r and fn = float_of_int t.n in
+  match t.bias with
+  | Low_biased -> Float.max (2.0 *. t.epsilon *. fr) 1.0
+  | High_biased -> Float.max (2.0 *. t.epsilon *. (fn -. fr)) 1.0
+  | Uniform -> 2.0 *. t.epsilon *. fn
+
+(* f is monotone in r for every bias, so its minimum over a rank span
+   is attained at an endpoint; evaluating conservatively over the whole
+   span keeps the invariant valid wherever the true rank falls. *)
+let span_threshold t ~lo ~hi =
+  Float.min (invariant_threshold t lo) (invariant_threshold t hi)
+
+(* Allowed rank error when answering a query at rank r. *)
+let error_allowance t r = (invariant_threshold t r /. 2.0) +. 1.0
+
+let upper_bound t v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.tuples.(mid).value <= v then go (mid + 1) hi else go lo mid
+  in
+  go 0 t.size
+
+let insert_at t i tu =
+  if t.size = Array.length t.tuples then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.tuples 0 bigger 0 t.size;
+    t.tuples <- bigger
+  end;
+  Array.blit t.tuples i t.tuples (i + 1) (t.size - i);
+  t.tuples.(i) <- tu;
+  t.size <- t.size + 1
+
+(* Merge right-to-left where the rank-dependent invariant allows; rmin
+   values are computed once up front and stay valid (merging i into its
+   successor leaves every surviving tuple's rmin unchanged). *)
+let compress t =
+  if t.size > 2 then begin
+    let rmin = Array.make t.size 0 in
+    let acc = ref 0 in
+    for i = 0 to t.size - 1 do
+      acc := !acc + t.tuples.(i).g;
+      rmin.(i) <- !acc
+    done;
+    let merged = ref [ (t.tuples.(t.size - 1), rmin.(t.size - 1)) ] in
+    for i = t.size - 2 downto 1 do
+      match !merged with
+      | (succ, succ_rmin) :: rest
+        when float_of_int (t.tuples.(i).g + succ.g + succ.delta)
+             <= span_threshold t ~lo:rmin.(i) ~hi:(succ_rmin + succ.delta) ->
+        merged := ({ succ with g = succ.g + t.tuples.(i).g }, succ_rmin) :: rest
+      | acc -> merged := (t.tuples.(i), rmin.(i)) :: acc
+    done;
+    merged := (t.tuples.(0), rmin.(0)) :: !merged;
+    let new_size = List.length !merged in
+    List.iteri (fun i (tu, _) -> t.tuples.(i) <- tu) !merged;
+    t.size <- new_size;
+    t.since_compress <- 0
+  end
+
+let insert t v =
+  let i = upper_bound t v in
+  let delta =
+    if i = 0 || i = t.size then 0
+    else begin
+      (* The new tuple's true rank lies between its predecessor's rmin
+         and its successor's rmax; take f conservatively over that
+         span. *)
+      let rmin_before = ref 0 in
+      for j = 0 to i - 1 do
+        rmin_before := !rmin_before + t.tuples.(j).g
+      done;
+      let succ_rmax = !rmin_before + t.tuples.(i).g + t.tuples.(i).delta in
+      max 0 (int_of_float (floor (span_threshold t ~lo:(!rmin_before + 1) ~hi:succ_rmax)) - 1)
+    end
+  in
+  insert_at t i { value = v; g = 1; delta };
+  t.n <- t.n + 1;
+  t.since_compress <- t.since_compress + 1;
+  let period = max 1 (int_of_float (1.0 /. (2.0 *. t.epsilon))) in
+  if t.since_compress >= period then compress t
+
+(* First tuple whose rmax exceeds r + allowance; its predecessor answers
+   the query within the allowance. *)
+let query_rank t r =
+  if t.n = 0 then invalid_arg "Ckms.query_rank: empty sketch";
+  let r = if r < 1 then 1 else if r > t.n then t.n else r in
+  let allowance = error_allowance t r in
+  let limit = float_of_int r +. allowance in
+  let rec go i rmin prev =
+    if i >= t.size then t.tuples.(t.size - 1).value
+    else begin
+      let rmin = rmin + t.tuples.(i).g in
+      if float_of_int (rmin + t.tuples.(i).delta) > limit then prev
+      else go (i + 1) rmin t.tuples.(i).value
+    end
+  in
+  go 0 0 t.tuples.(0).value
+
+let quantile t phi =
+  if not (phi > 0.0 && phi <= 1.0) then invalid_arg "Ckms.quantile: phi not in (0,1]";
+  if t.n = 0 then invalid_arg "Ckms.quantile: empty sketch";
+  query_rank t (int_of_float (ceil (phi *. float_of_int t.n)))
+
+let error_bound t = t.epsilon
+
+let dump t =
+  let rmin = ref 0 in
+  List.init t.size (fun i ->
+      rmin := !rmin + t.tuples.(i).g;
+      (t.tuples.(i).value, !rmin, !rmin + t.tuples.(i).delta))
+
+let sketch : (module Quantile_sketch.S with type t = t) =
+  (module struct
+    type nonrec t = t
+
+    let insert = insert
+    let count = count
+    let memory_words = memory_words
+    let query_rank = query_rank
+    let rank_of t v =
+      (* midpoint of the bracketing tuple's interval, as in Gk *)
+      let i = upper_bound t v in
+      if i = 0 then 0
+      else begin
+        let rmin = ref 0 in
+        for j = 0 to i - 1 do
+          rmin := !rmin + t.tuples.(j).g
+        done;
+        !rmin + (t.tuples.(i - 1).delta / 2)
+      end
+
+    let error_bound = error_bound
+  end)

@@ -1,0 +1,36 @@
+(** CKMS biased quantiles (Cormode, Korn, Muthukrishnan, Srivastava,
+    ICDE 2005): a GK-style summary with a rank-dependent error budget,
+    so tail quantiles (p99/p999 — the paper's latency-monitoring
+    motivation) get proportionally finer error than the middle, at a
+    fraction of the memory a uniform sketch would need.
+
+    With [High_biased], a query at rank r is answered within
+    ε·(n − r) + O(1); with [Low_biased], within ε·r + O(1); [Uniform]
+    degenerates to plain GK. *)
+
+type bias = Low_biased | High_biased | Uniform
+type t
+
+val create : ?bias:bias -> epsilon:float -> unit -> t
+val insert : t -> int -> unit
+val count : t -> int
+val size : t -> int
+val epsilon : t -> float
+val bias : t -> bias
+val memory_words : t -> int
+
+(** Allowed rank error at rank [r] (f(r, n)/2 + 1). *)
+val error_allowance : t -> int -> float
+
+(** Value whose rank is within [error_allowance t r] of [r]. *)
+val query_rank : t -> int -> int
+
+(** φ-quantile of Definition 1. *)
+val quantile : t -> float -> int
+
+val error_bound : t -> float
+
+(** Tuples as [(value, rmin, rmax)], for tests. *)
+val dump : t -> (int * int * int) list
+
+val sketch : (module Quantile_sketch.S with type t = t)

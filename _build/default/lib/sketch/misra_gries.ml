@@ -1,0 +1,47 @@
+(* Misra-Gries frequent-items summary [Misra & Gries 1982] — the
+   deterministic counter-based alternative to SpaceSaving, kept for
+   comparison and cross-checking in tests.
+
+   k counters; guarantees over n items:
+     true_count(v) - n/(k+1) <= estimate(v) <= true_count(v)
+   (estimates never OVERcount — the mirror image of SpaceSaving). *)
+
+type t = {
+  capacity : int;
+  table : (int, int ref) Hashtbl.t;
+  mutable n : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Misra_gries.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); n = 0 }
+
+let count t = t.n
+let size t = Hashtbl.length t.table
+let memory_words t = 6 + (3 * Hashtbl.length t.table)
+
+let insert t v =
+  t.n <- t.n + 1;
+  match Hashtbl.find_opt t.table v with
+  | Some c -> incr c
+  | None ->
+    if Hashtbl.length t.table < t.capacity then Hashtbl.replace t.table v (ref 1)
+    else begin
+      (* Decrement-all: drop every counter by one, evicting zeros. *)
+      let dead = ref [] in
+      Hashtbl.iter
+        (fun item c ->
+          decr c;
+          if !c = 0 then dead := item :: !dead)
+        t.table;
+      List.iter (Hashtbl.remove t.table) !dead
+    end
+
+let estimate t v = match Hashtbl.find_opt t.table v with Some c -> !c | None -> 0
+
+let entries t =
+  Hashtbl.fold (fun item c acc -> (item, !c) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* Maximum undercount: n / (k+1). *)
+let error_bound t = t.n / (t.capacity + 1)

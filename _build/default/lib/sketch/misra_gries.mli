@@ -1,0 +1,22 @@
+(** Misra–Gries frequent-items summary (1982).
+
+    With [capacity] k over n items, estimates never overcount and
+    undercount by at most n/(k+1) — the deterministic mirror image of
+    {!Spacesaving}, used for cross-checks. *)
+
+type t
+
+val create : capacity:int -> t
+val insert : t -> int -> unit
+val count : t -> int
+val size : t -> int
+val memory_words : t -> int
+
+(** Never above the true count; below it by at most n/(k+1). *)
+val estimate : t -> int -> int
+
+(** Tracked [(item, estimate)] pairs, estimate descending. *)
+val entries : t -> (int * int) list
+
+(** Maximum undercount n/(k+1). *)
+val error_bound : t -> int

@@ -1,0 +1,145 @@
+(* Q-Digest [Shrivastava et al., SenSys'04], the second pure-streaming
+   baseline in the paper's experiments.
+
+   The digest is a sparse complete binary tree over a fixed universe
+   [0, 2^bits).  Node ids follow the heap convention: root = 1, children
+   of x are 2x and 2x+1, the leaf for value v is 2^bits + v.  The digest
+   property with compression factor k: every non-root node x satisfies
+   count(x) + count(sibling x) + count(parent x) >= floor(n/k); nodes
+   violating it are merged upward.  Rank error is at most
+   log2(U) * n / k, i.e. epsilon = bits / k. *)
+
+type t = {
+  bits : int;
+  k : int;
+  counts : (int, int) Hashtbl.t;
+  mutable n : int;
+  mutable since_compress : int;
+}
+
+let max_bits = 61
+
+let create ~bits ~k =
+  if bits < 1 || bits > max_bits then invalid_arg "Qdigest.create: bits out of range";
+  if k < 1 then invalid_arg "Qdigest.create: k must be positive";
+  { bits; k; counts = Hashtbl.create 64; n = 0; since_compress = 0 }
+
+let header_words = 8
+let words_per_node = 2
+
+(* The digest never holds more than ~3k nodes after compression, so a
+   word budget of w supports k = (w - header) / (3 * words_per_node). *)
+let create_capped ~bits ~words =
+  let k = (words - header_words) / (3 * words_per_node) in
+  if k < 1 then invalid_arg "Qdigest.create_capped: budget too small";
+  create ~bits ~k
+
+let count t = t.n
+let size t = Hashtbl.length t.counts
+let memory_words t = header_words + (words_per_node * size t)
+let error_bound t = float_of_int t.bits /. float_of_int t.k
+let universe_bits t = t.bits
+
+let node_count t x = match Hashtbl.find_opt t.counts x with Some c -> c | None -> 0
+
+let set_count t x c = if c = 0 then Hashtbl.remove t.counts x else Hashtbl.replace t.counts x c
+
+let leaf t v = (1 lsl t.bits) + v
+
+(* Depth of node id x: root (id 1) has depth 0, leaves have depth bits. *)
+let depth x =
+  let rec go x acc = if x <= 1 then acc else go (x lsr 1) (acc + 1) in
+  go x 0
+
+(* Value range [lo, hi] covered by node x. *)
+let node_range t x =
+  let d = depth x in
+  let width = 1 lsl (t.bits - d) in
+  let lo = (x - (1 lsl d)) * width in
+  (lo, lo + width - 1)
+
+let threshold t = t.n / t.k
+
+(* Bottom-up pass: merge sibling pairs (and their parent slot) that
+   violate the digest property. *)
+let compress t =
+  let thr = threshold t in
+  if thr > 0 then begin
+    let by_depth = Array.make (t.bits + 1) [] in
+    Hashtbl.iter (fun x _ -> by_depth.(depth x) <- x :: by_depth.(depth x)) t.counts;
+    for d = t.bits downto 1 do
+      let nodes = by_depth.(d) in
+      List.iter
+        (fun x ->
+          let cx = node_count t x in
+          if cx > 0 then begin
+            let sibling = x lxor 1 in
+            let parent = x lsr 1 in
+            let cs = node_count t sibling in
+            let cp = node_count t parent in
+            if cx + cs + cp < thr then begin
+              set_count t x 0;
+              set_count t sibling 0;
+              if cp = 0 && d > 1 then by_depth.(d - 1) <- parent :: by_depth.(d - 1);
+              set_count t parent (cp + cx + cs)
+            end
+          end)
+        nodes
+    done
+  end;
+  t.since_compress <- 0
+
+let insert t v =
+  if v < 0 || v >= 1 lsl t.bits then invalid_arg "Qdigest.insert: value outside universe";
+  let l = leaf t v in
+  set_count t l (node_count t l + 1);
+  t.n <- t.n + 1;
+  t.since_compress <- t.since_compress + 1;
+  (* Amortised schedule: compressing every ~n/(2k) inserts (but never
+     more often than every 64) keeps the footprint within a constant
+     factor of 3k nodes without quadratic early-stream behaviour; the
+     size trigger is the hard backstop. *)
+  if size t > 6 * t.k || t.since_compress >= max 64 (threshold t / 2) then compress t
+
+(* Nodes in "postorder" value order: increasing right endpoint, deeper
+   (narrower) nodes first on ties.  Accumulating counts in this order
+   underestimates no rank by more than bits * n / k. *)
+let ordered_nodes t =
+  let nodes =
+    Hashtbl.fold
+      (fun x c acc ->
+        let lo, hi = node_range t x in
+        (hi, hi - lo, x, c) :: acc)
+      t.counts []
+  in
+  List.sort compare nodes
+
+let query_rank t r =
+  if t.n = 0 then invalid_arg "Qdigest.query_rank: empty sketch";
+  let r = if r < 1 then 1 else if r > t.n then t.n else r in
+  let rec scan acc last = function
+    | [] -> last
+    | (hi, _, _, c) :: rest ->
+      let acc = acc + c in
+      if acc >= r then hi else scan acc hi rest
+  in
+  scan 0 0 (ordered_nodes t)
+
+let rank_of t v =
+  let rec scan acc = function
+    | [] -> acc
+    | (hi, _, _, c) :: rest -> if hi <= v then scan (acc + c) rest else acc
+  in
+  scan 0 (ordered_nodes t)
+
+let sketch : (module Quantile_sketch.S with type t = t) =
+  (module struct
+    type nonrec t = t
+
+    let insert = insert
+    let count = count
+    let memory_words = memory_words
+    let query_rank = query_rank
+    let rank_of = rank_of
+    let error_bound = error_bound
+  end)

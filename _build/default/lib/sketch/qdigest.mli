@@ -1,0 +1,35 @@
+(** Q-Digest quantile sketch (Shrivastava et al., SenSys 2004) — the
+    second pure-streaming baseline of the paper's experiments.
+
+    Operates over a fixed universe [\[0, 2^bits)]; with compression
+    factor [k], rank error is at most [bits/k · n] and the digest holds
+    O(k) nodes. *)
+
+type t
+
+(** Raises [Invalid_argument] for [bits ∉ \[1, 61\]] or [k < 1]. *)
+val create : bits:int -> k:int -> t
+
+(** Pick [k] to fit a word budget (digest ≤ 3k nodes, 2 words each). *)
+val create_capped : bits:int -> words:int -> t
+
+(** Raises [Invalid_argument] if the value is outside the universe. *)
+val insert : t -> int -> unit
+
+val count : t -> int
+
+(** Live tree nodes. *)
+val size : t -> int
+
+val memory_words : t -> int
+
+(** ε = bits / k. *)
+val error_bound : t -> float
+
+val universe_bits : t -> int
+
+(** Value whose rank approximates [r] within [bits/k · n]. *)
+val query_rank : t -> int -> int
+
+val rank_of : t -> int -> int
+val sketch : (module Quantile_sketch.S with type t = t)

@@ -1,0 +1,49 @@
+(* Common interface for streaming quantile summaries.
+
+   All sketches in this library summarise a stream of [int]s and answer
+   rank queries under the paper's rank convention
+   (rank(e, D) = |{x : x <= e}|).  Construction is sketch-specific and
+   lives in each module; [packed] lets callers (the pure-streaming
+   baselines of Section 2) treat any sketch uniformly. *)
+
+module type S = sig
+  type t
+
+  (** Process one stream element. *)
+  val insert : t -> int -> unit
+
+  (** Number of elements inserted so far. *)
+  val count : t -> int
+
+  (** Current summary footprint in machine words (the unit used for all
+      memory budgets in the benches). *)
+  val memory_words : t -> int
+
+  (** [query_rank t r] returns an element whose rank approximates [r]
+      (1-based, clamped to [1, count]). Raises [Invalid_argument] on an
+      empty sketch. *)
+  val query_rank : t -> int -> int
+
+  (** [rank_of t v] estimates rank(v, stream). *)
+  val rank_of : t -> int -> int
+
+  (** Worst-case rank-error guarantee, as a fraction of [count], that
+      the sketch currently provides. *)
+  val error_bound : t -> float
+end
+
+type packed = Packed : (module S with type t = 'a) * 'a -> packed
+
+let insert (Packed ((module M), t)) v = M.insert t v
+let count (Packed ((module M), t)) = M.count t
+let memory_words (Packed ((module M), t)) = M.memory_words t
+let query_rank (Packed ((module M), t)) r = M.query_rank t r
+let rank_of (Packed ((module M), t)) v = M.rank_of t v
+let error_bound (Packed ((module M), t)) = M.error_bound t
+
+(* The phi-quantile of Definition 1, via a rank query at ceil(phi * n). *)
+let quantile packed phi =
+  if not (phi > 0.0 && phi <= 1.0) then invalid_arg "Quantile_sketch.quantile: phi not in (0,1]";
+  let n = count packed in
+  if n = 0 then invalid_arg "Quantile_sketch.quantile: empty sketch";
+  query_rank packed (int_of_float (ceil (phi *. float_of_int n)))

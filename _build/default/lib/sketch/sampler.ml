@@ -1,0 +1,199 @@
+(* RANDOM / MRL-style randomized sampling sketch.
+
+   Wang et al. [SIGMOD'13] found MRL99 and its simplification RANDOM to
+   be the strongest randomized competitors to Greenwald-Khanna; the paper
+   cites them as the state of the art in pure streaming (Section 1.3).
+
+   The structure keeps [buffers] buffers of [buffer_size] samples, each
+   carrying an integer weight w (one sample represents w stream
+   elements).  New elements fill a buffer at the current sampling weight
+   (one uniformly chosen survivor per block of w arrivals).  When every
+   slot is full, all buffers of minimal weight (at least the two lightest
+   if the minimum is unique) are collapsed: their samples are merged in
+   weighted sorted order and [buffer_size] evenly spaced weighted ranks
+   (with one shared random offset) are kept, producing a buffer whose
+   weight is the sum of the inputs.  This is the classic MRL COLLAPSE
+   generalised to integer weights. *)
+
+type buffer = { weight : int; data : int array (* sorted *) }
+
+type t = {
+  capacity : int; (* max full buffers *)
+  buffer_size : int;
+  rng : Hsq_util.Splitmix.t;
+  mutable full : buffer list;
+  (* fill state *)
+  mutable fill_weight : int;
+  mutable fill : int array;
+  mutable fill_len : int;
+  mutable block_seen : int; (* arrivals within the current sampling block *)
+  mutable block_pick : int; (* current survivor of the block *)
+  mutable n : int;
+}
+
+let create ?(seed = 0x5EED) ~buffers ~buffer_size () =
+  if buffers < 2 then invalid_arg "Sampler.create: need at least 2 buffers";
+  if buffer_size < 2 then invalid_arg "Sampler.create: buffer_size must be >= 2";
+  {
+    capacity = buffers;
+    buffer_size;
+    rng = Hsq_util.Splitmix.create seed;
+    full = [];
+    fill_weight = 1;
+    fill = Array.make buffer_size 0;
+    fill_len = 0;
+    block_seen = 0;
+    block_pick = 0;
+    n = 0;
+  }
+
+let header_words = 10
+let words_per_sample = 1
+
+let create_capped ?seed ~words () =
+  let buffers = 10 in
+  let buffer_size = (words - header_words) / (words_per_sample * buffers) in
+  if buffer_size < 2 then invalid_arg "Sampler.create_capped: budget too small";
+  create ?seed ~buffers ~buffer_size ()
+
+let count t = t.n
+
+let memory_words t =
+  header_words
+  + (words_per_sample * t.buffer_size * (1 + List.length t.full))
+
+(* Heuristic guarantee: a collapse tree over c buffers of size s gives
+   expected rank error O((number of collapses) * max-weight / 2) ~ n/s.
+   Reported as 1/s; the property tests check against a looser multiple. *)
+let error_bound t = 1.0 /. float_of_int t.buffer_size
+
+let total_weighted t =
+  List.fold_left (fun acc b -> acc + (b.weight * Array.length b.data)) 0 t.full
+  + (t.fill_weight * t.fill_len)
+
+let min_weight t =
+  List.fold_left (fun acc b -> min acc b.weight) max_int t.full
+
+(* Merge the given buffers and keep [buffer_size] samples at evenly
+   spaced weighted positions with a shared random offset. *)
+let collapse t bufs =
+  let weight = List.fold_left (fun acc b -> acc + b.weight) 0 bufs in
+  let tagged =
+    List.concat_map (fun b -> Array.to_list (Array.map (fun v -> (v, b.weight)) b.data)) bufs
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) tagged in
+  let out = Array.make t.buffer_size 0 in
+  let offset = Hsq_util.Splitmix.int t.rng weight in
+  (* Positions offset, offset+weight, ... in the weighted merged list. *)
+  let next_target = ref offset in
+  let produced = ref 0 in
+  let cum = ref 0 in
+  List.iter
+    (fun (v, w) ->
+      cum := !cum + w;
+      while !produced < t.buffer_size && !cum > !next_target do
+        out.(!produced) <- v;
+        incr produced;
+        next_target := !next_target + weight
+      done)
+    sorted;
+  (* Numerical slack: pad with the maximum if rounding left slots. *)
+  (match sorted with
+  | [] -> ()
+  | _ ->
+    let last = fst (List.nth sorted (List.length sorted - 1)) in
+    while !produced < t.buffer_size do
+      out.(!produced) <- last;
+      incr produced
+    done);
+  { weight; data = out }
+
+let flush_fill t =
+  let data = Array.sub t.fill 0 t.fill_len in
+  Array.sort compare data;
+  t.full <- { weight = t.fill_weight; data } :: t.full;
+  t.fill_len <- 0;
+  t.block_seen <- 0;
+  if List.length t.full >= t.capacity then begin
+    let w_min = min_weight t in
+    let at_min, rest = List.partition (fun b -> b.weight = w_min) t.full in
+    let victims, rest =
+      match at_min with
+      | [ only ] ->
+        (* Unique minimum: take the next-lightest as the second victim. *)
+        let sorted_rest = List.sort (fun a b -> compare a.weight b.weight) rest in
+        (match sorted_rest with
+        | second :: others -> ([ only; second ], others)
+        | [] -> ([ only ], []))
+      | _ -> (at_min, rest)
+    in
+    match victims with
+    | [] | [ _ ] -> () (* cannot happen with capacity >= 2 *)
+    | _ -> t.full <- collapse t victims :: rest
+  end;
+  (* New fills enter at the current minimum weight so collapses keep
+     finding equal-weight partners (MRL98 policy). *)
+  t.fill_weight <- (if t.full = [] then 1 else min_weight t)
+
+let insert t v =
+  t.n <- t.n + 1;
+  t.block_seen <- t.block_seen + 1;
+  (* Reservoir-pick one survivor per block of [fill_weight] arrivals. *)
+  if t.block_seen = 1 || Hsq_util.Splitmix.int t.rng t.block_seen = 0 then t.block_pick <- v;
+  if t.block_seen >= t.fill_weight then begin
+    t.fill.(t.fill_len) <- t.block_pick;
+    t.fill_len <- t.fill_len + 1;
+    t.block_seen <- 0;
+    if t.fill_len = t.buffer_size then flush_fill t
+  end
+
+(* Weighted rank query across all buffers plus the fill buffer. *)
+let samples t =
+  let fill_part =
+    List.init t.fill_len (fun i -> (t.fill.(i), t.fill_weight))
+  in
+  let partial_block = if t.block_seen > 0 then [ (t.block_pick, t.block_seen) ] else [] in
+  let full_part =
+    List.concat_map (fun b -> Array.to_list (Array.map (fun v -> (v, b.weight)) b.data)) t.full
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) (partial_block @ fill_part @ full_part)
+
+let query_rank t r =
+  if t.n = 0 then invalid_arg "Sampler.query_rank: empty sketch";
+  let r = if r < 1 then 1 else if r > t.n then t.n else r in
+  let represented = total_weighted t + t.block_seen in
+  let target =
+    max 1 (int_of_float (float_of_int r /. float_of_int t.n *. float_of_int represented))
+  in
+  let rec scan acc last = function
+    | [] -> last
+    | (v, w) :: rest ->
+      let acc = acc + w in
+      if acc >= target then v else scan acc v rest
+  in
+  match samples t with
+  | [] -> invalid_arg "Sampler.query_rank: no samples"
+  | (v0, _) :: _ as all -> scan 0 v0 all
+
+let rank_of t v =
+  if t.n = 0 then 0
+  else begin
+    let represented = total_weighted t + t.block_seen in
+    let weighted =
+      List.fold_left (fun acc (x, w) -> if x <= v then acc + w else acc) 0 (samples t)
+    in
+    if represented = 0 then 0
+    else int_of_float (float_of_int weighted /. float_of_int represented *. float_of_int t.n)
+  end
+
+let sketch : (module Quantile_sketch.S with type t = t) =
+  (module struct
+    type nonrec t = t
+
+    let insert = insert
+    let count = count
+    let memory_words = memory_words
+    let query_rank = query_rank
+    let rank_of = rank_of
+    let error_bound = error_bound
+  end)

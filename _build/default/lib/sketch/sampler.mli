@@ -1,0 +1,28 @@
+(** RANDOM / MRL-style randomized sampling quantile sketch.
+
+    The paper's related-work section singles out MRL99 and the
+    simplified RANDOM (Wang et al., SIGMOD 2013) as the strongest
+    randomized streaming competitors; this module implements that
+    family: weighted sample buffers collapsed by merging and evenly
+    spaced weighted re-sampling. Guarantees are probabilistic, unlike
+    {!Gk}. *)
+
+type t
+
+(** [create ?seed ~buffers ~buffer_size ()]. Raises [Invalid_argument]
+    if [buffers < 2] or [buffer_size < 2]. *)
+val create : ?seed:int -> buffers:int -> buffer_size:int -> unit -> t
+
+(** Size the sketch (10 buffers) for a word budget. *)
+val create_capped : ?seed:int -> words:int -> unit -> t
+
+val insert : t -> int -> unit
+val count : t -> int
+val memory_words : t -> int
+
+(** Heuristic expected-error parameter (1 / buffer_size). *)
+val error_bound : t -> float
+
+val query_rank : t -> int -> int
+val rank_of : t -> int -> int
+val sketch : (module Quantile_sketch.S with type t = t)

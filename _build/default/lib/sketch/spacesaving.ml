@@ -1,0 +1,72 @@
+(* SpaceSaving [Metwally, Agrawal, El Abbadi, ICDT'05] — the standard
+   streaming heavy-hitters sketch.
+
+   k counters; a new item evicts the minimum counter and inherits its
+   count as overestimation error.  Guarantees, for n processed items:
+     - estimate(v) >= true_count(v)                  (never under)
+     - estimate(v) - true_count(v) <= n / k
+     - every item with true count > n/k is tracked.
+
+   Used as the stream side of the heavy-hitters-over-union extension
+   (the paper names heavy hitters alongside quantiles as the missing
+   warehouse primitives, Section 1). *)
+
+type counter = { mutable count : int; mutable error : int }
+
+type t = {
+  capacity : int;
+  table : (int, counter) Hashtbl.t;
+  mutable n : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spacesaving.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); n = 0 }
+
+let count t = t.n
+let size t = Hashtbl.length t.table
+let capacity t = t.capacity
+let memory_words t = 8 + (4 * Hashtbl.length t.table)
+
+(* Linear min scan: capacity is small (heavy-hitter sketches hold tens
+   to thousands of counters); a heap would only matter beyond that. *)
+let find_min t =
+  Hashtbl.fold
+    (fun item c acc ->
+      match acc with
+      | Some (_, best) when best.count <= c.count -> acc
+      | _ -> Some (item, c))
+    t.table None
+
+let insert t v =
+  t.n <- t.n + 1;
+  match Hashtbl.find_opt t.table v with
+  | Some c -> c.count <- c.count + 1
+  | None ->
+    if Hashtbl.length t.table < t.capacity then
+      Hashtbl.replace t.table v { count = 1; error = 0 }
+    else begin
+      match find_min t with
+      | None -> Hashtbl.replace t.table v { count = 1; error = 0 }
+      | Some (victim, c) ->
+        Hashtbl.remove t.table victim;
+        Hashtbl.replace t.table v { count = c.count + 1; error = c.count }
+    end
+
+(* (item, estimate, max overestimation); estimate - error <= true <= estimate. *)
+let entries t =
+  Hashtbl.fold (fun item c acc -> (item, c.count, c.error) :: acc) t.table []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let estimate t v =
+  match Hashtbl.find_opt t.table v with
+  | Some c -> (c.count, c.error)
+  | None -> ((if t.n = 0 then 0 else t.n / t.capacity), t.n / t.capacity)
+  (* untracked: true count <= n/k; report that bound as both estimate
+     and error so callers keep a sound upper bound *)
+
+(* All tracked items whose count could reach [threshold]. *)
+let candidates t ~threshold =
+  List.filter_map (fun (v, est, _) -> if est >= threshold then Some v else None) (entries t)
+
+let error_bound t = if t.n = 0 then 0 else (t.n + t.capacity - 1) / t.capacity

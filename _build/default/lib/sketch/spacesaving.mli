@@ -1,0 +1,33 @@
+(** SpaceSaving heavy-hitters sketch (Metwally et al., ICDT 2005).
+
+    With [capacity] k over a stream of n items: estimates never
+    undercount, overcount by at most n/k, and every item with true
+    count > n/k is tracked. The stream side of the
+    heavy-hitters-over-union extension. *)
+
+type t
+
+val create : capacity:int -> t
+val insert : t -> int -> unit
+
+(** Items processed so far. *)
+val count : t -> int
+
+val size : t -> int
+val capacity : t -> int
+val memory_words : t -> int
+
+(** Tracked items as [(item, estimate, max_overestimation)], sorted by
+    estimate descending. True count ∈ [estimate − error, estimate]. *)
+val entries : t -> (int * int * int) list
+
+(** [(estimate, error)] for any value; untracked values report the n/k
+    upper bound. *)
+val estimate : t -> int -> int * int
+
+(** Tracked items whose estimate reaches [threshold] (a superset of
+    the items whose true count does). *)
+val candidates : t -> threshold:int -> int list
+
+(** Current worst-case overestimation ⌈n/k⌉. *)
+val error_bound : t -> int

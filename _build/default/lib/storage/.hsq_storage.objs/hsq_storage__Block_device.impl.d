@@ -1,0 +1,1 @@
+lib/storage/block_device.ml: Array Bytes In_channel Int64 Io_stats Lru Out_channel Printf Sys

@@ -1,0 +1,1 @@
+lib/storage/external_sort.ml: Array Block_device Kway_merge List Run

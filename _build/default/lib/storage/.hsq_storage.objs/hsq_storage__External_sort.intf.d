@@ -1,0 +1,1 @@
+lib/storage/external_sort.mli: Block_device Run

@@ -1,0 +1,1 @@
+lib/storage/kway_merge.ml: Array List Run

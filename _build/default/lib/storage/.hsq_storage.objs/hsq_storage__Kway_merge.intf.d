@@ -1,0 +1,1 @@
+lib/storage/kway_merge.mli: Block_device Run

@@ -1,0 +1,1 @@
+lib/storage/run.ml: Array Block_device Hsq_util Printf

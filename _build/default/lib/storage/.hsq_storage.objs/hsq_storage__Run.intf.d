@@ -1,0 +1,1 @@
+lib/storage/run.mli: Block_device

@@ -1,0 +1,186 @@
+(* A simulated block device.
+
+   The paper evaluates against a real disk with 100 KB blocks and reports
+   costs as numbers of block accesses.  Simulating the device keeps those
+   counts exact and deterministic (see DESIGN.md, "Substitutions").  Two
+   backends share the interface: an in-memory store used by tests and
+   benches, and a file-backed store that persists blocks as fixed-size
+   records of 8-byte big-endian integers. *)
+
+exception Device_error of string
+
+type op = Read | Write
+
+type backend =
+  | Memory of int array option array ref (* growable table of blocks *)
+  | File of { channel : Out_channel.t; read_channel : In_channel.t; path : string }
+
+type t = {
+  block_size : int;
+  stats : Io_stats.t;
+  mutable next_free : int;
+  mutable freed_blocks : int; (* capacity-accounting for dropped partitions *)
+  backend : backend;
+  mutable fault : (op -> int -> bool) option;
+  mutable pool : Lru.t option; (* optional buffer pool (OS page cache stand-in) *)
+}
+
+let block_size t = t.block_size
+let stats t = t.stats
+let allocated_blocks t = t.next_free
+let live_blocks t = t.next_free - t.freed_blocks
+
+let create_memory ~block_size () =
+  if block_size <= 0 then invalid_arg "Block_device.create_memory: block_size must be positive";
+  {
+    block_size;
+    stats = Io_stats.create ();
+    next_free = 0;
+    freed_blocks = 0;
+    backend = Memory (ref (Array.make 64 None));
+    fault = None;
+    pool = None;
+  }
+
+let create_file ~block_size ~path () =
+  if block_size <= 0 then invalid_arg "Block_device.create_file: block_size must be positive";
+  let channel = Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_wronly ] 0o644 path in
+  let read_channel = In_channel.open_gen [ Open_binary; Open_rdonly ] 0o644 path in
+  {
+    block_size;
+    stats = Io_stats.create ();
+    next_free = 0;
+    freed_blocks = 0;
+    backend = File { channel; read_channel; path };
+    fault = None;
+    pool = None;
+  }
+
+(* Reopen an existing device file: allocation resumes after the blocks
+   already on disk, so restored runs can be read back. *)
+let open_file ~block_size ~path () =
+  if block_size <= 0 then invalid_arg "Block_device.open_file: block_size must be positive";
+  if not (Sys.file_exists path) then
+    raise (Device_error (Printf.sprintf "no device file at %s" path));
+  let channel = Out_channel.open_gen [ Open_binary; Open_wronly ] 0o644 path in
+  let read_channel = In_channel.open_gen [ Open_binary; Open_rdonly ] 0o644 path in
+  let size = Int64.to_int (In_channel.length read_channel) in
+  let bytes_per_block = 8 * block_size in
+  if size mod bytes_per_block <> 0 then
+    raise
+      (Device_error
+         (Printf.sprintf "device file %s is not a whole number of %d-byte blocks" path
+            bytes_per_block));
+  {
+    block_size;
+    stats = Io_stats.create ();
+    next_free = size / bytes_per_block;
+    freed_blocks = 0;
+    backend = File { channel; read_channel; path };
+    fault = None;
+    pool = None;
+  }
+
+let close t =
+  match t.backend with
+  | Memory _ -> ()
+  | File { channel; read_channel; path = _ } ->
+    Out_channel.close channel;
+    In_channel.close read_channel
+
+let path t = match t.backend with Memory _ -> None | File { path; _ } -> Some path
+
+let set_fault t fault = t.fault <- fault
+
+(* Buffer pool: hits are served from memory and cost no device I/O
+   (only pool statistics); misses read through and populate the pool;
+   writes are write-through.  [free] invalidates cached blocks. *)
+let enable_pool t ~capacity = t.pool <- Some (Lru.create ~capacity)
+let disable_pool t = t.pool <- None
+
+let pool_stats t =
+  match t.pool with None -> None | Some pool -> Some (Lru.hits pool, Lru.misses pool)
+
+let check_fault t op addr =
+  match t.fault with
+  | Some f when f op addr ->
+    let kind = match op with Read -> "read" | Write -> "write" in
+    raise (Device_error (Printf.sprintf "injected %s fault at block %d" kind addr))
+  | _ -> ()
+
+let alloc t nblocks =
+  if nblocks < 0 then invalid_arg "Block_device.alloc: negative block count";
+  let addr = t.next_free in
+  t.next_free <- t.next_free + nblocks;
+  (match t.backend with
+  | Memory table ->
+    let needed = t.next_free in
+    if needed > Array.length !table then begin
+      let capacity = max needed (2 * Array.length !table) in
+      let bigger = Array.make capacity None in
+      Array.blit !table 0 bigger 0 (Array.length !table);
+      table := bigger
+    end
+  | File _ -> ());
+  addr
+
+(* Marks blocks as reclaimable.  The simulator does not recycle
+   addresses (simpler and irrelevant for I/O counting); it only tracks
+   live capacity so benches can report space usage. *)
+let free t ~addr ~nblocks =
+  if addr < 0 || addr + nblocks > t.next_free then invalid_arg "Block_device.free: out of range";
+  t.freed_blocks <- t.freed_blocks + nblocks;
+  (match t.pool with
+  | Some pool -> for b = addr to addr + nblocks - 1 do Lru.remove pool b done
+  | None -> ());
+  match t.backend with
+  | Memory table -> for b = addr to addr + nblocks - 1 do !table.(b) <- None done
+  | File _ -> ()
+
+let bytes_per_block t = 8 * t.block_size
+
+let write_block t ~addr payload =
+  if Array.length payload <> t.block_size then
+    invalid_arg "Block_device.write_block: payload must be exactly one block";
+  if addr < 0 || addr >= t.next_free then invalid_arg "Block_device.write_block: unallocated address";
+  check_fault t Write addr;
+  Io_stats.note_write t.stats addr;
+  (match t.pool with Some pool -> Lru.put pool addr (Array.copy payload) | None -> ());
+  match t.backend with
+  | Memory table -> !table.(addr) <- Some (Array.copy payload)
+  | File { channel; _ } ->
+    let buf = Bytes.create (bytes_per_block t) in
+    Array.iteri (fun i v -> Bytes.set_int64_be buf (8 * i) (Int64.of_int v)) payload;
+    Out_channel.seek channel (Int64.of_int (addr * bytes_per_block t));
+    Out_channel.output_bytes channel buf;
+    Out_channel.flush channel
+
+let read_block_uncached ?hint t ~addr =
+  check_fault t Read addr;
+  Io_stats.note_read ?hint t.stats addr;
+  match t.backend with
+  | Memory table -> (
+    match !table.(addr) with
+    | Some block -> Array.copy block
+    | None -> raise (Device_error (Printf.sprintf "read of unwritten or freed block %d" addr)))
+  | File { read_channel; _ } ->
+    let nbytes = bytes_per_block t in
+    let buf = Bytes.create nbytes in
+    In_channel.seek read_channel (Int64.of_int (addr * nbytes));
+    (match In_channel.really_input read_channel buf 0 nbytes with
+    | Some () -> ()
+    | None -> raise (Device_error (Printf.sprintf "short read at block %d" addr)));
+    Array.init t.block_size (fun i -> Int64.to_int (Bytes.get_int64_be buf (8 * i)))
+
+
+let read_block ?hint t ~addr =
+  if addr < 0 || addr >= t.next_free then invalid_arg "Block_device.read_block: unallocated address";
+  match t.pool with
+  | None -> read_block_uncached ?hint t ~addr
+  | Some pool -> (
+    match Lru.find pool addr with
+    | Some block -> Array.copy block
+    | None ->
+      let block = read_block_uncached ?hint t ~addr in
+      Lru.put pool addr (Array.copy block);
+      block)

@@ -1,0 +1,79 @@
+(** Simulated block device with exact I/O accounting.
+
+    Blocks hold [block_size] OCaml [int]s. Two backends are provided:
+    an in-memory table (default for tests and benches — deterministic
+    and fast) and a file-backed store that persists each block as
+    [8 * block_size] bytes of big-endian integers.
+
+    Addresses are plain block indices handed out by a bump allocator;
+    [free] only reclaims capacity accounting (the simulator never reuses
+    addresses, which keeps sequential-I/O classification unambiguous). *)
+
+exception Device_error of string
+
+type op = Read | Write
+type t
+
+(** [create_memory ~block_size ()] — in-memory backend. *)
+val create_memory : block_size:int -> unit -> t
+
+(** [create_file ~block_size ~path ()] — file backend; truncates [path]. *)
+val create_file : block_size:int -> path:string -> unit -> t
+
+(** [open_file ~block_size ~path ()] reopens an existing device file
+    without truncating; the allocator resumes after the blocks already
+    on disk. Raises {!Device_error} if the file is missing or not a
+    whole number of blocks. *)
+val open_file : block_size:int -> path:string -> unit -> t
+
+(** Close file handles (no-op for the memory backend). *)
+val close : t -> unit
+
+(** Backing file path, if any. *)
+val path : t -> string option
+
+val block_size : t -> int
+val stats : t -> Io_stats.t
+
+(** Total blocks ever allocated. *)
+val allocated_blocks : t -> int
+
+(** Allocated minus freed blocks — the live footprint. *)
+val live_blocks : t -> int
+
+(** [alloc t n] reserves [n] contiguous blocks, returning the first
+    address. *)
+val alloc : t -> int -> int
+
+(** Mark a contiguous range reclaimable. Memory backend drops contents;
+    reading a freed block raises {!Device_error}. *)
+val free : t -> addr:int -> nblocks:int -> unit
+
+(** [write_block t ~addr payload] writes exactly one block.
+    Raises [Invalid_argument] if [payload] is not [block_size] long or
+    [addr] is unallocated. *)
+val write_block : t -> addr:int -> int array -> unit
+
+(** [read_block t ~addr] returns a fresh copy of the block. [hint]
+    forces the sequential/random classification of the read (used by
+    run cursors, whose per-run readahead is sequential on a real disk
+    even when several runs are consumed in an interleaved merge). *)
+val read_block : ?hint:bool -> t -> addr:int -> int array
+
+(** {2 Buffer pool}
+
+    An optional LRU pool of whole blocks in front of the backend — an
+    OS-page-cache stand-in. Pool hits cost no device I/O (they appear
+    only in {!pool_stats}); writes are write-through; freeing blocks
+    invalidates them. *)
+
+val enable_pool : t -> capacity:int -> unit
+val disable_pool : t -> unit
+
+(** [(hits, misses)] since the pool was enabled, if one is active. *)
+val pool_stats : t -> (int * int) option
+
+(** Install (or clear) a fault hook for failure-injection tests: when the
+    hook returns [true] for an (operation, address) pair the operation
+    raises {!Device_error} instead of executing. *)
+val set_fault : t -> (op -> int -> bool) option -> unit

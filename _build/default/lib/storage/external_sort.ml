@@ -1,0 +1,78 @@
+(* External sort of an incoming batch into a new sorted run
+   (Algorithm 3, line 6: "Sort D and add as a new partition to level 0").
+
+   When the batch fits in the memory budget it is sorted in place and
+   written out (one sequential write per block).  Otherwise we run the
+   classic external merge sort [Aggarwal & Vitter 1988; Graefe 2006]:
+   sort memory-sized chunks into temporary runs, then multi-way merge
+   with a fan-in bounded by the buffer budget, in as many passes as
+   needed.  The paper notes (Lemma 6) that in practice a constant number
+   of passes suffices. *)
+
+type report = {
+  passes : int; (* merge passes after run formation; 0 = in-memory *)
+  temp_runs : int; (* temporary runs created and later freed *)
+}
+
+(* Merge runs in groups of [fan_in] until one remains, freeing inputs.
+   The final merge (a single group covering everything) reports output
+   elements through [observe] so summaries can be built for free. *)
+let rec merge_pass dev ~fan_in ~observe ~passes ~temp_runs runs =
+  match runs with
+  | [] -> invalid_arg "External_sort: no runs"
+  | [ single ] -> (single, { passes; temp_runs })
+  | _ ->
+    let rec group acc current count = function
+      | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+      | r :: rest ->
+        if count = fan_in then group (List.rev current :: acc) [ r ] 1 rest
+        else group acc (r :: current) (count + 1) rest
+    in
+    let groups = group [] [] 0 runs in
+    let final_pass = match groups with [ _ ] -> true | _ -> false in
+    let merged =
+      List.map
+        (fun g ->
+          match g with
+          | [ only ] -> only
+          | _ ->
+            let m =
+              if final_pass then Kway_merge.merge ~observe dev g else Kway_merge.merge dev g
+            in
+            List.iter Run.free g;
+            m)
+        groups
+    in
+    let new_temps = List.length (List.filter (fun g -> List.length g > 1) groups) in
+    merge_pass dev ~fan_in ~observe ~passes:(passes + 1) ~temp_runs:(temp_runs + new_temps) merged
+
+let sort ?(memory_elements = max_int) ?(observe = fun _ _ -> ()) dev batch =
+  let n = Array.length batch in
+  if n = 0 then invalid_arg "External_sort.sort: empty batch";
+  let bsize = Block_device.block_size dev in
+  let budget = max memory_elements (2 * bsize) in
+  if n <= budget then begin
+    let copy = Array.copy batch in
+    Array.sort compare copy;
+    Array.iteri observe copy;
+    (Run.of_sorted_array dev copy, { passes = 0; temp_runs = 0 })
+  end
+  else begin
+    (* Phase 1: memory-sized sorted chunks become temporary runs. *)
+    let chunks = ref [] in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min budget (n - !pos) in
+      let chunk = Array.sub batch !pos len in
+      Array.sort compare chunk;
+      chunks := Run.of_sorted_array dev chunk :: !chunks;
+      pos := !pos + len
+    done;
+    let runs = List.rev !chunks in
+    (* Phase 2: one input block buffer per merge input, one for output. *)
+    let fan_in = max 2 ((budget / bsize) - 1) in
+    let sorted, report =
+      merge_pass dev ~fan_in ~observe ~passes:0 ~temp_runs:(List.length runs) runs
+    in
+    (sorted, report)
+  end

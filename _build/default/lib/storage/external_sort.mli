@@ -1,0 +1,25 @@
+(** External merge sort of a batch into a sorted {!Run.t}
+    (Algorithm 3, line 6; cost model of Lemma 6).
+
+    Batches within the memory budget are sorted in memory and written
+    once; larger batches go through temporary sorted runs and multi-way
+    merge passes with fan-in bounded by the buffer budget. *)
+
+type report = {
+  passes : int;    (** merge passes performed; 0 when sorted in memory *)
+  temp_runs : int; (** temporary runs created (all freed on return) *)
+}
+
+(** [sort ?memory_elements ?observe dev batch] sorts [batch] into a new
+    run on [dev]. [memory_elements] is the in-memory working budget in
+    elements (default: unbounded, i.e. always in-memory); it is clamped
+    below to two blocks so the merge phase always has buffers.
+    [observe i v] sees every output element in order at no extra I/O
+    (used to build partition summaries, Section 2.1). Raises
+    [Invalid_argument] on an empty batch. *)
+val sort :
+  ?memory_elements:int ->
+  ?observe:(int -> int -> unit) ->
+  Block_device.t ->
+  int array ->
+  Run.t * report

@@ -1,0 +1,74 @@
+(* Per-device I/O accounting.  The paper's cost model counts disk block
+   accesses and distinguishes the cheap sequential I/Os used by loading
+   and merging from the expensive random I/Os used by queries
+   (Section 2.4).  A read is classified as sequential when it targets the
+   block immediately after the previously read one. *)
+
+type counters = {
+  reads : int;
+  seq_reads : int;
+  rand_reads : int;
+  writes : int;
+}
+
+type t = {
+  mutable reads : int;
+  mutable seq_reads : int;
+  mutable rand_reads : int;
+  mutable writes : int;
+  mutable last_read_addr : int;
+}
+
+let create () = { reads = 0; seq_reads = 0; rand_reads = 0; writes = 0; last_read_addr = min_int }
+
+let reset t =
+  t.reads <- 0;
+  t.seq_reads <- 0;
+  t.rand_reads <- 0;
+  t.writes <- 0;
+  t.last_read_addr <- min_int
+
+(* [hint] overrides the adjacency heuristic: a k-way merge interleaves
+   reads of several runs, but on a real disk each run is consumed through
+   a sequential readahead buffer, so those reads are sequential. *)
+let note_read ?hint t addr =
+  t.reads <- t.reads + 1;
+  let sequential =
+    match hint with
+    | Some s -> s
+    | None -> addr = t.last_read_addr + 1
+  in
+  if sequential then t.seq_reads <- t.seq_reads + 1 else t.rand_reads <- t.rand_reads + 1;
+  t.last_read_addr <- addr
+
+let note_write t _addr = t.writes <- t.writes + 1
+
+let snapshot t = { reads = t.reads; seq_reads = t.seq_reads; rand_reads = t.rand_reads; writes = t.writes }
+
+let zero = { reads = 0; seq_reads = 0; rand_reads = 0; writes = 0 }
+
+let diff (after : counters) (before : counters) =
+  {
+    reads = after.reads - before.reads;
+    seq_reads = after.seq_reads - before.seq_reads;
+    rand_reads = after.rand_reads - before.rand_reads;
+    writes = after.writes - before.writes;
+  }
+
+let add (a : counters) (b : counters) =
+  {
+    reads = a.reads + b.reads;
+    seq_reads = a.seq_reads + b.seq_reads;
+    rand_reads = a.rand_reads + b.rand_reads;
+    writes = a.writes + b.writes;
+  }
+
+let total (c : counters) = c.reads + c.writes
+
+let measure t f =
+  let before = snapshot t in
+  let result = f () in
+  (result, diff (snapshot t) before)
+
+let pp ppf (c : counters) =
+  Format.fprintf ppf "reads=%d (seq=%d rand=%d) writes=%d" c.reads c.seq_reads c.rand_reads c.writes

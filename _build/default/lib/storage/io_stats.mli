@@ -1,0 +1,45 @@
+(** Block-level I/O accounting.
+
+    The paper's cost model (Section 2.4) counts disk block accesses and
+    distinguishes sequential I/O (loading, merging) from random I/O
+    (query-time binary searches). A read is classified sequential when it
+    targets the block right after the previously read one on the same
+    device. *)
+
+(** Immutable snapshot of the counters. *)
+type counters = {
+  reads : int;      (** total block reads *)
+  seq_reads : int;  (** reads at [previous address + 1] *)
+  rand_reads : int; (** all other reads *)
+  writes : int;     (** total block writes *)
+}
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Record one block read at the given block address. [hint] forces the
+    sequential/random classification; without it a read is sequential
+    iff it targets [previous address + 1]. *)
+val note_read : ?hint:bool -> t -> int -> unit
+
+(** Record one block write at the given block address. *)
+val note_write : t -> int -> unit
+
+val snapshot : t -> counters
+val zero : counters
+
+(** [diff after before] subtracts counter-wise. *)
+val diff : counters -> counters -> counters
+
+val add : counters -> counters -> counters
+
+(** Reads plus writes. *)
+val total : counters -> int
+
+(** [measure t f] runs [f ()] and returns its result together with the
+    I/O performed during the call. *)
+val measure : t -> (unit -> 'a) -> 'a * counters
+
+val pp : Format.formatter -> counters -> unit

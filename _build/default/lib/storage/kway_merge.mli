@@ -1,0 +1,14 @@
+(** Single-pass multi-way merge of sorted runs (Algorithm 3, line 10).
+
+    Memory footprint is one block buffer per input plus one output
+    buffer; every input block is read once sequentially and every output
+    block written once. *)
+
+(** [merge ?observe dev runs] merges at least two runs living on [dev]
+    into a new run on [dev]. [observe i v] is called for each output
+    element [v] at output index [i], in order — partition summaries are
+    built through this hook so they cost no additional I/O (Section 2.1).
+    Inputs are not freed (the caller — the level index — frees them once
+    the merged partition is installed). Raises [Invalid_argument] on
+    fewer than two runs or on a run from another device. *)
+val merge : ?observe:(int -> int -> unit) -> Block_device.t -> Run.t list -> Run.t

@@ -1,0 +1,90 @@
+(* A fixed-capacity LRU map from block addresses to block payloads,
+   built on a doubly-linked list threaded through a hash table.  All
+   operations are O(1).  Used by the block device's optional buffer
+   pool (an OS-page-cache stand-in). *)
+
+type node = {
+  key : int;
+  mutable value : int array;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (int, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None; hits = 0; misses = 0 }
+
+let size t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+  | Some node ->
+    t.hits <- t.hits + 1;
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+(* Peek without touching recency or statistics (tests/debugging). *)
+let mem t key = Hashtbl.mem t.table key
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key
+
+let put t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some node ->
+    node.value <- value;
+    unlink t node;
+    push_front t node
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let node = { key; value; prev = None; next = None } in
+    Hashtbl.replace t.table key node;
+    push_front t node)
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table key
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

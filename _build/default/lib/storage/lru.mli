@@ -1,0 +1,24 @@
+(** Fixed-capacity O(1) LRU map from block addresses to payloads —
+    the block device's optional buffer pool. *)
+
+type t
+
+val create : capacity:int -> t
+val size : t -> int
+val capacity : t -> int
+
+(** Lookup; refreshes recency, counts a hit or miss. *)
+val find : t -> int -> int array option
+
+(** Membership without touching recency or statistics. *)
+val mem : t -> int -> bool
+
+(** Insert or refresh; evicts the least recently used entry at
+    capacity. *)
+val put : t -> int -> int array -> unit
+
+val remove : t -> int -> unit
+val clear : t -> unit
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

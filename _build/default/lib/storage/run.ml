@@ -1,0 +1,219 @@
+(* A sorted run: [length] elements stored ascending across
+   [ceil(length / B)] contiguous blocks of a block device.
+
+   Random access goes through a one-block cache.  This implements the
+   paper's query optimization (Section 2.4): once a binary search has
+   narrowed to a single disk block, the block is held in memory and
+   further probes cost no I/O. *)
+
+type t = {
+  dev : Block_device.t;
+  addr : int;
+  nblocks : int;
+  length : int;
+  mutable cache_addr : int; (* absolute block address held in [cache]; -1 = none *)
+  mutable cache : int array;
+  mutable cache_enabled : bool; (* ablation switch for the Section 2.4 optimization *)
+  mutable freed : bool;
+}
+
+let blocks_needed ~block_size n = (n + block_size - 1) / block_size
+
+let of_sorted_array dev elements =
+  let n = Array.length elements in
+  if n = 0 then invalid_arg "Run.of_sorted_array: empty run";
+  if not (Hsq_util.Sorted.is_sorted elements) then invalid_arg "Run.of_sorted_array: not sorted";
+  let bsize = Block_device.block_size dev in
+  let nblocks = blocks_needed ~block_size:bsize n in
+  let addr = Block_device.alloc dev nblocks in
+  let block = Array.make bsize 0 in
+  for b = 0 to nblocks - 1 do
+    let off = b * bsize in
+    let len = min bsize (n - off) in
+    Array.blit elements off block 0 len;
+    (* Pad the tail of the final block with the largest element so every
+       slot is well-defined (padding is never exposed: accessors bound
+       indices by [length]). *)
+    if len < bsize then Array.fill block len (bsize - len) elements.(n - 1);
+    Block_device.write_block dev ~addr:(addr + b) block
+  done;
+  { dev; addr; nblocks; length = n; cache_addr = -1; cache = [||]; cache_enabled = true; freed = false }
+
+(* Re-attach to a run already present on the device (recovery path).
+   Contents are trusted to be sorted; Persist.load verifies per-block
+   monotonicity before serving queries. *)
+let of_existing dev ~addr ~length =
+  if length <= 0 then invalid_arg "Run.of_existing: length must be positive";
+  let bsize = Block_device.block_size dev in
+  let nblocks = blocks_needed ~block_size:bsize length in
+  if addr < 0 || addr + nblocks > Block_device.allocated_blocks dev then
+    invalid_arg "Run.of_existing: blocks not present on device";
+  { dev; addr; nblocks; length; cache_addr = -1; cache = [||]; cache_enabled = true; freed = false }
+
+let length t = t.length
+let nblocks t = t.nblocks
+let first_block t = t.addr
+let device t = t.dev
+
+let check_live t op = if t.freed then invalid_arg ("Run." ^ op ^ ": run has been freed")
+
+let free t =
+  if not t.freed then begin
+    Block_device.free t.dev ~addr:t.addr ~nblocks:t.nblocks;
+    t.freed <- true;
+    t.cache_addr <- -1;
+    t.cache <- [||]
+  end
+
+let drop_cache t =
+  t.cache_addr <- -1;
+  t.cache <- [||]
+
+let set_cache_enabled t enabled =
+  t.cache_enabled <- enabled;
+  if not enabled then drop_cache t
+
+(* Fetch the block containing element index [i], through the cache. *)
+let block_for t i =
+  let bsize = Block_device.block_size t.dev in
+  let abs = t.addr + (i / bsize) in
+  if not t.cache_enabled then Block_device.read_block t.dev ~addr:abs
+  else begin
+    if t.cache_addr <> abs then begin
+      t.cache <- Block_device.read_block t.dev ~addr:abs;
+      t.cache_addr <- abs
+    end;
+    t.cache
+  end
+
+let get t i =
+  check_live t "get";
+  if i < 0 || i >= t.length then invalid_arg "Run.get: index out of bounds";
+  let bsize = Block_device.block_size t.dev in
+  (block_for t i).(i mod bsize)
+
+(* First index in [lo, hi) whose element is > v, i.e. the number of
+   elements <= v given that the answer lies in [lo, hi].  Each probe may
+   read one block; probes within the cached block are free. *)
+let rank_between t ~lo ~hi v =
+  check_live t "rank_between";
+  if lo < 0 || hi > t.length || lo > hi then invalid_arg "Run.rank_between: bad range";
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if get t mid <= v then go (mid + 1) hi else go lo mid
+  in
+  go lo hi
+
+let rank t v = rank_between t ~lo:0 ~hi:t.length v
+
+let read_range t ~pos ~len =
+  check_live t "read_range";
+  if pos < 0 || len < 0 || pos + len > t.length then invalid_arg "Run.read_range: bad range";
+  Array.init len (fun i -> get t (pos + i))
+
+let to_array t = read_range t ~pos:0 ~len:t.length
+
+(* Streaming writer: values must be pushed in ascending order; blocks are
+   flushed as they fill, so only one block of buffer memory is needed no
+   matter how large the run — exactly the memory profile of an external
+   merge. *)
+type writer = {
+  wdev : Block_device.t;
+  waddr : int;
+  expected : int;
+  mutable written : int;
+  wbuf : int array;
+  mutable wfill : int;
+  mutable last : int;
+  mutable finished : bool;
+}
+
+let writer dev ~length =
+  if length <= 0 then invalid_arg "Run.writer: length must be positive";
+  let bsize = Block_device.block_size dev in
+  let nblocks = blocks_needed ~block_size:bsize length in
+  let addr = Block_device.alloc dev nblocks in
+  {
+    wdev = dev;
+    waddr = addr;
+    expected = length;
+    written = 0;
+    wbuf = Array.make bsize 0;
+    wfill = 0;
+    last = min_int;
+    finished = false;
+  }
+
+let writer_flush w ~pad =
+  if w.wfill > 0 then begin
+    if pad && w.wfill < Array.length w.wbuf then
+      Array.fill w.wbuf w.wfill (Array.length w.wbuf - w.wfill) w.last;
+    let block_index = (w.written - w.wfill) / Array.length w.wbuf in
+    Block_device.write_block w.wdev ~addr:(w.waddr + block_index) w.wbuf;
+    w.wfill <- 0
+  end
+
+let writer_push w v =
+  if w.finished then invalid_arg "Run.writer_push: writer already finished";
+  if w.written >= w.expected then invalid_arg "Run.writer_push: more values than declared";
+  if v < w.last then invalid_arg "Run.writer_push: values must be ascending";
+  w.wbuf.(w.wfill) <- v;
+  w.wfill <- w.wfill + 1;
+  w.written <- w.written + 1;
+  w.last <- v;
+  if w.wfill = Array.length w.wbuf then writer_flush w ~pad:false
+
+let writer_finish w =
+  if w.finished then invalid_arg "Run.writer_finish: already finished";
+  if w.written <> w.expected then
+    invalid_arg
+      (Printf.sprintf "Run.writer_finish: wrote %d of %d declared values" w.written w.expected);
+  writer_flush w ~pad:true;
+  w.finished <- true;
+  let bsize = Block_device.block_size w.wdev in
+  {
+    dev = w.wdev;
+    addr = w.waddr;
+    nblocks = blocks_needed ~block_size:bsize w.expected;
+    length = w.expected;
+    cache_addr = -1;
+    cache = [||];
+    cache_enabled = true;
+    freed = false;
+  }
+
+(* Sequential cursor used by merges; owns its own block buffer so it does
+   not disturb the run's random-access cache. *)
+type cursor = {
+  run : t;
+  mutable pos : int;
+  mutable buf : int array;
+  mutable buf_block : int; (* relative block index loaded in [buf]; -1 = none *)
+}
+
+let cursor t =
+  check_live t "cursor";
+  { run = t; pos = 0; buf = [||]; buf_block = -1 }
+
+let cursor_peek c =
+  if c.pos >= c.run.length then None
+  else begin
+    let bsize = Block_device.block_size c.run.dev in
+    let b = c.pos / bsize in
+    if c.buf_block <> b then begin
+      c.buf <- Block_device.read_block ~hint:true c.run.dev ~addr:(c.run.addr + b);
+      c.buf_block <- b
+    end;
+    Some c.buf.(c.pos mod bsize)
+  end
+
+let cursor_advance c = if c.pos < c.run.length then c.pos <- c.pos + 1
+
+let cursor_next c =
+  match cursor_peek c with
+  | None -> None
+  | Some v ->
+    cursor_advance c;
+    Some v

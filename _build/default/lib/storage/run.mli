@@ -1,0 +1,69 @@
+(** Sorted on-disk runs.
+
+    A run stores a non-empty ascending sequence of integers across
+    contiguous blocks of a {!Block_device.t}. Random access goes through
+    a one-block cache, implementing the paper's Section 2.4 optimization:
+    once a search has narrowed to one block, further probes in that block
+    cost no I/O. *)
+
+type t
+
+(** Write a sorted array as a new run (sequential writes, one per
+    block). Raises [Invalid_argument] if the array is empty or not
+    sorted ascending. *)
+val of_sorted_array : Block_device.t -> int array -> t
+
+(** Re-attach to a run already on the device (recovery). Raises
+    [Invalid_argument] if the address range is not allocated. *)
+val of_existing : Block_device.t -> addr:int -> length:int -> t
+
+val length : t -> int
+val nblocks : t -> int
+val first_block : t -> int
+val device : t -> Block_device.t
+
+(** Reclaim the run's blocks. Further access raises
+    [Invalid_argument]. Idempotent. *)
+val free : t -> unit
+
+(** Drop the one-block cache (e.g. to charge full I/O to a fresh query). *)
+val drop_cache : t -> unit
+
+(** Disable/enable the one-block cache — the ablation switch for the
+    Section 2.4 query optimization. Enabled by default. *)
+val set_cache_enabled : t -> bool -> unit
+
+(** [get t i] is the element at index [i] (0-based). One block read
+    unless the containing block is cached. *)
+val get : t -> int -> int
+
+(** [rank t v] = number of elements ≤ [v]; binary search over the run. *)
+val rank : t -> int -> int
+
+(** [rank_between t ~lo ~hi v] is [rank t v] when the answer is known to
+    lie in [\[lo, hi\]]; only probes inside the range (Algorithm 8 uses
+    summary entries to bound the search). *)
+val rank_between : t -> lo:int -> hi:int -> int -> int
+
+(** Read [len] elements starting at [pos]. *)
+val read_range : t -> pos:int -> len:int -> int array
+
+val to_array : t -> int array
+
+(** Streaming writers build a run with one block of buffer memory.
+    Values must be pushed ascending; the declared [length] must be met
+    exactly before [writer_finish]. *)
+type writer
+
+val writer : Block_device.t -> length:int -> writer
+val writer_push : writer -> int -> unit
+val writer_finish : writer -> t
+
+(** Sequential cursors for k-way merging; each cursor owns a one-block
+    readahead buffer and reports its reads as sequential I/O. *)
+type cursor
+
+val cursor : t -> cursor
+val cursor_peek : cursor -> int option
+val cursor_advance : cursor -> unit
+val cursor_next : cursor -> int option

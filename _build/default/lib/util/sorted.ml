@@ -1,0 +1,59 @@
+(* Utilities over sorted integer arrays.  The rank convention throughout
+   the repository follows Definition 1 of the paper:
+   rank(e, D) = |{ x in D : x <= e }|. *)
+
+let is_sorted a =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i - 1) <= a.(i) && go (i + 1)) in
+  n <= 1 || go 1
+
+(* Number of elements <= v in the sorted array [a], i.e. the index of the
+   first element > v.  Classic upper-bound binary search. *)
+let rank a v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) <= v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+(* Number of elements < v: index of the first element >= v. *)
+let rank_strict a v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length a)
+
+(* Smallest element of [a] whose rank is >= r (the r-th smallest,
+   1-indexed); the phi-quantile of Definition 1 for r = ceil(phi * n). *)
+let select a r =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Sorted.select: empty array";
+  let r = if r < 1 then 1 else if r > n then n else r in
+  a.(r - 1)
+
+let quantile a phi =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Sorted.quantile: empty array";
+  if not (phi > 0.0 && phi <= 1.0) then invalid_arg "Sorted.quantile: phi not in (0,1]";
+  select a (int_of_float (ceil (phi *. float_of_int n)))
+
+let merge a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0 in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to na + nb - 1 do
+    if !j >= nb || (!i < na && a.(!i) <= b.(!j)) then begin
+      out.(k) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- b.(!j);
+      incr j
+    end
+  done;
+  out

@@ -1,0 +1,26 @@
+(** Rank and selection primitives over sorted [int array]s.
+
+    The rank convention follows the paper's Definition 1:
+    [rank e d] is the number of elements of [d] less than or equal to
+    [e]. These functions are the in-memory reference implementation that
+    every approximate structure is tested against. *)
+
+val is_sorted : int array -> bool
+
+(** [rank a v] = |{x ∈ a : x ≤ v}|; [a] must be sorted ascending. *)
+val rank : int array -> int -> int
+
+(** [rank_strict a v] = |{x ∈ a : x < v}|. *)
+val rank_strict : int array -> int -> int
+
+(** [select a r] is the smallest element with rank ≥ r (1-indexed [r],
+    clamped to [1, length a]). Raises [Invalid_argument] on empty input. *)
+val select : int array -> int -> int
+
+(** [quantile a phi] is the φ-quantile of Definition 1, i.e.
+    [select a (ceil (phi * n))]. Raises [Invalid_argument] if [a] is
+    empty or [phi] outside (0, 1]. *)
+val quantile : int array -> float -> int
+
+(** Merge two sorted arrays into a new sorted array. *)
+val merge : int array -> int array -> int array

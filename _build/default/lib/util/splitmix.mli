@@ -1,0 +1,28 @@
+(** SplitMix64 pseudo-random number generator.
+
+    A tiny, fast, splittable PRNG with a 64-bit state.  Every source of
+    randomness in this repository bottoms out here (possibly via
+    {!Xoshiro}), so that all experiments are reproducible from a single
+    integer seed. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** Next non-negative 62-bit integer. *)
+val next : t -> int
+
+(** [int t bound] is uniform in [\[0, bound)]. Raises [Invalid_argument]
+    if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float

@@ -1,0 +1,60 @@
+(* Small online/offline statistics helpers used by the bench harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+(* Welford's online mean/variance accumulator. *)
+type t = {
+  mutable n : int;
+  mutable mu : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () = { n = 0; mu = 0.0; m2 = 0.0; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mu in
+  t.mu <- t.mu +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mu));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+
+let summary t =
+  let stddev = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1)) in
+  {
+    count = t.n;
+    mean = (if t.n = 0 then 0.0 else t.mu);
+    stddev;
+    min = (if t.n = 0 then 0.0 else t.lo);
+    max = (if t.n = 0 then 0.0 else t.hi);
+  }
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  summary t
+
+(* Median of a float list; the paper reports medians over 7 runs. *)
+let median xs =
+  match xs with
+  | [] -> invalid_arg "Stats.median: empty list"
+  | _ ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

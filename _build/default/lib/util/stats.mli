@@ -1,0 +1,24 @@
+(** Online (Welford) and offline statistics used by the bench harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation; 0 when count < 2 *)
+  min : float;
+  max : float;
+}
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val summary : t -> summary
+val of_list : float list -> summary
+
+(** Median of a non-empty list (the paper reports medians of 7 runs).
+    Raises [Invalid_argument] on empty input. *)
+val median : float list -> float
+
+(** Arithmetic mean of a non-empty list. *)
+val mean : float list -> float

@@ -1,0 +1,63 @@
+(* xoshiro256** 1.0 (Blackman & Vigna).  State is seeded from SplitMix64
+   as the authors recommend. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float option; (* cached second deviate for [gaussian] *)
+}
+
+let create seed =
+  let sm = Splitmix.create seed in
+  let s0 = Splitmix.next_int64 sm in
+  let s1 = Splitmix.next_int64 sm in
+  let s2 = Splitmix.next_int64 sm in
+  let s3 = Splitmix.next_int64 sm in
+  { s0; s1; s2; s3; spare = None }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3; spare = t.spare }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro.int: bound must be positive";
+  next t mod bound
+
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits /. 9007199254740992.0
+
+let bool t = Int64.compare (Int64.logand (next_int64 t) 1L) 0L <> 0
+
+(* Marsaglia polar method; caches the spare deviate per generator. *)
+let gaussian t =
+  match t.spare with
+  | Some g ->
+    t.spare <- None;
+    g
+  | None ->
+    let rec draw () =
+      let u = (2.0 *. float t) -. 1.0 in
+      let v = (2.0 *. float t) -. 1.0 in
+      let s = (u *. u) +. (v *. v) in
+      if s >= 1.0 || s = 0.0 then draw () else (u, v, s)
+    in
+    let u, v, s = draw () in
+    let mul = sqrt (-2.0 *. log s /. s) in
+    t.spare <- Some (v *. mul);
+    u *. mul

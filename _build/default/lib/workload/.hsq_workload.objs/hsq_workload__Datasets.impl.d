@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Array Distribution Hsq_util List Printf

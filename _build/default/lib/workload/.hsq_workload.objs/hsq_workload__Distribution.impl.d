@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Array Hsq_util

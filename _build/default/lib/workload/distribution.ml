@@ -1,0 +1,53 @@
+(* Samplers for the value distributions behind the paper's four
+   datasets (Section 3.1).  All draw from a caller-owned Xoshiro
+   generator, so workloads are reproducible from one seed. *)
+
+let normal ~mean ~stddev rng = mean +. (stddev *. Hsq_util.Xoshiro.gaussian rng)
+
+let normal_int ~mean ~stddev rng =
+  let v = normal ~mean ~stddev rng in
+  if v < 0.0 then 0 else int_of_float v
+
+let uniform_int ~lo ~hi rng =
+  if hi <= lo then invalid_arg "Distribution.uniform_int: empty range";
+  lo + Hsq_util.Xoshiro.int rng (hi - lo)
+
+let lognormal ~mu ~sigma rng = exp (normal ~mean:mu ~stddev:sigma rng)
+
+(* Pareto with scale x_m and shape a via inverse transform. *)
+let pareto ~scale ~shape rng =
+  let u = 1.0 -. Hsq_util.Xoshiro.float rng in
+  scale /. (u ** (1.0 /. shape))
+
+(* Zipf over ranks 1..n with exponent s, sampled by inverse CDF binary
+   search over a precomputed table (O(log n) per draw). *)
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+    if s < 0.0 then invalid_arg "Zipf.create: s must be >= 0";
+    let cdf = Array.make n 0.0 in
+    let total = ref 0.0 in
+    for i = 0 to n - 1 do
+      total := !total +. (1.0 /. (float_of_int (i + 1) ** s));
+      cdf.(i) <- !total
+    done;
+    for i = 0 to n - 1 do
+      cdf.(i) <- cdf.(i) /. !total
+    done;
+    { cdf }
+
+  let size t = Array.length t.cdf
+
+  (* 0-based rank of the drawn item (0 = most popular). *)
+  let sample t rng =
+    let u = Hsq_util.Xoshiro.float rng in
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) < u then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length t.cdf - 1)
+end

@@ -1,0 +1,25 @@
+(** Value distributions behind the paper's evaluation datasets. All
+    samplers draw from a caller-owned {!Hsq_util.Xoshiro.t}. *)
+
+val normal : mean:float -> stddev:float -> Hsq_util.Xoshiro.t -> float
+
+(** Normal deviate rounded to int and clamped at 0. *)
+val normal_int : mean:float -> stddev:float -> Hsq_util.Xoshiro.t -> int
+
+(** Uniform in [\[lo, hi)]. Raises [Invalid_argument] on empty range. *)
+val uniform_int : lo:int -> hi:int -> Hsq_util.Xoshiro.t -> int
+
+val lognormal : mu:float -> sigma:float -> Hsq_util.Xoshiro.t -> float
+val pareto : scale:float -> shape:float -> Hsq_util.Xoshiro.t -> float
+
+module Zipf : sig
+  type t
+
+  (** Zipf over ranks 1..n with exponent [s]. *)
+  val create : n:int -> s:float -> t
+
+  val size : t -> int
+
+  (** 0-based rank of the drawn item (0 = most popular). *)
+  val sample : t -> Hsq_util.Xoshiro.t -> int
+end

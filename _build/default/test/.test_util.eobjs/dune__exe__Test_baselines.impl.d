@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Hsq Hsq_hist Hsq_storage Hsq_util Hsq_workload List Printf

@@ -1,0 +1,1 @@
+test/test_ckms.ml: Alcotest Array Ckms Gen Gk Hsq_sketch Hsq_util List Printf QCheck QCheck_alcotest

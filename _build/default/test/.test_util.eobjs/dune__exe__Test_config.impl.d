@@ -1,0 +1,1 @@
+test/test_config.ml: Alcotest Hsq QCheck QCheck_alcotest

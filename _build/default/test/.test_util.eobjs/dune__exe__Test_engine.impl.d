@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Filename Fun Hsq Hsq_hist Hsq_storage Hsq_util Hsq_workload List Printf QCheck QCheck_alcotest Sys

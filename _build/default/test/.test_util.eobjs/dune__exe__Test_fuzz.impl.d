@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Filename Fun Hashtbl Hsq Hsq_hist Hsq_storage Hsq_util Hsq_workload List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_gk.ml: Alcotest Array Gen Gk Hsq_sketch Hsq_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heavy_hitters.ml: Alcotest Array Hashtbl Hsq Hsq_hist Hsq_sketch Hsq_storage Hsq_util Hsq_workload List Printf QCheck QCheck_alcotest

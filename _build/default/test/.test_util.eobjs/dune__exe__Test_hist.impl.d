@@ -1,0 +1,1 @@
+test/test_hist.ml: Alcotest Array Gen Hsq_hist Hsq_storage Hsq_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Filename Hsq Hsq_hist Hsq_storage Hsq_workload List Printf Sys

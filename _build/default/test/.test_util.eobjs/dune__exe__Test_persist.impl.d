@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Bytes Char Filename Fun Hsq Hsq_hist Hsq_storage Hsq_util Hsq_workload In_channel List Out_channel Printf Str String Sys Unix

@@ -1,0 +1,1 @@
+test/test_sampler.ml: Alcotest Array Gen Hsq_sketch Hsq_util List Printf QCheck QCheck_alcotest Sampler

@@ -1,0 +1,1 @@
+test/test_sketch_interface.ml: Alcotest Array Ckms Exact Gen Gk Hsq_sketch Hsq_util List Printf QCheck QCheck_alcotest Qdigest Quantile_sketch Sampler

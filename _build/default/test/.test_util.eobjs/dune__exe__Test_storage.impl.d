@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Block_device External_sort Filename Gen Hsq_storage Hsq_util Io_stats Kway_merge List Lru Printf QCheck QCheck_alcotest Run Sys

@@ -1,0 +1,1 @@
+test/test_stream_summary.ml: Alcotest Array Gen Hsq Hsq_sketch Hsq_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_union_summary.ml: Alcotest Array Hsq Hsq_hist Hsq_sketch Hsq_storage Hsq_util List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Hsq_util List Parallel Printf QCheck QCheck_alcotest Sorted Splitmix Stats Xoshiro

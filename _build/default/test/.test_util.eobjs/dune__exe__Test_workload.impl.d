@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Gen Hsq_util Hsq_workload List Printf QCheck QCheck_alcotest

@@ -1,0 +1,176 @@
+(* Tests for the comparison systems: the pure-streaming baselines (and
+   their warehouse-loading I/O model) and the fully-sorted strawman. *)
+
+module B = Hsq.Baselines
+
+(* --- Raw_store -------------------------------------------------------- *)
+
+let test_raw_store_load_io () =
+  let s = B.Raw_store.create ~kappa:10 ~block_size:10 in
+  let (lr, lw), (mr, mw) = B.Raw_store.add_batch s ~elements:95 in
+  Alcotest.(check int) "load reads" 0 lr;
+  Alcotest.(check int) "load writes = ceil(95/10)" 10 lw;
+  Alcotest.(check int) "no merge reads" 0 mr;
+  Alcotest.(check int) "no merge writes" 0 mw
+
+let test_raw_store_merge_cascade () =
+  let s = B.Raw_store.create ~kappa:2 ~block_size:10 in
+  (* Steps 1-2 load only; step 3 triggers a level-0 merge of 3 partitions. *)
+  ignore (B.Raw_store.add_batch s ~elements:100);
+  ignore (B.Raw_store.add_batch s ~elements:100);
+  let _, (mr, mw) = B.Raw_store.add_batch s ~elements:100 in
+  Alcotest.(check int) "merge reads 30 blocks" 30 mr;
+  Alcotest.(check int) "merge writes 30 blocks" 30 mw;
+  Alcotest.(check int) "blocks conserved" 30 (B.Raw_store.total_blocks s)
+
+let test_raw_store_matches_level_index_io () =
+  (* The baseline store must charge the same write volume as the real
+     index (same loading paradigm), for any schedule. *)
+  let kappa = 3 and block_size = 8 in
+  let dev = Hsq_storage.Block_device.create_memory ~block_size () in
+  let li = Hsq_hist.Level_index.create ~kappa ~beta1:4 dev in
+  let raw = B.Raw_store.create ~kappa ~block_size in
+  let rng = Hsq_util.Xoshiro.create 81 in
+  for _ = 1 to 20 do
+    let n = 8 * (1 + Hsq_util.Xoshiro.int rng 12) in
+    (* block-aligned batches *)
+    let real = Hsq_hist.Level_index.add_batch li (Array.init n (fun _ -> Hsq_util.Xoshiro.int rng 1000)) in
+    let (_, lw), (mr, mw) = B.Raw_store.add_batch raw ~elements:n in
+    Alcotest.(check int) "writes match" real.Hsq_hist.Level_index.io_total.Hsq_storage.Io_stats.writes (lw + mw);
+    Alcotest.(check int) "reads match" real.Hsq_hist.Level_index.io_total.Hsq_storage.Io_stats.reads mr
+  done
+
+(* --- Streaming baselines ---------------------------------------------- *)
+
+let drive_streaming ~algorithm ~words ~seed ~steps ~step_size =
+  let rng = Hsq_util.Xoshiro.create seed in
+  let b = B.Streaming.create ~algorithm ~words ~kappa:10 ~block_size:16 () in
+  let oracle = Hsq_workload.Oracle.create () in
+  for _ = 1 to steps do
+    for _ = 1 to step_size do
+      let v = Hsq_util.Xoshiro.int rng 100_000 in
+      B.Streaming.observe b v;
+      Hsq_workload.Oracle.add oracle v
+    done;
+    ignore (B.Streaming.end_time_step b)
+  done;
+  (b, oracle)
+
+let test_streaming_covers_all_of_t () =
+  let b, oracle = drive_streaming ~algorithm:B.Streaming.Gk_stream ~words:2_000 ~seed:82 ~steps:10 ~step_size:1_000 in
+  Alcotest.(check int) "sketch covers T" (Hsq_workload.Oracle.count oracle) (B.Streaming.count b)
+
+let test_streaming_error_proportional_to_n () =
+  (* The pure-streaming weakness the paper exploits: error grows with N. *)
+  let b, oracle = drive_streaming ~algorithm:B.Streaming.Gk_stream ~words:1_200 ~seed:83 ~steps:12 ~step_size:2_000 in
+  let n = B.Streaming.count b in
+  let eps = B.Streaming.error_bound b in
+  let bound = int_of_float (ceil (eps *. float_of_int n)) in
+  let r = n / 2 in
+  let v = B.Streaming.query_rank b r in
+  let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+  Alcotest.(check bool) (Printf.sprintf "err %d <= eps*N = %d" err bound) true (err <= bound);
+  Alcotest.(check bool) "memory held" true (B.Streaming.memory_words b <= 1_200)
+
+let test_streaming_qdigest_and_sampler_run () =
+  List.iter
+    (fun algorithm ->
+      let b, oracle = drive_streaming ~algorithm ~words:3_000 ~seed:84 ~steps:5 ~step_size:1_000 in
+      let n = B.Streaming.count b in
+      let v = B.Streaming.quantile b 0.5 in
+      let err = Hsq_workload.Oracle.rank_error oracle ~rank:(n / 2) ~value:v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s median err=%d" (B.Streaming.algorithm_name algorithm) err)
+        true
+        (err <= n / 5))
+    [ B.Streaming.Qdigest_stream; B.Streaming.Sampler_stream ]
+
+let test_streaming_update_io_accumulates () =
+  let b, _ = drive_streaming ~algorithm:B.Streaming.Gk_stream ~words:1_000 ~seed:85 ~steps:11 ~step_size:160 in
+  let (lr, lw), (_mr, mw) = B.Streaming.update_io b in
+  Alcotest.(check int) "no load reads" 0 lr;
+  Alcotest.(check int) "load writes = steps * 10 blocks" 110 lw;
+  Alcotest.(check bool) "merges happened" true (mw > 0)
+
+(* --- Strawman ---------------------------------------------------------- *)
+
+let test_strawman_accuracy () =
+  let rng = Hsq_util.Xoshiro.create 86 in
+  let s = B.Strawman.create ~epsilon:0.05 ~block_size:16 () in
+  let oracle = Hsq_workload.Oracle.create () in
+  for _ = 1 to 6 do
+    for _ = 1 to 1_000 do
+      let v = Hsq_util.Xoshiro.int rng 100_000 in
+      B.Strawman.observe s v;
+      Hsq_workload.Oracle.add oracle v
+    done;
+    ignore (B.Strawman.end_time_step s)
+  done;
+  for _ = 1 to 700 do
+    let v = Hsq_util.Xoshiro.int rng 100_000 in
+    B.Strawman.observe s v;
+    Hsq_workload.Oracle.add oracle v
+  done;
+  let n = B.Strawman.total_size s in
+  Alcotest.(check int) "covers T" (Hsq_workload.Oracle.count oracle) n;
+  let m = B.Strawman.stream_size s in
+  (* Error proportional to m only, like our algorithm. *)
+  let bound = int_of_float (ceil (0.2 *. float_of_int m)) + 1 in
+  List.iter
+    (fun phi ->
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let v, _ = B.Strawman.accurate s ~rank:r in
+      let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+      Alcotest.(check bool) (Printf.sprintf "phi=%.2f err=%d <= %d" phi err bound) true (err <= bound))
+    [ 0.01; 0.5; 0.99 ]
+
+let test_strawman_update_io_rewrites_history () =
+  let s = B.Strawman.create ~epsilon:0.1 ~block_size:8 () in
+  let step k =
+    for i = 1 to 800 do
+      B.Strawman.observe s ((k * 1000) + i)
+    done;
+    B.Strawman.end_time_step s
+  in
+  let io1 = step 1 in
+  let io5 =
+    ignore (step 2);
+    ignore (step 3);
+    ignore (step 4);
+    step 5
+  in
+  (* Step 5 must reread and rewrite ~4 steps of history; step 1 only
+     writes one batch. *)
+  Alcotest.(check bool) "step-5 io dwarfs step-1 io" true
+    (Hsq_storage.Io_stats.total io5 > 4 * Hsq_storage.Io_stats.total io1)
+
+let test_strawman_empty_raises () =
+  let s = B.Strawman.create ~epsilon:0.1 ~block_size:8 () in
+  Alcotest.check_raises "empty step" (Invalid_argument "Strawman.end_time_step: empty batch")
+    (fun () -> ignore (B.Strawman.end_time_step s));
+  Alcotest.check_raises "empty query" (Invalid_argument "Strawman.accurate: no data") (fun () ->
+      ignore (B.Strawman.accurate s ~rank:1))
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "raw_store",
+        [
+          Alcotest.test_case "load io" `Quick test_raw_store_load_io;
+          Alcotest.test_case "merge cascade" `Quick test_raw_store_merge_cascade;
+          Alcotest.test_case "matches level index io" `Quick test_raw_store_matches_level_index_io;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "covers all of T" `Quick test_streaming_covers_all_of_t;
+          Alcotest.test_case "error ~ eps*N" `Quick test_streaming_error_proportional_to_n;
+          Alcotest.test_case "qdigest + sampler" `Quick test_streaming_qdigest_and_sampler_run;
+          Alcotest.test_case "update io model" `Quick test_streaming_update_io_accumulates;
+        ] );
+      ( "strawman",
+        [
+          Alcotest.test_case "accuracy ~ m" `Quick test_strawman_accuracy;
+          Alcotest.test_case "update rewrites history" `Quick test_strawman_update_io_rewrites_history;
+          Alcotest.test_case "empty raises" `Quick test_strawman_empty_raises;
+        ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for the CKMS biased-quantiles sketch: rank-dependent error
+   bounds (fine at the chosen tail), invariant preservation, and the
+   memory advantage over uniform GK at equal tail accuracy. *)
+
+open Hsq_sketch
+
+let rank_error sorted ~rank ~value =
+  let upper = Hsq_util.Sorted.rank sorted value in
+  let lower = min upper (Hsq_util.Sorted.rank_strict sorted value + 1) in
+  if rank < lower then lower - rank else if rank > upper then rank - upper else 0
+
+let check_biased_bound ~bias ~epsilon data =
+  let ck = Ckms.create ~bias ~epsilon () in
+  Array.iter (Ckms.insert ck) data;
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = Array.length data in
+  for r = 1 to n do
+    if r mod 37 = 0 || r = 1 || r = n || r > n - 100 then begin
+      let v = Ckms.query_rank ck r in
+      let e = rank_error sorted ~rank:r ~value:v in
+      let allowance = Ckms.error_allowance ck r +. 1.0 in
+      if float_of_int e > allowance then
+        Alcotest.failf "rank %d/%d: error %d > allowance %.1f" r n e allowance
+    end
+  done
+
+let test_high_biased_tail_accuracy () =
+  let rng = Hsq_util.Xoshiro.create 61 in
+  check_biased_bound ~bias:Ckms.High_biased ~epsilon:0.05
+    (Array.init 30_000 (fun _ -> Hsq_util.Xoshiro.int rng 1_000_000))
+
+let test_low_biased_head_accuracy () =
+  let rng = Hsq_util.Xoshiro.create 62 in
+  check_biased_bound ~bias:Ckms.Low_biased ~epsilon:0.05
+    (Array.init 30_000 (fun _ -> Hsq_util.Xoshiro.int rng 1_000_000))
+
+let test_uniform_matches_gk_semantics () =
+  let rng = Hsq_util.Xoshiro.create 63 in
+  check_biased_bound ~bias:Ckms.Uniform ~epsilon:0.02
+    (Array.init 20_000 (fun _ -> Hsq_util.Xoshiro.int rng 1_000_000))
+
+let test_sorted_and_adversarial_inputs () =
+  List.iter
+    (fun data -> check_biased_bound ~bias:Ckms.High_biased ~epsilon:0.05 data)
+    [
+      Array.init 10_000 (fun i -> i);
+      Array.init 10_000 (fun i -> 10_000 - i);
+      Array.make 5_000 7;
+      Array.init 5_000 (fun i -> i mod 3);
+    ]
+
+let test_tail_is_sharp () =
+  (* High-biased: the maximum (rank n) must be answered exactly, and
+     p999 within ~eps*(n/1000). *)
+  let rng = Hsq_util.Xoshiro.create 64 in
+  let n = 50_000 in
+  let data = Array.init n (fun _ -> Hsq_util.Xoshiro.int rng 10_000_000) in
+  let ck = Ckms.create ~bias:Ckms.High_biased ~epsilon:0.05 () in
+  Array.iter (Ckms.insert ck) data;
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  Alcotest.(check int) "max exact" sorted.(n - 1) (Ckms.query_rank ck n);
+  let r999 = int_of_float (ceil (0.999 *. float_of_int n)) in
+  let e = rank_error sorted ~rank:r999 ~value:(Ckms.query_rank ck r999) in
+  Alcotest.(check bool) (Printf.sprintf "p999 error %d small" e) true (e <= 7)
+
+let test_memory_advantage_over_uniform () =
+  (* For equal p99.9 accuracy a uniform sketch needs eps ~ 1e-4 while
+     high-biased needs eps = 0.1; the biased sketch must be much
+     smaller. *)
+  let rng = Hsq_util.Xoshiro.create 65 in
+  let n = 50_000 in
+  let data = Array.init n (fun _ -> Hsq_util.Xoshiro.int rng 10_000_000) in
+  let biased = Ckms.create ~bias:Ckms.High_biased ~epsilon:0.1 () in
+  let uniform = Gk.create ~epsilon:0.0001 in
+  Array.iter
+    (fun v ->
+      Ckms.insert biased v;
+      Gk.insert uniform v)
+    data;
+  Alcotest.(check bool)
+    (Printf.sprintf "biased %d words << uniform %d words" (Ckms.memory_words biased)
+       (Gk.memory_words uniform))
+    true
+    (Ckms.memory_words biased * 5 < Gk.memory_words uniform)
+
+let test_space_stays_modest () =
+  let rng = Hsq_util.Xoshiro.create 66 in
+  let ck = Ckms.create ~bias:Ckms.High_biased ~epsilon:0.05 () in
+  for _ = 1 to 100_000 do
+    Ckms.insert ck (Hsq_util.Xoshiro.int rng max_int)
+  done;
+  (* O((1/eps) * log(eps n) * log n)-ish; generous concrete cap *)
+  Alcotest.(check bool) (Printf.sprintf "size %d bounded" (Ckms.size ck)) true (Ckms.size ck < 4_000)
+
+let test_invariant_holds () =
+  let rng = Hsq_util.Xoshiro.create 67 in
+  let ck = Ckms.create ~bias:Ckms.High_biased ~epsilon:0.1 () in
+  for _ = 1 to 10_000 do
+    Ckms.insert ck (Hsq_util.Xoshiro.int rng 1_000)
+  done;
+  List.iter
+    (fun (_, rmin, rmax) ->
+      (* g + delta <= f(rmin, n) within integer slack *)
+      let thr = Ckms.error_allowance ck rmin *. 2.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "tuple rank %d window %d <= %.1f" rmin (rmax - rmin) thr)
+        true
+        (float_of_int (rmax - rmin) <= thr))
+    (Ckms.dump ck)
+
+let test_validation_and_edges () =
+  Alcotest.check_raises "bad eps" (Invalid_argument "Ckms.create: epsilon not in (0,1)")
+    (fun () -> ignore (Ckms.create ~epsilon:0.0 ()));
+  let ck = Ckms.create ~epsilon:0.1 () in
+  Alcotest.check_raises "empty" (Invalid_argument "Ckms.query_rank: empty sketch") (fun () ->
+      ignore (Ckms.query_rank ck 1));
+  Ckms.insert ck 5;
+  Alcotest.(check int) "single element" 5 (Ckms.query_rank ck 1);
+  Alcotest.(check int) "quantile clamps" 5 (Ckms.quantile ck 1.0)
+
+let prop_biased_bound_random =
+  QCheck.Test.make ~name:"CKMS high-biased bound on random streams" ~count:40
+    QCheck.(list_of_size Gen.(1 -- 500) (int_bound 10_000))
+    (fun l ->
+      let data = Array.of_list l in
+      let ck = Ckms.create ~bias:Ckms.High_biased ~epsilon:0.1 () in
+      Array.iter (Ckms.insert ck) data;
+      let sorted = Array.copy data in
+      Array.sort compare sorted;
+      let n = Array.length data in
+      let ok = ref true in
+      for r = 1 to n do
+        let v = Ckms.query_rank ck r in
+        if float_of_int (rank_error sorted ~rank:r ~value:v) > Ckms.error_allowance ck r +. 1.0
+        then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "ckms"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "high-biased tail" `Quick test_high_biased_tail_accuracy;
+          Alcotest.test_case "low-biased head" `Quick test_low_biased_head_accuracy;
+          Alcotest.test_case "uniform" `Quick test_uniform_matches_gk_semantics;
+          Alcotest.test_case "adversarial inputs" `Quick test_sorted_and_adversarial_inputs;
+          Alcotest.test_case "tail sharp (max exact, p999 tight)" `Quick test_tail_is_sharp;
+          QCheck_alcotest.to_alcotest prop_biased_bound_random;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "memory advantage vs uniform GK" `Quick
+            test_memory_advantage_over_uniform;
+          Alcotest.test_case "space modest" `Slow test_space_stays_modest;
+          Alcotest.test_case "invariant" `Quick test_invariant_holds;
+          Alcotest.test_case "validation + edges" `Quick test_validation_and_edges;
+        ] );
+    ]

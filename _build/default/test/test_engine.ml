@@ -1,0 +1,435 @@
+(* End-to-end tests of the engine: Lemma 3 (quick), Lemma 5/Theorem 2
+   (accurate, error proportional to the stream), disk-access behaviour,
+   windowed queries, memory-budget mode, and lifecycle edge cases. *)
+
+module E = Hsq.Engine
+
+let phis = [ 0.001; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999 ]
+
+(* Drive an engine and an oracle through [steps] time steps plus a live
+   stream tail. *)
+let drive ?(universe = 1_000_000) ~config ~steps ~step_size ~tail ~seed () =
+  let rng = Hsq_util.Xoshiro.create seed in
+  let eng = E.create config in
+  let oracle = Hsq_workload.Oracle.create () in
+  for _ = 1 to steps do
+    for _ = 1 to step_size do
+      let v = Hsq_util.Xoshiro.int rng universe in
+      E.observe eng v;
+      Hsq_workload.Oracle.add oracle v
+    done;
+    ignore (E.end_time_step eng)
+  done;
+  for _ = 1 to tail do
+    let v = Hsq_util.Xoshiro.int rng universe in
+    E.observe eng v;
+    Hsq_workload.Oracle.add oracle v
+  done;
+  (eng, oracle)
+
+let std_config ?(kappa = 3) ?(epsilon = 0.05) () =
+  Hsq.Config.make ~kappa ~block_size:32 (Hsq.Config.Epsilon epsilon)
+
+let test_accurate_error_bound () =
+  let eng, oracle = drive ~config:(std_config ()) ~steps:13 ~step_size:2_000 ~tail:1_500 ~seed:71 () in
+  let n = E.total_size eng in
+  Alcotest.(check int) "sizes agree" (Hsq_workload.Oracle.count oracle) n;
+  let m = E.stream_size eng in
+  let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+  List.iter
+    (fun phi ->
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let v, _ = E.accurate eng ~rank:r in
+      let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+      Alcotest.(check bool)
+        (Printf.sprintf "phi=%.3f err=%d <= %.1f" phi err bound)
+        true
+        (float_of_int err <= bound))
+    phis
+
+let test_accurate_error_independent_of_history () =
+  (* Theorem 2: absolute error depends on m, not n.  Grow the history
+     8x and check the error bound stays the one derived from m. *)
+  List.iter
+    (fun steps ->
+      let eng, oracle =
+        drive ~config:(std_config ()) ~steps ~step_size:1_000 ~tail:800 ~seed:72 ()
+      in
+      let n = E.total_size eng in
+      let m = E.stream_size eng in
+      let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+      let r = int_of_float (ceil (0.5 *. float_of_int n)) in
+      let v, _ = E.accurate eng ~rank:r in
+      let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+      Alcotest.(check bool)
+        (Printf.sprintf "steps=%d err=%d <= %.1f" steps err bound)
+        true
+        (float_of_int err <= bound))
+    [ 2; 8; 16 ]
+
+let test_quick_error_bound () =
+  let eng, oracle = drive ~config:(std_config ()) ~steps:13 ~step_size:2_000 ~tail:1_500 ~seed:73 () in
+  let n = E.total_size eng in
+  let m = E.stream_size eng in
+  let cfg = E.config eng in
+  let eps1 = 1.0 /. float_of_int (Hsq.Config.beta1 cfg - 1) in
+  let parts = Hsq_hist.Level_index.partition_count (E.hist eng) in
+  let bound =
+    Hsq.Errors.quick_rank_bound ~eps1 ~eps2:(E.eps2 eng) ~n:(E.hist_size eng) ~m ~partitions:parts
+  in
+  List.iter
+    (fun phi ->
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let v = E.quick eng ~rank:r in
+      let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+      Alcotest.(check bool)
+        (Printf.sprintf "phi=%.3f quick err=%d <= %.1f" phi err bound)
+        true
+        (float_of_int err <= bound))
+    phis
+
+let test_quick_uses_no_disk () =
+  let eng, _ = drive ~config:(std_config ()) ~steps:9 ~step_size:1_000 ~tail:500 ~seed:74 () in
+  let stats = Hsq_storage.Block_device.stats (E.device eng) in
+  Hsq_storage.Io_stats.reset stats;
+  ignore (E.quick eng ~rank:E.(total_size eng / 2));
+  Alcotest.(check int) "no reads" 0 (Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.reads
+
+let test_accurate_io_logarithmic () =
+  let eng, _ = drive ~config:(std_config ()) ~steps:13 ~step_size:4_000 ~tail:2_000 ~seed:75 () in
+  let parts = Hsq_hist.Level_index.partition_count (E.hist eng) in
+  (* Lemma 7: O(parts * log(n/B) * log |U|) — use a generous concrete
+     cap: parts * log2(n) + constant slack per bisection step. *)
+  let cap = (parts + 2) * 22 in
+  List.iter
+    (fun phi ->
+      let n = E.total_size eng in
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let _, report = E.accurate eng ~rank:r in
+      let io = Hsq_storage.Io_stats.total report.E.io in
+      Alcotest.(check bool) (Printf.sprintf "phi=%.2f io=%d <= %d" phi io cap) true (io <= cap))
+    [ 0.01; 0.5; 0.99 ]
+
+let test_quantile_definitions () =
+  let eng, oracle = drive ~config:(std_config ()) ~steps:5 ~step_size:500 ~tail:300 ~seed:76 () in
+  let v, _ = E.quantile eng 0.5 in
+  let err = abs (Hsq_workload.Oracle.rank_of oracle v - Hsq_workload.Oracle.count oracle / 2) in
+  Alcotest.(check bool) "median close" true (err < 300);
+  Alcotest.check_raises "phi out of range" (Invalid_argument "Engine: phi not in (0,1]") (fun () ->
+      ignore (E.quantile eng 1.5))
+
+let test_stream_only_queries () =
+  let eng = E.create (std_config ()) in
+  for i = 1 to 1_000 do
+    E.observe eng i
+  done;
+  let v, _ = E.accurate eng ~rank:500 in
+  Alcotest.(check bool) "stream-only accurate" true (abs (v - 500) <= 60);
+  let vq = E.quick eng ~rank:500 in
+  Alcotest.(check bool) "stream-only quick" true (abs (vq - 500) <= 120)
+
+let test_hist_only_queries () =
+  let eng = E.create (std_config ()) in
+  ignore (E.ingest_batch eng (Array.init 1_000 (fun i -> i + 1)));
+  (* No live stream: the accurate path must be near-exact. *)
+  let v, _ = E.accurate eng ~rank:500 in
+  Alcotest.(check bool) (Printf.sprintf "hist-only accurate v=%d" v) true (abs (v - 500) <= 1)
+
+let test_empty_engine_raises () =
+  let eng = E.create (std_config ()) in
+  Alcotest.check_raises "accurate on empty" (Invalid_argument "Engine.accurate: no data")
+    (fun () -> ignore (E.accurate eng ~rank:1));
+  Alcotest.check_raises "end of empty step" (Invalid_argument "Engine.end_time_step: empty batch")
+    (fun () -> ignore (E.end_time_step eng))
+
+let test_rank_clamping () =
+  let eng, _ = drive ~config:(std_config ()) ~steps:3 ~step_size:200 ~tail:100 ~seed:77 () in
+  let v_low, _ = E.accurate eng ~rank:(-5) in
+  let v_high, _ = E.accurate eng ~rank:(10 * E.total_size eng) in
+  Alcotest.(check bool) "clamped low <= clamped high" true (v_low <= v_high)
+
+let test_stream_reset_on_step () =
+  let eng = E.create (std_config ()) in
+  for i = 1 to 100 do
+    E.observe eng i
+  done;
+  Alcotest.(check int) "stream size" 100 (E.stream_size eng);
+  ignore (E.end_time_step eng);
+  Alcotest.(check int) "stream reset" 0 (E.stream_size eng);
+  Alcotest.(check int) "hist grew" 100 (E.hist_size eng);
+  Alcotest.(check int) "steps" 1 (E.time_steps eng)
+
+let test_window_queries () =
+  let eng = E.create (std_config ~kappa:3 ()) in
+  let oracle_recent = Hsq_workload.Oracle.create () in
+  (* 13 steps; values encode their step so windows are testable. *)
+  for s = 1 to 13 do
+    let batch = Array.init 300 (fun i -> (s * 1000) + (i mod 97)) in
+    if s >= 9 then Hsq_workload.Oracle.add_batch oracle_recent batch;
+    ignore (E.ingest_batch eng batch)
+  done;
+  Alcotest.(check (list int)) "window sizes" [ 1; 5; 9; 13 ] (E.window_sizes eng);
+  (match E.window_total eng ~window:5 with
+  | Ok n -> Alcotest.(check int) "window 5 total" (5 * 300) n
+  | Error _ -> Alcotest.fail "window 5 should be aligned");
+  (match E.accurate_window eng ~window:5 ~rank:750 with
+  | Ok (v, _) ->
+    let err = Hsq_workload.Oracle.rank_error oracle_recent ~rank:750 ~value:v in
+    Alcotest.(check bool) (Printf.sprintf "window median err=%d" err) true (err <= 20)
+  | Error _ -> Alcotest.fail "window query failed");
+  match E.accurate_window eng ~window:2 ~rank:10 with
+  | Error (E.Window_not_aligned sizes) ->
+    Alcotest.(check (list int)) "reported sizes" [ 1; 5; 9; 13 ] sizes
+  | Ok _ -> Alcotest.fail "window 2 must be rejected"
+
+let test_all_windows_match_oracles () =
+  (* Every advertised window must answer within the accurate bound
+     against an oracle holding exactly that window's data + stream. *)
+  let eng = E.create (std_config ~kappa:3 ()) in
+  let rng = Hsq_util.Xoshiro.create 83 in
+  let per_step = Array.init 14 (fun _ -> Array.init 400 (fun _ -> Hsq_util.Xoshiro.int rng 100_000)) in
+  for s = 0 to 12 do
+    ignore (E.ingest_batch eng per_step.(s))
+  done;
+  Array.iter (E.observe eng) per_step.(13);
+  let steps = 13 in
+  List.iter
+    (fun w ->
+      let oracle = Hsq_workload.Oracle.create () in
+      for s = steps - w to steps - 1 do
+        Hsq_workload.Oracle.add_batch oracle per_step.(s)
+      done;
+      Hsq_workload.Oracle.add_batch oracle per_step.(13);
+      match E.window_total eng ~window:w with
+      | Error _ -> Alcotest.failf "advertised window %d rejected" w
+      | Ok n ->
+        Alcotest.(check int) (Printf.sprintf "window %d total" w) (Hsq_workload.Oracle.count oracle) n;
+        List.iter
+          (fun phi ->
+            let r = max 1 (int_of_float (ceil (phi *. float_of_int n))) in
+            match E.accurate_window eng ~window:w ~rank:r with
+            | Error _ -> Alcotest.fail "window query failed"
+            | Ok (v, _) ->
+              let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+              let m = E.stream_size eng in
+              let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+              Alcotest.(check bool)
+                (Printf.sprintf "window %d phi %.2f err %d <= %.1f" w phi err bound)
+                true
+                (float_of_int err <= bound))
+          [ 0.1; 0.5; 0.9 ])
+    (E.window_sizes eng)
+
+let test_expire_engine_end_to_end () =
+  (* Retention through the engine: drop old data, keep answering, and
+     survive a save/load cycle with retention applied. *)
+  let dev_path = Filename.temp_file "hsq_expire" ".dev" in
+  let meta_path = Filename.temp_file "hsq_expire" ".meta" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove dev_path;
+      Sys.remove meta_path)
+    (fun () ->
+      let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
+      let dev = Hsq_storage.Block_device.create_file ~block_size:32 ~path:dev_path () in
+      let eng = E.create ~device:dev config in
+      for s = 1 to 13 do
+        ignore (E.ingest_batch eng (Array.make 200 s))
+      done;
+      let dropped_parts, dropped_elems = E.expire eng ~keep_steps:5 in
+      Alcotest.(check bool) "something dropped" true (dropped_parts > 0 && dropped_elems > 0);
+      Alcotest.(check (list string)) "invariants after expire" []
+        (Hsq_hist.Level_index.check_invariants (E.hist eng));
+      (* Only steps 9..13 remain: the minimum is 9. *)
+      let v, _ = E.accurate eng ~rank:1 in
+      Alcotest.(check int) "oldest retained value" 9 v;
+      Hsq.Persist.save eng ~path:meta_path;
+      Hsq_storage.Block_device.close dev;
+      let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      Alcotest.(check (list string)) "invariants after restore of expired warehouse" []
+        (Hsq_hist.Level_index.check_invariants (E.hist restored));
+      Alcotest.(check int) "restored total" (E.total_size eng) (E.total_size restored);
+      let v2, _ = E.accurate restored ~rank:1 in
+      Alcotest.(check int) "restored oldest" 9 v2;
+      Hsq_storage.Block_device.close (E.device restored))
+
+let test_range_queries () =
+  let eng = E.create (std_config ~kappa:3 ()) in
+  (* 13 steps; values encode their step: step s holds s*1000 .. s*1000+299. *)
+  for s = 1 to 13 do
+    ignore (E.ingest_batch eng (Array.init 300 (fun i -> (s * 1000) + (i mod 97))))
+  done;
+  (* kappa=3 after 13 steps: partitions P1-4, P5-8, P9-12, P13. *)
+  let boundaries = Hsq_hist.Level_index.partition_boundaries (E.hist eng) in
+  Alcotest.(check (list (pair int int))) "boundaries" [ (1, 4); (5, 8); (9, 12); (13, 13) ]
+    boundaries;
+  (* Aligned range [5, 12]: two partitions. *)
+  (match E.range_total eng ~first:5 ~last:12 with
+  | Ok n -> Alcotest.(check int) "range total" (8 * 300) n
+  | Error _ -> Alcotest.fail "range [5,12] should be aligned");
+  (match E.quantile_range eng ~first:5 ~last:12 0.5 with
+  | Ok (v, _) ->
+    (* median of steps 5..12 lies in step 8's values *)
+    Alcotest.(check bool) (Printf.sprintf "range median %d in step 8/9 band" v) true
+      (v >= 8000 && v < 9100)
+  | Error _ -> Alcotest.fail "range quantile failed");
+  (* Unaligned range rejected with boundaries. *)
+  (match E.quantile_range eng ~first:2 ~last:6 0.5 with
+  | Error (E.Range_not_aligned bs) ->
+    Alcotest.(check (list (pair int int))) "error carries boundaries" boundaries bs
+  | Ok _ -> Alcotest.fail "range [2,6] must be rejected");
+  (* Out-of-range endpoints rejected. *)
+  Alcotest.(check bool) "range [0,4] rejected" true
+    (match E.range_total eng ~first:0 ~last:4 with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "range [13,14] rejected" true
+    (match E.range_total eng ~first:13 ~last:14 with Error _ -> true | Ok _ -> false);
+  (* Range queries ignore the live stream and leave it intact. *)
+  for i = 1 to 50 do
+    E.observe eng (99_000 + i)
+  done;
+  (match E.quantile_range eng ~first:13 ~last:13 1.0 with
+  | Ok (v, _) -> Alcotest.(check bool) "stream excluded" true (v < 99_000)
+  | Error _ -> Alcotest.fail "range [13,13] should be aligned");
+  Alcotest.(check int) "stream preserved" 50 (E.stream_size eng)
+
+let test_rank_of_and_cdf () =
+  let eng, oracle = drive ~config:(std_config ()) ~steps:6 ~step_size:1_000 ~tail:700 ~seed:81 () in
+  let m = E.stream_size eng in
+  let slack = int_of_float (2.0 *. E.eps2 eng *. float_of_int m) + 1 in
+  List.iter
+    (fun v ->
+      let est = E.rank_of eng v in
+      let truth = Hsq_workload.Oracle.rank_of oracle v in
+      Alcotest.(check bool)
+        (Printf.sprintf "rank_of %d: |%d - %d| <= %d" v est truth slack)
+        true
+        (abs (est - truth) <= slack))
+    [ -1; 0; 250_000; 500_000; 999_999; 2_000_000 ];
+  let c = E.cdf eng 500_000 in
+  Alcotest.(check bool) (Printf.sprintf "cdf ~ 0.5 (%.3f)" c) true (abs_float (c -. 0.5) < 0.02);
+  Alcotest.(check (float 1e-9)) "cdf above max" 1.0 (E.cdf eng max_int)
+
+let test_accurate_many_matches_single () =
+  let eng, _ = drive ~config:(std_config ()) ~steps:6 ~step_size:1_000 ~tail:500 ~seed:82 () in
+  let ranks = [ 1; 100; 3_000; 6_500 ] in
+  let batched = List.map fst (E.accurate_many eng ~ranks) in
+  let singles = List.map (fun rank -> fst (E.accurate eng ~rank)) ranks in
+  Alcotest.(check (list int)) "batched = singles" singles batched
+
+let test_parallel_sort_identical_results () =
+  (* Paper future work (Section 4): parallel sorting.  The parallel
+     path must be observationally identical to the sequential one. *)
+  let run ~sort_domains =
+    let config =
+      Hsq.Config.make ~kappa:3 ~block_size:32 ?sort_domains (Hsq.Config.Epsilon 0.05)
+    in
+    let eng = E.create config in
+    let rng = Hsq_util.Xoshiro.create 555 in
+    for _ = 1 to 6 do
+      ignore (E.ingest_batch eng (Array.init 6_000 (fun _ -> Hsq_util.Xoshiro.int rng 1_000_000)))
+    done;
+    List.map (fun r -> fst (E.accurate eng ~rank:r)) [ 1; 9_000; 18_000; 36_000 ]
+  in
+  Alcotest.(check (list int)) "parallel = sequential" (run ~sort_domains:None)
+    (run ~sort_domains:(Some 4))
+
+let test_memory_mode_budget () =
+  let config =
+    Hsq.Config.make ~kappa:10 ~block_size:32 ~steps_hint:20 (Hsq.Config.Memory_words 4_000)
+  in
+  let eng, oracle = drive ~config ~steps:20 ~step_size:2_000 ~tail:1_000 ~seed:78 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "memory %d within budget" (E.memory_words eng))
+    true
+    (E.memory_words eng <= 4_000);
+  (* And the answers are still good: error well under 1% of N. *)
+  let n = E.total_size eng in
+  let r = n / 2 in
+  let v, _ = E.accurate eng ~rank:r in
+  let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+  Alcotest.(check bool) (Printf.sprintf "memory-mode err=%d" err) true (err < n / 100)
+
+let test_accuracy_on_duplicate_heavy_data () =
+  (* Network-like data: few distinct values, huge multiplicities. *)
+  let rng = Hsq_util.Xoshiro.create 79 in
+  let eng = E.create (std_config ()) in
+  let oracle = Hsq_workload.Oracle.create () in
+  for _ = 1 to 8 do
+    let batch = Array.init 1_000 (fun _ -> Hsq_util.Xoshiro.int rng 10) in
+    Hsq_workload.Oracle.add_batch oracle batch;
+    ignore (E.ingest_batch eng batch)
+  done;
+  let tail = Array.init 500 (fun _ -> Hsq_util.Xoshiro.int rng 10) in
+  Array.iter (fun v -> E.observe eng v; Hsq_workload.Oracle.add oracle v) tail;
+  let m = E.stream_size eng in
+  let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+  List.iter
+    (fun phi ->
+      let n = E.total_size eng in
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let v, _ = E.accurate eng ~rank:r in
+      let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+      Alcotest.(check bool)
+        (Printf.sprintf "dup-heavy phi=%.2f err=%d <= %.1f" phi err bound)
+        true
+        (float_of_int err <= bound))
+    [ 0.1; 0.5; 0.9 ]
+
+let prop_accurate_bound_random_instances =
+  QCheck.Test.make ~name:"accurate error bound on random instances" ~count:25
+    QCheck.(triple (int_range 1 10) (int_range 10 300) (int_range 0 300))
+    (fun (steps, step_size, tail) ->
+      let seed = steps + (step_size * 7) + (tail * 13) in
+      let eng, oracle =
+        drive ~universe:5_000 ~config:(std_config ()) ~steps ~step_size ~tail ~seed ()
+      in
+      let n = E.total_size eng in
+      let m = E.stream_size eng in
+      let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+      List.for_all
+        (fun phi ->
+          let r = int_of_float (ceil (phi *. float_of_int n)) in
+          let v, _ = E.accurate eng ~rank:r in
+          float_of_int (Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v) <= bound)
+        [ 0.1; 0.5; 0.9 ])
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "accuracy",
+        [
+          Alcotest.test_case "accurate bound (Lemma 5)" `Quick test_accurate_error_bound;
+          Alcotest.test_case "error independent of history (Thm 2)" `Slow
+            test_accurate_error_independent_of_history;
+          Alcotest.test_case "quick bound (Lemma 3)" `Quick test_quick_error_bound;
+          Alcotest.test_case "duplicate-heavy data" `Quick test_accuracy_on_duplicate_heavy_data;
+          QCheck_alcotest.to_alcotest prop_accurate_bound_random_instances;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "quick is memory-only" `Quick test_quick_uses_no_disk;
+          Alcotest.test_case "accurate io logarithmic" `Quick test_accurate_io_logarithmic;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "quantile + validation" `Quick test_quantile_definitions;
+          Alcotest.test_case "stream-only" `Quick test_stream_only_queries;
+          Alcotest.test_case "hist-only near-exact" `Quick test_hist_only_queries;
+          Alcotest.test_case "empty raises" `Quick test_empty_engine_raises;
+          Alcotest.test_case "rank clamping" `Quick test_rank_clamping;
+          Alcotest.test_case "stream reset per step" `Quick test_stream_reset_on_step;
+          Alcotest.test_case "rank_of + cdf" `Quick test_rank_of_and_cdf;
+          Alcotest.test_case "accurate_many = singles" `Quick test_accurate_many_matches_single;
+        ] );
+      ( "windows",
+        [
+          Alcotest.test_case "window queries" `Quick test_window_queries;
+          Alcotest.test_case "range queries" `Quick test_range_queries;
+          Alcotest.test_case "all windows vs oracles" `Quick test_all_windows_match_oracles;
+        ] );
+      ( "retention",
+        [ Alcotest.test_case "expire + persist end-to-end" `Quick test_expire_engine_end_to_end ] );
+      ("memory mode", [ Alcotest.test_case "budget + accuracy" `Quick test_memory_mode_budget ]);
+      ( "parallel",
+        [ Alcotest.test_case "parallel sort identical" `Quick test_parallel_sort_identical_results ] );
+    ]

@@ -1,0 +1,183 @@
+(* Integration tests: the full system driven over every evaluation
+   dataset, mixed query workloads against the exact oracle, the
+   file-backed device, and fault recovery. *)
+
+module E = Hsq.Engine
+
+let run_dataset ~name ~seed =
+  let ds = Hsq_workload.Datasets.by_name ~seed name in
+  let config = Hsq.Config.make ~kappa:4 ~block_size:64 (Hsq.Config.Epsilon 0.02) in
+  let eng = E.create config in
+  let oracle = Hsq_workload.Oracle.create () in
+  let steps = 10 and step_size = 2_000 in
+  for _ = 1 to steps do
+    let batch = Hsq_workload.Datasets.next_batch ds step_size in
+    Hsq_workload.Oracle.add_batch oracle batch;
+    ignore (E.ingest_batch eng batch)
+  done;
+  (* live tail of half a step *)
+  let tail = Hsq_workload.Datasets.next_batch ds (step_size / 2) in
+  Array.iter
+    (fun v ->
+      E.observe eng v;
+      Hsq_workload.Oracle.add oracle v)
+    tail;
+  (eng, oracle)
+
+let test_all_datasets_within_bounds () =
+  List.iter
+    (fun name ->
+      let eng, oracle = run_dataset ~name ~seed:101 in
+      let n = E.total_size eng in
+      let m = E.stream_size eng in
+      let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+      List.iter
+        (fun phi ->
+          let r = int_of_float (ceil (phi *. float_of_int n)) in
+          let v, report = E.accurate eng ~rank:r in
+          let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s phi=%.2f err=%d bound=%.0f io=%d" name phi err bound
+               (Hsq_storage.Io_stats.total report.E.io))
+            true
+            (float_of_int err <= bound))
+        [ 0.05; 0.25; 0.5; 0.75; 0.95 ];
+      Alcotest.(check (list string)) (name ^ " invariants") []
+        (Hsq_hist.Level_index.check_invariants (E.hist eng)))
+    Hsq_workload.Datasets.names
+
+let test_interleaved_queries_and_updates () =
+  (* Queries must be valid at any point of the lifecycle, including
+     immediately after a step boundary (empty stream). *)
+  let ds = Hsq_workload.Datasets.uniform ~seed:102 in
+  let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
+  let eng = E.create config in
+  let oracle = Hsq_workload.Oracle.create () in
+  for step = 1 to 12 do
+    let batch = Hsq_workload.Datasets.next_batch ds 1_000 in
+    Array.iteri
+      (fun i v ->
+        E.observe eng v;
+        Hsq_workload.Oracle.add oracle v;
+        if i = 500 then begin
+          (* mid-step query *)
+          let n = E.total_size eng in
+          let r = max 1 (n / 2) in
+          let v, _ = E.accurate eng ~rank:r in
+          let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+          let m = E.stream_size eng in
+          let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+          if float_of_int err > bound then
+            Alcotest.failf "mid-step query off at step %d: err=%d > %.1f" step err bound
+        end)
+      batch;
+    ignore (E.end_time_step eng);
+    (* boundary query with empty stream: near-exact *)
+    let n = E.total_size eng in
+    let r = max 1 (int_of_float (ceil (0.9 *. float_of_int n))) in
+    let v, _ = E.accurate eng ~rank:r in
+    let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+    Alcotest.(check bool) (Printf.sprintf "boundary step %d err=%d" step err) true (err <= 1)
+  done
+
+let test_file_backed_device_agrees () =
+  let path = Filename.temp_file "hsq_integration" ".dev" in
+  let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
+  let file_dev = Hsq_storage.Block_device.create_file ~block_size:32 ~path () in
+  let eng_mem = E.create config in
+  let eng_file = E.create ~device:file_dev config in
+  let ds1 = Hsq_workload.Datasets.normal ~seed:103 in
+  let ds2 = Hsq_workload.Datasets.normal ~seed:103 in
+  for _ = 1 to 7 do
+    ignore (E.ingest_batch eng_mem (Hsq_workload.Datasets.next_batch ds1 1_500));
+    ignore (E.ingest_batch eng_file (Hsq_workload.Datasets.next_batch ds2 1_500))
+  done;
+  List.iter
+    (fun phi ->
+      let n = E.total_size eng_mem in
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let v_mem, _ = E.accurate eng_mem ~rank:r in
+      let v_file, _ = E.accurate eng_file ~rank:r in
+      Alcotest.(check int) (Printf.sprintf "phi=%.2f backends agree" phi) v_mem v_file)
+    [ 0.1; 0.5; 0.9 ];
+  Hsq_storage.Block_device.close file_dev;
+  Sys.remove path
+
+let test_device_fault_surfaces_and_recovers () =
+  let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
+  let eng = E.create config in
+  for _ = 1 to 5 do
+    ignore (E.ingest_batch eng (Array.init 1_000 (fun i -> i * 7)))
+  done;
+  for i = 1 to 100 do
+    E.observe eng i
+  done;
+  let dev = E.device eng in
+  Hsq_storage.Block_device.set_fault dev (Some (fun op _ -> op = Hsq_storage.Block_device.Read));
+  Alcotest.(check bool) "fault surfaces as Device_error" true
+    (try
+       ignore (E.accurate eng ~rank:2_000);
+       false
+     with Hsq_storage.Block_device.Device_error _ -> true);
+  Hsq_storage.Block_device.set_fault dev None;
+  let v, _ = E.accurate eng ~rank:2_000 in
+  Alcotest.(check bool) "recovers after fault cleared" true (v >= 0)
+
+let test_quick_vs_accurate_consistency () =
+  (* Quick and accurate answers must be within their combined bounds of
+     each other on every dataset. *)
+  List.iter
+    (fun name ->
+      let eng, oracle = run_dataset ~name ~seed:104 in
+      let n = E.total_size eng in
+      let r = n / 2 in
+      let va, _ = E.accurate eng ~rank:r in
+      let vq = E.quick eng ~rank:r in
+      let ra = Hsq_workload.Oracle.rank_of oracle va in
+      let rq = Hsq_workload.Oracle.rank_of oracle vq in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s quick/accurate ranks within 2*1.5*eps*N" name)
+        true
+        (float_of_int (abs (ra - rq)) <= 4.0 *. E.epsilon eng *. float_of_int n))
+    Hsq_workload.Datasets.names
+
+let test_long_run_many_steps () =
+  (* 60 steps: several merge cascades deep; invariants + accuracy. *)
+  let ds = Hsq_workload.Datasets.network ~seed:105 in
+  let config = Hsq.Config.make ~kappa:3 ~block_size:64 ~steps_hint:60 (Hsq.Config.Epsilon 0.05) in
+  let eng = E.create config in
+  let oracle = Hsq_workload.Oracle.create () in
+  for _ = 1 to 60 do
+    let b = Hsq_workload.Datasets.next_batch ds 500 in
+    Hsq_workload.Oracle.add_batch oracle b;
+    ignore (E.ingest_batch eng b)
+  done;
+  Alcotest.(check (list string)) "invariants after 60 steps" []
+    (Hsq_hist.Level_index.check_invariants (E.hist eng));
+  Alcotest.(check bool) "levels stay logarithmic" true
+    (Hsq_hist.Level_index.num_levels (E.hist eng) <= 5);
+  let n = E.total_size eng in
+  let v, _ = E.accurate eng ~rank:(n / 2) in
+  Alcotest.(check int) "median exact with empty stream" 0
+    (Hsq_workload.Oracle.rank_error oracle ~rank:(n / 2) ~value:v)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "datasets",
+        [
+          Alcotest.test_case "all datasets within bounds" `Slow test_all_datasets_within_bounds;
+          Alcotest.test_case "quick vs accurate consistent" `Slow test_quick_vs_accurate_consistency;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "interleaved queries/updates" `Slow test_interleaved_queries_and_updates;
+          Alcotest.test_case "long run (60 steps)" `Slow test_long_run_many_steps;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "file-backed device agrees" `Slow test_file_backed_device_agrees;
+          Alcotest.test_case "fault injection surfaces + recovers" `Quick
+            test_device_fault_surfaces_and_recovers;
+        ] );
+    ]

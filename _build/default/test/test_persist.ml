@@ -1,0 +1,174 @@
+(* Tests for warehouse persistence: save/restore round-trips on a
+   file-backed device, recovery I/O cost, and corruption detection. *)
+
+module E = Hsq.Engine
+
+let with_temp_files f =
+  let dev_path = Filename.temp_file "hsq_persist" ".dev" in
+  let meta_path = Filename.temp_file "hsq_persist" ".meta" in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dev_path then Sys.remove dev_path;
+      if Sys.file_exists meta_path then Sys.remove meta_path)
+    (fun () -> f ~dev_path ~meta_path)
+
+let build_and_save ~dev_path ~meta_path ~steps =
+  let config = Hsq.Config.make ~kappa:3 ~block_size:32 ~steps_hint:steps (Hsq.Config.Epsilon 0.05) in
+  let dev = Hsq_storage.Block_device.create_file ~block_size:32 ~path:dev_path () in
+  let eng = E.create ~device:dev config in
+  let rng = Hsq_util.Xoshiro.create 4242 in
+  let oracle = Hsq_workload.Oracle.create () in
+  for _ = 1 to steps do
+    let batch = Array.init 500 (fun _ -> Hsq_util.Xoshiro.int rng 100_000) in
+    Hsq_workload.Oracle.add_batch oracle batch;
+    ignore (E.ingest_batch eng batch)
+  done;
+  Hsq.Persist.save eng ~path:meta_path;
+  Hsq_storage.Block_device.close dev;
+  (oracle, E.total_size eng)
+
+let test_round_trip () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      let oracle, n = build_and_save ~dev_path ~meta_path ~steps:13 in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      Alcotest.(check int) "size restored" n (E.total_size eng);
+      Alcotest.(check int) "steps restored" 13 (E.time_steps eng);
+      Alcotest.(check int) "stream volatile" 0 (E.stream_size eng);
+      Alcotest.(check (list string)) "invariants" []
+        (Hsq_hist.Level_index.check_invariants (E.hist eng));
+      (* Queries on the restored engine are near-exact (empty stream). *)
+      List.iter
+        (fun phi ->
+          let r = int_of_float (ceil (phi *. float_of_int n)) in
+          let v, _ = E.accurate eng ~rank:r in
+          let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+          Alcotest.(check int) (Printf.sprintf "phi=%.2f exact after restore" phi) 0 err)
+        [ 0.1; 0.5; 0.9 ];
+      Hsq_storage.Block_device.close (E.device eng))
+
+let test_restored_engine_keeps_ingesting () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      let _, n = build_and_save ~dev_path ~meta_path ~steps:5 in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      (* Life goes on: stream, archive, query. *)
+      for i = 1 to 700 do
+        E.observe eng i
+      done;
+      ignore (E.end_time_step eng);
+      Alcotest.(check int) "grew by a step" (n + 700) (E.total_size eng);
+      Alcotest.(check int) "step count advanced" 6 (E.time_steps eng);
+      Alcotest.(check (list string)) "invariants after growth" []
+        (Hsq_hist.Level_index.check_invariants (E.hist eng));
+      let v, _ = E.accurate eng ~rank:1 in
+      Alcotest.(check bool) "min sane" true (v >= 0);
+      Hsq_storage.Block_device.close (E.device eng))
+
+let test_recovery_io_is_bounded () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:13);
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let stats = Hsq_storage.Block_device.stats (E.device eng) in
+      let c = Hsq_storage.Io_stats.snapshot stats in
+      (* Recovery reads at most beta1 blocks per partition, never the
+         whole dataset (13 steps x 500 elems / 32 per block = 204 data
+         blocks). *)
+      let parts = Hsq_hist.Level_index.partition_count (E.hist eng) in
+      let beta1 = Hsq.Config.beta1 (E.config eng) in
+      Alcotest.(check bool)
+        (Printf.sprintf "recovery reads %d <= parts(%d) * beta1(%d)" c.Hsq_storage.Io_stats.reads
+           parts beta1)
+        true
+        (c.Hsq_storage.Io_stats.reads <= parts * beta1);
+      Alcotest.(check int) "recovery writes nothing" 0 c.Hsq_storage.Io_stats.writes;
+      Hsq_storage.Block_device.close (E.device eng))
+
+let test_corrupt_metadata_rejected () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:4);
+      (* Truncate the partition table. *)
+      let contents = In_channel.with_open_text meta_path In_channel.input_all in
+      let lines = String.split_on_char '\n' contents in
+      let truncated = List.filteri (fun i _ -> i < List.length lines - 2) lines in
+      Out_channel.with_open_text meta_path (fun oc ->
+          Out_channel.output_string oc (String.concat "\n" truncated));
+      Alcotest.(check bool) "truncated metadata rejected" true
+        (try
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           false
+         with Hsq.Persist.Corrupt_metadata _ -> true))
+
+let test_bad_version_rejected () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:2);
+      let contents = In_channel.with_open_text meta_path In_channel.input_all in
+      Out_channel.with_open_text meta_path (fun oc ->
+          Out_channel.output_string oc
+            (Str.global_replace (Str.regexp "hsq-meta 1") "hsq-meta 99" contents));
+      Alcotest.(check bool) "bad version rejected" true
+        (try
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           false
+         with Hsq.Persist.Corrupt_metadata _ -> true))
+
+let test_missing_device_rejected () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:2);
+      Sys.remove dev_path;
+      Alcotest.(check bool) "missing device rejected" true
+        (try
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           false
+         with Hsq_storage.Block_device.Device_error _ -> true))
+
+let test_garbled_device_detected () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:4);
+      (* Garble the middle half of the LARGEST live partition (junk in
+         freed, merged-away regions is rightly undetectable).  The
+         rebuilt summary probes every ~beta1-th position, so a wide
+         stripe of descending garbage must surface as an unsorted
+         summary. *)
+      let meta = In_channel.with_open_text meta_path In_channel.input_all in
+      let best = ref (0, 0) in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "partition"; fb; len; _; _; _ ] ->
+            let fb = int_of_string fb and len = int_of_string len in
+            if len > snd !best then best := (fb, len)
+          | _ -> ())
+        (String.split_on_char '\n' meta);
+      let first_block, length = !best in
+      Alcotest.(check bool) "found a live partition" true (length > 0);
+      let bytes_per_block = 32 * 8 in
+      let start = (first_block * bytes_per_block) + (length * 8 / 4) in
+      let span = length * 8 / 2 in
+      let fd = Unix.openfile dev_path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd start Unix.SEEK_SET);
+      let junk = Bytes.init span (fun i -> Char.chr ((255 - i) land 0xFF)) in
+      ignore (Unix.write fd junk 0 (Bytes.length junk));
+      Unix.close fd;
+      Alcotest.(check bool) "garbled device detected" true
+        (try
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           false
+         with Hsq.Persist.Corrupt_metadata _ -> true))
+
+let () =
+  Alcotest.run "persist"
+    [
+      ( "round trip",
+        [
+          Alcotest.test_case "save/load" `Quick test_round_trip;
+          Alcotest.test_case "restored engine keeps ingesting" `Quick
+            test_restored_engine_keeps_ingesting;
+          Alcotest.test_case "recovery io bounded" `Quick test_recovery_io_is_bounded;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "truncated metadata" `Quick test_corrupt_metadata_rejected;
+          Alcotest.test_case "bad version" `Quick test_bad_version_rejected;
+          Alcotest.test_case "missing device" `Quick test_missing_device_rejected;
+          Alcotest.test_case "garbled device" `Quick test_garbled_device_detected;
+        ] );
+    ]

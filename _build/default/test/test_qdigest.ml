@@ -1,0 +1,140 @@
+(* Tests for the Q-Digest sketch: the (log2 U / k) * n rank bound,
+   compression size bound, universe validation. *)
+
+open Hsq_sketch
+
+let rank_error sorted ~rank ~value =
+  let upper = Hsq_util.Sorted.rank sorted value in
+  let lower = min upper (Hsq_util.Sorted.rank_strict sorted value + 1) in
+  if rank < lower then lower - rank else if rank > upper then rank - upper else 0
+
+let check_bound ~bits ~k data =
+  let qd = Qdigest.create ~bits ~k in
+  Array.iter (Qdigest.insert qd) data;
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  let n = Array.length data in
+  let bound = int_of_float (ceil (Qdigest.error_bound qd *. float_of_int n)) in
+  let worst = ref 0 in
+  for r = 1 to n do
+    let v = Qdigest.query_rank qd r in
+    let e = rank_error sorted ~rank:r ~value:v in
+    if e > !worst then worst := e
+  done;
+  Alcotest.(check bool) (Printf.sprintf "worst %d <= bound %d" !worst bound) true (!worst <= bound)
+
+let test_uniform () =
+  let rng = Hsq_util.Xoshiro.create 11 in
+  check_bound ~bits:16 ~k:100 (Array.init 20_000 (fun _ -> Hsq_util.Xoshiro.int rng 65_536))
+
+let test_skewed () =
+  let rng = Hsq_util.Xoshiro.create 12 in
+  (* 90% of mass at small values *)
+  check_bound ~bits:16 ~k:100
+    (Array.init 20_000 (fun _ ->
+         if Hsq_util.Xoshiro.int rng 10 < 9 then Hsq_util.Xoshiro.int rng 64
+         else Hsq_util.Xoshiro.int rng 65_536))
+
+let test_constant () = check_bound ~bits:10 ~k:50 (Array.make 5_000 511)
+
+let test_small () =
+  List.iter (fun n -> check_bound ~bits:8 ~k:20 (Array.init n (fun i -> i mod 256))) [ 1; 2; 7; 64 ]
+
+let test_size_bound () =
+  let rng = Hsq_util.Xoshiro.create 13 in
+  let k = 64 in
+  let qd = Qdigest.create ~bits:20 ~k in
+  for _ = 1 to 100_000 do
+    Qdigest.insert qd (Hsq_util.Xoshiro.int rng (1 lsl 20))
+  done;
+  (* classic bound: at most ~3k nodes after compression; allow the
+     amortised schedule a factor of 2 headroom between compressions *)
+  Alcotest.(check bool)
+    (Printf.sprintf "size %d <= 6k" (Qdigest.size qd))
+    true
+    (Qdigest.size qd <= 6 * k)
+
+let test_universe_validation () =
+  let qd = Qdigest.create ~bits:8 ~k:10 in
+  Alcotest.check_raises "too large" (Invalid_argument "Qdigest.insert: value outside universe")
+    (fun () -> Qdigest.insert qd 256);
+  Alcotest.check_raises "negative" (Invalid_argument "Qdigest.insert: value outside universe")
+    (fun () -> Qdigest.insert qd (-1))
+
+let test_create_validation () =
+  Alcotest.check_raises "bits 0" (Invalid_argument "Qdigest.create: bits out of range") (fun () ->
+      ignore (Qdigest.create ~bits:0 ~k:1));
+  Alcotest.check_raises "k 0" (Invalid_argument "Qdigest.create: k must be positive") (fun () ->
+      ignore (Qdigest.create ~bits:8 ~k:0))
+
+let test_capped_budget () =
+  let rng = Hsq_util.Xoshiro.create 14 in
+  let words = 1_000 in
+  let qd = Qdigest.create_capped ~bits:20 ~words in
+  for _ = 1 to 50_000 do
+    Qdigest.insert qd (Hsq_util.Xoshiro.int rng (1 lsl 20))
+  done;
+  (* create_capped sizes k for <= 3k nodes; the schedule allows 6k
+     transiently, i.e. twice the nominal budget. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "memory %d within 2x budget" (Qdigest.memory_words qd))
+    true
+    (Qdigest.memory_words qd <= 2 * words)
+
+let test_empty_raises () =
+  let qd = Qdigest.create ~bits:8 ~k:10 in
+  Alcotest.check_raises "empty" (Invalid_argument "Qdigest.query_rank: empty sketch") (fun () ->
+      ignore (Qdigest.query_rank qd 1))
+
+let prop_error_bound =
+  QCheck.Test.make ~name:"qdigest error bound on random streams" ~count:50
+    QCheck.(pair (list_of_size Gen.(1 -- 400) (int_bound 1023)) (int_range 10 60))
+    (fun (l, k) ->
+      let data = Array.of_list l in
+      let qd = Qdigest.create ~bits:10 ~k in
+      Array.iter (Qdigest.insert qd) data;
+      let sorted = Array.copy data in
+      Array.sort compare sorted;
+      let n = Array.length data in
+      let bound = int_of_float (ceil (Qdigest.error_bound qd *. float_of_int n)) in
+      let ok = ref true in
+      for r = 1 to n do
+        let v = Qdigest.query_rank qd r in
+        if rank_error sorted ~rank:r ~value:v > bound then ok := false
+      done;
+      !ok)
+
+let prop_rank_of_error =
+  QCheck.Test.make ~name:"qdigest rank_of within bound" ~count:50
+    QCheck.(pair (list_of_size Gen.(1 -- 300) (int_bound 1023)) (int_bound 1023))
+    (fun (l, v) ->
+      let data = Array.of_list l in
+      let qd = Qdigest.create ~bits:10 ~k:40 in
+      Array.iter (Qdigest.insert qd) data;
+      let sorted = Array.copy data in
+      Array.sort compare sorted;
+      let n = Array.length data in
+      let bound = int_of_float (ceil (Qdigest.error_bound qd *. float_of_int n)) in
+      abs (Qdigest.rank_of qd v - Hsq_util.Sorted.rank sorted v) <= bound)
+
+let () =
+  Alcotest.run "qdigest"
+    [
+      ( "error bound",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "skewed" `Quick test_skewed;
+          Alcotest.test_case "constant" `Quick test_constant;
+          Alcotest.test_case "small" `Quick test_small;
+          QCheck_alcotest.to_alcotest prop_error_bound;
+          QCheck_alcotest.to_alcotest prop_rank_of_error;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "size bound" `Quick test_size_bound;
+          Alcotest.test_case "universe validation" `Quick test_universe_validation;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "capped budget" `Quick test_capped_budget;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+        ] );
+    ]

@@ -1,0 +1,119 @@
+(* Tests for the randomized MRL/RANDOM-style sampler.  Its guarantees
+   are probabilistic, so accuracy checks use generous multiples of the
+   nominal 1/buffer_size error and fixed seeds. *)
+
+open Hsq_sketch
+
+let rank_error sorted ~rank ~value =
+  let upper = Hsq_util.Sorted.rank sorted value in
+  let lower = min upper (Hsq_util.Sorted.rank_strict sorted value + 1) in
+  if rank < lower then lower - rank else if rank > upper then rank - upper else 0
+
+let test_accuracy_random () =
+  let rng = Hsq_util.Xoshiro.create 31 in
+  let n = 40_000 in
+  let data = Array.init n (fun _ -> Hsq_util.Xoshiro.int rng 1_000_000) in
+  let sp = Sampler.create ~seed:1 ~buffers:10 ~buffer_size:200 () in
+  Array.iter (Sampler.insert sp) data;
+  let sorted = Array.copy data in
+  Array.sort compare sorted;
+  (* nominal error n/s = 200; allow 10x for randomness *)
+  let slack = 10 * (n / 200) in
+  List.iter
+    (fun phi ->
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let v = Sampler.query_rank sp r in
+      let e = rank_error sorted ~rank:r ~value:v in
+      Alcotest.(check bool) (Printf.sprintf "phi=%.2f err %d <= %d" phi e slack) true (e <= slack))
+    [ 0.01; 0.25; 0.5; 0.75; 0.99 ]
+
+let test_accuracy_sorted_input () =
+  let n = 30_000 in
+  let data = Array.init n (fun i -> i) in
+  let sp = Sampler.create ~seed:2 ~buffers:10 ~buffer_size:200 () in
+  Array.iter (Sampler.insert sp) data;
+  let slack = 10 * (n / 200) in
+  List.iter
+    (fun phi ->
+      let r = int_of_float (ceil (phi *. float_of_int n)) in
+      let v = Sampler.query_rank sp r in
+      Alcotest.(check bool)
+        (Printf.sprintf "phi=%.2f |v-r| = %d" phi (abs (v + 1 - r)))
+        true
+        (abs (v + 1 - r) <= slack))
+    [ 0.1; 0.5; 0.9 ]
+
+let test_memory_stays_bounded () =
+  let rng = Hsq_util.Xoshiro.create 32 in
+  let sp = Sampler.create ~seed:3 ~buffers:8 ~buffer_size:64 () in
+  let cap = 10 + (64 * 9) in
+  for i = 1 to 100_000 do
+    Sampler.insert sp (Hsq_util.Xoshiro.int rng max_int);
+    if i mod 9973 = 0 then
+      Alcotest.(check bool) "memory bounded" true (Sampler.memory_words sp <= cap)
+  done
+
+let test_determinism_per_seed () =
+  let mk () =
+    let sp = Sampler.create ~seed:77 ~buffers:6 ~buffer_size:32 () in
+    for i = 1 to 10_000 do
+      Sampler.insert sp ((i * 2654435761) land 0xFFFFF)
+    done;
+    List.map (fun r -> Sampler.query_rank sp r) [ 1; 100; 5000; 9999 ]
+  in
+  Alcotest.(check (list int)) "same seed, same answers" (mk ()) (mk ())
+
+let test_small_streams () =
+  let sp = Sampler.create ~seed:5 ~buffers:4 ~buffer_size:8 () in
+  Sampler.insert sp 5;
+  Alcotest.(check int) "single element" 5 (Sampler.query_rank sp 1);
+  Sampler.insert sp 3;
+  let v = Sampler.query_rank sp 1 in
+  Alcotest.(check bool) "one of the two" true (v = 3 || v = 5)
+
+let test_validation () =
+  Alcotest.check_raises "buffers < 2" (Invalid_argument "Sampler.create: need at least 2 buffers")
+    (fun () -> ignore (Sampler.create ~buffers:1 ~buffer_size:8 ()));
+  let sp = Sampler.create ~buffers:2 ~buffer_size:8 () in
+  Alcotest.check_raises "empty" (Invalid_argument "Sampler.query_rank: empty sketch") (fun () ->
+      ignore (Sampler.query_rank sp 1))
+
+let test_count_tracks_n () =
+  let sp = Sampler.create ~seed:6 ~buffers:4 ~buffer_size:16 () in
+  for i = 1 to 12_345 do
+    Sampler.insert sp i
+  done;
+  Alcotest.(check int) "count" 12_345 (Sampler.count sp)
+
+let prop_query_within_value_range =
+  QCheck.Test.make ~name:"sampler answers inside observed value range" ~count:60
+    QCheck.(list_of_size Gen.(1 -- 2000) (int_bound 100_000))
+    (fun l ->
+      let sp = Sampler.create ~seed:9 ~buffers:5 ~buffer_size:16 () in
+      List.iter (Sampler.insert sp) l;
+      let lo = List.fold_left min max_int l and hi = List.fold_left max min_int l in
+      let n = List.length l in
+      List.for_all
+        (fun r ->
+          let v = Sampler.query_rank sp r in
+          v >= lo && v <= hi)
+        [ 1; (n + 1) / 2; n ])
+
+let () =
+  Alcotest.run "sampler"
+    [
+      ( "accuracy",
+        [
+          Alcotest.test_case "random input" `Quick test_accuracy_random;
+          Alcotest.test_case "sorted input" `Quick test_accuracy_sorted_input;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "memory bounded" `Quick test_memory_stays_bounded;
+          Alcotest.test_case "deterministic per seed" `Quick test_determinism_per_seed;
+          Alcotest.test_case "small streams" `Quick test_small_streams;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "count" `Quick test_count_tracks_n;
+          QCheck_alcotest.to_alcotest prop_query_within_value_range;
+        ] );
+    ]

@@ -1,0 +1,447 @@
+(* Tests for hsq_storage: I/O accounting, block devices (memory and
+   file backends, fault injection), sorted runs, k-way merge, external
+   sort. *)
+
+open Hsq_storage
+
+let mem_dev ?(block_size = 8) () = Block_device.create_memory ~block_size ()
+
+(* --- Io_stats ------------------------------------------------------ *)
+
+let test_io_stats_classification () =
+  let s = Io_stats.create () in
+  Io_stats.note_read s 10;
+  (* first read: no predecessor -> random *)
+  Io_stats.note_read s 11;
+  (* sequential *)
+  Io_stats.note_read s 13;
+  (* skip -> random *)
+  Io_stats.note_read ~hint:true s 99;
+  (* forced sequential *)
+  Io_stats.note_write s 5;
+  let c = Io_stats.snapshot s in
+  Alcotest.(check int) "reads" 4 c.Io_stats.reads;
+  Alcotest.(check int) "seq" 2 c.Io_stats.seq_reads;
+  Alcotest.(check int) "rand" 2 c.Io_stats.rand_reads;
+  Alcotest.(check int) "writes" 1 c.Io_stats.writes;
+  Alcotest.(check int) "total" 5 (Io_stats.total c)
+
+let test_io_stats_measure_and_diff () =
+  let s = Io_stats.create () in
+  Io_stats.note_read s 1;
+  let result, delta = Io_stats.measure s (fun () -> Io_stats.note_write s 2; "x") in
+  Alcotest.(check string) "result passthrough" "x" result;
+  Alcotest.(check int) "delta writes" 1 delta.Io_stats.writes;
+  Alcotest.(check int) "delta reads" 0 delta.Io_stats.reads;
+  let sum = Io_stats.add delta delta in
+  Alcotest.(check int) "add" 2 sum.Io_stats.writes
+
+(* --- Block_device --------------------------------------------------- *)
+
+let test_device_roundtrip () =
+  let dev = mem_dev () in
+  let addr = Block_device.alloc dev 2 in
+  Block_device.write_block dev ~addr [| 1; 2; 3; 4; 5; 6; 7; 8 |];
+  Block_device.write_block dev ~addr:(addr + 1) (Array.make 8 9);
+  Alcotest.(check (array int)) "block 0" [| 1; 2; 3; 4; 5; 6; 7; 8 |]
+    (Block_device.read_block dev ~addr);
+  Alcotest.(check (array int)) "block 1" (Array.make 8 9) (Block_device.read_block dev ~addr:(addr + 1))
+
+let test_device_bad_payload () =
+  let dev = mem_dev () in
+  let addr = Block_device.alloc dev 1 in
+  Alcotest.check_raises "short payload"
+    (Invalid_argument "Block_device.write_block: payload must be exactly one block") (fun () ->
+      Block_device.write_block dev ~addr [| 1 |])
+
+let test_device_unallocated () =
+  let dev = mem_dev () in
+  Alcotest.check_raises "read unallocated"
+    (Invalid_argument "Block_device.read_block: unallocated address") (fun () ->
+      ignore (Block_device.read_block dev ~addr:0))
+
+let test_device_free_and_live () =
+  let dev = mem_dev () in
+  let a = Block_device.alloc dev 4 in
+  Alcotest.(check int) "allocated" 4 (Block_device.allocated_blocks dev);
+  Block_device.free dev ~addr:a ~nblocks:2;
+  Alcotest.(check int) "live" 2 (Block_device.live_blocks dev);
+  Alcotest.(check bool) "freed read fails" true
+    (try
+       ignore (Block_device.read_block dev ~addr:a);
+       false
+     with Block_device.Device_error _ -> true)
+
+let test_device_fault_injection () =
+  let dev = mem_dev () in
+  let addr = Block_device.alloc dev 1 in
+  Block_device.write_block dev ~addr (Array.make 8 1);
+  Block_device.set_fault dev (Some (fun op _ -> op = Block_device.Read));
+  Alcotest.(check bool) "read faults" true
+    (try
+       ignore (Block_device.read_block dev ~addr);
+       false
+     with Block_device.Device_error _ -> true);
+  Block_device.set_fault dev None;
+  Alcotest.(check (array int)) "recovers" (Array.make 8 1) (Block_device.read_block dev ~addr)
+
+let test_file_backend_roundtrip () =
+  let path = Filename.temp_file "hsq_test" ".dev" in
+  let dev = Block_device.create_file ~block_size:4 ~path () in
+  let addr = Block_device.alloc dev 3 in
+  Block_device.write_block dev ~addr [| 10; -20; 30; max_int / 2 |];
+  Block_device.write_block dev ~addr:(addr + 2) [| 7; 7; 7; 7 |];
+  Alcotest.(check (array int)) "block 0" [| 10; -20; 30; max_int / 2 |]
+    (Block_device.read_block dev ~addr);
+  Alcotest.(check (array int)) "block 2" [| 7; 7; 7; 7 |] (Block_device.read_block dev ~addr:(addr + 2));
+  Block_device.close dev;
+  Sys.remove path
+
+(* --- Run ------------------------------------------------------------ *)
+
+let test_run_roundtrip_and_padding () =
+  let dev = mem_dev () in
+  (* 10 elements over 8-element blocks: a partial tail block. *)
+  let data = Array.init 10 (fun i -> i * 2) in
+  let run = Run.of_sorted_array dev data in
+  Alcotest.(check int) "length" 10 (Run.length run);
+  Alcotest.(check int) "nblocks" 2 (Run.nblocks run);
+  Alcotest.(check (array int)) "to_array" data (Run.to_array run);
+  Alcotest.(check int) "get 9" 18 (Run.get run 9);
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Run.get: index out of bounds")
+    (fun () -> ignore (Run.get run 10))
+
+let test_run_rejects_unsorted () =
+  let dev = mem_dev () in
+  Alcotest.check_raises "unsorted" (Invalid_argument "Run.of_sorted_array: not sorted") (fun () ->
+      ignore (Run.of_sorted_array dev [| 3; 1 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Run.of_sorted_array: empty run") (fun () ->
+      ignore (Run.of_sorted_array dev [||]))
+
+let test_run_rank () =
+  let dev = mem_dev () in
+  let data = [| 1; 3; 3; 5; 9; 9; 9; 12; 15; 20 |] in
+  let run = Run.of_sorted_array dev data in
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "rank %d" v)
+        (Hsq_util.Sorted.rank data v) (Run.rank run v))
+    [ 0; 1; 2; 3; 4; 9; 10; 20; 21 ]
+
+let test_run_block_cache () =
+  let dev = mem_dev ~block_size:4 () in
+  let run = Run.of_sorted_array dev (Array.init 16 (fun i -> i)) in
+  Run.drop_cache run;
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  ignore (Run.get run 0);
+  ignore (Run.get run 1);
+  ignore (Run.get run 2);
+  (* all in block 0: one physical read *)
+  Alcotest.(check int) "cached reads" 1 (Io_stats.snapshot stats).Io_stats.reads;
+  ignore (Run.get run 5);
+  Alcotest.(check int) "new block read" 2 (Io_stats.snapshot stats).Io_stats.reads
+
+let test_run_rank_between_io_bound () =
+  let dev = mem_dev ~block_size:16 () in
+  let n = 4096 in
+  let run = Run.of_sorted_array dev (Array.init n (fun i -> 2 * i)) in
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  let r = Run.rank_between run ~lo:0 ~hi:n 2001 in
+  Alcotest.(check int) "correct rank" 1001 r;
+  (* binary search over 4096/16 = 256 blocks: ~log2(4096) = 12 probes max *)
+  Alcotest.(check bool) "io within log bound" true ((Io_stats.snapshot stats).Io_stats.reads <= 13)
+
+let test_run_writer_matches_of_sorted_array () =
+  let dev = mem_dev ~block_size:4 () in
+  let data = Array.init 11 (fun i -> i * i) in
+  let w = Run.writer dev ~length:11 in
+  Array.iter (Run.writer_push w) data;
+  let run = Run.writer_finish w in
+  Alcotest.(check (array int)) "roundtrip" data (Run.to_array run)
+
+let test_run_writer_validation () =
+  let dev = mem_dev () in
+  let w = Run.writer dev ~length:2 in
+  Run.writer_push w 5;
+  Alcotest.check_raises "descending push" (Invalid_argument "Run.writer_push: values must be ascending")
+    (fun () -> Run.writer_push w 4);
+  Alcotest.check_raises "short finish"
+    (Invalid_argument "Run.writer_finish: wrote 1 of 2 declared values") (fun () ->
+      ignore (Run.writer_finish w))
+
+let test_run_cursor () =
+  let dev = mem_dev ~block_size:4 () in
+  let data = Array.init 9 (fun i -> i + 100) in
+  let run = Run.of_sorted_array dev data in
+  let c = Run.cursor run in
+  let collected = ref [] in
+  let rec drain () =
+    match Run.cursor_next c with
+    | Some v ->
+      collected := v :: !collected;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "cursor sees all" (Array.to_list data) (List.rev !collected)
+
+let test_run_free () =
+  let dev = mem_dev () in
+  let run = Run.of_sorted_array dev [| 1; 2; 3 |] in
+  Run.free run;
+  Run.free run;
+  (* idempotent *)
+  Alcotest.check_raises "freed get" (Invalid_argument "Run.get: run has been freed") (fun () ->
+      ignore (Run.get run 0))
+
+(* --- Kway_merge ------------------------------------------------------ *)
+
+let test_kway_merge_basic () =
+  let dev = mem_dev ~block_size:4 () in
+  let r1 = Run.of_sorted_array dev [| 1; 5; 9 |] in
+  let r2 = Run.of_sorted_array dev [| 2; 5; 20 |] in
+  let r3 = Run.of_sorted_array dev [| 0; 30 |] in
+  let seen = ref [] in
+  let merged = Kway_merge.merge ~observe:(fun i v -> seen := (i, v) :: !seen) dev [ r1; r2; r3 ] in
+  Alcotest.(check (array int)) "merged" [| 0; 1; 2; 5; 5; 9; 20; 30 |] (Run.to_array merged);
+  Alcotest.(check (list (pair int int)))
+    "observe saw everything in order"
+    [ (0, 0); (1, 1); (2, 2); (3, 5); (4, 5); (5, 9); (6, 20); (7, 30) ]
+    (List.rev !seen)
+
+let test_kway_merge_requires_two () =
+  let dev = mem_dev () in
+  let r = Run.of_sorted_array dev [| 1 |] in
+  Alcotest.check_raises "one run" (Invalid_argument "Kway_merge.merge: need at least two runs")
+    (fun () -> ignore (Kway_merge.merge dev [ r ]))
+
+let test_kway_merge_io_is_single_pass () =
+  let dev = mem_dev ~block_size:8 () in
+  let mk n = Run.of_sorted_array dev (Array.init n (fun i -> i)) in
+  let r1 = mk 64 and r2 = mk 64 and r3 = mk 64 in
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  let merged = Kway_merge.merge dev [ r1; r2; r3 ] in
+  let c = Io_stats.snapshot stats in
+  let in_blocks = Run.nblocks r1 + Run.nblocks r2 + Run.nblocks r3 in
+  Alcotest.(check int) "reads = input blocks" in_blocks c.Io_stats.reads;
+  Alcotest.(check int) "reads all sequential" c.Io_stats.reads c.Io_stats.seq_reads;
+  Alcotest.(check int) "writes = output blocks" (Run.nblocks merged) c.Io_stats.writes
+
+let prop_kway_merge_multiset =
+  QCheck.Test.make ~name:"kway merge: sorted, complete multiset" ~count:100
+    QCheck.(list_of_size Gen.(2 -- 6) (list_of_size Gen.(1 -- 40) small_int))
+    (fun lists ->
+      let dev = mem_dev ~block_size:4 () in
+      let runs =
+        List.map (fun l -> Run.of_sorted_array dev (Array.of_list (List.sort compare l))) lists
+      in
+      let merged = Kway_merge.merge dev runs in
+      let out = Array.to_list (Run.to_array merged) in
+      Hsq_util.Sorted.is_sorted (Array.of_list out)
+      && List.sort compare out = List.sort compare (List.concat lists))
+
+(* --- External_sort ---------------------------------------------------- *)
+
+let test_external_sort_in_memory () =
+  let dev = mem_dev ~block_size:4 () in
+  let run, report = External_sort.sort dev [| 5; 1; 4; 1; 3 |] in
+  Alcotest.(check (array int)) "sorted" [| 1; 1; 3; 4; 5 |] (Run.to_array run);
+  Alcotest.(check int) "no passes" 0 report.External_sort.passes
+
+let test_external_sort_spill () =
+  let dev = mem_dev ~block_size:4 () in
+  let rng = Hsq_util.Xoshiro.create 21 in
+  let batch = Array.init 1000 (fun _ -> Hsq_util.Xoshiro.int rng 10_000) in
+  let seen = ref 0 in
+  let run, report =
+    External_sort.sort ~memory_elements:64 ~observe:(fun _ _ -> incr seen) dev batch
+  in
+  let expected = Array.copy batch in
+  Array.sort compare expected;
+  Alcotest.(check (array int)) "sorted" expected (Run.to_array run);
+  Alcotest.(check bool) "spilled" true (report.External_sort.temp_runs > 0);
+  Alcotest.(check bool) "merge passes happened" true (report.External_sort.passes >= 1);
+  Alcotest.(check int) "observe saw final output" 1000 !seen
+
+let test_external_sort_empty () =
+  let dev = mem_dev () in
+  Alcotest.check_raises "empty" (Invalid_argument "External_sort.sort: empty batch") (fun () ->
+      ignore (External_sort.sort dev [||]))
+
+let prop_external_sort_multiset =
+  QCheck.Test.make ~name:"external sort: sorted, complete multiset" ~count:60
+    QCheck.(pair (list_of_size Gen.(1 -- 500) small_int) (int_range 8 64))
+    (fun (l, budget) ->
+      let dev = mem_dev ~block_size:4 () in
+      let run, _ = External_sort.sort ~memory_elements:budget dev (Array.of_list l) in
+      let out = Array.to_list (Run.to_array run) in
+      out = List.sort compare l)
+
+
+(* --- Lru --------------------------------------------------------------- *)
+
+let test_lru_basics () =
+  let l = Lru.create ~capacity:2 in
+  Lru.put l 1 [| 10 |];
+  Lru.put l 2 [| 20 |];
+  Alcotest.(check bool) "find 1" true (Lru.find l 1 = Some [| 10 |]);
+  (* 2 is now LRU; inserting 3 evicts it *)
+  Lru.put l 3 [| 30 |];
+  Alcotest.(check bool) "2 evicted" false (Lru.mem l 2);
+  Alcotest.(check bool) "1 kept" true (Lru.mem l 1);
+  Alcotest.(check int) "size" 2 (Lru.size l);
+  Alcotest.(check int) "hits" 1 (Lru.hits l);
+  Alcotest.(check int) "misses" 0 (Lru.misses l)
+
+let test_lru_update_refreshes () =
+  let l = Lru.create ~capacity:2 in
+  Lru.put l 1 [| 1 |];
+  Lru.put l 2 [| 2 |];
+  Lru.put l 1 [| 11 |];
+  (* refresh 1: 2 becomes LRU *)
+  Lru.put l 3 [| 3 |];
+  Alcotest.(check bool) "2 evicted after refresh" false (Lru.mem l 2);
+  Alcotest.(check bool) "1 updated" true (Lru.find l 1 = Some [| 11 |])
+
+let test_lru_remove_and_clear () =
+  let l = Lru.create ~capacity:4 in
+  List.iter (fun k -> Lru.put l k [| k |]) [ 1; 2; 3 ];
+  Lru.remove l 2;
+  Alcotest.(check int) "size after remove" 2 (Lru.size l);
+  Lru.remove l 99;
+  (* no-op *)
+  Lru.clear l;
+  Alcotest.(check int) "cleared" 0 (Lru.size l);
+  (* reusable after clear *)
+  Lru.put l 5 [| 5 |];
+  Alcotest.(check bool) "works after clear" true (Lru.mem l 5)
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"LRU size never exceeds capacity" ~count:200
+    QCheck.(pair (int_range 1 8) (list (int_bound 20)))
+    (fun (cap, keys) ->
+      let l = Lru.create ~capacity:cap in
+      List.for_all
+        (fun k ->
+          Lru.put l k [| k |];
+          Lru.size l <= cap)
+        keys)
+
+(* --- Buffer pool ---------------------------------------------------------- *)
+
+let test_pool_serves_hits_without_io () =
+  let dev = mem_dev ~block_size:4 () in
+  let run = Run.of_sorted_array dev (Array.init 64 (fun i -> i)) in
+  Run.set_cache_enabled run false;
+  (* isolate the pool from the run cache *)
+  Block_device.enable_pool dev ~capacity:32;
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  ignore (Run.get run 0);
+  ignore (Run.get run 0);
+  ignore (Run.get run 1);
+  (* same block: pooled *)
+  Alcotest.(check int) "one physical read" 1 (Io_stats.snapshot stats).Io_stats.reads;
+  (match Block_device.pool_stats dev with
+  | Some (hits, misses) ->
+    Alcotest.(check int) "hits" 2 hits;
+    Alcotest.(check int) "misses" 1 misses
+  | None -> Alcotest.fail "pool missing");
+  Block_device.disable_pool dev
+
+let test_pool_write_through_and_invalidate () =
+  let dev = mem_dev ~block_size:4 () in
+  Block_device.enable_pool dev ~capacity:8;
+  let addr = Block_device.alloc dev 1 in
+  Block_device.write_block dev ~addr [| 1; 2; 3; 4 |];
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  (* write populated the pool: read is free *)
+  Alcotest.(check (array int)) "read back" [| 1; 2; 3; 4 |] (Block_device.read_block dev ~addr);
+  Alcotest.(check int) "no physical read" 0 (Io_stats.snapshot stats).Io_stats.reads;
+  (* freeing invalidates *)
+  Block_device.free dev ~addr ~nblocks:1;
+  Alcotest.(check bool) "freed read fails despite pool" true
+    (try
+       ignore (Block_device.read_block dev ~addr);
+       false
+     with Block_device.Device_error _ | Invalid_argument _ -> true);
+  Block_device.disable_pool dev
+
+let test_pool_capacity_evicts () =
+  let dev = mem_dev ~block_size:4 () in
+  let run = Run.of_sorted_array dev (Array.init 64 (fun i -> i)) in
+  Run.set_cache_enabled run false;
+  Block_device.enable_pool dev ~capacity:2;
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  (* touch blocks 0,1,2 then 0 again: 0 was evicted -> physical read *)
+  ignore (Run.get run 0);
+  ignore (Run.get run 4);
+  ignore (Run.get run 8);
+  ignore (Run.get run 0);
+  Alcotest.(check int) "4 physical reads" 4 (Io_stats.snapshot stats).Io_stats.reads;
+  Block_device.disable_pool dev
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "io_stats",
+        [
+          Alcotest.test_case "classification" `Quick test_io_stats_classification;
+          Alcotest.test_case "measure/diff/add" `Quick test_io_stats_measure_and_diff;
+        ] );
+      ( "block_device",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_device_roundtrip;
+          Alcotest.test_case "bad payload" `Quick test_device_bad_payload;
+          Alcotest.test_case "unallocated" `Quick test_device_unallocated;
+          Alcotest.test_case "free / live accounting" `Quick test_device_free_and_live;
+          Alcotest.test_case "fault injection" `Quick test_device_fault_injection;
+          Alcotest.test_case "file backend" `Quick test_file_backend_roundtrip;
+        ] );
+      ( "run",
+        [
+          Alcotest.test_case "roundtrip + padding" `Quick test_run_roundtrip_and_padding;
+          Alcotest.test_case "rejects unsorted/empty" `Quick test_run_rejects_unsorted;
+          Alcotest.test_case "rank" `Quick test_run_rank;
+          Alcotest.test_case "block cache" `Quick test_run_block_cache;
+          Alcotest.test_case "rank_between io bound" `Quick test_run_rank_between_io_bound;
+          Alcotest.test_case "writer" `Quick test_run_writer_matches_of_sorted_array;
+          Alcotest.test_case "writer validation" `Quick test_run_writer_validation;
+          Alcotest.test_case "cursor" `Quick test_run_cursor;
+          Alcotest.test_case "free" `Quick test_run_free;
+        ] );
+      ( "kway_merge",
+        [
+          Alcotest.test_case "basic + observe" `Quick test_kway_merge_basic;
+          Alcotest.test_case "requires two runs" `Quick test_kway_merge_requires_two;
+          Alcotest.test_case "single pass io" `Quick test_kway_merge_io_is_single_pass;
+          QCheck_alcotest.to_alcotest prop_kway_merge_multiset;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "update refreshes" `Quick test_lru_update_refreshes;
+          Alcotest.test_case "remove / clear" `Quick test_lru_remove_and_clear;
+          QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity;
+        ] );
+      ( "buffer_pool",
+        [
+          Alcotest.test_case "hits cost no io" `Quick test_pool_serves_hits_without_io;
+          Alcotest.test_case "write-through + invalidate" `Quick
+            test_pool_write_through_and_invalidate;
+          Alcotest.test_case "capacity evicts" `Quick test_pool_capacity_evicts;
+        ] );
+      ( "external_sort",
+        [
+          Alcotest.test_case "in-memory" `Quick test_external_sort_in_memory;
+          Alcotest.test_case "spill path" `Quick test_external_sort_spill;
+          Alcotest.test_case "empty raises" `Quick test_external_sort_empty;
+          QCheck_alcotest.to_alcotest prop_external_sort_multiset;
+        ] );
+    ]

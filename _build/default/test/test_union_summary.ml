@@ -1,0 +1,178 @@
+(* Tests for the union summary TS (Lemma 2) and filters (Lemma 4):
+   every entry's [L, U] window brackets the true rank in T, windows are
+   narrow, quick_select obeys Lemma 3, and filters bracket the target
+   rank. *)
+
+module SS = Hsq.Stream_summary
+module US = Hsq.Union_summary
+module LI = Hsq_hist.Level_index
+
+(* Build a small warehouse + stream and return (union summary, all
+   elements sorted, eps1, eps2, partition count). *)
+let setup ?(kappa = 3) ?(beta1 = 6) ?(eps2 = 0.1) ~steps ~step_size ~stream_size ~seed () =
+  let rng = Hsq_util.Xoshiro.create seed in
+  let dev = Hsq_storage.Block_device.create_memory ~block_size:16 () in
+  let li = LI.create ~kappa ~beta1 dev in
+  let all = ref [] in
+  for _ = 1 to steps do
+    let b = Array.init step_size (fun _ -> Hsq_util.Xoshiro.int rng 100_000) in
+    all := Array.to_list b @ !all;
+    ignore (LI.add_batch li b)
+  done;
+  let gk = Hsq_sketch.Gk.create ~epsilon:(eps2 /. 2.0) in
+  for _ = 1 to stream_size do
+    let v = Hsq_util.Xoshiro.int rng 100_000 in
+    Hsq_sketch.Gk.insert gk v;
+    all := v :: !all
+  done;
+  let stream = SS.extract gk in
+  let us = US.build ~partitions:(LI.partitions li) ~stream in
+  let sorted = Array.of_list (List.sort compare !all) in
+  (us, sorted, 1.0 /. float_of_int (beta1 - 1), eps2, LI.partition_count li)
+
+let test_lemma2_brackets () =
+  let us, sorted, _, _, _ = setup ~steps:9 ~step_size:500 ~stream_size:700 ~seed:61 () in
+  Alcotest.(check int) "n_total" (Array.length sorted) (US.n_total us);
+  Array.iter
+    (fun (e : US.entry) ->
+      let r = float_of_int (Hsq_util.Sorted.rank sorted e.value) in
+      Alcotest.(check bool)
+        (Printf.sprintf "L=%.1f <= rank(%d)=%.0f <= U=%.1f" e.lower e.value r e.upper)
+        true
+        (e.lower <= r && r <= e.upper))
+    (US.entries us)
+
+let test_lemma2_window_width () =
+  let us, sorted, eps1, eps2, parts =
+    setup ~steps:9 ~step_size:500 ~stream_size:700 ~seed:62 ()
+  in
+  let n = US.hist_elements us and m = US.m_stream us in
+  let bound = Hsq.Errors.summary_window ~eps1 ~eps2 ~n ~m ~partitions:parts in
+  ignore sorted;
+  Array.iter
+    (fun (e : US.entry) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "U-L = %.1f <= %.1f" (e.upper -. e.lower) bound)
+        true
+        (e.upper -. e.lower <= bound))
+    (US.entries us)
+
+let test_lemma3_quick_select () =
+  let us, sorted, eps1, eps2, parts =
+    setup ~steps:13 ~step_size:400 ~stream_size:900 ~seed:63 ()
+  in
+  let n_total = US.n_total us in
+  let bound =
+    Hsq.Errors.quick_rank_bound ~eps1 ~eps2 ~n:(US.hist_elements us) ~m:(US.m_stream us)
+      ~partitions:parts
+  in
+  List.iter
+    (fun phi ->
+      let r = int_of_float (ceil (phi *. float_of_int n_total)) in
+      let v = US.quick_select us ~rank:r in
+      let hi = Hsq_util.Sorted.rank sorted v in
+      let lo = Hsq_util.Sorted.rank_strict sorted v + 1 in
+      let err = if r < lo then lo - r else if r > hi then r - hi else 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "phi=%.3f err %d <= %.1f" phi err bound)
+        true
+        (float_of_int err <= bound))
+    [ 0.001; 0.01; 0.1; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_lemma4_filters_bracket () =
+  let us, sorted, _, _, _ = setup ~steps:9 ~step_size:400 ~stream_size:500 ~seed:64 () in
+  let n_total = US.n_total us in
+  List.iter
+    (fun phi ->
+      let r = int_of_float (ceil (phi *. float_of_int n_total)) in
+      let u, v = US.filters us ~rank:r in
+      Alcotest.(check bool) "u <= v" true (u <= v);
+      let rank_u = Hsq_util.Sorted.rank sorted u in
+      let rank_v = Hsq_util.Sorted.rank sorted v in
+      Alcotest.(check bool)
+        (Printf.sprintf "phi=%.2f rank(u)=%d <= r=%d" phi rank_u r)
+        true (rank_u <= r);
+      Alcotest.(check bool)
+        (Printf.sprintf "phi=%.2f rank(v)=%d >= r=%d" phi rank_v r)
+        true (rank_v >= r))
+    [ 0.001; 0.05; 0.25; 0.5; 0.75; 0.95; 1.0 ]
+
+let test_stream_only () =
+  (* No historical partitions at all. *)
+  let gk = Hsq_sketch.Gk.create ~epsilon:0.05 in
+  for i = 1 to 1000 do
+    Hsq_sketch.Gk.insert gk i
+  done;
+  let us = US.build ~partitions:[] ~stream:(SS.extract gk) in
+  Alcotest.(check int) "n_total" 1000 (US.n_total us);
+  let v = US.quick_select us ~rank:500 in
+  Alcotest.(check bool) "median-ish" true (abs (v - 500) <= 200)
+
+let test_hist_only () =
+  (* Empty stream. *)
+  let dev = Hsq_storage.Block_device.create_memory ~block_size:16 () in
+  let li = LI.create ~kappa:2 ~beta1:11 dev in
+  ignore (LI.add_batch li (Array.init 1000 (fun i -> i + 1)));
+  let stream = SS.extract (Hsq_sketch.Gk.create ~epsilon:0.05) in
+  let us = US.build ~partitions:(LI.partitions li) ~stream in
+  Alcotest.(check int) "n_total" 1000 (US.n_total us);
+  Alcotest.(check int) "m 0" 0 (US.m_stream us);
+  (* With exact summary ranks and no stream, L=U at summary points. *)
+  Array.iter
+    (fun (e : US.entry) -> Alcotest.(check bool) "window tight" true (e.upper -. e.lower <= 101.0))
+    (US.entries us)
+
+let test_empty_raises () =
+  let stream = SS.extract (Hsq_sketch.Gk.create ~epsilon:0.05) in
+  let us = US.build ~partitions:[] ~stream in
+  Alcotest.check_raises "quick on empty"
+    (Invalid_argument "Union_summary.quick_select: empty summary") (fun () ->
+      ignore (US.quick_select us ~rank:1))
+
+let prop_lemma2_random =
+  QCheck.Test.make ~name:"Lemma 2 brackets on random instances" ~count:30
+    QCheck.(triple (int_range 1 8) (int_range 1 80) (int_range 0 120))
+    (fun (steps, step_size, stream_size) ->
+      let rng = Hsq_util.Xoshiro.create (steps + (step_size * 131) + stream_size) in
+      let dev = Hsq_storage.Block_device.create_memory ~block_size:8 () in
+      let li = LI.create ~kappa:2 ~beta1:4 dev in
+      let all = ref [] in
+      for _ = 1 to steps do
+        let b = Array.init step_size (fun _ -> Hsq_util.Xoshiro.int rng 1000) in
+        all := Array.to_list b @ !all;
+        ignore (LI.add_batch li b)
+      done;
+      let gk = Hsq_sketch.Gk.create ~epsilon:0.05 in
+      for _ = 1 to stream_size do
+        let v = Hsq_util.Xoshiro.int rng 1000 in
+        Hsq_sketch.Gk.insert gk v;
+        all := v :: !all
+      done;
+      let us = US.build ~partitions:(LI.partitions li) ~stream:(SS.extract gk) in
+      let sorted = Array.of_list (List.sort compare !all) in
+      Array.for_all
+        (fun (e : US.entry) ->
+          let r = float_of_int (Hsq_util.Sorted.rank sorted e.value) in
+          e.lower <= r && r <= e.upper)
+        (US.entries us))
+
+let () =
+  Alcotest.run "union_summary"
+    [
+      ( "lemma 2",
+        [
+          Alcotest.test_case "L/U bracket ranks" `Quick test_lemma2_brackets;
+          Alcotest.test_case "window width" `Quick test_lemma2_window_width;
+          QCheck_alcotest.to_alcotest prop_lemma2_random;
+        ] );
+      ( "lemma 3 / quick",
+        [ Alcotest.test_case "quick_select error" `Quick test_lemma3_quick_select ] );
+      ( "lemma 4 / filters",
+        [ Alcotest.test_case "filters bracket rank" `Quick test_lemma4_filters_bracket ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "stream only" `Quick test_stream_only;
+          Alcotest.test_case "hist only" `Quick test_hist_only;
+          Alcotest.test_case "empty raises" `Quick test_empty_raises;
+        ] );
+    ]

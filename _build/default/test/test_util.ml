@@ -1,0 +1,220 @@
+(* Tests for hsq_util: PRNGs, sorted-array primitives, statistics. *)
+
+open Hsq_util
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 42 and b = Splitmix.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Splitmix.next a) (Splitmix.next b)
+  done
+
+let test_splitmix_seeds_differ () =
+  let a = Splitmix.create 1 and b = Splitmix.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Splitmix.next a = Splitmix.next b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_splitmix_copy () =
+  let a = Splitmix.create 7 in
+  ignore (Splitmix.next a);
+  let b = Splitmix.copy a in
+  Alcotest.(check int) "copies agree" (Splitmix.next a) (Splitmix.next b)
+
+let test_splitmix_int_bounds () =
+  let a = Splitmix.create 3 in
+  for _ = 1 to 1000 do
+    let v = Splitmix.int a 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Splitmix.int: bound must be positive")
+    (fun () -> ignore (Splitmix.int a 0))
+
+let test_splitmix_float_range () =
+  let a = Splitmix.create 11 in
+  for _ = 1 to 1000 do
+    let f = Splitmix.float a in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_xoshiro_deterministic () =
+  let a = Xoshiro.create 42 and b = Xoshiro.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Xoshiro.next a) (Xoshiro.next b)
+  done
+
+let test_xoshiro_gaussian_moments () =
+  let rng = Xoshiro.create 5 in
+  let n = 200_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let g = Xoshiro.gaussian rng in
+    sum := !sum +. g;
+    sumsq := !sumsq +. (g *. g)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (abs_float mean < 0.02);
+  Alcotest.(check bool) "variance near 1" true (abs_float (var -. 1.0) < 0.05)
+
+let test_xoshiro_copy_independent () =
+  let a = Xoshiro.create 9 in
+  ignore (Xoshiro.gaussian a);
+  (* spare deviate cached *)
+  let b = Xoshiro.copy a in
+  Alcotest.(check (float 0.0)) "copy shares spare" (Xoshiro.gaussian a) (Xoshiro.gaussian b)
+
+let test_sorted_rank_basics () =
+  let a = [| 1; 3; 3; 5; 9 |] in
+  Alcotest.(check int) "rank below min" 0 (Sorted.rank a 0);
+  Alcotest.(check int) "rank of min" 1 (Sorted.rank a 1);
+  Alcotest.(check int) "rank mid dup" 3 (Sorted.rank a 3);
+  Alcotest.(check int) "rank between" 3 (Sorted.rank a 4);
+  Alcotest.(check int) "rank of max" 5 (Sorted.rank a 9);
+  Alcotest.(check int) "rank above max" 5 (Sorted.rank a 100);
+  Alcotest.(check int) "strict below dup" 1 (Sorted.rank_strict a 3);
+  Alcotest.(check int) "strict above all" 5 (Sorted.rank_strict a 100)
+
+let test_sorted_select () =
+  let a = [| 2; 4; 4; 8 |] in
+  Alcotest.(check int) "select 1" 2 (Sorted.select a 1);
+  Alcotest.(check int) "select 2" 4 (Sorted.select a 2);
+  Alcotest.(check int) "select 4" 8 (Sorted.select a 4);
+  Alcotest.(check int) "select clamps low" 2 (Sorted.select a 0);
+  Alcotest.(check int) "select clamps high" 8 (Sorted.select a 99)
+
+let test_sorted_quantile_definition () =
+  (* Definition 1: smallest element whose rank >= phi * n. *)
+  let a = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "median" 50 (Sorted.quantile a 0.5);
+  Alcotest.(check int) "p99" 99 (Sorted.quantile a 0.99);
+  Alcotest.(check int) "p100" 100 (Sorted.quantile a 1.0);
+  Alcotest.(check int) "p001 -> first" 1 (Sorted.quantile a 0.001)
+
+let test_sorted_empty_raises () =
+  Alcotest.check_raises "select empty" (Invalid_argument "Sorted.select: empty array") (fun () ->
+      ignore (Sorted.select [||] 1));
+  Alcotest.check_raises "quantile bad phi"
+    (Invalid_argument "Sorted.quantile: phi not in (0,1]") (fun () ->
+      ignore (Sorted.quantile [| 1 |] 0.0))
+
+let test_sorted_merge () =
+  let m = Sorted.merge [| 1; 4; 6 |] [| 2; 4; 9 |] in
+  Alcotest.(check (array int)) "merged" [| 1; 2; 4; 4; 6; 9 |] m;
+  Alcotest.(check (array int)) "left empty" [| 5 |] (Sorted.merge [||] [| 5 |]);
+  Alcotest.(check (array int)) "right empty" [| 5 |] (Sorted.merge [| 5 |] [||])
+
+let test_stats_summary () =
+  let s = Stats.of_list [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 4.0 s.Stats.max;
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 s.Stats.stddev
+
+let test_stats_median () =
+  Alcotest.(check (float 1e-9)) "odd" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.median: empty list") (fun () ->
+      ignore (Stats.median []))
+
+(* Property: Sorted.rank agrees with a naive count on random arrays. *)
+let prop_rank_agrees_with_count =
+  QCheck.Test.make ~name:"Sorted.rank = naive count" ~count:500
+    QCheck.(pair (list small_int) small_int)
+    (fun (l, v) ->
+      let a = Array.of_list (List.sort compare l) in
+      let naive = List.length (List.filter (fun x -> x <= v) l) in
+      Sorted.rank a v = naive)
+
+let prop_merge_sorted =
+  QCheck.Test.make ~name:"Sorted.merge is sorted and complete" ~count:500
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (l1, l2) ->
+      let a = Array.of_list (List.sort compare l1)
+      and b = Array.of_list (List.sort compare l2) in
+      let m = Sorted.merge a b in
+      Sorted.is_sorted m
+      && List.sort compare (Array.to_list m) = List.sort compare (l1 @ l2))
+
+let prop_select_rank_inverse =
+  QCheck.Test.make ~name:"select r has rank >= r; predecessor does not" ~count:500
+    QCheck.(pair (list_of_size Gen.(1 -- 50) small_int) (int_bound 49))
+    (fun (l, r0) ->
+      let a = Array.of_list (List.sort compare l) in
+      let n = Array.length a in
+      let r = 1 + (r0 mod n) in
+      let v = Sorted.select a r in
+      Sorted.rank a v >= r && (v <= a.(0) || Sorted.rank a (v - 1) < r))
+
+
+let test_parallel_map_order () =
+  let input = Array.init 1000 (fun i -> i) in
+  let out = Parallel.map ~domains:4 (fun x -> x * 2) input in
+  Alcotest.(check (array int)) "order preserved" (Array.map (fun x -> x * 2) input) out;
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map ~domains:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "single domain" [| 2 |] (Parallel.map ~domains:1 (fun x -> x * 2) [| 1 |])
+
+let test_parallel_sort_matches_sequential () =
+  let rng = Xoshiro.create 99 in
+  List.iter
+    (fun n ->
+      let data = Array.init n (fun _ -> Xoshiro.int rng 1_000_000) in
+      let expected = Array.copy data in
+      Array.sort compare expected;
+      let got = Array.copy data in
+      Parallel.sort ~domains:4 got;
+      Alcotest.(check (array int)) (Printf.sprintf "n=%d" n) expected got)
+    [ 0; 1; 2; 100; 4096; 50_000 ]
+
+let prop_parallel_sort =
+  QCheck.Test.make ~name:"parallel sort = sequential sort" ~count:50
+    QCheck.(pair (list small_int) (int_range 1 6))
+    (fun (l, domains) ->
+      let a = Array.of_list l in
+      let b = Array.of_list l in
+      Array.sort compare a;
+      Parallel.sort ~domains b;
+      a = b)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "splitmix",
+        [
+          Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_splitmix_seeds_differ;
+          Alcotest.test_case "copy" `Quick test_splitmix_copy;
+          Alcotest.test_case "int bounds" `Quick test_splitmix_int_bounds;
+          Alcotest.test_case "float range" `Quick test_splitmix_float_range;
+        ] );
+      ( "xoshiro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_xoshiro_deterministic;
+          Alcotest.test_case "gaussian moments" `Slow test_xoshiro_gaussian_moments;
+          Alcotest.test_case "copy keeps spare" `Quick test_xoshiro_copy_independent;
+        ] );
+      ( "sorted",
+        [
+          Alcotest.test_case "rank basics" `Quick test_sorted_rank_basics;
+          Alcotest.test_case "select" `Quick test_sorted_select;
+          Alcotest.test_case "quantile (Definition 1)" `Quick test_sorted_quantile_definition;
+          Alcotest.test_case "empty raises" `Quick test_sorted_empty_raises;
+          Alcotest.test_case "merge" `Quick test_sorted_merge;
+          QCheck_alcotest.to_alcotest prop_rank_agrees_with_count;
+          QCheck_alcotest.to_alcotest prop_merge_sorted;
+          QCheck_alcotest.to_alcotest prop_select_rank_inverse;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "map order" `Quick test_parallel_map_order;
+          Alcotest.test_case "sort matches sequential" `Quick test_parallel_sort_matches_sequential;
+          QCheck_alcotest.to_alcotest prop_parallel_sort;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "median" `Quick test_stats_median;
+        ] );
+    ]
