@@ -61,9 +61,10 @@ let report_quantiles eng phis =
   List.iter
     (fun phi ->
       let v, report = Hsq.Engine.quantile eng phi in
-      Printf.printf "phi=%-5g  value=%-12d  (disk accesses: %d, bisection steps: %d)\n" phi v
+      Printf.printf "phi=%-5g  value=%-12d  (disk accesses: %d, bisection steps: %d)%s\n" phi v
         (Hsq_storage.Io_stats.total report.Hsq.Engine.io)
-        report.Hsq.Engine.iterations)
+        report.Hsq.Engine.iterations
+        (if report.Hsq.Engine.degraded then "  [DEGRADED: quick-path answer]" else ""))
     phis
 
 let report_footprint eng =
@@ -296,7 +297,52 @@ let inspect_cmd =
   let doc = "Print a saved warehouse's layout, windows, and health." in
   Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ device_path $ meta)
 
+(* --- scrub ----------------------------------------------------------------- *)
+
+let scrub device meta =
+  match (device, meta) with
+  | Some device_path, Some meta_path -> (
+    try
+      let eng = Hsq.Persist.load_files ~device_path ~meta_path in
+      let report = Hsq.Persist.scrub eng in
+      Printf.printf "scrubbed %d partitions (%d block reads)\n" report.Hsq.Persist.partitions_checked
+        report.Hsq.Persist.blocks_read;
+      let stats =
+        Hsq_storage.Io_stats.snapshot (Hsq_storage.Block_device.stats (Hsq.Engine.device eng))
+      in
+      if stats.Hsq_storage.Io_stats.retries > 0 then
+        Printf.printf "retries during scrub: %d (checksum failures: %d)\n"
+          stats.Hsq_storage.Io_stats.retries stats.Hsq_storage.Io_stats.checksum_failures;
+      Hsq_storage.Block_device.close (Hsq.Engine.device eng);
+      match report.Hsq.Persist.errors with
+      | [] ->
+        print_endline "scrub: OK";
+        0
+      | errors ->
+        List.iter (fun e -> Printf.printf "SCRUB ERROR: %s\n" e) errors;
+        1
+    with
+    | Hsq.Persist.Corrupt_metadata msg ->
+      Printf.eprintf "corrupt metadata: %s\n" msg;
+      1
+    | Hsq_storage.Block_device.Device_error msg ->
+      Printf.eprintf "device error: %s\n" msg;
+      1)
+  | _ ->
+    prerr_endline "scrub requires both --device and --meta";
+    2
+
+let scrub_cmd =
+  let meta =
+    Arg.(value & opt (some string) None & info [ "meta" ] ~docv:"PATH" ~doc:"Metadata sidecar.")
+  in
+  let doc =
+    "Verify a saved warehouse end to end: re-read every partition, checking block checksums \
+     and sortedness. Exits non-zero if any damage is found."
+  in
+  Cmd.v (Cmd.info "scrub" ~doc) Term.(const scrub $ device_path $ meta)
+
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in
   let info = Cmd.info "hsq" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd; scrub_cmd ]))

@@ -25,6 +25,9 @@ type t = {
 type query_report = {
   io : Hsq_storage.Io_stats.counters;
   iterations : int; (* value-domain bisection steps (Algorithm 8 calls) *)
+  degraded : bool; (* an unrecoverable device error aborted the disk
+                      probes and the answer came from the in-memory
+                      quick path (Algorithm 5) instead *)
 }
 
 let fresh_gk config =
@@ -211,9 +214,19 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
       else z
     end
   in
-  let answer = bisect u0 v0 in
+  (* Graceful degradation: if a partition probe hits an unrecoverable
+     device error (the bounded retries are exhausted inside
+     Block_device.read_block), answer from the in-memory union summary
+     instead of failing the query.  The quick answer is within the
+     Lemma 3 bound — strictly worse than O(eps*m) but still bounded —
+     and the report says so via [degraded]. *)
+  let answer, degraded =
+    try (bisect u0 v0, false)
+    with Hsq_storage.Block_device.Device_error _ ->
+      (Union_summary.quick_select us ~rank, true)
+  in
   let io = Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before in
-  (answer, { io; iterations = !iterations })
+  (answer, { io; iterations = !iterations; degraded })
 
 let accurate ?tolerance_factor t ~rank =
   accurate_over ?tolerance_factor t ~partitions:(Hsq_hist.Level_index.partitions t.hist) ~rank

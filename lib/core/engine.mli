@@ -11,10 +11,15 @@
 type t
 
 (** Cost of one accurate query: exact I/O counters and the number of
-    value-domain bisection steps (recursive calls of Algorithm 8). *)
+    value-domain bisection steps (recursive calls of Algorithm 8).
+    [degraded] is set when an unrecoverable device error (bounded
+    retries exhausted) aborted the disk probes and the answer came from
+    the in-memory quick path (Algorithm 5) instead — still within the
+    Lemma 3 rank bound, but no longer O(εm). *)
 type query_report = {
   io : Hsq_storage.Io_stats.counters;
   iterations : int;
+  degraded : bool;
 }
 
 (** [create ?device config] — a fresh engine. Without [device] an

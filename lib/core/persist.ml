@@ -7,13 +7,42 @@
    positions on disk (<= beta1 block reads per partition — recovery
    I/O, charged to the device's counters like everything else).
 
+   Crash safety (DESIGN.md, "Fault model & recovery"):
+   - [save] is crash-atomic: the sidecar is written to a temp file with
+     a whole-file checksum line and renamed into place, so a crash
+     during save leaves the previous checkpoint intact and a torn
+     sidecar is detected as a checksum mismatch;
+   - each successful [save] is the durable commit record of the merge
+     commit protocol (Level_index.merge_level): a crash during a merge
+     or batch load leaves the blocks named by the last checkpoint
+     physically intact, so [load] rolls the uncommitted work back simply
+     by re-attaching that checkpoint's partition table;
+   - [scrub] re-reads every live partition block, verifying the
+     per-block checksums and cross-block sortedness, turning latent bit
+     rot into a report instead of a wrong answer.
+
    The live stream is volatile by design: data not yet archived at save
    time is not in the warehouse, exactly as in the paper's Figure 1
    setup, so a restored engine starts with an empty stream. *)
 
 exception Corrupt_metadata of string
 
-let format_version = 1
+(* Version 2 added the trailing whole-file checksum line (and rides
+   along with the device format change that embeds per-block checksum
+   words). *)
+let format_version = 2
+
+(* Same splitmix-style mixing as the device's block checksums, over the
+   sidecar's bytes.  Masked to a non-negative int so the hex rendering
+   is stable. *)
+let meta_checksum s =
+  let h = ref 0x106689D45497FDB5 in
+  String.iter
+    (fun c ->
+      let x = (!h lxor Char.code c) * 0x2545F4914F6CDD1D in
+      h := x lxor (x lsr 29))
+    s;
+  !h land max_int
 
 let sizing_to_string = function
   | Config.Epsilon e -> Printf.sprintf "epsilon %.17g" e
@@ -25,43 +54,91 @@ let sizing_of_string s =
   | [ "memory"; w ] -> Config.Memory_words (int_of_string w)
   | _ -> raise (Corrupt_metadata ("bad sizing line: " ^ s))
 
-let save engine ~path =
+let render_metadata engine =
   let config = Engine.config engine in
   let hist = Engine.hist engine in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      Printf.fprintf oc "hsq-meta %d\n" format_version;
-      Printf.fprintf oc "sizing %s\n" (sizing_to_string config.Config.sizing);
-      Printf.fprintf oc "kappa %d\n" config.Config.kappa;
-      Printf.fprintf oc "block_size %d\n" config.Config.block_size;
-      Printf.fprintf oc "steps_hint %d\n" config.Config.steps_hint;
-      Printf.fprintf oc "stream_fraction %.17g\n" config.Config.stream_fraction;
-      (match config.Config.sort_memory with
-      | None -> Printf.fprintf oc "sort_memory none\n"
-      | Some m -> Printf.fprintf oc "sort_memory %d\n" m);
-      (match config.Config.sort_domains with
-      | None -> Printf.fprintf oc "sort_domains none\n"
-      | Some d -> Printf.fprintf oc "sort_domains %d\n" d);
-      let descriptors = Hsq_hist.Level_index.describe hist in
-      Printf.fprintf oc "partitions %d\n" (List.length descriptors);
-      List.iter
-        (fun (d : Hsq_hist.Level_index.partition_descriptor) ->
-          Printf.fprintf oc "partition %d %d %d %d %d\n" d.first_block d.length d.first_step
-            d.last_step d.level)
-        descriptors)
+  let buf = Buffer.create 512 in
+  Printf.bprintf buf "hsq-meta %d\n" format_version;
+  Printf.bprintf buf "sizing %s\n" (sizing_to_string config.Config.sizing);
+  Printf.bprintf buf "kappa %d\n" config.Config.kappa;
+  Printf.bprintf buf "block_size %d\n" config.Config.block_size;
+  Printf.bprintf buf "steps_hint %d\n" config.Config.steps_hint;
+  Printf.bprintf buf "stream_fraction %.17g\n" config.Config.stream_fraction;
+  (match config.Config.sort_memory with
+  | None -> Printf.bprintf buf "sort_memory none\n"
+  | Some m -> Printf.bprintf buf "sort_memory %d\n" m);
+  (match config.Config.sort_domains with
+  | None -> Printf.bprintf buf "sort_domains none\n"
+  | Some d -> Printf.bprintf buf "sort_domains %d\n" d);
+  let descriptors = Hsq_hist.Level_index.describe hist in
+  Printf.bprintf buf "partitions %d\n" (List.length descriptors);
+  List.iter
+    (fun (d : Hsq_hist.Level_index.partition_descriptor) ->
+      Printf.bprintf buf "partition %d %d %d %d %d\n" d.first_block d.length d.first_step
+        d.last_step d.level)
+    descriptors;
+  Printf.bprintf buf "checksum %x\n" (meta_checksum (Buffer.contents buf));
+  Buffer.contents buf
+
+(* Crash-atomic: write to a sibling temp file, flush, rename over the
+   destination.  A crash before the rename leaves the previous sidecar
+   untouched; a crash mid-write leaves only a stale .tmp that no load
+   path ever reads. *)
+let save engine ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> output_string oc (render_metadata engine))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let verify_meta_checksum lines =
+  match List.rev lines with
+  | [] -> raise (Corrupt_metadata "empty metadata file")
+  | last :: rev_body ->
+    let prefix = "checksum " in
+    let plen = String.length prefix in
+    if String.length last <= plen || String.sub last 0 plen <> prefix then
+      raise (Corrupt_metadata "missing checksum line (truncated metadata?)");
+    let stored =
+      match int_of_string_opt ("0x" ^ String.sub last plen (String.length last - plen)) with
+      | Some v -> v
+      | None -> raise (Corrupt_metadata ("unreadable checksum line: " ^ last))
+    in
+    let body = List.rev rev_body in
+    let payload = String.concat "" (List.map (fun l -> l ^ "\n") body) in
+    if meta_checksum payload <> stored then
+      raise (Corrupt_metadata "metadata checksum mismatch (torn or tampered sidecar)");
+    body
 
 let parse_lines lines =
+  (* Linear cursor over an array of lines (the former List.nth_opt
+     cursor re-walked the list per field — quadratic in file size). *)
+  let lines = Array.of_list lines in
+  let pos = ref 0 in
+  let next () =
+    if !pos < Array.length lines then begin
+      let l = lines.(!pos) in
+      incr pos;
+      Some l
+    end
+    else None
+  in
   let expect_prefix prefix line =
+    let plen = String.length prefix in
+    let field = String.trim prefix in
     match line with
-    | Some l when String.length l > String.length prefix && String.sub l 0 (String.length prefix) = prefix
-      ->
-      String.sub l (String.length prefix) (String.length l - String.length prefix)
+    | Some l when l = field || l = prefix ->
+      raise (Corrupt_metadata (Printf.sprintf "empty value for field %S" field))
+    | Some l when String.length l > plen && String.sub l 0 plen = prefix ->
+      String.sub l plen (String.length l - plen)
     | Some l -> raise (Corrupt_metadata (Printf.sprintf "expected %S..., found %S" prefix l))
     | None -> raise (Corrupt_metadata (Printf.sprintf "missing %S line" prefix))
   in
-  let next = let i = ref (-1) in fun () -> incr i; List.nth_opt lines !i in
   let header = expect_prefix "hsq-meta " (next ()) in
   if int_of_string_opt header <> Some format_version then
     raise (Corrupt_metadata ("unsupported format version " ^ header));
@@ -116,19 +193,20 @@ let verify_partition p =
          (Printf.sprintf "partition at block %d is not sorted on disk"
             (Hsq_storage.Run.first_block (Hsq_hist.Partition.run p))))
 
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
 let load ~device ~path =
-  let lines =
-    let ic = open_in path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec go acc =
-          match input_line ic with
-          | line -> go (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        go [])
-  in
+  let lines = verify_meta_checksum (read_lines path) in
   let config, descriptors =
     try parse_lines lines with
     | Corrupt_metadata _ as e -> raise e
@@ -141,12 +219,20 @@ let load ~device ~path =
             (Hsq_storage.Block_device.block_size device)
             config.Config.block_size));
   let hist =
+    (* Device_error here means a checkpointed partition's blocks are
+       unreadable or fail their checksums — the warehouse itself is
+       corrupt, not just the sidecar. *)
     try
       Hsq_hist.Level_index.restore ?sort_memory:config.Config.sort_memory
         ~kappa:config.Config.kappa ~beta1:(Config.beta1 config) device descriptors
-    with Invalid_argument msg -> raise (Corrupt_metadata msg)
+    with
+    | Invalid_argument msg -> raise (Corrupt_metadata msg)
+    | Hsq_storage.Block_device.Device_error msg ->
+      raise (Corrupt_metadata ("device corruption: " ^ msg))
   in
-  List.iter verify_partition (Hsq_hist.Level_index.partitions hist);
+  (try List.iter verify_partition (Hsq_hist.Level_index.partitions hist)
+   with Hsq_storage.Block_device.Device_error msg ->
+     raise (Corrupt_metadata ("device corruption: " ^ msg)));
   Engine.of_restored ~device config hist
 
 (* Convenience: reopen the device file and the metadata together. *)
@@ -168,3 +254,64 @@ let load_files ~device_path ~meta_path =
   in
   let device = Hsq_storage.Block_device.open_file ~block_size ~path:device_path () in
   load ~device ~path:meta_path
+
+(* --- Scrub ------------------------------------------------------------- *)
+
+type scrub_report = {
+  partitions_checked : int;
+  blocks_read : int;
+  errors : string list;
+}
+
+(* Re-read every live partition front to back.  Each block read verifies
+   its embedded checksum (Block_device), and the scan checks the
+   partition is globally sorted and element-complete — so bit rot, torn
+   writes, and shuffled blocks all surface here as errors rather than as
+   silently wrong quantiles.  Cost: one sequential pass over the live
+   data, charged to the device counters like everything else. *)
+let scrub engine =
+  let hist = Engine.hist engine in
+  let dev = Engine.device engine in
+  let stats = Hsq_storage.Block_device.stats dev in
+  let before = Hsq_storage.Io_stats.snapshot stats in
+  let parts = Hsq_hist.Level_index.partitions hist in
+  let errors =
+    List.filter_map
+      (fun p ->
+        let run = Hsq_hist.Partition.run p in
+        let first_block = Hsq_storage.Run.first_block run in
+        try
+          let c = Hsq_storage.Run.cursor run in
+          let prev = ref min_int in
+          let count = ref 0 in
+          let bad_order = ref None in
+          let rec scan () =
+            match Hsq_storage.Run.cursor_next c with
+            | None -> ()
+            | Some v ->
+              if v < !prev && !bad_order = None then bad_order := Some !count;
+              prev := v;
+              incr count;
+              scan ()
+          in
+          scan ();
+          match !bad_order with
+          | Some i ->
+            Some
+              (Printf.sprintf "partition at block %d: unsorted at element %d" first_block i)
+          | None ->
+            if !count <> Hsq_storage.Run.length run then
+              Some
+                (Printf.sprintf "partition at block %d: read %d of %d elements" first_block
+                   !count (Hsq_storage.Run.length run))
+            else None
+        with Hsq_storage.Block_device.Device_error msg ->
+          Some (Printf.sprintf "partition at block %d: %s" first_block msg))
+      parts
+  in
+  let io = Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before in
+  {
+    partitions_checked = List.length parts;
+    blocks_read = io.Hsq_storage.Io_stats.reads;
+    errors;
+  }

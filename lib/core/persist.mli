@@ -1,22 +1,54 @@
-(** Warehouse persistence across process restarts.
+(** Warehouse persistence across process restarts, with crash atomicity
+    and corruption detection.
 
     The block-device file holds every partition's data; a plain-text
     metadata sidecar records the configuration and partition table.
     [load] re-attaches the partitions and rebuilds each summary with at
     most β₁ block reads. The live stream is volatile by design
-    (Figure 1): a restored engine starts with an empty stream. *)
+    (Figure 1): a restored engine starts with an empty stream.
+
+    [save] is crash-atomic (temp file + whole-file checksum + rename)
+    and doubles as the durable commit record of the merge commit
+    protocol: a crash during ingestion or a multi-way merge leaves every
+    block named by the last checkpoint physically intact, so [load]
+    rolls uncommitted work back by re-attaching the checkpointed
+    partition table. [scrub] verifies the warehouse end to end. *)
 
 exception Corrupt_metadata of string
 
-(** Write the metadata sidecar for [engine] to [path]. The engine's
-    device should be file-backed for the data itself to survive. *)
+(** Checksum of a sidecar body, as stored on its trailing
+    [checksum <hex>] line (exposed for external tooling and tests). *)
+val meta_checksum : string -> int
+
+(** Write the metadata sidecar for [engine] to [path], atomically: the
+    sidecar is rendered with a trailing whole-file checksum line,
+    written to [path ^ ".tmp"], and renamed into place. The engine's
+    device should be file-backed for the data itself to survive. Each
+    successful call is a durable checkpoint that [load] can roll back
+    to. *)
 val save : Engine.t -> path:string -> unit
 
 (** Restore an engine from a (reopened) device and its metadata.
-    Raises {!Corrupt_metadata} on version/parse/invariant mismatches,
-    including unsorted on-disk partitions. *)
+    Raises {!Corrupt_metadata} on version/parse/checksum/invariant
+    mismatches, including unsorted on-disk partitions and partitions
+    whose blocks fail their device checksums. *)
 val load : device:Hsq_storage.Block_device.t -> path:string -> Engine.t
 
 (** Reopen [device_path] (block size taken from the metadata) and
     [load]. *)
 val load_files : device_path:string -> meta_path:string -> Engine.t
+
+(** {2 Scrub} *)
+
+type scrub_report = {
+  partitions_checked : int;
+  blocks_read : int;
+  errors : string list; (** empty iff the warehouse is healthy *)
+}
+
+(** Re-read every live partition front to back, verifying per-block
+    checksums (any flipped bit surfaces here as a checksum failure) and
+    cross-block sortedness and element counts. Returns a report instead
+    of raising: a damaged partition yields one error entry and the scan
+    continues with the rest. *)
+val scrub : Engine.t -> scrub_report

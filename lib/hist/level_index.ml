@@ -86,7 +86,19 @@ let ensure_level t l =
 
 let now () = Unix.gettimeofday ()
 
-(* Merge every partition at level [l] into one partition at [l+1]. *)
+(* Merge every partition at level [l] into one partition at [l+1].
+
+   Merge commit protocol (crash atomicity): the merged run is written
+   entirely to freshly allocated blocks while the source partitions
+   remain untouched and live; only once the new run and its summary are
+   complete is the in-memory level table swapped (the commit point), and
+   only after the commit are the sources freed.  Because the device's
+   bump allocator never reuses addresses — and the file backend leaves
+   freed bytes physically intact — a crash at ANY block write during the
+   merge leaves every partition named by the last durable checkpoint
+   (Persist.save) readable: reloading that checkpoint rolls the
+   uncommitted merge back, and the half-written output blocks are
+   unreferenced garbage past the checkpointed allocation frontier. *)
 let merge_level t l =
   let parts = t.levels.(l) in
   let runs = List.map Partition.run parts in
@@ -103,13 +115,15 @@ let merge_level t l =
   let summary = Partition_summary.builder_finish builder in
   let first_step = List.fold_left (fun acc p -> min acc (Partition.first_step p)) max_int parts in
   let last_step = List.fold_left (fun acc p -> max acc (Partition.last_step p)) min_int parts in
-  List.iter Partition.free parts;
   let promoted =
     Partition.create ~run:merged ~summary ~first_step ~last_step ~level:(l + 1)
   in
+  (* Commit point: the new partition replaces the sources atomically in
+     memory; the sources are released only afterwards. *)
   t.levels.(l) <- [];
   ensure_level t (l + 1);
-  t.levels.(l + 1) <- t.levels.(l + 1) @ [ promoted ]
+  t.levels.(l + 1) <- t.levels.(l + 1) @ [ promoted ];
+  List.iter Partition.free parts
 
 (* HistUpdate (Algorithm 3): sort the batch into a level-0 partition,
    then cascade merges while any level exceeds kappa partitions. *)

@@ -5,14 +5,36 @@
    counts exact and deterministic (see DESIGN.md, "Substitutions").  Two
    backends share the interface: an in-memory store used by tests and
    benches, and a file-backed store that persists blocks as fixed-size
-   records of 8-byte big-endian integers. *)
+   records of 8-byte big-endian integers.
+
+   Fault tolerance (DESIGN.md, "Fault model & recovery"):
+   - every block carries a checksum word, stored after the payload and
+     verified on every read, so bit rot and torn writes surface as
+     [Device_error] instead of wrong answers;
+   - reads go through a bounded-retry path with a deterministic backoff
+     schedule, absorbing transient faults; extra attempts are counted in
+     {!Io_stats} ([retries], [checksum_failures]);
+   - a structured fault injector can fail operations, tear writes (a
+     partial write followed by a simulated crash), or silently corrupt a
+     written word — the ingredients of the crash-recovery fuzz harness. *)
 
 exception Device_error of string
 
 type op = Read | Write
 
+type fault_action =
+  | Fail (* the operation raises Device_error without touching the device *)
+  | Torn of int (* write: only the first k payload words land, the checksum
+                   word is not updated, and Device_error is raised — a
+                   crash in the middle of a block write *)
+  | Corrupt of int (* write: completes normally, but the stored word at
+                      [index mod block_size] has its low bit flipped after
+                      the checksum was computed — latent bit rot *)
+
+type injector = op -> attempt:int -> int -> fault_action option
+
 type backend =
-  | Memory of int array option array ref (* growable table of blocks *)
+  | Memory of int array option array ref (* growable table of stored records *)
   | File of { channel : Out_channel.t; read_channel : In_channel.t; path : string }
 
 type t = {
@@ -21,7 +43,7 @@ type t = {
   mutable next_free : int;
   mutable freed_blocks : int; (* capacity-accounting for dropped partitions *)
   backend : backend;
-  mutable fault : (op -> int -> bool) option;
+  mutable fault : injector option;
   mutable pool : Lru.t option; (* optional buffer pool (OS page cache stand-in) *)
 }
 
@@ -29,6 +51,26 @@ let block_size t = t.block_size
 let stats t = t.stats
 let allocated_blocks t = t.next_free
 let live_blocks t = t.next_free - t.freed_blocks
+
+(* The stored record is the payload plus one trailing checksum word. *)
+let record_words t = t.block_size + 1
+let bytes_per_block t = 8 * record_words t
+
+(* Retry policy: a read is attempted at most [max_read_attempts] times;
+   the deterministic backoff (in milliseconds) before attempt i+1 is
+   [retry_backoff_ms.(i)].  The simulator does not sleep — the schedule
+   documents what a real deployment would do and keeps the policy a
+   single tunable surface. *)
+let max_read_attempts = 3
+let retry_backoff_ms = [| 0.0; 1.0; 4.0 |]
+
+(* splitmix-style word mixer: cheap, and any single flipped bit changes
+   the checksum with overwhelming probability. *)
+let mix h v =
+  let h = (h lxor v) * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let checksum ~addr payload = Array.fold_left mix (mix 0x106689D45497FDB5 addr) payload
 
 let create_memory ~block_size () =
   if block_size <= 0 then invalid_arg "Block_device.create_memory: block_size must be positive";
@@ -57,7 +99,11 @@ let create_file ~block_size ~path () =
   }
 
 (* Reopen an existing device file: allocation resumes after the blocks
-   already on disk, so restored runs can be read back. *)
+   already on disk, so restored runs can be read back.  A trailing
+   partial record (a write torn by a crash) is ignored: committed
+   metadata never references blocks past the last checkpoint, and the
+   bump allocator will write past the tear.  This is the storage half of
+   crash recovery — see Persist.load for the metadata half. *)
 let open_file ~block_size ~path () =
   if block_size <= 0 then invalid_arg "Block_device.open_file: block_size must be positive";
   if not (Sys.file_exists path) then
@@ -65,12 +111,7 @@ let open_file ~block_size ~path () =
   let channel = Out_channel.open_gen [ Open_binary; Open_wronly ] 0o644 path in
   let read_channel = In_channel.open_gen [ Open_binary; Open_rdonly ] 0o644 path in
   let size = Int64.to_int (In_channel.length read_channel) in
-  let bytes_per_block = 8 * block_size in
-  if size mod bytes_per_block <> 0 then
-    raise
-      (Device_error
-         (Printf.sprintf "device file %s is not a whole number of %d-byte blocks" path
-            bytes_per_block));
+  let bytes_per_block = 8 * (block_size + 1) in
   {
     block_size;
     stats = Io_stats.create ();
@@ -90,7 +131,18 @@ let close t =
 
 let path t = match t.backend with Memory _ -> None | File { path; _ } -> Some path
 
-let set_fault t fault = t.fault <- fault
+let set_injector t injector = t.fault <- injector
+
+(* Legacy boolean hook: a predicate fault is persistent — it fails every
+   attempt, so the retry path cannot absorb it. *)
+let set_fault t fault =
+  t.fault <-
+    Option.map
+      (fun f op ~attempt:_ addr -> if f op addr then Some Fail else None)
+      fault
+
+let injected t op ~attempt addr =
+  match t.fault with None -> None | Some f -> f op ~attempt addr
 
 (* Buffer pool: hits are served from memory and cost no device I/O
    (only pool statistics); misses read through and populate the pool;
@@ -100,13 +152,6 @@ let disable_pool t = t.pool <- None
 
 let pool_stats t =
   match t.pool with None -> None | Some pool -> Some (Lru.hits pool, Lru.misses pool)
-
-let check_fault t op addr =
-  match t.fault with
-  | Some f when f op addr ->
-    let kind = match op with Read -> "read" | Write -> "write" in
-    raise (Device_error (Printf.sprintf "injected %s fault at block %d" kind addr))
-  | _ -> ()
 
 let alloc t nblocks =
   if nblocks < 0 then invalid_arg "Block_device.alloc: negative block count";
@@ -126,7 +171,10 @@ let alloc t nblocks =
 
 (* Marks blocks as reclaimable.  The simulator does not recycle
    addresses (simpler and irrelevant for I/O counting); it only tracks
-   live capacity so benches can report space usage. *)
+   live capacity so benches can report space usage.  On the file backend
+   the bytes stay physically intact — the invariant the merge commit
+   protocol relies on: partitions freed after an uncheckpointed merge
+   are still readable when Persist.load rolls the merge back. *)
 let free t ~addr ~nblocks =
   if addr < 0 || addr + nblocks > t.next_free then invalid_arg "Block_device.free: out of range";
   t.freed_blocks <- t.freed_blocks + nblocks;
@@ -137,31 +185,64 @@ let free t ~addr ~nblocks =
   | Memory table -> for b = addr to addr + nblocks - 1 do !table.(b) <- None done
   | File _ -> ()
 
-let bytes_per_block t = 8 * t.block_size
+(* Store one record (payload ++ checksum word).  [upto] limits how many
+   payload words actually land (torn writes); the checksum word is only
+   written when the full payload is. *)
+let store_record t ~addr ~record ~upto =
+  let words = if upto >= t.block_size then record_words t else upto in
+  match t.backend with
+  | Memory table ->
+    let prev = !table.(addr) in
+    let stored =
+      if words = record_words t then Array.copy record
+      else begin
+        (* Torn write: new prefix over whatever was there before. *)
+        let base = match prev with Some b -> Array.copy b | None -> Array.make (record_words t) 0 in
+        Array.blit record 0 base 0 words;
+        base
+      end
+    in
+    !table.(addr) <- Some stored
+  | File { channel; _ } ->
+    let buf = Bytes.create (8 * words) in
+    for i = 0 to words - 1 do
+      Bytes.set_int64_be buf (8 * i) (Int64.of_int record.(i))
+    done;
+    Out_channel.seek channel (Int64.of_int (addr * bytes_per_block t));
+    Out_channel.output_bytes channel buf;
+    Out_channel.flush channel
 
 let write_block t ~addr payload =
   if Array.length payload <> t.block_size then
     invalid_arg "Block_device.write_block: payload must be exactly one block";
   if addr < 0 || addr >= t.next_free then invalid_arg "Block_device.write_block: unallocated address";
-  check_fault t Write addr;
-  Io_stats.note_write t.stats addr;
-  (match t.pool with Some pool -> Lru.put pool addr (Array.copy payload) | None -> ());
-  match t.backend with
-  | Memory table -> !table.(addr) <- Some (Array.copy payload)
-  | File { channel; _ } ->
-    let buf = Bytes.create (bytes_per_block t) in
-    Array.iteri (fun i v -> Bytes.set_int64_be buf (8 * i) (Int64.of_int v)) payload;
-    Out_channel.seek channel (Int64.of_int (addr * bytes_per_block t));
-    Out_channel.output_bytes channel buf;
-    Out_channel.flush channel
+  match injected t Write ~attempt:1 addr with
+  | Some Fail -> raise (Device_error (Printf.sprintf "injected write fault at block %d" addr))
+  | Some (Torn k) ->
+    let k = max 0 (min (t.block_size - 1) k) in
+    let record = Array.make (record_words t) 0 in
+    Array.blit payload 0 record 0 t.block_size;
+    record.(t.block_size) <- checksum ~addr payload;
+    store_record t ~addr ~record ~upto:k;
+    raise (Device_error (Printf.sprintf "torn write at block %d (%d of %d words)" addr k t.block_size))
+  | (None | Some (Corrupt _)) as action ->
+    Io_stats.note_write t.stats addr;
+    (match t.pool with Some pool -> Lru.put pool addr (Array.copy payload) | None -> ());
+    let record = Array.make (record_words t) 0 in
+    Array.blit payload 0 record 0 t.block_size;
+    record.(t.block_size) <- checksum ~addr payload;
+    (match action with
+    | Some (Corrupt i) -> record.(i mod t.block_size) <- record.(i mod t.block_size) lxor 1
+    | _ -> ());
+    store_record t ~addr ~record ~upto:t.block_size
 
-let read_block_uncached ?hint t ~addr =
-  check_fault t Read addr;
-  Io_stats.note_read ?hint t.stats addr;
+(* Fetch the raw record for [addr]; raises on unwritten/freed/short
+   blocks (structural errors, never retried). *)
+let fetch_record t ~addr =
   match t.backend with
   | Memory table -> (
     match !table.(addr) with
-    | Some block -> Array.copy block
+    | Some record -> record
     | None -> raise (Device_error (Printf.sprintf "read of unwritten or freed block %d" addr)))
   | File { read_channel; _ } ->
     let nbytes = bytes_per_block t in
@@ -170,8 +251,34 @@ let read_block_uncached ?hint t ~addr =
     (match In_channel.really_input read_channel buf 0 nbytes with
     | Some () -> ()
     | None -> raise (Device_error (Printf.sprintf "short read at block %d" addr)));
-    Array.init t.block_size (fun i -> Int64.to_int (Bytes.get_int64_be buf (8 * i)))
+    Array.init (record_words t) (fun i -> Int64.to_int (Bytes.get_int64_be buf (8 * i)))
 
+(* Bounded-retry read: injected faults and checksum mismatches are
+   retried up to [max_read_attempts] times (each extra attempt is
+   counted in Io_stats.retries); structural errors raise immediately. *)
+let read_block_uncached ?hint t ~addr =
+  let rec attempt n =
+    let retry e =
+      if n < max_read_attempts then begin
+        Io_stats.note_retry t.stats;
+        attempt (n + 1)
+      end
+      else raise e
+    in
+    match injected t Read ~attempt:n addr with
+    | Some _ ->
+      retry (Device_error (Printf.sprintf "injected read fault at block %d (attempt %d)" addr n))
+    | None ->
+      Io_stats.note_read ?hint t.stats addr;
+      let record = fetch_record t ~addr in
+      let payload = Array.sub record 0 t.block_size in
+      if record.(t.block_size) <> checksum ~addr payload then begin
+        Io_stats.note_checksum_failure t.stats;
+        retry (Device_error (Printf.sprintf "checksum mismatch at block %d" addr))
+      end
+      else payload
+  in
+  attempt 1
 
 let read_block ?hint t ~addr =
   if addr < 0 || addr >= t.next_free then invalid_arg "Block_device.read_block: unallocated address";

@@ -1,13 +1,23 @@
-(** Simulated block device with exact I/O accounting.
+(** Simulated block device with exact I/O accounting and a
+    fault-tolerance layer.
 
     Blocks hold [block_size] OCaml [int]s. Two backends are provided:
     an in-memory table (default for tests and benches — deterministic
     and fast) and a file-backed store that persists each block as
-    [8 * block_size] bytes of big-endian integers.
+    [8 * (block_size + 1)] bytes of big-endian integers — the payload
+    plus one trailing checksum word.
+
+    Every read verifies the stored checksum, so bit rot and torn writes
+    surface as {!Device_error} instead of silently wrong answers, and
+    goes through a bounded-retry path ({!max_read_attempts} attempts on
+    a deterministic backoff schedule) that absorbs transient faults;
+    retries and checksum mismatches are counted in {!Io_stats}.
 
     Addresses are plain block indices handed out by a bump allocator;
     [free] only reclaims capacity accounting (the simulator never reuses
-    addresses, which keeps sequential-I/O classification unambiguous). *)
+    addresses, which keeps sequential-I/O classification unambiguous and
+    — on the file backend — leaves freed bytes physically intact, the
+    invariant crash recovery relies on). *)
 
 exception Device_error of string
 
@@ -22,8 +32,9 @@ val create_file : block_size:int -> path:string -> unit -> t
 
 (** [open_file ~block_size ~path ()] reopens an existing device file
     without truncating; the allocator resumes after the blocks already
-    on disk. Raises {!Device_error} if the file is missing or not a
-    whole number of blocks. *)
+    on disk. A trailing partial record (a write torn by a crash) is
+    ignored — committed metadata never references blocks past the last
+    checkpoint. Raises {!Device_error} if the file is missing. *)
 val open_file : block_size:int -> path:string -> unit -> t
 
 (** Close file handles (no-op for the memory backend). *)
@@ -46,19 +57,34 @@ val live_blocks : t -> int
 val alloc : t -> int -> int
 
 (** Mark a contiguous range reclaimable. Memory backend drops contents;
-    reading a freed block raises {!Device_error}. *)
+    reading a freed block raises {!Device_error}. File backend leaves
+    the bytes intact (see the crash-recovery note above). *)
 val free : t -> addr:int -> nblocks:int -> unit
 
-(** [write_block t ~addr payload] writes exactly one block.
-    Raises [Invalid_argument] if [payload] is not [block_size] long or
-    [addr] is unallocated. *)
+(** [write_block t ~addr payload] writes exactly one block (payload plus
+    its checksum word). Raises [Invalid_argument] if [payload] is not
+    [block_size] long or [addr] is unallocated. *)
 val write_block : t -> addr:int -> int array -> unit
 
-(** [read_block t ~addr] returns a fresh copy of the block. [hint]
-    forces the sequential/random classification of the read (used by
-    run cursors, whose per-run readahead is sequential on a real disk
-    even when several runs are consumed in an interleaved merge). *)
+(** [read_block t ~addr] returns a fresh copy of the block after
+    verifying its checksum, retrying injected faults and checksum
+    mismatches up to {!max_read_attempts} times. [hint] forces the
+    sequential/random classification of the read (used by run cursors,
+    whose per-run readahead is sequential on a real disk even when
+    several runs are consumed in an interleaved merge). *)
 val read_block : ?hint:bool -> t -> addr:int -> int array
+
+(** {2 Retry policy}
+
+    A read is attempted at most [max_read_attempts] times; the
+    deterministic backoff (milliseconds) before attempt [i + 1] is
+    [retry_backoff_ms.(i)]. The simulator never sleeps — the schedule
+    documents the production policy and keeps it a single tunable
+    surface. Transient faults failing at most
+    [max_read_attempts - 1] consecutive attempts are absorbed. *)
+
+val max_read_attempts : int
+val retry_backoff_ms : float array
 
 (** {2 Buffer pool}
 
@@ -73,7 +99,38 @@ val disable_pool : t -> unit
 (** [(hits, misses)] since the pool was enabled, if one is active. *)
 val pool_stats : t -> (int * int) option
 
-(** Install (or clear) a fault hook for failure-injection tests: when the
-    hook returns [true] for an (operation, address) pair the operation
-    raises {!Device_error} instead of executing. *)
+(** {2 Fault injection}
+
+    The structured injector is consulted on every operation attempt and
+    decides what goes wrong, enabling transient-vs-persistent read
+    faults, torn writes, and latent bit rot — the ingredients of the
+    crash-recovery fuzz harness. *)
+
+type fault_action =
+  | Fail
+      (** The operation raises {!Device_error} without touching the
+          device. Returned for a read attempt, it is retried; an
+          injector that fails only attempts [<= k < max_read_attempts]
+          models a transient fault, one that always fails models a
+          persistent fault. *)
+  | Torn of int
+      (** Write only: the first [k] payload words land, the checksum
+          word is not updated, and {!Device_error} is raised — a crash
+          in the middle of a block write. The tear is detected as a
+          checksum mismatch on the next read of that block. *)
+  | Corrupt of int
+      (** Write only: completes normally but flips the low bit of the
+          stored word at [index mod block_size] after the checksum was
+          computed — latent bit rot, detected on read. *)
+
+(** The injector receives the operation, the 1-based attempt number
+    (always 1 for writes), and the block address. [None] means the
+    attempt proceeds normally. *)
+type injector = op -> attempt:int -> int -> fault_action option
+
+val set_injector : t -> injector option -> unit
+
+(** Legacy boolean hook: when the predicate returns [true] for an
+    (operation, address) pair the operation fails on every attempt — a
+    persistent fault the retry path cannot absorb. *)
 val set_fault : t -> (op -> int -> bool) option -> unit

@@ -2,13 +2,21 @@
    accesses and distinguishes the cheap sequential I/Os used by loading
    and merging from the expensive random I/Os used by queries
    (Section 2.4).  A read is classified as sequential when it targets the
-   block immediately after the previously read one. *)
+   block immediately after the previously read one.
+
+   Fault-tolerance accounting rides along: [retries] counts extra read
+   attempts made by the device's bounded-retry path and
+   [checksum_failures] counts blocks whose embedded checksum did not
+   match on read.  Both stay zero on a healthy device, so the paper's
+   block-access counts are unchanged. *)
 
 type counters = {
   reads : int;
   seq_reads : int;
   rand_reads : int;
   writes : int;
+  retries : int;
+  checksum_failures : int;
 }
 
 type t = {
@@ -16,16 +24,29 @@ type t = {
   mutable seq_reads : int;
   mutable rand_reads : int;
   mutable writes : int;
+  mutable retries : int;
+  mutable checksum_failures : int;
   mutable last_read_addr : int;
 }
 
-let create () = { reads = 0; seq_reads = 0; rand_reads = 0; writes = 0; last_read_addr = min_int }
+let create () =
+  {
+    reads = 0;
+    seq_reads = 0;
+    rand_reads = 0;
+    writes = 0;
+    retries = 0;
+    checksum_failures = 0;
+    last_read_addr = min_int;
+  }
 
 let reset t =
   t.reads <- 0;
   t.seq_reads <- 0;
   t.rand_reads <- 0;
   t.writes <- 0;
+  t.retries <- 0;
+  t.checksum_failures <- 0;
   t.last_read_addr <- min_int
 
 (* [hint] overrides the adjacency heuristic: a k-way merge interleaves
@@ -42,10 +63,21 @@ let note_read ?hint t addr =
   t.last_read_addr <- addr
 
 let note_write t _addr = t.writes <- t.writes + 1
+let note_retry t = t.retries <- t.retries + 1
+let note_checksum_failure t = t.checksum_failures <- t.checksum_failures + 1
 
-let snapshot t = { reads = t.reads; seq_reads = t.seq_reads; rand_reads = t.rand_reads; writes = t.writes }
+let snapshot t =
+  {
+    reads = t.reads;
+    seq_reads = t.seq_reads;
+    rand_reads = t.rand_reads;
+    writes = t.writes;
+    retries = t.retries;
+    checksum_failures = t.checksum_failures;
+  }
 
-let zero = { reads = 0; seq_reads = 0; rand_reads = 0; writes = 0 }
+let zero =
+  { reads = 0; seq_reads = 0; rand_reads = 0; writes = 0; retries = 0; checksum_failures = 0 }
 
 let diff (after : counters) (before : counters) =
   {
@@ -53,6 +85,8 @@ let diff (after : counters) (before : counters) =
     seq_reads = after.seq_reads - before.seq_reads;
     rand_reads = after.rand_reads - before.rand_reads;
     writes = after.writes - before.writes;
+    retries = after.retries - before.retries;
+    checksum_failures = after.checksum_failures - before.checksum_failures;
   }
 
 let add (a : counters) (b : counters) =
@@ -61,6 +95,8 @@ let add (a : counters) (b : counters) =
     seq_reads = a.seq_reads + b.seq_reads;
     rand_reads = a.rand_reads + b.rand_reads;
     writes = a.writes + b.writes;
+    retries = a.retries + b.retries;
+    checksum_failures = a.checksum_failures + b.checksum_failures;
   }
 
 let total (c : counters) = c.reads + c.writes
@@ -71,4 +107,6 @@ let measure t f =
   (result, diff (snapshot t) before)
 
 let pp ppf (c : counters) =
-  Format.fprintf ppf "reads=%d (seq=%d rand=%d) writes=%d" c.reads c.seq_reads c.rand_reads c.writes
+  Format.fprintf ppf "reads=%d (seq=%d rand=%d) writes=%d" c.reads c.seq_reads c.rand_reads c.writes;
+  if c.retries > 0 || c.checksum_failures > 0 then
+    Format.fprintf ppf " retries=%d checksum_failures=%d" c.retries c.checksum_failures

@@ -4,7 +4,11 @@
     distinguishes sequential I/O (loading, merging) from random I/O
     (query-time binary searches). A read is classified sequential when it
     targets the block right after the previously read one on the same
-    device. *)
+    device.
+
+    Fault-tolerance accounting rides along: [retries] and
+    [checksum_failures] are zero on a healthy device, so adding them does
+    not perturb the paper's block-access counts. *)
 
 (** Immutable snapshot of the counters. *)
 type counters = {
@@ -12,6 +16,8 @@ type counters = {
   seq_reads : int;  (** reads at [previous address + 1] *)
   rand_reads : int; (** all other reads *)
   writes : int;     (** total block writes *)
+  retries : int;    (** extra read attempts made by the retry path *)
+  checksum_failures : int; (** blocks whose embedded checksum mismatched *)
 }
 
 type t
@@ -26,6 +32,13 @@ val note_read : ?hint:bool -> t -> int -> unit
 
 (** Record one block write at the given block address. *)
 val note_write : t -> int -> unit
+
+(** Record one extra read attempt (the retry path re-trying a faulted or
+    checksum-failed read). *)
+val note_retry : t -> unit
+
+(** Record one block whose embedded checksum did not match its payload. *)
+val note_checksum_failure : t -> unit
 
 val snapshot : t -> counters
 val zero : counters

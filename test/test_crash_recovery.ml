@@ -1,0 +1,170 @@
+(* Crash-recovery fuzz harness.
+
+   Each seed builds a file-backed warehouse, checkpoints the metadata
+   after every archived step, then arms a countdown that tears a
+   randomly chosen block write in half — a simulated power cut mid
+   ingestion or mid merge. The process "dies" (we drop the engine),
+   the warehouse is reopened from the last checkpoint, and we assert
+   the merge commit protocol's promise: load succeeds, a full scrub is
+   clean, and every quantile over the committed prefix is within the
+   epsilon rank band.
+
+   A second fuzz flips a random bit inside a live partition at rest and
+   asserts the damage is *caught* — either by load's summary rebuild or
+   by scrub's checksum sweep — never silently served. *)
+
+module E = Hsq.Engine
+module BD = Hsq_storage.Block_device
+
+let eps = 0.05
+let block_size = 16
+
+let with_temp_files f =
+  let dev_path = Filename.temp_file "hsq_crash" ".dev" in
+  let meta_path = Filename.temp_file "hsq_crash" ".meta" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> if Sys.file_exists p then Sys.remove p)
+        [ dev_path; meta_path; meta_path ^ ".tmp" ])
+    (fun () -> f ~dev_path ~meta_path)
+
+(* One ingestion step of a random size; returns the batch. *)
+let random_step rng eng =
+  let n = 100 + Hsq_util.Xoshiro.int rng 300 in
+  let batch = Array.init n (fun _ -> Hsq_util.Xoshiro.int rng 1_000_000) in
+  Array.iter (E.observe eng) batch;
+  ignore (E.end_time_step eng);
+  batch
+
+let run_crash_seed seed =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      let rng = Hsq_util.Xoshiro.create seed in
+      let kappa = 2 + Hsq_util.Xoshiro.int rng 3 in
+      let config = Hsq.Config.make ~kappa ~block_size (Hsq.Config.Epsilon eps) in
+      let dev = BD.create_file ~block_size ~path:dev_path () in
+      let eng = E.create ~device:dev config in
+      (* Elements covered by the most recent durable checkpoint. *)
+      let committed = ref [] in
+      let archived = ref [] in
+      let checkpoint () =
+        Hsq.Persist.save eng ~path:meta_path;
+        committed := !archived
+      in
+      let step () =
+        let batch = random_step rng eng in
+        archived := Array.to_list batch @ !archived
+      in
+      let warm = 1 + Hsq_util.Xoshiro.int rng 3 in
+      for _ = 1 to warm do
+        step ()
+      done;
+      checkpoint ();
+      (* Arm the crash: the k-th block write from now on is torn and the
+         device starts refusing service — the write path raises, which
+         stands in for the process dying at that exact write. *)
+      let countdown = ref (1 + Hsq_util.Xoshiro.int rng 60) in
+      BD.set_injector dev
+        (Some
+           (fun op ~attempt:_ _ ->
+             match op with
+             | BD.Write ->
+               decr countdown;
+               if !countdown <= 0 then Some (BD.Torn (block_size / 2)) else None
+             | BD.Read -> None));
+      let crashed = ref false in
+      (try
+         for _ = 1 to 12 do
+           step ();
+           checkpoint ()
+         done
+       with BD.Device_error _ -> crashed := true);
+      Alcotest.(check bool) (Printf.sprintf "seed %d: crash fired" seed) true !crashed;
+      (* Simulated process death: drop all in-memory state, reopen. *)
+      BD.close dev;
+      let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let report = Hsq.Persist.scrub restored in
+      if report.Hsq.Persist.errors <> [] then
+        Alcotest.failf "seed %d: scrub after crash: %s" seed
+          (String.concat "; " report.Hsq.Persist.errors);
+      let n = E.total_size restored in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: exactly the committed prefix survives" seed)
+        (List.length !committed) n;
+      let oracle = Hsq_workload.Oracle.create () in
+      List.iter (Hsq_workload.Oracle.add oracle) !committed;
+      let band = int_of_float (ceil (eps *. float_of_int n)) + 1 in
+      List.iter
+        (fun phi ->
+          let r = max 1 (int_of_float (ceil (phi *. float_of_int n))) in
+          let v, rep = E.accurate restored ~rank:r in
+          if rep.E.degraded then
+            Alcotest.failf "seed %d: degraded answer on a healthy reopened device" seed;
+          let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+          if err > band then
+            Alcotest.failf "seed %d: phi=%.2f rank error %d > band %d" seed phi err band)
+        [ 0.05; 0.25; 0.5; 0.75; 0.95 ];
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d: invariants" seed)
+        []
+        (Hsq_hist.Level_index.check_invariants (E.hist restored));
+      BD.close (E.device restored))
+
+let run_bitflip_seed seed =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      let rng = Hsq_util.Xoshiro.create (seed * 7919) in
+      let config = Hsq.Config.make ~kappa:3 ~block_size (Hsq.Config.Epsilon eps) in
+      let dev = BD.create_file ~block_size ~path:dev_path () in
+      let eng = E.create ~device:dev config in
+      for _ = 1 to 3 + Hsq_util.Xoshiro.int rng 3 do
+        ignore (random_step rng eng)
+      done;
+      Hsq.Persist.save eng ~path:meta_path;
+      (* Choose a random byte inside a random live partition's block
+         span (checksum words included — damage there must be caught
+         too) and flip one random bit. *)
+      let parts = Hsq_hist.Level_index.partitions (E.hist eng) in
+      let part = List.nth parts (Hsq_util.Xoshiro.int rng (List.length parts)) in
+      let run = Hsq_hist.Partition.run part in
+      let first_block = Hsq_storage.Run.first_block run in
+      let nblocks = Hsq_storage.Run.nblocks run in
+      BD.close dev;
+      let bytes_per_block = (block_size + 1) * 8 in
+      let span = nblocks * bytes_per_block in
+      let off = (first_block * bytes_per_block) + Hsq_util.Xoshiro.int rng span in
+      let bit = 1 lsl Hsq_util.Xoshiro.int rng 8 in
+      let fd = Unix.openfile dev_path [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor bit));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      let caught_by_load =
+        try
+          let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+          let report = Hsq.Persist.scrub restored in
+          BD.close (E.device restored);
+          if report.Hsq.Persist.errors = [] then
+            Alcotest.failf
+              "seed %d: flipped bit at offset %d served silently (load and scrub both clean)"
+              seed off;
+          false
+        with Hsq.Persist.Corrupt_metadata _ -> true
+      in
+      ignore caught_by_load)
+
+let crash_cases =
+  List.init 24 (fun i ->
+      let seed = 1000 + (i * 37) in
+      Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (fun () -> run_crash_seed seed))
+
+let bitflip_cases =
+  List.init 10 (fun i ->
+      let seed = 500 + i in
+      Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (fun () -> run_bitflip_seed seed))
+
+let () =
+  Alcotest.run "crash_recovery"
+    [ ("torn write crash", crash_cases); ("bit flip at rest", bitflip_cases) ]

@@ -103,7 +103,7 @@ let test_file_backed_device_agrees () =
   Hsq_storage.Block_device.close file_dev;
   Sys.remove path
 
-let test_device_fault_surfaces_and_recovers () =
+let test_persistent_fault_degrades_to_quick () =
   let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
   let eng = E.create config in
   for _ = 1 to 5 do
@@ -113,15 +113,88 @@ let test_device_fault_surfaces_and_recovers () =
     E.observe eng i
   done;
   let dev = E.device eng in
+  (* A persistent read fault: retries are exhausted and the accurate
+     path must degrade to the in-memory quick answer, flagged as such,
+     instead of raising at the caller. *)
   Hsq_storage.Block_device.set_fault dev (Some (fun op _ -> op = Hsq_storage.Block_device.Read));
-  Alcotest.(check bool) "fault surfaces as Device_error" true
+  let stats = Hsq_storage.Block_device.stats dev in
+  Hsq_storage.Io_stats.reset stats;
+  let v, report = E.accurate eng ~rank:2_000 in
+  Alcotest.(check bool) "answer flagged degraded" true report.E.degraded;
+  Alcotest.(check int) "matches the quick path" (E.quick eng ~rank:2_000) v;
+  Alcotest.(check bool) "retries were attempted first" true
+    ((Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.retries > 0);
+  (* Device healed: full accuracy comes back, unflagged. *)
+  Hsq_storage.Block_device.set_fault dev None;
+  let v, report = E.accurate eng ~rank:2_000 in
+  Alcotest.(check bool) "not degraded after clearing" false report.E.degraded;
+  Alcotest.(check bool) "recovers after fault cleared" true (v >= 0)
+
+let test_transient_fault_invisible_to_queries () =
+  let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
+  let eng = E.create config in
+  let oracle = Hsq_workload.Oracle.create () in
+  let rng = Hsq_util.Xoshiro.create 77 in
+  for _ = 1 to 5 do
+    let batch = Array.init 1_000 (fun _ -> Hsq_util.Xoshiro.int rng 50_000) in
+    Hsq_workload.Oracle.add_batch oracle batch;
+    ignore (E.ingest_batch eng batch)
+  done;
+  let dev = E.device eng in
+  (* Every read's first attempt fails; the bounded retry absorbs it, so
+     answers are identical to a healthy device and nothing degrades. *)
+  Hsq_storage.Block_device.set_injector dev
+    (Some
+       (fun op ~attempt _ ->
+         if op = Hsq_storage.Block_device.Read && attempt = 1 then
+           Some Hsq_storage.Block_device.Fail
+         else None));
+  let stats = Hsq_storage.Block_device.stats dev in
+  Hsq_storage.Io_stats.reset stats;
+  let n = E.total_size eng in
+  let v, report = E.accurate eng ~rank:(n / 2) in
+  Alcotest.(check bool) "not degraded" false report.E.degraded;
+  Alcotest.(check int) "still exact with empty stream" 0
+    (Hsq_workload.Oracle.rank_error oracle ~rank:(n / 2) ~value:v);
+  Alcotest.(check bool) "retries visible in stats" true
+    ((Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.retries > 0)
+
+let test_write_fault_during_end_time_step () =
+  let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
+  let eng = E.create config in
+  for _ = 1 to 2 do
+    ignore (E.ingest_batch eng (Array.init 800 (fun i -> (i * 13) mod 10_000)))
+  done;
+  let before_total = E.total_size eng and before_steps = E.time_steps eng in
+  for i = 1 to 600 do
+    E.observe eng (i * 3)
+  done;
+  let dev = E.device eng in
+  (* The level-0 run write fails before any index state is touched:
+     archiving raises, the warehouse is unchanged, the batch is kept. *)
+  Hsq_storage.Block_device.set_injector dev
+    (Some
+       (fun op ~attempt:_ _ ->
+         if op = Hsq_storage.Block_device.Write then Some Hsq_storage.Block_device.Fail else None));
+  Alcotest.(check bool) "write fault surfaces" true
     (try
-       ignore (E.accurate eng ~rank:2_000);
+       ignore (E.end_time_step eng);
        false
      with Hsq_storage.Block_device.Device_error _ -> true);
-  Hsq_storage.Block_device.set_fault dev None;
-  let v, _ = E.accurate eng ~rank:2_000 in
-  Alcotest.(check bool) "recovers after fault cleared" true (v >= 0)
+  Alcotest.(check int) "no partial step archived" before_total (E.hist_size eng);
+  Alcotest.(check int) "batch retained in the stream" 600 (E.stream_size eng);
+  Alcotest.(check int) "step count unchanged" before_steps (E.time_steps eng);
+  Alcotest.(check (list string)) "invariants hold after failed write" []
+    (Hsq_hist.Level_index.check_invariants (E.hist eng));
+  (* Fault cleared: the retained batch archives cleanly. *)
+  Hsq_storage.Block_device.set_injector dev None;
+  ignore (E.end_time_step eng);
+  Alcotest.(check int) "batch retained and archived" (before_total + 600) (E.total_size eng);
+  Alcotest.(check int) "step count advanced" (before_steps + 1) (E.time_steps eng);
+  Alcotest.(check (list string)) "invariants after recovery" []
+    (Hsq_hist.Level_index.check_invariants (E.hist eng));
+  let v, report = E.accurate eng ~rank:(E.total_size eng / 2) in
+  Alcotest.(check bool) "query healthy after recovery" true (v >= 0 && not report.E.degraded)
 
 let test_quick_vs_accurate_consistency () =
   (* Quick and accurate answers must be within their combined bounds of
@@ -177,7 +250,11 @@ let () =
       ( "durability",
         [
           Alcotest.test_case "file-backed device agrees" `Slow test_file_backed_device_agrees;
-          Alcotest.test_case "fault injection surfaces + recovers" `Quick
-            test_device_fault_surfaces_and_recovers;
+          Alcotest.test_case "persistent fault degrades to quick" `Quick
+            test_persistent_fault_degrades_to_quick;
+          Alcotest.test_case "transient fault invisible to queries" `Quick
+            test_transient_fault_invisible_to_queries;
+          Alcotest.test_case "write fault during end_time_step" `Quick
+            test_write_fault_during_end_time_step;
         ] );
     ]

@@ -103,7 +103,7 @@ let test_bad_version_rejected () =
       let contents = In_channel.with_open_text meta_path In_channel.input_all in
       Out_channel.with_open_text meta_path (fun oc ->
           Out_channel.output_string oc
-            (Str.global_replace (Str.regexp "hsq-meta 1") "hsq-meta 99" contents));
+            (Str.global_replace (Str.regexp "hsq-meta [0-9]+") "hsq-meta 99" contents));
       Alcotest.(check bool) "bad version rejected" true
         (try
            ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
@@ -140,7 +140,8 @@ let test_garbled_device_detected () =
         (String.split_on_char '\n' meta);
       let first_block, length = !best in
       Alcotest.(check bool) "found a live partition" true (length > 0);
-      let bytes_per_block = 32 * 8 in
+      (* Records carry a trailing checksum word on top of the payload. *)
+      let bytes_per_block = (32 + 1) * 8 in
       let start = (first_block * bytes_per_block) + (length * 8 / 4) in
       let span = length * 8 / 2 in
       let fd = Unix.openfile dev_path [ Unix.O_WRONLY ] 0 in
@@ -153,6 +154,159 @@ let test_garbled_device_detected () =
            ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
            false
          with Hsq.Persist.Corrupt_metadata _ -> true))
+
+(* Tamper with the sidecar *body* and re-stamp the trailing checksum
+   line, so the whole-file checksum passes and the parser itself must
+   catch the damage. *)
+let restamp transform meta_path =
+  let contents = In_channel.with_open_text meta_path In_channel.input_all in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' contents) in
+  let body = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+  let body = transform body in
+  let payload = String.concat "" (List.map (fun l -> l ^ "\n") body) in
+  Out_channel.with_open_text meta_path (fun oc ->
+      Out_channel.output_string oc payload;
+      Printf.fprintf oc "checksum %x\n" (Hsq.Persist.meta_checksum payload))
+
+let load_error ~dev_path ~meta_path =
+  try
+    ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+    None
+  with Hsq.Persist.Corrupt_metadata msg -> Some msg
+
+let contains ~needle haystack =
+  Str.string_match (Str.regexp (".*" ^ Str.quote needle ^ ".*")) haystack 0
+
+let test_checksum_line_guards_tampering () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:2);
+      (* Silently change one digit without re-stamping: the whole-file
+         checksum must catch it before any field is believed. *)
+      let contents = In_channel.with_open_text meta_path In_channel.input_all in
+      Out_channel.with_open_text meta_path (fun oc ->
+          Out_channel.output_string oc
+            (Str.replace_first (Str.regexp "kappa [0-9]+") "kappa 7" contents));
+      match load_error ~dev_path ~meta_path with
+      | Some msg ->
+        Alcotest.(check bool) "caught by whole-file checksum" true
+          (contains ~needle:"checksum" msg)
+      | None -> Alcotest.fail "tampered metadata accepted")
+
+let test_missing_checksum_line_rejected () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:2);
+      let contents = In_channel.with_open_text meta_path In_channel.input_all in
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' contents) in
+      let body = List.filteri (fun i _ -> i < List.length lines - 1) lines in
+      Out_channel.with_open_text meta_path (fun oc ->
+          List.iter (fun l -> Printf.fprintf oc "%s\n" l) body);
+      Alcotest.(check bool) "missing checksum line rejected" true
+        (load_error ~dev_path ~meta_path <> None))
+
+let test_empty_field_reported_by_name () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:2);
+      restamp
+        (List.map (fun l ->
+             if String.length l >= 6 && String.sub l 0 6 = "kappa " then "kappa" else l))
+        meta_path;
+      match load_error ~dev_path ~meta_path with
+      | Some msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "names the empty field (got %S)" msg)
+          true
+          (contains ~needle:"empty value" msg && contains ~needle:"kappa" msg)
+      | None -> Alcotest.fail "empty field accepted")
+
+let test_garbled_field_rejected () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:2);
+      restamp
+        (List.map (fun l ->
+             if String.length l >= 6 && String.sub l 0 6 = "kappa " then "kappa banana" else l))
+        meta_path;
+      Alcotest.(check bool) "non-numeric field rejected" true
+        (load_error ~dev_path ~meta_path <> None))
+
+let test_save_is_atomic () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:3);
+      (* No temp file is left behind, and the sidecar ends with its
+         checksum line. *)
+      Alcotest.(check bool) "no .tmp residue" false (Sys.file_exists (meta_path ^ ".tmp"));
+      let contents = In_channel.with_open_text meta_path In_channel.input_all in
+      let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' contents) in
+      let last = List.nth lines (List.length lines - 1) in
+      Alcotest.(check bool) "ends with checksum line" true (contains ~needle:"checksum " last);
+      (* Re-saving over an existing sidecar works (rename replaces). *)
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      Hsq.Persist.save eng ~path:meta_path;
+      let eng2 = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      Alcotest.(check int) "round-trips after re-save" (E.total_size eng) (E.total_size eng2);
+      Hsq_storage.Block_device.close (E.device eng);
+      Hsq_storage.Block_device.close (E.device eng2))
+
+let test_scrub_healthy () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:6);
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let report = Hsq.Persist.scrub eng in
+      Alcotest.(check (list string)) "no errors" [] report.Hsq.Persist.errors;
+      Alcotest.(check int) "every live partition checked"
+        (Hsq_hist.Level_index.partition_count (E.hist eng))
+        report.Hsq.Persist.partitions_checked;
+      Alcotest.(check bool) "read the data back" true (report.Hsq.Persist.blocks_read > 0);
+      Hsq_storage.Block_device.close (E.device eng))
+
+let test_scrub_catches_bit_rot_load_misses () =
+  with_temp_files (fun ~dev_path ~meta_path ->
+      ignore (build_and_save ~dev_path ~meta_path ~steps:4);
+      (* Pick, in the largest partition, a block that summary rebuild
+         does NOT probe (the summary holds ~beta1 of the blocks), and
+         flip one bit there: [load] succeeds, but [scrub] — which reads
+         every block — must report the checksum failure rather than let
+         it be served later. *)
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let block_size = (E.config eng).Hsq.Config.block_size in
+      let parts = Hsq_hist.Level_index.partitions (E.hist eng) in
+      let part =
+        List.fold_left
+          (fun acc p ->
+            if Hsq_hist.Partition.size p > Hsq_hist.Partition.size acc then p else acc)
+          (List.hd parts) parts
+      in
+      let run = Hsq_hist.Partition.run part in
+      let probed = Hashtbl.create 16 in
+      Array.iter
+        (fun e -> Hashtbl.replace probed (e.Hsq_hist.Partition_summary.index / block_size) ())
+        (Hsq_hist.Partition_summary.entries (Hsq_hist.Partition.summary part));
+      let nblocks = Hsq_storage.Run.nblocks run in
+      let victim = ref (-1) in
+      for b = nblocks - 1 downto 0 do
+        if not (Hashtbl.mem probed b) then victim := b
+      done;
+      Alcotest.(check bool) "found an unprobed block" true (!victim >= 0);
+      let first_block = Hsq_storage.Run.first_block run in
+      Hsq_storage.Block_device.close (E.device eng);
+      let bytes_per_block = (block_size + 1) * 8 in
+      let off = ((first_block + !victim) * bytes_per_block) + 12 in
+      let fd = Unix.openfile dev_path [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x10));
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      (* Load only probes the summary targets, so it misses the flip... *)
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      (* ...but a full scrub cannot. *)
+      let report = Hsq.Persist.scrub eng in
+      Alcotest.(check bool) "scrub reports the damage" true
+        (report.Hsq.Persist.errors <> []);
+      Alcotest.(check bool) "as a checksum failure" true
+        (List.exists (contains ~needle:"checksum") report.Hsq.Persist.errors);
+      Hsq_storage.Block_device.close (E.device eng))
 
 let () =
   Alcotest.run "persist"
@@ -170,5 +324,18 @@ let () =
           Alcotest.test_case "bad version" `Quick test_bad_version_rejected;
           Alcotest.test_case "missing device" `Quick test_missing_device_rejected;
           Alcotest.test_case "garbled device" `Quick test_garbled_device_detected;
+          Alcotest.test_case "checksum line guards tampering" `Quick
+            test_checksum_line_guards_tampering;
+          Alcotest.test_case "missing checksum line" `Quick test_missing_checksum_line_rejected;
+          Alcotest.test_case "empty field named in error" `Quick test_empty_field_reported_by_name;
+          Alcotest.test_case "garbled field" `Quick test_garbled_field_rejected;
+        ] );
+      ( "atomicity",
+        [ Alcotest.test_case "save leaves no residue, re-save works" `Quick test_save_is_atomic ] );
+      ( "scrub",
+        [
+          Alcotest.test_case "healthy warehouse" `Quick test_scrub_healthy;
+          Alcotest.test_case "bit rot load misses, scrub catches" `Quick
+            test_scrub_catches_bit_rot_load_misses;
         ] );
     ]

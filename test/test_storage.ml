@@ -85,6 +85,146 @@ let test_device_fault_injection () =
   Block_device.set_fault dev None;
   Alcotest.(check (array int)) "recovers" (Array.make 8 1) (Block_device.read_block dev ~addr)
 
+(* --- Fault tolerance: retries, checksums, torn writes ---------------- *)
+
+let test_transient_fault_absorbed () =
+  let dev = mem_dev () in
+  let addr = Block_device.alloc dev 1 in
+  Block_device.write_block dev ~addr (Array.make 8 42);
+  (* Fail the first two read attempts; the third succeeds. *)
+  Block_device.set_injector dev
+    (Some
+       (fun op ~attempt _ ->
+         if op = Block_device.Read && attempt <= 2 then Some Block_device.Fail else None));
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  Alcotest.(check (array int)) "absorbed" (Array.make 8 42) (Block_device.read_block dev ~addr);
+  let c = Io_stats.snapshot stats in
+  Alcotest.(check int) "retries counted" 2 c.Io_stats.retries;
+  Alcotest.(check int) "one successful physical read" 1 c.Io_stats.reads;
+  Alcotest.(check int) "no checksum failures" 0 c.Io_stats.checksum_failures
+
+let test_persistent_fault_exhausts_retries () =
+  let dev = mem_dev () in
+  let addr = Block_device.alloc dev 1 in
+  Block_device.write_block dev ~addr (Array.make 8 1);
+  Block_device.set_injector dev
+    (Some (fun op ~attempt:_ _ -> if op = Block_device.Read then Some Block_device.Fail else None));
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  Alcotest.(check bool) "persistent fault surfaces" true
+    (try
+       ignore (Block_device.read_block dev ~addr);
+       false
+     with Block_device.Device_error _ -> true);
+  Alcotest.(check int) "all retries spent"
+    (Block_device.max_read_attempts - 1)
+    (Io_stats.snapshot stats).Io_stats.retries;
+  (* Clearing the injector restores service. *)
+  Block_device.set_injector dev None;
+  Alcotest.(check (array int)) "recovers" (Array.make 8 1) (Block_device.read_block dev ~addr)
+
+let test_corrupt_write_detected () =
+  let dev = mem_dev () in
+  let addr = Block_device.alloc dev 1 in
+  (* A bit-flip on the way to the platter: the stored checksum no
+     longer matches the payload, so every read must fail loudly rather
+     than serve the damaged block. *)
+  Block_device.set_injector dev
+    (Some (fun op ~attempt:_ _ -> if op = Block_device.Write then Some (Block_device.Corrupt 3) else None));
+  Block_device.write_block dev ~addr [| 1; 2; 3; 4; 5; 6; 7; 8 |];
+  Block_device.set_injector dev None;
+  let stats = Block_device.stats dev in
+  Io_stats.reset stats;
+  Alcotest.(check bool) "corruption never served" true
+    (try
+       ignore (Block_device.read_block dev ~addr);
+       false
+     with Block_device.Device_error msg ->
+       Alcotest.(check bool) "mentions checksum" true
+         (Str.string_match (Str.regexp ".*checksum mismatch.*") msg 0);
+       true);
+  Alcotest.(check int) "each attempt failed the checksum" Block_device.max_read_attempts
+    (Io_stats.snapshot stats).Io_stats.checksum_failures
+
+let test_torn_write_detected () =
+  let dev = mem_dev () in
+  let addr = Block_device.alloc dev 1 in
+  Block_device.set_injector dev
+    (Some (fun op ~attempt:_ _ -> if op = Block_device.Write then Some (Block_device.Torn 4) else None));
+  Alcotest.(check bool) "torn write raises" true
+    (try
+       Block_device.write_block dev ~addr (Array.make 8 5);
+       false
+     with Block_device.Device_error _ -> true);
+  Block_device.set_injector dev None;
+  (* The half-written record fails its checksum on read. *)
+  Alcotest.(check bool) "torn block never served" true
+    (try
+       ignore (Block_device.read_block dev ~addr);
+       false
+     with Block_device.Device_error _ -> true);
+  (* Rewriting the block heals it: fresh payload, fresh checksum. *)
+  Block_device.write_block dev ~addr (Array.make 8 6);
+  Alcotest.(check (array int)) "rewrite heals" (Array.make 8 6) (Block_device.read_block dev ~addr)
+
+let test_file_reopen_tolerates_trailing_tear () =
+  let path = Filename.temp_file "hsq_test" ".dev" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let dev = Block_device.create_file ~block_size:4 ~path () in
+      let a = Block_device.alloc dev 2 in
+      Block_device.write_block dev ~addr:a [| 1; 2; 3; 4 |];
+      Block_device.set_injector dev
+        (Some
+           (fun op ~attempt:_ addr ->
+             if op = Block_device.Write && addr = a + 1 then Some (Block_device.Torn 2) else None));
+      (* Simulated crash mid-write of block a+1: only a prefix of the
+         record reaches the file. *)
+      Alcotest.(check bool) "tear raises" true
+        (try
+           Block_device.write_block dev ~addr:(a + 1) [| 5; 6; 7; 8 |];
+           false
+         with Block_device.Device_error _ -> true);
+      Block_device.close dev;
+      (* Reopen: the partial trailing record is floored away; the intact
+         block is still readable. *)
+      let dev = Block_device.open_file ~block_size:4 ~path () in
+      Alcotest.(check int) "partial record floored" 1 (Block_device.allocated_blocks dev);
+      ignore (Block_device.alloc dev 1);
+      Alcotest.(check (array int)) "intact block survives" [| 1; 2; 3; 4 |]
+        (Block_device.read_block dev ~addr:a);
+      Block_device.close dev)
+
+let test_file_bit_rot_detected () =
+  let path = Filename.temp_file "hsq_test" ".dev" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let dev = Block_device.create_file ~block_size:4 ~path () in
+      let addr = Block_device.alloc dev 1 in
+      Block_device.write_block dev ~addr [| 10; 20; 30; 40 |];
+      Block_device.close dev;
+      (* Flip one bit of the second payload word, at rest. *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      ignore (Unix.lseek fd 15 Unix.SEEK_SET);
+      let b = Bytes.create 1 in
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x04));
+      ignore (Unix.lseek fd 15 Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      let dev = Block_device.open_file ~block_size:4 ~path () in
+      ignore (Block_device.alloc dev 1);
+      Alcotest.(check bool) "bit rot caught by checksum" true
+        (try
+           ignore (Block_device.read_block dev ~addr);
+           false
+         with Block_device.Device_error msg ->
+           Str.string_match (Str.regexp ".*checksum mismatch.*") msg 0);
+      Block_device.close dev)
+
 let test_file_backend_roundtrip () =
   let path = Filename.temp_file "hsq_test" ".dev" in
   let dev = Block_device.create_file ~block_size:4 ~path () in
@@ -403,6 +543,19 @@ let () =
           Alcotest.test_case "free / live accounting" `Quick test_device_free_and_live;
           Alcotest.test_case "fault injection" `Quick test_device_fault_injection;
           Alcotest.test_case "file backend" `Quick test_file_backend_roundtrip;
+        ] );
+      ( "fault_tolerance",
+        [
+          Alcotest.test_case "transient fault absorbed by retries" `Quick
+            test_transient_fault_absorbed;
+          Alcotest.test_case "persistent fault exhausts retries" `Quick
+            test_persistent_fault_exhausts_retries;
+          Alcotest.test_case "corrupt write caught by checksum" `Quick test_corrupt_write_detected;
+          Alcotest.test_case "torn write caught + rewrite heals" `Quick test_torn_write_detected;
+          Alcotest.test_case "reopen floors a trailing tear" `Quick
+            test_file_reopen_tolerates_trailing_tear;
+          Alcotest.test_case "at-rest bit rot caught by checksum" `Quick
+            test_file_bit_rot_detected;
         ] );
       ( "run",
         [
