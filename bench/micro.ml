@@ -17,6 +17,26 @@ let prepared_engine () =
   let eng, _ = Harness.build_engine ~config w in
   eng
 
+(* A durable engine over a throwaway store, for the ingest-throughput
+   benches.  Checkpoints are off: the WAL sync policy is the axis under
+   measurement, and a mid-bench checkpoint (which serializes the whole
+   open batch) would spike single samples unfairly. *)
+let durable_engine ~wal_sync () =
+  let dir = Filename.temp_file "hsq_bench_wal" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  at_exit (fun () ->
+      try
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      with Sys_error _ -> ());
+  let config =
+    Hsq.Config.make ~kappa:10 ~block_size:256 ~wal_dir:dir ~wal_sync ~checkpoint_every:0
+      (Hsq.Config.Epsilon 0.01)
+  in
+  let eng, _ = Hsq.Engine.open_or_recover config in
+  eng
+
 let tests () =
   let rng = Hsq_util.Xoshiro.create 1234 in
   let gk = Hsq_sketch.Gk.create ~epsilon:0.001 in
@@ -24,6 +44,12 @@ let tests () =
   let sp = Hsq_sketch.Sampler.create ~buffers:10 ~buffer_size:500 () in
   let eng = prepared_engine () in
   let n = Hsq.Engine.total_size eng in
+  let volatile =
+    Hsq.Engine.create (Hsq.Config.make ~kappa:10 ~block_size:256 (Hsq.Config.Epsilon 0.01))
+  in
+  let dur_never = durable_engine ~wal_sync:Hsq_storage.Wal.Never () in
+  let dur_group = durable_engine ~wal_sync:(Hsq_storage.Wal.Group 64) () in
+  let dur_always = durable_engine ~wal_sync:Hsq_storage.Wal.Always () in
   [
     Test.make ~name:"gk-insert"
       (Staged.stage (fun () -> Hsq_sketch.Gk.insert gk (Hsq_util.Xoshiro.int rng 1_000_000_000)));
@@ -39,6 +65,18 @@ let tests () =
       (Staged.stage (fun () -> ignore (Hsq.Engine.quick eng ~rank:(n / 2))));
     Test.make ~name:"accurate-query"
       (Staged.stage (fun () -> ignore (Hsq.Engine.accurate eng ~rank:(n / 2))));
+    (* Ingest throughput across the durability spectrum: no WAL at all,
+       buffered appends (flush at commits only), group commit, and a
+       physical flush per record. *)
+    Test.make ~name:"ingest-wal-off"
+      (Staged.stage (fun () -> Hsq.Engine.observe volatile (Hsq_util.Xoshiro.int rng 1_000_000)));
+    Test.make ~name:"ingest-wal-never"
+      (Staged.stage (fun () -> Hsq.Engine.observe dur_never (Hsq_util.Xoshiro.int rng 1_000_000)));
+    Test.make ~name:"ingest-wal-group64"
+      (Staged.stage (fun () -> Hsq.Engine.observe dur_group (Hsq_util.Xoshiro.int rng 1_000_000)));
+    Test.make ~name:"ingest-wal-always"
+      (Staged.stage (fun () ->
+           Hsq.Engine.observe dur_always (Hsq_util.Xoshiro.int rng 1_000_000)));
   ]
 
 let run () =

@@ -47,15 +47,76 @@ let device_path =
   let doc = "Back the warehouse with this file instead of memory." in
   Arg.(value & opt (some string) None & info [ "device" ] ~docv:"PATH" ~doc)
 
-let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint =
-  let config =
-    Hsq.Config.make ~kappa ~block_size ~steps_hint (Hsq.Config.Epsilon epsilon)
+(* Durable-ingest options (simulate, stream). *)
+let wal_sync_conv =
+  let parse s =
+    let s = String.lowercase_ascii (String.trim s) in
+    let group_arg prefix =
+      let plen = String.length prefix in
+      if String.length s > plen && String.sub s 0 plen = prefix then
+        int_of_string_opt (String.sub s plen (String.length s - plen))
+      else None
+    in
+    match s with
+    | "always" -> Ok Hsq_storage.Wal.Always
+    | "never" -> Ok Hsq_storage.Wal.Never
+    | _ -> (
+      let n = match group_arg "group:" with Some n -> Some n | None -> group_arg "group=" in
+      match n with
+      | Some n when n >= 1 -> Ok (Hsq_storage.Wal.Group n)
+      | _ -> Error (`Msg "expected always, never, or group:N (N >= 1)"))
   in
-  match device_path with
-  | None -> Hsq.Engine.create config
-  | Some path ->
-    let dev = Hsq_storage.Block_device.create_file ~block_size ~path () in
-    Hsq.Engine.create ~device:dev config
+  let print ppf p = Format.fprintf ppf "%s" (Hsq_storage.Wal.sync_policy_to_string p) in
+  Arg.conv (parse, print)
+
+let durable_dir =
+  let doc =
+    "Durable ingest: root the warehouse, write-ahead log, and sketch checkpoints in $(docv) \
+     and recover whatever a previous (possibly crashed) run left there. Overrides --device."
+  in
+  Arg.(value & opt (some string) None & info [ "durable" ] ~docv:"DIR" ~doc)
+
+let wal_sync =
+  let doc =
+    "WAL sync policy with --durable: $(b,always) (zero acknowledged loss), $(b,group:N) \
+     (flush every N records), or $(b,never) (flush only at commit markers)."
+  in
+  Arg.(value & opt wal_sync_conv Hsq_storage.Wal.Always & info [ "wal-sync" ] ~docv:"POLICY" ~doc)
+
+let checkpoint_every =
+  let doc = "Sketch-checkpoint interval in WAL records with --durable; 0 disables." in
+  Arg.(value & opt int 10_000 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let report_recovery (r : Hsq.Engine.recovery_report) =
+  if r.replayed > 0 || r.checkpoint_used || r.wal_tail <> None then
+    Printf.eprintf
+      "[recover] replayed %d WAL records: %d steps re-archived, %d already committed%s%s\n%!"
+      r.replayed r.steps_reingested r.steps_skipped
+      (if r.checkpoint_used then "; resumed from sketch checkpoint" else "")
+      (match r.wal_tail with
+      | None -> ""
+      | Some why -> Printf.sprintf "; torn tail floored (%s)" why)
+
+let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?durable
+    ?(wal_sync = Hsq_storage.Wal.Always) ?(checkpoint_every = 10_000) () =
+  match durable with
+  | Some dir ->
+    if device_path <> None then
+      prerr_endline "warning: --device ignored with --durable (the store supplies its own)";
+    let config =
+      Hsq.Config.make ~kappa ~block_size ~steps_hint ~wal_dir:dir ~wal_sync ~checkpoint_every
+        (Hsq.Config.Epsilon epsilon)
+    in
+    let eng, report = Hsq.Engine.open_or_recover config in
+    report_recovery report;
+    eng
+  | None -> (
+    let config = Hsq.Config.make ~kappa ~block_size ~steps_hint (Hsq.Config.Epsilon epsilon) in
+    match device_path with
+    | None -> Hsq.Engine.create config
+    | Some path ->
+      let dev = Hsq_storage.Block_device.create_file ~block_size ~path () in
+      Hsq.Engine.create ~device:dev config)
 
 let report_quantiles eng phis =
   List.iter
@@ -84,9 +145,12 @@ let save_meta =
   Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
 
 let simulate dataset steps step_size seed epsilon kappa block_size device_path phis verify
-    save_meta =
+    save_meta durable wal_sync checkpoint_every =
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
-  let eng = make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps in
+  let eng =
+    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps ?durable ~wal_sync
+      ~checkpoint_every ()
+  in
   let oracle = if verify then Some (Hsq_workload.Oracle.create ()) else None in
   let total_io = ref Hsq_storage.Io_stats.zero in
   for step = 1 to steps do
@@ -121,8 +185,10 @@ let simulate dataset steps step_size seed epsilon kappa block_size device_path p
   | Some meta, Some _ ->
     Hsq.Persist.save eng ~path:meta;
     Printf.printf "warehouse metadata saved to %s\n" meta
-  | Some _, None -> prerr_endline "warning: --save-meta ignored without --device"
-  | None, _ -> ());
+  | Some _, None when durable = None ->
+    prerr_endline "warning: --save-meta ignored without --device"
+  | _ -> ());
+  Hsq.Engine.close eng;
   0
 
 let simulate_cmd =
@@ -150,13 +216,15 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
-      $ device_path $ phis $ verify $ save_meta)
+      $ device_path $ phis $ verify $ save_meta $ durable_dir $ wal_sync $ checkpoint_every)
 
 (* --- stream ------------------------------------------------------------- *)
 
-let stream step_every epsilon kappa block_size device_path phis =
+let stream step_every epsilon kappa block_size device_path phis durable wal_sync
+    checkpoint_every =
   let eng =
-    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100
+    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100 ?durable ~wal_sync
+      ~checkpoint_every ()
   in
   let in_step = ref 0 in
   (try
@@ -179,15 +247,21 @@ let stream step_every epsilon kappa block_size device_path phis =
        end
      done
    with End_of_file -> ());
-  if Hsq.Engine.total_size eng = 0 then begin
-    prerr_endline "no data read";
-    1
-  end
-  else begin
-    report_footprint eng;
-    report_quantiles eng phis;
-    0
-  end
+  let code =
+    if Hsq.Engine.total_size eng = 0 then begin
+      prerr_endline "no data read";
+      1
+    end
+    else begin
+      report_footprint eng;
+      report_quantiles eng phis;
+      0
+    end
+  in
+  (* Flushes the WAL: the open step (elements past the last archive
+     point) survives a restart with --durable. *)
+  Hsq.Engine.close eng;
+  code
 
 let stream_cmd =
   let step_every =
@@ -198,7 +272,9 @@ let stream_cmd =
   let doc = "Read integers from stdin and answer quantile queries at EOF." in
   Cmd.v
     (Cmd.info "stream" ~doc)
-    Term.(const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ phis)
+    Term.(
+      const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ phis
+      $ durable_dir $ wal_sync $ checkpoint_every)
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
@@ -342,7 +418,97 @@ let scrub_cmd =
   in
   Cmd.v (Cmd.info "scrub" ~doc) Term.(const scrub $ device_path $ meta)
 
+(* --- status (durable store health) ----------------------------------------- *)
+
+let status dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "no such store directory: %s\n" dir;
+    2
+  end
+  else begin
+    let device_path, meta_path, wal_path, ckpt_path = Hsq.Engine.store_paths ~dir in
+    let problems = ref 0 in
+    let problem fmt = Printf.ksprintf (fun s -> incr problems; Printf.printf "%s\n" s) fmt in
+    (* Warehouse: the sidecar is the commit record. *)
+    let committed_steps = ref 0 in
+    (match (Sys.file_exists meta_path, Sys.file_exists device_path) with
+    | false, _ -> print_endline "warehouse: empty (no committed time step yet)"
+    | true, false -> problem "warehouse: DAMAGED — sidecar present but device file missing"
+    | true, true -> (
+      match Hsq.Persist.load_files ~device_path ~meta_path with
+      | eng ->
+        committed_steps := Hsq.Engine.time_steps eng;
+        Printf.printf "warehouse: %d archived steps, %d elements, %d partitions\n"
+          (Hsq.Engine.time_steps eng) (Hsq.Engine.hist_size eng)
+          (Hsq_hist.Level_index.partition_count (Hsq.Engine.hist eng));
+        Hsq_storage.Block_device.close (Hsq.Engine.device eng)
+      | exception Hsq.Persist.Corrupt_metadata msg -> problem "warehouse: CORRUPT — %s" msg
+      | exception Hsq_storage.Block_device.Device_error msg ->
+        problem "warehouse: DEVICE ERROR — %s" msg));
+    (* Write-ahead log. *)
+    (if Sys.file_exists wal_path then begin
+       match Hsq_storage.Wal.read_path ~path:wal_path with
+       | records, start_seq, tail ->
+         let observes, markers =
+           List.fold_left
+             (fun (o, m) (_, r) ->
+               match r with
+               | Hsq_storage.Wal.Observe _ -> (o + 1, m)
+               | Hsq_storage.Wal.End_step _ -> (o, m + 1))
+             (0, 0) records
+         in
+         Printf.printf "wal: %d records (%d observes, %d commit markers), seq %d..%d\n"
+           (List.length records) observes markers start_seq
+           (start_seq + List.length records - 1);
+         (match tail with
+         | Hsq_storage.Wal.Clean -> ()
+         | Hsq_storage.Wal.Torn why ->
+           (* Expected after a crash — recovery floors it — so it is
+              reported but is not a health problem by itself. *)
+           Printf.printf "wal: torn tail (%s); next open floors it\n" why)
+       | exception Hsq_storage.Block_device.Device_error msg -> problem "wal: UNREADABLE — %s" msg
+     end
+     else print_endline "wal: absent (no open step)");
+    (* Sketch checkpoint. *)
+    (match Hsq.Checkpoint.load ~path:ckpt_path with
+    | Ok None -> print_endline "checkpoint: absent"
+    | Ok (Some c) ->
+      Printf.printf "checkpoint: covers WAL seq <= %d at %d committed steps (%d spooled elements)%s\n"
+        c.Hsq.Checkpoint.seq c.Hsq.Checkpoint.steps_done
+        (Array.length c.Hsq.Checkpoint.batch)
+        (if c.Hsq.Checkpoint.steps_done <> !committed_steps then " [stale — will be ignored]"
+         else "")
+    | Error why ->
+      (* Also not fatal: recovery treats it as absent. *)
+      Printf.printf "checkpoint: unreadable (%s); recovery falls back to full replay\n" why);
+    if !problems = 0 then begin
+      print_endline "status: OK";
+      0
+    end
+    else begin
+      Printf.printf "status: %d problem(s)\n" !problems;
+      1
+    end
+  end
+
+let status_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Durable store directory (see --durable).")
+  in
+  let doc =
+    "Report the health of a durable store: warehouse commit state, WAL extent and tail, and \
+     sketch-checkpoint coverage. Exits non-zero if the store is damaged beyond what recovery \
+     handles."
+  in
+  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir)
+
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in
   let info = Cmd.info "hsq" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd; scrub_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd; scrub_cmd; status_cmd ]))

@@ -1,0 +1,23 @@
+(** Sketch checkpoints for the durable ingest path: the open time
+    step's batch spool and GK sketch state, frozen at a WAL sequence
+    number so recovery replays only the log suffix past it.
+
+    Written with the Persist sidecar idiom (plain text, trailing
+    whole-file checksum, temp file + rename): a torn or tampered
+    checkpoint reads as absent, never as wrong state. *)
+
+type t = {
+  seq : int;          (** last WAL sequence number covered *)
+  steps_done : int;   (** warehouse time steps committed at save time *)
+  batch : int array;  (** the open step's spooled elements, in order *)
+  gk : int array;     (** {!Hsq_sketch.Gk.serialize} of the stream sketch *)
+}
+
+(** Atomically write the checkpoint to [path]. *)
+val save : path:string -> t -> unit
+
+(** [Ok None] — no checkpoint file; [Ok (Some c)] — a valid one;
+    [Error why] — present but unreadable (torn write, bit rot, version
+    skew). Callers must treat [Error] like [Ok None] and fall back to a
+    full WAL replay. *)
+val load : path:string -> (t option, string) result

@@ -19,12 +19,23 @@ type t = {
   steps_hint : int;         (** expected number of time steps (T) *)
   stream_fraction : float;  (** share of a memory budget given to the stream sketch (paper: 0.5) *)
   sort_domains : int option; (** parallel batch sorting on this many domains (future work, §4) *)
+  wal_dir : string option;
+      (** durable-ingest directory (WAL + sketch checkpoints + warehouse
+          files, used by {!Engine.open_or_recover}); [None] = the stream
+          side is volatile, as in the paper's Figure 1 *)
+  wal_sync : Hsq_storage.Wal.sync_policy;
+      (** group-commit policy for the write-ahead log (default
+          [Always]: zero acknowledged-record loss) *)
+  checkpoint_every : int;
+      (** WAL records between sketch checkpoints; 0 disables
+          checkpointing (recovery then replays the whole open step) *)
 }
 
 val default : t
 
 (** Validated constructor. Raises [Invalid_argument] on out-of-range
-    parameters (ε ∉ (0,1), budget < 128 words, κ < 2, …). *)
+    parameters (ε ∉ (0,1), budget < 128 words, κ < 2, group-commit
+    window < 1, negative checkpoint interval, …). *)
 val make :
   ?kappa:int ->
   ?block_size:int ->
@@ -32,6 +43,9 @@ val make :
   ?steps_hint:int ->
   ?stream_fraction:float ->
   ?sort_domains:int ->
+  ?wal_dir:string ->
+  ?wal_sync:Hsq_storage.Wal.sync_policy ->
+  ?checkpoint_every:int ->
   sizing ->
   t
 

@@ -13,6 +13,18 @@
      accurate -- Algorithms 6-8, a value-domain binary search narrowed
                  by summaries with disk rank probes, O(eps*m) error. *)
 
+(* Durable-ingest state (Engine.open_or_recover): the write-ahead log
+   making the stream side R crash-safe, plus sketch-checkpoint
+   bookkeeping.  [None] = the stream is volatile, as in the paper. *)
+type durability = {
+  wal : Hsq_storage.Wal.t;
+  meta_path : string; (* warehouse sidecar — the rollover commit record *)
+  ckpt_path : string; (* sketch checkpoint file *)
+  checkpoint_every : int; (* WAL records between checkpoints; 0 = never *)
+  mutable since_checkpoint : int;
+  mutable last_checkpoint_seq : int; (* 0 = no live checkpoint *)
+}
+
 type t = {
   config : Config.t;
   dev : Hsq_storage.Block_device.t;
@@ -20,6 +32,7 @@ type t = {
   mutable gk : Hsq_sketch.Gk.t;
   mutable batch : int array;
   mutable batch_len : int;
+  mutable durable : durability option;
 }
 
 type query_report = {
@@ -49,12 +62,29 @@ let create ?device config =
       ?sort_domains:config.Config.sort_domains ~kappa:config.Config.kappa
       ~beta1:(Config.beta1 config) dev
   in
-  { config; dev; hist; gk = fresh_gk config; batch = Array.make 1024 0; batch_len = 0 }
+  {
+    config;
+    dev;
+    hist;
+    gk = fresh_gk config;
+    batch = Array.make 1024 0;
+    batch_len = 0;
+    durable = None;
+  }
 
 (* Recovery path (Persist): adopt a restored historical index.  The
-   stream side starts empty — the live stream is volatile by design. *)
+   stream side starts empty — [open_or_recover] refills it from the
+   checkpoint and the WAL when durability is on. *)
 let of_restored ~device config hist =
-  { config; dev = device; hist; gk = fresh_gk config; batch = Array.make 1024 0; batch_len = 0 }
+  {
+    config;
+    dev = device;
+    hist;
+    gk = fresh_gk config;
+    batch = Array.make 1024 0;
+    batch_len = 0;
+    durable = None;
+  }
 
 let config t = t.config
 let device t = t.dev
@@ -73,8 +103,9 @@ let epsilon t = 4.0 *. eps2 t
 let memory_words t =
   Hsq_hist.Level_index.memory_words t.hist + Hsq_sketch.Gk.memory_words t.gk
 
-(* StreamUpdate (Algorithm 4) + batch spooling. *)
-let observe t v =
+(* StreamUpdate (Algorithm 4) + batch spooling, without the WAL — the
+   in-memory effect of one element, shared by live ingest and replay. *)
+let apply_observe t v =
   Hsq_sketch.Gk.insert t.gk v;
   if t.batch_len = Array.length t.batch then begin
     let bigger = Array.make (2 * t.batch_len) 0 in
@@ -84,15 +115,79 @@ let observe t v =
   t.batch.(t.batch_len) <- v;
   t.batch_len <- t.batch_len + 1
 
+(* Freeze the stream side at the WAL's last acknowledged sequence
+   number.  The WAL is synced first so the checkpoint never covers
+   records that could still be lost — otherwise recovery would trust
+   state whose log suffix vanished with the buffer cache. *)
+let write_checkpoint t d =
+  Hsq_storage.Wal.sync d.wal;
+  let c =
+    {
+      Checkpoint.seq = Hsq_storage.Wal.last_seq d.wal;
+      steps_done = Hsq_hist.Level_index.time_steps t.hist;
+      batch = Array.sub t.batch 0 t.batch_len;
+      gk = Hsq_sketch.Gk.serialize t.gk;
+    }
+  in
+  Checkpoint.save ~path:d.ckpt_path c;
+  Hsq_storage.Io_stats.note_checkpoint (Hsq_storage.Block_device.stats t.dev);
+  d.last_checkpoint_seq <- c.Checkpoint.seq;
+  d.since_checkpoint <- 0
+
+let checkpoint_now t = match t.durable with None -> () | Some d -> write_checkpoint t d
+
+let observe t v =
+  match t.durable with
+  | None -> apply_observe t v
+  | Some d ->
+    (* WAL first: if the append raises (injected fault, full disk) the
+       element is unacknowledged and in-memory state is untouched. *)
+    ignore (Hsq_storage.Wal.append d.wal (Hsq_storage.Wal.Observe v));
+    apply_observe t v;
+    d.since_checkpoint <- d.since_checkpoint + 1;
+    if d.checkpoint_every > 0 && d.since_checkpoint >= d.checkpoint_every then
+      write_checkpoint t d
+
+let save_meta t path =
+  Meta.write ~path
+    (Meta.render ~config:t.config ~descriptors:(Hsq_hist.Level_index.describe t.hist))
+
 (* Load the batch into the warehouse and reset the stream sketch
-   (HistUpdate + StreamReset). *)
+   (HistUpdate + StreamReset).
+
+   Durable rollover protocol (exactly-once):
+     1. append an [End_step] marker carrying the prospective step
+        number and force a sync — whatever the policy, a commit is a
+        flush;
+     2. add the batch to the level index and write the warehouse
+        sidecar — the sidecar rename is THE commit point;
+     3. rotate the WAL (atomic truncation) and drop the checkpoint.
+   A crash between 1 and 2 replays the step from the log; between 2
+   and 3 the marker's step number is <= the recovered warehouse's step
+   count, so replay skips the re-ingest — never a double archive. *)
 let end_time_step t =
   if t.batch_len = 0 then invalid_arg "Engine.end_time_step: empty batch";
-  let batch = Array.sub t.batch 0 t.batch_len in
-  let report = Hsq_hist.Level_index.add_batch t.hist batch in
-  t.batch_len <- 0;
-  t.gk <- fresh_gk t.config;
-  report
+  let commit () =
+    let batch = Array.sub t.batch 0 t.batch_len in
+    let report = Hsq_hist.Level_index.add_batch t.hist batch in
+    t.batch_len <- 0;
+    t.gk <- fresh_gk t.config;
+    report
+  in
+  match t.durable with
+  | None -> commit ()
+  | Some d ->
+    let step = Hsq_hist.Level_index.time_steps t.hist + 1 in
+    ignore
+      (Hsq_storage.Wal.append d.wal (Hsq_storage.Wal.End_step { step; count = t.batch_len }));
+    Hsq_storage.Wal.sync d.wal;
+    let report = commit () in
+    save_meta t d.meta_path;
+    Hsq_storage.Wal.rotate d.wal;
+    (try Sys.remove d.ckpt_path with Sys_error _ -> ());
+    d.last_checkpoint_seq <- 0;
+    d.since_checkpoint <- 0;
+    report
 
 let ingest_batch t batch =
   Array.iter (observe t) batch;
@@ -329,3 +424,201 @@ let quantile_window t ~window phi =
   | Ok n ->
     if n = 0 then invalid_arg "Engine.quantile_window: empty window";
     accurate_window t ~window ~rank:(rank_of_phi ~n phi)
+
+(* ------------------------------------------------------------------ *)
+(* Durable ingest: the recovery manager.                               *)
+(* ------------------------------------------------------------------ *)
+
+type recovery_report = {
+  replayed : int; (* WAL records re-applied (past any checkpoint) *)
+  steps_reingested : int; (* End_step markers re-archived *)
+  steps_skipped : int; (* End_step markers already in the warehouse *)
+  checkpoint_used : bool;
+  wal_tail : string option; (* why the log tail was floored, if it was *)
+}
+
+type durability_status = {
+  wal_path : string;
+  wal_start_seq : int;
+  wal_next_seq : int;
+  wal_pending : int;
+  checkpoint_path : string;
+  last_checkpoint_seq : int;
+  since_checkpoint : int;
+}
+
+let device_file = "device.blocks"
+let meta_file = "meta"
+let wal_file = "wal.log"
+let checkpoint_file = "checkpoint"
+
+let durable_paths dir =
+  ( Filename.concat dir device_file,
+    Filename.concat dir meta_file,
+    Filename.concat dir wal_file,
+    Filename.concat dir checkpoint_file )
+
+let store_paths ~dir = durable_paths dir
+
+(* Adopt a checkpoint's frozen stream side.  A structurally invalid GK
+   image means the file lied despite its checksum (or versions skewed):
+   treat the checkpoint as absent, full replay is always correct. *)
+let restore_from_checkpoint t c =
+  match Hsq_sketch.Gk.deserialize c.Checkpoint.gk with
+  | gk ->
+    let len = Array.length c.Checkpoint.batch in
+    let batch = Array.make (max 1024 len) 0 in
+    Array.blit c.Checkpoint.batch 0 batch 0 len;
+    t.gk <- gk;
+    t.batch <- batch;
+    t.batch_len <- len;
+    true
+  | exception Invalid_argument _ -> false
+
+let open_or_recover config =
+  let dir =
+    match config.Config.wal_dir with
+    | Some d -> d
+    | None -> invalid_arg "Engine.open_or_recover: config.wal_dir not set"
+  in
+  if Sys.file_exists dir then begin
+    if not (Sys.is_directory dir) then
+      invalid_arg "Engine.open_or_recover: wal_dir is not a directory"
+  end
+  else Sys.mkdir dir 0o755;
+  let device_path, meta_path, wal_path, ckpt_path = durable_paths dir in
+  (* Warehouse first.  The sidecar is the commit record: without it the
+     device file holds no committed state and is reinitialised. *)
+  let t =
+    if Sys.file_exists meta_path then begin
+      let block_size = Meta.peek_block_size meta_path in
+      let device = Hsq_storage.Block_device.open_file ~block_size ~path:device_path () in
+      let stored, hist = Meta.load_hist ~device ~path:meta_path in
+      (* Structural fields come from the sidecar (they describe the
+         on-disk layout); durability settings are runtime policy and
+         stay the caller's. *)
+      let merged =
+        {
+          stored with
+          Config.wal_dir = config.Config.wal_dir;
+          wal_sync = config.Config.wal_sync;
+          checkpoint_every = config.Config.checkpoint_every;
+        }
+      in
+      of_restored ~device merged hist
+    end
+    else begin
+      if Sys.file_exists device_path then Sys.remove device_path;
+      let device =
+        Hsq_storage.Block_device.create_file ~block_size:config.Config.block_size
+          ~path:device_path ()
+      in
+      create ~device config
+    end
+  in
+  let stats = Hsq_storage.Block_device.stats t.dev in
+  let wal, records, tail =
+    if Sys.file_exists wal_path then
+      Hsq_storage.Wal.open_existing ~sync:config.Config.wal_sync ~stats ~path:wal_path ()
+    else
+      ( Hsq_storage.Wal.create ~sync:config.Config.wal_sync ~stats ~path:wal_path ~start_seq:1
+          (),
+        [],
+        Hsq_storage.Wal.Clean )
+  in
+  (* Checkpoint: usable only if its warehouse step count matches the
+     warehouse we actually recovered — otherwise it froze a step that
+     was since archived (or rolled back) and replay starts from seq 1
+     of the current log, which is always correct. *)
+  let steps_committed = Hsq_hist.Level_index.time_steps t.hist in
+  let checkpoint_used, replay_after =
+    match Checkpoint.load ~path:ckpt_path with
+    | Ok (Some c) when c.Checkpoint.steps_done = steps_committed && restore_from_checkpoint t c
+      ->
+      (true, c.Checkpoint.seq)
+    | Ok _ | Error _ -> (false, min_int)
+  in
+  let replayed = ref 0 and reingested = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (seq, record) ->
+      if seq > replay_after then begin
+        incr replayed;
+        Hsq_storage.Io_stats.note_wal_replayed stats;
+        match record with
+        | Hsq_storage.Wal.Observe v -> apply_observe t v
+        | Hsq_storage.Wal.End_step { step; count = _ } ->
+          if step <= Hsq_hist.Level_index.time_steps t.hist then begin
+            (* The step committed before the crash (sidecar written, WAL
+               not yet rotated): drop the replayed batch, never archive
+               twice. *)
+            t.batch_len <- 0;
+            t.gk <- fresh_gk t.config;
+            incr skipped
+          end
+          else if t.batch_len = 0 then
+            (* A marker with no surviving elements (damaged log):
+               nothing to archive. *)
+            incr skipped
+          else begin
+            let batch = Array.sub t.batch 0 t.batch_len in
+            ignore (Hsq_hist.Level_index.add_batch t.hist batch);
+            t.batch_len <- 0;
+            t.gk <- fresh_gk t.config;
+            save_meta t meta_path;
+            incr reingested
+          end
+      end)
+    records;
+  (* The log is deliberately left un-rotated after replay: committed
+     markers replay as skips, so a crash during recovery just recovers
+     again.  The next end_time_step rotates it. *)
+  if not (Sys.file_exists meta_path) then save_meta t meta_path;
+  t.durable <-
+    Some
+      {
+        wal;
+        meta_path;
+        ckpt_path;
+        checkpoint_every = config.Config.checkpoint_every;
+        since_checkpoint = 0;
+        last_checkpoint_seq = (if checkpoint_used then replay_after else 0);
+      };
+  ( t,
+    {
+      replayed = !replayed;
+      steps_reingested = !reingested;
+      steps_skipped = !skipped;
+      checkpoint_used;
+      wal_tail =
+        (match tail with Hsq_storage.Wal.Clean -> None | Hsq_storage.Wal.Torn why -> Some why);
+    } )
+
+let close t =
+  (match t.durable with None -> () | Some d -> Hsq_storage.Wal.close d.wal);
+  Hsq_storage.Block_device.close t.dev
+
+(* Simulated power cut (crash harness): drop what the WAL had not
+   flushed and release the handles — block writes are synchronous in
+   this model, so only the WAL tail is at stake. *)
+let crash t =
+  (match t.durable with None -> () | Some d -> Hsq_storage.Wal.crash d.wal);
+  Hsq_storage.Block_device.close t.dev
+
+let durability_status t =
+  match t.durable with
+  | None -> None
+  | Some d ->
+    Some
+      {
+        wal_path = Hsq_storage.Wal.path d.wal;
+        wal_start_seq = Hsq_storage.Wal.start_seq d.wal;
+        wal_next_seq = Hsq_storage.Wal.next_seq d.wal;
+        wal_pending = Hsq_storage.Wal.pending_records d.wal;
+        checkpoint_path = d.ckpt_path;
+        last_checkpoint_seq = d.last_checkpoint_seq;
+        since_checkpoint = d.since_checkpoint;
+      }
+
+(* Structured fault injection on the engine's own WAL (tests). *)
+let set_wal_injector t inj =
+  match t.durable with None -> () | Some d -> Hsq_storage.Wal.set_injector d.wal inj

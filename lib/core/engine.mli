@@ -52,11 +52,18 @@ val epsilon : t -> float
 (** Summary footprint: HS + GK, in words. *)
 val memory_words : t -> int
 
-(** StreamUpdate (Algorithm 4) plus batch spooling. *)
+(** StreamUpdate (Algorithm 4) plus batch spooling. On a durable engine
+    (see {!open_or_recover}) the element is appended to the write-ahead
+    log first: if the append raises, the element is unacknowledged and
+    in-memory state is untouched. *)
 val observe : t -> int -> unit
 
 (** HistUpdate (Algorithm 3) + StreamReset. Raises [Invalid_argument]
-    on an empty batch. *)
+    on an empty batch — before any WAL write, so an empty rollover is a
+    pure no-op on a durable engine too. On a durable engine the
+    rollover is exactly-once: commit marker + forced WAL sync, then the
+    warehouse archive and sidecar write (the commit point), then an
+    atomic WAL rotation. *)
 val end_time_step : t -> Hsq_hist.Level_index.update_report
 
 (** [observe] each element, then [end_time_step]. *)
@@ -139,3 +146,73 @@ val accurate_range :
 
 val quantile_range :
   t -> first:int -> last:int -> float -> (int * query_report, range_error) result
+
+(** {2 Durable ingest (write-ahead log + sketch checkpoints)}
+
+    {!open_or_recover} opens (or creates) a crash-safe store rooted at
+    [config.wal_dir]: a block-device file, its warehouse sidecar, a
+    write-ahead log, and an optional sketch checkpoint. Every
+    {!observe} is WAL-logged before it is applied; {!end_time_step}
+    archives the batch with an exactly-once commit protocol; recovery
+    composes the warehouse load, the checkpoint, and a WAL replay into
+    one consistent state. Under [wal_sync = Always] a crash loses no
+    acknowledged element; under [Group k] at most the last [k]. *)
+
+(** What recovery did. [replayed] counts WAL records re-applied (only
+    those past the checkpoint — the {!Hsq_storage.Io_stats}
+    [wal_replayed] counter agrees); [steps_skipped] counts commit
+    markers whose step was already in the warehouse (crash between the
+    sidecar write and the WAL rotation); [wal_tail] is why the log tail
+    was floored, if it was torn. *)
+type recovery_report = {
+  replayed : int;
+  steps_reingested : int;
+  steps_skipped : int;
+  checkpoint_used : bool;
+  wal_tail : string option;
+}
+
+(** Open the durable store at [config.wal_dir], recovering any state a
+    previous process left behind. Raises [Invalid_argument] if
+    [config.wal_dir] is [None], and {!Hsq_storage.Block_device.Device_error}
+    / [Meta.Corrupt_metadata] on unrecoverable store damage (a corrupt
+    checkpoint is NOT damage: it falls back to a full replay). *)
+val open_or_recover : Config.t -> t * recovery_report
+
+(** Flush the WAL and close the log and device files. Never called in
+    the crash tests — a crash is, by definition, not closing. *)
+val close : t -> unit
+
+(** Simulate a power cut (test helper): unflushed WAL records vanish
+    and file handles are released. What survives on disk is exactly
+    what the sync policy had made durable. *)
+val crash : t -> unit
+
+(** Force a sketch checkpoint right now (also taken automatically every
+    [config.checkpoint_every] WAL records). No-op on a volatile
+    engine. *)
+val checkpoint_now : t -> unit
+
+(** Live durability introspection for status tooling; [None] on a
+    volatile engine. [last_checkpoint_seq] = 0 means no live
+    checkpoint. *)
+type durability_status = {
+  wal_path : string;
+  wal_start_seq : int;
+  wal_next_seq : int;
+  wal_pending : int;
+  checkpoint_path : string;
+  last_checkpoint_seq : int;
+  since_checkpoint : int;
+}
+
+val durability_status : t -> durability_status option
+
+(** The four files of a durable store directory, in order:
+    (device, warehouse sidecar, WAL, checkpoint). For status tooling
+    that inspects a store without opening it. *)
+val store_paths : dir:string -> string * string * string * string
+
+(** Inject faults into the engine's WAL appends (crash fuzzing). *)
+val set_wal_injector :
+  t -> (int -> Hsq_storage.Block_device.fault_action option) option -> unit

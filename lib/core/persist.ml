@@ -1,11 +1,11 @@
 (* Crash/restart persistence for the warehouse.
 
-   The block-device file already holds every partition's data; this
-   module adds a small plain-text metadata sidecar recording the
-   configuration and the partition table.  On [load] the partitions are
-   re-attached and their summaries rebuilt by probing the beta1 target
-   positions on disk (<= beta1 block reads per partition — recovery
-   I/O, charged to the device's counters like everything else).
+   The block-device file already holds every partition's data; the
+   {!Meta} module owns the plain-text metadata sidecar (render, parse,
+   atomic write, index restore) so that Engine's recovery manager can
+   share it.  This module keeps the engine-facing API: [save] renders
+   the current engine, [load] re-attaches a restored index to a fresh
+   engine, [scrub] verifies the warehouse end to end.
 
    Crash safety (DESIGN.md, "Fault model & recovery"):
    - [save] is crash-atomic: the sidecar is written to a temp file with
@@ -21,237 +21,28 @@
      per-block checksums and cross-block sortedness, turning latent bit
      rot into a report instead of a wrong answer.
 
-   The live stream is volatile by design: data not yet archived at save
-   time is not in the warehouse, exactly as in the paper's Figure 1
-   setup, so a restored engine starts with an empty stream. *)
+   The live stream is volatile here by design (Figure 1): a restored
+   engine starts with an empty stream.  Stream-side durability is the
+   write-ahead log's job — see Engine.open_or_recover. *)
 
-exception Corrupt_metadata of string
+exception Corrupt_metadata = Meta.Corrupt_metadata
 
-(* Version 2 added the trailing whole-file checksum line (and rides
-   along with the device format change that embeds per-block checksum
-   words). *)
-let format_version = 2
-
-(* Same splitmix-style mixing as the device's block checksums, over the
-   sidecar's bytes.  Masked to a non-negative int so the hex rendering
-   is stable. *)
-let meta_checksum s =
-  let h = ref 0x106689D45497FDB5 in
-  String.iter
-    (fun c ->
-      let x = (!h lxor Char.code c) * 0x2545F4914F6CDD1D in
-      h := x lxor (x lsr 29))
-    s;
-  !h land max_int
-
-let sizing_to_string = function
-  | Config.Epsilon e -> Printf.sprintf "epsilon %.17g" e
-  | Config.Memory_words w -> Printf.sprintf "memory %d" w
-
-let sizing_of_string s =
-  match String.split_on_char ' ' (String.trim s) with
-  | [ "epsilon"; e ] -> Config.Epsilon (float_of_string e)
-  | [ "memory"; w ] -> Config.Memory_words (int_of_string w)
-  | _ -> raise (Corrupt_metadata ("bad sizing line: " ^ s))
+let meta_checksum = Meta.checksum
 
 let render_metadata engine =
-  let config = Engine.config engine in
-  let hist = Engine.hist engine in
-  let buf = Buffer.create 512 in
-  Printf.bprintf buf "hsq-meta %d\n" format_version;
-  Printf.bprintf buf "sizing %s\n" (sizing_to_string config.Config.sizing);
-  Printf.bprintf buf "kappa %d\n" config.Config.kappa;
-  Printf.bprintf buf "block_size %d\n" config.Config.block_size;
-  Printf.bprintf buf "steps_hint %d\n" config.Config.steps_hint;
-  Printf.bprintf buf "stream_fraction %.17g\n" config.Config.stream_fraction;
-  (match config.Config.sort_memory with
-  | None -> Printf.bprintf buf "sort_memory none\n"
-  | Some m -> Printf.bprintf buf "sort_memory %d\n" m);
-  (match config.Config.sort_domains with
-  | None -> Printf.bprintf buf "sort_domains none\n"
-  | Some d -> Printf.bprintf buf "sort_domains %d\n" d);
-  let descriptors = Hsq_hist.Level_index.describe hist in
-  Printf.bprintf buf "partitions %d\n" (List.length descriptors);
-  List.iter
-    (fun (d : Hsq_hist.Level_index.partition_descriptor) ->
-      Printf.bprintf buf "partition %d %d %d %d %d\n" d.first_block d.length d.first_step
-        d.last_step d.level)
-    descriptors;
-  Printf.bprintf buf "checksum %x\n" (meta_checksum (Buffer.contents buf));
-  Buffer.contents buf
+  Meta.render
+    ~config:(Engine.config engine)
+    ~descriptors:(Hsq_hist.Level_index.describe (Engine.hist engine))
 
-(* Crash-atomic: write to a sibling temp file, flush, rename over the
-   destination.  A crash before the rename leaves the previous sidecar
-   untouched; a crash mid-write leaves only a stale .tmp that no load
-   path ever reads. *)
-let save engine ~path =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  (try
-     Fun.protect
-       ~finally:(fun () -> close_out oc)
-       (fun () -> output_string oc (render_metadata engine))
-   with e ->
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path
-
-let verify_meta_checksum lines =
-  match List.rev lines with
-  | [] -> raise (Corrupt_metadata "empty metadata file")
-  | last :: rev_body ->
-    let prefix = "checksum " in
-    let plen = String.length prefix in
-    if String.length last <= plen || String.sub last 0 plen <> prefix then
-      raise (Corrupt_metadata "missing checksum line (truncated metadata?)");
-    let stored =
-      match int_of_string_opt ("0x" ^ String.sub last plen (String.length last - plen)) with
-      | Some v -> v
-      | None -> raise (Corrupt_metadata ("unreadable checksum line: " ^ last))
-    in
-    let body = List.rev rev_body in
-    let payload = String.concat "" (List.map (fun l -> l ^ "\n") body) in
-    if meta_checksum payload <> stored then
-      raise (Corrupt_metadata "metadata checksum mismatch (torn or tampered sidecar)");
-    body
-
-let parse_lines lines =
-  (* Linear cursor over an array of lines (the former List.nth_opt
-     cursor re-walked the list per field — quadratic in file size). *)
-  let lines = Array.of_list lines in
-  let pos = ref 0 in
-  let next () =
-    if !pos < Array.length lines then begin
-      let l = lines.(!pos) in
-      incr pos;
-      Some l
-    end
-    else None
-  in
-  let expect_prefix prefix line =
-    let plen = String.length prefix in
-    let field = String.trim prefix in
-    match line with
-    | Some l when l = field || l = prefix ->
-      raise (Corrupt_metadata (Printf.sprintf "empty value for field %S" field))
-    | Some l when String.length l > plen && String.sub l 0 plen = prefix ->
-      String.sub l plen (String.length l - plen)
-    | Some l -> raise (Corrupt_metadata (Printf.sprintf "expected %S..., found %S" prefix l))
-    | None -> raise (Corrupt_metadata (Printf.sprintf "missing %S line" prefix))
-  in
-  let header = expect_prefix "hsq-meta " (next ()) in
-  if int_of_string_opt header <> Some format_version then
-    raise (Corrupt_metadata ("unsupported format version " ^ header));
-  let sizing = sizing_of_string (expect_prefix "sizing " (next ())) in
-  let kappa = int_of_string (expect_prefix "kappa " (next ())) in
-  let block_size = int_of_string (expect_prefix "block_size " (next ())) in
-  let steps_hint = int_of_string (expect_prefix "steps_hint " (next ())) in
-  let stream_fraction = float_of_string (expect_prefix "stream_fraction " (next ())) in
-  let sort_memory =
-    match expect_prefix "sort_memory " (next ()) with
-    | "none" -> None
-    | m -> Some (int_of_string m)
-  in
-  let sort_domains =
-    match expect_prefix "sort_domains " (next ()) with
-    | "none" -> None
-    | d -> Some (int_of_string d)
-  in
-  let count = int_of_string (expect_prefix "partitions " (next ())) in
-  let descriptors =
-    List.init count (fun _ ->
-        let fields = String.split_on_char ' ' (expect_prefix "partition " (next ())) in
-        match List.map int_of_string fields with
-        | [ first_block; length; first_step; last_step; level ] ->
-          {
-            Hsq_hist.Level_index.first_block;
-            length;
-            first_step;
-            last_step;
-            level;
-          }
-        | _ -> raise (Corrupt_metadata "bad partition line"))
-  in
-  let config =
-    Config.make ~kappa ~block_size ?sort_memory ~steps_hint ~stream_fraction ?sort_domains sizing
-  in
-  (config, descriptors)
-
-(* Cheap consistency check on a restored partition: its summary entries
-   (just re-read from disk) must be sorted — catching truncated or
-   shuffled device files before they can serve wrong answers. *)
-let verify_partition p =
-  let entries = Hsq_hist.Partition_summary.entries (Hsq_hist.Partition.summary p) in
-  let ok = ref true in
-  for i = 1 to Array.length entries - 1 do
-    if entries.(i).Hsq_hist.Partition_summary.value < entries.(i - 1).Hsq_hist.Partition_summary.value
-    then ok := false
-  done;
-  if not !ok then
-    raise
-      (Corrupt_metadata
-         (Printf.sprintf "partition at block %d is not sorted on disk"
-            (Hsq_storage.Run.first_block (Hsq_hist.Partition.run p))))
-
-let read_lines path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let rec go acc =
-        match input_line ic with
-        | line -> go (line :: acc)
-        | exception End_of_file -> List.rev acc
-      in
-      go [])
+let save engine ~path = Meta.write ~path (render_metadata engine)
 
 let load ~device ~path =
-  let lines = verify_meta_checksum (read_lines path) in
-  let config, descriptors =
-    try parse_lines lines with
-    | Corrupt_metadata _ as e -> raise e
-    | Failure msg -> raise (Corrupt_metadata msg)
-  in
-  if Hsq_storage.Block_device.block_size device <> config.Config.block_size then
-    raise
-      (Corrupt_metadata
-         (Printf.sprintf "device block size %d disagrees with metadata %d"
-            (Hsq_storage.Block_device.block_size device)
-            config.Config.block_size));
-  let hist =
-    (* Device_error here means a checkpointed partition's blocks are
-       unreadable or fail their checksums — the warehouse itself is
-       corrupt, not just the sidecar. *)
-    try
-      Hsq_hist.Level_index.restore ?sort_memory:config.Config.sort_memory
-        ~kappa:config.Config.kappa ~beta1:(Config.beta1 config) device descriptors
-    with
-    | Invalid_argument msg -> raise (Corrupt_metadata msg)
-    | Hsq_storage.Block_device.Device_error msg ->
-      raise (Corrupt_metadata ("device corruption: " ^ msg))
-  in
-  (try List.iter verify_partition (Hsq_hist.Level_index.partitions hist)
-   with Hsq_storage.Block_device.Device_error msg ->
-     raise (Corrupt_metadata ("device corruption: " ^ msg)));
+  let config, hist = Meta.load_hist ~device ~path in
   Engine.of_restored ~device config hist
 
 (* Convenience: reopen the device file and the metadata together. *)
 let load_files ~device_path ~meta_path =
-  let block_size =
-    (* peek at the metadata for the block size before opening the device *)
-    let ic = open_in meta_path in
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec find () =
-          match input_line ic with
-          | line when String.length line > 11 && String.sub line 0 11 = "block_size " ->
-            int_of_string (String.sub line 11 (String.length line - 11))
-          | _ -> find ()
-          | exception End_of_file -> raise (Corrupt_metadata "no block_size in metadata")
-        in
-        find ())
-  in
+  let block_size = Meta.peek_block_size meta_path in
   let device = Hsq_storage.Block_device.open_file ~block_size ~path:device_path () in
   load ~device ~path:meta_path
 

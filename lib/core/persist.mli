@@ -14,6 +14,8 @@
     rolls uncommitted work back by re-attaching the checkpointed
     partition table. [scrub] verifies the warehouse end to end. *)
 
+(** Alias of {!Meta.Corrupt_metadata} (the sidecar machinery lives
+    there); both names match the same exception. *)
 exception Corrupt_metadata of string
 
 (** Checksum of a sidecar body, as stored on its trailing

@@ -8,7 +8,14 @@
    attempts made by the device's bounded-retry path and
    [checksum_failures] counts blocks whose embedded checksum did not
    match on read.  Both stay zero on a healthy device, so the paper's
-   block-access counts are unchanged. *)
+   block-access counts are unchanged.
+
+   Durable-ingest accounting (the WAL half of the fault model):
+   [wal_appends] counts records appended to the write-ahead log,
+   [wal_syncs] counts physical flushes of the log, [wal_replayed] counts
+   records re-applied during recovery, and [checkpoints_written] counts
+   sketch checkpoints persisted.  All four stay zero when durability is
+   off, so block-access counts are again unperturbed. *)
 
 type counters = {
   reads : int;
@@ -17,6 +24,10 @@ type counters = {
   writes : int;
   retries : int;
   checksum_failures : int;
+  wal_appends : int;
+  wal_syncs : int;
+  wal_replayed : int;
+  checkpoints_written : int;
 }
 
 type t = {
@@ -26,6 +37,10 @@ type t = {
   mutable writes : int;
   mutable retries : int;
   mutable checksum_failures : int;
+  mutable wal_appends : int;
+  mutable wal_syncs : int;
+  mutable wal_replayed : int;
+  mutable checkpoints_written : int;
   mutable last_read_addr : int;
 }
 
@@ -37,6 +52,10 @@ let create () =
     writes = 0;
     retries = 0;
     checksum_failures = 0;
+    wal_appends = 0;
+    wal_syncs = 0;
+    wal_replayed = 0;
+    checkpoints_written = 0;
     last_read_addr = min_int;
   }
 
@@ -47,6 +66,10 @@ let reset t =
   t.writes <- 0;
   t.retries <- 0;
   t.checksum_failures <- 0;
+  t.wal_appends <- 0;
+  t.wal_syncs <- 0;
+  t.wal_replayed <- 0;
+  t.checkpoints_written <- 0;
   t.last_read_addr <- min_int
 
 (* [hint] overrides the adjacency heuristic: a k-way merge interleaves
@@ -65,6 +88,10 @@ let note_read ?hint t addr =
 let note_write t _addr = t.writes <- t.writes + 1
 let note_retry t = t.retries <- t.retries + 1
 let note_checksum_failure t = t.checksum_failures <- t.checksum_failures + 1
+let note_wal_append t = t.wal_appends <- t.wal_appends + 1
+let note_wal_sync t = t.wal_syncs <- t.wal_syncs + 1
+let note_wal_replayed t = t.wal_replayed <- t.wal_replayed + 1
+let note_checkpoint t = t.checkpoints_written <- t.checkpoints_written + 1
 
 let snapshot t =
   {
@@ -74,10 +101,25 @@ let snapshot t =
     writes = t.writes;
     retries = t.retries;
     checksum_failures = t.checksum_failures;
+    wal_appends = t.wal_appends;
+    wal_syncs = t.wal_syncs;
+    wal_replayed = t.wal_replayed;
+    checkpoints_written = t.checkpoints_written;
   }
 
 let zero =
-  { reads = 0; seq_reads = 0; rand_reads = 0; writes = 0; retries = 0; checksum_failures = 0 }
+  {
+    reads = 0;
+    seq_reads = 0;
+    rand_reads = 0;
+    writes = 0;
+    retries = 0;
+    checksum_failures = 0;
+    wal_appends = 0;
+    wal_syncs = 0;
+    wal_replayed = 0;
+    checkpoints_written = 0;
+  }
 
 let diff (after : counters) (before : counters) =
   {
@@ -87,6 +129,10 @@ let diff (after : counters) (before : counters) =
     writes = after.writes - before.writes;
     retries = after.retries - before.retries;
     checksum_failures = after.checksum_failures - before.checksum_failures;
+    wal_appends = after.wal_appends - before.wal_appends;
+    wal_syncs = after.wal_syncs - before.wal_syncs;
+    wal_replayed = after.wal_replayed - before.wal_replayed;
+    checkpoints_written = after.checkpoints_written - before.checkpoints_written;
   }
 
 let add (a : counters) (b : counters) =
@@ -97,6 +143,10 @@ let add (a : counters) (b : counters) =
     writes = a.writes + b.writes;
     retries = a.retries + b.retries;
     checksum_failures = a.checksum_failures + b.checksum_failures;
+    wal_appends = a.wal_appends + b.wal_appends;
+    wal_syncs = a.wal_syncs + b.wal_syncs;
+    wal_replayed = a.wal_replayed + b.wal_replayed;
+    checkpoints_written = a.checkpoints_written + b.checkpoints_written;
   }
 
 let total (c : counters) = c.reads + c.writes
@@ -109,4 +159,7 @@ let measure t f =
 let pp ppf (c : counters) =
   Format.fprintf ppf "reads=%d (seq=%d rand=%d) writes=%d" c.reads c.seq_reads c.rand_reads c.writes;
   if c.retries > 0 || c.checksum_failures > 0 then
-    Format.fprintf ppf " retries=%d checksum_failures=%d" c.retries c.checksum_failures
+    Format.fprintf ppf " retries=%d checksum_failures=%d" c.retries c.checksum_failures;
+  if c.wal_appends > 0 || c.wal_syncs > 0 || c.wal_replayed > 0 || c.checkpoints_written > 0 then
+    Format.fprintf ppf " wal_appends=%d wal_syncs=%d wal_replayed=%d checkpoints=%d" c.wal_appends
+      c.wal_syncs c.wal_replayed c.checkpoints_written

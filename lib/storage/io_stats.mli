@@ -18,6 +18,10 @@ type counters = {
   writes : int;     (** total block writes *)
   retries : int;    (** extra read attempts made by the retry path *)
   checksum_failures : int; (** blocks whose embedded checksum mismatched *)
+  wal_appends : int;  (** records appended to the write-ahead log *)
+  wal_syncs : int;    (** physical flushes of the write-ahead log *)
+  wal_replayed : int; (** WAL records re-applied during recovery *)
+  checkpoints_written : int; (** sketch checkpoints persisted *)
 }
 
 type t
@@ -39,6 +43,18 @@ val note_retry : t -> unit
 
 (** Record one block whose embedded checksum did not match its payload. *)
 val note_checksum_failure : t -> unit
+
+(** Record one record appended to the write-ahead log. *)
+val note_wal_append : t -> unit
+
+(** Record one physical flush (group commit) of the write-ahead log. *)
+val note_wal_sync : t -> unit
+
+(** Record one WAL record re-applied during recovery. *)
+val note_wal_replayed : t -> unit
+
+(** Record one sketch checkpoint written. *)
+val note_checkpoint : t -> unit
 
 val snapshot : t -> counters
 val zero : counters

@@ -1,0 +1,312 @@
+(* Append-only write-ahead log for the ingest path.
+
+   The paper's stream side R — the open time step's batch and the GK
+   sketch — is volatile; this log makes it durable.  Every [observe] is
+   appended as a checksummed, sequence-numbered, length-prefixed record
+   before it touches in-memory state, and a time-step rollover appends
+   an [End_step] commit marker.  Recovery (Engine.open_or_recover)
+   replays the log suffix past the last sketch checkpoint.
+
+   Durability model.  Appends accumulate in an in-process buffer and
+   reach the file only on a physical flush ("sync"); a crash loses the
+   buffered tail, exactly like a power cut loses data that was written
+   but never fsynced.  The sync policy picks the trade:
+     - [Always]   every append flushes — zero acknowledged-record loss;
+     - [Group n]  flush every n appends (group commit) — loss bounded
+                  by the group window;
+     - [Never]    flush only at commit markers and rotation — loss
+                  bounded by one open time step.
+   Commit markers are always followed by an explicit {!sync} from the
+   engine, whatever the policy: a commit is a flush.
+
+   On-file format (8-byte big-endian words, like the block device):
+     header   := magic | start_seq | checksum(magic, start_seq)
+     record   := len | seq | kind | payload... | checksum
+   where [len] counts the words after it (seq + kind + payload +
+   checksum), [seq] increments by exactly 1 from [start_seq], and the
+   checksum is the same SplitMix-style mix the device uses, over every
+   preceding word of the record.  Kinds: 1 = Observe (payload: value),
+   2 = End_step (payload: step number, element count).
+
+   The reader floors a torn tail: it stops at the first short, corrupt,
+   mis-lengthed, or out-of-sequence record and reports why, and
+   {!open_existing} physically truncates the tear (temp file + rename,
+   the same atomic idiom as Persist) so later appends never follow
+   garbage.  A structured fault injector mirrors the block device's
+   ([Fail] / [Torn k] / [Corrupt i]) so the crash-recovery fuzz harness
+   can kill the writer at any append. *)
+
+type sync_policy = Always | Group of int | Never
+
+type record =
+  | Observe of int
+  | End_step of { step : int; count : int }
+
+type tail = Clean | Torn of string
+
+type t = {
+  path : string;
+  stats : Io_stats.t;
+  sync_policy : sync_policy;
+  mutable channel : Out_channel.t;
+  mutable start_seq : int;
+  mutable next_seq : int;
+  pending : Buffer.t; (* appended but not yet flushed to the file *)
+  mutable pending_count : int;
+  mutable fault : (int -> Block_device.fault_action option) option;
+}
+
+let magic = 0x48535157414C3031 (* "HSQWAL01" *)
+let max_record_words = 64
+
+(* Same mixer as the device's block checksums. *)
+let mix h v =
+  let h = (h lxor v) * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let checksum_words ws = Array.fold_left mix 0x106689D45497FDB5 ws
+
+let path t = t.path
+let start_seq t = t.start_seq
+let next_seq t = t.next_seq
+let last_seq t = t.next_seq - 1
+let pending_records t = t.pending_count
+let set_injector t fault = t.fault <- fault
+
+let sync_policy_to_string = function
+  | Always -> "always"
+  | Group n -> Printf.sprintf "group:%d" n
+  | Never -> "never"
+
+(* --- encoding ---------------------------------------------------------- *)
+
+let words_to_bytes ws =
+  let b = Bytes.create (8 * Array.length ws) in
+  Array.iteri (fun i w -> Bytes.set_int64_be b (8 * i) (Int64.of_int w)) ws;
+  b
+
+let header_bytes ~start_seq =
+  words_to_bytes [| magic; start_seq; checksum_words [| magic; start_seq |] |]
+
+let encode ~seq record =
+  let body =
+    match record with
+    | Observe v -> [| seq; 1; v |]
+    | End_step { step; count } -> [| seq; 2; step; count |]
+  in
+  let len = Array.length body + 1 in
+  let prefix = Array.append [| len |] body in
+  Array.append prefix [| checksum_words prefix |]
+
+(* --- writing ----------------------------------------------------------- *)
+
+let flush_pending t =
+  if t.pending_count > 0 || Buffer.length t.pending > 0 then begin
+    Out_channel.output_string t.channel (Buffer.contents t.pending);
+    Out_channel.flush t.channel;
+    Buffer.clear t.pending;
+    t.pending_count <- 0;
+    Io_stats.note_wal_sync t.stats
+  end
+
+let sync t = flush_pending t
+
+let append t record =
+  let seq = t.next_seq in
+  let words = encode ~seq record in
+  (match t.fault with
+  | Some f -> (
+    match f seq with
+    | Some Block_device.Fail ->
+      raise (Block_device.Device_error (Printf.sprintf "injected WAL append fault at seq %d" seq))
+    | Some (Block_device.Torn k) ->
+      (* A crash mid-append: whatever was buffered reaches the file,
+         then only the first [k] words of this record do. *)
+      let k = max 0 (min (Array.length words - 1) k) in
+      flush_pending t;
+      Out_channel.output_bytes t.channel (words_to_bytes (Array.sub words 0 k));
+      Out_channel.flush t.channel;
+      raise
+        (Block_device.Device_error
+           (Printf.sprintf "torn WAL append at seq %d (%d of %d words)" seq k
+              (Array.length words)))
+    | Some (Block_device.Corrupt i) ->
+      (* Latent corruption: the record lands whole but one word has a
+         flipped bit — the reader must reject it, never serve it. *)
+      let i = i mod Array.length words in
+      words.(i) <- words.(i) lxor 1
+    | None -> ())
+  | None -> ());
+  Buffer.add_bytes t.pending (words_to_bytes words);
+  t.pending_count <- t.pending_count + 1;
+  t.next_seq <- seq + 1;
+  Io_stats.note_wal_append t.stats;
+  (match t.sync_policy with
+  | Always -> flush_pending t
+  | Group n -> if t.pending_count >= max 1 n then flush_pending t
+  | Never -> ());
+  seq
+
+let create ?(sync = Always) ~stats ~path ~start_seq () =
+  let channel = Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_wronly ] 0o644 path in
+  Out_channel.output_bytes channel (header_bytes ~start_seq);
+  Out_channel.flush channel;
+  {
+    path;
+    stats;
+    sync_policy = sync;
+    channel;
+    start_seq;
+    next_seq = start_seq;
+    pending = Buffer.create 4096;
+    pending_count = 0;
+    fault = None;
+  }
+
+(* Atomic truncation: the records below [next_seq] are durable elsewhere
+   (the warehouse commit that triggers rotation), so a fresh log whose
+   header names the next sequence number replaces the old one by rename —
+   a crash leaves either the full old log (replay deduplicates by step
+   number) or the new empty one. *)
+let rotate t =
+  let tmp = t.path ^ ".tmp" in
+  let oc = Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_wronly ] 0o644 tmp in
+  Out_channel.output_bytes oc (header_bytes ~start_seq:t.next_seq);
+  Out_channel.flush oc;
+  Out_channel.close oc;
+  Out_channel.close t.channel;
+  Sys.rename tmp t.path;
+  t.channel <- Out_channel.open_gen [ Open_binary; Open_append; Open_wronly ] 0o644 t.path;
+  t.start_seq <- t.next_seq;
+  Buffer.clear t.pending;
+  t.pending_count <- 0
+
+let close t =
+  flush_pending t;
+  Out_channel.close t.channel
+
+(* Simulated power cut for the crash harness: unflushed records vanish
+   (they never reached the "platter") and the handle is released, so a
+   fuzz loop of thousands of crashes leaks no file descriptors. *)
+let crash t =
+  Buffer.clear t.pending;
+  t.pending_count <- 0;
+  Out_channel.close t.channel
+
+(* --- reading ----------------------------------------------------------- *)
+
+let read_word ic =
+  let b = Bytes.create 8 in
+  match really_input ic b 0 8 with
+  | () -> Some (Int64.to_int (Bytes.get_int64_be b 0))
+  | exception End_of_file -> None
+
+(* Returns the records, the header's start_seq, the tail status, and the
+   byte length of the valid prefix (header included). *)
+let read_channel ic =
+  let header =
+    match (read_word ic, read_word ic, read_word ic) with
+    | Some m, Some s, Some c when m = magic && c = checksum_words [| m; s |] -> Ok s
+    | None, _, _ | _, None, _ | _, _, None -> Error "short header"
+    | Some _, Some _, Some _ -> Error "bad header magic or checksum"
+  in
+  match header with
+  | Error e -> ([], 1, Torn e, 0)
+  | Ok start_seq ->
+    let valid_bytes = ref 24 in
+    let rec go expected acc =
+      match read_word ic with
+      | None -> (List.rev acc, start_seq, Clean, !valid_bytes)
+      | Some len -> (
+        if len < 3 || len > max_record_words then
+          (List.rev acc, start_seq, Torn (Printf.sprintf "bad record length %d" len), !valid_bytes)
+        else begin
+          let words = Array.make (len + 1) len in
+          let short = ref false in
+          (try
+             for i = 1 to len do
+               match read_word ic with
+               | Some w -> words.(i) <- w
+               | None -> raise Exit
+             done
+           with Exit -> short := true);
+          if !short then (List.rev acc, start_seq, Torn "truncated record", !valid_bytes)
+          else if words.(len) <> checksum_words (Array.sub words 0 len) then
+            (List.rev acc, start_seq, Torn "record checksum mismatch", !valid_bytes)
+          else begin
+            let seq = words.(1) in
+            if seq <> expected then
+              ( List.rev acc,
+                start_seq,
+                Torn (Printf.sprintf "sequence discontinuity (found %d, expected %d)" seq expected),
+                !valid_bytes )
+            else
+              let decoded =
+                match words.(2) with
+                | 1 when len = 4 -> Some (Observe words.(3))
+                | 2 when len = 5 -> Some (End_step { step = words.(3); count = words.(4) })
+                | _ -> None
+              in
+              match decoded with
+              | None ->
+                ( List.rev acc,
+                  start_seq,
+                  Torn (Printf.sprintf "unknown record kind %d" words.(2)),
+                  !valid_bytes )
+              | Some r ->
+                valid_bytes := !valid_bytes + (8 * (len + 1));
+                go (expected + 1) ((seq, r) :: acc)
+          end
+        end)
+    in
+    go start_seq []
+
+let read_file ~path =
+  if not (Sys.file_exists path) then ([], 1, Torn "no such file", 0)
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_channel ic)
+  end
+
+let read_path ~path =
+  let records, start_seq, tail, _ = read_file ~path in
+  (records, start_seq, tail)
+
+(* Reopen an existing log for appending.  A torn tail is physically
+   truncated away first — the valid prefix is rewritten to a temp file
+   and renamed into place — so the tear can never shadow later appends. *)
+let open_existing ?(sync = Always) ~stats ~path () =
+  let records, start_seq, tail, valid_bytes = read_file ~path in
+  (match tail with
+  | Clean -> ()
+  | Torn _ ->
+    let prefix =
+      if valid_bytes = 0 then Bytes.to_string (header_bytes ~start_seq)
+      else begin
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic valid_bytes)
+      end
+    in
+    let tmp = path ^ ".tmp" in
+    let oc = Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_wronly ] 0o644 tmp in
+    Out_channel.output_string oc prefix;
+    Out_channel.flush oc;
+    Out_channel.close oc;
+    Sys.rename tmp path);
+  let channel = Out_channel.open_gen [ Open_binary; Open_append; Open_wronly ] 0o644 path in
+  let t =
+    {
+      path;
+      stats;
+      sync_policy = sync;
+      channel;
+      start_seq;
+      next_seq = start_seq + List.length records;
+      pending = Buffer.create 4096;
+      pending_count = 0;
+      fault = None;
+    }
+  in
+  (t, records, tail)

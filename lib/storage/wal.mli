@@ -1,0 +1,94 @@
+(** Append-only write-ahead log for the durable ingest path.
+
+    Records are checksummed, sequence-numbered, and length-prefixed;
+    appends are acknowledged only after reaching the log according to
+    the sync policy, and the reader floors a torn tail instead of ever
+    returning a corrupt record.  See the implementation header for the
+    on-file format and the durability model. *)
+
+(** When appended records physically reach the file. [Always] flushes on
+    every append (zero acknowledged loss on a crash); [Group n] flushes
+    every [n] appends (group commit — loss bounded by the window);
+    [Never] flushes only at commit markers and rotation. *)
+type sync_policy = Always | Group of int | Never
+
+type record =
+  | Observe of int  (** one stream element *)
+  | End_step of { step : int; count : int }
+      (** time-step commit marker: the [step]-th archived step, holding
+          [count] elements *)
+
+(** How reading the log ended: [Clean] at end of file, or [Torn why] at
+    the first short, corrupt, mis-lengthed, or out-of-sequence record
+    (everything after it is unreachable by construction). *)
+type tail = Clean | Torn of string
+
+type t
+
+(** Create a fresh (truncated) log whose first record will carry
+    [start_seq]. WAL counters are charged to [stats]. *)
+val create :
+  ?sync:sync_policy -> stats:Io_stats.t -> path:string -> start_seq:int -> unit -> t
+
+(** Reopen an existing log for appending: returns the handle, the valid
+    records (with their sequence numbers), and the tail status. A torn
+    tail is physically truncated (temp file + rename) before the handle
+    is returned. *)
+val open_existing :
+  ?sync:sync_policy ->
+  stats:Io_stats.t ->
+  path:string ->
+  unit ->
+  t * (int * record) list * tail
+
+(** Read-only inspection of a log file: records, header start sequence,
+    tail status. Never modifies the file; a missing file reads as empty
+    with a [Torn] tail. *)
+val read_path : path:string -> (int * record) list * int * tail
+
+(** Append one record; returns its sequence number. Whether the record
+    is physically flushed depends on the sync policy. Raises
+    {!Block_device.Device_error} if the fault injector fires (the
+    record is then not acknowledged: in-memory state must not be
+    updated). *)
+val append : t -> record -> int
+
+(** Flush every buffered record to the file (one group commit). *)
+val sync : t -> unit
+
+(** Atomically truncate the log: a fresh file whose header starts at
+    the current [next_seq] replaces the old one by rename. Call only
+    after the records below [next_seq] are durable elsewhere (the
+    warehouse commit). *)
+val rotate : t -> unit
+
+(** Flush and close. Not called on a crash, by definition. *)
+val close : t -> unit
+
+(** Simulate a power cut (test helper): discard every unflushed record
+    and release the file handle without writing them. The file is left
+    holding exactly what the sync policy had made durable. *)
+val crash : t -> unit
+
+val path : t -> string
+
+(** First sequence number of the current log file. *)
+val start_seq : t -> int
+
+(** Sequence number the next append will carry. *)
+val next_seq : t -> int
+
+(** [next_seq - 1]: the last acknowledged sequence number. *)
+val last_seq : t -> int
+
+(** Appended records not yet physically flushed. *)
+val pending_records : t -> int
+
+(** Structured fault injection on appends, mirroring the block device's
+    actions: [Fail] raises without writing, [Torn k] lands only the
+    first [k] words and raises (a crash mid-append), [Corrupt i] lands
+    the whole record with one bit flipped (latent corruption the reader
+    must reject). The argument is the sequence number being appended. *)
+val set_injector : t -> (int -> Block_device.fault_action option) option -> unit
+
+val sync_policy_to_string : sync_policy -> string

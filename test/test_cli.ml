@@ -1,0 +1,118 @@
+(* CLI-level exit-code contract, driven against the real hsq binary
+   (path injected by dune through HSQ_BIN):
+
+   - scrub exits 0 on a clean store, 1 on a corrupt one, 2 on missing
+     arguments — so cron jobs can alert on store damage;
+   - status exits 0 on a healthy durable store, 1 on a damaged one,
+     2 on a missing directory. *)
+
+let bin =
+  match Sys.getenv_opt "HSQ_BIN" with
+  | Some p -> p
+  | None -> Alcotest.fail "HSQ_BIN not set (run through dune)"
+
+let quote = Filename.quote
+
+let run args =
+  let cmd = Printf.sprintf "%s %s >/dev/null 2>&1" (quote bin) args in
+  match Unix.system cmd with
+  | Unix.WEXITED code -> code
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> Alcotest.failf "hsq killed by signal %d" s
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hsq_cli" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x10));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+(* A small saved warehouse (device + sidecar) for scrub to chew on. *)
+let build_store dir =
+  let dev = Filename.concat dir "store.dev" in
+  let meta = Filename.concat dir "store.meta" in
+  let code =
+    run
+      (Printf.sprintf
+         "simulate --steps 4 --step-size 800 --block-size 32 --device %s --save-meta %s"
+         (quote dev) (quote meta))
+  in
+  Alcotest.(check int) "simulate exits 0" 0 code;
+  (dev, meta)
+
+let test_scrub_clean () =
+  with_temp_dir (fun dir ->
+      let dev, meta = build_store dir in
+      Alcotest.(check int) "scrub on a clean store" 0
+        (run (Printf.sprintf "scrub --device %s --meta %s" (quote dev) (quote meta))))
+
+let test_scrub_corrupt_device () =
+  with_temp_dir (fun dir ->
+      let dev, meta = build_store dir in
+      (* Flip a bit in the middle of the device file: block data or its
+         checksum word — scrub must fail either way. *)
+      flip_byte dev ((Unix.stat dev).Unix.st_size / 2);
+      Alcotest.(check int) "scrub on a corrupt device" 1
+        (run (Printf.sprintf "scrub --device %s --meta %s" (quote dev) (quote meta))))
+
+let test_scrub_corrupt_meta () =
+  with_temp_dir (fun dir ->
+      let dev, meta = build_store dir in
+      flip_byte meta 3;
+      Alcotest.(check int) "scrub on a corrupt sidecar" 1
+        (run (Printf.sprintf "scrub --device %s --meta %s" (quote dev) (quote meta))))
+
+let test_scrub_missing_args () =
+  Alcotest.(check int) "scrub without --device/--meta" 2 (run "scrub")
+
+let test_status_healthy_and_damaged () =
+  with_temp_dir (fun dir ->
+      let store = Filename.concat dir "store" in
+      let code =
+        run
+          (Printf.sprintf "simulate --steps 3 --step-size 600 --block-size 32 --durable %s"
+             (quote store))
+      in
+      Alcotest.(check int) "durable simulate exits 0" 0 code;
+      Alcotest.(check int) "status on a healthy store" 0 (run ("status " ^ quote store));
+      (* Deleting the device file under a committed sidecar is damage
+         recovery cannot paper over. *)
+      Sys.remove (Filename.concat store "device.blocks");
+      Alcotest.(check int) "status on a damaged store" 1 (run ("status " ^ quote store));
+      Array.iter (fun f -> Sys.remove (Filename.concat store f)) (Sys.readdir store);
+      Sys.rmdir store)
+
+let test_status_missing_dir () =
+  Alcotest.(check int) "status on a missing directory" 2
+    (run "status /nonexistent/hsq-store")
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "scrub exit codes",
+        [
+          Alcotest.test_case "clean store" `Quick test_scrub_clean;
+          Alcotest.test_case "corrupt device" `Quick test_scrub_corrupt_device;
+          Alcotest.test_case "corrupt sidecar" `Quick test_scrub_corrupt_meta;
+          Alcotest.test_case "missing args" `Quick test_scrub_missing_args;
+        ] );
+      ( "status exit codes",
+        [
+          Alcotest.test_case "healthy vs damaged" `Quick test_status_healthy_and_damaged;
+          Alcotest.test_case "missing directory" `Quick test_status_missing_dir;
+        ] );
+    ]

@@ -155,16 +155,187 @@ let run_bitflip_seed seed =
       in
       ignore caught_by_load)
 
+(* --- ingest-crash fuzz: the durable WAL path --------------------------
+
+   Each seed drives a durable store (Engine.open_or_recover) through
+   several crash/recover rounds under a random sync policy and
+   checkpoint interval.  Crashes strike at a random acknowledged point:
+   either a WAL append fault (Fail = clean death, Torn = death
+   mid-append) or a bare power cut between operations.  The oracle is
+   the list of *acknowledged* observes, in order; the WAL's prefix
+   property makes the contract exact:
+
+   - the recovered element set is a prefix of the acknowledged
+     sequence;
+   - under sync=always the prefix is everything (zero acknowledged
+     loss); under group:k at most k trailing records are lost; under
+     never, at most everything since the last forced sync (commit
+     marker or checkpoint);
+   - quantiles over the recovered prefix stay inside the epsilon rank
+     band, and the level-index invariants hold. *)
+
+let run_ingest_crash_seed seed =
+  let store_dir = Filename.temp_file "hsq_ingest" "" in
+  Sys.remove store_dir;
+  Sys.mkdir store_dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists store_dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat store_dir f))
+          (Sys.readdir store_dir);
+        Sys.rmdir store_dir
+      end)
+    (fun () ->
+      let rng = Hsq_util.Xoshiro.create (seed * 31 + 7) in
+      let wal_sync =
+        match Hsq_util.Xoshiro.int rng 3 with
+        | 0 -> Hsq_storage.Wal.Always
+        | 1 -> Hsq_storage.Wal.Group (1 + Hsq_util.Xoshiro.int rng 8)
+        | _ -> Hsq_storage.Wal.Never
+      in
+      let checkpoint_every =
+        match Hsq_util.Xoshiro.int rng 3 with
+        | 0 -> 0 (* never checkpoint: recovery replays the whole open step *)
+        | _ -> 1 + Hsq_util.Xoshiro.int rng 60
+      in
+      let config =
+        Hsq.Config.make
+          ~kappa:(2 + Hsq_util.Xoshiro.int rng 3)
+          ~block_size ~wal_dir:store_dir ~wal_sync ~checkpoint_every (Hsq.Config.Epsilon eps)
+      in
+      let policy = Hsq_storage.Wal.sync_policy_to_string wal_sync in
+      (* The model: acknowledged observes in order, and how many of them
+         the sync policy has provably made durable. *)
+      let acked = ref [] (* newest first *) in
+      let acked_n = ref 0 in
+      let synced_floor = ref 0 (* acked elements known flushed *) in
+      let model_since_ckpt = ref 0 in
+      let note_forced_sync () =
+        synced_floor := !acked_n;
+        model_since_ckpt := 0
+      in
+      let note_acked () =
+        incr acked_n;
+        (match wal_sync with
+        | Hsq_storage.Wal.Always -> synced_floor := !acked_n
+        | Hsq_storage.Wal.Group _ | Hsq_storage.Wal.Never -> ());
+        if checkpoint_every > 0 then begin
+          incr model_since_ckpt;
+          if !model_since_ckpt >= checkpoint_every then note_forced_sync ()
+        end
+      in
+      let loss_bound () =
+        match wal_sync with
+        | Hsq_storage.Wal.Always -> 0
+        | Hsq_storage.Wal.Group k -> min k (!acked_n - !synced_floor)
+        | Hsq_storage.Wal.Never -> !acked_n - !synced_floor
+      in
+      let rounds = 2 + Hsq_util.Xoshiro.int rng 2 in
+      for round = 1 to rounds do
+        let eng, report = E.open_or_recover config in
+        let recovered_n = E.total_size eng in
+        let lost = !acked_n - recovered_n in
+        if lost < 0 then
+          Alcotest.failf "seed %d round %d (%s): recovered %d > acknowledged %d" seed round
+            policy recovered_n !acked_n;
+        if lost > loss_bound () then
+          Alcotest.failf "seed %d round %d (%s): lost %d acknowledged records, bound is %d"
+            seed round policy lost (loss_bound ());
+        (* Everything recovery claims durable IS durable now. *)
+        acked := (if lost = 0 then !acked else List.filteri (fun i _ -> i >= lost) !acked);
+        acked_n := recovered_n;
+        note_forced_sync ();
+        Alcotest.(check (list string))
+          (Printf.sprintf "seed %d round %d: invariants" seed round)
+          []
+          (Hsq_hist.Level_index.check_invariants (E.hist eng));
+        (* Oracle check over the recovered prefix. *)
+        if recovered_n > 0 then begin
+          let oracle = Hsq_workload.Oracle.create () in
+          List.iter (Hsq_workload.Oracle.add oracle) !acked;
+          let band = int_of_float (ceil (eps *. float_of_int recovered_n)) + 1 in
+          List.iter
+            (fun phi ->
+              let r = max 1 (int_of_float (ceil (phi *. float_of_int recovered_n))) in
+              let v, rep = E.accurate eng ~rank:r in
+              if rep.E.degraded then
+                Alcotest.failf "seed %d round %d: degraded answer on a healthy store" seed
+                  round;
+              let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+              if err > band then
+                Alcotest.failf "seed %d round %d (%s): phi=%.2f rank error %d > band %d" seed
+                  round policy phi err band)
+            [ 0.1; 0.5; 0.9 ]
+        end;
+        ignore report;
+        if round = rounds then E.close eng
+        else begin
+          (* Run until a random crash point.  A third of the crashes are
+             injected WAL append faults (Fail or Torn), the rest are
+             power cuts between operations. *)
+          let injected = Hsq_util.Xoshiro.int rng 3 = 0 in
+          let ops_before_cut = 1 + Hsq_util.Xoshiro.int rng 400 in
+          if injected then begin
+            let countdown = ref (1 + Hsq_util.Xoshiro.int rng 300) in
+            let torn = Hsq_util.Xoshiro.int rng 2 = 0 in
+            E.set_wal_injector eng
+              (Some
+                 (fun _seq ->
+                   decr countdown;
+                   if !countdown <= 0 then
+                     Some
+                       (if torn then Hsq_storage.Block_device.Torn 2
+                        else Hsq_storage.Block_device.Fail)
+                   else None))
+          end;
+          (try
+             for _ = 1 to ops_before_cut do
+               if Hsq_util.Xoshiro.int rng 150 = 0 && E.stream_size eng > 0 then begin
+                 ignore (E.end_time_step eng);
+                 note_forced_sync ()
+               end
+               else begin
+                 let v = Hsq_util.Xoshiro.int rng 1_000_000 in
+                 E.observe eng v;
+                 (* Acknowledged only because observe returned. *)
+                 acked := v :: !acked;
+                 note_acked ()
+               end
+             done
+           with BD.Device_error _ -> ());
+          E.crash eng
+        end
+      done)
+
+(* Seed counts scale through the environment: the PR-gating CI job runs
+   the default, the nightly job cranks HSQ_CRASH_SEEDS up to hundreds. *)
+let seed_count default =
+  match Sys.getenv_opt "HSQ_CRASH_SEEDS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
 let crash_cases =
-  List.init 24 (fun i ->
+  List.init (seed_count 24) (fun i ->
       let seed = 1000 + (i * 37) in
       Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (fun () -> run_crash_seed seed))
 
 let bitflip_cases =
-  List.init 10 (fun i ->
+  List.init (seed_count 10) (fun i ->
       let seed = 500 + i in
       Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (fun () -> run_bitflip_seed seed))
 
+let ingest_cases =
+  List.init (seed_count 24) (fun i ->
+      let seed = 4000 + (i * 13) in
+      Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (fun () ->
+          run_ingest_crash_seed seed))
+
 let () =
   Alcotest.run "crash_recovery"
-    [ ("torn write crash", crash_cases); ("bit flip at rest", bitflip_cases) ]
+    [
+      ("torn write crash", crash_cases);
+      ("bit flip at rest", bitflip_cases);
+      ("ingest crash (WAL)", ingest_cases);
+    ]

@@ -1,0 +1,373 @@
+(* Durable ingest path: WAL + sketch checkpoints + recovery manager.
+
+   Deterministic scenario tests (the randomized kill-at-random-point
+   fuzz lives in test_crash_recovery):
+
+   - a recovered engine is bit-identical in its answers to one that
+     never crashed (replay reproduces the exact insert sequence);
+   - recovery past a checkpoint replays only the WAL suffix (asserted
+     via the wal_replayed counter and the recovery report);
+   - empty rollovers ([ingest_batch [||]] / [end_time_step] with no
+     open element) raise before any WAL write and corrupt nothing;
+   - group-commit loss is exactly the unflushed window, and [Never]
+     loses the whole unsynced open step;
+   - the End_step marker protocol is exactly-once: a marker for an
+     already-committed step replays as a skip, never a double archive,
+     and recovery itself is idempotent;
+   - torn WAL tails are floored and physically truncated;
+   - stale or corrupt checkpoints are ignored in favour of full replay. *)
+
+module E = Hsq.Engine
+module W = Hsq_storage.Wal
+
+let eps = 0.05
+let block_size = 16
+
+let with_store f =
+  let dir = Filename.temp_file "hsq_durable" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let config ?(wal_sync = W.Always) ?(checkpoint_every = 0) dir =
+  Hsq.Config.make ~kappa:3 ~block_size ~wal_dir:dir ~wal_sync ~checkpoint_every
+    (Hsq.Config.Epsilon eps)
+
+let el seed i = (i * 2654435761) lxor seed
+
+(* Reference: the same element sequence through a volatile engine. *)
+let reference_engine elements step_breaks =
+  let eng = E.create (Hsq.Config.make ~kappa:3 ~block_size (Hsq.Config.Epsilon eps)) in
+  List.iteri
+    (fun i v ->
+      E.observe eng v;
+      if List.mem (i + 1) step_breaks then ignore (E.end_time_step eng))
+    elements;
+  eng
+
+let check_matches_reference ~msg recovered reference =
+  Alcotest.(check int) (msg ^ ": total size") (E.total_size reference) (E.total_size recovered);
+  Alcotest.(check int) (msg ^ ": time steps") (E.time_steps reference) (E.time_steps recovered);
+  let n = E.total_size recovered in
+  if n > 0 then
+    List.iter
+      (fun phi ->
+        let r = max 1 (int_of_float (ceil (phi *. float_of_int n))) in
+        let expect, _ = E.accurate reference ~rank:r in
+        let got, _ = E.accurate recovered ~rank:r in
+        Alcotest.(check int) (Printf.sprintf "%s: rank %d" msg r) expect got)
+      [ 0.1; 0.5; 0.9; 1.0 ]
+
+(* --- round trip: recovery == never crashed --------------------------- *)
+
+let test_round_trip_close () =
+  with_store (fun dir ->
+      let elements = List.init 700 (el 11) in
+      let breaks = [ 200; 400; 550 ] in
+      let eng, _ = E.open_or_recover (config ~checkpoint_every:64 dir) in
+      List.iteri
+        (fun i v ->
+          E.observe eng v;
+          if List.mem (i + 1) breaks then ignore (E.end_time_step eng))
+        elements;
+      E.close eng;
+      let recovered, report = E.open_or_recover (config dir) in
+      Alcotest.(check (option string)) "clean tail" None report.E.wal_tail;
+      check_matches_reference ~msg:"close/reopen" recovered (reference_engine elements breaks);
+      E.close recovered)
+
+let test_round_trip_crash () =
+  with_store (fun dir ->
+      (* sync=Always: even a power cut loses nothing acknowledged. *)
+      let elements = List.init 500 (el 23) in
+      let breaks = [ 150; 300 ] in
+      let eng, _ = E.open_or_recover (config dir) in
+      List.iteri
+        (fun i v ->
+          E.observe eng v;
+          if List.mem (i + 1) breaks then ignore (E.end_time_step eng))
+        elements;
+      E.crash eng;
+      let recovered, _ = E.open_or_recover (config dir) in
+      check_matches_reference ~msg:"crash/recover" recovered (reference_engine elements breaks);
+      Alcotest.(check (list string))
+        "invariants" []
+        (Hsq_hist.Level_index.check_invariants (E.hist recovered));
+      E.close recovered)
+
+(* --- checkpoints bound the replay ------------------------------------ *)
+
+let test_replay_only_past_checkpoint () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config ~checkpoint_every:100 dir) in
+      for i = 1 to 350 do
+        E.observe eng (el 31 i)
+      done;
+      (* Checkpoints fired at observes 100, 200, 300 — the last covers
+         WAL seq 300, so recovery must replay exactly 301..350. *)
+      E.crash eng;
+      let recovered, report = E.open_or_recover (config ~checkpoint_every:100 dir) in
+      Alcotest.(check bool) "checkpoint used" true report.E.checkpoint_used;
+      Alcotest.(check int) "replayed only the suffix" 50 report.E.replayed;
+      let stats =
+        Hsq_storage.Io_stats.snapshot (Hsq_storage.Block_device.stats (E.device recovered))
+      in
+      Alcotest.(check int) "wal_replayed counter agrees" 50
+        stats.Hsq_storage.Io_stats.wal_replayed;
+      Alcotest.(check int) "nothing lost" 350 (E.total_size recovered);
+      check_matches_reference ~msg:"checkpointed recovery" recovered
+        (reference_engine (List.init 350 (fun i -> el 31 (i + 1))) []);
+      E.close recovered)
+
+let test_checkpoint_now () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config dir) in
+      for i = 1 to 40 do
+        E.observe eng (el 37 i)
+      done;
+      E.checkpoint_now eng;
+      (match E.durability_status eng with
+      | None -> Alcotest.fail "durable engine reports no status"
+      | Some s ->
+        Alcotest.(check int) "checkpoint covers the whole log" 40 s.E.last_checkpoint_seq;
+        Alcotest.(check int) "nothing pending after checkpoint sync" 0 s.E.wal_pending);
+      E.crash eng;
+      let recovered, report = E.open_or_recover (config dir) in
+      Alcotest.(check bool) "checkpoint used" true report.E.checkpoint_used;
+      Alcotest.(check int) "no replay needed" 0 report.E.replayed;
+      Alcotest.(check int) "all recovered" 40 (E.total_size recovered);
+      E.close recovered)
+
+(* --- empty rollovers are pure no-ops --------------------------------- *)
+
+let test_empty_rollover_is_noop () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config dir) in
+      let batch = Array.init 120 (el 41) in
+      ignore (E.ingest_batch eng batch);
+      let wal_before =
+        match E.durability_status eng with Some s -> s.E.wal_next_seq | None -> assert false
+      in
+      Alcotest.check_raises "end_time_step on empty open step"
+        (Invalid_argument "Engine.end_time_step: empty batch") (fun () ->
+          ignore (E.end_time_step eng));
+      Alcotest.check_raises "ingest_batch [||]"
+        (Invalid_argument "Engine.end_time_step: empty batch") (fun () ->
+          ignore (E.ingest_batch eng [||]));
+      (match E.durability_status eng with
+      | Some s ->
+        Alcotest.(check int) "no WAL records written by empty rollovers" wal_before
+          s.E.wal_next_seq
+      | None -> assert false);
+      (* The store must still commit further steps and recover cleanly. *)
+      let batch2 = Array.init 90 (fun i -> el 43 (i + 1000)) in
+      ignore (E.ingest_batch eng batch2);
+      E.crash eng;
+      let recovered, report = E.open_or_recover (config dir) in
+      Alcotest.(check int) "both steps committed" 2 (E.time_steps recovered);
+      Alcotest.(check int) "no replay of committed data" 0 report.E.replayed;
+      Alcotest.(check int) "all elements" 210 (E.total_size recovered);
+      E.close recovered)
+
+(* --- loss bounds per sync policy ------------------------------------- *)
+
+let test_group_commit_loss_bound () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config ~wal_sync:(W.Group 10) dir) in
+      for i = 1 to 57 do
+        E.observe eng (el 47 i)
+      done;
+      E.crash eng;
+      (* 50 flushed by five full windows; the 7-record tail was pending. *)
+      let recovered, _ = E.open_or_recover (config ~wal_sync:(W.Group 10) dir) in
+      Alcotest.(check int) "exactly the flushed prefix survives" 50 (E.total_size recovered);
+      check_matches_reference ~msg:"group-commit prefix" recovered
+        (reference_engine (List.init 50 (fun i -> el 47 (i + 1))) []);
+      E.close recovered)
+
+let test_never_sync_loses_open_tail () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config ~wal_sync:W.Never dir) in
+      let batch = Array.init 80 (el 53) in
+      ignore (E.ingest_batch eng batch);
+      (* The commit marker forces a sync even under Never … *)
+      for i = 1 to 30 do
+        E.observe eng (el 59 i)
+      done;
+      (* … but the open tail after it was never flushed. *)
+      E.crash eng;
+      let recovered, _ = E.open_or_recover (config ~wal_sync:W.Never dir) in
+      Alcotest.(check int) "committed step survives" 1 (E.time_steps recovered);
+      Alcotest.(check int) "open tail lost" 80 (E.total_size recovered);
+      E.close recovered)
+
+(* --- exactly-once rollover ------------------------------------------- *)
+
+(* Fabricate the crash window between the sidecar write (commit) and
+   the WAL rotation: the warehouse already holds the step, but the log
+   still carries its observes and End_step marker. *)
+let fabricate_unrotated_wal ~dir ~observes ~step =
+  let _, _, wal_path, _ = E.store_paths ~dir in
+  let stats = Hsq_storage.Io_stats.create () in
+  let wal = W.create ~stats ~path:wal_path ~start_seq:1 () in
+  Array.iter (fun v -> ignore (W.append wal (W.Observe v))) observes;
+  ignore (W.append wal (W.End_step { step; count = Array.length observes }));
+  W.close wal
+
+let test_committed_marker_skipped () =
+  with_store (fun dir ->
+      let batch = Array.init 100 (el 61) in
+      let eng, _ = E.open_or_recover (config dir) in
+      ignore (E.ingest_batch eng batch);
+      E.close eng;
+      fabricate_unrotated_wal ~dir ~observes:batch ~step:1;
+      let recovered, report = E.open_or_recover (config dir) in
+      Alcotest.(check int) "marker replayed as a skip" 1 report.E.steps_skipped;
+      Alcotest.(check int) "nothing re-archived" 0 report.E.steps_reingested;
+      Alcotest.(check int) "records replayed" 101 report.E.replayed;
+      Alcotest.(check int) "still one step" 1 (E.time_steps recovered);
+      Alcotest.(check int) "never a double archive" 100 (E.total_size recovered);
+      E.close recovered)
+
+let test_uncommitted_marker_reingested () =
+  with_store (fun dir ->
+      let batch = Array.init 100 (el 67) in
+      let eng, _ = E.open_or_recover (config dir) in
+      ignore (E.ingest_batch eng batch);
+      E.close eng;
+      (* A marker for step 2, whose sidecar write never happened. *)
+      let batch2 = Array.init 70 (fun i -> el 71 (i + 500)) in
+      fabricate_unrotated_wal ~dir ~observes:batch2 ~step:2;
+      let recovered, report = E.open_or_recover (config dir) in
+      Alcotest.(check int) "step re-archived from the log" 1 report.E.steps_reingested;
+      Alcotest.(check int) "no skips" 0 report.E.steps_skipped;
+      Alcotest.(check int) "two steps" 2 (E.time_steps recovered);
+      Alcotest.(check int) "both batches" 170 (E.total_size recovered);
+      check_matches_reference ~msg:"re-archived step" recovered
+        (reference_engine (Array.to_list batch @ Array.to_list batch2) [ 100; 170 ]);
+      E.close recovered)
+
+let test_recovery_idempotent () =
+  with_store (fun dir ->
+      let batch = Array.init 100 (el 73) in
+      let eng, _ = E.open_or_recover (config dir) in
+      ignore (E.ingest_batch eng batch);
+      E.close eng;
+      fabricate_unrotated_wal ~dir ~observes:batch ~step:1;
+      (* Crash immediately after recovery, twice: each pass must land in
+         the same state (the un-rotated log replays as skips). *)
+      let first, r1 = E.open_or_recover (config dir) in
+      let size1 = E.total_size first and steps1 = E.time_steps first in
+      E.crash first;
+      let second, r2 = E.open_or_recover (config dir) in
+      Alcotest.(check int) "same size either pass" size1 (E.total_size second);
+      Alcotest.(check int) "same steps either pass" steps1 (E.time_steps second);
+      Alcotest.(check int) "same skips either pass" r1.E.steps_skipped r2.E.steps_skipped;
+      E.close second)
+
+(* --- torn tails ------------------------------------------------------- *)
+
+let test_torn_tail_floored () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config dir) in
+      for i = 1 to 20 do
+        E.observe eng (el 79 i)
+      done;
+      E.crash eng;
+      let _, _, wal_path, _ = E.store_paths ~dir in
+      (* Tear the last record mid-word: 5 bytes off the end. *)
+      let size = (Unix.stat wal_path).Unix.st_size in
+      let fd = Unix.openfile wal_path [ Unix.O_RDWR ] 0 in
+      Unix.ftruncate fd (size - 5);
+      Unix.close fd;
+      let recovered, report = E.open_or_recover (config dir) in
+      (match report.E.wal_tail with
+      | Some _ -> ()
+      | None -> Alcotest.fail "torn tail not reported");
+      Alcotest.(check int) "floored to the valid prefix" 19 (E.total_size recovered);
+      (* The tear was physically truncated: appends keep working and the
+         next recovery is clean. *)
+      for i = 1 to 5 do
+        E.observe recovered (el 83 i)
+      done;
+      E.crash recovered;
+      let again, report2 = E.open_or_recover (config dir) in
+      Alcotest.(check (option string)) "clean after truncation" None report2.E.wal_tail;
+      Alcotest.(check int) "prefix plus new appends" 24 (E.total_size again);
+      E.close again)
+
+(* --- checkpoint staleness / corruption -------------------------------- *)
+
+let test_stale_checkpoint_ignored () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config dir) in
+      for i = 1 to 60 do
+        E.observe eng (el 89 i)
+      done;
+      E.crash eng;
+      (* A checkpoint claiming a warehouse state that never committed. *)
+      let _, _, _, ckpt_path = E.store_paths ~dir in
+      Hsq.Checkpoint.save ~path:ckpt_path
+        { Hsq.Checkpoint.seq = 30; steps_done = 5; batch = [| 1; 2; 3 |]; gk = [| 0 |] };
+      let recovered, report = E.open_or_recover (config dir) in
+      Alcotest.(check bool) "stale checkpoint ignored" false report.E.checkpoint_used;
+      Alcotest.(check int) "full replay instead" 60 report.E.replayed;
+      Alcotest.(check int) "correct state" 60 (E.total_size recovered);
+      E.close recovered)
+
+let test_corrupt_checkpoint_ignored () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config ~checkpoint_every:16 dir) in
+      for i = 1 to 48 do
+        E.observe eng (el 97 i)
+      done;
+      E.crash eng;
+      let _, _, _, ckpt_path = E.store_paths ~dir in
+      let oc = open_out_bin ckpt_path in
+      output_string oc "hsq-ckpt 1\nnot a checkpoint at all\n";
+      close_out oc;
+      let recovered, report = E.open_or_recover (config ~checkpoint_every:16 dir) in
+      Alcotest.(check bool) "corrupt checkpoint treated as absent" false
+        report.E.checkpoint_used;
+      Alcotest.(check int) "full replay recovers everything" 48 (E.total_size recovered);
+      E.close recovered)
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "round trip",
+        [
+          Alcotest.test_case "close then reopen" `Quick test_round_trip_close;
+          Alcotest.test_case "crash then recover (sync=always)" `Quick test_round_trip_crash;
+        ] );
+      ( "checkpoints",
+        [
+          Alcotest.test_case "replay only past the checkpoint" `Quick
+            test_replay_only_past_checkpoint;
+          Alcotest.test_case "checkpoint_now covers the log" `Quick test_checkpoint_now;
+          Alcotest.test_case "stale checkpoint ignored" `Quick test_stale_checkpoint_ignored;
+          Alcotest.test_case "corrupt checkpoint ignored" `Quick test_corrupt_checkpoint_ignored;
+        ] );
+      ( "rollover",
+        [
+          Alcotest.test_case "empty rollover is a no-op" `Quick test_empty_rollover_is_noop;
+          Alcotest.test_case "committed marker skipped" `Quick test_committed_marker_skipped;
+          Alcotest.test_case "uncommitted marker re-archived" `Quick
+            test_uncommitted_marker_reingested;
+          Alcotest.test_case "recovery is idempotent" `Quick test_recovery_idempotent;
+        ] );
+      ( "loss bounds",
+        [
+          Alcotest.test_case "group commit loses at most the window" `Quick
+            test_group_commit_loss_bound;
+          Alcotest.test_case "never-sync loses the open tail" `Quick
+            test_never_sync_loses_open_tail;
+        ] );
+      ("torn tails", [ Alcotest.test_case "floored and truncated" `Quick test_torn_tail_floored ]);
+    ]
