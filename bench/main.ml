@@ -28,6 +28,7 @@ let all_figures =
 let () =
   let scale = ref Harness.default_scale in
   let which = ref "all" in
+  let smoke = ref false in
   let set_steps n = scale := { !scale with Harness.steps = n } in
   let set_step_size n = scale := { !scale with Harness.step_size = n } in
   let set_runs n = scale := { !scale with Harness.runs = n } in
@@ -36,6 +37,7 @@ let () =
   let spec =
     [
       ("--figure", Arg.Set_string which, "fig4..fig13, ablations, extensions, micro, or all (default all)");
+      ("--smoke", Arg.Set smoke, "CI smoke mode: run only the micro rows, tiny and fast");
       ("--steps", Arg.Int set_steps, "archived time steps (default 100)");
       ("--step-size", Arg.Int set_step_size, "elements per time step (default 10000)");
       ("--runs", Arg.Int set_runs, "independent seeds for error figures (default 3)");
@@ -51,7 +53,8 @@ let () =
     scale.Harness.steps scale.Harness.step_size scale.Harness.runs scale.Harness.block_size
     scale.Harness.seed;
   let t0 = Unix.gettimeofday () in
-  (match !which with
+  (match if !smoke then "smoke" else !which with
+  | "smoke" -> Micro.run ~smoke:true ()
   | "all" ->
     List.iter
       (fun (name, f) ->

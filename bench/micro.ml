@@ -17,6 +17,29 @@ let prepared_engine () =
   let eng, _ = Harness.build_engine ~config w in
   eng
 
+(* Engines for the accurate-query fan-out benches: same workload, one
+   sequential and one probing with 4 domains.  A simulated per-block
+   read latency models a disk so the parallel row measures real
+   fan-out benefit rather than in-memory array arithmetic. *)
+let accurate_engine ?(smoke = false) ?query_domains () =
+  (* Sized so an accurate query really probes disk (tens of physical
+     block reads per query, like the CLI defaults), with a 200 µs
+     simulated read latency standing in for a fast SSD — otherwise the
+     in-memory simulator makes every probe free and the fan-out rows
+     would measure nothing but domain-spawn overhead. *)
+  let scale =
+    if smoke then { Harness.default_scale with steps = 8; step_size = 4_000 }
+    else { Harness.default_scale with steps = 30; step_size = 20_000 }
+  in
+  let w = Harness.load_workload ~scale ~dataset:"normal" () in
+  let config =
+    Hsq.Config.make ~kappa:10 ~block_size:scale.block_size ~steps_hint:scale.steps
+      ?query_domains (Hsq.Config.Epsilon 0.02)
+  in
+  let eng, _ = Harness.build_engine ~config w in
+  Hsq_storage.Block_device.set_read_latency (Hsq.Engine.device eng) 200e-6;
+  eng
+
 (* A durable engine over a throwaway store, for the ingest-throughput
    benches.  Checkpoints are off: the WAL sync policy is the axis under
    measurement, and a mid-bench checkpoint (which serializes the whole
@@ -37,13 +60,15 @@ let durable_engine ~wal_sync () =
   let eng, _ = Hsq.Engine.open_or_recover config in
   eng
 
-let tests () =
+let tests ~smoke =
   let rng = Hsq_util.Xoshiro.create 1234 in
   let gk = Hsq_sketch.Gk.create ~epsilon:0.001 in
   let qd = Hsq_sketch.Qdigest.create ~bits:30 ~k:1000 in
   let sp = Hsq_sketch.Sampler.create ~buffers:10 ~buffer_size:500 () in
   let eng = prepared_engine () in
   let n = Hsq.Engine.total_size eng in
+  let acc_seq = accurate_engine ~smoke () in
+  let acc_par = accurate_engine ~smoke ~query_domains:4 () in
   let volatile =
     Hsq.Engine.create (Hsq.Config.make ~kappa:10 ~block_size:256 (Hsq.Config.Epsilon 0.01))
   in
@@ -65,6 +90,21 @@ let tests () =
       (Staged.stage (fun () -> ignore (Hsq.Engine.quick eng ~rank:(n / 2))));
     Test.make ~name:"accurate-query"
       (Staged.stage (fun () -> ignore (Hsq.Engine.accurate eng ~rank:(n / 2))));
+    (* Query-path overhaul rows: the steady-state quick path answers
+       from the epoch-keyed cached historical aggregate; the uncached
+       row rebuilds the union summary from all partition summaries per
+       query (the seed behavior). *)
+    Test.make ~name:"query-quick-cached"
+      (Staged.stage (fun () -> ignore (Hsq.Engine.quick eng ~rank:(n / 2))));
+    Test.make ~name:"query-quick-uncached"
+      (Staged.stage (fun () ->
+           ignore
+             (Hsq.Union_summary.quick_select (Hsq.Engine.fresh_union_summary eng)
+                ~rank:(n / 2))));
+    Test.make ~name:"query-accurate-1dom"
+      (Staged.stage (fun () -> ignore (Hsq.Engine.accurate acc_seq ~rank:(n / 2))));
+    Test.make ~name:"query-accurate-4dom"
+      (Staged.stage (fun () -> ignore (Hsq.Engine.accurate acc_par ~rank:(n / 2))));
     (* Ingest throughput across the durability spectrum: no WAL at all,
        buffered appends (flush at commits only), group commit, and a
        physical flush per record. *)
@@ -79,11 +119,16 @@ let tests () =
            Hsq.Engine.observe dur_always (Hsq_util.Xoshiro.int rng 1_000_000)));
   ]
 
-let run () =
+(* [smoke] is the CI mode: tiny engines and a short sampling quota, so
+   the job only checks that every bench row still builds and runs. *)
+let run ?(smoke = false) () =
   Harness.print_header "Micro-benchmarks (ns/op, OLS vs run count)";
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:100 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -94,4 +139,4 @@ let run () =
           | Some (est :: _) -> Printf.printf "%-28s %14.1f ns/op\n%!" name est
           | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
         results)
-    (tests ())
+    (tests ~smoke)

@@ -47,6 +47,13 @@ let device_path =
   let doc = "Back the warehouse with this file instead of memory." in
   Arg.(value & opt (some string) None & info [ "device" ] ~docv:"PATH" ~doc)
 
+let query_domains =
+  let doc =
+    "Fan accurate-query disk probes across $(docv) domains per bisection step. Answers are \
+     identical at any setting; this is a latency knob only."
+  in
+  Arg.(value & opt (some int) None & info [ "query-domains" ] ~docv:"D" ~doc)
+
 (* Durable-ingest options (simulate, stream). *)
 let wal_sync_conv =
   let parse s =
@@ -97,21 +104,23 @@ let report_recovery (r : Hsq.Engine.recovery_report) =
       | None -> ""
       | Some why -> Printf.sprintf "; torn tail floored (%s)" why)
 
-let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?durable
+let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_domains ?durable
     ?(wal_sync = Hsq_storage.Wal.Always) ?(checkpoint_every = 10_000) () =
   match durable with
   | Some dir ->
     if device_path <> None then
       prerr_endline "warning: --device ignored with --durable (the store supplies its own)";
     let config =
-      Hsq.Config.make ~kappa ~block_size ~steps_hint ~wal_dir:dir ~wal_sync ~checkpoint_every
-        (Hsq.Config.Epsilon epsilon)
+      Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ~wal_dir:dir ~wal_sync
+        ~checkpoint_every (Hsq.Config.Epsilon epsilon)
     in
     let eng, report = Hsq.Engine.open_or_recover config in
     report_recovery report;
     eng
   | None -> (
-    let config = Hsq.Config.make ~kappa ~block_size ~steps_hint (Hsq.Config.Epsilon epsilon) in
+    let config =
+      Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains (Hsq.Config.Epsilon epsilon)
+    in
     match device_path with
     | None -> Hsq.Engine.create config
     | Some path ->
@@ -144,12 +153,12 @@ let save_meta =
   let doc = "After the run, save warehouse metadata here (requires --device)." in
   Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
 
-let simulate dataset steps step_size seed epsilon kappa block_size device_path phis verify
-    save_meta durable wal_sync checkpoint_every =
+let simulate dataset steps step_size seed epsilon kappa block_size device_path query_domains
+    phis verify save_meta durable wal_sync checkpoint_every =
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let eng =
-    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps ?durable ~wal_sync
-      ~checkpoint_every ()
+    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps ?query_domains
+      ?durable ~wal_sync ~checkpoint_every ()
   in
   let oracle = if verify then Some (Hsq_workload.Oracle.create ()) else None in
   let total_io = ref Hsq_storage.Io_stats.zero in
@@ -216,15 +225,16 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
-      $ device_path $ phis $ verify $ save_meta $ durable_dir $ wal_sync $ checkpoint_every)
+      $ device_path $ query_domains $ phis $ verify $ save_meta $ durable_dir $ wal_sync
+      $ checkpoint_every)
 
 (* --- stream ------------------------------------------------------------- *)
 
-let stream step_every epsilon kappa block_size device_path phis durable wal_sync
+let stream step_every epsilon kappa block_size device_path query_domains phis durable wal_sync
     checkpoint_every =
   let eng =
-    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100 ?durable ~wal_sync
-      ~checkpoint_every ()
+    make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100 ?query_domains
+      ?durable ~wal_sync ~checkpoint_every ()
   in
   let in_step = ref 0 in
   (try
@@ -273,16 +283,16 @@ let stream_cmd =
   Cmd.v
     (Cmd.info "stream" ~doc)
     Term.(
-      const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ phis
-      $ durable_dir $ wal_sync $ checkpoint_every)
+      const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ query_domains
+      $ phis $ durable_dir $ wal_sync $ checkpoint_every)
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
-let query device meta phis heavy =
+let query device meta query_domains phis heavy =
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
-      let eng = Hsq.Persist.load_files ~device_path ~meta_path in
+      let eng = Hsq.Persist.load_files ?query_domains ~device_path ~meta_path () in
       report_footprint eng;
       report_quantiles eng phis;
       (match heavy with
@@ -322,7 +332,8 @@ let query_cmd =
     Arg.(value & opt (some float) None & info [ "heavy" ] ~docv:"PHI" ~doc)
   in
   let doc = "Query a previously saved warehouse (see simulate --save-meta)." in
-  Cmd.v (Cmd.info "query" ~doc) Term.(const query $ device_path $ meta $ phis $ heavy)
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const query $ device_path $ meta $ query_domains $ phis $ heavy)
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -330,7 +341,7 @@ let inspect device meta =
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
-      let eng = Hsq.Persist.load_files ~device_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path ~meta_path () in
       report_footprint eng;
       let hist = Hsq.Engine.hist eng in
       Printf.printf "\npartition layout (newest first):\n";
@@ -379,7 +390,7 @@ let scrub device meta =
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
-      let eng = Hsq.Persist.load_files ~device_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path ~meta_path () in
       let report = Hsq.Persist.scrub eng in
       Printf.printf "scrubbed %d partitions (%d block reads)\n" report.Hsq.Persist.partitions_checked
         report.Hsq.Persist.blocks_read;
@@ -420,7 +431,7 @@ let scrub_cmd =
 
 (* --- status (durable store health) ----------------------------------------- *)
 
-let status dir =
+let status dir pool_blocks =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Printf.eprintf "no such store directory: %s\n" dir;
     2
@@ -435,12 +446,18 @@ let status dir =
     | false, _ -> print_endline "warehouse: empty (no committed time step yet)"
     | true, false -> problem "warehouse: DAMAGED — sidecar present but device file missing"
     | true, true -> (
-      match Hsq.Persist.load_files ~device_path ~meta_path with
+      match Hsq.Persist.load_files ~pool_blocks ~device_path ~meta_path () with
       | eng ->
         committed_steps := Hsq.Engine.time_steps eng;
         Printf.printf "warehouse: %d archived steps, %d elements, %d partitions\n"
           (Hsq.Engine.time_steps eng) (Hsq.Engine.hist_size eng)
           (Hsq_hist.Level_index.partition_count (Hsq.Engine.hist eng));
+        (match Hsq_storage.Block_device.pool_stats (Hsq.Engine.device eng) with
+        | Some (hits, misses) when hits + misses > 0 ->
+          Printf.printf "buffer pool: %d blocks, %d hits / %d misses (%.1f%% hit rate)\n"
+            pool_blocks hits misses
+            (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+        | _ -> ());
         Hsq_storage.Block_device.close (Hsq.Engine.device eng)
       | exception Hsq.Persist.Corrupt_metadata msg -> problem "warehouse: CORRUPT — %s" msg
       | exception Hsq_storage.Block_device.Device_error msg ->
@@ -498,12 +515,19 @@ let status_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"DIR" ~doc:"Durable store directory (see --durable).")
   in
+  let pool_blocks =
+    let doc =
+      "LRU buffer-pool capacity (blocks) used while loading the warehouse; the hit/miss rate \
+       over the recovery reads is reported. 0 disables the pool."
+    in
+    Arg.(value & opt int 256 & info [ "pool-blocks" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Report the health of a durable store: warehouse commit state, WAL extent and tail, and \
      sketch-checkpoint coverage. Exits non-zero if the store is damaged beyond what recovery \
      handles."
   in
-  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir)
+  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir $ pool_blocks)
 
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in

@@ -68,7 +68,7 @@ let () =
   Hsq.Persist.save engine ~path:meta_path;
   Hsq_storage.Block_device.close (Hsq.Engine.device engine);
   print_endline "\n-- warehouse saved; restarting --\n";
-  let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+  let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
   Printf.printf "restored: %d elements over %d time steps (stream is empty by design)\n"
     (Hsq.Engine.total_size restored)
     (Hsq.Engine.time_steps restored);

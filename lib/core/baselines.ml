@@ -174,7 +174,7 @@ module Strawman = struct
     let stats = Hsq_storage.Block_device.stats t.dev in
     let before = Hsq_storage.Io_stats.snapshot stats in
     let batch = Array.of_list (List.rev t.batch) in
-    Array.sort compare batch;
+    Array.sort Int.compare batch;
     let fresh = Hsq_storage.Run.of_sorted_array t.dev batch in
     (match t.sorted with
     | None -> t.sorted <- Some fresh

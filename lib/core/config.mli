@@ -19,6 +19,12 @@ type t = {
   steps_hint : int;         (** expected number of time steps (T) *)
   stream_fraction : float;  (** share of a memory budget given to the stream sketch (paper: 0.5) *)
   sort_domains : int option; (** parallel batch sorting on this many domains (future work, §4) *)
+  query_domains : int option;
+      (** fan accurate-query disk probes across this many domains
+          (future work, §4); [None]/1 = sequential, which keeps
+          fault-injection schedules deterministic. Like the [wal_*]
+          fields this is runtime policy: not persisted in the metadata
+          sidecar, and answers are identical at any setting *)
   wal_dir : string option;
       (** durable-ingest directory (WAL + sketch checkpoints + warehouse
           files, used by {!Engine.open_or_recover}); [None] = the stream
@@ -43,6 +49,7 @@ val make :
   ?steps_hint:int ->
   ?stream_fraction:float ->
   ?sort_domains:int ->
+  ?query_domains:int ->
   ?wal_dir:string ->
   ?wal_sync:Hsq_storage.Wal.sync_policy ->
   ?checkpoint_every:int ->

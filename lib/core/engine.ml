@@ -33,6 +33,24 @@ type t = {
   mutable batch : int array;
   mutable batch_len : int;
   mutable durable : durability option;
+  (* Cached historical aggregate keyed by the level index's epoch: the
+     historical side of TS only changes at end_time_step / merge /
+     expire / recovery, so queries reuse the merged summary bounds and
+     only pay for the fresh stream summary.  (epoch, aggregate); None
+     until the first full-set query after a mutation. *)
+  mutable hist_cache : (int * Union_summary.hist_agg) option;
+  (* The fully built (stream summary, union summary) pair, keyed by
+     (hist epoch, GK insert count): the sketch mutates only on insert
+     (count strictly grows within a step) and end_time_step both resets
+     it and bumps the epoch, so an unchanged key means an unchanged TS.
+     Repeated queries between ingests then skip even the stream
+     extraction and the merge. *)
+  mutable us_cache : (int * int * (Stream_summary.t * Union_summary.t)) option;
+  (* Persistent worker pool for the parallel accurate-query probes,
+     spawned on the first query when [config.query_domains] > 1 (the
+     pool holds query_domains - 1 workers; the querying domain is the
+     remaining lane).  [close] joins it. *)
+  mutable query_pool : Hsq_util.Parallel.Pool.t option;
 }
 
 type query_report = {
@@ -70,6 +88,9 @@ let create ?device config =
     batch = Array.make 1024 0;
     batch_len = 0;
     durable = None;
+    hist_cache = None;
+    us_cache = None;
+    query_pool = None;
   }
 
 (* Recovery path (Persist): adopt a restored historical index.  The
@@ -84,6 +105,9 @@ let of_restored ~device config hist =
     batch = Array.make 1024 0;
     batch_len = 0;
     durable = None;
+    hist_cache = None;
+    us_cache = None;
+    query_pool = None;
   }
 
 let config t = t.config
@@ -199,22 +223,65 @@ let expire t ~keep_steps = Hsq_hist.Level_index.expire t.hist ~keep_steps
 
 let stream_summary t = Stream_summary.extract t.gk
 
+(* The cached historical aggregate, rebuilt only when the level index's
+   epoch moved since it was computed (partition add / merge / expire /
+   restore all bump it).  Steady-state full-set queries therefore cost
+   O(S_stream + S_hist) instead of O(S·P·log β1). *)
+let hist_aggregate t =
+  let epoch = Hsq_hist.Level_index.epoch t.hist in
+  match t.hist_cache with
+  | Some (e, agg) when e = epoch -> agg
+  | _ ->
+    let agg =
+      Union_summary.hist_aggregate ~partitions:(Hsq_hist.Level_index.partitions t.hist)
+    in
+    t.hist_cache <- Some (epoch, agg);
+    agg
+
+(* The built summary pair, reused verbatim while neither side of TS has
+   moved (see the us_cache field comment).  Re-extracting from an
+   unchanged GK sketch is pure, so a hit returns exactly what a rebuild
+   would produce. *)
+let cached_summaries t =
+  let epoch = Hsq_hist.Level_index.epoch t.hist in
+  let count = stream_size t in
+  match t.us_cache with
+  | Some (e, c, pair) when e = epoch && c = count -> pair
+  | _ ->
+    let ss = stream_summary t in
+    let pair = (ss, Union_summary.build_from_agg ~agg:(hist_aggregate t) ~stream:ss) in
+    t.us_cache <- Some (epoch, count, pair);
+    pair
+
+let cached_union_summary t = snd (cached_summaries t)
+
+(* Cache-bypassing build over the full partition set; the fuzz suite
+   compares this against the cached path entry for entry. *)
+let fresh_union_summary t =
+  Union_summary.build ~partitions:(Hsq_hist.Level_index.partitions t.hist)
+    ~stream:(stream_summary t)
+
+(* Explicit partition subsets (windows, ranges) bypass the cache: the
+   aggregate covers the full set and per-suffix bounds are not
+   recoverable from it.  Those queries are rare next to full-set ones,
+   and still benefit from the array build path. *)
 let union_summary ?partitions t =
-  let partitions =
-    match partitions with Some ps -> ps | None -> Hsq_hist.Level_index.partitions t.hist
-  in
-  Union_summary.build ~partitions ~stream:(stream_summary t)
+  match partitions with
+  | Some ps -> Union_summary.build ~partitions:ps ~stream:(stream_summary t)
+  | None -> cached_union_summary t
 
 let clamp_rank ~n r = if r < 1 then 1 else if r > n then n else r
 
 (* Algorithm 5. *)
-let quick_over t ~partitions ~rank =
-  let us = Union_summary.build ~partitions ~stream:(stream_summary t) in
+let quick_us us ~rank =
   let n = Union_summary.n_total us in
   if n = 0 then invalid_arg "Engine.quick: no data";
   Union_summary.quick_select us ~rank:(clamp_rank ~n rank)
 
-let quick t ~rank = quick_over t ~partitions:(Hsq_hist.Level_index.partitions t.hist) ~rank
+let quick_over t ~partitions ~rank =
+  quick_us (Union_summary.build ~partitions ~stream:(stream_summary t)) ~rank
+
+let quick t ~rank = quick_us (cached_union_summary t) ~rank
 
 (* Algorithms 6-8: bisect the value domain between the filters, probing
    each partition with a summary-bounded (and progressively narrowed)
@@ -243,13 +310,15 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
   let before = Hsq_storage.Io_stats.snapshot stats in
   let u0, v0 = Union_summary.filters us ~rank in
   let probes =
-    List.map
-      (fun p ->
-        let lo, hi =
-          Hsq_hist.Partition_summary.search_window (Hsq_hist.Partition.summary p) ~u:u0 ~v:v0
-        in
-        { partition = p; lo; hi })
-      partitions
+    Array.of_list
+      (List.map
+         (fun p ->
+           let lo, hi =
+             Hsq_hist.Partition_summary.search_window (Hsq_hist.Partition.summary p) ~u:u0
+               ~v:v0
+           in
+           { partition = p; lo; hi })
+         partitions)
   in
   (* Stopping band of Algorithm 8, as a multiple of eps2*m.  The paper
      stops within +-eps*m (factor 4); we default to the tighter factor
@@ -264,27 +333,72 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
   let iterations = ref 0 in
   (* rho(z) = exact historical rank (lines 2-7) + estimated stream rank
      (lines 8-10).  Returns the per-partition ranks so the caller can
-     narrow the next iteration's search windows. *)
+     narrow the next iteration's search windows.
+
+     With [query_domains] > 1 the per-partition disk probes of one
+     iteration fan out over a persistent worker pool (the paper's
+     future-work parallel partition processing): each partition is
+     probed by exactly one domain per round — its Run's one-block cache
+     is never shared — and the device serializes pool and file-channel
+     access internally.  Pool.map preserves order and re-raises the
+     first exception after the round completes, so answers, the
+     narrowing schedule, and the degraded fallback are identical to the
+     sequential path. *)
+  let domains =
+    match t.config.Config.query_domains with
+    | Some d when d > 1 && Array.length probes > 1 -> d
+    | _ -> 1
+  in
+  let probe_one z st =
+    if st.lo >= st.hi then st.lo
+    else
+      Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo ~hi:st.hi z
+  in
   let estimate z =
     let ranks =
-      List.map
-        (fun st ->
-          if st.lo >= st.hi then st.lo
-          else
-            Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo
-              ~hi:st.hi z)
-        probes
+      if domains = 1 then Array.map (probe_one z) probes
+      else begin
+        (* Fan out only the probes whose window is still open — a
+           closed window ([lo >= hi]) resolves from the summary with no
+           I/O, and spawning domains for it would cost more than the
+           whole iteration.  Probes keep their array order, so the
+           narrowing schedule matches the sequential path exactly. *)
+        let ranks = Array.make (Array.length probes) 0 in
+        let open_idx = ref [] in
+        for i = Array.length probes - 1 downto 0 do
+          if probes.(i).lo >= probes.(i).hi then ranks.(i) <- probes.(i).lo
+          else open_idx := i :: !open_idx
+        done;
+        (match !open_idx with
+        | [] -> ()
+        | [ i ] -> ranks.(i) <- probe_one z probes.(i)
+        | is ->
+          let pool =
+            match t.query_pool with
+            | Some p -> p
+            | None ->
+              let p = Hsq_util.Parallel.Pool.create ~workers:(domains - 1) in
+              t.query_pool <- Some p;
+              p
+          in
+          let idx = Array.of_list is in
+          let got = Hsq_util.Parallel.Pool.map pool (fun i -> probe_one z probes.(i)) idx in
+          Array.iteri (fun k i -> ranks.(i) <- got.(k)) idx);
+        ranks
+      end
     in
-    let rho1 = List.fold_left ( + ) 0 ranks in
+    let rho1 = Array.fold_left ( + ) 0 ranks in
     (ranks, float_of_int rho1 +. Stream_summary.rank_estimate ss z)
   in
   (* rank(z') for z' < z is at most rank(z), and at least rank(z) for
      z' > z — so each bisection step halves the per-partition windows
      too, and the one-block run caches make the tail probes free. *)
   let narrow ~left ranks =
-    List.iter2
-      (fun st rank_z -> if left then st.hi <- min st.hi rank_z else st.lo <- max st.lo rank_z)
-      probes ranks
+    Array.iteri
+      (fun i st ->
+        let rank_z = ranks.(i) in
+        if left then st.hi <- min st.hi rank_z else st.lo <- max st.lo rank_z)
+      probes
   in
   let rec bisect u v =
     incr iterations;
@@ -324,7 +438,9 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
   (answer, { io; iterations = !iterations; degraded })
 
 let accurate ?tolerance_factor t ~rank =
-  accurate_over ?tolerance_factor t ~partitions:(Hsq_hist.Level_index.partitions t.hist) ~rank
+  let ss, us = cached_summaries t in
+  accurate_over ?tolerance_factor ~summaries:(ss, us) t
+    ~partitions:(Hsq_hist.Level_index.partitions t.hist) ~rank
 
 (* Inverse query: estimated rank of an arbitrary value in T.  The
    historical part is exact (summary-bounded binary searches); the
@@ -344,8 +460,7 @@ let cdf t v =
    cost) shared by all ranks. *)
 let accurate_many ?tolerance_factor t ~ranks =
   let partitions = Hsq_hist.Level_index.partitions t.hist in
-  let ss = stream_summary t in
-  let us = Union_summary.build ~partitions ~stream:ss in
+  let ss, us = cached_summaries t in
   List.map
     (fun rank -> accurate_over ?tolerance_factor ~summaries:(ss, us) t ~partitions ~rank)
     ranks
@@ -503,6 +618,7 @@ let open_or_recover config =
           Config.wal_dir = config.Config.wal_dir;
           wal_sync = config.Config.wal_sync;
           checkpoint_every = config.Config.checkpoint_every;
+          query_domains = config.Config.query_domains;
         }
       in
       of_restored ~device merged hist
@@ -593,7 +709,15 @@ let open_or_recover config =
         (match tail with Hsq_storage.Wal.Clean -> None | Hsq_storage.Wal.Torn why -> Some why);
     } )
 
+let shutdown_pool t =
+  match t.query_pool with
+  | None -> ()
+  | Some p ->
+    t.query_pool <- None;
+    Hsq_util.Parallel.Pool.shutdown p
+
 let close t =
+  shutdown_pool t;
   (match t.durable with None -> () | Some d -> Hsq_storage.Wal.close d.wal);
   Hsq_storage.Block_device.close t.dev
 
@@ -601,6 +725,7 @@ let close t =
    flushed and release the handles — block writes are synchronous in
    this model, so only the WAL tail is at stake. *)
 let crash t =
+  shutdown_pool t;
   (match t.durable with None -> () | Some d -> Hsq_storage.Wal.crash d.wal);
   Hsq_storage.Block_device.close t.dev
 

@@ -74,10 +74,22 @@ val ingest_batch : t -> int array -> Hsq_hist.Level_index.update_report
     dropped. *)
 val expire : t -> keep_steps:int -> int * int
 
-(** Current SS / TS (rebuilt on each call). *)
+(** Current SS (rebuilt on each call — the stream moves on every
+    [observe]). *)
 val stream_summary : t -> Stream_summary.t
 
+(** Current TS. Without [partitions] the historical half comes from a
+    cached aggregate keyed on {!Hsq_hist.Level_index.epoch} (rebuilt
+    only after a partition add / merge / expire / recovery), merged
+    with a fresh stream summary — the steady-state O(S) query path.
+    With an explicit [partitions] subset (windows, ranges) the summary
+    is built fresh. Both paths produce identical entries. *)
 val union_summary : ?partitions:Hsq_hist.Partition.t list -> t -> Union_summary.t
+
+(** TS built from scratch over the full partition set, bypassing the
+    cache — the reference the consistency fuzz suite compares
+    {!union_summary} against. *)
+val fresh_union_summary : t -> Union_summary.t
 
 (** Algorithm 5. Rank is clamped to [1, N]. Raises on an empty engine. *)
 val quick : t -> rank:int -> int

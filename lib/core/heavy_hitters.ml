@@ -162,7 +162,12 @@ let frequent_over t ~partitions ~phi =
       candidates []
   in
   let io = Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before in
-  let hits = List.sort (fun a b -> compare (b.upper, b.value) (a.upper, a.value)) hits in
+  let hits =
+    List.sort
+      (fun a b ->
+        match Int.compare b.upper a.upper with 0 -> Int.compare b.value a.value | c -> c)
+      hits
+  in
   (hits, { io; candidates = Int_set.cardinal candidates })
 
 let frequent t ~phi =

@@ -40,11 +40,26 @@ let load ~device ~path =
   let config, hist = Meta.load_hist ~device ~path in
   Engine.of_restored ~device config hist
 
-(* Convenience: reopen the device file and the metadata together. *)
-let load_files ~device_path ~meta_path =
+(* Convenience: reopen the device file and the metadata together.
+   [pool_blocks] enables the device's LRU buffer pool before any
+   partition summary is re-read, so recovery reads warm it.
+   [query_domains] is runtime policy (never persisted in the sidecar),
+   so a restored engine takes it from the caller, exactly like
+   [Engine.open_or_recover]. *)
+let load_files ?pool_blocks ?query_domains ~device_path ~meta_path () =
   let block_size = Meta.peek_block_size meta_path in
   let device = Hsq_storage.Block_device.open_file ~block_size ~path:device_path () in
-  load ~device ~path:meta_path
+  (match pool_blocks with
+  | Some capacity when capacity > 0 -> Hsq_storage.Block_device.enable_pool device ~capacity
+  | _ -> ());
+  let config, hist = Meta.load_hist ~device ~path:meta_path in
+  let config =
+    match query_domains with
+    | None -> config
+    | Some d when d < 1 -> invalid_arg "Persist.load_files: query_domains must be >= 1"
+    | Some _ -> { config with Config.query_domains }
+  in
+  Engine.of_restored ~device config hist
 
 (* --- Scrub ------------------------------------------------------------- *)
 

@@ -37,8 +37,15 @@ val save : Engine.t -> path:string -> unit
 val load : device:Hsq_storage.Block_device.t -> path:string -> Engine.t
 
 (** Reopen [device_path] (block size taken from the metadata) and
-    [load]. *)
-val load_files : device_path:string -> meta_path:string -> Engine.t
+    [load]. [pool_blocks] enables the device's LRU buffer pool with
+    that capacity before the summaries are re-read (0 = disabled). *)
+val load_files :
+  ?pool_blocks:int ->
+  ?query_domains:int ->
+  device_path:string ->
+  meta_path:string ->
+  unit ->
+  Engine.t
 
 (** {2 Scrub} *)
 

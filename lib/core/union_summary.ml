@@ -9,7 +9,21 @@
    The historical contributions use the *exact* indices stored in the
    partition summaries, which tightens (never loosens) the paper's
    m_P*eps1*(alpha_P - 1) / m_P*eps1*alpha_P bounds; the stream
-   contributions follow Lemma 2 verbatim. *)
+   contributions follow Lemma 2 verbatim.
+
+   The historical half is factored out as an explicit aggregate
+   ({!hist_agg}): the summed bounds A(v) = (sum_P lower_P(v),
+   sum_P upper_P(v)) form a step function of v that changes only at the
+   distinct partition-summary values, because within a partition
+   [rank_bounds] depends only on how many of that summary's entries are
+   <= v.  The aggregate materialises that step function once — a k-way
+   merge of the P summary-entry arrays with incrementally maintained
+   prefix sums, O(S_hist log P) — after which every TS build is a linear
+   two-pointer merge against the stream summary instead of P binary
+   searches per distinct value.  [build] itself is defined as
+   [build_from_agg] of a freshly computed aggregate, so the cached and
+   uncached query paths share one code path and produce bitwise
+   identical entries. *)
 
 type entry = {
   value : int;
@@ -24,58 +38,216 @@ type t = {
   hist_elements : int;
 }
 
-let hist_bounds partitions v =
-  List.fold_left
-    (fun (lo, hi) p ->
-      let l, h = Hsq_hist.Partition_summary.rank_bounds (Hsq_hist.Partition.summary p) v in
-      (lo + l, hi + h))
-    (0, 0) partitions
+(* --- Historical aggregate --------------------------------------------- *)
 
-let build ~partitions ~stream =
-  let hist_values =
-    List.concat_map
-      (fun p ->
-        Array.to_list
-          (Array.map
-             (fun (e : Hsq_hist.Partition_summary.entry) -> e.value)
-             (Hsq_hist.Partition_summary.entries (Hsq_hist.Partition.summary p))))
-      partitions
+type hist_agg = {
+  hvalues : int array; (* distinct summary values across partitions, ascending *)
+  hlo : int array; (* hlo.(k) = sum_P lower_P(hvalues.(k)) *)
+  hhi : int array; (* hhi.(k) = sum_P upper_P(hvalues.(k)) *)
+  base_lo : int; (* sums for v below every summary value... *)
+  base_hi : int; (* ...always (0, 0): entry 0 of a summary has index 0 *)
+  agg_hist_elements : int;
+}
+
+let hist_agg_size agg = Array.length agg.hvalues
+let hist_agg_elements agg = agg.agg_hist_elements
+
+(* Bounds of the step function at any v: constant on [hvalues.(k-1),
+   hvalues.(k)), so it is the bounds recorded at the largest summary
+   value <= v (the base sums when v is below all of them). *)
+let hist_agg_bounds agg v =
+  let hv = agg.hvalues in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if hv.(mid) <= v then go (mid + 1) hi else go lo mid
   in
-  let all = Array.of_list (Array.to_list (Stream_summary.values stream) @ hist_values) in
-  Array.sort compare all;
-  (* Distinct values only: L and U depend on the value alone, so
-     duplicates across summaries carry no extra information. *)
-  let distinct = ref [] in
-  Array.iter
-    (fun v -> match !distinct with x :: _ when x = v -> () | _ -> distinct := v :: !distinct)
-    all;
-  let hist_elements =
-    List.fold_left (fun acc p -> acc + Hsq_hist.Partition.size p) 0 partitions
+  let k = go 0 (Array.length hv) in
+  if k = 0 then (agg.base_lo, agg.base_hi) else (agg.hlo.(k - 1), agg.hhi.(k - 1))
+
+(* Minimal binary min-heap over (value, source) pairs, as in
+   Kway_merge; ties break on source index for determinism. *)
+module Heap = struct
+  type elt = { value : int; src : int }
+  type h = { mutable data : elt array; mutable size : int }
+
+  let create capacity = { data = Array.make (max 1 capacity) { value = 0; src = 0 }; size = 0 }
+  let is_empty h = h.size = 0
+  let less a b = a.value < b.value || (a.value = b.value && a.src < b.src)
+
+  let push h e =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) e in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- e;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && less h.data.(!i) h.data.((!i - 1) / 2) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then invalid_arg "Heap.pop: empty heap";
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+end
+
+(* K-way merge of the partition-summary entry arrays, maintaining the
+   summed bounds incrementally.  When partition p's consumed-entry
+   count advances from a to a+1, its contribution changes by a delta
+   computable from two adjacent entries (Partition_summary.rank_bounds:
+   lower_p(a) = entries.(a-1).index + 1, or 0 at a = 0;
+   upper_p(a) = entries.(a).index, or the partition size at the end),
+   so each of the S_hist entries costs O(log P) heap work plus O(1)
+   arithmetic. *)
+let hist_aggregate ~partitions =
+  let summaries =
+    Array.of_list (List.map (fun p -> Hsq_hist.Partition.summary p) partitions)
   in
-  let m_stream = Stream_summary.stream_size stream in
-  let entries =
-    List.rev_map
-      (fun v ->
-        let hlo, hhi = hist_bounds partitions v in
-        {
-          value = v;
-          lower = float_of_int hlo +. Stream_summary.rank_lower stream v;
-          upper = float_of_int hhi +. Stream_summary.rank_upper stream v;
-        })
-      !distinct
-  in
+  let nparts = Array.length summaries in
+  let ents = Array.map Hsq_hist.Partition_summary.entries summaries in
+  let sizes = Array.map Hsq_hist.Partition_summary.partition_size summaries in
+  let hist_elements = Array.fold_left ( + ) 0 sizes in
+  let total_entries = Array.fold_left (fun acc e -> acc + Array.length e) 0 ents in
+  let pos = Array.make (max 1 nparts) 0 in
+  let heap = Heap.create (max 1 nparts) in
+  for p = 0 to nparts - 1 do
+    if Array.length ents.(p) > 0 then
+      Heap.push heap { Heap.value = ents.(p).(0).Hsq_hist.Partition_summary.value; src = p }
+  done;
+  (* Contributions at pos = 0 everywhere: lower is 0 by definition and
+     upper is entry 0's index, which is always 0 (summaries capture the
+     partition minimum at slot 0) — kept explicit for robustness. *)
+  let base_lo = ref 0 and base_hi = ref 0 in
+  for p = 0 to nparts - 1 do
+    let e = ents.(p) in
+    base_hi := !base_hi + (if Array.length e = 0 then sizes.(p) else e.(0).Hsq_hist.Partition_summary.index)
+  done;
+  let hvalues = Array.make (max 1 total_entries) 0 in
+  let hlo = Array.make (max 1 total_entries) 0 in
+  let hhi = Array.make (max 1 total_entries) 0 in
+  let k = ref 0 in
+  let sum_lo = ref !base_lo and sum_hi = ref !base_hi in
+  while not (Heap.is_empty heap) do
+    let v = heap.Heap.data.(0).Heap.value in
+    (* Consume every entry equal to v (duplicates within a summary and
+       across partitions), advancing the owning pointers. *)
+    while (not (Heap.is_empty heap)) && heap.Heap.data.(0).Heap.value = v do
+      let { Heap.src = p; _ } = Heap.pop heap in
+      let e = ents.(p) in
+      let len = Array.length e in
+      let a = pos.(p) in
+      let old_lo = if a = 0 then 0 else e.(a - 1).Hsq_hist.Partition_summary.index + 1 in
+      let new_lo = e.(a).Hsq_hist.Partition_summary.index + 1 in
+      let old_hi = if a = len then sizes.(p) else e.(a).Hsq_hist.Partition_summary.index in
+      let new_hi = if a + 1 = len then sizes.(p) else e.(a + 1).Hsq_hist.Partition_summary.index in
+      sum_lo := !sum_lo + new_lo - old_lo;
+      sum_hi := !sum_hi + new_hi - old_hi;
+      pos.(p) <- a + 1;
+      if a + 1 < len then
+        Heap.push heap { Heap.value = e.(a + 1).Hsq_hist.Partition_summary.value; src = p }
+    done;
+    hvalues.(!k) <- v;
+    hlo.(!k) <- !sum_lo;
+    hhi.(!k) <- !sum_hi;
+    incr k
+  done;
   {
-    entries = Array.of_list entries;
-    n_total = hist_elements + m_stream;
-    m_stream;
-    hist_elements;
+    hvalues = Array.sub hvalues 0 !k;
+    hlo = Array.sub hlo 0 !k;
+    hhi = Array.sub hhi 0 !k;
+    base_lo = !base_lo;
+    base_hi = !base_hi;
+    agg_hist_elements = hist_elements;
   }
+
+(* --- TS construction --------------------------------------------------- *)
+
+(* Linear two-pointer merge of the aggregate's distinct values with the
+   stream summary's values, deduplicating in place.  The aggregate index
+   after consuming all its values <= v is exactly count_le(v), so the
+   historical bounds come from one array lookup; the stream bounds are
+   the same Stream_summary calls the direct build makes, keeping the
+   float arithmetic bitwise identical. *)
+let build_from_agg ~agg ~stream =
+  let hv = agg.hvalues in
+  let sv = Stream_summary.values stream in
+  let nh = Array.length hv and ns = Array.length sv in
+  let m_stream = Stream_summary.stream_size stream in
+  let out = Array.make (max 1 (nh + ns)) { value = 0; lower = 0.0; upper = 0.0 } in
+  let i = ref 0 and j = ref 0 and n = ref 0 in
+  while !i < nh || !j < ns do
+    let v =
+      if !j >= ns then hv.(!i)
+      else if !i >= nh then sv.(!j)
+      else if hv.(!i) <= sv.(!j) then hv.(!i)
+      else sv.(!j)
+    in
+    while !i < nh && hv.(!i) = v do incr i done;
+    while !j < ns && sv.(!j) = v do incr j done;
+    let hlo_v, hhi_v =
+      if !i = 0 then (agg.base_lo, agg.base_hi) else (agg.hlo.(!i - 1), agg.hhi.(!i - 1))
+    in
+    out.(!n) <-
+      {
+        value = v;
+        lower = float_of_int hlo_v +. Stream_summary.rank_lower stream v;
+        upper = float_of_int hhi_v +. Stream_summary.rank_upper stream v;
+      };
+    incr n
+  done;
+  {
+    entries = Array.sub out 0 !n;
+    n_total = agg.agg_hist_elements + m_stream;
+    m_stream;
+    hist_elements = agg.agg_hist_elements;
+  }
+
+let build ~partitions ~stream = build_from_agg ~agg:(hist_aggregate ~partitions) ~stream
 
 let entries t = t.entries
 let size t = Array.length t.entries
 let n_total t = t.n_total
 let m_stream t = t.m_stream
 let hist_elements t = t.hist_elements
+
+(* Entry-for-entry equality (exact float comparison): the consistency
+   contract between cached and fresh builds checked by the fuzz suite. *)
+let equal a b =
+  a.n_total = b.n_total && a.m_stream = b.m_stream
+  && a.hist_elements = b.hist_elements
+  && Array.length a.entries = Array.length b.entries
+  && (let ok = ref true in
+      Array.iteri
+        (fun i (e : entry) ->
+          let f = b.entries.(i) in
+          if not (e.value = f.value && e.lower = f.lower && e.upper = f.upper) then ok := false)
+        a.entries;
+      !ok)
 
 (* Algorithm 5: the smallest j with L_j >= r, else the last entry. *)
 let quick_select t ~rank =

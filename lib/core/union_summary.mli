@@ -10,9 +10,45 @@
 type entry = { value : int; lower : float; upper : float }
 type t
 
+(** {2 Historical aggregate}
+
+    The summed historical bounds A(v) = (Σ_P lower_P(v), Σ_P upper_P(v))
+    form a step function changing only at distinct partition-summary
+    values, so they can be materialised once — a k-way merge of the P
+    summary-entry arrays with incrementally maintained prefix sums,
+    O(S_hist·log P) — and reused across queries until the partition set
+    changes (see [Level_index.epoch]). *)
+
+type hist_agg
+
+(** Merge the given partitions' summaries into an aggregate. *)
+val hist_aggregate : partitions:Hsq_hist.Partition.t list -> hist_agg
+
+(** Number of distinct summary values in the aggregate. *)
+val hist_agg_size : hist_agg -> int
+
+(** Total elements in the aggregated partitions. *)
+val hist_agg_elements : hist_agg -> int
+
+(** [(Σ lower_P v, Σ upper_P v)] for any value [v]; one binary search. *)
+val hist_agg_bounds : hist_agg -> int -> int * int
+
+(** Merge a (pre-built) historical aggregate with a fresh stream
+    summary — the steady-state query path, linear in both sizes. *)
+val build_from_agg : agg:hist_agg -> stream:Stream_summary.t -> t
+
+(** [build ~partitions ~stream] is
+    [build_from_agg ~agg:(hist_aggregate ~partitions) ~stream] — the
+    cached and uncached paths share one code path, so their entries are
+    bitwise identical. *)
 val build : partitions:Hsq_hist.Partition.t list -> stream:Stream_summary.t -> t
+
 val entries : t -> entry array
 val size : t -> int
+
+(** Entry-for-entry equality, comparing floats exactly — the cache
+    consistency contract checked by the fuzz suite. *)
+val equal : t -> t -> bool
 
 (** |T| = n + m over the partitions and stream given to [build]. *)
 val n_total : t -> int

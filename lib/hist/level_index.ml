@@ -32,6 +32,7 @@ type t = {
   mutable total : int;
   mutable steps : int;
   mutable expired_through : int; (* steps [1, expired_through] have been dropped *)
+  mutable epoch : int; (* bumped on every partition-set mutation; cache key *)
 }
 
 let create ?sort_memory ?sort_domains ~kappa ~beta1 dev =
@@ -50,7 +51,15 @@ let create ?sort_memory ?sort_domains ~kappa ~beta1 dev =
     total = 0;
     steps = 0;
     expired_through = 0;
+    epoch = 0;
   }
+
+(* The epoch numbers the states of the partition set: any operation
+   that adds, merges, drops, or restores partitions bumps it, so a
+   cached derivative of the summaries (Engine's historical aggregate)
+   is valid iff its recorded epoch still matches. *)
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 let device t = t.dev
 let expired_through t = t.expired_through
@@ -69,7 +78,7 @@ let level_partitions t l = if l < Array.length t.levels then t.levels.(l) else [
 (* All partitions, newest time range first. *)
 let partitions t =
   let all = Array.to_list t.levels |> List.concat in
-  List.sort (fun a b -> compare (Partition.first_step b) (Partition.first_step a)) all
+  List.sort (fun a b -> Int.compare (Partition.first_step b) (Partition.first_step a)) all
 
 let partition_count t = Array.fold_left (fun acc ps -> acc + List.length ps) 0 t.levels
 
@@ -142,7 +151,7 @@ let add_batch t batch =
       let sorted = Array.copy batch in
       (match t.sort_domains with
       | Some domains -> Hsq_util.Parallel.sort ~domains sorted
-      | None -> Array.sort compare sorted);
+      | None -> Array.sort Int.compare sorted);
       let t1 = now () in
       let summary = Partition_summary.of_sorted_array ~beta1:t.beta1 sorted in
       let t2 = now () in
@@ -177,6 +186,7 @@ let add_batch t batch =
     incr l
   done;
   let merge_seconds = now () -. t_merge0 in
+  bump_epoch t;
   let after = Hsq_storage.Io_stats.snapshot stats in
   {
     sort_seconds;
@@ -301,6 +311,7 @@ let expire t ~keep_steps =
       t.levels.(l) <- keep)
     t.levels;
   t.total <- t.total - !dropped_elems;
+  if !dropped_parts > 0 then bump_epoch t;
   (!dropped_parts, !dropped_elems)
 
 (* --- Persistence support (used by Hsq.Persist) ------------------------ *)
@@ -353,8 +364,9 @@ let restore ?sort_memory ~kappa ~beta1 dev descriptors =
   Array.iteri
     (fun l ps ->
       t.levels.(l) <-
-        List.sort (fun a b -> compare (Partition.first_step a) (Partition.first_step b)) ps)
+        List.sort (fun a b -> Int.compare (Partition.first_step a) (Partition.first_step b)) ps)
     t.levels;
+  bump_epoch t;
   match check_invariants t with
   | [] -> t
   | errs -> invalid_arg ("Level_index.restore: " ^ String.concat "; " errs)

@@ -47,6 +47,13 @@ val total_elements : t -> int
 (** Time steps ingested so far (T in the paper). *)
 val time_steps : t -> int
 
+(** Version counter of the partition set: bumped by every mutation that
+    changes which partitions exist ([add_batch] — including its merge
+    cascade, [expire], [restore]). A derivative of the partition
+    summaries (e.g. the engine's cached historical aggregate) is valid
+    iff the epoch it was computed at still matches. *)
+val epoch : t -> int
+
 (** Number of non-empty levels (≤ ⌈log_κ T⌉ + 1). *)
 val num_levels : t -> int
 

@@ -13,7 +13,7 @@ let create () = { data = Array.make 16 0; len = 0; sorted = true }
 
 let of_array a =
   let data = Array.copy a in
-  Array.sort compare data;
+  Array.sort Int.compare data;
   { data; len = Array.length a; sorted = true }
 
 let insert t v =
@@ -29,7 +29,7 @@ let insert t v =
 let ensure_sorted t =
   if not t.sorted then begin
     let live = Array.sub t.data 0 t.len in
-    Array.sort compare live;
+    Array.sort Int.compare live;
     Array.blit live 0 t.data 0 t.len;
     t.sorted <- true
   end

@@ -244,7 +244,12 @@ let merge a b =
              (v, rmin + lo, rmax + hi))
            ib)
     in
-    Array.sort compare combined;
+    Array.sort
+      (fun (v1, rmin1, rmax1) (v2, rmin2, rmax2) ->
+        if v1 <> v2 then Int.compare v1 v2
+        else if rmin1 <> rmin2 then Int.compare rmin1 rmin2
+        else Int.compare rmax1 rmax2)
+      combined;
     (* Re-encode as (g, delta); enforce monotone rmin/rmax first (ties
        in value can interleave the two sides' intervals). *)
     let n_comb = Array.length combined in

@@ -41,7 +41,7 @@ let estimate t v = match Hashtbl.find_opt t.table v with Some c -> !c | None -> 
 
 let entries t =
   Hashtbl.fold (fun item c acc -> (item, !c) :: acc) t.table []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
 
 (* Maximum undercount: n / (k+1). *)
 let error_bound t = t.n / (t.capacity + 1)

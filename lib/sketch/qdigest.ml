@@ -112,7 +112,13 @@ let ordered_nodes t =
         (hi, hi - lo, x, c) :: acc)
       t.counts []
   in
-  List.sort compare nodes
+  List.sort
+    (fun (a1, a2, a3, a4) (b1, b2, b3, b4) ->
+      if a1 <> b1 then Int.compare a1 b1
+      else if a2 <> b2 then Int.compare a2 b2
+      else if a3 <> b3 then Int.compare a3 b3
+      else Int.compare a4 b4)
+    nodes
 
 let query_rank t r =
   if t.n = 0 then invalid_arg "Qdigest.query_rank: empty sketch";

@@ -81,7 +81,7 @@ let collapse t bufs =
   let tagged =
     List.concat_map (fun b -> Array.to_list (Array.map (fun v -> (v, b.weight)) b.data)) bufs
   in
-  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) tagged in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) tagged in
   let out = Array.make t.buffer_size 0 in
   let offset = Hsq_util.Splitmix.int t.rng weight in
   (* Positions offset, offset+weight, ... in the weighted merged list. *)
@@ -110,7 +110,7 @@ let collapse t bufs =
 
 let flush_fill t =
   let data = Array.sub t.fill 0 t.fill_len in
-  Array.sort compare data;
+  Array.sort Int.compare data;
   t.full <- { weight = t.fill_weight; data } :: t.full;
   t.fill_len <- 0;
   t.block_seen <- 0;
@@ -121,7 +121,7 @@ let flush_fill t =
       match at_min with
       | [ only ] ->
         (* Unique minimum: take the next-lightest as the second victim. *)
-        let sorted_rest = List.sort (fun a b -> compare a.weight b.weight) rest in
+        let sorted_rest = List.sort (fun a b -> Int.compare a.weight b.weight) rest in
         (match sorted_rest with
         | second :: others -> ([ only; second ], others)
         | [] -> ([ only ], []))
@@ -156,7 +156,7 @@ let samples t =
   let full_part =
     List.concat_map (fun b -> Array.to_list (Array.map (fun v -> (v, b.weight)) b.data)) t.full
   in
-  List.sort (fun (a, _) (b, _) -> compare a b) (partial_block @ fill_part @ full_part)
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) (partial_block @ fill_part @ full_part)
 
 let query_rank t r =
   if t.n = 0 then invalid_arg "Sampler.query_rank: empty sketch";

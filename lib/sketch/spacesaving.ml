@@ -56,7 +56,7 @@ let insert t v =
 (* (item, estimate, max overestimation); estimate - error <= true <= estimate. *)
 let entries t =
   Hashtbl.fold (fun item c acc -> (item, c.count, c.error) :: acc) t.table []
-  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+  |> List.sort (fun (_, a, _) (_, b, _) -> Int.compare b a)
 
 let estimate t v =
   match Hashtbl.find_opt t.table v with

@@ -37,6 +37,13 @@ type backend =
   | Memory of int array option array ref (* growable table of stored records *)
   | File of { channel : Out_channel.t; read_channel : In_channel.t; path : string }
 
+(* Domain-safety: queries may probe partitions from several domains at
+   once (Engine.accurate with query_domains > 1), so the two pieces of
+   state every read touches are each behind a mutex — [io_lock] for the
+   File backend's shared seek+read channel, [pool_lock] for the LRU
+   buffer pool (Lru itself is not thread-safe).  Allocation, writes and
+   frees stay single-domain by contract: the engine never ingests and
+   queries concurrently, parallelism exists only inside one query call. *)
 type t = {
   block_size : int;
   stats : Io_stats.t;
@@ -45,6 +52,9 @@ type t = {
   backend : backend;
   mutable fault : injector option;
   mutable pool : Lru.t option; (* optional buffer pool (OS page cache stand-in) *)
+  pool_lock : Mutex.t;
+  io_lock : Mutex.t;
+  mutable read_latency : float; (* simulated seconds per physical block read *)
 }
 
 let block_size t = t.block_size
@@ -82,6 +92,9 @@ let create_memory ~block_size () =
     backend = Memory (ref (Array.make 64 None));
     fault = None;
     pool = None;
+    pool_lock = Mutex.create ();
+    io_lock = Mutex.create ();
+    read_latency = 0.0;
   }
 
 let create_file ~block_size ~path () =
@@ -96,6 +109,9 @@ let create_file ~block_size ~path () =
     backend = File { channel; read_channel; path };
     fault = None;
     pool = None;
+    pool_lock = Mutex.create ();
+    io_lock = Mutex.create ();
+    read_latency = 0.0;
   }
 
 (* Reopen an existing device file: allocation resumes after the blocks
@@ -120,6 +136,9 @@ let open_file ~block_size ~path () =
     backend = File { channel; read_channel; path };
     fault = None;
     pool = None;
+    pool_lock = Mutex.create ();
+    io_lock = Mutex.create ();
+    read_latency = 0.0;
   }
 
 let close t =
@@ -146,12 +165,30 @@ let injected t op ~attempt addr =
 
 (* Buffer pool: hits are served from memory and cost no device I/O
    (only pool statistics); misses read through and populate the pool;
-   writes are write-through.  [free] invalidates cached blocks. *)
+   writes are write-through.  [free] invalidates cached blocks.  The
+   pool hands out its cached arrays directly — see the ownership note
+   on [read_block] — so the read path performs zero copies. *)
 let enable_pool t ~capacity = t.pool <- Some (Lru.create ~capacity)
 let disable_pool t = t.pool <- None
 
 let pool_stats t =
-  match t.pool with None -> None | Some pool -> Some (Lru.hits pool, Lru.misses pool)
+  match t.pool with
+  | None -> None
+  | Some pool ->
+    Mutex.lock t.pool_lock;
+    let s = (Lru.hits pool, Lru.misses pool) in
+    Mutex.unlock t.pool_lock;
+    Some s
+
+(* Simulated per-read device latency (seconds), applied to every
+   physical (pool-missing) block read, outside any lock — so concurrent
+   probes overlap their waits exactly like requests queued on a real
+   disk or network volume.  Zero (the default) keeps tests and the
+   existing cost model untouched. *)
+let set_read_latency t seconds = t.read_latency <- Float.max 0.0 seconds
+let read_latency t = t.read_latency
+
+let apply_read_latency t = if t.read_latency > 0.0 then Unix.sleepf t.read_latency
 
 let alloc t nblocks =
   if nblocks < 0 then invalid_arg "Block_device.alloc: negative block count";
@@ -179,7 +216,10 @@ let free t ~addr ~nblocks =
   if addr < 0 || addr + nblocks > t.next_free then invalid_arg "Block_device.free: out of range";
   t.freed_blocks <- t.freed_blocks + nblocks;
   (match t.pool with
-  | Some pool -> for b = addr to addr + nblocks - 1 do Lru.remove pool b done
+  | Some pool ->
+    Mutex.lock t.pool_lock;
+    for b = addr to addr + nblocks - 1 do Lru.remove pool b done;
+    Mutex.unlock t.pool_lock
   | None -> ());
   match t.backend with
   | Memory table -> for b = addr to addr + nblocks - 1 do !table.(b) <- None done
@@ -227,7 +267,14 @@ let write_block t ~addr payload =
     raise (Device_error (Printf.sprintf "torn write at block %d (%d of %d words)" addr k t.block_size))
   | (None | Some (Corrupt _)) as action ->
     Io_stats.note_write t.stats addr;
-    (match t.pool with Some pool -> Lru.put pool addr (Array.copy payload) | None -> ());
+    (* The write path must copy: callers (Run.writer, External_sort)
+       reuse their payload buffers after the call. *)
+    (match t.pool with
+    | Some pool ->
+      Mutex.lock t.pool_lock;
+      Lru.put pool addr (Array.copy payload);
+      Mutex.unlock t.pool_lock
+    | None -> ());
     let record = Array.make (record_words t) 0 in
     Array.blit payload 0 record 0 t.block_size;
     record.(t.block_size) <- checksum ~addr payload;
@@ -247,8 +294,19 @@ let fetch_record t ~addr =
   | File { read_channel; _ } ->
     let nbytes = bytes_per_block t in
     let buf = Bytes.create nbytes in
-    In_channel.seek read_channel (Int64.of_int (addr * nbytes));
-    (match In_channel.really_input read_channel buf 0 nbytes with
+    (* The read channel's file position is shared state: the seek and
+       the input must be atomic with respect to other probing domains. *)
+    Mutex.lock t.io_lock;
+    let read =
+      try
+        In_channel.seek read_channel (Int64.of_int (addr * nbytes));
+        In_channel.really_input read_channel buf 0 nbytes
+      with e ->
+        Mutex.unlock t.io_lock;
+        raise e
+    in
+    Mutex.unlock t.io_lock;
+    (match read with
     | Some () -> ()
     | None -> raise (Device_error (Printf.sprintf "short read at block %d" addr)));
     Array.init (record_words t) (fun i -> Int64.to_int (Bytes.get_int64_be buf (8 * i)))
@@ -270,6 +328,7 @@ let read_block_uncached ?hint t ~addr =
       retry (Device_error (Printf.sprintf "injected read fault at block %d (attempt %d)" addr n))
     | None ->
       Io_stats.note_read ?hint t.stats addr;
+      apply_read_latency t;
       let record = fetch_record t ~addr in
       let payload = Array.sub record 0 t.block_size in
       if record.(t.block_size) <> checksum ~addr payload then begin
@@ -280,14 +339,27 @@ let read_block_uncached ?hint t ~addr =
   in
   attempt 1
 
+(* Pooled reads are zero-copy: a hit returns the cached array itself
+   and a miss adopts the freshly decoded one (read_block_uncached
+   already allocates a fresh payload per call).  Callers therefore must
+   not mutate returned blocks — the read path (Run.block_for, cursors,
+   read_range) treats them as immutable, and the mli states the
+   contract.  The pool is probed and populated under [pool_lock];
+   the device read itself happens outside it so concurrent misses
+   overlap their (possibly latency-simulated) I/O. *)
 let read_block ?hint t ~addr =
   if addr < 0 || addr >= t.next_free then invalid_arg "Block_device.read_block: unallocated address";
   match t.pool with
   | None -> read_block_uncached ?hint t ~addr
   | Some pool -> (
-    match Lru.find pool addr with
-    | Some block -> Array.copy block
+    Mutex.lock t.pool_lock;
+    let cached = Lru.find pool addr in
+    Mutex.unlock t.pool_lock;
+    match cached with
+    | Some block -> block
     | None ->
       let block = read_block_uncached ?hint t ~addr in
-      Lru.put pool addr (Array.copy block);
+      Mutex.lock t.pool_lock;
+      Lru.put pool addr block;
+      Mutex.unlock t.pool_lock;
       block)

@@ -66,12 +66,24 @@ val free : t -> addr:int -> nblocks:int -> unit
     [block_size] long or [addr] is unallocated. *)
 val write_block : t -> addr:int -> int array -> unit
 
-(** [read_block t ~addr] returns a fresh copy of the block after
-    verifying its checksum, retrying injected faults and checksum
-    mismatches up to {!max_read_attempts} times. [hint] forces the
-    sequential/random classification of the read (used by run cursors,
-    whose per-run readahead is sequential on a real disk even when
-    several runs are consumed in an interleaved merge). *)
+(** [read_block t ~addr] returns the block after verifying its
+    checksum, retrying injected faults and checksum mismatches up to
+    {!max_read_attempts} times. [hint] forces the sequential/random
+    classification of the read (used by run cursors, whose per-run
+    readahead is sequential on a real disk even when several runs are
+    consumed in an interleaved merge).
+
+    Ownership: the returned array must be treated as immutable. When
+    the buffer pool is enabled it is the pooled array itself (the read
+    path is zero-copy — a hit returns the cached block, a miss adopts
+    the freshly decoded one), so mutating it would corrupt subsequent
+    reads of the same address.
+
+    Domain-safety: reads may be issued from several domains at once
+    (parallel query probes). The file backend's shared channel and the
+    buffer pool are mutex-guarded internally; writes, [alloc] and
+    [free] remain single-domain by contract (the engine never ingests
+    and queries concurrently). *)
 val read_block : ?hint:bool -> t -> addr:int -> int array
 
 (** {2 Retry policy}
@@ -98,6 +110,18 @@ val disable_pool : t -> unit
 
 (** [(hits, misses)] since the pool was enabled, if one is active. *)
 val pool_stats : t -> (int * int) option
+
+(** {2 Simulated read latency}
+
+    [set_read_latency t seconds] makes every physical (pool-missing)
+    block read sleep for [seconds], outside any internal lock — a knob
+    for modelling the paper's disk-access cost in benches, where the
+    in-memory simulator is otherwise too fast for parallel probes to
+    matter. Concurrent probing domains overlap their waits like
+    requests queued on a real device. Default 0.0 (no effect). *)
+
+val set_read_latency : t -> float -> unit
+val read_latency : t -> float
 
 (** {2 Fault injection}
 

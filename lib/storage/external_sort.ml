@@ -53,7 +53,7 @@ let sort ?(memory_elements = max_int) ?(observe = fun _ _ -> ()) dev batch =
   let budget = max memory_elements (2 * bsize) in
   if n <= budget then begin
     let copy = Array.copy batch in
-    Array.sort compare copy;
+    Array.sort Int.compare copy;
     Array.iteri observe copy;
     (Run.of_sorted_array dev copy, { passes = 0; temp_runs = 0 })
   end
@@ -64,7 +64,7 @@ let sort ?(memory_elements = max_int) ?(observe = fun _ _ -> ()) dev batch =
     while !pos < n do
       let len = min budget (n - !pos) in
       let chunk = Array.sub batch !pos len in
-      Array.sort compare chunk;
+      Array.sort Int.compare chunk;
       chunks := Run.of_sorted_array dev chunk :: !chunks;
       pos := !pos + len
     done;

@@ -30,6 +30,13 @@ type counters = {
   checkpoints_written : int;
 }
 
+(* Counters are guarded by a per-record mutex so several domains probing
+   partitions in parallel (Engine.accurate with query_domains > 1) can
+   account their reads on the shared device without tearing.  The lock
+   is uncontended in single-domain use, so the cost is a few ns per
+   note.  Sequential/random classification still keys off the single
+   shared [last_read_addr], so under concurrent readers the seq/rand
+   split depends on interleaving order — totals are exact either way. *)
 type t = {
   mutable reads : int;
   mutable seq_reads : int;
@@ -42,6 +49,7 @@ type t = {
   mutable wal_replayed : int;
   mutable checkpoints_written : int;
   mutable last_read_addr : int;
+  lock : Mutex.t;
 }
 
 let create () =
@@ -57,55 +65,66 @@ let create () =
     wal_replayed = 0;
     checkpoints_written = 0;
     last_read_addr = min_int;
+    lock = Mutex.create ();
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  let r = f () in
+  Mutex.unlock t.lock;
+  r
+
 let reset t =
-  t.reads <- 0;
-  t.seq_reads <- 0;
-  t.rand_reads <- 0;
-  t.writes <- 0;
-  t.retries <- 0;
-  t.checksum_failures <- 0;
-  t.wal_appends <- 0;
-  t.wal_syncs <- 0;
-  t.wal_replayed <- 0;
-  t.checkpoints_written <- 0;
-  t.last_read_addr <- min_int
+  locked t (fun () ->
+      t.reads <- 0;
+      t.seq_reads <- 0;
+      t.rand_reads <- 0;
+      t.writes <- 0;
+      t.retries <- 0;
+      t.checksum_failures <- 0;
+      t.wal_appends <- 0;
+      t.wal_syncs <- 0;
+      t.wal_replayed <- 0;
+      t.checkpoints_written <- 0;
+      t.last_read_addr <- min_int)
 
 (* [hint] overrides the adjacency heuristic: a k-way merge interleaves
    reads of several runs, but on a real disk each run is consumed through
    a sequential readahead buffer, so those reads are sequential. *)
 let note_read ?hint t addr =
-  t.reads <- t.reads + 1;
-  let sequential =
-    match hint with
-    | Some s -> s
-    | None -> addr = t.last_read_addr + 1
-  in
-  if sequential then t.seq_reads <- t.seq_reads + 1 else t.rand_reads <- t.rand_reads + 1;
-  t.last_read_addr <- addr
+  locked t (fun () ->
+      t.reads <- t.reads + 1;
+      let sequential =
+        match hint with
+        | Some s -> s
+        | None -> addr = t.last_read_addr + 1
+      in
+      if sequential then t.seq_reads <- t.seq_reads + 1
+      else t.rand_reads <- t.rand_reads + 1;
+      t.last_read_addr <- addr)
 
-let note_write t _addr = t.writes <- t.writes + 1
-let note_retry t = t.retries <- t.retries + 1
-let note_checksum_failure t = t.checksum_failures <- t.checksum_failures + 1
-let note_wal_append t = t.wal_appends <- t.wal_appends + 1
-let note_wal_sync t = t.wal_syncs <- t.wal_syncs + 1
-let note_wal_replayed t = t.wal_replayed <- t.wal_replayed + 1
-let note_checkpoint t = t.checkpoints_written <- t.checkpoints_written + 1
+let note_write t _addr = locked t (fun () -> t.writes <- t.writes + 1)
+let note_retry t = locked t (fun () -> t.retries <- t.retries + 1)
+let note_checksum_failure t = locked t (fun () -> t.checksum_failures <- t.checksum_failures + 1)
+let note_wal_append t = locked t (fun () -> t.wal_appends <- t.wal_appends + 1)
+let note_wal_sync t = locked t (fun () -> t.wal_syncs <- t.wal_syncs + 1)
+let note_wal_replayed t = locked t (fun () -> t.wal_replayed <- t.wal_replayed + 1)
+let note_checkpoint t = locked t (fun () -> t.checkpoints_written <- t.checkpoints_written + 1)
 
 let snapshot t =
-  {
-    reads = t.reads;
-    seq_reads = t.seq_reads;
-    rand_reads = t.rand_reads;
-    writes = t.writes;
-    retries = t.retries;
-    checksum_failures = t.checksum_failures;
-    wal_appends = t.wal_appends;
-    wal_syncs = t.wal_syncs;
-    wal_replayed = t.wal_replayed;
-    checkpoints_written = t.checkpoints_written;
-  }
+  locked t (fun () ->
+      {
+        reads = t.reads;
+        seq_reads = t.seq_reads;
+        rand_reads = t.rand_reads;
+        writes = t.writes;
+        retries = t.retries;
+        checksum_failures = t.checksum_failures;
+        wal_appends = t.wal_appends;
+        wal_syncs = t.wal_syncs;
+        wal_replayed = t.wal_replayed;
+        checkpoints_written = t.checkpoints_written;
+      })
 
 let zero =
   {

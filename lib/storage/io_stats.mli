@@ -8,7 +8,13 @@
 
     Fault-tolerance accounting rides along: [retries] and
     [checksum_failures] are zero on a healthy device, so adding them does
-    not perturb the paper's block-access counts. *)
+    not perturb the paper's block-access counts.
+
+    Domain-safety: all [note_*] updates and [snapshot] are serialized by
+    an internal mutex, so parallel query probes account exactly. Under
+    concurrent readers the sequential/random split of a given read
+    depends on interleaving order (classification keys off the last
+    read address); totals are exact regardless. *)
 
 (** Immutable snapshot of the counters. *)
 type counters = {

@@ -1,7 +1,12 @@
 (* A fixed-capacity LRU map from block addresses to block payloads,
    built on a doubly-linked list threaded through a hash table.  All
    operations are O(1).  Used by the block device's optional buffer
-   pool (an OS-page-cache stand-in). *)
+   pool (an OS-page-cache stand-in).
+
+   Not thread-safe: even [find] rewires the recency list.  The block
+   device serializes all access under its pool lock; cached arrays are
+   handed out without copying, so consumers must treat them as
+   immutable (see Block_device.read_block). *)
 
 type node = {
   key : int;

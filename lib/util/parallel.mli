@@ -10,7 +10,36 @@ val default_domains : unit -> int
     or [domains = 1]. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 
-(** In-place sort, observationally identical to [Array.sort compare]:
+(** Persistent fork-join pool: [workers] long-lived domains plus the
+    calling domain cooperate on each submitted task, so per-call
+    overhead is two condition-variable round trips instead of a domain
+    spawn per chunk.  Use when the same caller fans out sub-millisecond
+    tasks many times (e.g. per-iteration disk probes on the accurate
+    query path).  One submission at a time per pool. *)
+module Pool : sig
+  type t
+
+  (** Spawn [max 1 workers] worker domains, parked until work arrives. *)
+  val create : workers:int -> t
+
+  (** Number of worker domains (compute lanes are [size + 1]: the
+      caller participates). *)
+  val size : t -> int
+
+  (** [run t ~n f] calls [f i] exactly once for every [i] in [0, n),
+      distributing items dynamically over the workers and the caller.
+      Returns when all items finished.  If any item raises, the first
+      exception re-raises here — after every claimed item completed. *)
+  val run : t -> n:int -> (int -> unit) -> unit
+
+  (** Order-preserving map on the pool; exceptions as with {!run}. *)
+  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+  (** Stop and join the workers.  The pool must be idle. *)
+  val shutdown : t -> unit
+end
+
+(** In-place sort, observationally identical to [Array.sort Int.compare]:
     domain-sorted chunks merged on the caller. Sequential below 4096
     elements. *)
 val sort : ?domains:int -> int array -> unit

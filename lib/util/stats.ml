@@ -50,7 +50,7 @@ let median xs =
   | [] -> invalid_arg "Stats.median: empty list"
   | _ ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 

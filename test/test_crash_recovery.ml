@@ -82,7 +82,7 @@ let run_crash_seed seed =
       Alcotest.(check bool) (Printf.sprintf "seed %d: crash fired" seed) true !crashed;
       (* Simulated process death: drop all in-memory state, reopen. *)
       BD.close dev;
-      let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       let report = Hsq.Persist.scrub restored in
       if report.Hsq.Persist.errors <> [] then
         Alcotest.failf "seed %d: scrub after crash: %s" seed
@@ -143,7 +143,7 @@ let run_bitflip_seed seed =
       Unix.close fd;
       let caught_by_load =
         try
-          let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+          let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
           let report = Hsq.Persist.scrub restored in
           BD.close (E.device restored);
           if report.Hsq.Persist.errors = [] then

@@ -245,7 +245,7 @@ let test_expire_engine_end_to_end () =
       Alcotest.(check int) "oldest retained value" 9 v;
       Hsq.Persist.save eng ~path:meta_path;
       Hsq_storage.Block_device.close dev;
-      let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       Alcotest.(check (list string)) "invariants after restore of expired warehouse" []
         (Hsq_hist.Level_index.check_invariants (E.hist restored));
       Alcotest.(check int) "restored total" (E.total_size eng) (E.total_size restored);

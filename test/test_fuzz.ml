@@ -226,7 +226,7 @@ let test_fuzz_persistence () =
         in
         Hsq.Persist.save eng ~path:meta_path;
         Hsq_storage.Block_device.close dev;
-        let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+        let restored = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
         let after =
           List.map
             (fun r -> fst (E.accurate restored ~rank:r))

@@ -30,7 +30,7 @@ let build_and_save ~dev_path ~meta_path ~steps =
 let test_round_trip () =
   with_temp_files (fun ~dev_path ~meta_path ->
       let oracle, n = build_and_save ~dev_path ~meta_path ~steps:13 in
-      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       Alcotest.(check int) "size restored" n (E.total_size eng);
       Alcotest.(check int) "steps restored" 13 (E.time_steps eng);
       Alcotest.(check int) "stream volatile" 0 (E.stream_size eng);
@@ -49,7 +49,7 @@ let test_round_trip () =
 let test_restored_engine_keeps_ingesting () =
   with_temp_files (fun ~dev_path ~meta_path ->
       let _, n = build_and_save ~dev_path ~meta_path ~steps:5 in
-      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       (* Life goes on: stream, archive, query. *)
       for i = 1 to 700 do
         E.observe eng i
@@ -66,7 +66,7 @@ let test_restored_engine_keeps_ingesting () =
 let test_recovery_io_is_bounded () =
   with_temp_files (fun ~dev_path ~meta_path ->
       ignore (build_and_save ~dev_path ~meta_path ~steps:13);
-      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       let stats = Hsq_storage.Block_device.stats (E.device eng) in
       let c = Hsq_storage.Io_stats.snapshot stats in
       (* Recovery reads at most beta1 blocks per partition, never the
@@ -93,7 +93,7 @@ let test_corrupt_metadata_rejected () =
           Out_channel.output_string oc (String.concat "\n" truncated));
       Alcotest.(check bool) "truncated metadata rejected" true
         (try
-           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path ());
            false
          with Hsq.Persist.Corrupt_metadata _ -> true))
 
@@ -106,7 +106,7 @@ let test_bad_version_rejected () =
             (Str.global_replace (Str.regexp "hsq-meta [0-9]+") "hsq-meta 99" contents));
       Alcotest.(check bool) "bad version rejected" true
         (try
-           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path ());
            false
          with Hsq.Persist.Corrupt_metadata _ -> true))
 
@@ -116,7 +116,7 @@ let test_missing_device_rejected () =
       Sys.remove dev_path;
       Alcotest.(check bool) "missing device rejected" true
         (try
-           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path ());
            false
          with Hsq_storage.Block_device.Device_error _ -> true))
 
@@ -151,7 +151,7 @@ let test_garbled_device_detected () =
       Unix.close fd;
       Alcotest.(check bool) "garbled device detected" true
         (try
-           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+           ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path ());
            false
          with Hsq.Persist.Corrupt_metadata _ -> true))
 
@@ -170,7 +170,7 @@ let restamp transform meta_path =
 
 let load_error ~dev_path ~meta_path =
   try
-    ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path);
+    ignore (Hsq.Persist.load_files ~device_path:dev_path ~meta_path ());
     None
   with Hsq.Persist.Corrupt_metadata msg -> Some msg
 
@@ -239,9 +239,9 @@ let test_save_is_atomic () =
       let last = List.nth lines (List.length lines - 1) in
       Alcotest.(check bool) "ends with checksum line" true (contains ~needle:"checksum " last);
       (* Re-saving over an existing sidecar works (rename replaces). *)
-      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       Hsq.Persist.save eng ~path:meta_path;
-      let eng2 = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng2 = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       Alcotest.(check int) "round-trips after re-save" (E.total_size eng) (E.total_size eng2);
       Hsq_storage.Block_device.close (E.device eng);
       Hsq_storage.Block_device.close (E.device eng2))
@@ -249,7 +249,7 @@ let test_save_is_atomic () =
 let test_scrub_healthy () =
   with_temp_files (fun ~dev_path ~meta_path ->
       ignore (build_and_save ~dev_path ~meta_path ~steps:6);
-      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       let report = Hsq.Persist.scrub eng in
       Alcotest.(check (list string)) "no errors" [] report.Hsq.Persist.errors;
       Alcotest.(check int) "every live partition checked"
@@ -266,7 +266,7 @@ let test_scrub_catches_bit_rot_load_misses () =
          flip one bit there: [load] succeeds, but [scrub] — which reads
          every block — must report the checksum failure rather than let
          it be served later. *)
-      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       let block_size = (E.config eng).Hsq.Config.block_size in
       let parts = Hsq_hist.Level_index.partitions (E.hist eng) in
       let part =
@@ -299,7 +299,7 @@ let test_scrub_catches_bit_rot_load_misses () =
       ignore (Unix.write fd b 0 1);
       Unix.close fd;
       (* Load only probes the summary targets, so it misses the flip... *)
-      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path in
+      let eng = Hsq.Persist.load_files ~device_path:dev_path ~meta_path () in
       (* ...but a full scrub cannot. *)
       let report = Hsq.Persist.scrub eng in
       Alcotest.(check bool) "scrub reports the damage" true
