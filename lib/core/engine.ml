@@ -340,10 +340,12 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
      future-work parallel partition processing): each partition is
      probed by exactly one domain per round — its Run's one-block cache
      is never shared — and the device serializes pool and file-channel
-     access internally.  Pool.map preserves order and re-raises the
-     first exception after the round completes, so answers, the
-     narrowing schedule, and the degraded fallback are identical to the
-     sequential path. *)
+     access internally.  Pool.map preserves order, so answers and the
+     narrowing schedule are identical to the sequential path, and on
+     fault-free queries so are the read counts.  On a probe failure the
+     pool stops claiming further probes and re-raises once the in-flight
+     ones finish, so the degraded fallback triggers as in the sequential
+     path, with at most one extra probe's I/O per compute lane. *)
   let domains =
     match t.config.Config.query_domains with
     | Some d when d > 1 && Array.length probes > 1 -> d

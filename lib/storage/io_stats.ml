@@ -68,11 +68,11 @@ let create () =
     lock = Mutex.create ();
   }
 
+(* Release the mutex even if [f] raises — a leaked lock here would
+   deadlock every subsequent stats call from any domain. *)
 let locked t f =
   Mutex.lock t.lock;
-  let r = f () in
-  Mutex.unlock t.lock;
-  r
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let reset t =
   locked t (fun () ->

@@ -56,13 +56,29 @@ module Pool = struct
     mutable handles : unit Domain.t list;
   }
 
-  (* Claim-and-run until the cursor is exhausted.  Exceptions are
-     recorded (first wins) and never unwind a worker: every claimed item
-     still counts toward [finished], so the caller's wait terminates. *)
-  let drain t f =
+  (* The round is over when every claimed item has finished and either
+     the cursor is exhausted or a failure stopped further claims. *)
+  let round_done t = t.finished = t.next && (t.next >= t.total || t.failure <> None)
+
+  (* Claim-and-run until the cursor is exhausted, a failure stops the
+     round, or the epoch moves on.  [epoch] is the round the claimer
+     observed when it picked up the closure; the claim step re-checks it
+     under the lock, so a worker preempted between reading the task and
+     draining cannot claim a *newer* round's indices and run the stale
+     closure on them.  (The converse hazard — the epoch moving while a
+     claim is outstanding — cannot happen: [run] waits for
+     [finished = next] before returning, so no new round starts while
+     any claimed item is in flight.)
+
+     Exceptions are recorded (first wins) and never unwind a worker;
+     once one is recorded no further items are claimed, so the caller
+     re-raises after only the already-in-flight items finish.  Every
+     claimed item still counts toward [finished], so the caller's wait
+     terminates. *)
+  let drain t ~epoch f =
     let rec loop () =
       Mutex.lock t.lock;
-      if t.next >= t.total then Mutex.unlock t.lock
+      if t.epoch <> epoch || t.next >= t.total || t.failure <> None then Mutex.unlock t.lock
       else begin
         let i = t.next in
         t.next <- i + 1;
@@ -74,7 +90,7 @@ module Pool = struct
            Mutex.unlock t.lock);
         Mutex.lock t.lock;
         t.finished <- t.finished + 1;
-        if t.finished = t.total then Condition.signal t.idle;
+        if round_done t then Condition.signal t.idle;
         Mutex.unlock t.lock;
         loop ()
       end
@@ -89,10 +105,16 @@ module Pool = struct
     if t.quit then Mutex.unlock t.lock
     else begin
       let epoch = t.epoch in
-      let f = match t.task with Some f -> f | None -> fun _ -> () in
-      Mutex.unlock t.lock;
-      drain t f;
-      worker t epoch
+      match t.task with
+      | None ->
+        (* Woke after the round was already parked: adopt the new epoch
+           and go back to waiting instead of draining a stale no-op. *)
+        Mutex.unlock t.lock;
+        worker t epoch
+      | Some f ->
+        Mutex.unlock t.lock;
+        drain t ~epoch f;
+        worker t epoch
     end
 
   let create ~workers =
@@ -128,15 +150,16 @@ module Pool = struct
       t.finished <- 0;
       t.failure <- None;
       t.epoch <- t.epoch + 1;
+      let epoch = t.epoch in
       Condition.broadcast t.work;
       Mutex.unlock t.lock;
-      drain t f;
+      drain t ~epoch f;
       Mutex.lock t.lock;
-      while t.finished < t.total do
+      while not (round_done t) do
         Condition.wait t.idle t.lock
       done;
-      (* Park the task: a late-waking worker finds the cursor exhausted
-         and goes back to sleep. *)
+      (* Park the task: a late-waking worker finds it gone (or the
+         epoch moved on) and goes back to sleep. *)
       t.task <- None;
       let failure = t.failure in
       Mutex.unlock t.lock;

@@ -26,13 +26,18 @@ module Pool : sig
       caller participates). *)
   val size : t -> int
 
-  (** [run t ~n f] calls [f i] exactly once for every [i] in [0, n),
+  (** [run t ~n f] calls [f i] at most once for every [i] in [0, n),
       distributing items dynamically over the workers and the caller.
-      Returns when all items finished.  If any item raises, the first
-      exception re-raises here — after every claimed item completed. *)
+      On success every item ran exactly once and all have finished when
+      [run] returns.  If any item raises, no {e further} items are
+      claimed; the first exception re-raises here after the items
+      already in flight (at most one per compute lane) have completed,
+      so unclaimed indices are skipped — mirroring how a sequential
+      loop stops at the first failure. *)
   val run : t -> n:int -> (int -> unit) -> unit
 
-  (** Order-preserving map on the pool; exceptions as with {!run}. *)
+  (** Order-preserving map on the pool; exceptions as with {!run} (on
+      failure no output array is produced). *)
   val map : t -> ('a -> 'b) -> 'a array -> 'b array
 
   (** Stop and join the workers.  The pool must be idle. *)
