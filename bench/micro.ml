@@ -118,6 +118,7 @@ let tests ~smoke =
       (Staged.stage (fun () ->
            Hsq.Engine.observe dur_always (Hsq_util.Xoshiro.int rng 1_000_000)));
   ]
+  |> fun tests -> (tests, Hsq.Engine.metrics eng)
 
 (* [smoke] is the CI mode: tiny engines and a short sampling quota, so
    the job only checks that every bench row still builds and runs. *)
@@ -129,6 +130,7 @@ let run ?(smoke = false) () =
     if smoke then Benchmark.cfg ~limit:100 ~quota:(Time.second 0.05) ~kde:None ()
     else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
+  let test_list, registry = tests ~smoke in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -139,4 +141,21 @@ let run ?(smoke = false) () =
           | Some (est :: _) -> Printf.printf "%-28s %14.1f ns/op\n%!" name est
           | Some [] | None -> Printf.printf "%-28s (no estimate)\n%!" name)
         results)
-    (tests ~smoke)
+    test_list;
+  (* The query-path counters of the benched engine, as a smoke check
+     that the observability layer records under load (the quick-latency
+     histogram is 1-in-64 sampled, hence <= the counter). *)
+  Harness.print_header "Engine metrics after the query benches";
+  List.iter
+    (fun name ->
+      match Hsq_obs.Metrics.counter_value registry name with
+      | Some v -> Printf.printf "%-40s %12d\n%!" name v
+      | None -> Printf.printf "%-40s    (missing!)\n%!" name)
+    [
+      "hsq_query_quick_total";
+      "hsq_query_accurate_total";
+      "hsq_query_summary_cache_hits_total";
+      "hsq_query_summary_cache_misses_total";
+      "hsq_query_degraded_total";
+      "hsq_io_reads_total";
+    ]

@@ -288,11 +288,13 @@ let stream_cmd =
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
-let query device meta query_domains phis heavy =
+let query device meta query_domains phis heavy trace =
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
       let eng = Hsq.Persist.load_files ?query_domains ~device_path ~meta_path () in
+      let tracer = if trace then Some (Hsq_obs.Trace.create ()) else None in
+      Hsq.Engine.set_tracer eng tracer;
       report_footprint eng;
       report_quantiles eng phis;
       (match heavy with
@@ -310,6 +312,15 @@ let query device meta query_domains phis heavy =
           (fun (h : Hsq.Heavy_hitters.hit) ->
             Printf.printf "  %-12d count in [%d, %d]\n" h.value h.lower h.upper)
           hits);
+      Option.iter
+        (fun tr ->
+          (* One JSON line per completed root span (query.accurate with
+             bisect/probe children, summary_cache, ...), oldest first. *)
+          print_endline "trace:";
+          List.iter
+            (fun s -> print_endline (Hsq_obs.Trace.to_json s))
+            (Hsq_obs.Trace.roots tr))
+        tracer;
       Hsq_storage.Block_device.close (Hsq.Engine.device eng);
       0
     with
@@ -331,9 +342,16 @@ let query_cmd =
     let doc = "Also report values with frequency >= PHI (e.g. 0.01)." in
     Arg.(value & opt (some float) None & info [ "heavy" ] ~docv:"PHI" ~doc)
   in
+  let trace =
+    let doc =
+      "Record a trace-span tree per query and print each completed root span as one JSON \
+       line after the answers (preceded by a $(b,trace:) header line)."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
   let doc = "Query a previously saved warehouse (see simulate --save-meta)." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const query $ device_path $ meta $ query_domains $ phis $ heavy)
+    Term.(const query $ device_path $ meta $ query_domains $ phis $ heavy $ trace)
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -529,10 +547,60 @@ let status_cmd =
   in
   Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir $ pool_blocks)
 
+(* --- metrics --------------------------------------------------------------- *)
+
+let metrics device meta format phis no_exercise =
+  match (device, meta) with
+  | Some device_path, Some meta_path -> (
+    try
+      let eng = Hsq.Persist.load_files ~device_path ~meta_path () in
+      (* Answer the requested quantiles silently first so the query-path
+         metrics (latency histograms, probe counters, cache hits) carry
+         real observations, not just the load-time I/O. *)
+      if not no_exercise then List.iter (fun phi -> ignore (Hsq.Engine.quantile eng phi)) phis;
+      let reg = Hsq.Engine.metrics eng in
+      (match format with
+      | `Json -> print_endline (Hsq_obs.Metrics.to_json reg)
+      | `Prometheus -> print_string (Hsq_obs.Metrics.to_prometheus reg));
+      Hsq_storage.Block_device.close (Hsq.Engine.device eng);
+      0
+    with
+    | Hsq.Persist.Corrupt_metadata msg ->
+      Printf.eprintf "corrupt metadata: %s\n" msg;
+      1
+    | Hsq_storage.Block_device.Device_error msg ->
+      Printf.eprintf "device error: %s\n" msg;
+      1)
+  | _ ->
+    prerr_endline "metrics requires both --device and --meta";
+    2
+
+let metrics_cmd =
+  let meta =
+    Arg.(value & opt (some string) None & info [ "meta" ] ~docv:"PATH" ~doc:"Metadata sidecar.")
+  in
+  let format =
+    let doc = "Output format: $(b,prometheus) (text exposition) or $(b,json)." in
+    Arg.(
+      value
+      & opt (enum [ ("prometheus", `Prometheus); ("json", `Json) ]) `Prometheus
+      & info [ "format"; "f" ] ~docv:"FMT" ~doc)
+  in
+  let no_exercise =
+    let doc = "Dump the registry as loaded, without answering --quantiles first." in
+    Arg.(value & flag & info [ "no-exercise" ] ~doc)
+  in
+  let doc =
+    "Load a saved warehouse, answer the --quantiles against it, and dump its metric registry \
+     (I/O counters, query latency histograms, cache and pool statistics)."
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(const metrics $ device_path $ meta $ format $ phis $ no_exercise)
+
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in
   let info = Cmd.info "hsq" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd; scrub_cmd; status_cmd ]))
+          [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd; scrub_cmd; status_cmd; metrics_cmd ]))

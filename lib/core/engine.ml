@@ -16,6 +16,60 @@
 (* Durable-ingest state (Engine.open_or_recover): the write-ahead log
    making the stream side R crash-safe, plus sketch-checkpoint
    bookkeeping.  [None] = the stream is volatile, as in the paper. *)
+module Metrics = Hsq_obs.Metrics
+module Trace = Hsq_obs.Trace
+
+(* Query-path observability.  The quick path runs in ~100ns out of the
+   summary cache, so its counters are plain mutable ints bumped by the
+   querying domain (the engine is single-submitter by contract) and
+   exported pull-style through [Metrics.counter_fn]; an exporter on
+   another domain may read a value a few increments stale, never torn.
+   Latency on the quick path is sampled 1-in-64 (a gettimeofday pair
+   costs ~half the whole query); the accurate path is ms-scale and
+   always timed. *)
+type engine_metrics = {
+  mutable quick_total : int;
+  mutable accurate_total : int;
+  mutable sc_hits : int; (* summary-cache (us_cache) hits *)
+  mutable sc_misses : int;
+  mutable degraded_total : int;
+  quick_hist : Metrics.Histogram.t;
+  accurate_hist : Metrics.Histogram.t;
+  bisect_hist : Metrics.Histogram.t; (* bisection iterations per accurate query *)
+}
+
+let quick_sample_mask = 63
+
+let make_engine_metrics dev =
+  let r = Hsq_storage.Io_stats.registry (Hsq_storage.Block_device.stats dev) in
+  let em =
+    {
+      quick_total = 0;
+      accurate_total = 0;
+      sc_hits = 0;
+      sc_misses = 0;
+      degraded_total = 0;
+      quick_hist =
+        Metrics.histogram ~help:"Quick query latency (sampled 1-in-64)" r
+          "hsq_query_quick_seconds";
+      accurate_hist = Metrics.histogram ~help:"Accurate query latency" r "hsq_query_accurate_seconds";
+      bisect_hist =
+        Metrics.histogram ~help:"Bisection iterations per accurate query" ~start:1.0 ~factor:2.0
+          ~buckets:10 r "hsq_query_bisect_iterations";
+    }
+  in
+  Metrics.counter_fn ~help:"Quick queries served" r "hsq_query_quick_total" (fun () ->
+      em.quick_total);
+  Metrics.counter_fn ~help:"Accurate queries served" r "hsq_query_accurate_total" (fun () ->
+      em.accurate_total);
+  Metrics.counter_fn ~help:"Union-summary cache hits" r "hsq_query_summary_cache_hits_total"
+    (fun () -> em.sc_hits);
+  Metrics.counter_fn ~help:"Union-summary cache misses" r "hsq_query_summary_cache_misses_total"
+    (fun () -> em.sc_misses);
+  Metrics.counter_fn ~help:"Accurate queries degraded to the quick path" r
+    "hsq_query_degraded_total" (fun () -> em.degraded_total);
+  em
+
 type durability = {
   wal : Hsq_storage.Wal.t;
   meta_path : string; (* warehouse sidecar — the rollover commit record *)
@@ -51,6 +105,10 @@ type t = {
      pool holds query_domains - 1 workers; the querying domain is the
      remaining lane).  [close] joins it. *)
   mutable query_pool : Hsq_util.Parallel.Pool.t option;
+  metrics : engine_metrics;
+  (* Tracing is opt-in per engine (set_tracer); mirrored onto the
+     device's Io_stats so WAL/merge/checkpoint sites pick it up. *)
+  mutable tracer : Trace.t option;
 }
 
 type query_report = {
@@ -59,6 +117,8 @@ type query_report = {
   degraded : bool; (* an unrecoverable device error aborted the disk
                       probes and the answer came from the in-memory
                       quick path (Algorithm 5) instead *)
+  span : Trace.span option; (* the query's root trace span when tracing
+                               is on (set_tracer); None otherwise *)
 }
 
 let fresh_gk config =
@@ -91,6 +151,8 @@ let create ?device config =
     hist_cache = None;
     us_cache = None;
     query_pool = None;
+    metrics = make_engine_metrics dev;
+    tracer = None;
   }
 
 (* Recovery path (Persist): adopt a restored historical index.  The
@@ -108,10 +170,22 @@ let of_restored ~device config hist =
     hist_cache = None;
     us_cache = None;
     query_pool = None;
+    metrics = make_engine_metrics device;
+    tracer = None;
   }
 
 let config t = t.config
 let device t = t.dev
+
+(* The engine's metric registry — the device's, where every subsystem
+   below (Io_stats, WAL, level index, buffer pool) registers too. *)
+let metrics t = Hsq_storage.Io_stats.registry (Hsq_storage.Block_device.stats t.dev)
+
+let set_tracer t tr =
+  t.tracer <- tr;
+  Hsq_storage.Io_stats.set_tracer (Hsq_storage.Block_device.stats t.dev) tr
+
+let tracer t = t.tracer
 let hist t = t.hist
 let stream_sketch t = t.gk
 let stream_size t = Hsq_sketch.Gk.count t.gk
@@ -143,7 +217,7 @@ let apply_observe t v =
    number.  The WAL is synced first so the checkpoint never covers
    records that could still be lost — otherwise recovery would trust
    state whose log suffix vanished with the buffer cache. *)
-let write_checkpoint t d =
+let write_checkpoint_impl t d =
   Hsq_storage.Wal.sync d.wal;
   let c =
     {
@@ -157,6 +231,11 @@ let write_checkpoint t d =
   Hsq_storage.Io_stats.note_checkpoint (Hsq_storage.Block_device.stats t.dev);
   d.last_checkpoint_seq <- c.Checkpoint.seq;
   d.since_checkpoint <- 0
+
+let write_checkpoint t d =
+  match t.tracer with
+  | Some tr -> Trace.with_span tr "checkpoint" (fun _ -> write_checkpoint_impl t d)
+  | None -> write_checkpoint_impl t d
 
 let checkpoint_now t = match t.durable with None -> () | Some d -> write_checkpoint t d
 
@@ -246,12 +325,25 @@ let cached_summaries t =
   let epoch = Hsq_hist.Level_index.epoch t.hist in
   let count = stream_size t in
   match t.us_cache with
-  | Some (e, c, pair) when e = epoch && c = count -> pair
-  | _ ->
-    let ss = stream_summary t in
-    let pair = (ss, Union_summary.build_from_agg ~agg:(hist_aggregate t) ~stream:ss) in
-    t.us_cache <- Some (epoch, count, pair);
+  | Some (e, c, pair) when e = epoch && c = count ->
+    t.metrics.sc_hits <- t.metrics.sc_hits + 1;
+    (match t.tracer with
+    | Some tr ->
+      Trace.with_span tr ~attrs:[ ("result", "hit") ] "summary_cache" (fun _ -> ())
+    | None -> ());
     pair
+  | _ ->
+    t.metrics.sc_misses <- t.metrics.sc_misses + 1;
+    let build () =
+      let ss = stream_summary t in
+      let pair = (ss, Union_summary.build_from_agg ~agg:(hist_aggregate t) ~stream:ss) in
+      t.us_cache <- Some (epoch, count, pair);
+      pair
+    in
+    (match t.tracer with
+    | Some tr ->
+      Trace.with_span tr ~attrs:[ ("result", "miss") ] "summary_cache" (fun _ -> build ())
+    | None -> build ())
 
 let cached_union_summary t = snd (cached_summaries t)
 
@@ -281,7 +373,27 @@ let quick_us us ~rank =
 let quick_over t ~partitions ~rank =
   quick_us (Union_summary.build ~partitions ~stream:(stream_summary t)) ~rank
 
-let quick t ~rank = quick_us (cached_union_summary t) ~rank
+let quick t ~rank =
+  let em = t.metrics in
+  em.quick_total <- em.quick_total + 1;
+  match t.tracer with
+  | None ->
+    (* ~140ns steady state: the instrumentation here must stay to a
+       couple of plain-int operations — latency is sampled, not always
+       measured (see engine_metrics). *)
+    if em.quick_total land quick_sample_mask = 0 then begin
+      let t0 = Metrics.now_s () in
+      let v = quick_us (cached_union_summary t) ~rank in
+      Metrics.Histogram.observe em.quick_hist (Metrics.now_s () -. t0);
+      v
+    end
+    else quick_us (cached_union_summary t) ~rank
+  | Some tr ->
+    Trace.with_span tr ~attrs:[ ("rank", string_of_int rank) ] "query.quick" (fun _ ->
+        let t0 = Metrics.now_s () in
+        let v = quick_us (cached_union_summary t) ~rank in
+        Metrics.Histogram.observe em.quick_hist (Metrics.now_s () -. t0);
+        v)
 
 (* Algorithms 6-8: bisect the value domain between the filters, probing
    each partition with a summary-bounded (and progressively narrowed)
@@ -306,6 +418,10 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
   let n = Union_summary.n_total us in
   if n = 0 then invalid_arg "Engine.accurate: no data";
   let rank = clamp_rank ~n rank in
+  let em = t.metrics in
+  let tr = t.tracer in
+  em.accurate_total <- em.accurate_total + 1;
+  let tq0 = Metrics.now_s () in
   let stats = Hsq_storage.Block_device.stats t.dev in
   let before = Hsq_storage.Io_stats.snapshot stats in
   let u0, v0 = Union_summary.filters us ~rank in
@@ -356,9 +472,29 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
     else
       Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo ~hi:st.hi z
   in
-  let estimate z =
+  (* Traced probes: one span per partition per iteration (closed windows
+     included, with resolved=summary), attached to the iteration span by
+     explicit parent — [with_child] never touches the trace's stack, so
+     probes running on pool worker domains record safely. *)
+  let probe_traced trc parent z st =
+    Trace.with_child trc ~parent
+      ~attrs:
+        [
+          ("partition", string_of_int (Hsq_hist.Partition.first_step st.partition));
+          ("resolved", (if st.lo >= st.hi then "summary" else "disk"));
+        ]
+      "probe"
+      (fun _ -> probe_one z st)
+  in
+  let estimate ?parent z =
+    let probe =
+      match (tr, parent) with
+      | Some trc, Some par -> probe_traced trc par z
+      | _ -> probe_one z
+    in
+    let traced = match (tr, parent) with Some _, Some _ -> true | _ -> false in
     let ranks =
-      if domains = 1 then Array.map (probe_one z) probes
+      if domains = 1 then Array.map probe probes
       else begin
         (* Fan out only the probes whose window is still open — a
            closed window ([lo >= hi]) resolves from the summary with no
@@ -368,23 +504,30 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
         let ranks = Array.make (Array.length probes) 0 in
         let open_idx = ref [] in
         for i = Array.length probes - 1 downto 0 do
-          if probes.(i).lo >= probes.(i).hi then ranks.(i) <- probes.(i).lo
+          if probes.(i).lo >= probes.(i).hi then
+            (* A closed window resolves from the summary with no I/O; a
+               traced run still records its span for completeness. *)
+            ranks.(i) <- (if traced then probe probes.(i) else probes.(i).lo)
           else open_idx := i :: !open_idx
         done;
         (match !open_idx with
         | [] -> ()
-        | [ i ] -> ranks.(i) <- probe_one z probes.(i)
+        | [ i ] -> ranks.(i) <- probe probes.(i)
         | is ->
           let pool =
             match t.query_pool with
             | Some p -> p
             | None ->
-              let p = Hsq_util.Parallel.Pool.create ~workers:(domains - 1) in
+              let p =
+                Hsq_util.Parallel.Pool.create
+                  ~metrics:(Hsq_storage.Io_stats.registry stats)
+                  ~workers:(domains - 1) ()
+              in
               t.query_pool <- Some p;
               p
           in
           let idx = Array.of_list is in
-          let got = Hsq_util.Parallel.Pool.map pool (fun i -> probe_one z probes.(i)) idx in
+          let got = Hsq_util.Parallel.Pool.map pool (fun i -> probe probes.(i)) idx in
           Array.iteri (fun k i -> ranks.(i) <- got.(k)) idx);
         ranks
       end
@@ -402,28 +545,51 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
         if left then st.hi <- min st.hi rank_z else st.lo <- max st.lo rank_z)
       probes
   in
-  let rec bisect u v =
+  (* Each bisection iteration's body runs in its own child span of the
+     query root; the recursion happens after the iteration span closed,
+     so iterations are siblings, not nested. *)
+  let rec bisect ~parent u v =
     incr iterations;
-    if v - u <= 1 then begin
-      (* rank(u,T) <= r <= rank(v,T) is invariant; v is the smallest
-         candidate whose rank can reach r — the Definition-1 answer —
-         unless the estimate says u already covers r. *)
-      let _, rho_u = estimate u in
-      if rho_u >= r then u else v
-    end
-    else begin
-      let z = u + ((v - u) / 2) in
-      let ranks, rho = estimate z in
-      if r < rho -. tolerance then begin
-        narrow ~left:true ranks;
-        bisect u z
+    let run_iter iter_span =
+      if v - u <= 1 then begin
+        (* rank(u,T) <= r <= rank(v,T) is invariant; v is the smallest
+           candidate whose rank can reach r — the Definition-1 answer —
+           unless the estimate says u already covers r. *)
+        let _, rho_u = estimate ?parent:iter_span u in
+        `Done (if rho_u >= r then u else v)
       end
-      else if r > rho +. tolerance then begin
-        narrow ~left:false ranks;
-        bisect z v
+      else begin
+        let z = u + ((v - u) / 2) in
+        let ranks, rho = estimate ?parent:iter_span z in
+        if r < rho -. tolerance then begin
+          narrow ~left:true ranks;
+          `Left z
+        end
+        else if r > rho +. tolerance then begin
+          narrow ~left:false ranks;
+          `Right z
+        end
+        else `Done z
       end
-      else z
-    end
+    in
+    let decision =
+      match (tr, parent) with
+      | Some trc, Some root ->
+        Trace.with_child trc ~parent:root
+          ~attrs:
+            [
+              ("iter", string_of_int !iterations);
+              ("u", string_of_int u);
+              ("v", string_of_int v);
+            ]
+          "bisect"
+          (fun sp -> run_iter (Some sp))
+      | _ -> run_iter None
+    in
+    match decision with
+    | `Done z -> z
+    | `Left z -> bisect ~parent u z
+    | `Right z -> bisect ~parent z v
   in
   (* Graceful degradation: if a partition probe hits an unrecoverable
      device error (the bounded retries are exhausted inside
@@ -431,13 +597,37 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
      instead of failing the query.  The quick answer is within the
      Lemma 3 bound — strictly worse than O(eps*m) but still bounded —
      and the report says so via [degraded]. *)
-  let answer, degraded =
-    try (bisect u0 v0, false)
+  let run_query parent =
+    try (bisect ~parent u0 v0, false)
     with Hsq_storage.Block_device.Device_error _ ->
       (Union_summary.quick_select us ~rank, true)
   in
+  let root_span = ref None in
+  let answer, degraded =
+    match tr with
+    | Some trc ->
+      Trace.with_span trc
+        ~attrs:
+          [
+            ("rank", string_of_int rank);
+            ("partitions", string_of_int (Array.length probes));
+          ]
+        "query.accurate"
+        (fun sp ->
+          root_span := Some sp;
+          run_query (Some sp))
+    | None -> run_query None
+  in
+  (match tr, !root_span with
+  | Some trc, Some sp ->
+    Trace.add_attr trc sp "iterations" (string_of_int !iterations);
+    if degraded then Trace.add_attr trc sp "degraded" "true"
+  | _ -> ());
+  Metrics.Histogram.observe em.accurate_hist (Metrics.now_s () -. tq0);
+  Metrics.Histogram.observe em.bisect_hist (float_of_int !iterations);
+  if degraded then em.degraded_total <- em.degraded_total + 1;
   let io = Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before in
-  (answer, { io; iterations = !iterations; degraded })
+  (answer, { io; iterations = !iterations; degraded; span = !root_span })
 
 let accurate ?tolerance_factor t ~rank =
   let ss, us = cached_summaries t in

@@ -20,6 +20,10 @@ type query_report = {
   io : Hsq_storage.Io_stats.counters;
   iterations : int;
   degraded : bool;
+  span : Hsq_obs.Trace.span option;
+      (** The query's root trace span ([query.accurate], with [bisect] /
+          [probe] children) when tracing is on via {!set_tracer}; [None]
+          otherwise. *)
 }
 
 (** [create ?device config] — a fresh engine. Without [device] an
@@ -33,6 +37,32 @@ val of_restored :
 
 val config : t -> Config.t
 val device : t -> Hsq_storage.Block_device.t
+
+(** {2 Observability}
+
+    Every engine registers its metrics in the device's registry (the
+    one behind [Io_stats.registry (Block_device.stats (device t))]):
+    query counters ([hsq_query_quick_total], [hsq_query_accurate_total],
+    [hsq_query_degraded_total], summary-cache hits/misses), latency
+    histograms ([hsq_query_quick_seconds] — sampled 1-in-64 —,
+    [hsq_query_accurate_seconds]) and the bisection-iteration histogram,
+    alongside the I/O, WAL, merge, device and pool metrics of the layers
+    below. See DESIGN.md §11 for the full metric and span taxonomy. *)
+
+(** The engine's metric registry (the device's). *)
+val metrics : t -> Hsq_obs.Metrics.t
+
+(** Turn per-query tracing on ([Some trace]) or off ([None]). The
+    tracer is mirrored onto the device's {!Hsq_storage.Io_stats} so WAL
+    append/sync, merge and checkpoint spans record too. Queries then
+    carry their root span in [query_report.span] (accurate path) and
+    record [query.quick] root spans (quick path). Tracing is meant for
+    single-threaded diagnosis sessions: the engine is single-submitter
+    by contract, and only the parallel probe spans attach from worker
+    domains (safely, via explicit parents). *)
+val set_tracer : t -> Hsq_obs.Trace.t option -> unit
+
+val tracer : t -> Hsq_obs.Trace.t option
 val hist : t -> Hsq_hist.Level_index.t
 val stream_sketch : t -> Hsq_sketch.Gk.t
 

@@ -46,9 +46,9 @@ let load ~device ~path =
    [query_domains] is runtime policy (never persisted in the sidecar),
    so a restored engine takes it from the caller, exactly like
    [Engine.open_or_recover]. *)
-let load_files ?pool_blocks ?query_domains ~device_path ~meta_path () =
+let load_files ?metrics ?pool_blocks ?query_domains ~device_path ~meta_path () =
   let block_size = Meta.peek_block_size meta_path in
-  let device = Hsq_storage.Block_device.open_file ~block_size ~path:device_path () in
+  let device = Hsq_storage.Block_device.open_file ?metrics ~block_size ~path:device_path () in
   (match pool_blocks with
   | Some capacity when capacity > 0 -> Hsq_storage.Block_device.enable_pool device ~capacity
   | _ -> ());

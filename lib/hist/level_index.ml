@@ -33,6 +33,7 @@ type t = {
   mutable steps : int;
   mutable expired_through : int; (* steps [1, expired_through] have been dropped *)
   mutable epoch : int; (* bumped on every partition-set mutation; cache key *)
+  mutable gauged_levels : int; (* highest level whose gauge was ever published *)
 }
 
 let create ?sort_memory ?sort_domains ~kappa ~beta1 dev =
@@ -52,14 +53,41 @@ let create ?sort_memory ?sort_domains ~kappa ~beta1 dev =
     steps = 0;
     expired_through = 0;
     epoch = 0;
+    gauged_levels = 0;
   }
 
 (* The epoch numbers the states of the partition set: any operation
    that adds, merges, drops, or restores partitions bumps it, so a
    cached derivative of the summaries (Engine's historical aggregate)
-   is valid iff its recorded epoch still matches. *)
+   is valid iff its recorded epoch still matches.
+
+   A bump is also the one place every partition-set mutation funnels
+   through, so it doubles as the refresh point for the per-level
+   partition-count gauges (hsq_hist_partitions_level_<l>).  Gauges are
+   registered lazily per level that has ever existed; once a level
+   empties its gauge reads 0 rather than disappearing. *)
+let registry t = Hsq_storage.Io_stats.registry (Hsq_storage.Block_device.stats t.dev)
+
+let refresh_level_gauges t =
+  let r = registry t in
+  (* Cover every level up to the highest non-empty one: a level a merge
+     just emptied must be written back to 0, not left stale.  Trailing
+     never-used slots of the levels array are skipped. *)
+  let hi = ref t.gauged_levels in
+  Array.iteri (fun l ps -> if ps <> [] then hi := max !hi l) t.levels;
+  t.gauged_levels <- !hi;
+  for l = 0 to !hi do
+    Hsq_obs.Metrics.Gauge.set
+      (Hsq_obs.Metrics.gauge ~help:"Partitions currently at this level" r
+         (Printf.sprintf "hsq_hist_partitions_level_%d" l))
+      (float_of_int (List.length t.levels.(l)))
+  done
+
 let epoch t = t.epoch
-let bump_epoch t = t.epoch <- t.epoch + 1
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  refresh_level_gauges t
 
 let device t = t.dev
 let expired_through t = t.expired_through
@@ -108,7 +136,7 @@ let now () = Unix.gettimeofday ()
    (Persist.save) readable: reloading that checkpoint rolls the
    uncommitted merge back, and the half-written output blocks are
    unreferenced garbage past the checkpointed allocation frontier. *)
-let merge_level t l =
+let merge_level_impl t l =
   let parts = t.levels.(l) in
   let runs = List.map Partition.run parts in
   let size = List.fold_left (fun acc r -> acc + Hsq_storage.Run.length r) 0 runs in
@@ -133,6 +161,27 @@ let merge_level t l =
   ensure_level t (l + 1);
   t.levels.(l + 1) <- t.levels.(l + 1) @ [ promoted ];
   List.iter Partition.free parts
+
+(* Merges are rare (at most one cascade per batch) and ms-scale, so the
+   per-merge registry lookup and span are free relative to the work. *)
+let merge_level t l =
+  let stats = Hsq_storage.Block_device.stats t.dev in
+  let timed () =
+    let nparts = List.length t.levels.(l) in
+    let t0 = now () in
+    merge_level_impl t l;
+    let dt = now () -. t0 in
+    Hsq_obs.Metrics.Histogram.observe
+      (Hsq_obs.Metrics.histogram ~help:"Level merge duration" (registry t) "hsq_hist_merge_seconds")
+      dt;
+    nparts
+  in
+  match Hsq_storage.Io_stats.tracer stats with
+  | Some tr ->
+    Hsq_obs.Trace.with_span tr ~attrs:[ ("level", string_of_int l) ] "hist.merge" (fun span ->
+        let nparts = timed () in
+        Hsq_obs.Trace.add_attr tr span "partitions" (string_of_int nparts))
+  | None -> ignore (timed ())
 
 (* HistUpdate (Algorithm 3): sort the batch into a level-0 partition,
    then cascade merges while any level exceeds kappa partitions. *)

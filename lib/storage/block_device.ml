@@ -55,7 +55,21 @@ type t = {
   pool_lock : Mutex.t;
   io_lock : Mutex.t;
   mutable read_latency : float; (* simulated seconds per physical block read *)
+  (* Metric handles resolved once at creation so the read paths never
+     touch the registry's lock/table. *)
+  read_hist : Hsq_obs.Metrics.Histogram.t;
+  pool_hits : Hsq_obs.Metrics.Counter.t;
+  pool_misses : Hsq_obs.Metrics.Counter.t;
 }
+
+(* Latency/pool metrics live in the same registry as the Io_stats
+   counters (named hsq_buffer_pool_... to stay clear of the engine's
+   summary-cache metrics). *)
+let device_metrics stats =
+  let r = Io_stats.registry stats in
+  ( Hsq_obs.Metrics.histogram ~help:"Physical block read latency" r "hsq_device_read_seconds",
+    Hsq_obs.Metrics.counter ~help:"Buffer pool hits" r "hsq_buffer_pool_hits_total",
+    Hsq_obs.Metrics.counter ~help:"Buffer pool misses" r "hsq_buffer_pool_misses_total" )
 
 let block_size t = t.block_size
 let stats t = t.stats
@@ -82,11 +96,13 @@ let mix h v =
 
 let checksum ~addr payload = Array.fold_left mix (mix 0x106689D45497FDB5 addr) payload
 
-let create_memory ~block_size () =
+let create_memory ?metrics ~block_size () =
   if block_size <= 0 then invalid_arg "Block_device.create_memory: block_size must be positive";
+  let stats = Io_stats.create ?registry:metrics () in
+  let read_hist, pool_hits, pool_misses = device_metrics stats in
   {
     block_size;
-    stats = Io_stats.create ();
+    stats;
     next_free = 0;
     freed_blocks = 0;
     backend = Memory (ref (Array.make 64 None));
@@ -95,15 +111,20 @@ let create_memory ~block_size () =
     pool_lock = Mutex.create ();
     io_lock = Mutex.create ();
     read_latency = 0.0;
+    read_hist;
+    pool_hits;
+    pool_misses;
   }
 
-let create_file ~block_size ~path () =
+let create_file ?metrics ~block_size ~path () =
   if block_size <= 0 then invalid_arg "Block_device.create_file: block_size must be positive";
   let channel = Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_wronly ] 0o644 path in
   let read_channel = In_channel.open_gen [ Open_binary; Open_rdonly ] 0o644 path in
+  let stats = Io_stats.create ?registry:metrics () in
+  let read_hist, pool_hits, pool_misses = device_metrics stats in
   {
     block_size;
-    stats = Io_stats.create ();
+    stats;
     next_free = 0;
     freed_blocks = 0;
     backend = File { channel; read_channel; path };
@@ -112,6 +133,9 @@ let create_file ~block_size ~path () =
     pool_lock = Mutex.create ();
     io_lock = Mutex.create ();
     read_latency = 0.0;
+    read_hist;
+    pool_hits;
+    pool_misses;
   }
 
 (* Reopen an existing device file: allocation resumes after the blocks
@@ -120,7 +144,7 @@ let create_file ~block_size ~path () =
    metadata never references blocks past the last checkpoint, and the
    bump allocator will write past the tear.  This is the storage half of
    crash recovery — see Persist.load for the metadata half. *)
-let open_file ~block_size ~path () =
+let open_file ?metrics ~block_size ~path () =
   if block_size <= 0 then invalid_arg "Block_device.open_file: block_size must be positive";
   if not (Sys.file_exists path) then
     raise (Device_error (Printf.sprintf "no device file at %s" path));
@@ -128,9 +152,11 @@ let open_file ~block_size ~path () =
   let read_channel = In_channel.open_gen [ Open_binary; Open_rdonly ] 0o644 path in
   let size = Int64.to_int (In_channel.length read_channel) in
   let bytes_per_block = 8 * (block_size + 1) in
+  let stats = Io_stats.create ?registry:metrics () in
+  let read_hist, pool_hits, pool_misses = device_metrics stats in
   {
     block_size;
-    stats = Io_stats.create ();
+    stats;
     next_free = size / bytes_per_block;
     freed_blocks = 0;
     backend = File { channel; read_channel; path };
@@ -139,6 +165,9 @@ let open_file ~block_size ~path () =
     pool_lock = Mutex.create ();
     io_lock = Mutex.create ();
     read_latency = 0.0;
+    read_hist;
+    pool_hits;
+    pool_misses;
   }
 
 let close t =
@@ -328,8 +357,10 @@ let read_block_uncached ?hint t ~addr =
       retry (Device_error (Printf.sprintf "injected read fault at block %d (attempt %d)" addr n))
     | None ->
       Io_stats.note_read ?hint t.stats addr;
+      let t0 = Hsq_obs.Metrics.now_s () in
       apply_read_latency t;
       let record = fetch_record t ~addr in
+      Hsq_obs.Metrics.Histogram.observe t.read_hist (Hsq_obs.Metrics.now_s () -. t0);
       let payload = Array.sub record 0 t.block_size in
       if record.(t.block_size) <> checksum ~addr payload then begin
         Io_stats.note_checksum_failure t.stats;
@@ -356,8 +387,11 @@ let read_block ?hint t ~addr =
     let cached = Lru.find pool addr in
     Mutex.unlock t.pool_lock;
     match cached with
-    | Some block -> block
+    | Some block ->
+      Hsq_obs.Metrics.Counter.inc t.pool_hits;
+      block
     | None ->
+      Hsq_obs.Metrics.Counter.inc t.pool_misses;
       let block = read_block_uncached ?hint t ~addr in
       Mutex.lock t.pool_lock;
       Lru.put pool addr block;

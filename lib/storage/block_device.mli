@@ -24,18 +24,23 @@ exception Device_error of string
 type op = Read | Write
 type t
 
-(** [create_memory ~block_size ()] — in-memory backend. *)
-val create_memory : block_size:int -> unit -> t
+(** [create_memory ~block_size ()] — in-memory backend. [metrics], on
+    any constructor, is the registry the device's {!Io_stats} counters,
+    read-latency histogram ([hsq_device_read_seconds]) and buffer-pool
+    hit/miss counters ([hsq_buffer_pool_hits_total] / [..._misses_total])
+    are registered in; omitted, the device gets a private registry
+    (reachable via [Io_stats.registry (stats t)]). *)
+val create_memory : ?metrics:Hsq_obs.Metrics.t -> block_size:int -> unit -> t
 
 (** [create_file ~block_size ~path ()] — file backend; truncates [path]. *)
-val create_file : block_size:int -> path:string -> unit -> t
+val create_file : ?metrics:Hsq_obs.Metrics.t -> block_size:int -> path:string -> unit -> t
 
 (** [open_file ~block_size ~path ()] reopens an existing device file
     without truncating; the allocator resumes after the blocks already
     on disk. A trailing partial record (a write torn by a crash) is
     ignored — committed metadata never references blocks past the last
     checkpoint. Raises {!Device_error} if the file is missing. *)
-val open_file : block_size:int -> path:string -> unit -> t
+val open_file : ?metrics:Hsq_obs.Metrics.t -> block_size:int -> path:string -> unit -> t
 
 (** Close file handles (no-op for the memory backend). *)
 val close : t -> unit

@@ -15,7 +15,20 @@
    [wal_syncs] counts physical flushes of the log, [wal_replayed] counts
    records re-applied during recovery, and [checkpoints_written] counts
    sketch checkpoints persisted.  All four stay zero when durability is
-   off, so block-access counts are again unperturbed. *)
+   off, so block-access counts are again unperturbed.
+
+   Since the observability PR this module is registry-backed: each of
+   the ten counters lives in an [Hsq_obs.Metrics] registry under its
+   Prometheus name (hsq_io_... / hsq_wal_...), so `hsq metrics` and the bench
+   smoke rows export them without a second accounting path.  The record
+   interface, lock discipline, and exactness guarantees are unchanged.
+   The stats object doubles as the observability hub for everything that
+   already reaches it (WAL, level index, device, engine): it carries the
+   registry and an optional [Trace.t] the instrumented call sites pick
+   up. *)
+
+module Metrics = Hsq_obs.Metrics
+module Trace = Hsq_obs.Trace
 
 type counters = {
   reads : int;
@@ -32,41 +45,64 @@ type counters = {
 
 (* Counters are guarded by a per-record mutex so several domains probing
    partitions in parallel (Engine.accurate with query_domains > 1) can
-   account their reads on the shared device without tearing.  The lock
-   is uncontended in single-domain use, so the cost is a few ns per
-   note.  Sequential/random classification still keys off the single
-   shared [last_read_addr], so under concurrent readers the seq/rand
-   split depends on interleaving order — totals are exact either way. *)
+   account their reads on the shared device without tearing, and —
+   crucially for [snapshot] — so the ten values are mutually consistent:
+   every [note_*] mutation and every [snapshot] read runs under the same
+   lock, so a snapshot can never observe a half-applied note (e.g.
+   [reads] bumped but its seq/rand classification not yet).  The lock is
+   uncontended in single-domain use, so the cost is a few ns per note.
+   Sequential/random classification still keys off the single shared
+   [last_read_addr], so under concurrent readers the seq/rand split
+   depends on interleaving order — totals are exact either way.
+
+   The individual cells are registry counters (atomics underneath); the
+   registry exporters read them without this lock, so an export sees
+   each counter atomically but not necessarily a mutually consistent
+   set — that stronger guarantee is what [snapshot] is for. *)
 type t = {
-  mutable reads : int;
-  mutable seq_reads : int;
-  mutable rand_reads : int;
-  mutable writes : int;
-  mutable retries : int;
-  mutable checksum_failures : int;
-  mutable wal_appends : int;
-  mutable wal_syncs : int;
-  mutable wal_replayed : int;
-  mutable checkpoints_written : int;
+  reads : Metrics.Counter.t;
+  seq_reads : Metrics.Counter.t;
+  rand_reads : Metrics.Counter.t;
+  writes : Metrics.Counter.t;
+  retries : Metrics.Counter.t;
+  checksum_failures : Metrics.Counter.t;
+  wal_appends : Metrics.Counter.t;
+  wal_syncs : Metrics.Counter.t;
+  wal_replayed : Metrics.Counter.t;
+  checkpoints_written : Metrics.Counter.t;
   mutable last_read_addr : int;
   lock : Mutex.t;
+  registry : Metrics.t;
+  mutable trace : Trace.t option;
 }
 
-let create () =
+(* Two devices sharing one registry share these counters (registration
+   is idempotent by name) — aggregate accounting, which is what the
+   single-device CLI wants.  Tests that need isolated counts create
+   stats with the default fresh registry. *)
+let create ?registry () =
+  let registry = match registry with Some r -> r | None -> Metrics.create () in
+  let c name help = Metrics.counter ~help registry name in
   {
-    reads = 0;
-    seq_reads = 0;
-    rand_reads = 0;
-    writes = 0;
-    retries = 0;
-    checksum_failures = 0;
-    wal_appends = 0;
-    wal_syncs = 0;
-    wal_replayed = 0;
-    checkpoints_written = 0;
+    reads = c "hsq_io_reads_total" "Total block reads";
+    seq_reads = c "hsq_io_seq_reads_total" "Reads at previous address + 1";
+    rand_reads = c "hsq_io_rand_reads_total" "Non-sequential reads";
+    writes = c "hsq_io_writes_total" "Total block writes";
+    retries = c "hsq_io_retries_total" "Extra read attempts by the retry path";
+    checksum_failures = c "hsq_io_checksum_failures_total" "Blocks whose checksum mismatched";
+    wal_appends = c "hsq_wal_appends_total" "Records appended to the write-ahead log";
+    wal_syncs = c "hsq_wal_syncs_total" "Physical flushes of the write-ahead log";
+    wal_replayed = c "hsq_wal_replayed_total" "WAL records re-applied during recovery";
+    checkpoints_written = c "hsq_io_checkpoints_total" "Sketch checkpoints persisted";
     last_read_addr = min_int;
     lock = Mutex.create ();
+    registry;
+    trace = None;
   }
+
+let registry t = t.registry
+let tracer t = t.trace
+let set_tracer t tr = t.trace <- tr
 
 (* Release the mutex even if [f] raises — a leaked lock here would
    deadlock every subsequent stats call from any domain. *)
@@ -76,16 +112,16 @@ let locked t f =
 
 let reset t =
   locked t (fun () ->
-      t.reads <- 0;
-      t.seq_reads <- 0;
-      t.rand_reads <- 0;
-      t.writes <- 0;
-      t.retries <- 0;
-      t.checksum_failures <- 0;
-      t.wal_appends <- 0;
-      t.wal_syncs <- 0;
-      t.wal_replayed <- 0;
-      t.checkpoints_written <- 0;
+      Metrics.Counter.set t.reads 0;
+      Metrics.Counter.set t.seq_reads 0;
+      Metrics.Counter.set t.rand_reads 0;
+      Metrics.Counter.set t.writes 0;
+      Metrics.Counter.set t.retries 0;
+      Metrics.Counter.set t.checksum_failures 0;
+      Metrics.Counter.set t.wal_appends 0;
+      Metrics.Counter.set t.wal_syncs 0;
+      Metrics.Counter.set t.wal_replayed 0;
+      Metrics.Counter.set t.checkpoints_written 0;
       t.last_read_addr <- min_int)
 
 (* [hint] overrides the adjacency heuristic: a k-way merge interleaves
@@ -93,40 +129,40 @@ let reset t =
    a sequential readahead buffer, so those reads are sequential. *)
 let note_read ?hint t addr =
   locked t (fun () ->
-      t.reads <- t.reads + 1;
+      Metrics.Counter.inc t.reads;
       let sequential =
         match hint with
         | Some s -> s
         | None -> addr = t.last_read_addr + 1
       in
-      if sequential then t.seq_reads <- t.seq_reads + 1
-      else t.rand_reads <- t.rand_reads + 1;
+      if sequential then Metrics.Counter.inc t.seq_reads
+      else Metrics.Counter.inc t.rand_reads;
       t.last_read_addr <- addr)
 
-let note_write t _addr = locked t (fun () -> t.writes <- t.writes + 1)
-let note_retry t = locked t (fun () -> t.retries <- t.retries + 1)
-let note_checksum_failure t = locked t (fun () -> t.checksum_failures <- t.checksum_failures + 1)
-let note_wal_append t = locked t (fun () -> t.wal_appends <- t.wal_appends + 1)
-let note_wal_sync t = locked t (fun () -> t.wal_syncs <- t.wal_syncs + 1)
-let note_wal_replayed t = locked t (fun () -> t.wal_replayed <- t.wal_replayed + 1)
-let note_checkpoint t = locked t (fun () -> t.checkpoints_written <- t.checkpoints_written + 1)
+let note_write t _addr = locked t (fun () -> Metrics.Counter.inc t.writes)
+let note_retry t = locked t (fun () -> Metrics.Counter.inc t.retries)
+let note_checksum_failure t = locked t (fun () -> Metrics.Counter.inc t.checksum_failures)
+let note_wal_append t = locked t (fun () -> Metrics.Counter.inc t.wal_appends)
+let note_wal_sync t = locked t (fun () -> Metrics.Counter.inc t.wal_syncs)
+let note_wal_replayed t = locked t (fun () -> Metrics.Counter.inc t.wal_replayed)
+let note_checkpoint t = locked t (fun () -> Metrics.Counter.inc t.checkpoints_written)
 
-let snapshot t =
+let snapshot t : counters =
   locked t (fun () ->
       {
-        reads = t.reads;
-        seq_reads = t.seq_reads;
-        rand_reads = t.rand_reads;
-        writes = t.writes;
-        retries = t.retries;
-        checksum_failures = t.checksum_failures;
-        wal_appends = t.wal_appends;
-        wal_syncs = t.wal_syncs;
-        wal_replayed = t.wal_replayed;
-        checkpoints_written = t.checkpoints_written;
+        reads = Metrics.Counter.value t.reads;
+        seq_reads = Metrics.Counter.value t.seq_reads;
+        rand_reads = Metrics.Counter.value t.rand_reads;
+        writes = Metrics.Counter.value t.writes;
+        retries = Metrics.Counter.value t.retries;
+        checksum_failures = Metrics.Counter.value t.checksum_failures;
+        wal_appends = Metrics.Counter.value t.wal_appends;
+        wal_syncs = Metrics.Counter.value t.wal_syncs;
+        wal_replayed = Metrics.Counter.value t.wal_replayed;
+        checkpoints_written = Metrics.Counter.value t.checkpoints_written;
       })
 
-let zero =
+let zero : counters =
   {
     reads = 0;
     seq_reads = 0;
@@ -140,7 +176,7 @@ let zero =
     checkpoints_written = 0;
   }
 
-let diff (after : counters) (before : counters) =
+let diff (after : counters) (before : counters) : counters =
   {
     reads = after.reads - before.reads;
     seq_reads = after.seq_reads - before.seq_reads;
@@ -154,7 +190,7 @@ let diff (after : counters) (before : counters) =
     checkpoints_written = after.checkpoints_written - before.checkpoints_written;
   }
 
-let add (a : counters) (b : counters) =
+let add (a : counters) (b : counters) : counters =
   {
     reads = a.reads + b.reads;
     seq_reads = a.seq_reads + b.seq_reads;

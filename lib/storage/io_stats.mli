@@ -14,7 +14,22 @@
     an internal mutex, so parallel query probes account exactly. Under
     concurrent readers the sequential/random split of a given read
     depends on interleaving order (classification keys off the last
-    read address); totals are exact regardless. *)
+    read address); totals are exact regardless.
+
+    Torn-read-freedom: because [snapshot] runs under the {e same} mutex
+    as every [note_*] (and [reset]), the returned record is a mutually
+    consistent point-in-time view — it can never show, say, [reads]
+    incremented by a concurrent [note_read] whose seq/rand
+    classification has not landed yet. Concretely, [snapshot] always
+    satisfies [reads = seq_reads + rand_reads], under any interleaving
+    of concurrent noters (tested in test_obs.ml).
+
+    The counters are additionally registered in an
+    {!Hsq_obs.Metrics} registry under their Prometheus names
+    ([hsq_io_*_total], [hsq_wal_*_total], [hsq_io_checkpoints_total]),
+    making this object the observability hub for every subsystem that
+    reaches it: the registry rides along to WAL/merge/device call sites,
+    as does an optional trace. *)
 
 (** Immutable snapshot of the counters. *)
 type counters = {
@@ -32,7 +47,25 @@ type counters = {
 
 type t
 
-val create : unit -> t
+(** [create ()] makes stats backed by a fresh private registry;
+    [create ~registry ()] registers the counters in [registry] instead.
+    Two stats objects sharing a registry share the underlying counters
+    (registration is idempotent by name) — aggregate accounting. *)
+val create : ?registry:Hsq_obs.Metrics.t -> unit -> t
+
+(** The registry the counters live in (the one passed to {!create}, or
+    the private one it made). *)
+val registry : t -> Hsq_obs.Metrics.t
+
+(** Optional trace carried alongside the registry; instrumented call
+    sites (WAL append/sync, merges, checkpoints) open spans on it when
+    set. *)
+val tracer : t -> Hsq_obs.Trace.t option
+
+val set_tracer : t -> Hsq_obs.Trace.t option -> unit
+
+(** Zero every counter (under the same mutex as [note_*]/[snapshot], so
+    a reset is atomic with respect to both). *)
 val reset : t -> unit
 
 (** Record one block read at the given block address. [hint] forces the
@@ -62,6 +95,8 @@ val note_wal_replayed : t -> unit
 (** Record one sketch checkpoint written. *)
 val note_checkpoint : t -> unit
 
+(** Mutually consistent point-in-time view of all ten counters (taken
+    under the note mutex — see the torn-read-freedom note above). *)
 val snapshot : t -> counters
 val zero : counters
 

@@ -36,6 +36,9 @@
    ([Fail] / [Torn k] / [Corrupt i]) so the crash-recovery fuzz harness
    can kill the writer at any append. *)
 
+module Metrics = Hsq_obs.Metrics
+module Trace = Hsq_obs.Trace
+
 type sync_policy = Always | Group of int | Never
 
 type record =
@@ -54,7 +57,20 @@ type t = {
   pending : Buffer.t; (* appended but not yet flushed to the file *)
   mutable pending_count : int;
   mutable fault : (int -> Block_device.fault_action option) option;
+  append_hist : Metrics.Histogram.t;
+  sync_hist : Metrics.Histogram.t;
 }
+
+(* Latency histograms live in the same registry as the WAL counters.
+   Appends are buffer writes (tens of ns) issued once per observed
+   element, so their latency is sampled 1-in-32 by sequence number;
+   syncs are physical flushes (µs and up, rare) and always timed. *)
+let append_sample_mask = 31
+
+let wal_metrics stats =
+  let r = Io_stats.registry stats in
+  ( Metrics.histogram ~help:"WAL append latency (sampled 1-in-32)" r "hsq_wal_append_seconds",
+    Metrics.histogram ~help:"WAL physical flush latency" r "hsq_wal_sync_seconds" )
 
 let magic = 0x48535157414C3031 (* "HSQWAL01" *)
 let max_record_words = 64
@@ -102,16 +118,23 @@ let encode ~seq record =
 
 let flush_pending t =
   if t.pending_count > 0 || Buffer.length t.pending > 0 then begin
-    Out_channel.output_string t.channel (Buffer.contents t.pending);
-    Out_channel.flush t.channel;
-    Buffer.clear t.pending;
-    t.pending_count <- 0;
-    Io_stats.note_wal_sync t.stats
+    let flush () =
+      let t0 = Metrics.now_s () in
+      Out_channel.output_string t.channel (Buffer.contents t.pending);
+      Out_channel.flush t.channel;
+      Metrics.Histogram.observe t.sync_hist (Metrics.now_s () -. t0);
+      Buffer.clear t.pending;
+      t.pending_count <- 0;
+      Io_stats.note_wal_sync t.stats
+    in
+    match Io_stats.tracer t.stats with
+    | Some tr -> Trace.with_span tr "wal.sync" (fun _ -> flush ())
+    | None -> flush ()
   end
 
 let sync t = flush_pending t
 
-let append t record =
+let append_impl t record =
   let seq = t.next_seq in
   let words = encode ~seq record in
   (match t.fault with
@@ -147,10 +170,25 @@ let append t record =
   | Never -> ());
   seq
 
+let append t record =
+  let timed () =
+    if t.next_seq land append_sample_mask = 0 then begin
+      let t0 = Metrics.now_s () in
+      let seq = append_impl t record in
+      Metrics.Histogram.observe t.append_hist (Metrics.now_s () -. t0);
+      seq
+    end
+    else append_impl t record
+  in
+  match Io_stats.tracer t.stats with
+  | Some tr -> Trace.with_span tr "wal.append" (fun _ -> timed ())
+  | None -> timed ()
+
 let create ?(sync = Always) ~stats ~path ~start_seq () =
   let channel = Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_wronly ] 0o644 path in
   Out_channel.output_bytes channel (header_bytes ~start_seq);
   Out_channel.flush channel;
+  let append_hist, sync_hist = wal_metrics stats in
   {
     path;
     stats;
@@ -161,6 +199,8 @@ let create ?(sync = Always) ~stats ~path ~start_seq () =
     pending = Buffer.create 4096;
     pending_count = 0;
     fault = None;
+    append_hist;
+    sync_hist;
   }
 
 (* Atomic truncation: the records below [next_seq] are durable elsewhere
@@ -296,6 +336,7 @@ let open_existing ?(sync = Always) ~stats ~path () =
     Out_channel.close oc;
     Sys.rename tmp path);
   let channel = Out_channel.open_gen [ Open_binary; Open_append; Open_wronly ] 0o644 path in
+  let append_hist, sync_hist = wal_metrics stats in
   let t =
     {
       path;
@@ -307,6 +348,8 @@ let open_existing ?(sync = Always) ~stats ~path () =
       pending = Buffer.create 4096;
       pending_count = 0;
       fault = None;
+      append_hist;
+      sync_hist;
     }
   in
   (t, records, tail)

@@ -54,6 +54,8 @@ module Pool = struct
     mutable epoch : int;
     mutable quit : bool;
     mutable handles : unit Domain.t list;
+    (* (round width, caller idle-wait) histograms when instrumented. *)
+    metrics : (Hsq_obs.Metrics.Histogram.t * Hsq_obs.Metrics.Histogram.t) option;
   }
 
   (* The round is over when every claimed item has finished and either
@@ -117,8 +119,17 @@ module Pool = struct
         worker t epoch
     end
 
-  let create ~workers =
+  let create ?metrics ~workers () =
     let workers = max 1 workers in
+    let metrics =
+      Option.map
+        (fun r ->
+          ( Hsq_obs.Metrics.histogram ~help:"Items fanned out per pool round" ~start:1.0
+              ~factor:2.0 ~buckets:16 r "hsq_query_pool_round_width",
+            Hsq_obs.Metrics.histogram ~help:"Caller idle wait per pool round" r
+              "hsq_query_pool_round_wait_seconds" ))
+        metrics
+    in
     let t =
       {
         lock = Mutex.create ();
@@ -132,6 +143,7 @@ module Pool = struct
         epoch = 0;
         quit = false;
         handles = [];
+        metrics;
       }
     in
     t.handles <- List.init workers (fun _ -> Domain.spawn (fun () -> worker t 0));
@@ -143,6 +155,9 @@ module Pool = struct
      a pool of w workers yields w+1 compute lanes. *)
   let run t ~n f =
     if n > 0 then begin
+      (match t.metrics with
+      | Some (width, _) -> Hsq_obs.Metrics.Histogram.observe width (float_of_int n)
+      | None -> ());
       Mutex.lock t.lock;
       t.task <- Some f;
       t.next <- 0;
@@ -154,10 +169,18 @@ module Pool = struct
       Condition.broadcast t.work;
       Mutex.unlock t.lock;
       drain t ~epoch f;
+      (* The caller has exhausted its own share; what's left is idle
+         waiting on straggler workers — the queue-wait metric. *)
+      let wait0 =
+        match t.metrics with Some _ -> Hsq_obs.Metrics.now_s () | None -> 0.0
+      in
       Mutex.lock t.lock;
       while not (round_done t) do
         Condition.wait t.idle t.lock
       done;
+      (match t.metrics with
+      | Some (_, wait) -> Hsq_obs.Metrics.Histogram.observe wait (Hsq_obs.Metrics.now_s () -. wait0)
+      | None -> ());
       (* Park the task: a late-waking worker finds it gone (or the
          epoch moved on) and goes back to sleep. *)
       t.task <- None;

@@ -19,8 +19,12 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 module Pool : sig
   type t
 
-  (** Spawn [max 1 workers] worker domains, parked until work arrives. *)
-  val create : workers:int -> t
+  (** Spawn [max 1 workers] worker domains, parked until work arrives.
+      [metrics] instruments the pool in that registry:
+      [hsq_query_pool_round_width] (items fanned out per {!run}) and
+      [hsq_query_pool_round_wait_seconds] (the caller's idle wait for
+      straggler workers after draining its own share). *)
+  val create : ?metrics:Hsq_obs.Metrics.t -> workers:int -> unit -> t
 
   (** Number of worker domains (compute lanes are [size + 1]: the
       caller participates). *)

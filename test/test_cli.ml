@@ -4,7 +4,10 @@
    - scrub exits 0 on a clean store, 1 on a corrupt one, 2 on missing
      arguments — so cron jobs can alert on store damage;
    - status exits 0 on a healthy durable store, 1 on a damaged one,
-     2 on a missing directory. *)
+     2 on a missing directory;
+   - metrics follows the same 0/1/2 convention and emits parseable
+     JSON / Prometheus text;
+   - query --trace prints one probe span per touched partition. *)
 
 let bin =
   match Sys.getenv_opt "HSQ_BIN" with
@@ -18,6 +21,36 @@ let run args =
   match Unix.system cmd with
   | Unix.WEXITED code -> code
   | Unix.WSIGNALED s | Unix.WSTOPPED s -> Alcotest.failf "hsq killed by signal %d" s
+
+(* Like [run] but keeping stdout (the metrics/trace tests parse it). *)
+let run_capture args =
+  let out = Filename.temp_file "hsq_cli_out" ".txt" in
+  let cmd = Printf.sprintf "%s %s >%s 2>/dev/null" (quote bin) args (quote out) in
+  let code =
+    match Unix.system cmd with
+    | Unix.WEXITED code -> code
+    | Unix.WSIGNALED s | Unix.WSTOPPED s -> Alcotest.failf "hsq killed by signal %d" s
+  in
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Occurrences of [needle] in [hay] (non-overlapping, for span counting). *)
+let count_substring hay needle =
+  let nn = String.length needle in
+  let rec go i acc =
+    if i + nn > String.length hay then acc
+    else if String.sub hay i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  if nn = 0 then 0 else go 0 0
 
 let with_temp_dir f =
   let dir = Filename.temp_file "hsq_cli" "" in
@@ -100,6 +133,88 @@ let test_status_missing_dir () =
   Alcotest.(check int) "status on a missing directory" 2
     (run "status /nonexistent/hsq-store")
 
+let test_metrics_missing_args () =
+  Alcotest.(check int) "metrics without --device/--meta" 2 (run "metrics")
+
+let test_metrics_corrupt_meta () =
+  with_temp_dir (fun dir ->
+      let dev, meta = build_store dir in
+      flip_byte meta 3;
+      Alcotest.(check int) "metrics on a corrupt sidecar" 1
+        (run (Printf.sprintf "metrics --device %s --meta %s" (quote dev) (quote meta))))
+
+let test_metrics_json () =
+  with_temp_dir (fun dir ->
+      let dev, meta = build_store dir in
+      let code, out =
+        run_capture
+          (Printf.sprintf "metrics --device %s --meta %s --format json" (quote dev) (quote meta))
+      in
+      Alcotest.(check int) "metrics exits 0" 0 code;
+      let body = String.trim out in
+      Alcotest.(check bool) "one JSON object" true
+        (String.length body > 2 && body.[0] = '{' && body.[String.length body - 1] = '}');
+      Alcotest.(check bool) "I/O counters exported" true (contains body "\"hsq_io_reads_total\":");
+      (* The default --quantiles were exercised before the dump, so the
+         query-path metrics carry observations. *)
+      Alcotest.(check bool) "query counter exported" true
+        (contains body "\"hsq_query_accurate_total\":3");
+      Alcotest.(check bool) "latency histogram exported" true
+        (contains body "\"hsq_query_accurate_seconds\":{\"count\":3"))
+
+let test_metrics_prometheus () =
+  with_temp_dir (fun dir ->
+      let dev, meta = build_store dir in
+      let code, out =
+        run_capture (Printf.sprintf "metrics --device %s --meta %s" (quote dev) (quote meta))
+      in
+      Alcotest.(check int) "metrics exits 0" 0 code;
+      Alcotest.(check bool) "TYPE comment lines" true
+        (contains out "# TYPE hsq_io_reads_total counter");
+      Alcotest.(check bool) "histogram exposition" true
+        (contains out "hsq_query_accurate_seconds_bucket{le=\"+Inf\"} 3");
+      Alcotest.(check bool) "histogram count line" true
+        (contains out "hsq_query_accurate_seconds_count 3");
+      (* --no-exercise leaves the query path untouched. *)
+      let _, cold =
+        run_capture
+          (Printf.sprintf "metrics --device %s --meta %s --no-exercise" (quote dev) (quote meta))
+      in
+      Alcotest.(check bool) "no-exercise leaves query counters at 0" true
+        (contains cold "hsq_query_accurate_total 0"))
+
+let test_query_trace_spans () =
+  with_temp_dir (fun dir ->
+      let dev, meta = build_store dir in
+      (* build_store archives 4 steps with kappa's default of 10: four
+         level-0 partitions, no merge. Every bisection iteration probes
+         every partition, so the trace must name partitions 1..4. *)
+      let code, out =
+        run_capture
+          (Printf.sprintf "query --device %s --meta %s -q 0.5 --trace" (quote dev) (quote meta))
+      in
+      Alcotest.(check int) "query --trace exits 0" 0 code;
+      Alcotest.(check bool) "trace header printed" true (contains out "trace:");
+      Alcotest.(check bool) "accurate root span" true
+        (contains out "\"name\":\"query.accurate\"");
+      Alcotest.(check bool) "bisection child spans" true (contains out "\"name\":\"bisect\"");
+      for part = 1 to 4 do
+        Alcotest.(check bool)
+          (Printf.sprintf "a probe span for partition %d" part)
+          true
+          (contains out (Printf.sprintf "{\"partition\":\"%d\"" part))
+      done;
+      Alcotest.(check bool) "no phantom partition" false (contains out "{\"partition\":\"5\"");
+      let probes = count_substring out "\"name\":\"probe\"" in
+      let iters = count_substring out "\"name\":\"bisect\"" in
+      Alcotest.(check bool) "one probe per partition per iteration" true (probes = 4 * iters)
+      ;
+      (* Without the flag no trace block is printed. *)
+      let _, plain =
+        run_capture (Printf.sprintf "query --device %s --meta %s -q 0.5" (quote dev) (quote meta))
+      in
+      Alcotest.(check bool) "no trace without --trace" false (contains plain "trace:"))
+
 let () =
   Alcotest.run "cli"
     [
@@ -115,4 +230,12 @@ let () =
           Alcotest.test_case "healthy vs damaged" `Quick test_status_healthy_and_damaged;
           Alcotest.test_case "missing directory" `Quick test_status_missing_dir;
         ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "missing args" `Quick test_metrics_missing_args;
+          Alcotest.test_case "corrupt sidecar" `Quick test_metrics_corrupt_meta;
+          Alcotest.test_case "json export" `Quick test_metrics_json;
+          Alcotest.test_case "prometheus export" `Quick test_metrics_prometheus;
+        ] );
+      ("trace", [ Alcotest.test_case "query --trace span tree" `Quick test_query_trace_spans ]);
     ]

@@ -174,7 +174,7 @@ let test_parallel_sort_matches_sequential () =
    leaving [None] slots in Pool.map or mixing rounds' results; the
    epoch-stamped claim makes every round's output exact. *)
 let test_pool_rounds_isolated () =
-  let pool = Parallel.Pool.create ~workers:3 in
+  let pool = Parallel.Pool.create ~workers:3 () in
   Fun.protect
     ~finally:(fun () -> Parallel.Pool.shutdown pool)
     (fun () ->
@@ -189,7 +189,7 @@ let test_pool_rounds_isolated () =
 (* A failing item stops further claims, re-raises the first exception,
    and leaves the pool usable for subsequent rounds. *)
 let test_pool_failure_stops_and_recovers () =
-  let pool = Parallel.Pool.create ~workers:2 in
+  let pool = Parallel.Pool.create ~workers:2 () in
   Fun.protect
     ~finally:(fun () -> Parallel.Pool.shutdown pool)
     (fun () ->
