@@ -54,6 +54,14 @@ let query_domains =
   in
   Arg.(value & opt (some int) None & info [ "query-domains" ] ~docv:"D" ~doc)
 
+let deadline_ms =
+  let doc =
+    "Accurate-query deadline in milliseconds: a query that overruns it returns its \
+     best-so-far answer, flagged $(b,deadline) with an honest rank-error bound, instead of \
+     blocking. Unset = unbounded."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 (* Durable-ingest options (simulate, stream). *)
 let wal_sync_conv =
   let parse s =
@@ -104,22 +112,24 @@ let report_recovery (r : Hsq.Engine.recovery_report) =
       | None -> ""
       | Some why -> Printf.sprintf "; torn tail floored (%s)" why)
 
-let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_domains ?durable
-    ?(wal_sync = Hsq_storage.Wal.Always) ?(checkpoint_every = 10_000) () =
+let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_domains
+    ?query_deadline_ms ?durable ?(wal_sync = Hsq_storage.Wal.Always)
+    ?(checkpoint_every = 10_000) () =
   match durable with
   | Some dir ->
     if device_path <> None then
       prerr_endline "warning: --device ignored with --durable (the store supplies its own)";
     let config =
-      Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ~wal_dir:dir ~wal_sync
-        ~checkpoint_every (Hsq.Config.Epsilon epsilon)
+      Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
+        ~wal_dir:dir ~wal_sync ~checkpoint_every (Hsq.Config.Epsilon epsilon)
     in
     let eng, report = Hsq.Engine.open_or_recover config in
     report_recovery report;
     eng
   | None -> (
     let config =
-      Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains (Hsq.Config.Epsilon epsilon)
+      Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
+        (Hsq.Config.Epsilon epsilon)
     in
     match device_path with
     | None -> Hsq.Engine.create config
@@ -134,7 +144,12 @@ let report_quantiles eng phis =
       Printf.printf "phi=%-5g  value=%-12d  (disk accesses: %d, bisection steps: %d)%s\n" phi v
         (Hsq_storage.Io_stats.total report.Hsq.Engine.io)
         report.Hsq.Engine.iterations
-        (if report.Hsq.Engine.degraded then "  [DEGRADED: quick-path answer]" else ""))
+        (match report.Hsq.Engine.degradation with
+        | `None -> ""
+        | d ->
+          Printf.sprintf "  [DEGRADED(%s): rank error <= %.0f]"
+            (Hsq.Engine.degradation_label d)
+            report.Hsq.Engine.rank_error_bound))
     phis
 
 let report_footprint eng =
@@ -154,11 +169,11 @@ let save_meta =
   Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
 
 let simulate dataset steps step_size seed epsilon kappa block_size device_path query_domains
-    phis verify save_meta durable wal_sync checkpoint_every =
+    deadline_ms phis verify save_meta durable wal_sync checkpoint_every =
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps ?query_domains
-      ?durable ~wal_sync ~checkpoint_every ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
   in
   let oracle = if verify then Some (Hsq_workload.Oracle.create ()) else None in
   let total_io = ref Hsq_storage.Io_stats.zero in
@@ -225,16 +240,16 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
-      $ device_path $ query_domains $ phis $ verify $ save_meta $ durable_dir $ wal_sync
-      $ checkpoint_every)
+      $ device_path $ query_domains $ deadline_ms $ phis $ verify $ save_meta $ durable_dir
+      $ wal_sync $ checkpoint_every)
 
 (* --- stream ------------------------------------------------------------- *)
 
-let stream step_every epsilon kappa block_size device_path query_domains phis durable wal_sync
-    checkpoint_every =
+let stream step_every epsilon kappa block_size device_path query_domains deadline_ms phis
+    durable wal_sync checkpoint_every =
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100 ?query_domains
-      ?durable ~wal_sync ~checkpoint_every ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
   in
   let in_step = ref 0 in
   (try
@@ -284,15 +299,18 @@ let stream_cmd =
     (Cmd.info "stream" ~doc)
     Term.(
       const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ query_domains
-      $ phis $ durable_dir $ wal_sync $ checkpoint_every)
+      $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every)
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
-let query device meta query_domains phis heavy trace =
+let query device meta query_domains deadline_ms phis heavy trace =
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
-      let eng = Hsq.Persist.load_files ?query_domains ~device_path ~meta_path () in
+      let eng =
+        Hsq.Persist.load_files ?query_domains ?query_deadline_ms:deadline_ms ~device_path
+          ~meta_path ()
+      in
       let tracer = if trace then Some (Hsq_obs.Trace.create ()) else None in
       Hsq.Engine.set_tracer eng tracer;
       report_footprint eng;
@@ -351,7 +369,7 @@ let query_cmd =
   in
   let doc = "Query a previously saved warehouse (see simulate --save-meta)." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const query $ device_path $ meta $ query_domains $ phis $ heavy $ trace)
+    Term.(const query $ device_path $ meta $ query_domains $ deadline_ms $ phis $ heavy $ trace)
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -404,14 +422,24 @@ let inspect_cmd =
 
 (* --- scrub ----------------------------------------------------------------- *)
 
-let scrub device meta =
+let scrub device meta repair =
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
       let eng = Hsq.Persist.load_files ~device_path ~meta_path () in
-      let report = Hsq.Persist.scrub eng in
+      let report = Hsq.Persist.scrub ~repair eng in
       Printf.printf "scrubbed %d partitions (%d block reads)\n" report.Hsq.Persist.partitions_checked
         report.Hsq.Persist.blocks_read;
+      if repair then begin
+        Printf.printf "repair: %d quarantined, %d reinstated, %d still quarantined\n"
+          report.Hsq.Persist.quarantined report.Hsq.Persist.reinstated
+          report.Hsq.Persist.still_quarantined;
+        (* Persist the new quarantine set so later opens honour it. *)
+        Hsq.Persist.save eng ~path:meta_path
+      end
+      else if report.Hsq.Persist.still_quarantined > 0 then
+        Printf.printf "%d partitions quarantined (re-verify with --repair)\n"
+          report.Hsq.Persist.still_quarantined;
       let stats =
         Hsq_storage.Io_stats.snapshot (Hsq_storage.Block_device.stats (Hsq.Engine.device eng))
       in
@@ -441,15 +469,60 @@ let scrub_cmd =
   let meta =
     Arg.(value & opt (some string) None & info [ "meta" ] ~docv:"PATH" ~doc:"Metadata sidecar.")
   in
+  let repair =
+    let doc =
+      "Act on what the scrub finds: quarantine partitions that fail verification, re-verify \
+       and reinstate previously quarantined ones, and save the updated sidecar."
+    in
+    Arg.(value & flag & info [ "repair" ] ~doc)
+  in
   let doc =
     "Verify a saved warehouse end to end: re-read every partition, checking block checksums \
      and sortedness. Exits non-zero if any damage is found."
   in
-  Cmd.v (Cmd.info "scrub" ~doc) Term.(const scrub $ device_path $ meta)
+  Cmd.v (Cmd.info "scrub" ~doc) Term.(const scrub $ device_path $ meta $ repair)
 
 (* --- status (durable store health) ----------------------------------------- *)
 
-let status dir pool_blocks =
+(* Failure-containment health, sourced from the metrics registry the
+   breaker, quarantine, and scrub layers export into (plus the level
+   index directly for per-level detail). *)
+let report_health eng =
+  let reg = Hsq.Engine.metrics eng in
+  let hist = Hsq.Engine.hist eng in
+  let breaker =
+    Hsq_storage.Breaker.state_to_string
+      (Hsq_storage.Block_device.breaker_state (Hsq.Engine.device eng))
+  in
+  let transitions =
+    match Hsq_obs.Metrics.counter_value reg "hsq_breaker_transitions_total" with
+    | Some n -> n
+    | None -> 0
+  in
+  Printf.printf "health: device breaker %s (%d transitions)\n" breaker transitions;
+  let qp = Hsq_hist.Level_index.quarantined_count hist in
+  if qp = 0 then print_endline "health: no quarantined partitions"
+  else begin
+    Printf.printf "health: %d quarantined partitions (%d elements unavailable to queries)\n" qp
+      (Hsq_hist.Level_index.quarantined_elements hist);
+    for l = 0 to Hsq_hist.Level_index.num_levels hist - 1 do
+      match
+        Hsq_obs.Metrics.gauge_value reg (Printf.sprintf "hsq_quarantined_partitions_level_%d" l)
+      with
+      | Some g when g > 0.0 -> Printf.printf "health:   level %d: %.0f quarantined\n" l g
+      | _ -> ()
+    done
+  end;
+  match Hsq_obs.Metrics.gauge_value reg "hsq_scrub_last_time_s" with
+  | None | Some 0.0 -> print_endline "health: no scrub recorded in this process"
+  | Some _ ->
+    let g name = match Hsq_obs.Metrics.gauge_value reg name with Some v -> v | None -> 0.0 in
+    Printf.printf "health: last scrub: %.0f errors, %.0f quarantined, %.0f reinstated\n"
+      (g "hsq_scrub_last_errors")
+      (g "hsq_scrub_last_quarantined")
+      (g "hsq_scrub_last_reinstated")
+
+let status dir pool_blocks health =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Printf.eprintf "no such store directory: %s\n" dir;
     2
@@ -476,6 +549,7 @@ let status dir pool_blocks =
             pool_blocks hits misses
             (100.0 *. float_of_int hits /. float_of_int (hits + misses))
         | _ -> ());
+        if health then report_health eng;
         Hsq_storage.Block_device.close (Hsq.Engine.device eng)
       | exception Hsq.Persist.Corrupt_metadata msg -> problem "warehouse: CORRUPT — %s" msg
       | exception Hsq_storage.Block_device.Device_error msg ->
@@ -540,12 +614,19 @@ let status_cmd =
     in
     Arg.(value & opt int 256 & info [ "pool-blocks" ] ~docv:"N" ~doc)
   in
+  let health =
+    let doc =
+      "Also report failure-containment state: the device circuit breaker, quarantined \
+       partitions per level, and the last scrub outcome."
+    in
+    Arg.(value & flag & info [ "health" ] ~doc)
+  in
   let doc =
     "Report the health of a durable store: warehouse commit state, WAL extent and tail, and \
      sketch-checkpoint coverage. Exits non-zero if the store is damaged beyond what recovery \
      handles."
   in
-  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir $ pool_blocks)
+  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir $ pool_blocks $ health)
 
 (* --- metrics --------------------------------------------------------------- *)
 

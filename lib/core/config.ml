@@ -32,6 +32,9 @@ type t = {
   wal_dir : string option; (* durable-ingest directory; None = stream side is volatile *)
   wal_sync : Hsq_storage.Wal.sync_policy; (* group-commit policy for the WAL *)
   checkpoint_every : int; (* WAL records between sketch checkpoints; 0 = never *)
+  query_deadline_ms : float option; (* default accurate-query deadline; None = unbounded *)
+  quarantine_after : int; (* consecutive unrecoverable probe failures before
+                             a partition is quarantined *)
 }
 
 let default =
@@ -47,12 +50,15 @@ let default =
     wal_dir = None;
     wal_sync = Hsq_storage.Wal.Always;
     checkpoint_every = 10_000;
+    query_deadline_ms = None;
+    quarantine_after = 3;
   }
 
 let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memory
     ?(steps_hint = default.steps_hint) ?(stream_fraction = default.stream_fraction) ?sort_domains
     ?query_domains ?wal_dir ?(wal_sync = default.wal_sync)
-    ?(checkpoint_every = default.checkpoint_every) sizing =
+    ?(checkpoint_every = default.checkpoint_every) ?query_deadline_ms
+    ?(quarantine_after = default.quarantine_after) sizing =
   (match sizing with
   | Epsilon e when not (e > 0.0 && e < 1.0) -> invalid_arg "Config.make: epsilon not in (0,1)"
   | Epsilon _ -> ()
@@ -73,6 +79,10 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
   | Hsq_storage.Wal.Group n when n < 1 -> invalid_arg "Config.make: group-commit window must be >= 1"
   | _ -> ());
   if checkpoint_every < 0 then invalid_arg "Config.make: checkpoint_every must be >= 0";
+  (match query_deadline_ms with
+  | Some d when not (d > 0.0) -> invalid_arg "Config.make: query_deadline_ms must be > 0"
+  | _ -> ());
+  if quarantine_after < 1 then invalid_arg "Config.make: quarantine_after must be >= 1";
   {
     sizing;
     kappa;
@@ -85,6 +95,8 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
     wal_dir;
     wal_sync;
     checkpoint_every;
+    query_deadline_ms;
+    quarantine_after;
   }
 
 (* Maximum simultaneous partitions: kappa per level, over

@@ -35,6 +35,16 @@ type t = {
   checkpoint_every : int;
       (** WAL records between sketch checkpoints; 0 disables
           checkpointing (recovery then replays the whole open step) *)
+  query_deadline_ms : float option;
+      (** default deadline for accurate queries, in milliseconds: the
+          bisection stops at the deadline and returns its best-so-far
+          answer with the current rank-error bound
+          ([degradation = `Deadline] in the report). [None] =
+          unbounded. Runtime policy, like [query_domains]: never
+          persisted. Per-call [?deadline_ms] overrides it. *)
+  quarantine_after : int;
+      (** consecutive unrecoverable probe failures (per partition)
+          before the partition is quarantined; default 3 *)
 }
 
 val default : t
@@ -53,6 +63,8 @@ val make :
   ?wal_dir:string ->
   ?wal_sync:Hsq_storage.Wal.sync_policy ->
   ?checkpoint_every:int ->
+  ?query_deadline_ms:float ->
+  ?quarantine_after:int ->
   sizing ->
   t
 

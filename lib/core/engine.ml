@@ -111,15 +111,27 @@ type t = {
   mutable tracer : Trace.t option;
 }
 
+(* How far an answer fell from the full O(eps*m) contract, in order of
+   increasing severity.  `Quarantined carries the number of elements
+   the excluded partitions hold — the bound widening. *)
+type degradation =
+  [ `None | `Quarantined of int | `Deadline | `Device_open ]
+
 type query_report = {
   io : Hsq_storage.Io_stats.counters;
   iterations : int; (* value-domain bisection steps (Algorithm 8 calls) *)
-  degraded : bool; (* an unrecoverable device error aborted the disk
-                      probes and the answer came from the in-memory
-                      quick path (Algorithm 5) instead *)
+  degradation : degradation;
+  rank_error_bound : float; (* upper bound on |rank(answer) - rank|
+                               under the degradation above *)
   span : Trace.span option; (* the query's root trace span when tracing
                                is on (set_tracer); None otherwise *)
 }
+
+let degradation_label : degradation -> string = function
+  | `None -> "none"
+  | `Quarantined _ -> "quarantined"
+  | `Deadline -> "deadline"
+  | `Device_open -> "device_open"
 
 let fresh_gk config =
   match Config.gk_epsilon config with
@@ -311,8 +323,13 @@ let hist_aggregate t =
   match t.hist_cache with
   | Some (e, agg) when e = epoch -> agg
   | _ ->
+    (* Active partitions only: a quarantined partition's summary may be
+       degenerate (restored without reading its bad blocks), so queries
+       exclude it and widen their reported bound instead.  Quarantine
+       transitions bump the epoch, so the cache refreshes. *)
     let agg =
-      Union_summary.hist_aggregate ~partitions:(Hsq_hist.Level_index.partitions t.hist)
+      Union_summary.hist_aggregate
+        ~partitions:(Hsq_hist.Level_index.active_partitions t.hist)
     in
     t.hist_cache <- Some (epoch, agg);
     agg
@@ -347,19 +364,26 @@ let cached_summaries t =
 
 let cached_union_summary t = snd (cached_summaries t)
 
-(* Cache-bypassing build over the full partition set; the fuzz suite
-   compares this against the cached path entry for entry. *)
+let not_quarantined t p = not (Hsq_hist.Level_index.is_quarantined t.hist p)
+
+(* Cache-bypassing build over the full active partition set; the fuzz
+   suite compares this against the cached path entry for entry. *)
 let fresh_union_summary t =
-  Union_summary.build ~partitions:(Hsq_hist.Level_index.partitions t.hist)
+  Union_summary.build ~partitions:(Hsq_hist.Level_index.active_partitions t.hist)
     ~stream:(stream_summary t)
 
 (* Explicit partition subsets (windows, ranges) bypass the cache: the
    aggregate covers the full set and per-suffix bounds are not
    recoverable from it.  Those queries are rare next to full-set ones,
-   and still benefit from the array build path. *)
+   and still benefit from the array build path.  Quarantined members of
+   the subset are dropped here too — never build a union over a
+   summary that may be degenerate. *)
 let union_summary ?partitions t =
   match partitions with
-  | Some ps -> Union_summary.build ~partitions:ps ~stream:(stream_summary t)
+  | Some ps ->
+    Union_summary.build
+      ~partitions:(List.filter (not_quarantined t) ps)
+      ~stream:(stream_summary t)
   | None -> cached_union_summary t
 
 let clamp_rank ~n r = if r < 1 then 1 else if r > n then n else r
@@ -370,8 +394,49 @@ let quick_us us ~rank =
   if n = 0 then invalid_arg "Engine.quick: no data";
   Union_summary.quick_select us ~rank:(clamp_rank ~n rank)
 
-let quick_over t ~partitions ~rank =
-  quick_us (Union_summary.build ~partitions ~stream:(stream_summary t)) ~rank
+(* The union the quick path answers from.  Normally the cached
+   active-set summary; when quarantine has emptied the active view
+   while the stream is empty (yet archived data exists), fall back to a
+   memory-only union over the *full* partition set.  Quarantine marks a
+   partition's disk blocks unreadable, but its in-memory summary still
+   describes the archived elements — so the fallback answers with
+   honest (possibly wide: a sidecar-restored quarantined partition
+   contributes a maximal [0, size] window) Lemma 2 bounds at zero
+   device reads.  Returns the summary and [true] iff it is the
+   fallback, whose bound must not be double-widened by the quarantined
+   element count the summary already covers. *)
+let quick_view t =
+  let us = cached_union_summary t in
+  if Union_summary.n_total us > 0 then (us, false)
+  else
+    let full =
+      Union_summary.build
+        ~partitions:(Hsq_hist.Level_index.partitions t.hist)
+        ~stream:(stream_summary t)
+    in
+    if Union_summary.size full > 0 then (full, true) else (us, false)
+
+let quick_over t ~partitions ~rank = quick_us (union_summary ~partitions t) ~rank
+
+(* Quick answer plus the rank window it can be off by — what a caller
+   holding an exact oracle (the chaos harness) checks, and what the
+   degraded paths of the accurate query report.  The bound is
+   [max (U - r) (r - L)] from the union summary's Lemma 2 windows,
+   widened by the element count of any quarantined partitions (their
+   ranks are unknown in [0, size]). *)
+let rank_bound_of us ~rank v ~widen =
+  let r = float_of_int rank in
+  let lo, hi = Union_summary.rank_window us v in
+  Float.max (hi -. r) (r -. lo) +. float_of_int widen
+
+let quick_with_bound t ~rank =
+  let us, fallback = quick_view t in
+  let n = Union_summary.n_total us in
+  if n = 0 then invalid_arg "Engine.quick: no data";
+  let rank = clamp_rank ~n rank in
+  let v = Union_summary.quick_select us ~rank in
+  let widen = if fallback then 0 else Hsq_hist.Level_index.quarantined_elements t.hist in
+  (v, rank_bound_of us ~rank v ~widen)
 
 let quick t ~rank =
   let em = t.metrics in
@@ -383,15 +448,15 @@ let quick t ~rank =
        measured (see engine_metrics). *)
     if em.quick_total land quick_sample_mask = 0 then begin
       let t0 = Metrics.now_s () in
-      let v = quick_us (cached_union_summary t) ~rank in
+      let v = quick_us (fst (quick_view t)) ~rank in
       Metrics.Histogram.observe em.quick_hist (Metrics.now_s () -. t0);
       v
     end
-    else quick_us (cached_union_summary t) ~rank
+    else quick_us (fst (quick_view t)) ~rank
   | Some tr ->
     Trace.with_span tr ~attrs:[ ("rank", string_of_int rank) ] "query.quick" (fun _ ->
         let t0 = Metrics.now_s () in
-        let v = quick_us (cached_union_summary t) ~rank in
+        let v = quick_us (fst (quick_view t)) ~rank in
         Metrics.Histogram.observe em.quick_hist (Metrics.now_s () -. t0);
         v)
 
@@ -407,210 +472,320 @@ type probe_state = {
   mutable hi : int;
 }
 
-let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
-  let ss, us =
-    match summaries with
-    | Some pair -> pair
-    | None ->
-      let ss = stream_summary t in
-      (ss, Union_summary.build ~partitions ~stream:ss)
-  in
-  let n = Union_summary.n_total us in
-  if n = 0 then invalid_arg "Engine.accurate: no data";
-  let rank = clamp_rank ~n rank in
+(* Internal control flow of the accurate path: a probe that exhausted
+   the device's bounded retries (carrying the partition it hit), and a
+   bisection cut by the deadline (carrying the surviving filter
+   interval [u, v]). *)
+exception Probe_failure of Hsq_hist.Partition.t * string
+exception Deadline_cut of int * int
+
+let accurate_over ?(tolerance_factor = 0.5) ?deadline_ms ?summaries ?refresh t ~partitions
+    ~rank =
   let em = t.metrics in
   let tr = t.tracer in
   em.accurate_total <- em.accurate_total + 1;
   let tq0 = Metrics.now_s () in
+  (* Per-call deadline wins over the config default; both count wall
+     clock from query start. *)
+  let deadline_at =
+    match (deadline_ms, t.config.Config.query_deadline_ms) with
+    | Some d, _ | None, Some d -> Some (tq0 +. (d /. 1000.0))
+    | None, None -> None
+  in
+  let cancel = Option.map (fun d () -> Metrics.now_s () > d) deadline_at in
   let stats = Hsq_storage.Block_device.stats t.dev in
   let before = Hsq_storage.Io_stats.snapshot stats in
-  let u0, v0 = Union_summary.filters us ~rank in
-  let probes =
-    Array.of_list
-      (List.map
-         (fun p ->
-           let lo, hi =
-             Hsq_hist.Partition_summary.search_window (Hsq_hist.Partition.summary p) ~u:u0
-               ~v:v0
-           in
-           { partition = p; lo; hi })
-         partitions)
-  in
-  (* Stopping band of Algorithm 8, as a multiple of eps2*m.  The paper
-     stops within +-eps*m (factor 4); we default to the tighter factor
-     1/2 — the rho estimate is already that accurate, the extra
-     bisection steps mostly hit cached blocks, and the answer improves
-     ~4x.  This knob is the accuracy/disk-access axis of the tradeoff
-     space the paper's conclusion discusses; the ablation bench sweeps
-     it. *)
-  let m = float_of_int (Stream_summary.stream_size ss) in
-  let tolerance = tolerance_factor *. Stream_summary.eps2 ss *. m in
-  let r = float_of_int rank in
   let iterations = ref 0 in
-  (* rho(z) = exact historical rank (lines 2-7) + estimated stream rank
-     (lines 8-10).  Returns the per-partition ranks so the caller can
-     narrow the next iteration's search windows.
+  let domains_conf =
+    match t.config.Config.query_domains with Some d when d > 1 -> d | _ -> 1
+  in
+  (* One full bisection (Algorithms 6-8) over a fixed active partition
+     set; raises [Probe_failure] on an unrecoverable device error and
+     [Deadline_cut] when the deadline passes between iterations (or a
+     parallel probe round is cancelled mid-flight). *)
+  let attempt ~parent ss us active ~rank =
+    let u0, v0 = Union_summary.filters us ~rank in
+    let probes =
+      Array.of_list
+        (List.map
+           (fun p ->
+             let lo, hi =
+               Hsq_hist.Partition_summary.search_window (Hsq_hist.Partition.summary p) ~u:u0
+                 ~v:v0
+             in
+             { partition = p; lo; hi })
+           active)
+    in
+    (* Stopping band of Algorithm 8, as a multiple of eps2*m.  The paper
+       stops within +-eps*m (factor 4); we default to the tighter factor
+       1/2 — the rho estimate is already that accurate, the extra
+       bisection steps mostly hit cached blocks, and the answer improves
+       ~4x.  This knob is the accuracy/disk-access axis of the tradeoff
+       space the paper's conclusion discusses; the ablation bench sweeps
+       it. *)
+    let m = float_of_int (Stream_summary.stream_size ss) in
+    let tolerance = tolerance_factor *. Stream_summary.eps2 ss *. m in
+    let r = float_of_int rank in
+    (* rho(z) = exact historical rank (lines 2-7) + estimated stream rank
+       (lines 8-10).  Returns the per-partition ranks so the caller can
+       narrow the next iteration's search windows.
 
-     With [query_domains] > 1 the per-partition disk probes of one
-     iteration fan out over a persistent worker pool (the paper's
-     future-work parallel partition processing): each partition is
-     probed by exactly one domain per round — its Run's one-block cache
-     is never shared — and the device serializes pool and file-channel
-     access internally.  Pool.map preserves order, so answers and the
-     narrowing schedule are identical to the sequential path, and on
-     fault-free queries so are the read counts.  On a probe failure the
-     pool stops claiming further probes and re-raises once the in-flight
-     ones finish, so the degraded fallback triggers as in the sequential
-     path, with at most one extra probe's I/O per compute lane. *)
-  let domains =
-    match t.config.Config.query_domains with
-    | Some d when d > 1 && Array.length probes > 1 -> d
-    | _ -> 1
-  in
-  let probe_one z st =
-    if st.lo >= st.hi then st.lo
-    else
-      Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo ~hi:st.hi z
-  in
-  (* Traced probes: one span per partition per iteration (closed windows
-     included, with resolved=summary), attached to the iteration span by
-     explicit parent — [with_child] never touches the trace's stack, so
-     probes running on pool worker domains record safely. *)
-  let probe_traced trc parent z st =
-    Trace.with_child trc ~parent
-      ~attrs:
-        [
-          ("partition", string_of_int (Hsq_hist.Partition.first_step st.partition));
-          ("resolved", (if st.lo >= st.hi then "summary" else "disk"));
-        ]
-      "probe"
-      (fun _ -> probe_one z st)
-  in
-  let estimate ?parent z =
-    let probe =
-      match (tr, parent) with
-      | Some trc, Some par -> probe_traced trc par z
-      | _ -> probe_one z
+       With [query_domains] > 1 the per-partition disk probes of one
+       iteration fan out over a persistent worker pool (the paper's
+       future-work parallel partition processing): each partition is
+       probed by exactly one domain per round — its Run's one-block cache
+       is never shared — and the device serializes pool and file-channel
+       access internally.  Pool.map preserves order, so answers and the
+       narrowing schedule are identical to the sequential path, and on
+       fault-free queries so are the read counts.  On a probe failure the
+       pool stops claiming further probes and re-raises once the in-flight
+       ones finish, so the containment fallbacks trigger as in the
+       sequential path, with at most one extra probe's I/O per lane. *)
+    let domains = if domains_conf > 1 && Array.length probes > 1 then domains_conf else 1 in
+    let probe_one z st =
+      if st.lo >= st.hi then st.lo
+      else
+        try
+          Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo
+            ~hi:st.hi z
+        with Hsq_storage.Block_device.Device_error msg ->
+          raise (Probe_failure (st.partition, msg))
     in
-    let traced = match (tr, parent) with Some _, Some _ -> true | _ -> false in
-    let ranks =
-      if domains = 1 then Array.map probe probes
-      else begin
-        (* Fan out only the probes whose window is still open — a
-           closed window ([lo >= hi]) resolves from the summary with no
-           I/O, and spawning domains for it would cost more than the
-           whole iteration.  Probes keep their array order, so the
-           narrowing schedule matches the sequential path exactly. *)
-        let ranks = Array.make (Array.length probes) 0 in
-        let open_idx = ref [] in
-        for i = Array.length probes - 1 downto 0 do
-          if probes.(i).lo >= probes.(i).hi then
-            (* A closed window resolves from the summary with no I/O; a
-               traced run still records its span for completeness. *)
-            ranks.(i) <- (if traced then probe probes.(i) else probes.(i).lo)
-          else open_idx := i :: !open_idx
-        done;
-        (match !open_idx with
-        | [] -> ()
-        | [ i ] -> ranks.(i) <- probe probes.(i)
-        | is ->
-          let pool =
-            match t.query_pool with
-            | Some p -> p
-            | None ->
-              let p =
-                Hsq_util.Parallel.Pool.create
-                  ~metrics:(Hsq_storage.Io_stats.registry stats)
-                  ~workers:(domains - 1) ()
-              in
-              t.query_pool <- Some p;
-              p
-          in
-          let idx = Array.of_list is in
-          let got = Hsq_util.Parallel.Pool.map pool (fun i -> probe probes.(i)) idx in
-          Array.iteri (fun k i -> ranks.(i) <- got.(k)) idx);
-        ranks
-      end
+    (* Traced probes: one span per partition per iteration (closed windows
+       included, with resolved=summary), attached to the iteration span by
+       explicit parent — [with_child] never touches the trace's stack, so
+       probes running on pool worker domains record safely. *)
+    let probe_traced trc parent z st =
+      Trace.with_child trc ~parent
+        ~attrs:
+          [
+            ("partition", string_of_int (Hsq_hist.Partition.first_step st.partition));
+            ("resolved", (if st.lo >= st.hi then "summary" else "disk"));
+          ]
+        "probe"
+        (fun _ -> probe_one z st)
     in
-    let rho1 = Array.fold_left ( + ) 0 ranks in
-    (ranks, float_of_int rho1 +. Stream_summary.rank_estimate ss z)
-  in
-  (* rank(z') for z' < z is at most rank(z), and at least rank(z) for
-     z' > z — so each bisection step halves the per-partition windows
-     too, and the one-block run caches make the tail probes free. *)
-  let narrow ~left ranks =
-    Array.iteri
-      (fun i st ->
-        let rank_z = ranks.(i) in
-        if left then st.hi <- min st.hi rank_z else st.lo <- max st.lo rank_z)
-      probes
-  in
-  (* Each bisection iteration's body runs in its own child span of the
-     query root; the recursion happens after the iteration span closed,
-     so iterations are siblings, not nested. *)
-  let rec bisect ~parent u v =
-    incr iterations;
-    let run_iter iter_span =
-      if v - u <= 1 then begin
-        (* rank(u,T) <= r <= rank(v,T) is invariant; v is the smallest
-           candidate whose rank can reach r — the Definition-1 answer —
-           unless the estimate says u already covers r. *)
-        let _, rho_u = estimate ?parent:iter_span u in
-        `Done (if rho_u >= r then u else v)
-      end
-      else begin
-        let z = u + ((v - u) / 2) in
-        let ranks, rho = estimate ?parent:iter_span z in
-        if r < rho -. tolerance then begin
-          narrow ~left:true ranks;
-          `Left z
+    let estimate ?parent z =
+      let probe =
+        match (tr, parent) with
+        | Some trc, Some par -> probe_traced trc par z
+        | _ -> probe_one z
+      in
+      let traced = match (tr, parent) with Some _, Some _ -> true | _ -> false in
+      let ranks =
+        if domains = 1 then Array.map probe probes
+        else begin
+          (* Fan out only the probes whose window is still open — a
+             closed window ([lo >= hi]) resolves from the summary with no
+             I/O, and spawning domains for it would cost more than the
+             whole iteration.  Probes keep their array order, so the
+             narrowing schedule matches the sequential path exactly. *)
+          let ranks = Array.make (Array.length probes) 0 in
+          let open_idx = ref [] in
+          for i = Array.length probes - 1 downto 0 do
+            if probes.(i).lo >= probes.(i).hi then
+              (* A closed window resolves from the summary with no I/O; a
+                 traced run still records its span for completeness. *)
+              ranks.(i) <- (if traced then probe probes.(i) else probes.(i).lo)
+            else open_idx := i :: !open_idx
+          done;
+          (match !open_idx with
+          | [] -> ()
+          | [ i ] -> ranks.(i) <- probe probes.(i)
+          | is ->
+            let pool =
+              match t.query_pool with
+              | Some p -> p
+              | None ->
+                let p =
+                  Hsq_util.Parallel.Pool.create
+                    ~metrics:(Hsq_storage.Io_stats.registry stats)
+                    ~workers:(domains - 1) ()
+                in
+                t.query_pool <- Some p;
+                p
+            in
+            let idx = Array.of_list is in
+            let got = Hsq_util.Parallel.Pool.map ?cancel pool (fun i -> probe probes.(i)) idx in
+            Array.iteri (fun k i -> ranks.(i) <- got.(k)) idx);
+          ranks
         end
-        else if r > rho +. tolerance then begin
-          narrow ~left:false ranks;
-          `Right z
+      in
+      let rho1 = Array.fold_left ( + ) 0 ranks in
+      (ranks, float_of_int rho1 +. Stream_summary.rank_estimate ss z)
+    in
+    (* rank(z') for z' < z is at most rank(z), and at least rank(z) for
+       z' > z — so each bisection step halves the per-partition windows
+       too, and the one-block run caches make the tail probes free. *)
+    let narrow ~left ranks =
+      Array.iteri
+        (fun i st ->
+          let rank_z = ranks.(i) in
+          if left then st.hi <- min st.hi rank_z else st.lo <- max st.lo rank_z)
+        probes
+    in
+    (* Each bisection iteration's body runs in its own child span of the
+       query root; the recursion happens after the iteration span closed,
+       so iterations are siblings, not nested.  The deadline is checked
+       between iterations (the probes of one iteration are also
+       individually cancellable through the pool); a cut carries the
+       current interval so the caller can clamp its best-so-far answer. *)
+    let rec bisect ~parent u v =
+      (match deadline_at with
+      | Some d when Metrics.now_s () > d -> raise (Deadline_cut (u, v))
+      | _ -> ());
+      incr iterations;
+      let run_iter iter_span =
+        if v - u <= 1 then begin
+          (* rank(u,T) <= r <= rank(v,T) is invariant; v is the smallest
+             candidate whose rank can reach r — the Definition-1 answer —
+             unless the estimate says u already covers r. *)
+          let _, rho_u = estimate ?parent:iter_span u in
+          `Done (if rho_u >= r then u else v)
         end
-        else `Done z
-      end
+        else begin
+          let z = u + ((v - u) / 2) in
+          let ranks, rho = estimate ?parent:iter_span z in
+          if r < rho -. tolerance then begin
+            narrow ~left:true ranks;
+            `Left z
+          end
+          else if r > rho +. tolerance then begin
+            narrow ~left:false ranks;
+            `Right z
+          end
+          else `Done z
+        end
+      in
+      let decision =
+        try
+          match (tr, parent) with
+          | Some trc, Some root ->
+            Trace.with_child trc ~parent:root
+              ~attrs:
+                [
+                  ("iter", string_of_int !iterations);
+                  ("u", string_of_int u);
+                  ("v", string_of_int v);
+                ]
+              "bisect"
+              (fun sp -> run_iter (Some sp))
+          | _ -> run_iter None
+        with Hsq_util.Parallel.Pool.Cancelled -> raise (Deadline_cut (u, v))
+      in
+      match decision with
+      | `Done z -> z
+      | `Left z -> bisect ~parent u z
+      | `Right z -> bisect ~parent z v
     in
-    let decision =
-      match (tr, parent) with
-      | Some trc, Some root ->
-        Trace.with_child trc ~parent:root
-          ~attrs:
-            [
-              ("iter", string_of_int !iterations);
-              ("u", string_of_int u);
-              ("v", string_of_int v);
-            ]
-          "bisect"
-          (fun sp -> run_iter (Some sp))
-      | _ -> run_iter None
-    in
-    match decision with
-    | `Done z -> z
-    | `Left z -> bisect ~parent u z
-    | `Right z -> bisect ~parent z v
+    bisect ~parent u0 v0
   in
-  (* Graceful degradation: if a partition probe hits an unrecoverable
-     device error (the bounded retries are exhausted inside
-     Block_device.read_block), answer from the in-memory union summary
-     instead of failing the query.  The quick answer is within the
-     Lemma 3 bound — strictly worse than O(eps*m) but still bounded —
-     and the report says so via [degraded]. *)
+  (* Summaries for a retry after the active set changed underneath a
+     quarantine: the full-set path supplies the engine's summary cache
+     (the quarantine bumped the epoch, so the cached union rebuilds
+     over the new active set for free on later queries too); subset
+     paths rebuild over the surviving members. *)
+  let refetch =
+    match refresh with
+    | Some f -> f
+    | None ->
+      fun () ->
+        let act = List.filter (not_quarantined t) partitions in
+        let ss = stream_summary t in
+        (ss, Union_summary.build ~partitions:act ~stream:ss)
+  in
+  let quarantined_elems () =
+    List.fold_left
+      (fun acc p ->
+        if Hsq_hist.Level_index.is_quarantined t.hist p then acc + Hsq_hist.Partition.size p
+        else acc)
+      0 partitions
+  in
+  (* Failure containment.  Every [Probe_failure] either quarantines its
+     partition (shrinking the probe set) or advances its consecutive-
+     failure count toward [quarantine_after], so the retry loop
+     terminates; the cap is belt and braces.  A breaker-open device
+     means the fault is not this partition's — answer from memory and
+     leave healthy partitions alone. *)
+  let max_retries = (List.length partitions * t.config.Config.quarantine_after) + 2 in
+  (* Memory-only union over the query's full partition scope, including
+     quarantined members: the last resort when quarantine has emptied
+     the active view (see [quick_view] for why the in-memory summaries
+     remain honest).  No extra widening — the summary covers the
+     quarantined elements itself, wide windows and all. *)
+  let full_scope_fallback () =
+    let us = Union_summary.build ~partitions ~stream:(stream_summary t) in
+    if Union_summary.size us = 0 then invalid_arg "Engine.accurate: no data";
+    let rank = clamp_rank ~n:(Union_summary.n_total us) rank in
+    let v = Union_summary.quick_select us ~rank in
+    (v, `Device_open, rank_bound_of us ~rank v ~widen:0)
+  in
   let run_query parent =
-    try (bisect ~parent u0 v0, false)
-    with Hsq_storage.Block_device.Device_error _ ->
-      (Union_summary.quick_select us ~rank, true)
+    let rec go tries pair =
+      let ss, us = match pair with Some p -> p | None -> refetch () in
+      let n = Union_summary.n_total us in
+      if n = 0 then full_scope_fallback ()
+      else begin
+      let rank = clamp_rank ~n rank in
+      let active = List.filter (not_quarantined t) partitions in
+      let q = quarantined_elems () in
+      (* [q] is re-read here rather than captured: a quarantine later in
+         this iteration must widen the fallback's bound too. *)
+      let finish_quick degradation =
+        let v = Union_summary.quick_select us ~rank in
+        (v, degradation, rank_bound_of us ~rank v ~widen:(quarantined_elems ()))
+      in
+      match attempt ~parent ss us active ~rank with
+      | answer ->
+        List.iter (Hsq_hist.Level_index.note_probe_success t.hist) active;
+        let m = float_of_int (Stream_summary.stream_size ss) in
+        let tolerance = tolerance_factor *. Stream_summary.eps2 ss *. m in
+        let degradation = if q > 0 then `Quarantined q else `None in
+        (* Honest bound the chaos oracle can check: the stopping band
+           plus the stream estimate's own uncertainty (the bisection
+           stops on an estimate that is exact over the probed history
+           but ±ε₂·m over the stream, with integer-boundary slack). *)
+        let estimate_slack = (Stream_summary.eps2 ss *. m) +. 2.0 in
+        (answer, degradation, tolerance +. estimate_slack +. float_of_int q)
+      | exception Deadline_cut (u, v) ->
+        (* Best-so-far: the quick answer clamped into the surviving
+           filter interval [u, v] (rank(u) <= rank <= rank(v) is the
+           bisection invariant, so the clamp only helps). *)
+        let qa = Union_summary.quick_select us ~rank in
+        let best = if v >= u then max u (min v qa) else qa in
+        (best, `Deadline, rank_bound_of us ~rank best ~widen:q)
+      | exception Probe_failure (p, _msg) ->
+        if
+          Hsq_storage.Block_device.breaker_state t.dev = Hsq_storage.Breaker.Open
+          || tries >= max_retries
+        then finish_quick `Device_open
+        else if
+          Hsq_hist.Level_index.note_probe_failure t.hist p
+            ~threshold:t.config.Config.quarantine_after
+        then begin
+          (* The active set changed: refetch the summaries.  If the
+             quarantine just consumed the last element in view (empty
+             stream, every partition bad), answer from the summaries
+             still in hand — degraded to memory, bound widened by
+             everything quarantined — rather than failing the query. *)
+          let ((_, us') as pair') = refetch () in
+          if Union_summary.n_total us' = 0 then finish_quick `Device_open
+          else go (tries + 1) (Some pair')
+        end
+        else go (tries + 1) (Some (ss, us))
+      end
+    in
+    go 0 summaries
   in
   let root_span = ref None in
-  let answer, degraded =
+  let answer, degradation, rank_error_bound =
     match tr with
     | Some trc ->
       Trace.with_span trc
         ~attrs:
           [
             ("rank", string_of_int rank);
-            ("partitions", string_of_int (Array.length probes));
+            ("partitions", string_of_int (List.length partitions));
           ]
         "query.accurate"
         (fun sp ->
@@ -621,18 +796,21 @@ let accurate_over ?(tolerance_factor = 0.5) ?summaries t ~partitions ~rank =
   (match tr, !root_span with
   | Some trc, Some sp ->
     Trace.add_attr trc sp "iterations" (string_of_int !iterations);
-    if degraded then Trace.add_attr trc sp "degraded" "true"
+    if degradation <> `None then
+      Trace.add_attr trc sp "degradation" (degradation_label degradation)
   | _ -> ());
   Metrics.Histogram.observe em.accurate_hist (Metrics.now_s () -. tq0);
   Metrics.Histogram.observe em.bisect_hist (float_of_int !iterations);
-  if degraded then em.degraded_total <- em.degraded_total + 1;
+  if degradation <> `None then em.degraded_total <- em.degraded_total + 1;
   let io = Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before in
-  (answer, { io; iterations = !iterations; degraded; span = !root_span })
+  (answer, { io; iterations = !iterations; degradation; rank_error_bound; span = !root_span })
 
-let accurate ?tolerance_factor t ~rank =
-  let ss, us = cached_summaries t in
-  accurate_over ?tolerance_factor ~summaries:(ss, us) t
-    ~partitions:(Hsq_hist.Level_index.partitions t.hist) ~rank
+let accurate ?tolerance_factor ?deadline_ms t ~rank =
+  accurate_over ?tolerance_factor ?deadline_ms ~summaries:(cached_summaries t)
+    ~refresh:(fun () -> cached_summaries t)
+    t
+    ~partitions:(Hsq_hist.Level_index.partitions t.hist)
+    ~rank
 
 (* Inverse query: estimated rank of an arbitrary value in T.  The
    historical part is exact (summary-bounded binary searches); the
@@ -652,9 +830,14 @@ let cdf t v =
    cost) shared by all ranks. *)
 let accurate_many ?tolerance_factor t ~ranks =
   let partitions = Hsq_hist.Level_index.partitions t.hist in
-  let ss, us = cached_summaries t in
+  (* The summary cache makes the per-query [cached_summaries] call O(1)
+     between ingests, while still refreshing if a query in the batch
+     quarantines a partition (epoch bump). *)
   List.map
-    (fun rank -> accurate_over ?tolerance_factor ~summaries:(ss, us) t ~partitions ~rank)
+    (fun rank ->
+      accurate_over ?tolerance_factor ~summaries:(cached_summaries t)
+        ~refresh:(fun () -> cached_summaries t)
+        t ~partitions ~rank)
     ranks
 
 (* phi-quantiles per Definition 1. *)

@@ -10,21 +10,41 @@
 
 type t
 
-(** Cost of one accurate query: exact I/O counters and the number of
-    value-domain bisection steps (recursive calls of Algorithm 8).
-    [degraded] is set when an unrecoverable device error (bounded
-    retries exhausted) aborted the disk probes and the answer came from
-    the in-memory quick path (Algorithm 5) instead — still within the
-    Lemma 3 rank bound, but no longer O(εm). *)
+(** How far an accurate answer fell from the full O(εm) contract
+    (replaces the former bare [degraded : bool]):
+    - [`None] — the bisection completed normally;
+    - [`Quarantined q] — it completed, but [q] elements sit in
+      quarantined partitions the probes excluded, widening the bound;
+    - [`Deadline] — the deadline cut the bisection and the answer is
+      the best-so-far (quick answer clamped into the surviving filter
+      interval);
+    - [`Device_open] — the device's circuit breaker is open (or probe
+      retries were exhausted without isolating a partition) and the
+      answer came from the in-memory union summary (Algorithm 5). *)
+type degradation = [ `None | `Quarantined of int | `Deadline | `Device_open ]
+
+(** Cost and fidelity of one accurate query: exact I/O counters, the
+    number of value-domain bisection steps (recursive calls of
+    Algorithm 8), what degraded it (if anything), and an upper bound on
+    [|rank(answer) − rank|] under that degradation — the stopping band
+    plus the stream estimate's ±ε₂·m uncertainty when the bisection
+    completed, a Lemma 2 rank window otherwise, widened by the
+    quarantined element count either way. The chaos harness checks this
+    bound against an exact oracle under every fault schedule. *)
 type query_report = {
   io : Hsq_storage.Io_stats.counters;
   iterations : int;
-  degraded : bool;
+  degradation : degradation;
+  rank_error_bound : float;
   span : Hsq_obs.Trace.span option;
       (** The query's root trace span ([query.accurate], with [bisect] /
           [probe] children) when tracing is on via {!set_tracer}; [None]
           otherwise. *)
 }
+
+(** Stable lowercase label ("none" / "quarantined" / "deadline" /
+    "device_open") for logs and the CLI. *)
+val degradation_label : degradation -> string
 
 (** [create ?device config] — a fresh engine. Without [device] an
     in-memory simulated block device of [config.block_size] is used. *)
@@ -124,13 +144,30 @@ val fresh_union_summary : t -> Union_summary.t
 (** Algorithm 5. Rank is clamped to [1, N]. Raises on an empty engine. *)
 val quick : t -> rank:int -> int
 
+(** Quick answer plus an upper bound on its rank error: the Lemma 2
+    rank window of the answer around the requested rank, widened by the
+    quarantined element count. The oracle-checked bound the chaos
+    harness asserts against. *)
+val quick_with_bound : t -> rank:int -> int * float
+
 (** Algorithms 6–8. Returns the answer and its cost.
     [tolerance_factor] sets Algorithm 8's stopping band as a multiple
     of ε₂·m: the paper's band is factor 4 (= ε·m); the default 0.5
     trades a few (mostly cached) extra probes for ~4× better accuracy.
     This is the accuracy/disk-access axis of the tradeoff space the
-    paper's conclusion discusses. *)
-val accurate : ?tolerance_factor:float -> t -> rank:int -> int * query_report
+    paper's conclusion discusses.
+
+    [deadline_ms] (default [config.query_deadline_ms]) bounds the
+    query's wall clock: the bisection checks it between iterations (and
+    parallel probe rounds are cooperatively cancelled), and a cut query
+    returns its best-so-far answer with [degradation = `Deadline] and
+    an honest [rank_error_bound]. Probe failures are contained rather
+    than surfaced: the failing partition's counter advances toward
+    quarantine ([config.quarantine_after]), the query retries without
+    it, and a breaker-open device degrades to the in-memory answer
+    ([`Device_open]) without quarantining healthy partitions. *)
+val accurate :
+  ?tolerance_factor:float -> ?deadline_ms:float -> t -> rank:int -> int * query_report
 
 (** Estimated rank(v, T): exact over the history, ±ε₂·m over the
     stream. *)

@@ -59,8 +59,15 @@ let render ~config ~descriptors =
   Printf.bprintf buf "partitions %d\n" (List.length descriptors);
   List.iter
     (fun (d : Hsq_hist.Level_index.partition_descriptor) ->
-      Printf.bprintf buf "partition %d %d %d %d %d\n" d.first_block d.length d.first_step
-        d.last_step d.level)
+      (* A 6th field ("1") marks a quarantined partition; healthy
+         partitions keep the 5-field line, so sidecars of healthy
+         warehouses are byte-identical to what earlier builds wrote. *)
+      if d.quarantined then
+        Printf.bprintf buf "partition %d %d %d %d %d 1\n" d.first_block d.length d.first_step
+          d.last_step d.level
+      else
+        Printf.bprintf buf "partition %d %d %d %d %d\n" d.first_block d.length d.first_step
+          d.last_step d.level)
     descriptors;
   Printf.bprintf buf "checksum %x\n" (checksum (Buffer.contents buf));
   Buffer.contents buf
@@ -152,6 +159,16 @@ let parse_lines lines =
             first_step;
             last_step;
             level;
+            quarantined = false;
+          }
+        | [ first_block; length; first_step; last_step; level; q ] ->
+          {
+            Hsq_hist.Level_index.first_block;
+            length;
+            first_step;
+            last_step;
+            level;
+            quarantined = q = 1;
           }
         | _ -> raise (Corrupt_metadata "bad partition line"))
   in

@@ -46,7 +46,8 @@ let load ~device ~path =
    [query_domains] is runtime policy (never persisted in the sidecar),
    so a restored engine takes it from the caller, exactly like
    [Engine.open_or_recover]. *)
-let load_files ?metrics ?pool_blocks ?query_domains ~device_path ~meta_path () =
+let load_files ?metrics ?pool_blocks ?query_domains ?query_deadline_ms ~device_path ~meta_path
+    () =
   let block_size = Meta.peek_block_size meta_path in
   let device = Hsq_storage.Block_device.open_file ?metrics ~block_size ~path:device_path () in
   (match pool_blocks with
@@ -59,14 +60,25 @@ let load_files ?metrics ?pool_blocks ?query_domains ~device_path ~meta_path () =
     | Some d when d < 1 -> invalid_arg "Persist.load_files: query_domains must be >= 1"
     | Some _ -> { config with Config.query_domains }
   in
+  let config =
+    match query_deadline_ms with
+    | None -> config
+    | Some d when not (d > 0.0) -> invalid_arg "Persist.load_files: query_deadline_ms must be > 0"
+    | Some _ -> { config with Config.query_deadline_ms }
+  in
   Engine.of_restored ~device config hist
 
 (* --- Scrub ------------------------------------------------------------- *)
+
+module Metrics = Hsq_obs.Metrics
 
 type scrub_report = {
   partitions_checked : int;
   blocks_read : int;
   errors : string list;
+  quarantined : int;
+  reinstated : int;
+  still_quarantined : int;
 }
 
 (* Re-read every live partition front to back.  Each block read verifies
@@ -75,49 +87,102 @@ type scrub_report = {
    writes, and shuffled blocks all surface here as errors rather than as
    silently wrong quantiles.  Cost: one sequential pass over the live
    data, charged to the device counters like everything else. *)
-let scrub engine =
+let scrub ?(repair = false) engine =
   let hist = Engine.hist engine in
   let dev = Engine.device engine in
   let stats = Hsq_storage.Block_device.stats dev in
+  let registry = Hsq_storage.Io_stats.registry stats in
   let before = Hsq_storage.Io_stats.snapshot stats in
-  let parts = Hsq_hist.Level_index.partitions hist in
-  let errors =
+  (* Already-quarantined partitions are not cursor-scanned here (their
+     blocks are presumed bad); with [repair] they go through
+     [Level_index.reinstate], which performs this same verification
+     itself and swaps a rebuilt summary in on success. *)
+  let parts = Hsq_hist.Level_index.active_partitions hist in
+  let pre_quarantined = Hsq_hist.Level_index.quarantined hist in
+  let check p =
+    let run = Hsq_hist.Partition.run p in
+    let first_block = Hsq_storage.Run.first_block run in
+    try
+      let c = Hsq_storage.Run.cursor run in
+      let prev = ref min_int in
+      let count = ref 0 in
+      let bad_order = ref None in
+      let rec scan () =
+        match Hsq_storage.Run.cursor_next c with
+        | None -> ()
+        | Some v ->
+          if v < !prev && !bad_order = None then bad_order := Some !count;
+          prev := v;
+          incr count;
+          scan ()
+      in
+      scan ();
+      match !bad_order with
+      | Some i ->
+        Some (Printf.sprintf "partition at block %d: unsorted at element %d" first_block i)
+      | None ->
+        if !count <> Hsq_storage.Run.length run then
+          Some
+            (Printf.sprintf "partition at block %d: read %d of %d elements" first_block
+               !count (Hsq_storage.Run.length run))
+        else None
+    with Hsq_storage.Block_device.Device_error msg ->
+      Some (Printf.sprintf "partition at block %d: %s" first_block msg)
+  in
+  let newly_quarantined = ref 0 in
+  let scan_errors =
     List.filter_map
       (fun p ->
-        let run = Hsq_hist.Partition.run p in
-        let first_block = Hsq_storage.Run.first_block run in
-        try
-          let c = Hsq_storage.Run.cursor run in
-          let prev = ref min_int in
-          let count = ref 0 in
-          let bad_order = ref None in
-          let rec scan () =
-            match Hsq_storage.Run.cursor_next c with
-            | None -> ()
-            | Some v ->
-              if v < !prev && !bad_order = None then bad_order := Some !count;
-              prev := v;
-              incr count;
-              scan ()
-          in
-          scan ();
-          match !bad_order with
-          | Some i ->
-            Some
-              (Printf.sprintf "partition at block %d: unsorted at element %d" first_block i)
-          | None ->
-            if !count <> Hsq_storage.Run.length run then
-              Some
-                (Printf.sprintf "partition at block %d: read %d of %d elements" first_block
-                   !count (Hsq_storage.Run.length run))
-            else None
-        with Hsq_storage.Block_device.Device_error msg ->
-          Some (Printf.sprintf "partition at block %d: %s" first_block msg))
+        match check p with
+        | None -> None
+        | Some e ->
+          if repair then begin
+            Hsq_hist.Level_index.quarantine_partition hist p;
+            incr newly_quarantined
+          end;
+          Some e)
       parts
   in
+  let reinstated = ref 0 in
+  let reinstate_errors =
+    if not repair then []
+    else
+      List.filter_map
+        (fun p ->
+          match Hsq_hist.Level_index.reinstate hist p with
+          | Ok () ->
+            incr reinstated;
+            None
+          | Error msg ->
+            Some
+              (Printf.sprintf "partition at block %d: still quarantined: %s"
+                 (Hsq_storage.Run.first_block (Hsq_hist.Partition.run p))
+                 msg))
+        pre_quarantined
+  in
+  (* A device fault mid-ingest can leave a level over κ with the merge
+     deferred; a repairing scrub is the convergence point, so retry
+     those merges now that the partitions are (re-)verified. *)
+  if repair then ignore (Hsq_hist.Level_index.run_deferred_merges hist);
+  let errors = scan_errors @ reinstate_errors in
   let io = Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot stats) before in
-  {
-    partitions_checked = List.length parts;
-    blocks_read = io.Hsq_storage.Io_stats.reads;
-    errors;
-  }
+  let report =
+    {
+      partitions_checked = List.length parts;
+      blocks_read = io.Hsq_storage.Io_stats.reads;
+      errors;
+      quarantined = !newly_quarantined;
+      reinstated = !reinstated;
+      still_quarantined = Hsq_hist.Level_index.quarantined_count hist;
+    }
+  in
+  (* Last-scrub outcome, exported for `hsq status --health`. *)
+  let set name help v = Metrics.Gauge.set (Metrics.gauge ~help registry name) v in
+  set "hsq_scrub_last_errors" "Errors found by the most recent scrub"
+    (float_of_int (List.length errors));
+  set "hsq_scrub_last_reinstated" "Partitions reinstated by the most recent scrub"
+    (float_of_int !reinstated);
+  set "hsq_scrub_last_quarantined" "Partitions quarantined by the most recent scrub"
+    (float_of_int !newly_quarantined);
+  set "hsq_scrub_last_time_s" "Wall-clock time of the most recent scrub" (Metrics.now_s ());
+  report

@@ -47,6 +47,7 @@ val load_files :
   ?metrics:Hsq_obs.Metrics.t ->
   ?pool_blocks:int ->
   ?query_domains:int ->
+  ?query_deadline_ms:float ->
   device_path:string ->
   meta_path:string ->
   unit ->
@@ -55,14 +56,28 @@ val load_files :
 (** {2 Scrub} *)
 
 type scrub_report = {
-  partitions_checked : int;
+  partitions_checked : int; (** active partitions cursor-scanned *)
   blocks_read : int;
   errors : string list; (** empty iff the warehouse is healthy *)
+  quarantined : int; (** partitions this scrub moved into quarantine
+                         (always 0 without [repair]) *)
+  reinstated : int; (** quarantined partitions this scrub verified and
+                        returned to service (always 0 without [repair]) *)
+  still_quarantined : int; (** quarantined partitions remaining *)
 }
 
-(** Re-read every live partition front to back, verifying per-block
+(** Re-read every active partition front to back, verifying per-block
     checksums (any flipped bit surfaces here as a checksum failure) and
     cross-block sortedness and element counts. Returns a report instead
     of raising: a damaged partition yields one error entry and the scan
-    continues with the rest. *)
-val scrub : Engine.t -> scrub_report
+    continues with the rest.
+
+    With [repair] (the [hsq scrub --repair] path) the scrub also acts:
+    a failing active partition is quarantined on the spot, and every
+    previously quarantined partition goes through
+    {!Hsq_hist.Level_index.reinstate} — re-verified end to end and
+    returned to service if clean. The outcome is exported as
+    [hsq_scrub_last_*] gauges in the engine's metric registry. Callers
+    that persist the warehouse should {!save} afterwards so the sidecar
+    records the new quarantine set. *)
+val scrub : ?repair:bool -> Engine.t -> scrub_report

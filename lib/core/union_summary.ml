@@ -237,6 +237,36 @@ let hist_elements t = t.hist_elements
 
 (* Entry-for-entry equality (exact float comparison): the consistency
    contract between cached and fresh builds checked by the fuzz suite. *)
+(* Rank window of an arbitrary value against the union: L from the
+   largest entry with value <= v (no smaller entry can push the rank
+   lower), U from the smallest entry with value >= v.  Used to compute
+   the *current* rank-error bound of a best-so-far answer when a query
+   is cut short (deadline, degraded fallback): |rank(v) - r| is at most
+   max(U(v) - r, r - L(v)). *)
+let rank_window t v =
+  let n = Array.length t.entries in
+  if n = 0 then invalid_arg "Union_summary.rank_window: empty summary";
+  (* smallest i with value >= v (= n when none). *)
+  let first_ge =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.entries.(mid).value >= v then go lo mid else go (mid + 1) hi
+    in
+    go 0 n
+  in
+  let lower =
+    if first_ge < n && t.entries.(first_ge).value = v then t.entries.(first_ge).lower
+    else if first_ge = 0 then 0.0 (* below the union minimum *)
+    else t.entries.(first_ge - 1).lower
+  in
+  let upper =
+    if first_ge = n then float_of_int t.n_total (* above the union maximum *)
+    else t.entries.(first_ge).upper
+  in
+  (lower, upper)
+
 let equal a b =
   a.n_total = b.n_total && a.m_stream = b.m_stream
   && a.hist_elements = b.hist_elements

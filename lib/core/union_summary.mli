@@ -65,3 +65,11 @@ val quick_select : t -> rank:int -> int
     [u] may be [global min − 1] when even the minimum's U exceeds
     [rank]. *)
 val filters : t -> rank:int -> int * int
+
+(** [(L, U)] rank window of an arbitrary value [v]:
+    L ≤ rank(v, T) ≤ U, from the entries bracketing [v] (0 below the
+    union minimum, N above its maximum). The current rank-error bound
+    of a best-so-far answer [v] for target rank [r] is
+    [max (U − r) (r − L)] — what a deadline-cut or degraded query
+    reports. *)
+val rank_window : t -> int -> float * float

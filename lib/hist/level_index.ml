@@ -20,7 +20,21 @@ type update_report = {
   io_merge : Hsq_storage.Io_stats.counters;
   merges_performed : int;
   highest_level_after : int;
+  deferred_merge : string option;
+      (* device fault that interrupted the merge cascade: the batch is
+         archived, the over-full level keeps its partitions, and the
+         merge is retried by a later cascade or [run_deferred_merges] *)
 }
+
+(* Per-partition health, keyed by the run's first block (stable and
+   unique: the bump allocator never reuses addresses).  [failures]
+   counts consecutive unrecoverable probe failures; at the caller's
+   threshold the partition flips to [quarantined] and query paths
+   exclude it (widening their reported error bound by its element
+   count) until a scrub re-verifies and reinstates it.  Accessed only
+   from the query/scrub caller domain — probe failures are re-raised to
+   the submitting caller before it notes them — so no lock is needed. *)
+type health = { mutable failures : int; mutable quarantined : bool }
 
 type t = {
   dev : Hsq_storage.Block_device.t;
@@ -34,6 +48,7 @@ type t = {
   mutable expired_through : int; (* steps [1, expired_through] have been dropped *)
   mutable epoch : int; (* bumped on every partition-set mutation; cache key *)
   mutable gauged_levels : int; (* highest level whose gauge was ever published *)
+  quarantine : (int, health) Hashtbl.t;
 }
 
 let create ?sort_memory ?sort_domains ~kappa ~beta1 dev =
@@ -54,7 +69,15 @@ let create ?sort_memory ?sort_domains ~kappa ~beta1 dev =
     expired_through = 0;
     epoch = 0;
     gauged_levels = 0;
+    quarantine = Hashtbl.create 16;
   }
+
+let pkey p = Hsq_storage.Run.first_block (Partition.run p)
+
+let is_quarantined t p =
+  match Hashtbl.find_opt t.quarantine (pkey p) with
+  | Some h -> h.quarantined
+  | None -> false
 
 (* The epoch numbers the states of the partition set: any operation
    that adds, merges, drops, or restores partitions bumps it, so a
@@ -76,12 +99,35 @@ let refresh_level_gauges t =
   let hi = ref t.gauged_levels in
   Array.iteri (fun l ps -> if ps <> [] then hi := max !hi l) t.levels;
   t.gauged_levels <- !hi;
+  let q_total = ref 0 and q_elems = ref 0 in
   for l = 0 to !hi do
     Hsq_obs.Metrics.Gauge.set
       (Hsq_obs.Metrics.gauge ~help:"Partitions currently at this level" r
          (Printf.sprintf "hsq_hist_partitions_level_%d" l))
-      (float_of_int (List.length t.levels.(l)))
-  done
+      (float_of_int (List.length t.levels.(l)));
+    let q =
+      List.fold_left
+        (fun acc p ->
+          if is_quarantined t p then begin
+            incr q_total;
+            q_elems := !q_elems + Partition.size p;
+            acc + 1
+          end
+          else acc)
+        0 t.levels.(l)
+    in
+    Hsq_obs.Metrics.Gauge.set
+      (Hsq_obs.Metrics.gauge ~help:"Quarantined partitions at this level" r
+         (Printf.sprintf "hsq_quarantined_partitions_level_%d" l))
+      (float_of_int q)
+  done;
+  Hsq_obs.Metrics.Gauge.set
+    (Hsq_obs.Metrics.gauge ~help:"Quarantined partitions" r "hsq_quarantined_partitions")
+    (float_of_int !q_total);
+  Hsq_obs.Metrics.Gauge.set
+    (Hsq_obs.Metrics.gauge ~help:"Elements in quarantined partitions" r
+       "hsq_quarantined_elements")
+    (float_of_int !q_elems)
 
 let epoch t = t.epoch
 
@@ -109,6 +155,65 @@ let partitions t =
   List.sort (fun a b -> Int.compare (Partition.first_step b) (Partition.first_step a)) all
 
 let partition_count t = Array.fold_left (fun acc ps -> acc + List.length ps) 0 t.levels
+
+(* --- Quarantine ------------------------------------------------------- *)
+
+(* Partitions the query paths may probe: everything not quarantined,
+   newest first. *)
+let active_partitions t = List.filter (fun p -> not (is_quarantined t p)) (partitions t)
+
+let quarantined t = List.filter (is_quarantined t) (partitions t)
+let quarantined_count t = List.length (quarantined t)
+
+(* Total elements locked away in quarantined partitions — exactly the
+   widening a query's rank-error bound takes when it excludes them (the
+   per-partition Lemma 2 interval [0, size] collapses to "anywhere"). *)
+let quarantined_elements t =
+  List.fold_left (fun acc p -> acc + Partition.size p) 0 (quarantined t)
+
+let health_of t p =
+  let k = pkey p in
+  match Hashtbl.find_opt t.quarantine k with
+  | Some h -> h
+  | None ->
+    let h = { failures = 0; quarantined = false } in
+    Hashtbl.add t.quarantine k h;
+    h
+
+(* Move a partition to quarantine.  The partition stays in its level —
+   coverage, windows, and descriptors still see it — but query paths
+   exclude it via [active_partitions] and the merge cascade defers any
+   merge of its level (merging would have to read its blocks). *)
+let quarantine_partition t p =
+  let h = health_of t p in
+  if not h.quarantined then begin
+    h.quarantined <- true;
+    h.failures <- 0;
+    bump_epoch t
+  end
+
+(* Record one unrecoverable probe failure; returns [true] when this
+   failure crossed [threshold] and the partition was just quarantined. *)
+let note_probe_failure t p ~threshold =
+  let h = health_of t p in
+  if h.quarantined then false
+  else begin
+    h.failures <- h.failures + 1;
+    if h.failures >= max 1 threshold then begin
+      h.quarantined <- true;
+      h.failures <- 0;
+      bump_epoch t;
+      true
+    end
+    else false
+  end
+
+(* A successful probe resets the consecutive-failure count — only a
+   *run* of failures with no success in between quarantines. *)
+let note_probe_success t p =
+  match Hashtbl.find_opt t.quarantine (pkey p) with
+  | Some h when not h.quarantined -> h.failures <- 0
+  | _ -> ()
 
 let memory_words t =
   Array.fold_left (fun acc ps -> List.fold_left (fun a p -> a + Partition.memory_words p) acc ps) 16
@@ -160,7 +265,13 @@ let merge_level_impl t l =
   t.levels.(l) <- [];
   ensure_level t (l + 1);
   t.levels.(l + 1) <- t.levels.(l + 1) @ [ promoted ];
-  List.iter Partition.free parts
+  List.iter
+    (fun p ->
+      (* The sources' health records die with them (their block
+         addresses are never reused). *)
+      Hashtbl.remove t.quarantine (pkey p);
+      Partition.free p)
+    parts
 
 (* Merges are rare (at most one cascade per batch) and ms-scale, so the
    per-merge registry lookup and span are free relative to the work. *)
@@ -182,6 +293,110 @@ let merge_level t l =
         let nparts = timed () in
         Hsq_obs.Trace.add_attr tr span "partitions" (string_of_int nparts))
   | None -> ignore (timed ())
+
+(* Cascade merges upward from [from] while levels overflow.  A level
+   holding a quarantined partition is left alone even when over-full —
+   merging it would read the quarantined blocks — so a level may
+   temporarily exceed kappa (check_invariants tolerates exactly this
+   case); the deferred merge fires from [reinstate] once the partition
+   is healthy again.
+
+   A device fault mid-cascade is contained, not surfaced: the failing
+   merge rolled itself back (its commit point is the atomic in-memory
+   swap, which a read fault never reaches), the level simply stays
+   over-full, and the merge is retried the next time a cascade or
+   [run_deferred_merges] reaches it.  Containment here is what makes
+   [add_batch] — and therefore [Engine.end_time_step] — committed once
+   the level-0 run is written: without it, a fault in the cascade would
+   raise *after* the batch was archived, and a caller retrying the
+   rollover would archive the same elements twice. *)
+let cascade_merges t ~from =
+  let merges = ref 0 in
+  let error = ref None in
+  (try
+     let l = ref from in
+     while
+       !l < Array.length t.levels
+       && List.length t.levels.(!l) > t.kappa
+       && not (List.exists (is_quarantined t) t.levels.(!l))
+     do
+       merge_level t !l;
+       incr merges;
+       incr l
+     done
+   with Hsq_storage.Block_device.Device_error msg -> error := Some msg);
+  (!merges, !error)
+
+(* Retry every merge a quarantine or a device fault deferred: one sweep
+   over all levels, merging any over-full level whose members are all
+   healthy (a merge may push the level above over its own threshold, so
+   the sweep only advances when a level is settled).  Faults during the
+   sweep leave the remaining levels for the next attempt. *)
+let run_deferred_merges t =
+  let merges = ref 0 in
+  (try
+     let l = ref 0 in
+     while !l < Array.length t.levels do
+       if
+         List.length t.levels.(!l) > t.kappa
+         && not (List.exists (is_quarantined t) t.levels.(!l))
+       then begin
+         merge_level t !l;
+         incr merges
+       end
+       else incr l
+     done
+   with Hsq_storage.Block_device.Device_error _ -> ());
+  if !merges > 0 then bump_epoch t;
+  !merges
+
+(* Re-verify a quarantined partition against the device and return it
+   to service: every element is re-read (sequential cursor I/O), the
+   sortedness and count are checked, and a fresh summary replaces the
+   old one (which may be the degenerate [unavailable] summary if the
+   partition was restored from a sidecar while quarantined).  On any
+   failure the partition stays quarantined. *)
+let reinstate t p =
+  let k = pkey p in
+  match Hashtbl.find_opt t.quarantine k with
+  | None | Some { quarantined = false; _ } -> Error "partition is not quarantined"
+  | Some h -> (
+    try
+      let run = Partition.run p in
+      let cur = Hsq_storage.Run.cursor run in
+      let n = ref 0 and prev = ref min_int and sorted = ref true in
+      let continue_ = ref true in
+      while !continue_ do
+        match Hsq_storage.Run.cursor_next cur with
+        | None -> continue_ := false
+        | Some v ->
+          if v < !prev then sorted := false;
+          prev := v;
+          incr n
+      done;
+      if not !sorted then Error (Printf.sprintf "partition at block %d is not sorted on disk" k)
+      else if !n <> Partition.size p then
+        Error
+          (Printf.sprintf "partition at block %d has %d elements on disk, expected %d" k !n
+             (Partition.size p))
+      else begin
+        let summary = Partition_summary.of_run ~beta1:t.beta1 run in
+        let fresh =
+          Partition.create ~run ~summary ~first_step:(Partition.first_step p)
+            ~last_step:(Partition.last_step p) ~level:(Partition.level p)
+        in
+        let l = Partition.level p in
+        t.levels.(l) <- List.map (fun q -> if pkey q = k then fresh else q) t.levels.(l);
+        h.quarantined <- false;
+        h.failures <- 0;
+        (* Run any merge the quarantine (or an earlier device fault)
+           deferred — at any level, not just this partition's — then
+           publish the new partition set in one epoch bump. *)
+        ignore (run_deferred_merges t);
+        bump_epoch t;
+        Ok ()
+      end
+    with Hsq_storage.Block_device.Device_error msg -> Error msg)
 
 (* HistUpdate (Algorithm 3): sort the batch into a level-0 partition,
    then cascade merges while any level exceeds kappa partitions. *)
@@ -227,13 +442,7 @@ let add_batch t batch =
   (* Cascade merges. *)
   let before_merge = Hsq_storage.Io_stats.snapshot stats in
   let t_merge0 = now () in
-  let merges = ref 0 in
-  let l = ref 0 in
-  while !l < Array.length t.levels && List.length t.levels.(!l) > t.kappa do
-    merge_level t !l;
-    incr merges;
-    incr l
-  done;
+  let merges, deferred_merge = cascade_merges t ~from:0 in
   let merge_seconds = now () -. t_merge0 in
   bump_epoch t;
   let after = Hsq_storage.Io_stats.snapshot stats in
@@ -244,8 +453,9 @@ let add_batch t batch =
     summary_seconds;
     io_total = Hsq_storage.Io_stats.diff after before_total;
     io_merge = Hsq_storage.Io_stats.diff after before_merge;
-    merges_performed = !merges;
+    merges_performed = merges;
     highest_level_after = num_levels t - 1;
+    deferred_merge;
   }
 
 (* Exact rank of [v] across all partitions, by disk binary searches
@@ -316,7 +526,11 @@ let check_invariants t =
   let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
   Array.iteri
     (fun l ps ->
-      if List.length ps > t.kappa then err "level %d has %d > kappa partitions" l (List.length ps);
+      (* A level holding a quarantined partition may legitimately exceed
+         kappa: its merge is deferred until the partition is reinstated
+         (or expired). *)
+      if List.length ps > t.kappa && not (List.exists (is_quarantined t) ps) then
+        err "level %d has %d > kappa partitions" l (List.length ps);
       List.iter
         (fun p -> if Partition.level p <> l then err "partition at level %d tagged %d" l (Partition.level p))
         ps)
@@ -355,6 +569,9 @@ let expire t ~keep_steps =
           dropped_parts := !dropped_parts + 1;
           dropped_elems := !dropped_elems + Partition.size p;
           t.expired_through <- max t.expired_through (Partition.last_step p);
+          (* Retention is also the exit path for a partition whose data
+             aged out while quarantined. *)
+          Hashtbl.remove t.quarantine (pkey p);
           Partition.free p)
         drop;
       t.levels.(l) <- keep)
@@ -371,6 +588,7 @@ type partition_descriptor = {
   first_step : int;
   last_step : int;
   level : int;
+  quarantined : bool;
 }
 
 let describe t =
@@ -382,6 +600,7 @@ let describe t =
         first_step = Partition.first_step p;
         last_step = Partition.last_step p;
         level = Partition.level p;
+        quarantined = is_quarantined t p;
       })
     (partitions t)
 
@@ -394,11 +613,20 @@ let restore ?sort_memory ~kappa ~beta1 dev descriptors =
   List.iter
     (fun d ->
       let run = Hsq_storage.Run.of_existing dev ~addr:d.first_block ~length:d.length in
-      let summary = Partition_summary.of_run ~beta1 run in
+      (* A quarantined partition's blocks may be unreadable; it gets the
+         degenerate summary (no disk reads, maximal rank uncertainty)
+         and its quarantine flag back.  Scrub --repair re-verifies and
+         rebuilds the real summary on reinstatement. *)
+      let summary =
+        if d.quarantined then Partition_summary.unavailable ~size:d.length
+        else Partition_summary.of_run ~beta1 run
+      in
       let p =
         Partition.create ~run ~summary ~first_step:d.first_step ~last_step:d.last_step
           ~level:d.level
       in
+      if d.quarantined then
+        Hashtbl.replace t.quarantine d.first_block { failures = 0; quarantined = true };
       ensure_level t d.level;
       t.levels.(d.level) <- t.levels.(d.level) @ [ p ];
       t.total <- t.total + d.length;
@@ -416,6 +644,14 @@ let restore ?sort_memory ~kappa ~beta1 dev descriptors =
         List.sort (fun a b -> Int.compare (Partition.first_step a) (Partition.first_step b)) ps)
     t.levels;
   bump_epoch t;
+  (* A checkpoint may legitimately record a level over κ: a device
+     fault deferred the merge mid-cascade and the batch was still
+     safely archived.  Retry it now — if we got this far the device is
+     readable — so the restored index satisfies the strict invariant
+     again.  (A level kept over-full by a quarantined member stays as
+     is; check_invariants tolerates exactly that.) *)
+  if Array.exists (fun ps -> List.length ps > t.kappa) t.levels then
+    ignore (run_deferred_merges t);
   match check_invariants t with
   | [] -> t
   | errs -> invalid_arg ("Level_index.restore: " ^ String.concat "; " errs)

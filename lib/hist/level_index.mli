@@ -9,7 +9,11 @@
 
 (** Cost breakdown of one [add_batch], matching the four components the
     paper plots in Figure 6 (load, sort, merge, summary), plus exact
-    I/O counters overall and for the merge cascade alone (Figures 7–8). *)
+    I/O counters overall and for the merge cascade alone (Figures 7–8).
+    [deferred_merge] is [Some msg] when a device fault interrupted the
+    merge cascade: the batch itself is safely archived, the failing
+    merge rolled back (a level is temporarily over κ), and the merge
+    will be retried by a later cascade or {!run_deferred_merges}. *)
 type update_report = {
   sort_seconds : float;
   load_seconds : float;
@@ -19,6 +23,7 @@ type update_report = {
   io_merge : Hsq_storage.Io_stats.counters;
   merges_performed : int;
   highest_level_after : int;
+  deferred_merge : string option;
 }
 
 type t
@@ -63,6 +68,61 @@ val level_partitions : t -> int -> Partition.t list
 val partitions : t -> Partition.t list
 
 val partition_count : t -> int
+
+(** {2 Partition quarantine}
+
+    A partition whose probes keep failing unrecoverably is quarantined:
+    it stays in its level (coverage, windows and persistence still see
+    it) but query paths exclude it via {!active_partitions}, widening
+    their reported rank-error bound by its element count — the per-
+    partition Lemma 2 interval collapsing to [\[0, size\]]. A level
+    holding a quarantined partition defers its merges (they would read
+    the bad blocks), so it may temporarily exceed κ;
+    {!check_invariants} tolerates exactly that case. All quarantine
+    calls are single-domain by contract (the query/scrub caller). *)
+
+(** Partitions the query paths may probe — {!partitions} minus the
+    quarantined ones, newest first. *)
+val active_partitions : t -> Partition.t list
+
+val is_quarantined : t -> Partition.t -> bool
+
+(** Quarantined partitions, newest first. *)
+val quarantined : t -> Partition.t list
+
+val quarantined_count : t -> int
+
+(** Total elements across quarantined partitions — the error-bound
+    widening queries that exclude them must report. *)
+val quarantined_elements : t -> int
+
+(** Move a partition to quarantine unconditionally (scrub found it
+    corrupt). No-op if already quarantined. Bumps the epoch. *)
+val quarantine_partition : t -> Partition.t -> unit
+
+(** Record one unrecoverable probe failure against the partition;
+    returns [true] iff this crossed [threshold] consecutive failures
+    and the partition was just quarantined (epoch bumped). *)
+val note_probe_failure : t -> Partition.t -> threshold:int -> bool
+
+(** A successful probe resets the partition's consecutive-failure
+    count. *)
+val note_probe_success : t -> Partition.t -> unit
+
+(** Re-verify a quarantined partition (full sequential re-read:
+    sortedness + element count), rebuild its summary, return it to
+    service, and run any merge the quarantine deferred. [Error] —
+    device fault or verification failure — leaves it quarantined. *)
+val reinstate : t -> Partition.t -> (unit, string) result
+
+(** Retry every merge a quarantine or a device fault deferred: merge
+    any over-full level whose members are all healthy, at any level.
+    Returns the number of merges performed (epoch bumped if nonzero).
+    A device fault during the sweep is contained — the remaining
+    levels wait for the next attempt. Called by the repair scrub after
+    reinstating partitions, so a warehouse degraded by mid-merge
+    faults converges back to the ≤ κ invariant. *)
+val run_deferred_merges : t -> int
 
 (** Total HS footprint in words. *)
 val memory_words : t -> int
@@ -115,6 +175,7 @@ type partition_descriptor = {
   first_step : int;
   last_step : int;
   level : int;
+  quarantined : bool;
 }
 
 (** Descriptors for every live partition, newest first. *)
@@ -122,8 +183,11 @@ val describe : t -> partition_descriptor list
 
 (** Rebuild an index over partitions already present on [dev],
     re-reading each summary from disk (≤ β₁ block reads per
-    partition). Raises [Invalid_argument] if the descriptors violate
-    the structural invariants. *)
+    partition). A descriptor marked [quarantined] is restored with a
+    degenerate {!Partition_summary.unavailable} summary — zero reads of
+    its (possibly bad) blocks — and re-enters quarantine. Raises
+    [Invalid_argument] if the descriptors violate the structural
+    invariants. *)
 val restore :
   ?sort_memory:int ->
   kappa:int ->

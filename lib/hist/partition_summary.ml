@@ -72,6 +72,16 @@ let of_sorted_array ~beta1 elements =
   Array.iteri (fun i v -> builder_feed b i v) elements;
   builder_finish b
 
+(* Degenerate summary for a partition whose blocks cannot (or must not)
+   be read — a quarantined partition being restored from the sidecar.
+   No entries means maximal uncertainty: [rank_bounds] answers
+   [(0, size)] for every value, which is exactly the Lemma 2 widening a
+   quarantined partition contributes, and no query path will ever probe
+   the partition through it. *)
+let unavailable ~size =
+  if size < 1 then invalid_arg "Partition_summary.unavailable: empty partition";
+  { entries = [||]; partition_size = size }
+
 let entries t = t.entries
 let partition_size t = t.partition_size
 let length t = Array.length t.entries

@@ -31,6 +31,13 @@ val of_sorted_array : beta1:int -> int array -> t
 (** Rebuild from an on-disk run by probing the β₁ target positions
     (recovery path; ≤ β₁ block reads). *)
 val of_run : beta1:int -> Hsq_storage.Run.t -> t
+
+(** Degenerate summary for a partition whose blocks cannot be read (a
+    quarantined partition restored from the sidecar): no entries, so
+    {!rank_bounds} answers [(0, size)] for every value — maximal
+    uncertainty, costing zero disk reads. Raises [Invalid_argument] if
+    [size < 1]. *)
+val unavailable : size:int -> t
 val entries : t -> entry array
 val partition_size : t -> int
 

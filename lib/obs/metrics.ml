@@ -200,6 +200,15 @@ let counter_value t name =
   | Some { metric = M_counter_fn f; _ } -> Some (f ())
   | _ -> None
 
+let gauge_value t name =
+  Mutex.lock t.lock;
+  let e = Hashtbl.find_opt t.table name in
+  Mutex.unlock t.lock;
+  match e with
+  | Some { metric = M_gauge g; _ } -> Some (Gauge.value g)
+  | Some { metric = M_gauge_fn f; _ } -> Some (f ())
+  | _ -> None
+
 (* Deterministic float formatting: %.9g round-trips every latency and
    boundary we produce, and never depends on locale. *)
 let fnum v =

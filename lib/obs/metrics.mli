@@ -104,6 +104,10 @@ val names : t -> string list
     [None] if the name is absent or not a counter. *)
 val counter_value : t -> string -> int option
 
+(** Point-in-time value of a registered gauge (push or pull-based);
+    [None] if the name is absent or not a gauge. *)
+val gauge_value : t -> string -> float option
+
 (** One JSON object, keys sorted by metric name:
     counters/gauges as numbers, histograms as
     [{"count":..,"sum":..,"buckets":[{"le":..,"n":..},..]}] with

@@ -55,6 +55,7 @@ type t = {
   pool_lock : Mutex.t;
   io_lock : Mutex.t;
   mutable read_latency : float; (* simulated seconds per physical block read *)
+  breaker : Breaker.t; (* trips after consecutive unrecoverable read faults *)
   (* Metric handles resolved once at creation so the read paths never
      touch the registry's lock/table. *)
   read_hist : Hsq_obs.Metrics.Histogram.t;
@@ -71,6 +72,10 @@ let device_metrics stats =
     Hsq_obs.Metrics.counter ~help:"Buffer pool hits" r "hsq_buffer_pool_hits_total",
     Hsq_obs.Metrics.counter ~help:"Buffer pool misses" r "hsq_buffer_pool_misses_total" )
 
+(* The breaker registers its hsq_breaker_* metrics in the same registry
+   as everything else the device exports. *)
+let device_breaker stats = Breaker.create ~metrics:(Io_stats.registry stats) ()
+
 let block_size t = t.block_size
 let stats t = t.stats
 let allocated_blocks t = t.next_free
@@ -81,12 +86,15 @@ let record_words t = t.block_size + 1
 let bytes_per_block t = 8 * record_words t
 
 (* Retry policy: a read is attempted at most [max_read_attempts] times;
-   the deterministic backoff (in milliseconds) before attempt i+1 is
-   [retry_backoff_ms.(i)].  The simulator does not sleep — the schedule
-   documents what a real deployment would do and keeps the policy a
-   single tunable surface. *)
-let max_read_attempts = 3
-let retry_backoff_ms = [| 0.0; 1.0; 4.0 |]
+   the backoff (in milliseconds) before attempt i+2 is
+   [retry_backoff_ms.(i)] — a decorrelated-jitter schedule drawn from a
+   fixed Splitmix seed, so it is deterministic across runs while still
+   exhibiting the jitter a production deployment would use.  The
+   simulator does not sleep — the schedule documents what a real
+   deployment would do and keeps the policy a single tunable surface. *)
+let max_read_attempts = Breaker.Backoff.default.Breaker.Backoff.max_attempts
+let retry_backoff_seed = 0x5eed_0f_7e57
+let retry_backoff_ms = Breaker.Backoff.delays Breaker.Backoff.default ~seed:retry_backoff_seed
 
 (* splitmix-style word mixer: cheap, and any single flipped bit changes
    the checksum with overwhelming probability. *)
@@ -111,6 +119,7 @@ let create_memory ?metrics ~block_size () =
     pool_lock = Mutex.create ();
     io_lock = Mutex.create ();
     read_latency = 0.0;
+    breaker = device_breaker stats;
     read_hist;
     pool_hits;
     pool_misses;
@@ -133,6 +142,7 @@ let create_file ?metrics ~block_size ~path () =
     pool_lock = Mutex.create ();
     io_lock = Mutex.create ();
     read_latency = 0.0;
+    breaker = device_breaker stats;
     read_hist;
     pool_hits;
     pool_misses;
@@ -165,6 +175,7 @@ let open_file ?metrics ~block_size ~path () =
     pool_lock = Mutex.create ();
     io_lock = Mutex.create ();
     read_latency = 0.0;
+    breaker = device_breaker stats;
     read_hist;
     pool_hits;
     pool_misses;
@@ -179,7 +190,13 @@ let close t =
 
 let path t = match t.backend with Memory _ -> None | File { path; _ } -> Some path
 
-let set_injector t injector = t.fault <- injector
+(* Replacing the injector resets the breaker: the simulated hardware
+   just changed, so the accumulated evidence against it no longer
+   applies.  (Tests heal a device by clearing its injector and expect
+   the very next query to succeed un-degraded.) *)
+let set_injector t injector =
+  t.fault <- injector;
+  Breaker.reset t.breaker
 
 (* Legacy boolean hook: a predicate fault is persistent — it fails every
    attempt, so the retry path cannot absorb it. *)
@@ -187,7 +204,11 @@ let set_fault t fault =
   t.fault <-
     Option.map
       (fun f op ~attempt:_ addr -> if f op addr then Some Fail else None)
-      fault
+      fault;
+  Breaker.reset t.breaker
+
+let breaker t = t.breaker
+let breaker_state t = Breaker.state t.breaker
 
 let injected t op ~attempt addr =
   match t.fault with None -> None | Some f -> f op ~attempt addr
@@ -342,15 +363,31 @@ let fetch_record t ~addr =
 
 (* Bounded-retry read: injected faults and checksum mismatches are
    retried up to [max_read_attempts] times (each extra attempt is
-   counted in Io_stats.retries); structural errors raise immediately. *)
+   counted in Io_stats.retries); structural errors raise immediately.
+
+   The circuit breaker wraps the whole retry loop: while it is open,
+   reads short-circuit without touching the device (bounded tail
+   latency when the device as a whole is down); exhausting the retry
+   schedule reports an unrecoverable fault, a good read reports
+   success.  Structural errors (unwritten/freed/short blocks) are the
+   device answering correctly about its own state, so they count as
+   breaker successes, not failures. *)
 let read_block_uncached ?hint t ~addr =
+  if not (Breaker.allow t.breaker) then
+    raise
+      (Device_error
+         (Printf.sprintf "circuit breaker open: read of block %d short-circuited" addr));
+  let unrecoverable e =
+    Breaker.failure t.breaker;
+    raise e
+  in
   let rec attempt n =
     let retry e =
       if n < max_read_attempts then begin
         Io_stats.note_retry t.stats;
         attempt (n + 1)
       end
-      else raise e
+      else unrecoverable e
     in
     match injected t Read ~attempt:n addr with
     | Some _ ->
@@ -359,14 +396,24 @@ let read_block_uncached ?hint t ~addr =
       Io_stats.note_read ?hint t.stats addr;
       let t0 = Hsq_obs.Metrics.now_s () in
       apply_read_latency t;
-      let record = fetch_record t ~addr in
+      let record =
+        try fetch_record t ~addr
+        with e ->
+          (* Not evidence against device health, but a half-open trial
+             ticket must still be released. *)
+          Breaker.success t.breaker;
+          raise e
+      in
       Hsq_obs.Metrics.Histogram.observe t.read_hist (Hsq_obs.Metrics.now_s () -. t0);
       let payload = Array.sub record 0 t.block_size in
       if record.(t.block_size) <> checksum ~addr payload then begin
         Io_stats.note_checksum_failure t.stats;
         retry (Device_error (Printf.sprintf "checksum mismatch at block %d" addr))
       end
-      else payload
+      else begin
+        Breaker.success t.breaker;
+        payload
+      end
   in
   attempt 1
 

@@ -91,17 +91,34 @@ val write_block : t -> addr:int -> int array -> unit
     and queries concurrently). *)
 val read_block : ?hint:bool -> t -> addr:int -> int array
 
-(** {2 Retry policy}
+(** {2 Retry policy and circuit breaker}
 
-    A read is attempted at most [max_read_attempts] times; the
-    deterministic backoff (milliseconds) before attempt [i + 1] is
-    [retry_backoff_ms.(i)]. The simulator never sleeps — the schedule
-    documents the production policy and keeps it a single tunable
-    surface. Transient faults failing at most
-    [max_read_attempts - 1] consecutive attempts are absorbed. *)
+    A read is attempted at most [max_read_attempts] times; the backoff
+    (milliseconds) before attempt [i + 2] is [retry_backoff_ms.(i)] —
+    a decorrelated-jitter schedule ({!Breaker.Backoff.delays}) drawn
+    from a fixed seed, so it is deterministic across runs. The
+    simulator never sleeps — the schedule documents the production
+    policy and keeps it a single tunable surface. Transient faults
+    failing at most [max_read_attempts - 1] consecutive attempts are
+    absorbed.
+
+    Every device carries a {!Breaker.t} wrapping the retry loop: after
+    {!Breaker.default_failure_threshold} consecutive reads that exhaust
+    the schedule the breaker opens and further reads short-circuit with
+    {!Device_error} (no device I/O, no retry cost) until the cooldown
+    admits a half-open trial. A successful read closes it again. Its
+    [hsq_breaker_state] gauge and [hsq_breaker_transitions_total]
+    counter live in the device's metrics registry. *)
 
 val max_read_attempts : int
 val retry_backoff_ms : float array
+
+(** The device's circuit breaker — exposed so the engine can tell a
+    device-wide outage (breaker open) from a single bad partition, and
+    so tests can drive the state machine. *)
+val breaker : t -> Breaker.t
+
+val breaker_state : t -> Breaker.state
 
 (** {2 Buffer pool}
 
@@ -157,6 +174,9 @@ type fault_action =
     attempt proceeds normally. *)
 type injector = op -> attempt:int -> int -> fault_action option
 
+(** Install (or clear) the fault injector. Also resets the circuit
+    breaker to [Closed]: the simulated hardware changed, so accumulated
+    evidence against it no longer applies. *)
 val set_injector : t -> injector option -> unit
 
 (** Legacy boolean hook: when the predicate returns [true] for an

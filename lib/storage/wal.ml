@@ -57,6 +57,7 @@ type t = {
   pending : Buffer.t; (* appended but not yet flushed to the file *)
   mutable pending_count : int;
   mutable fault : (int -> Block_device.fault_action option) option;
+  mutable tear_at : int option; (* byte offset of un-healed torn garbage *)
   append_hist : Metrics.Histogram.t;
   sync_hist : Metrics.Histogram.t;
 }
@@ -116,8 +117,28 @@ let encode ~seq record =
 
 (* --- writing ----------------------------------------------------------- *)
 
+(* A torn append leaves physical garbage at the end of the file.  If the
+   writer survives (transient fault, no crash), later flushed records
+   must not land *after* that garbage: the recovery reader floors the
+   log at the first bad record, so everything past the tear — including
+   acknowledged, synced appends — would be silently lost.  The tear is
+   therefore healed lazily: the next physical flush first truncates the
+   file back to the tear position.  Healing lazily (rather than in the
+   torn append itself) preserves crash fidelity — a crash *before* the
+   next flush still leaves the torn tail on disk for recovery to floor,
+   exactly like a real power cut mid-write. *)
+let heal_tear t =
+  match t.tear_at with
+  | None -> ()
+  | Some pos ->
+    (* The channel is in append mode, so after the truncation writes
+       continue at the new end of file — no seek needed. *)
+    Unix.ftruncate (Unix.descr_of_out_channel t.channel) pos;
+    t.tear_at <- None
+
 let flush_pending t =
   if t.pending_count > 0 || Buffer.length t.pending > 0 then begin
+    heal_tear t;
     let flush () =
       let t0 = Metrics.now_s () in
       Out_channel.output_string t.channel (Buffer.contents t.pending);
@@ -134,41 +155,68 @@ let flush_pending t =
 
 let sync t = flush_pending t
 
+(* Transactional append: either the record is fully accepted (buffered
+   or flushed, sequence advanced) or the in-memory state is exactly as
+   before the call — [next_seq] rolled back, the record's bytes removed
+   from the pending buffer.  Without the rollback, a failed policy
+   flush would leave the sequence number advanced past the last durable
+   record: a caller that retried the observe would then double-append
+   it under a new sequence number, and a caller that gave up would
+   leave a permanent gap for recovery's sequence check to floor at.
+   A flush that *completed* before the failure is never undone — those
+   bytes are durable, so only still-buffered bytes are rolled back. *)
 let append_impl t record =
-  let seq = t.next_seq in
-  let words = encode ~seq record in
-  (match t.fault with
-  | Some f -> (
-    match f seq with
-    | Some Block_device.Fail ->
-      raise (Block_device.Device_error (Printf.sprintf "injected WAL append fault at seq %d" seq))
-    | Some (Block_device.Torn k) ->
-      (* A crash mid-append: whatever was buffered reaches the file,
-         then only the first [k] words of this record do. *)
-      let k = max 0 (min (Array.length words - 1) k) in
-      flush_pending t;
-      Out_channel.output_bytes t.channel (words_to_bytes (Array.sub words 0 k));
-      Out_channel.flush t.channel;
-      raise
-        (Block_device.Device_error
-           (Printf.sprintf "torn WAL append at seq %d (%d of %d words)" seq k
-              (Array.length words)))
-    | Some (Block_device.Corrupt i) ->
-      (* Latent corruption: the record lands whole but one word has a
-         flipped bit — the reader must reject it, never serve it. *)
-      let i = i mod Array.length words in
-      words.(i) <- words.(i) lxor 1
-    | None -> ())
-  | None -> ());
-  Buffer.add_bytes t.pending (words_to_bytes words);
-  t.pending_count <- t.pending_count + 1;
-  t.next_seq <- seq + 1;
-  Io_stats.note_wal_append t.stats;
-  (match t.sync_policy with
-  | Always -> flush_pending t
-  | Group n -> if t.pending_count >= max 1 n then flush_pending t
-  | Never -> ());
-  seq
+  let saved_seq = t.next_seq in
+  let saved_len = Buffer.length t.pending in
+  let saved_count = t.pending_count in
+  try
+    let seq = t.next_seq in
+    let words = encode ~seq record in
+    (match t.fault with
+    | Some f -> (
+      match f seq with
+      | Some Block_device.Fail ->
+        raise (Block_device.Device_error (Printf.sprintf "injected WAL append fault at seq %d" seq))
+      | Some (Block_device.Torn k) ->
+        (* A crash mid-append: whatever was buffered reaches the file,
+           then only the first [k] words of this record do.  The tear's
+           byte offset is remembered so a surviving writer's next flush
+           can truncate the garbage away (see [heal_tear]). *)
+        let k = max 0 (min (Array.length words - 1) k) in
+        flush_pending t;
+        let tear_pos = Int64.to_int (Out_channel.pos t.channel) in
+        Out_channel.output_bytes t.channel (words_to_bytes (Array.sub words 0 k));
+        Out_channel.flush t.channel;
+        if t.tear_at = None then t.tear_at <- Some tear_pos;
+        raise
+          (Block_device.Device_error
+             (Printf.sprintf "torn WAL append at seq %d (%d of %d words)" seq k
+                (Array.length words)))
+      | Some (Block_device.Corrupt i) ->
+        (* Latent corruption: the record lands whole but one word has a
+           flipped bit — the reader must reject it, never serve it. *)
+        let i = i mod Array.length words in
+        words.(i) <- words.(i) lxor 1
+      | None -> ())
+    | None -> ());
+    Buffer.add_bytes t.pending (words_to_bytes words);
+    t.pending_count <- t.pending_count + 1;
+    t.next_seq <- seq + 1;
+    Io_stats.note_wal_append t.stats;
+    (match t.sync_policy with
+    | Always -> flush_pending t
+    | Group n -> if t.pending_count >= max 1 n then flush_pending t
+    | Never -> ());
+    seq
+  with e ->
+    t.next_seq <- saved_seq;
+    if Buffer.length t.pending > saved_len then begin
+      (* The record is still buffered (the failure struck before or
+         during a flush that did not complete): drop it. *)
+      Buffer.truncate t.pending saved_len;
+      t.pending_count <- saved_count
+    end;
+    raise e
 
 let append t record =
   let timed () =
@@ -185,7 +233,13 @@ let append t record =
   | None -> timed ()
 
 let create ?(sync = Always) ~stats ~path ~start_seq () =
-  let channel = Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_wronly ] 0o644 path in
+  (* Append mode, like [rotate] and [open_existing]: [heal_tear]'s
+     truncation relies on writes landing at the (possibly moved) end of
+     file, not at the channel's remembered offset. *)
+  let channel =
+    Out_channel.open_gen [ Open_binary; Open_creat; Open_trunc; Open_append; Open_wronly ] 0o644
+      path
+  in
   Out_channel.output_bytes channel (header_bytes ~start_seq);
   Out_channel.flush channel;
   let append_hist, sync_hist = wal_metrics stats in
@@ -199,6 +253,7 @@ let create ?(sync = Always) ~stats ~path ~start_seq () =
     pending = Buffer.create 4096;
     pending_count = 0;
     fault = None;
+    tear_at = None;
     append_hist;
     sync_hist;
   }
@@ -219,7 +274,9 @@ let rotate t =
   t.channel <- Out_channel.open_gen [ Open_binary; Open_append; Open_wronly ] 0o644 t.path;
   t.start_seq <- t.next_seq;
   Buffer.clear t.pending;
-  t.pending_count <- 0
+  t.pending_count <- 0;
+  (* The rename replaced the whole file, tear included. *)
+  t.tear_at <- None
 
 let close t =
   flush_pending t;
@@ -348,6 +405,7 @@ let open_existing ?(sync = Always) ~stats ~path () =
       pending = Buffer.create 4096;
       pending_count = 0;
       fault = None;
+      tear_at = None;
       append_hist;
       sync_hist;
     }

@@ -47,10 +47,19 @@ val open_existing :
 val read_path : path:string -> (int * record) list * int * tail
 
 (** Append one record; returns its sequence number. Whether the record
-    is physically flushed depends on the sync policy. Raises
-    {!Block_device.Device_error} if the fault injector fires (the
-    record is then not acknowledged: in-memory state must not be
-    updated). *)
+    is physically flushed depends on the sync policy.
+
+    Transactional: on any failure (an injected fault, or a policy flush
+    that raises) the record is not acknowledged and the in-memory state
+    — sequence number, pending buffer — is rolled back to exactly its
+    pre-call value, so the caller may safely retry the same record (it
+    will reuse the same sequence number) or give up without leaving a
+    gap. A torn append additionally remembers the tear's byte offset;
+    the next physical flush truncates the garbage away so acknowledged
+    records can never land beyond a tear and be floored by recovery
+    (a crash before that flush still leaves the torn tail on disk, as
+    a real power cut would). Raises {!Block_device.Device_error} when
+    the fault injector fires. *)
 val append : t -> record -> int
 
 (** Flush every buffered record to the file (one group commit). *)

@@ -42,6 +42,8 @@ let map ?domains f input =
    dynamic load balancing, and the mutex hand-offs double as the
    happens-before edges that publish result writes to the caller. *)
 module Pool = struct
+  exception Cancelled
+
   type t = {
     lock : Mutex.t;
     work : Condition.t; (* wakes workers on a new epoch or shutdown *)
@@ -51,6 +53,7 @@ module Pool = struct
     mutable total : int;
     mutable finished : int; (* items fully processed this epoch *)
     mutable failure : exn option; (* first exception raised by any item *)
+    mutable cancel : (unit -> bool) option; (* round's cooperative cancel check *)
     mutable epoch : int;
     mutable quit : bool;
     mutable handles : unit Domain.t list;
@@ -81,6 +84,16 @@ module Pool = struct
     let rec loop () =
       Mutex.lock t.lock;
       if t.epoch <> epoch || t.next >= t.total || t.failure <> None then Mutex.unlock t.lock
+      else if (match t.cancel with Some c -> c () | None -> false) then begin
+        (* Cooperative cancellation: recorded like a failure, so no
+           further items are claimed anywhere and the caller re-raises
+           [Cancelled] once in-flight items finish.  The check must not
+           raise (it is a deadline comparison in practice) and runs
+           under the lock, so it must be cheap. *)
+        t.failure <- Some Cancelled;
+        if round_done t then Condition.signal t.idle;
+        Mutex.unlock t.lock
+      end
       else begin
         let i = t.next in
         t.next <- i + 1;
@@ -140,6 +153,7 @@ module Pool = struct
         total = 0;
         finished = 0;
         failure = None;
+        cancel = None;
         epoch = 0;
         quit = false;
         handles = [];
@@ -152,8 +166,12 @@ module Pool = struct
   let size t = List.length t.handles
 
   (* Run [f] exactly once per index in [0, n); the caller works too, so
-     a pool of w workers yields w+1 compute lanes. *)
-  let run t ~n f =
+     a pool of w workers yields w+1 compute lanes.  [cancel] is polled
+     before every claim (by caller and workers alike); once it returns
+     true the round stops claiming and {!Cancelled} is re-raised here
+     after in-flight items finish — at most one item per lane runs past
+     the cancellation point. *)
+  let run ?cancel t ~n f =
     if n > 0 then begin
       (match t.metrics with
       | Some (width, _) -> Hsq_obs.Metrics.Histogram.observe width (float_of_int n)
@@ -164,6 +182,7 @@ module Pool = struct
       t.total <- n;
       t.finished <- 0;
       t.failure <- None;
+      t.cancel <- cancel;
       t.epoch <- t.epoch + 1;
       let epoch = t.epoch in
       Condition.broadcast t.work;
@@ -184,18 +203,21 @@ module Pool = struct
       (* Park the task: a late-waking worker finds it gone (or the
          epoch moved on) and goes back to sleep. *)
       t.task <- None;
+      t.cancel <- None;
       let failure = t.failure in
       Mutex.unlock t.lock;
       match failure with Some e -> raise e | None -> ()
     end
 
-  (* Order-preserving map, like {!map} but on the persistent pool. *)
-  let map t f input =
+  (* Order-preserving map, like {!map} but on the persistent pool.
+     A cancelled round raises {!Cancelled} out of [run] before the
+     output array is touched, so no partially-filled result escapes. *)
+  let map ?cancel t f input =
     let n = Array.length input in
     if n = 0 then [||]
     else begin
       let out = Array.make n None in
-      run t ~n (fun i -> out.(i) <- Some (f input.(i)));
+      run ?cancel t ~n (fun i -> out.(i) <- Some (f input.(i)));
       Array.map (function Some v -> v | None -> assert false) out
     end
 

@@ -19,6 +19,10 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 module Pool : sig
   type t
 
+  (** Raised out of {!run}/{!map} when the round's [cancel] check fired
+      (e.g. a query deadline expired). *)
+  exception Cancelled
+
   (** Spawn [max 1 workers] worker domains, parked until work arrives.
       [metrics] instruments the pool in that registry:
       [hsq_query_pool_round_width] (items fanned out per {!run}) and
@@ -37,12 +41,18 @@ module Pool : sig
       claimed; the first exception re-raises here after the items
       already in flight (at most one per compute lane) have completed,
       so unclaimed indices are skipped — mirroring how a sequential
-      loop stops at the first failure. *)
-  val run : t -> n:int -> (int -> unit) -> unit
+      loop stops at the first failure.
 
-  (** Order-preserving map on the pool; exceptions as with {!run} (on
-      failure no output array is produced). *)
-  val map : t -> ('a -> 'b) -> 'a array -> 'b array
+      [cancel] is a cooperative cancellation check, polled (under the
+      pool lock, by the caller and every worker) before each claim: once
+      it returns [true], no further items are claimed and {!Cancelled}
+      re-raises here after in-flight items finish.  It must be cheap and
+      must not raise — in practice a deadline comparison. *)
+  val run : ?cancel:(unit -> bool) -> t -> n:int -> (int -> unit) -> unit
+
+  (** Order-preserving map on the pool; exceptions and [cancel] as with
+      {!run} (on failure or cancellation no output array is produced). *)
+  val map : ?cancel:(unit -> bool) -> t -> ('a -> 'b) -> 'a array -> 'b array
 
   (** Stop and join the workers.  The pool must be idle. *)
   val shutdown : t -> unit

@@ -98,7 +98,7 @@ let run_crash_seed seed =
         (fun phi ->
           let r = max 1 (int_of_float (ceil (phi *. float_of_int n))) in
           let v, rep = E.accurate restored ~rank:r in
-          if rep.E.degraded then
+          if rep.E.degradation <> `None then
             Alcotest.failf "seed %d: degraded answer on a healthy reopened device" seed;
           let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
           if err > band then
@@ -259,7 +259,7 @@ let run_ingest_crash_seed seed =
             (fun phi ->
               let r = max 1 (int_of_float (ceil (phi *. float_of_int recovered_n))) in
               let v, rep = E.accurate eng ~rank:r in
-              if rep.E.degraded then
+              if rep.E.degradation <> `None then
                 Alcotest.failf "seed %d round %d: degraded answer on a healthy store" seed
                   round;
               let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in

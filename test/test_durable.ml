@@ -338,6 +338,71 @@ let test_corrupt_checkpoint_ignored () =
       Alcotest.(check int) "full replay recovers everything" 48 (E.total_size recovered);
       E.close recovered)
 
+(* --- append rollback --------------------------------------------------- *)
+
+(* A failed append is transactional at the WAL layer: the sequence
+   number rolls back and the record's bytes leave the pending buffer,
+   so a retry lands under the *same* sequence — no gap for recovery's
+   contiguity check to floor at, no double-append. *)
+let test_wal_append_rollback_direct () =
+  with_store (fun dir ->
+      let _, _, wal_path, _ = E.store_paths ~dir in
+      let stats = Hsq_storage.Io_stats.create () in
+      let wal = W.create ~stats ~path:wal_path ~start_seq:1 () in
+      ignore (W.append wal (W.Observe 11));
+      let seq_before = W.next_seq wal in
+      W.set_injector wal (Some (fun _ -> Some Hsq_storage.Block_device.Fail));
+      (try
+         ignore (W.append wal (W.Observe 22));
+         Alcotest.fail "expected the injected append fault"
+       with Hsq_storage.Block_device.Device_error _ -> ());
+      Alcotest.(check int) "sequence rolled back after Fail" seq_before (W.next_seq wal);
+      (* a torn append (crash mid-write) also rolls the sequence back;
+         the tear itself is healed by the next successful flush *)
+      W.set_injector wal (Some (fun _ -> Some (Hsq_storage.Block_device.Torn 1)));
+      (try
+         ignore (W.append wal (W.Observe 33));
+         Alcotest.fail "expected the injected torn append"
+       with Hsq_storage.Block_device.Device_error _ -> ());
+      Alcotest.(check int) "sequence rolled back after Torn" seq_before (W.next_seq wal);
+      W.set_injector wal None;
+      let seq = W.append wal (W.Observe 22) in
+      Alcotest.(check int) "retry reuses the rolled-back sequence" seq_before seq;
+      W.close wal;
+      (* the log reopens clean: contiguous records, no torn garbage *)
+      let wal2, records, tail = W.open_existing ~stats ~path:wal_path () in
+      (match tail with
+      | W.Clean -> ()
+      | W.Torn msg -> Alcotest.failf "torn tail on reopen: %s" msg);
+      Alcotest.(check (list int)) "both good records, contiguous"
+        [ seq_before - 1; seq_before ]
+        (List.map fst records);
+      W.close wal2)
+
+(* The same contract at the engine layer: a failed observe is
+   unacknowledged, leaves in-memory state untouched, and the retried
+   element is neither lost nor doubled across a crash/recover. *)
+let test_wal_append_rollback_engine () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config dir) in
+      for i = 1 to 10 do
+        E.observe eng (el 7 i)
+      done;
+      E.set_wal_injector eng (Some (fun _ -> Some Hsq_storage.Block_device.Fail));
+      (try
+         E.observe eng 424_242;
+         Alcotest.fail "expected Device_error from the injected WAL fault"
+       with Hsq_storage.Block_device.Device_error _ -> ());
+      Alcotest.(check int) "failed observe unacknowledged" 10 (E.total_size eng);
+      E.set_wal_injector eng None;
+      E.observe eng 424_242;
+      Alcotest.(check int) "retried observe lands once" 11 (E.total_size eng);
+      E.crash eng;
+      let recovered, report = E.open_or_recover (config dir) in
+      Alcotest.(check (option string)) "log contiguous across the fault" None report.E.wal_tail;
+      Alcotest.(check int) "no gap, no double" 11 (E.total_size recovered);
+      E.close recovered)
+
 let () =
   Alcotest.run "durable"
     [
@@ -370,4 +435,9 @@ let () =
             test_never_sync_loses_open_tail;
         ] );
       ("torn tails", [ Alcotest.test_case "floored and truncated" `Quick test_torn_tail_floored ]);
+      ( "append rollback",
+        [
+          Alcotest.test_case "wal layer" `Quick test_wal_append_rollback_direct;
+          Alcotest.test_case "engine layer" `Quick test_wal_append_rollback_engine;
+        ] );
     ]

@@ -298,6 +298,125 @@ let test_expire_then_continue () =
   Alcotest.(check (list string)) "invariants after growth" [] (LI.check_invariants li);
   Alcotest.(check int) "steps keep counting" 15 (LI.time_steps li)
 
+(* --- Quarantine ------------------------------------------------------- *)
+
+let test_quarantine_threshold_and_reset () =
+  let dev = mem_dev () in
+  let li = LI.create ~kappa:4 ~beta1:6 dev in
+  for s = 1 to 3 do
+    ignore (LI.add_batch li (Array.init 100 (fun i -> (s * 1000) + i)))
+  done;
+  let p = List.hd (LI.partitions li) in
+  let e0 = LI.epoch li in
+  Alcotest.(check bool) "first failure below threshold" false
+    (LI.note_probe_failure li p ~threshold:3);
+  Alcotest.(check bool) "second failure below threshold" false
+    (LI.note_probe_failure li p ~threshold:3);
+  LI.note_probe_success li p;
+  (* the success reset the streak: two more failures still don't trip *)
+  Alcotest.(check bool) "streak reset" false (LI.note_probe_failure li p ~threshold:3);
+  Alcotest.(check bool) "still below" false (LI.note_probe_failure li p ~threshold:3);
+  Alcotest.(check bool) "still active" false (LI.is_quarantined li p);
+  Alcotest.(check int) "epoch untouched below threshold" e0 (LI.epoch li);
+  Alcotest.(check bool) "third consecutive failure quarantines" true
+    (LI.note_probe_failure li p ~threshold:3);
+  Alcotest.(check bool) "quarantined" true (LI.is_quarantined li p);
+  Alcotest.(check bool) "epoch bumped" true (LI.epoch li > e0);
+  Alcotest.(check int) "quarantined count" 1 (LI.quarantined_count li);
+  Alcotest.(check int) "widening equals the partition's elements" (P.size p)
+    (LI.quarantined_elements li);
+  Alcotest.(check int) "active set excludes it"
+    (LI.partition_count li - 1)
+    (List.length (LI.active_partitions li));
+  Alcotest.(check bool) "coverage still sees it" true
+    (List.exists (fun q -> q == p) (LI.partitions li));
+  Alcotest.(check (list string)) "invariants tolerate quarantine" [] (LI.check_invariants li)
+
+let test_quarantine_reinstate_roundtrip () =
+  let dev = mem_dev () in
+  let li = LI.create ~kappa:4 ~beta1:6 dev in
+  for s = 1 to 3 do
+    ignore (LI.add_batch li (Array.init 120 (fun i -> (s * 1000) + i)))
+  done;
+  let p = List.hd (LI.partitions li) in
+  LI.quarantine_partition li p;
+  LI.quarantine_partition li p;
+  Alcotest.(check int) "double quarantine is a no-op" 1 (LI.quarantined_count li);
+  let e1 = LI.epoch li in
+  (match LI.reinstate li p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "reinstate on a healthy device failed: %s" msg);
+  Alcotest.(check bool) "back in service" false (LI.is_quarantined li p);
+  Alcotest.(check int) "no widening left" 0 (LI.quarantined_elements li);
+  Alcotest.(check bool) "epoch bumped by reinstate" true (LI.epoch li > e1);
+  Alcotest.(check int) "active set whole again" (LI.partition_count li)
+    (List.length (LI.active_partitions li));
+  Alcotest.(check (list string)) "invariants clean" [] (LI.check_invariants li)
+
+let test_quarantine_defers_merges () =
+  let dev = mem_dev () in
+  let li = LI.create ~kappa:2 ~beta1:4 dev in
+  ignore (LI.add_batch li [| 1; 2; 3 |]);
+  let p = List.hd (LI.partitions li) in
+  LI.quarantine_partition li p;
+  (* level 0 would collapse at the third batch (Figure 2, kappa = 2);
+     with a quarantined member the merge is deferred, the level
+     temporarily exceeds kappa, and the invariant checker tolerates
+     exactly that. *)
+  ignore (LI.add_batch li [| 4; 5; 6 |]);
+  ignore (LI.add_batch li [| 7; 8; 9 |]);
+  Alcotest.(check (list string)) "deferral tolerated" [] (LI.check_invariants li);
+  let before = LI.partition_count li in
+  Alcotest.(check bool) "level over kappa while deferred" true (before > 2);
+  (match LI.reinstate li p with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "reinstate failed: %s" msg);
+  Alcotest.(check bool) "deferred merge ran" true (LI.partition_count li < before);
+  Alcotest.(check (list string)) "invariants after the deferred merge" []
+    (LI.check_invariants li);
+  Alcotest.(check int) "multiset preserved" 9
+    (List.fold_left (fun acc q -> acc + P.size q) 0 (LI.partitions li))
+
+let test_quarantine_describe_restore () =
+  let dev = mem_dev () in
+  let li = LI.create ~kappa:4 ~beta1:6 dev in
+  for s = 1 to 3 do
+    ignore (LI.add_batch li (Array.init 90 (fun i -> (s * 1000) + i)))
+  done;
+  let p = List.hd (LI.partitions li) in
+  LI.quarantine_partition li p;
+  let descs = LI.describe li in
+  Alcotest.(check int) "one descriptor flagged" 1
+    (List.length (List.filter (fun d -> d.LI.quarantined) descs));
+  let stats = Hsq_storage.Block_device.stats dev in
+  let before = (Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.reads in
+  let li2 = LI.restore ~kappa:4 ~beta1:6 dev descs in
+  Alcotest.(check int) "quarantine survives restore" 1 (LI.quarantined_count li2);
+  Alcotest.(check int) "same widening after restore" (LI.quarantined_elements li)
+    (LI.quarantined_elements li2);
+  let flagged_reads =
+    (Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.reads - before
+  in
+  (* the flagged partition's (possibly bad) blocks were never read: the
+     same restore with the flag cleared pays strictly more I/O for its
+     summary re-read *)
+  let before2 = (Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.reads in
+  ignore (LI.restore ~kappa:4 ~beta1:6 dev
+            (List.map (fun d -> { d with LI.quarantined = false }) descs));
+  let unflagged_reads =
+    (Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.reads - before2
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "restore skipped the quarantined blocks (%d < %d)" flagged_reads
+       unflagged_reads)
+    true (flagged_reads < unflagged_reads);
+  (* on this healthy device the restored partition re-verifies clean *)
+  (match LI.reinstate li2 (List.hd (LI.quarantined li2)) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "reinstate after restore failed: %s" msg);
+  Alcotest.(check int) "clean after reinstate" 0 (LI.quarantined_count li2);
+  Alcotest.(check (list string)) "restored invariants" [] (LI.check_invariants li2)
+
 let () =
   Alcotest.run "hist"
     [
@@ -337,5 +456,12 @@ let () =
         [
           Alcotest.test_case "expire drops old partitions" `Quick test_expire_drops_old_partitions;
           Alcotest.test_case "expire then continue" `Quick test_expire_then_continue;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "threshold and reset" `Quick test_quarantine_threshold_and_reset;
+          Alcotest.test_case "reinstate roundtrip" `Quick test_quarantine_reinstate_roundtrip;
+          Alcotest.test_case "defers merges" `Quick test_quarantine_defers_merges;
+          Alcotest.test_case "describe/restore" `Quick test_quarantine_describe_restore;
         ] );
     ]

@@ -120,14 +120,26 @@ let test_persistent_fault_degrades_to_quick () =
   let stats = Hsq_storage.Block_device.stats dev in
   Hsq_storage.Io_stats.reset stats;
   let v, report = E.accurate eng ~rank:2_000 in
-  Alcotest.(check bool) "answer flagged degraded" true report.E.degraded;
+  (* A device-wide persistent fault trips the circuit breaker before
+     every partition can be quarantined, so the query degrades to the
+     in-memory answer flagged device_open. *)
+  Alcotest.(check bool) "answer flagged degraded" true (report.E.degradation = `Device_open);
+  Alcotest.(check bool) "bound reported" true (report.E.rank_error_bound >= 0.0);
   Alcotest.(check int) "matches the quick path" (E.quick eng ~rank:2_000) v;
   Alcotest.(check bool) "retries were attempted first" true
     ((Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.retries > 0);
-  (* Device healed: full accuracy comes back, unflagged. *)
+  (* Device healed (set_fault also resets the breaker): partitions the
+     containment layer quarantined on the way down are re-verified and
+     reinstated, and full accuracy comes back, unflagged. *)
   Hsq_storage.Block_device.set_fault dev None;
+  List.iter
+    (fun p ->
+      match Hsq_hist.Level_index.reinstate (E.hist eng) p with
+      | Ok () -> ()
+      | Error msg -> Alcotest.failf "reinstate failed on healed device: %s" msg)
+    (Hsq_hist.Level_index.quarantined (E.hist eng));
   let v, report = E.accurate eng ~rank:2_000 in
-  Alcotest.(check bool) "not degraded after clearing" false report.E.degraded;
+  Alcotest.(check bool) "not degraded after clearing" true (report.E.degradation = `None);
   Alcotest.(check bool) "recovers after fault cleared" true (v >= 0)
 
 let test_transient_fault_invisible_to_queries () =
@@ -153,11 +165,49 @@ let test_transient_fault_invisible_to_queries () =
   Hsq_storage.Io_stats.reset stats;
   let n = E.total_size eng in
   let v, report = E.accurate eng ~rank:(n / 2) in
-  Alcotest.(check bool) "not degraded" false report.E.degraded;
+  Alcotest.(check bool) "not degraded" true (report.E.degradation = `None);
   Alcotest.(check int) "still exact with empty stream" 0
     (Hsq_workload.Oracle.rank_error oracle ~rank:(n / 2) ~value:v);
   Alcotest.(check bool) "retries visible in stats" true
     ((Hsq_storage.Io_stats.snapshot stats).Hsq_storage.Io_stats.retries > 0)
+
+let test_deadline_cuts_to_best_so_far () =
+  let ds = Hsq_workload.Datasets.uniform ~seed:88 in
+  let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
+  let eng = E.create config in
+  let oracle = Hsq_workload.Oracle.create () in
+  for _ = 1 to 8 do
+    let batch = Hsq_workload.Datasets.next_batch ds 1_000 in
+    Hsq_workload.Oracle.add_batch oracle batch;
+    ignore (E.ingest_batch eng batch)
+  done;
+  Array.iter
+    (fun v ->
+      E.observe eng v;
+      Hsq_workload.Oracle.add oracle v)
+    (Hsq_workload.Datasets.next_batch ds 500);
+  let n = E.total_size eng in
+  let rank = n / 2 in
+  (* An already-expired deadline: the bisection is cut before its first
+     iteration and the query returns its best-so-far answer, honestly
+     flagged with a rank-error bound the oracle confirms. *)
+  let v, report = E.accurate ~deadline_ms:1e-9 eng ~rank in
+  Alcotest.(check bool) "flagged deadline" true (report.E.degradation = `Deadline);
+  Alcotest.(check int) "cut before the first iteration" 0 report.E.iterations;
+  let err = Hsq_workload.Oracle.rank_error oracle ~rank ~value:v in
+  Alcotest.(check bool)
+    (Printf.sprintf "bound honest under the cut: err=%d bound=%.0f" err
+       report.E.rank_error_bound)
+    true
+    (float_of_int err <= report.E.rank_error_bound);
+  (* Without a deadline the same engine still answers at full accuracy. *)
+  let v2, report2 = E.accurate eng ~rank in
+  Alcotest.(check bool) "undeadlined query unaffected" true
+    (report2.E.degradation = `None && report2.E.iterations > 0);
+  let m = E.stream_size eng in
+  let bound = Hsq.Errors.accurate_rank_bound ~eps:(E.epsilon eng) ~eps2:(E.eps2 eng) ~m in
+  Alcotest.(check bool) "full accuracy afterwards" true
+    (float_of_int (Hsq_workload.Oracle.rank_error oracle ~rank ~value:v2) <= bound)
 
 let test_write_fault_during_end_time_step () =
   let config = Hsq.Config.make ~kappa:3 ~block_size:32 (Hsq.Config.Epsilon 0.05) in
@@ -194,7 +244,8 @@ let test_write_fault_during_end_time_step () =
   Alcotest.(check (list string)) "invariants after recovery" []
     (Hsq_hist.Level_index.check_invariants (E.hist eng));
   let v, report = E.accurate eng ~rank:(E.total_size eng / 2) in
-  Alcotest.(check bool) "query healthy after recovery" true (v >= 0 && not report.E.degraded)
+  Alcotest.(check bool) "query healthy after recovery" true
+    (v >= 0 && report.E.degradation = `None)
 
 let test_quick_vs_accurate_consistency () =
   (* Quick and accurate answers must be within their combined bounds of
@@ -256,5 +307,7 @@ let () =
             test_transient_fault_invisible_to_queries;
           Alcotest.test_case "write fault during end_time_step" `Quick
             test_write_fault_during_end_time_step;
+          Alcotest.test_case "deadline cuts to best-so-far" `Quick
+            test_deadline_cuts_to_best_so_far;
         ] );
     ]

@@ -527,6 +527,108 @@ let test_pool_capacity_evicts () =
   Alcotest.(check int) "4 physical reads" 4 (Io_stats.snapshot stats).Io_stats.reads;
   Block_device.disable_pool dev
 
+(* --- Breaker & backoff ---------------------------------------------- *)
+
+let test_backoff_deterministic () =
+  let p = { Breaker.Backoff.base_ms = 1.0; cap_ms = 50.0; max_attempts = 6 } in
+  let a = Breaker.Backoff.delays p ~seed:42 in
+  let b = Breaker.Backoff.delays p ~seed:42 in
+  Alcotest.(check (array (float 0.0))) "same seed, same schedule" a b;
+  Alcotest.(check bool) "different seed, different schedule" true
+    (a <> Breaker.Backoff.delays p ~seed:43);
+  Alcotest.(check int) "n attempts yield n-1 waits" 5 (Array.length a);
+  (* decorrelated jitter: each delay in [base, min (cap, 3 * previous)] *)
+  let prev = ref p.Breaker.Backoff.base_ms in
+  Array.iteri
+    (fun i d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %d in [%.1f, %.1f]" i p.Breaker.Backoff.base_ms
+           (Float.min p.Breaker.Backoff.cap_ms (3.0 *. !prev)))
+        true
+        (d >= p.Breaker.Backoff.base_ms
+        && d <= Float.min p.Breaker.Backoff.cap_ms (3.0 *. !prev));
+      prev := d)
+    a
+
+let test_backoff_cap_and_edge_policies () =
+  (* a tight cap binds every delay *)
+  let tight = { Breaker.Backoff.base_ms = 4.0; cap_ms = 5.0; max_attempts = 12 } in
+  Array.iter
+    (fun d -> Alcotest.(check bool) "cap respected" true (d >= 4.0 && d <= 5.0))
+    (Breaker.Backoff.delays tight ~seed:7);
+  (* the never-retry policy has the empty schedule: zero sleeps *)
+  let once = { Breaker.Backoff.default with Breaker.Backoff.max_attempts = 1 } in
+  Alcotest.(check int) "never-retry: no waits" 0 (Array.length (Breaker.Backoff.delays once ~seed:1));
+  (* malformed policies are rejected, not silently clamped *)
+  Alcotest.check_raises "zero attempts rejected"
+    (Invalid_argument "Backoff: max_attempts must be >= 1") (fun () ->
+      ignore
+        (Breaker.Backoff.delays
+           { Breaker.Backoff.default with Breaker.Backoff.max_attempts = 0 }
+           ~seed:1));
+  Alcotest.check_raises "cap below base rejected"
+    (Invalid_argument "Backoff: cap_ms must be >= base_ms") (fun () ->
+      ignore
+        (Breaker.Backoff.delays
+           { Breaker.Backoff.base_ms = 2.0; cap_ms = 1.0; max_attempts = 3 }
+           ~seed:1))
+
+(* The full transition table, driven by a fake clock (no sleeping). *)
+let test_breaker_transition_table () =
+  let clock = ref 0.0 in
+  let reg = Hsq_obs.Metrics.create () in
+  let b =
+    Breaker.create ~metrics:reg ~now:(fun () -> !clock) ~failure_threshold:3 ~cooldown_s:10.0 ()
+  in
+  let check_state msg expected =
+    Alcotest.(check string) msg (Breaker.state_to_string expected)
+      (Breaker.state_to_string (Breaker.state b))
+  in
+  check_state "starts closed" Breaker.Closed;
+  Alcotest.(check bool) "closed admits" true (Breaker.allow b);
+  (* sub-threshold failures stay closed; a success resets the count *)
+  Breaker.failure b;
+  Breaker.failure b;
+  check_state "two failures stay closed" Breaker.Closed;
+  Breaker.success b;
+  Breaker.failure b;
+  Breaker.failure b;
+  check_state "success reset the streak" Breaker.Closed;
+  Breaker.failure b;
+  check_state "third consecutive failure trips" Breaker.Open;
+  Alcotest.(check bool) "open short-circuits" false (Breaker.allow b);
+  Alcotest.(check (option (float 0.0))) "gauge reads open" (Some 1.0)
+    (Hsq_obs.Metrics.gauge_value reg "hsq_breaker_state");
+  (* cooldown elapsed: exactly one half-open trial ticket *)
+  clock := 11.0;
+  Alcotest.(check bool) "cooldown admits one trial" true (Breaker.allow b);
+  check_state "half-open" Breaker.Half_open;
+  Alcotest.(check (option (float 0.0))) "gauge reads half-open" (Some 2.0)
+    (Hsq_obs.Metrics.gauge_value reg "hsq_breaker_state");
+  Alcotest.(check bool) "second trial refused while one is out" false (Breaker.allow b);
+  (* trial failure reopens and restarts the cooldown *)
+  Breaker.failure b;
+  check_state "trial failure reopens" Breaker.Open;
+  Alcotest.(check bool) "cooldown restarted" false (Breaker.allow b);
+  clock := 22.0;
+  Alcotest.(check bool) "new trial after the new cooldown" true (Breaker.allow b);
+  Breaker.success b;
+  check_state "trial success closes" Breaker.Closed;
+  Alcotest.(check (option (float 0.0))) "gauge reads closed" (Some 0.0)
+    (Hsq_obs.Metrics.gauge_value reg "hsq_breaker_state");
+  (* Closed->Open, Open->Half_open, Half_open->Open, Open->Half_open,
+     Half_open->Closed: five transitions so far *)
+  Alcotest.(check (option int)) "transitions counted" (Some 5)
+    (Hsq_obs.Metrics.counter_value reg "hsq_breaker_transitions_total");
+  (* reset: clean slate regardless of state *)
+  Breaker.failure b;
+  Breaker.failure b;
+  Breaker.failure b;
+  check_state "trips again" Breaker.Open;
+  Breaker.reset b;
+  check_state "reset forces closed" Breaker.Closed;
+  Alcotest.(check bool) "admits after reset" true (Breaker.allow b)
+
 let () =
   Alcotest.run "storage"
     [
@@ -596,5 +698,12 @@ let () =
           Alcotest.test_case "spill path" `Quick test_external_sort_spill;
           Alcotest.test_case "empty raises" `Quick test_external_sort_empty;
           QCheck_alcotest.to_alcotest prop_external_sort_multiset;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
+          Alcotest.test_case "backoff cap and edge policies" `Quick
+            test_backoff_cap_and_edge_policies;
+          Alcotest.test_case "transition table" `Quick test_breaker_transition_table;
         ] );
     ]

@@ -215,6 +215,39 @@ let test_pool_failure_stops_and_recovers () =
       let got = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
       Alcotest.(check (array int)) "pool reusable after failure" [| 2; 3; 4 |] got)
 
+(* Cooperative cancellation (the query deadline's mechanism): once the
+   check fires no further items are claimed, the round raises
+   [Cancelled], and the pool is reusable. *)
+let test_pool_cancellation () =
+  let pool = Parallel.Pool.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.Pool.shutdown pool)
+    (fun () ->
+      let cancelled = Atomic.make false in
+      let ran = Atomic.make 0 in
+      (try
+         Parallel.Pool.run pool
+           ~cancel:(fun () -> Atomic.get cancelled)
+           ~n:64
+           (fun i ->
+             Atomic.incr ran;
+             if i = 0 then Atomic.set cancelled true;
+             (* ~ms of spin so the flag is seen before the queue drains *)
+             for _ = 1 to 1_000_000 do
+               ignore (Sys.opaque_identity i)
+             done);
+         Alcotest.fail "expected Cancelled"
+       with Parallel.Pool.Cancelled -> ());
+      Alcotest.(check bool) "later items never claimed" true (Atomic.get ran < 64);
+      (* a check that is already true cancels the round up front *)
+      (try
+         ignore
+           (Parallel.Pool.map ~cancel:(fun () -> true) pool (fun i -> i) (Array.init 8 Fun.id));
+         Alcotest.fail "expected Cancelled from map"
+       with Parallel.Pool.Cancelled -> ());
+      let got = Parallel.Pool.map pool (fun x -> 2 * x) (Array.init 5 Fun.id) in
+      Alcotest.(check (array int)) "pool reusable after cancellation" [| 0; 2; 4; 6; 8 |] got)
+
 let prop_parallel_sort =
   QCheck.Test.make ~name:"parallel sort = sequential sort" ~count:50
     QCheck.(pair (list small_int) (int_range 1 6))
@@ -260,6 +293,7 @@ let () =
           Alcotest.test_case "pool rounds isolated" `Quick test_pool_rounds_isolated;
           Alcotest.test_case "pool failure stops and recovers" `Quick
             test_pool_failure_stops_and_recovers;
+          Alcotest.test_case "pool cooperative cancellation" `Quick test_pool_cancellation;
           QCheck_alcotest.to_alcotest prop_parallel_sort;
         ] );
       ( "stats",
