@@ -484,43 +484,14 @@ let scrub_cmd =
 
 (* --- status (durable store health) ----------------------------------------- *)
 
-(* Failure-containment health, sourced from the metrics registry the
-   breaker, quarantine, and scrub layers export into (plus the level
-   index directly for per-level detail). *)
+(* Failure-containment health: collected and rendered by
+   Hsq_serve.Health, the same implementation behind the daemon's
+   `health` wire verb, so the two surfaces cannot drift.  Returns the
+   shared exit code (0 healthy, 1 degraded). *)
 let report_health eng =
-  let reg = Hsq.Engine.metrics eng in
-  let hist = Hsq.Engine.hist eng in
-  let breaker =
-    Hsq_storage.Breaker.state_to_string
-      (Hsq_storage.Block_device.breaker_state (Hsq.Engine.device eng))
-  in
-  let transitions =
-    match Hsq_obs.Metrics.counter_value reg "hsq_breaker_transitions_total" with
-    | Some n -> n
-    | None -> 0
-  in
-  Printf.printf "health: device breaker %s (%d transitions)\n" breaker transitions;
-  let qp = Hsq_hist.Level_index.quarantined_count hist in
-  if qp = 0 then print_endline "health: no quarantined partitions"
-  else begin
-    Printf.printf "health: %d quarantined partitions (%d elements unavailable to queries)\n" qp
-      (Hsq_hist.Level_index.quarantined_elements hist);
-    for l = 0 to Hsq_hist.Level_index.num_levels hist - 1 do
-      match
-        Hsq_obs.Metrics.gauge_value reg (Printf.sprintf "hsq_quarantined_partitions_level_%d" l)
-      with
-      | Some g when g > 0.0 -> Printf.printf "health:   level %d: %.0f quarantined\n" l g
-      | _ -> ()
-    done
-  end;
-  match Hsq_obs.Metrics.gauge_value reg "hsq_scrub_last_time_s" with
-  | None | Some 0.0 -> print_endline "health: no scrub recorded in this process"
-  | Some _ ->
-    let g name = match Hsq_obs.Metrics.gauge_value reg name with Some v -> v | None -> 0.0 in
-    Printf.printf "health: last scrub: %.0f errors, %.0f quarantined, %.0f reinstated\n"
-      (g "hsq_scrub_last_errors")
-      (g "hsq_scrub_last_quarantined")
-      (g "hsq_scrub_last_reinstated")
+  let h = Hsq_serve.Health.collect eng in
+  List.iter print_endline (Hsq_serve.Health.to_lines h);
+  Hsq_serve.Health.exit_code h
 
 let status dir pool_blocks health =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
@@ -549,7 +520,8 @@ let status dir pool_blocks health =
             pool_blocks hits misses
             (100.0 *. float_of_int hits /. float_of_int (hits + misses))
         | _ -> ());
-        if health then report_health eng;
+        if health && report_health eng <> 0 then
+          problem "health: DEGRADED — breaker open or partitions quarantined";
         Hsq_storage.Block_device.close (Hsq.Engine.device eng)
       | exception Hsq.Persist.Corrupt_metadata msg -> problem "warehouse: CORRUPT — %s" msg
       | exception Hsq_storage.Block_device.Device_error msg ->
@@ -640,6 +612,7 @@ let metrics device meta format phis no_exercise =
          real observations, not just the load-time I/O. *)
       if not no_exercise then List.iter (fun phi -> ignore (Hsq.Engine.quantile eng phi)) phis;
       let reg = Hsq.Engine.metrics eng in
+      Hsq_obs.Process.register reg;
       (match format with
       | `Json -> print_endline (Hsq_obs.Metrics.to_json reg)
       | `Prometheus -> print_string (Hsq_obs.Metrics.to_prometheus reg));
@@ -678,10 +651,115 @@ let metrics_cmd =
   Cmd.v (Cmd.info "metrics" ~doc)
     Term.(const metrics $ device_path $ meta $ format $ phis $ no_exercise)
 
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve socket tcp epsilon kappa block_size query_domains durable wal_sync checkpoint_every
+    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms =
+  let listen =
+    match (socket, tcp) with
+    | Some path, None -> Some (Hsq_serve.Server.Unix_sock path)
+    | None, Some port -> Some (Hsq_serve.Server.Tcp ("127.0.0.1", port))
+    | _ -> None
+  in
+  match listen with
+  | None ->
+    prerr_endline "serve requires exactly one of --socket PATH or --tcp PORT";
+    2
+  | Some listen -> (
+    let eng =
+      make_engine ~epsilon ~kappa ~block_size ~device_path:None ~steps_hint:100 ?query_domains
+        ?durable ~wal_sync ~checkpoint_every ()
+    in
+    let config =
+      {
+        (Hsq_serve.Server.default_config listen) with
+        Hsq_serve.Server.queue_depth;
+        budgets =
+          { Hsq_serve.Server.quick_ms; accurate_ms; ingest_ms; admin_ms };
+        read_timeout_s = read_timeout_ms /. 1000.0;
+      }
+    in
+    try
+      let srv = Hsq_serve.Server.create config eng in
+      (* Signal handlers only flip the stop atomic; the accept loop
+         notices within its poll interval and runs the drain. *)
+      let on_signal _ = Hsq_serve.Server.request_stop srv in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+      Hsq_serve.Server.start srv;
+      Printf.eprintf "hsq serve: listening on %s (queue depth %d%s)\n%!"
+        (match listen with
+        | Hsq_serve.Server.Unix_sock p -> p
+        | Hsq_serve.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+        queue_depth
+        (match durable with None -> "" | Some d -> ", durable at " ^ d);
+      Hsq_serve.Server.wait srv;
+      prerr_endline "hsq serve: drained";
+      0
+    with Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "hsq serve: %s(%s): %s\n" fn arg (Unix.error_message e);
+      1)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Listen on 127.0.0.1:$(docv) instead of a Unix socket.")
+  in
+  let queue_depth =
+    let doc =
+      "Admission-queue capacity: requests beyond $(docv) waiting are shed with an explicit \
+       $(b,overloaded) response and a retry-after hint."
+    in
+    Arg.(value & opt int 128 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let budget name default cls =
+    let doc =
+      Printf.sprintf
+        "Deadline budget for %s requests, milliseconds (queue wait + execution). A request \
+         past its budget is answered $(b,timeout)." cls
+    in
+    Arg.(value & opt float default & info [ name ] ~docv:"MS" ~doc)
+  in
+  let read_timeout_ms =
+    let doc = "Per-connection stalled-read cutoff, milliseconds." in
+    Arg.(value & opt float 30_000.0 & info [ "read-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let doc =
+    "Run the warehouse as a long-lived daemon answering line-JSON requests (ingest, quick and \
+     accurate quantile queries, windowed queries, stats, metrics, health) over a socket, with \
+     bounded admission, per-class deadline budgets, and graceful drain on SIGTERM."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket $ tcp $ epsilon $ kappa $ block_size $ query_domains $ durable_dir
+      $ wal_sync $ checkpoint_every $ queue_depth
+      $ budget "quick-budget-ms" 250.0 "quick-query"
+      $ budget "accurate-budget-ms" 2000.0 "accurate-query"
+      $ budget "ingest-budget-ms" 2000.0 "ingest"
+      $ budget "admin-budget-ms" 1000.0 "admin"
+      $ read_timeout_ms)
+
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in
   let info = Cmd.info "hsq" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ simulate_cmd; stream_cmd; query_cmd; inspect_cmd; scrub_cmd; status_cmd; metrics_cmd ]))
+          [
+            simulate_cmd;
+            stream_cmd;
+            query_cmd;
+            inspect_cmd;
+            scrub_cmd;
+            status_cmd;
+            metrics_cmd;
+            serve_cmd;
+          ]))

@@ -109,6 +109,10 @@ type t = {
   (* Tracing is opt-in per engine (set_tracer); mirrored onto the
      device's Io_stats so WAL/merge/checkpoint sites pick it up. *)
   mutable tracer : Trace.t option;
+  (* Set by the first close/crash; later close/crash/checkpoint_now
+     calls become no-ops so overlapping shutdown paths (signal handler
+     + drain, test teardown + explicit close) are safe. *)
+  mutable closed : bool;
 }
 
 (* How far an answer fell from the full O(eps*m) contract, in order of
@@ -165,6 +169,7 @@ let create ?device config =
     query_pool = None;
     metrics = make_engine_metrics dev;
     tracer = None;
+    closed = false;
   }
 
 (* Recovery path (Persist): adopt a restored historical index.  The
@@ -184,6 +189,7 @@ let of_restored ~device config hist =
     query_pool = None;
     metrics = make_engine_metrics device;
     tracer = None;
+    closed = false;
   }
 
 let config t = t.config
@@ -249,7 +255,11 @@ let write_checkpoint t d =
   | Some tr -> Trace.with_span tr "checkpoint" (fun _ -> write_checkpoint_impl t d)
   | None -> write_checkpoint_impl t d
 
-let checkpoint_now t = match t.durable with None -> () | Some d -> write_checkpoint t d
+(* No-op once closed: the WAL channel is gone, and a post-close
+   checkpoint (e.g. a drain path racing a signal handler) must not
+   raise on it. *)
+let checkpoint_now t =
+  if not t.closed then match t.durable with None -> () | Some d -> write_checkpoint t d
 
 let observe t v =
   match t.durable with
@@ -871,8 +881,9 @@ let window_total t ~window =
   with_window t ~window (fun parts ->
       List.fold_left (fun acc p -> acc + Hsq_hist.Partition.size p) (stream_size t) parts)
 
-let accurate_window t ~window ~rank =
-  with_window t ~window (fun parts -> accurate_over t ~partitions:parts ~rank)
+let accurate_window ?tolerance_factor ?deadline_ms t ~window ~rank =
+  with_window t ~window (fun parts ->
+      accurate_over ?tolerance_factor ?deadline_ms t ~partitions:parts ~rank)
 
 let quick_window t ~window ~rank =
   with_window t ~window (fun parts -> quick_over t ~partitions:parts ~rank)
@@ -1091,18 +1102,26 @@ let shutdown_pool t =
     t.query_pool <- None;
     Hsq_util.Parallel.Pool.shutdown p
 
+let is_closed t = t.closed
+
 let close t =
-  shutdown_pool t;
-  (match t.durable with None -> () | Some d -> Hsq_storage.Wal.close d.wal);
-  Hsq_storage.Block_device.close t.dev
+  if not t.closed then begin
+    t.closed <- true;
+    shutdown_pool t;
+    (match t.durable with None -> () | Some d -> Hsq_storage.Wal.close d.wal);
+    Hsq_storage.Block_device.close t.dev
+  end
 
 (* Simulated power cut (crash harness): drop what the WAL had not
    flushed and release the handles — block writes are synchronous in
    this model, so only the WAL tail is at stake. *)
 let crash t =
-  shutdown_pool t;
-  (match t.durable with None -> () | Some d -> Hsq_storage.Wal.crash d.wal);
-  Hsq_storage.Block_device.close t.dev
+  if not t.closed then begin
+    t.closed <- true;
+    shutdown_pool t;
+    (match t.durable with None -> () | Some d -> Hsq_storage.Wal.crash d.wal);
+    Hsq_storage.Block_device.close t.dev
+  end
 
 let durability_status t =
   match t.durable with

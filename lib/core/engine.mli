@@ -198,7 +198,16 @@ val window_sizes : t -> int list
 (** Elements in the window (including the stream). *)
 val window_total : t -> window:int -> (int, window_error) result
 
-val accurate_window : t -> window:int -> rank:int -> (int * query_report, window_error) result
+(** Same [tolerance_factor] / [deadline_ms] contract as {!accurate}:
+    a deadline-cut windowed query degrades honestly rather than
+    overrunning its budget. *)
+val accurate_window :
+  ?tolerance_factor:float ->
+  ?deadline_ms:float ->
+  t ->
+  window:int ->
+  rank:int ->
+  (int * query_report, window_error) result
 val quick_window : t -> window:int -> rank:int -> (int, window_error) result
 val quantile_window : t -> window:int -> float -> (int * query_report, window_error) result
 
@@ -259,17 +268,22 @@ type recovery_report = {
 val open_or_recover : Config.t -> t * recovery_report
 
 (** Flush the WAL and close the log and device files. Never called in
-    the crash tests — a crash is, by definition, not closing. *)
+    the crash tests — a crash is, by definition, not closing.
+    Idempotent: a second [close] (or a [close] after {!crash}) is a
+    no-op, so overlapping shutdown paths are safe. *)
 val close : t -> unit
 
 (** Simulate a power cut (test helper): unflushed WAL records vanish
     and file handles are released. What survives on disk is exactly
-    what the sync policy had made durable. *)
+    what the sync policy had made durable. Idempotent, like {!close}. *)
 val crash : t -> unit
+
+(** [true] once {!close} or {!crash} has run. *)
+val is_closed : t -> bool
 
 (** Force a sketch checkpoint right now (also taken automatically every
     [config.checkpoint_every] WAL records). No-op on a volatile
-    engine. *)
+    engine, and on a closed one. *)
 val checkpoint_now : t -> unit
 
 (** Live durability introspection for status tooling; [None] on a

@@ -1,0 +1,31 @@
+(* Process-level gauges: uptime, build info, and GC heap pressure.
+
+   Registered via gauge_fn so every export (JSON or Prometheus) reads
+   the live value — there is nothing to keep up to date between
+   scrapes.  Registration is idempotent: the registry keeps the first
+   closure for an already-registered pull gauge, so callers (CLI
+   subcommands, the serve daemon) can all call [register] without
+   coordinating. *)
+
+(* Process start approximated by module initialization — for the
+   daemon the two are milliseconds apart, which is all an uptime gauge
+   needs. *)
+let started_at = Unix.gettimeofday ()
+
+let register ?(build = Sys.ocaml_version) reg =
+  Metrics.gauge_fn ~help:"Seconds since process start" reg "hsq_uptime_seconds" (fun () ->
+      Unix.gettimeofday () -. started_at);
+  (* The conventional build-info constant: always 1; the interesting
+     content rides in the help text (the exporter has no labels). *)
+  Metrics.gauge_fn
+    ~help:(Printf.sprintf "Build info (ocaml %s); constant 1" build)
+    reg "hsq_build_info"
+    (fun () -> 1.0);
+  Metrics.gauge_fn ~help:"Major-heap words currently allocated" reg "hsq_gc_heap_words"
+    (fun () -> float_of_int (Gc.quick_stat ()).Gc.heap_words);
+  Metrics.gauge_fn ~help:"Words allocated in the major heap since start" reg
+    "hsq_gc_major_words" (fun () -> (Gc.quick_stat ()).Gc.major_words);
+  Metrics.gauge_fn ~help:"Major collections since start" reg "hsq_gc_major_collections"
+    (fun () -> float_of_int (Gc.quick_stat ()).Gc.major_collections);
+  Metrics.gauge_fn ~help:"Minor collections since start" reg "hsq_gc_minor_collections"
+    (fun () -> float_of_int (Gc.quick_stat ()).Gc.minor_collections)

@@ -1,0 +1,10 @@
+(** Process-level pull gauges for any long-running hsq process.
+
+    {!register} adds [hsq_uptime_seconds], [hsq_build_info] (constant
+    1; the build string rides in the help text) and GC heap gauges
+    ([hsq_gc_heap_words], [hsq_gc_major_words],
+    [hsq_gc_major_collections], [hsq_gc_minor_collections]) to a
+    registry as [gauge_fn] pull metrics. Idempotent — safe to call
+    from every entry point that exports the registry. *)
+
+val register : ?build:string -> Metrics.t -> unit

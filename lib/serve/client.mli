@@ -1,0 +1,40 @@
+(** Blocking line-JSON client for the serve daemon — used by the load
+    generator and the serve test/chaos harness. *)
+
+type t
+
+exception Protocol_error of string
+
+(** Connect, retrying [retries] times every [retry_delay_s] while the
+    daemon boots (connection refused / socket not yet bound). *)
+val connect : ?retries:int -> ?retry_delay_s:float -> Server.listen -> t
+
+val close : t -> unit
+
+(** One request, one response line.  Raises {!Protocol_error} on a
+    closed connection or an unparseable response. *)
+val request : t -> Json.t -> Json.t
+
+(** {2 Response accessors} *)
+
+val is_ok : Json.t -> bool
+val error_kind : Json.t -> string option
+val retry_after_ms : Json.t -> float option
+val value_of : Json.t -> int
+val bound_of : Json.t -> float option
+
+(** {2 Typed verbs}
+
+    The query verbs return the raw response (sheds and timeouts are
+    legitimate answers the caller inspects); the others raise
+    {!Protocol_error} unless the response is ok. *)
+
+val ping : t -> unit
+val observe : t -> int array -> int
+val end_step : t -> unit
+val quick : ?window:int -> t -> [ `Rank of int | `Phi of float ] -> Json.t
+val accurate : ?window:int -> ?deadline_ms:float -> t -> [ `Rank of int | `Phi of float ] -> Json.t
+val stats : t -> Json.t
+val metrics : t -> Json.t
+val health : t -> Json.t
+val drain : t -> unit

@@ -1,0 +1,108 @@
+(* Failure-containment health, collected once and rendered two ways.
+
+   Extracted from the CLI so `hsq status --health` and the daemon's
+   `health` wire verb cannot drift: both build the same {!t} through
+   {!collect} and derive their output (text lines, JSON fields) and
+   their exit code / healthy flag from it. *)
+
+module Metrics = Hsq_obs.Metrics
+
+type scrub_info = {
+  errors : int;
+  quarantined : int;
+  reinstated : int;
+}
+
+type t = {
+  breaker : string; (* closed / open / half_open *)
+  breaker_transitions : int;
+  quarantined_partitions : int;
+  quarantined_elements : int;
+  per_level : (int * int) list; (* (level, quarantined partitions), nonzero only *)
+  last_scrub : scrub_info option; (* None: no scrub recorded in this process *)
+}
+
+let collect eng =
+  let reg = Hsq.Engine.metrics eng in
+  let hist = Hsq.Engine.hist eng in
+  let counter name = Option.value ~default:0 (Metrics.counter_value reg name) in
+  let gauge name = Option.value ~default:0.0 (Metrics.gauge_value reg name) in
+  let per_level =
+    List.filter_map
+      (fun l ->
+        match
+          Metrics.gauge_value reg (Printf.sprintf "hsq_quarantined_partitions_level_%d" l)
+        with
+        | Some g when g > 0.0 -> Some (l, int_of_float g)
+        | _ -> None)
+      (List.init (Hsq_hist.Level_index.num_levels hist) Fun.id)
+  in
+  let last_scrub =
+    match Metrics.gauge_value reg "hsq_scrub_last_time_s" with
+    | None | Some 0.0 -> None
+    | Some _ ->
+      Some
+        {
+          errors = int_of_float (gauge "hsq_scrub_last_errors");
+          quarantined = int_of_float (gauge "hsq_scrub_last_quarantined");
+          reinstated = int_of_float (gauge "hsq_scrub_last_reinstated");
+        }
+  in
+  {
+    breaker =
+      Hsq_storage.Breaker.state_to_string
+        (Hsq_storage.Block_device.breaker_state (Hsq.Engine.device eng));
+    breaker_transitions = counter "hsq_breaker_transitions_total";
+    quarantined_partitions = Hsq_hist.Level_index.quarantined_count hist;
+    quarantined_elements = Hsq_hist.Level_index.quarantined_elements hist;
+    per_level;
+    last_scrub;
+  }
+
+(* Healthy = fully un-degraded: the breaker admits probes and no
+   partition is excluded from queries.  (A half-open breaker is still
+   degraded: it is one failed trial away from open.) *)
+let healthy h = h.breaker = "closed" && h.quarantined_partitions = 0
+
+(* Shared exit-code convention: 0 healthy, 1 degraded — the same
+   0-vs-1 split scrub and status use for damage. *)
+let exit_code h = if healthy h then 0 else 1
+
+let to_lines h =
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  add "health: device breaker %s (%d transitions)" h.breaker h.breaker_transitions;
+  if h.quarantined_partitions = 0 then add "health: no quarantined partitions"
+  else begin
+    add "health: %d quarantined partitions (%d elements unavailable to queries)"
+      h.quarantined_partitions h.quarantined_elements;
+    List.iter (fun (l, q) -> add "health:   level %d: %d quarantined" l q) h.per_level
+  end;
+  (match h.last_scrub with
+  | None -> add "health: no scrub recorded in this process"
+  | Some s ->
+    add "health: last scrub: %d errors, %d quarantined, %d reinstated" s.errors s.quarantined
+      s.reinstated);
+  List.rev !lines
+
+(* The wire verb's fields — same record, JSON shape. *)
+let to_fields h =
+  [
+    ("healthy", Json.Bool (healthy h));
+    ("breaker", Json.Str h.breaker);
+    ("breaker_transitions", Json.int h.breaker_transitions);
+    ("quarantined_partitions", Json.int h.quarantined_partitions);
+    ("quarantined_elements", Json.int h.quarantined_elements);
+    ( "quarantined_per_level",
+      Json.List (List.map (fun (l, q) -> Json.List [ Json.int l; Json.int q ]) h.per_level) );
+    ( "last_scrub",
+      match h.last_scrub with
+      | None -> Json.Null
+      | Some s ->
+        Json.Obj
+          [
+            ("errors", Json.int s.errors);
+            ("quarantined", Json.int s.quarantined);
+            ("reinstated", Json.int s.reinstated);
+          ] );
+  ]

@@ -1,0 +1,38 @@
+(** Failure-containment health, collected once and rendered two ways.
+
+    `hsq status --health` and the daemon's `health` wire verb both
+    build the same summary through {!collect} and derive text lines,
+    JSON fields, and the healthy/exit-code verdict from it — one
+    implementation, so the two surfaces cannot drift. *)
+
+type scrub_info = {
+  errors : int;
+  quarantined : int;
+  reinstated : int;
+}
+
+type t = {
+  breaker : string;  (** closed / open / half_open *)
+  breaker_transitions : int;
+  quarantined_partitions : int;
+  quarantined_elements : int;
+  per_level : (int * int) list;
+      (** (level, quarantined partitions); only nonzero levels listed *)
+  last_scrub : scrub_info option;  (** [None]: no scrub in this process *)
+}
+
+(** Snapshot the engine's containment state (breaker, quarantine,
+    last-scrub gauges). *)
+val collect : Hsq.Engine.t -> t
+
+(** Fully un-degraded: breaker closed and nothing quarantined. *)
+val healthy : t -> bool
+
+(** 0 healthy, 1 degraded — the scrub/status damage convention. *)
+val exit_code : t -> int
+
+(** The exact "health: ..." lines `hsq status --health` prints. *)
+val to_lines : t -> string list
+
+(** The wire verb's response fields (["healthy"], ["breaker"], ...). *)
+val to_fields : t -> (string * Json.t) list

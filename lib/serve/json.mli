@@ -1,0 +1,44 @@
+(** Minimal JSON for the line-JSON wire protocol.
+
+    One request or response is exactly one JSON document on one line:
+    {!to_string} never emits a newline, and {!of_string} parses one
+    complete document.  Numbers are floats; integral values inside the
+    2^53 exact range render without a decimal point, which covers every
+    count and element value the engine serves.  No external dependency
+    on purpose. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render on a single line (strings are escaped; NaN/inf render as
+    [null]). *)
+val to_string : t -> string
+
+(** Parse one complete document; [Error msg] names the offset of the
+    first problem. *)
+val of_string : string -> (t, string) result
+
+(** Object field lookup; [None] on non-objects and absent keys. *)
+val member : t -> string -> t option
+
+val as_int : t -> int option
+val as_float : t -> float option
+val as_str : t -> string option
+val as_bool : t -> bool option
+val as_list : t -> t list option
+
+(** [get_* v key] = [member] composed with the matching [as_*]. *)
+val get_int : t -> string -> int option
+
+val get_float : t -> string -> float option
+val get_str : t -> string -> string option
+val get_bool : t -> string -> bool option
+val get_list : t -> string -> t list option
+
+(** [int n] = [Num (float_of_int n)]. *)
+val int : int -> t

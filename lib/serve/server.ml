@@ -1,0 +1,582 @@
+(* `hsq serve` — the long-running, overload-safe query daemon.
+
+   Threading model (threads for I/O, domains for compute):
+
+   - an accept thread polls the listen socket (select with a short
+     timeout, so a stop request is noticed within ~50 ms without
+     relying on signal-interrupted syscalls);
+   - one connection thread per client parses line-JSON requests and
+     submits them to the bounded admission queue, then blocks in the
+     item's mailbox until the reply arrives — a slow or stalled client
+     therefore only ever stalls its own thread (and is cut by the
+     per-connection read/write timeouts);
+   - a single engine thread drains the queue: the engine is
+     single-submitter by contract, so all engine access funnels here,
+     and query-internal parallelism still fans out across the
+     Parallel.Pool probe domains.
+
+   Admission control: the queue is strictly bounded (shed with
+   retry-after past capacity — see Admission); every admitted request
+   carries an absolute deadline from its class budget, checked when
+   the engine thread picks it up (a request that aged out in the queue
+   is answered `timeout`, not executed) and passed through to the
+   accurate path's cooperative cancellation for the execution
+   remainder.
+
+   Drain (SIGTERM via request_stop, the `drain` verb, or stop):
+     1. stop accepting — the listen socket closes;
+     2. the queue stops admitting (submit -> shutting_down) but every
+        already-admitted request is served or deadline-cut, then the
+        engine thread exits;
+     3. checkpoint_now (forces a WAL sync) and Engine.close — both
+        idempotent, so a concurrent or repeated shutdown is safe;
+     4. connection sockets are shut down, their threads joined.
+   A crash instead of a drain loses nothing acknowledged: every
+   observe was WAL-appended before its ack, so open_or_recover replays
+   the suffix (chaos-tested by test_serve's kill/restart scenario). *)
+
+module Metrics = Hsq_obs.Metrics
+module E = Hsq.Engine
+module BD = Hsq_storage.Block_device
+
+type listen =
+  | Unix_sock of string
+  | Tcp of string * int
+
+type budgets = {
+  quick_ms : float;
+  accurate_ms : float;
+  ingest_ms : float;
+  admin_ms : float;
+}
+
+let default_budgets =
+  { quick_ms = 250.0; accurate_ms = 2_000.0; ingest_ms = 2_000.0; admin_ms = 1_000.0 }
+
+type config = {
+  listen : listen;
+  queue_depth : int;
+  budgets : budgets;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  max_line_bytes : int;
+}
+
+let default_config listen =
+  {
+    listen;
+    queue_depth = Admission.default_capacity;
+    budgets = default_budgets;
+    read_timeout_s = 30.0;
+    write_timeout_s = 10.0;
+    max_line_bytes = 1 lsl 20;
+  }
+
+type counters = {
+  ok : Metrics.Counter.t;
+  timeout : Metrics.Counter.t;
+  parse_error : Metrics.Counter.t;
+  bad_request : Metrics.Counter.t;
+  internal : Metrics.Counter.t;
+  conn_timeout : Metrics.Counter.t;
+  conns_total : Metrics.Counter.t;
+}
+
+type t = {
+  config : config;
+  engine : E.t;
+  adm : Admission.t;
+  started_at : float;
+  stop_requested : bool Atomic.t;
+  mutable listen_fd : Unix.file_descr option;
+  mutable accept_thread : Thread.t option;
+  mutable engine_thread : Thread.t option;
+  conn_lock : Mutex.t;
+  conns : (int, Unix.file_descr * Thread.t) Hashtbl.t; (* keyed by a conn id *)
+  mutable next_conn_id : int;
+  c : counters;
+  conn_gauge : Metrics.Gauge.t;
+  inflight_gauge : Metrics.Gauge.t;
+  request_hist : Metrics.Histogram.t;
+  queue_wait_hist : Metrics.Histogram.t;
+}
+
+let budget_ms_for t cls =
+  let b = t.config.budgets in
+  match cls with
+  | Protocol.Quick_q -> b.quick_ms
+  | Protocol.Accurate_q -> b.accurate_ms
+  | Protocol.Ingest_q -> b.ingest_ms
+  | Protocol.Admin_q -> b.admin_ms
+
+let create config engine =
+  if config.queue_depth < 1 then invalid_arg "Server.create: queue_depth < 1";
+  let reg = E.metrics engine in
+  Hsq_obs.Process.register reg;
+  let counter name help = Metrics.counter ~help reg name in
+  {
+    config;
+    engine;
+    adm = Admission.create ~capacity:config.queue_depth ~metrics:reg ();
+    started_at = Metrics.now_s ();
+    stop_requested = Atomic.make false;
+    listen_fd = None;
+    accept_thread = None;
+    engine_thread = None;
+    conn_lock = Mutex.create ();
+    conns = Hashtbl.create 64;
+    next_conn_id = 0;
+    c =
+      {
+        ok = counter "hsq_serve_requests_ok_total" "Requests answered successfully";
+        timeout =
+          counter "hsq_serve_requests_timeout_total"
+            "Requests that aged past their deadline budget in the queue";
+        parse_error = counter "hsq_serve_requests_parse_error_total" "Unparseable request lines";
+        bad_request = counter "hsq_serve_requests_bad_request_total" "Well-formed but invalid requests";
+        internal = counter "hsq_serve_requests_error_total" "Requests failed by an engine/device error";
+        conn_timeout =
+          counter "hsq_serve_conn_timeouts_total" "Connections cut by the read/write timeout";
+        conns_total = counter "hsq_serve_connections_total" "Connections accepted";
+      };
+    conn_gauge = Metrics.gauge ~help:"Open client connections" reg "hsq_serve_connections";
+    inflight_gauge =
+      Metrics.gauge ~help:"Requests currently executing on the engine thread" reg
+        "hsq_serve_inflight";
+    request_hist =
+      Metrics.histogram ~help:"Request latency, admission to reply" reg
+        "hsq_serve_request_seconds";
+    queue_wait_hist =
+      Metrics.histogram ~help:"Admission-queue wait" reg "hsq_serve_queue_wait_seconds";
+  }
+
+let engine t = t.engine
+let uptime_s t = Metrics.now_s () -. t.started_at
+
+(* Async-signal-safe: just an atomic store; the accept thread polls it. *)
+let request_stop t = Atomic.set t.stop_requested true
+
+(* --- request execution (engine thread only) ---------------------------- *)
+
+let degradation_fields (report : E.query_report) =
+  [
+    ("bound", Json.Num report.E.rank_error_bound);
+    ("degradation", Json.Str (E.degradation_label report.E.degradation));
+    ("iterations", Json.int report.E.iterations);
+    ("io", Json.int (Hsq_storage.Io_stats.total report.E.io));
+  ]
+
+let window_error_response sizes =
+  Protocol.err Protocol.e_window
+    ~extra:[ ("windows", Json.List (List.map Json.int sizes)) ]
+
+(* Resolve a phi target against the population it will be asked over. *)
+let rank_of_target ~n = function
+  | Protocol.Rank r -> r
+  | Protocol.Phi p ->
+    let r = int_of_float (ceil (p *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+
+let execute t req ~deadline =
+  let eng = t.engine in
+  match req with
+  | Protocol.Ping -> (`Ok, Protocol.ok [ ("pong", Json.Bool true) ])
+  | Protocol.Drain ->
+    (* Normally handled inline by the connection thread; if one slips
+       through, honor it here too. *)
+    request_stop t;
+    (`Ok, Protocol.ok [ ("draining", Json.Bool true) ])
+  | Protocol.Observe vals -> (
+    let applied = ref 0 in
+    try
+      Array.iter
+        (fun v ->
+          E.observe eng v;
+          incr applied)
+        vals;
+      (`Ok, Protocol.ok [ ("applied", Json.int !applied) ])
+    with BD.Device_error msg ->
+      (* Elements before the failure are acknowledged (they hit the
+         WAL); the rest are not — the client knows exactly how many. *)
+      ( `Error,
+        Protocol.err Protocol.e_wal ~detail:msg ~extra:[ ("applied", Json.int !applied) ] ))
+  | Protocol.End_step -> (
+    try
+      let report = E.end_time_step eng in
+      let fields =
+        [
+          ("step", Json.int (E.time_steps eng));
+          ("merges", Json.int report.Hsq_hist.Level_index.merges_performed);
+        ]
+      in
+      let fields =
+        match report.Hsq_hist.Level_index.deferred_merge with
+        | None -> fields
+        | Some why -> fields @ [ ("deferred_merge", Json.Str why) ]
+      in
+      (`Ok, Protocol.ok fields)
+    with
+    | Invalid_argument _ -> (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty step")
+    | BD.Device_error msg -> (`Error, Protocol.err Protocol.e_device ~detail:msg))
+  | Protocol.Quick { target; window } -> (
+    try
+      match window with
+      | None ->
+        let n = E.total_size eng in
+        if n = 0 then (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty engine")
+        else begin
+          let rank = rank_of_target ~n target in
+          let v, bound = E.quick_with_bound eng ~rank in
+          ( `Ok,
+            Protocol.ok
+              [ ("value", Json.int v); ("rank", Json.int rank); ("bound", Json.Num bound) ] )
+        end
+      | Some w -> (
+        match E.window_total eng ~window:w with
+        | Error (E.Window_not_aligned sizes) -> (`Bad, window_error_response sizes)
+        | Ok n ->
+          if n = 0 then (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty window")
+          else begin
+            let rank = rank_of_target ~n target in
+            match E.quick_window eng ~window:w ~rank with
+            | Ok v ->
+              ( `Ok,
+                Protocol.ok
+                  [ ("value", Json.int v); ("rank", Json.int rank); ("window", Json.int w) ] )
+            | Error (E.Window_not_aligned sizes) -> (`Bad, window_error_response sizes)
+          end)
+    with BD.Device_error msg -> (`Error, Protocol.err Protocol.e_device ~detail:msg))
+  | Protocol.Accurate { target; window; deadline_ms = _ } -> (
+    (* The remaining budget (class budget minus queue wait, already
+       folded with any request deadline) drives the engine's
+       cooperative deadline-cut machinery. *)
+    let remaining_ms = Float.max 1.0 ((deadline -. Metrics.now_s ()) *. 1000.0) in
+    try
+      match window with
+      | None ->
+        let n = E.total_size eng in
+        if n = 0 then (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty engine")
+        else begin
+          let rank = rank_of_target ~n target in
+          let v, report = E.accurate ~deadline_ms:remaining_ms eng ~rank in
+          ( `Ok,
+            Protocol.ok
+              ([ ("value", Json.int v); ("rank", Json.int rank) ] @ degradation_fields report)
+          )
+        end
+      | Some w -> (
+        match E.window_total eng ~window:w with
+        | Error (E.Window_not_aligned sizes) -> (`Bad, window_error_response sizes)
+        | Ok n ->
+          if n = 0 then (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty window")
+          else begin
+            let rank = rank_of_target ~n target in
+            match E.accurate_window ~deadline_ms:remaining_ms eng ~window:w ~rank with
+            | Ok (v, report) ->
+              ( `Ok,
+                Protocol.ok
+                  ([ ("value", Json.int v); ("rank", Json.int rank); ("window", Json.int w) ]
+                  @ degradation_fields report) )
+            | Error (E.Window_not_aligned sizes) -> (`Bad, window_error_response sizes)
+          end)
+    with BD.Device_error msg -> (`Error, Protocol.err Protocol.e_device ~detail:msg))
+  | Protocol.Stats ->
+    let d = E.durability_status eng in
+    ( `Ok,
+      Protocol.ok
+        [
+          ("n", Json.int (E.total_size eng));
+          ("hist", Json.int (E.hist_size eng));
+          ("stream", Json.int (E.stream_size eng));
+          ("steps", Json.int (E.time_steps eng));
+          ("epsilon", Json.Num (E.epsilon eng));
+          ("memory_words", Json.int (E.memory_words eng));
+          ("windows", Json.List (List.map Json.int (E.window_sizes eng)));
+          ("uptime_s", Json.Num (uptime_s t));
+          ("queue_depth", Json.int (Admission.depth t.adm));
+          ("queue_capacity", Json.int (Admission.capacity t.adm));
+          ("durable", Json.Bool (d <> None));
+        ] )
+  | Protocol.Metrics_dump fmt -> (
+    let reg = E.metrics t.engine in
+    match fmt with
+    | Protocol.Fmt_json ->
+      (* Metrics.to_json is a single line by construction, so it can be
+         spliced into the response line as-is. *)
+      (`Ok, Printf.sprintf "{\"ok\":true,\"metrics\":%s}" (Metrics.to_json reg))
+    | Protocol.Fmt_prometheus ->
+      (`Ok, Protocol.ok [ ("body", Json.Str (Metrics.to_prometheus reg)) ]))
+  | Protocol.Health_check ->
+    let h = Health.collect t.engine in
+    (`Ok, Protocol.ok (Health.to_fields h))
+
+(* Drain every remaining queue item, then run the shutdown sequence.
+   A request that spent its whole budget waiting is answered `timeout`
+   without touching the engine — explicit, never silent. *)
+let engine_loop t =
+  let rec loop () =
+    match Admission.next t.adm with
+    | None -> ()
+    | Some item ->
+      let now = Metrics.now_s () in
+      Metrics.Histogram.observe t.queue_wait_hist (now -. item.Admission.enqueued);
+      Metrics.Gauge.set t.inflight_gauge 1.0;
+      let resp =
+        match item.Admission.payload with
+        | Admission.Job f ->
+          (try f () with _ -> ());
+          Protocol.ok []
+        | Admission.Request req ->
+          if now > item.Admission.deadline then begin
+            Metrics.Counter.inc t.c.timeout;
+            Protocol.err Protocol.e_timeout
+              ~extra:[ ("class", Json.Str (Protocol.class_label item.Admission.cls)) ]
+          end
+          else begin
+            match execute t req ~deadline:item.Admission.deadline with
+            | `Ok, resp ->
+              Metrics.Counter.inc t.c.ok;
+              resp
+            | `Bad, resp ->
+              Metrics.Counter.inc t.c.bad_request;
+              resp
+            | `Error, resp ->
+              Metrics.Counter.inc t.c.internal;
+              resp
+            | exception e ->
+              Metrics.Counter.inc t.c.internal;
+              Protocol.err Protocol.e_internal ~detail:(Printexc.to_string e)
+          end
+      in
+      Metrics.Gauge.set t.inflight_gauge 0.0;
+      Admission.reply item resp;
+      Metrics.Histogram.observe t.request_hist (Metrics.now_s () -. item.Admission.enqueued);
+      loop ()
+  in
+  loop ()
+
+(* --- connection handling ----------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    if n <= 0 then raise Exit;
+    off := !off + n
+  done
+
+let submit_and_reply t req =
+  let cls = Protocol.class_of req in
+  let budget_ms =
+    match Protocol.requested_deadline_ms req with
+    | Some d -> Float.min d (budget_ms_for t cls)
+    | None -> budget_ms_for t cls
+  in
+  let item =
+    Admission.make_item (Admission.Request req) cls
+      ~deadline:(Metrics.now_s () +. (budget_ms /. 1000.0))
+  in
+  match Admission.submit t.adm item with
+  | Admission.Admitted -> Admission.await item
+  | Admission.Overloaded retry_ms ->
+    Protocol.err Protocol.e_overloaded
+      ~extra:
+        [
+          ("retry_after_ms", Json.Num retry_ms);
+          ("class", Json.Str (Protocol.class_label cls));
+        ]
+  | Admission.Draining -> Protocol.err Protocol.e_shutting_down
+
+let handle_line t fd line =
+  match Json.of_string line with
+  | Error msg ->
+    Metrics.Counter.inc t.c.parse_error;
+    write_all fd (Protocol.err Protocol.e_parse ~detail:msg ^ "\n")
+  | Ok j -> (
+    match Protocol.parse j with
+    | Error msg ->
+      Metrics.Counter.inc t.c.bad_request;
+      write_all fd (Protocol.err Protocol.e_bad_request ~detail:msg ^ "\n")
+    | Ok Protocol.Ping ->
+      Metrics.Counter.inc t.c.ok;
+      write_all fd (Protocol.ok [ ("pong", Json.Bool true); ("uptime_s", Json.Num (uptime_s t)) ] ^ "\n")
+    | Ok Protocol.Drain ->
+      (* Acknowledge first, then trigger: the drain closes this very
+         socket shortly after. *)
+      Metrics.Counter.inc t.c.ok;
+      write_all fd (Protocol.ok [ ("draining", Json.Bool true) ] ^ "\n");
+      request_stop t
+    | Ok req -> write_all fd (submit_and_reply t req ^ "\n"))
+
+(* Per-connection loop: a bounded line scanner over Unix.read.  The
+   read and write timeouts (SO_RCVTIMEO / SO_SNDTIMEO) contain slow and
+   stalled clients; a line above max_line_bytes is a protocol violation
+   and closes the connection after an explicit parse error. *)
+let conn_loop t fd =
+  let cfg = t.config in
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.read_timeout_s with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.write_timeout_s with Unix.Unix_error _ -> ());
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let run = ref true in
+  while !run do
+    (* Serve every complete line currently buffered. *)
+    let progress = ref true in
+    while !progress do
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | None ->
+        progress := false;
+        if String.length s > cfg.max_line_bytes then begin
+          Metrics.Counter.inc t.c.parse_error;
+          (try write_all fd (Protocol.err Protocol.e_parse ~detail:"line too long" ^ "\n")
+           with _ -> ());
+          run := false
+        end
+      | Some i ->
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        let line = String.trim (String.sub s 0 i) in
+        if line <> "" then (
+          try handle_line t fd line
+          with Exit | Unix.Unix_error _ ->
+            (* Write failed: stalled or vanished client; drop it. *)
+            run := false)
+    done;
+    if !run then begin
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | 0 -> run := false (* orderly disconnect *)
+      | n -> Buffer.add_subbytes buf chunk 0 n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (* Read timeout: a stalled client is cut, not waited on. *)
+        Metrics.Counter.inc t.c.conn_timeout;
+        run := false
+      | exception Unix.Unix_error _ -> run := false
+    end
+  done
+
+let handle_conn t id fd =
+  Metrics.Gauge.add t.conn_gauge 1.0;
+  Metrics.Counter.inc t.c.conns_total;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.Gauge.add t.conn_gauge (-1.0);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Mutex.lock t.conn_lock;
+      Hashtbl.remove t.conns id;
+      Mutex.unlock t.conn_lock)
+    (fun () -> try conn_loop t fd with _ -> ())
+
+(* --- listener & lifecycle ---------------------------------------------- *)
+
+let bind_listener = function
+  | Unix_sock path ->
+    if Sys.file_exists path then Sys.remove path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | Tcp (host, port) ->
+    let addr =
+      match host with
+      | "" | "0.0.0.0" -> Unix.inet_addr_any
+      | h -> (
+        try Unix.inet_addr_of_string h
+        with Failure _ -> (Unix.gethostbyname h).Unix.h_addr_list.(0))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    fd
+
+(* The drain sequence (runs on the accept thread, after its loop saw
+   the stop flag).  Steps are individually guarded: a half-broken
+   engine must still release sockets and threads. *)
+let drain t listen_fd =
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match t.config.listen with
+  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ());
+  t.listen_fd <- None;
+  Admission.begin_drain t.adm;
+  (match t.engine_thread with
+  | Some thr ->
+    Thread.join thr;
+    t.engine_thread <- None
+  | None -> ());
+  (* Engine is quiescent now: persist the stream side and close.  Both
+     are idempotent, so a signal-driven second shutdown is harmless. *)
+  (try E.checkpoint_now t.engine with _ -> ());
+  (try E.close t.engine with _ -> ());
+  (* Unblock any connection thread still parked in a read, then join. *)
+  let remaining =
+    Mutex.lock t.conn_lock;
+    let l = Hashtbl.fold (fun _ (fd, thr) acc -> (fd, thr) :: acc) t.conns [] in
+    Mutex.unlock t.conn_lock;
+    l
+  in
+  List.iter
+    (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    remaining;
+  List.iter (fun (_, thr) -> try Thread.join thr with _ -> ()) remaining
+
+let accept_loop t listen_fd =
+  while not (Atomic.get t.stop_requested) do
+    match Unix.select [ listen_fd ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept listen_fd with
+      | fd, _ ->
+        Mutex.lock t.conn_lock;
+        let id = t.next_conn_id in
+        t.next_conn_id <- id + 1;
+        let thr = Thread.create (fun () -> handle_conn t id fd) () in
+        Hashtbl.replace t.conns id (fd, thr);
+        Mutex.unlock t.conn_lock
+      | exception
+          Unix.Unix_error
+            ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
+        ()
+      | exception Unix.Unix_error _ -> Atomic.set t.stop_requested true)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  drain t listen_fd
+
+let start t =
+  if t.accept_thread <> None then invalid_arg "Server.start: already started";
+  (* A stalled client must surface as a write error, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = bind_listener t.config.listen in
+  t.listen_fd <- Some listen_fd;
+  t.engine_thread <- Some (Thread.create (fun () -> engine_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t listen_fd) ())
+
+let wait t =
+  match t.accept_thread with
+  | None -> ()
+  | Some thr ->
+    Thread.join thr;
+    t.accept_thread <- None
+
+let stop t =
+  request_stop t;
+  wait t
+
+(* Test/ops hook: run [f engine] on the engine thread (serialized with
+   request execution), blocking until it completes.  The chaos harness
+   uses it to flip fault injectors and run repair scrubs without ever
+   racing a live query. *)
+let submit_fn t f =
+  let item =
+    Admission.make_item
+      (Admission.Job (fun () -> f t.engine))
+      Protocol.Admin_q
+      ~deadline:(Metrics.now_s () +. 60.0)
+  in
+  match Admission.submit t.adm item with
+  | Admission.Admitted -> ignore (Admission.await item)
+  | Admission.Overloaded _ | Admission.Draining -> invalid_arg "Server.submit_fn: not admitted"

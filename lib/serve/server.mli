@@ -1,0 +1,78 @@
+(** The `hsq serve` daemon: line-JSON requests over a Unix or TCP
+    socket, executed against one engine.
+
+    Overload safety is structural: every engine-touching request goes
+    through the bounded {!Admission} queue (full queue → explicit
+    [overloaded] response with a retry-after hint, never silent
+    buffering), carries an absolute deadline from its class budget
+    (aged-out requests answer [timeout] without running), and is
+    executed by a single engine thread — the engine is
+    single-submitter by contract.  Connection faults (malformed lines,
+    stalled clients, abrupt disconnects) are contained per-connection
+    and surfaced in [hsq_serve_*] metrics.
+
+    Shutdown is a drain: {!request_stop} (async-signal-safe, suitable
+    for a SIGTERM handler) or the wire verb [drain] stops the accept
+    loop; already-admitted requests are served or deadline-cut; the
+    engine is checkpointed and closed; connections are shut down.  A
+    crash instead of a drain loses no acknowledged observation — the
+    WAL was appended before each ack. *)
+
+type listen =
+  | Unix_sock of string
+  | Tcp of string * int
+
+(** Per-class deadline budgets, milliseconds.  A request's deadline is
+    [min budget requested_deadline_ms], covering queue wait plus
+    execution. *)
+type budgets = {
+  quick_ms : float;
+  accurate_ms : float;
+  ingest_ms : float;
+  admin_ms : float;
+}
+
+val default_budgets : budgets
+
+type config = {
+  listen : listen;
+  queue_depth : int;  (** admission-queue capacity *)
+  budgets : budgets;
+  read_timeout_s : float;  (** per-connection stalled-read cutoff *)
+  write_timeout_s : float;  (** per-connection stalled-write cutoff *)
+  max_line_bytes : int;  (** request line cap; above it the connection closes *)
+}
+
+val default_config : listen -> config
+
+type t
+
+(** Raises [Invalid_argument] if [queue_depth < 1].  Registers the
+    serve metrics (and process gauges) on the engine's registry. *)
+val create : config -> Hsq.Engine.t -> t
+
+val engine : t -> Hsq.Engine.t
+val uptime_s : t -> float
+
+(** Bind, then spawn the accept and engine threads.  Raises
+    [Invalid_argument] if already started, and [Unix.Unix_error] if the
+    bind fails. *)
+val start : t -> unit
+
+(** Ask for a drain.  Only an atomic store — safe from a signal
+    handler. *)
+val request_stop : t -> unit
+
+(** Block until the daemon has fully drained (accept loop exited,
+    engine checkpointed and closed, connections joined). *)
+val wait : t -> unit
+
+(** [request_stop] + [wait]. *)
+val stop : t -> unit
+
+(** Run [f engine] on the engine thread, serialized with request
+    execution, blocking until done.  The chaos harness uses this to
+    flip device-fault injectors and run repair scrubs against a live
+    server without racing queries.  Raises [Invalid_argument] if the
+    queue is full or draining. *)
+val submit_fn : t -> (Hsq.Engine.t -> unit) -> unit

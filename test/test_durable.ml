@@ -403,6 +403,68 @@ let test_wal_append_rollback_engine () =
       Alcotest.(check int) "no gap, no double" 11 (E.total_size recovered);
       E.close recovered)
 
+(* close / crash / checkpoint_now are idempotent: the first close wins,
+   everything after it is a no-op — the serve daemon's drain path and a
+   concurrent signal-driven shutdown may both reach them. *)
+let test_close_idempotent () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config dir) in
+      for i = 1 to 100 do
+        E.observe eng (el 5 i)
+      done;
+      ignore (E.end_time_step eng);
+      for i = 101 to 150 do
+        E.observe eng (el 5 i)
+      done;
+      Alcotest.(check bool) "open engine is not closed" false (E.is_closed eng);
+      E.close eng;
+      Alcotest.(check bool) "closed" true (E.is_closed eng);
+      (* every one of these used to be a Sys_error on the closed WAL *)
+      E.close eng;
+      E.checkpoint_now eng;
+      E.crash eng;
+      Alcotest.(check bool) "still closed" true (E.is_closed eng);
+      let recovered, _ = E.open_or_recover (config dir) in
+      Alcotest.(check int) "first close committed everything" 150 (E.total_size recovered);
+      E.close recovered)
+
+(* Closing with a merge still deferred (a read fault interrupted the
+   cascade) must release cleanly, twice, and the store must reopen with
+   nothing lost — the deferred merge is work for later, not damage. *)
+let test_close_during_deferred_merge () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config dir) in
+      let step base =
+        for i = base + 1 to base + 40 do
+          E.observe eng (el 6 i)
+        done;
+        E.end_time_step eng
+      in
+      (* fill level 0 to kappa, then fault reads so the next rollover's
+         merge cascade defers instead of completing *)
+      for s = 0 to 2 do
+        ignore (step (40 * s))
+      done;
+      Hsq_storage.Block_device.set_injector (E.device eng)
+        (Some
+           (fun op ~attempt:_ _ ->
+             if op = Hsq_storage.Block_device.Read then Some Hsq_storage.Block_device.Fail
+             else None));
+      let report = step 120 in
+      Alcotest.(check bool)
+        "merge was deferred under the fault" true
+        (report.Hsq_hist.Level_index.deferred_merge <> None);
+      E.close eng;
+      E.close eng;
+      E.checkpoint_now eng;
+      let recovered, _ = E.open_or_recover (config dir) in
+      Alcotest.(check int) "nothing lost across the deferred close" 160
+        (E.total_size recovered);
+      Alcotest.(check (list string))
+        "invariants hold on reopen" []
+        (Hsq_hist.Level_index.check_invariants (E.hist recovered));
+      E.close recovered)
+
 let () =
   Alcotest.run "durable"
     [
@@ -410,6 +472,9 @@ let () =
         [
           Alcotest.test_case "close then reopen" `Quick test_round_trip_close;
           Alcotest.test_case "crash then recover (sync=always)" `Quick test_round_trip_crash;
+          Alcotest.test_case "close is idempotent" `Quick test_close_idempotent;
+          Alcotest.test_case "close during a deferred merge" `Quick
+            test_close_during_deferred_merge;
         ] );
       ( "checkpoints",
         [

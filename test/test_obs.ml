@@ -246,6 +246,36 @@ let test_io_stats_torn_read_freedom () =
   Alcotest.(check int) "split still consistent at rest" s.Io_stats.reads
     (s.Io_stats.seq_reads + s.Io_stats.rand_reads)
 
+(* Process-level pull gauges: present, live, and idempotent to
+   re-register from multiple entry points. *)
+let test_process_gauges () =
+  let reg = Metrics.create () in
+  Hsq_obs.Process.register reg;
+  Hsq_obs.Process.register reg;
+  (* second registration must not raise or duplicate *)
+  Alcotest.(check (option (float 0.0))) "build info is the constant 1" (Some 1.0)
+    (Metrics.gauge_value reg "hsq_build_info");
+  (match Metrics.gauge_value reg "hsq_uptime_seconds" with
+  | Some up -> Alcotest.(check bool) "uptime non-negative" true (up >= 0.0)
+  | None -> Alcotest.fail "no uptime gauge");
+  (match Metrics.gauge_value reg "hsq_gc_heap_words" with
+  | Some w -> Alcotest.(check bool) "heap words positive" true (w > 0.0)
+  | None -> Alcotest.fail "no heap gauge");
+  (* live, not sampled-at-registration: allocate and expect growth *)
+  (match Metrics.gauge_value reg "hsq_gc_major_words" with
+  | None -> Alcotest.fail "no major-words gauge"
+  | Some before ->
+    let junk = Array.init 200_000 (fun i -> string_of_int i) in
+    Gc.minor ();
+    ignore (Sys.opaque_identity junk);
+    (match Metrics.gauge_value reg "hsq_gc_major_words" with
+    | Some after -> Alcotest.(check bool) "major words advanced" true (after > before)
+    | None -> Alcotest.fail "gauge vanished"));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true (List.mem name (Metrics.names reg)))
+    [ "hsq_uptime_seconds"; "hsq_build_info"; "hsq_gc_minor_collections" ]
+
 let () =
   Alcotest.run "obs"
     [
@@ -255,6 +285,7 @@ let () =
           Alcotest.test_case "gauge + pull metrics" `Quick test_gauge_basics;
           Alcotest.test_case "histogram closed-open buckets" `Quick test_histogram_boundaries;
           Alcotest.test_case "exact sums under domains" `Quick test_concurrent_exactness;
+          Alcotest.test_case "process gauges" `Quick test_process_gauges;
           Alcotest.test_case "exporters stable and sorted" `Quick
             test_exporters_stable_and_sorted;
         ] );

@@ -629,6 +629,44 @@ let test_breaker_transition_table () =
   check_state "reset forces closed" Breaker.Closed;
   Alcotest.(check bool) "admits after reset" true (Breaker.allow b)
 
+(* Half-open under contention: when the cooldown expires with many
+   threads racing [allow], exactly one wins the trial ticket — the
+   others stay short-circuited until that trial resolves.  This is the
+   property the serve daemon leans on: a recovering device sees one
+   probe, not a thundering herd of concurrent queries. *)
+let test_breaker_half_open_race () =
+  let clock = ref 0.0 in
+  let b = Breaker.create ~now:(fun () -> !clock) ~failure_threshold:1 ~cooldown_s:5.0 () in
+  Breaker.failure b;
+  Alcotest.(check string) "tripped"
+    (Breaker.state_to_string Breaker.Open)
+    (Breaker.state_to_string (Breaker.state b));
+  clock := 6.0;
+  let racers = 16 in
+  let barrier = Atomic.make 0 in
+  let domains =
+    List.init racers (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr barrier;
+            while Atomic.get barrier < racers do
+              Domain.cpu_relax ()
+            done;
+            Breaker.allow b))
+  in
+  let granted = List.filter Fun.id (List.map Domain.join domains) in
+  Alcotest.(check int) "exactly one trial ticket" 1 (List.length granted);
+  Alcotest.(check string) "half-open while the trial is out"
+    (Breaker.state_to_string Breaker.Half_open)
+    (Breaker.state_to_string (Breaker.state b));
+  (* losers keep losing until the trial resolves; then one success
+     closes and everyone is admitted again *)
+  Alcotest.(check bool) "no second ticket" false (Breaker.allow b);
+  Breaker.success b;
+  Alcotest.(check string) "trial success closes"
+    (Breaker.state_to_string Breaker.Closed)
+    (Breaker.state_to_string (Breaker.state b));
+  Alcotest.(check bool) "closed admits all" true (Breaker.allow b)
+
 let () =
   Alcotest.run "storage"
     [
@@ -705,5 +743,7 @@ let () =
           Alcotest.test_case "backoff cap and edge policies" `Quick
             test_backoff_cap_and_edge_policies;
           Alcotest.test_case "transition table" `Quick test_breaker_transition_table;
+          Alcotest.test_case "half-open race grants one ticket" `Quick
+            test_breaker_half_open_race;
         ] );
     ]
