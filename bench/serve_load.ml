@@ -24,11 +24,20 @@ type opts = {
   mutable smoke : bool;
   mutable queue_depth : int;
   mutable seed : int;
+  mutable shards : int;
 }
 
 let parse_args () =
   let o =
-    { socket = None; conns = 8; duration_s = 10.0; smoke = false; queue_depth = 128; seed = 42 }
+    {
+      socket = None;
+      conns = 8;
+      duration_s = 10.0;
+      smoke = false;
+      queue_depth = 128;
+      seed = 42;
+      shards = 1;
+    }
   in
   let spec =
     [
@@ -37,6 +46,7 @@ let parse_args () =
       ("--duration", Arg.Float (fun d -> o.duration_s <- d), "S run length in seconds");
       ("--queue-depth", Arg.Int (fun n -> o.queue_depth <- n), "N self-serve admission capacity");
       ("--seed", Arg.Int (fun n -> o.seed <- n), "N workload seed");
+      ("--shards", Arg.Int (fun k -> o.shards <- k), "K self-serve sharded backend (default 1)");
       ( "--smoke",
         Arg.Unit
           (fun () ->
@@ -114,16 +124,16 @@ let worker listen ~seed ~deadline tallies =
    with Client.Protocol_error _ -> tallies.(0).errors <- tallies.(0).errors + 1);
   Client.close c
 
-let preload eng ~seed =
+let preload ~observe ~end_step ~seed =
   let rng = Random.State.make [| seed; 7 |] in
   for _step = 1 to 4 do
     for _ = 1 to 20_000 do
-      Hsq.Engine.observe eng (Random.State.int rng 1_000_000)
+      observe (Random.State.int rng 1_000_000)
     done;
-    ignore (Hsq.Engine.end_time_step eng)
+    end_step ()
   done;
   for _ = 1 to 5_000 do
-    Hsq.Engine.observe eng (Random.State.int rng 1_000_000)
+    observe (Random.State.int rng 1_000_000)
   done
 
 let () =
@@ -135,11 +145,27 @@ let () =
       let dir = Filename.temp_file "hsq-serve-load" "" in
       Sys.remove dir;
       Unix.mkdir dir 0o755;
-      let eng = Hsq.Engine.create (Hsq.Config.make (Hsq.Config.Epsilon 0.01)) in
-      preload eng ~seed:o.seed;
       let listen = Server.Unix_sock (Filename.concat dir "hsq.sock") in
+      let config = { (Server.default_config listen) with Server.queue_depth = o.queue_depth } in
       let srv =
-        Server.create { (Server.default_config listen) with Server.queue_depth = o.queue_depth } eng
+        if o.shards > 1 then begin
+          let g =
+            Hsq_shard.Shard_group.create
+              (Hsq.Config.make ~shards:o.shards (Hsq.Config.Epsilon 0.01))
+          in
+          preload
+            ~observe:(Hsq_shard.Shard_group.observe g)
+            ~end_step:(fun () -> ignore (Hsq_shard.Shard_group.end_time_step g))
+            ~seed:o.seed;
+          Server.create_group config g
+        end
+        else begin
+          let eng = Hsq.Engine.create (Hsq.Config.make (Hsq.Config.Epsilon 0.01)) in
+          preload ~observe:(Hsq.Engine.observe eng)
+            ~end_step:(fun () -> ignore (Hsq.Engine.end_time_step eng))
+            ~seed:o.seed;
+          Server.create config eng
+        end
       in
       Server.start srv;
       (listen, Some srv)
@@ -161,9 +187,12 @@ let () =
     | None -> true
     | Some srv -> (
       Server.stop srv;
-      match Hsq.Engine.is_closed (Server.engine srv) with
-      | c -> c
-      | exception _ -> false)
+      match Server.group srv with
+      | Some g -> Hsq_shard.Shard_group.is_closed g
+      | None -> (
+        match Hsq.Engine.is_closed (Server.engine srv) with
+        | c -> c
+        | exception _ -> false))
   in
   (* Merge and report. *)
   let merged = new_tallies () in
@@ -178,7 +207,8 @@ let () =
           merged.(i).errors <- merged.(i).errors + t.errors)
         tallies)
     per_worker;
-  Printf.printf "serve_load: %d conns, %.1fs, %s\n" o.conns elapsed
+  Printf.printf "serve_load: %d conns, %.1fs, %d shard%s, %s\n" o.conns elapsed o.shards
+    (if o.shards = 1 then "" else "s")
     (match listen with Server.Unix_sock p -> "unix:" ^ p | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p);
   Printf.printf "%-9s %9s %12s %9s %9s %9s %6s %8s\n" "class" "count" "throughput" "p50_ms"
     "p99_ms" "p999_ms" "shed" "timeout";

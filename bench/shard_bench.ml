@@ -1,0 +1,110 @@
+(* Fused vs single-shard query cost.
+
+   Loads the same workload into volatile groups at K ∈ {1, 2, 4} and
+   measures ingest throughput plus quick / accurate query latency over
+   a φ-sweep.  K=1 goes through the same group surface, so the numbers
+   isolate what fusion itself costs: the k-way summary merge on quick,
+   and the multi-shard probe fan-out on accurate.  A final column
+   re-measures quick/accurate with one shard down (K=4), showing the
+   degraded path's cost next to its widened bound. *)
+
+module G = Hsq_shard.Shard_group
+
+let n_hist_steps = 4
+let per_step = 50_000
+let n_stream = 10_000
+let n_queries = 400
+
+let now = Unix.gettimeofday
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan else sorted.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+let phis = Array.init n_queries (fun i -> 0.005 +. (0.99 *. float_of_int i /. float_of_int n_queries))
+
+type row = {
+  label : string;
+  ingest_per_s : float;
+  quick_p50_us : float;
+  quick_p99_us : float;
+  acc_p50_ms : float;
+  acc_p99_ms : float;
+  acc_bound_mean : float;
+}
+
+let measure ~label ?down g =
+  (match down with Some s -> G.mark_down g s ~reason:"bench" | None -> ());
+  let quick_lat = Array.make n_queries 0.0 in
+  let acc_lat = Array.make n_queries 0.0 in
+  let bound_sum = ref 0.0 in
+  Array.iteri
+    (fun i phi ->
+      let n = G.total_size g in
+      let rank = max 1 (min n (int_of_float (ceil (phi *. float_of_int n)))) in
+      let t0 = now () in
+      ignore (G.quick g ~rank);
+      quick_lat.(i) <- now () -. t0)
+    phis;
+  Array.iteri
+    (fun i phi ->
+      let n = G.total_size g in
+      let rank = max 1 (min n (int_of_float (ceil (phi *. float_of_int n)))) in
+      let t0 = now () in
+      let _, report = G.accurate g ~rank in
+      acc_lat.(i) <- now () -. t0;
+      bound_sum := !bound_sum +. report.G.rank_error_bound)
+    phis;
+  Array.sort compare quick_lat;
+  Array.sort compare acc_lat;
+  {
+    label;
+    ingest_per_s = 0.0;
+    quick_p50_us = 1e6 *. percentile quick_lat 0.5;
+    quick_p99_us = 1e6 *. percentile quick_lat 0.99;
+    acc_p50_ms = 1e3 *. percentile acc_lat 0.5;
+    acc_p99_ms = 1e3 *. percentile acc_lat 0.99;
+    acc_bound_mean = !bound_sum /. float_of_int n_queries;
+  }
+
+let build k ~seed =
+  let g = G.create (Hsq.Config.make ~shards:k (Hsq.Config.Epsilon 0.01)) in
+  let rng = Random.State.make [| seed; k |] in
+  let t0 = now () in
+  for _step = 1 to n_hist_steps do
+    for _ = 1 to per_step do
+      G.observe g (Random.State.int rng 10_000_000)
+    done;
+    ignore (G.end_time_step g)
+  done;
+  for _ = 1 to n_stream do
+    G.observe g (Random.State.int rng 10_000_000)
+  done;
+  let ingest_per_s = float_of_int ((n_hist_steps * per_step) + n_stream) /. (now () -. t0) in
+  (g, ingest_per_s)
+
+let () =
+  let seed = try int_of_string Sys.argv.(1) with _ -> 42 in
+  let rows = ref [] in
+  List.iter
+    (fun k ->
+      let g, ingest_per_s = build k ~seed in
+      rows := { (measure ~label:(Printf.sprintf "K=%d" k) g) with ingest_per_s } :: !rows;
+      if k = 4 then begin
+        let g2, _ = build k ~seed in
+        rows :=
+          { (measure ~label:"K=4, 1 down" ~down:1 g2) with ingest_per_s = 0.0 } :: !rows;
+        G.close g2
+      end;
+      G.close g)
+    [ 1; 2; 4 ];
+  Printf.printf "shard_bench: %d hist + %d stream elements, %d queries per cell, seed %d\n"
+    (n_hist_steps * per_step) n_stream n_queries seed;
+  Printf.printf "%-12s %12s %12s %12s %12s %12s %12s\n" "config" "ingest/s" "quick_p50us"
+    "quick_p99us" "acc_p50ms" "acc_p99ms" "acc_bound";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %12s %12.1f %12.1f %12.2f %12.2f %12.1f\n" r.label
+        (if r.ingest_per_s > 0.0 then Printf.sprintf "%.0f" r.ingest_per_s else "-")
+        r.quick_p50_us r.quick_p99_us r.acc_p50_ms r.acc_p99_ms r.acc_bound_mean)
+    (List.rev !rows)

@@ -47,6 +47,15 @@ let device_path =
   let doc = "Back the warehouse with this file instead of memory." in
   Arg.(value & opt (some string) None & info [ "device" ] ~docv:"PATH" ~doc)
 
+let shards =
+  let doc =
+    "Shard the warehouse across $(docv) independent engines (own device, WAL, breaker, \
+     quarantine per shard); ingest hash-routes and queries fuse the shards' answers with the \
+     same ±ε·m guarantee. 1 = a single engine (the default, and the only mode supporting \
+     windowed queries and --device)."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
 let query_domains =
   let doc =
     "Fan accurate-query disk probes across $(docv) domains per bisection step. Answers are \
@@ -137,6 +146,66 @@ let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_doma
       let dev = Hsq_storage.Block_device.create_file ~block_size ~path () in
       Hsq.Engine.create ~device:dev config)
 
+(* --- sharded helpers --------------------------------------------------- *)
+
+module G = Hsq_shard.Shard_group
+
+let report_shard_recoveries recoveries =
+  List.iter
+    (fun { G.shard; outcome } ->
+      match outcome with
+      | Ok r -> if r.Hsq.Engine.replayed > 0 || r.Hsq.Engine.checkpoint_used then
+          Printf.eprintf "[recover] shard %d: replayed %d WAL records, %d steps re-archived%s\n%!"
+            shard r.Hsq.Engine.replayed r.Hsq.Engine.steps_reingested
+            (if r.Hsq.Engine.checkpoint_used then "; resumed from sketch checkpoint" else "")
+      | Error msg ->
+        Printf.eprintf "[recover] shard %d FAILED, marked down (queries degrade, rejoin after repair): %s\n%!"
+          shard msg)
+    recoveries
+
+let make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint ?query_domains
+    ?query_deadline_ms ?durable ?(wal_sync = Hsq_storage.Wal.Always)
+    ?(checkpoint_every = 10_000) () =
+  match durable with
+  | Some dir ->
+    let config =
+      Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
+        ~wal_dir:dir ~wal_sync ~checkpoint_every ~shards (Hsq.Config.Epsilon epsilon)
+    in
+    let g, recoveries = G.open_or_recover config in
+    report_shard_recoveries recoveries;
+    g
+  | None ->
+    G.create
+      (Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms ~shards
+         (Hsq.Config.Epsilon epsilon))
+
+let report_group_footprint g =
+  let down = G.shards_down g in
+  Printf.printf "N=%d (historical %d + stream %d%s), %d time steps, %d shards%s\n"
+    (G.total_size g) (G.hist_size g) (G.stream_size g)
+    (match G.down_elements g with 0 -> "" | d -> Printf.sprintf " + %d dark on down shards" d)
+    (G.time_steps g) (G.shard_count g)
+    (match down with
+    | [] -> ""
+    | ks -> Printf.sprintf " (DOWN: %s)" (String.concat "," (List.map string_of_int ks)));
+  Printf.printf "summary memory: %d words (%.1f KiB)\n" (G.memory_words g)
+    (float_of_int (8 * G.memory_words g) /. 1024.0)
+
+let report_group_quantiles g phis =
+  List.iter
+    (fun phi ->
+      let v, report = G.quantile g phi in
+      Printf.printf "phi=%-5g  value=%-12d  (disk accesses: %d, bisection steps: %d)%s\n" phi v
+        (Hsq_storage.Io_stats.total report.G.io)
+        report.G.iterations
+        (match report.G.degradation with
+        | `None -> ""
+        | d ->
+          Printf.sprintf "  [DEGRADED(%s): rank error <= %.0f]" (G.degradation_label d)
+            report.G.rank_error_bound))
+    phis
+
 let report_quantiles eng phis =
   List.iter
     (fun phi ->
@@ -168,8 +237,57 @@ let save_meta =
   let doc = "After the run, save warehouse metadata here (requires --device)." in
   Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
 
+let simulate_group ~shards dataset steps step_size seed epsilon kappa block_size query_domains
+    deadline_ms phis verify durable wal_sync checkpoint_every =
+  let ds = Hsq_workload.Datasets.by_name ~seed dataset in
+  let g =
+    make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:steps ?query_domains
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
+  in
+  let oracle = if verify then Some (Hsq_workload.Oracle.create ()) else None in
+  for step = 1 to steps do
+    let batch = Hsq_workload.Datasets.next_batch ds step_size in
+    Option.iter (fun o -> Hsq_workload.Oracle.add_batch o batch) oracle;
+    Array.iter (G.observe g) batch;
+    List.iter
+      (fun (i, r) ->
+        match r with
+        | Ok _ -> ()
+        | Error msg -> Printf.eprintf "[simulate] shard %d archive failed: %s\n%!" i msg)
+      (G.end_time_step g);
+    if step mod 10 = 0 then Printf.eprintf "[simulate] archived step %d/%d\n%!" step steps
+  done;
+  let tail = Hsq_workload.Datasets.next_batch ds (max 1 (step_size / 2)) in
+  Option.iter (fun o -> Hsq_workload.Oracle.add_batch o tail) oracle;
+  Array.iter (G.observe g) tail;
+  Printf.printf "dataset=%s  " dataset;
+  report_group_footprint g;
+  report_group_quantiles g phis;
+  Option.iter
+    (fun o ->
+      print_endline "verification against exact oracle:";
+      List.iter
+        (fun phi ->
+          let v, _ = G.quantile g phi in
+          let exact = Hsq_workload.Oracle.quantile o phi in
+          Printf.printf "phi=%-5g  exact=%-12d  relative rank error=%.3e\n" phi exact
+            (Hsq_workload.Oracle.relative_error o ~phi ~value:v))
+        phis)
+    oracle;
+  G.close g;
+  0
+
 let simulate dataset steps step_size seed epsilon kappa block_size device_path query_domains
-    deadline_ms phis verify save_meta durable wal_sync checkpoint_every =
+    deadline_ms phis verify save_meta durable wal_sync checkpoint_every shards =
+  if shards > 1 then begin
+    if device_path <> None then
+      prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
+    if save_meta <> None then
+      prerr_endline "warning: --save-meta ignored with --shards (shards keep their own sidecars)";
+    simulate_group ~shards dataset steps step_size seed epsilon kappa block_size query_domains
+      deadline_ms phis verify durable wal_sync checkpoint_every
+  end
+  else begin
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps ?query_domains
@@ -214,6 +332,7 @@ let simulate dataset steps step_size seed epsilon kappa block_size device_path q
   | _ -> ());
   Hsq.Engine.close eng;
   0
+  end
 
 let simulate_cmd =
   let dataset =
@@ -241,37 +360,80 @@ let simulate_cmd =
     Term.(
       const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
       $ device_path $ query_domains $ deadline_ms $ phis $ verify $ save_meta $ durable_dir
-      $ wal_sync $ checkpoint_every)
+      $ wal_sync $ checkpoint_every $ shards)
 
 (* --- stream ------------------------------------------------------------- *)
 
+(* One loop body shared by the single and sharded paths: observe,
+   count, archive every N. *)
+let stream_loop ~observe ~end_step ~step_every =
+  let in_step = ref 0 in
+  try
+    while true do
+      let line = input_line stdin in
+      let line = String.trim line in
+      if line <> "" then begin
+        match int_of_string_opt line with
+        | None -> Printf.eprintf "[stream] skipping non-integer line %S\n%!" line
+        | Some v ->
+          observe v;
+          incr in_step;
+          if !in_step >= step_every then begin
+            end_step ();
+            in_step := 0
+          end
+      end
+    done
+  with End_of_file -> ()
+
 let stream step_every epsilon kappa block_size device_path query_domains deadline_ms phis
-    durable wal_sync checkpoint_every =
+    durable wal_sync checkpoint_every shards =
+  if shards > 1 then begin
+    if device_path <> None then
+      prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
+    let g =
+      make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
+        ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
+    in
+    stream_loop ~step_every
+      ~observe:(fun v ->
+        try G.observe g v
+        with G.Shard_unavailable (i, reason) ->
+          Printf.eprintf "[stream] DROPPED (shard %d down: %s)\n%!" i reason)
+      ~end_step:(fun () ->
+        List.iter
+          (fun (i, r) ->
+            match r with
+            | Ok _ -> ()
+            | Error msg -> Printf.eprintf "[stream] shard %d archive failed: %s\n%!" i msg)
+          (G.end_time_step g);
+        Printf.eprintf "[stream] archived step %d\n%!" (G.time_steps g));
+    let code =
+      if G.total_size g = 0 then begin
+        prerr_endline "no data read";
+        1
+      end
+      else begin
+        report_group_footprint g;
+        report_group_quantiles g phis;
+        0
+      end
+    in
+    G.close g;
+    code
+  end
+  else begin
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100 ?query_domains
       ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
   in
-  let in_step = ref 0 in
-  (try
-     while true do
-       let line = input_line stdin in
-       let line = String.trim line in
-       if line <> "" then begin
-         match int_of_string_opt line with
-         | None -> Printf.eprintf "[stream] skipping non-integer line %S\n%!" line
-         | Some v ->
-           Hsq.Engine.observe eng v;
-           incr in_step;
-           if !in_step >= step_every then begin
-             let report = Hsq.Engine.end_time_step eng in
-             in_step := 0;
-             Printf.eprintf "[stream] archived step %d (%d block I/Os)\n%!"
-               (Hsq.Engine.time_steps eng)
-               (Hsq_storage.Io_stats.total report.Hsq_hist.Level_index.io_total)
-           end
-       end
-     done
-   with End_of_file -> ());
+  stream_loop ~step_every
+    ~observe:(Hsq.Engine.observe eng)
+    ~end_step:(fun () ->
+      let report = Hsq.Engine.end_time_step eng in
+      Printf.eprintf "[stream] archived step %d (%d block I/Os)\n%!"
+        (Hsq.Engine.time_steps eng)
+        (Hsq_storage.Io_stats.total report.Hsq_hist.Level_index.io_total));
   let code =
     if Hsq.Engine.total_size eng = 0 then begin
       prerr_endline "no data read";
@@ -287,6 +449,7 @@ let stream step_every epsilon kappa block_size device_path query_domains deadlin
      point) survives a restart with --durable. *)
   Hsq.Engine.close eng;
   code
+  end
 
 let stream_cmd =
   let step_every =
@@ -299,11 +462,40 @@ let stream_cmd =
     (Cmd.info "stream" ~doc)
     Term.(
       const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ query_domains
-      $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every)
+      $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every $ shards)
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
-let query device meta query_domains deadline_ms phis heavy trace =
+let query device meta query_domains deadline_ms phis heavy trace durable shards =
+  if shards > 1 then begin
+    match durable with
+    | None ->
+      prerr_endline "query --shards requires --durable DIR (the sharded store root)";
+      2
+    | Some dir ->
+      if heavy <> None then prerr_endline "warning: --heavy ignored with --shards";
+      if trace then prerr_endline "warning: --trace ignored with --shards";
+      let config =
+        Hsq.Config.make ?query_domains ?query_deadline_ms:deadline_ms ~wal_dir:dir ~shards
+          (Hsq.Config.Epsilon 0.01)
+      in
+      let g, recoveries = G.open_or_recover config in
+      report_shard_recoveries recoveries;
+      let code =
+        if G.total_size g = 0 then begin
+          prerr_endline "empty store";
+          1
+        end
+        else begin
+          report_group_footprint g;
+          report_group_quantiles g phis;
+          if G.shards_down g = [] then 0 else 1
+        end
+      in
+      G.close g;
+      code
+  end
+  else
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
@@ -369,7 +561,9 @@ let query_cmd =
   in
   let doc = "Query a previously saved warehouse (see simulate --save-meta)." in
   Cmd.v (Cmd.info "query" ~doc)
-    Term.(const query $ device_path $ meta $ query_domains $ deadline_ms $ phis $ heavy $ trace)
+    Term.(
+      const query $ device_path $ meta $ query_domains $ deadline_ms $ phis $ heavy $ trace
+      $ durable_dir $ shards)
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -422,7 +616,47 @@ let inspect_cmd =
 
 (* --- scrub ----------------------------------------------------------------- *)
 
-let scrub device meta repair =
+let scrub device meta repair durable shards =
+  if shards > 1 then begin
+    match durable with
+    | None ->
+      prerr_endline "scrub --shards requires --durable DIR (the sharded store root)";
+      2
+    | Some dir ->
+      let config = Hsq.Config.make ~wal_dir:dir ~shards (Hsq.Config.Epsilon 0.01) in
+      let g, recoveries = G.open_or_recover config in
+      report_shard_recoveries recoveries;
+      let errors = ref 0 in
+      List.iter
+        (fun (i, (r : Hsq.Persist.scrub_report)) ->
+          Printf.printf "shard %d: scrubbed %d partitions (%d block reads)" i
+            r.Hsq.Persist.partitions_checked r.Hsq.Persist.blocks_read;
+          if repair then
+            Printf.printf "; %d quarantined, %d reinstated, %d still quarantined"
+              r.Hsq.Persist.quarantined r.Hsq.Persist.reinstated
+              r.Hsq.Persist.still_quarantined;
+          print_newline ();
+          List.iter
+            (fun e ->
+              incr errors;
+              Printf.printf "SCRUB ERROR [shard %d]: %s\n" i e)
+            r.Hsq.Persist.errors)
+        (G.scrub ~repair g);
+      let down = G.shards_down g in
+      List.iter
+        (fun i ->
+          incr errors;
+          Printf.printf "SCRUB ERROR [shard %d]: shard is down (%s)\n" i
+            (Option.value ~default:"?" (G.down_reason g i)))
+        down;
+      G.close g;
+      if !errors = 0 then begin
+        print_endline "scrub: OK";
+        0
+      end
+      else 1
+  end
+  else
   match (device, meta) with
   | Some device_path, Some meta_path -> (
     try
@@ -480,7 +714,8 @@ let scrub_cmd =
     "Verify a saved warehouse end to end: re-read every partition, checking block checksums \
      and sortedness. Exits non-zero if any damage is found."
   in
-  Cmd.v (Cmd.info "scrub" ~doc) Term.(const scrub $ device_path $ meta $ repair)
+  Cmd.v (Cmd.info "scrub" ~doc)
+    Term.(const scrub $ device_path $ meta $ repair $ durable_dir $ shards)
 
 (* --- status (durable store health) ----------------------------------------- *)
 
@@ -493,7 +728,7 @@ let report_health eng =
   List.iter print_endline (Hsq_serve.Health.to_lines h);
   Hsq_serve.Health.exit_code h
 
-let status dir pool_blocks health =
+let status_one dir pool_blocks health =
   if not (Sys.file_exists dir && Sys.is_directory dir) then begin
     Printf.eprintf "no such store directory: %s\n" dir;
     2
@@ -572,6 +807,30 @@ let status dir pool_blocks health =
     end
   end
 
+(* Sharded status: the same per-store checks on every shard directory,
+   rolled up into one verdict (0 only when every shard is OK). *)
+let status dir shards pool_blocks health =
+  if shards <= 1 then status_one dir pool_blocks health
+  else begin
+    let codes =
+      List.init shards (fun i ->
+          let sdir = G.shard_dir ~root:dir i in
+          Printf.printf "== shard %d: %s ==\n" i sdir;
+          let code =
+            if Sys.file_exists sdir && Sys.is_directory sdir then status_one sdir pool_blocks health
+            else begin
+              Printf.printf "shard %d: MISSING (never created, or lost with its volume)\n" i;
+              1
+            end
+          in
+          print_newline ();
+          code)
+    in
+    let bad = List.length (List.filter (fun c -> c <> 0) codes) in
+    Printf.printf "status: %d/%d shards OK\n" (shards - bad) shards;
+    if bad = 0 then 0 else 1
+  end
+
 let status_cmd =
   let dir =
     Arg.(
@@ -598,7 +857,7 @@ let status_cmd =
      sketch-checkpoint coverage. Exits non-zero if the store is damaged beyond what recovery \
      handles."
   in
-  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir $ pool_blocks $ health)
+  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir $ shards $ pool_blocks $ health)
 
 (* --- metrics --------------------------------------------------------------- *)
 
@@ -654,7 +913,7 @@ let metrics_cmd =
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve socket tcp epsilon kappa block_size query_domains durable wal_sync checkpoint_every
-    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms =
+    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms shards =
   let listen =
     match (socket, tcp) with
     | Some path, None -> Some (Hsq_serve.Server.Unix_sock path)
@@ -666,10 +925,6 @@ let serve socket tcp epsilon kappa block_size query_domains durable wal_sync che
     prerr_endline "serve requires exactly one of --socket PATH or --tcp PORT";
     2
   | Some listen -> (
-    let eng =
-      make_engine ~epsilon ~kappa ~block_size ~device_path:None ~steps_hint:100 ?query_domains
-        ?durable ~wal_sync ~checkpoint_every ()
-    in
     let config =
       {
         (Hsq_serve.Server.default_config listen) with
@@ -680,19 +935,29 @@ let serve socket tcp epsilon kappa block_size query_domains durable wal_sync che
       }
     in
     try
-      let srv = Hsq_serve.Server.create config eng in
+      let srv =
+        if shards > 1 then
+          Hsq_serve.Server.create_group config
+            (make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
+               ?durable ~wal_sync ~checkpoint_every ())
+        else
+          Hsq_serve.Server.create config
+            (make_engine ~epsilon ~kappa ~block_size ~device_path:None ~steps_hint:100
+               ?query_domains ?durable ~wal_sync ~checkpoint_every ())
+      in
       (* Signal handlers only flip the stop atomic; the accept loop
          notices within its poll interval and runs the drain. *)
       let on_signal _ = Hsq_serve.Server.request_stop srv in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
       Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
       Hsq_serve.Server.start srv;
-      Printf.eprintf "hsq serve: listening on %s (queue depth %d%s)\n%!"
+      Printf.eprintf "hsq serve: listening on %s (queue depth %d%s%s)\n%!"
         (match listen with
         | Hsq_serve.Server.Unix_sock p -> p
         | Hsq_serve.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
         queue_depth
-        (match durable with None -> "" | Some d -> ", durable at " ^ d);
+        (match durable with None -> "" | Some d -> ", durable at " ^ d)
+        (if shards > 1 then Printf.sprintf ", %d shards" shards else "");
       Hsq_serve.Server.wait srv;
       prerr_endline "hsq serve: drained";
       0
@@ -745,7 +1010,7 @@ let serve_cmd =
       $ budget "accurate-budget-ms" 2000.0 "accurate-query"
       $ budget "ingest-budget-ms" 2000.0 "ingest"
       $ budget "admin-budget-ms" 1000.0 "admin"
-      $ read_timeout_ms)
+      $ read_timeout_ms $ shards)
 
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in

@@ -35,6 +35,7 @@ type t = {
   query_deadline_ms : float option; (* default accurate-query deadline; None = unbounded *)
   quarantine_after : int; (* consecutive unrecoverable probe failures before
                              a partition is quarantined *)
+  shards : int; (* independent engine shards in a Shard_group; 1 = single engine *)
 }
 
 let default =
@@ -52,13 +53,14 @@ let default =
     checkpoint_every = 10_000;
     query_deadline_ms = None;
     quarantine_after = 3;
+    shards = 1;
   }
 
 let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memory
     ?(steps_hint = default.steps_hint) ?(stream_fraction = default.stream_fraction) ?sort_domains
     ?query_domains ?wal_dir ?(wal_sync = default.wal_sync)
     ?(checkpoint_every = default.checkpoint_every) ?query_deadline_ms
-    ?(quarantine_after = default.quarantine_after) sizing =
+    ?(quarantine_after = default.quarantine_after) ?(shards = default.shards) sizing =
   (match sizing with
   | Epsilon e when not (e > 0.0 && e < 1.0) -> invalid_arg "Config.make: epsilon not in (0,1)"
   | Epsilon _ -> ()
@@ -83,6 +85,7 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
   | Some d when not (d > 0.0) -> invalid_arg "Config.make: query_deadline_ms must be > 0"
   | _ -> ());
   if quarantine_after < 1 then invalid_arg "Config.make: quarantine_after must be >= 1";
+  if shards < 1 then invalid_arg "Config.make: shards must be >= 1";
   {
     sizing;
     kappa;
@@ -97,6 +100,7 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
     checkpoint_every;
     query_deadline_ms;
     quarantine_after;
+    shards;
   }
 
 (* Maximum simultaneous partitions: kappa per level, over

@@ -45,6 +45,13 @@ type t = {
   quarantine_after : int;
       (** consecutive unrecoverable probe failures (per partition)
           before the partition is quarantined; default 3 *)
+  shards : int;
+      (** number of independent engine shards when the store is driven
+          through {!Shard_group} (hash-partitioned [observe], fused
+          answers); 1 = a single engine, the paper's setting. Runtime
+          topology, like [query_domains]: each shard persists its own
+          single-engine config, so this field is never written to a
+          sidecar *)
 }
 
 val default : t
@@ -65,6 +72,7 @@ val make :
   ?checkpoint_every:int ->
   ?query_deadline_ms:float ->
   ?quarantine_after:int ->
+  ?shards:int ->
   sizing ->
   t
 

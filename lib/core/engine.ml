@@ -1085,6 +1085,22 @@ let open_or_recover config =
         since_checkpoint = 0;
         last_checkpoint_seq = (if checkpoint_used then replay_after else 0);
       };
+  (* Recovery depth stays readable after the report is dropped: status
+     tooling (hsq status --health, the serve health verb) shows how much
+     replay the last open needed, per engine registry — and therefore
+     per shard once engines are grouped. *)
+  let reg = Hsq_storage.Io_stats.registry stats in
+  Metrics.Gauge.set
+    (Metrics.gauge ~help:"WAL records replayed by the last open" reg "hsq_recovery_wal_replayed")
+    (float_of_int !replayed);
+  Metrics.Gauge.set
+    (Metrics.gauge ~help:"1 when the last open restored a sketch checkpoint" reg
+       "hsq_recovery_checkpoint_used")
+    (if checkpoint_used then 1.0 else 0.0);
+  Metrics.Gauge.set
+    (Metrics.gauge ~help:"Time steps re-archived by the last open" reg
+       "hsq_recovery_steps_reingested")
+    (float_of_int !reingested);
   ( t,
     {
       replayed = !replayed;

@@ -229,6 +229,62 @@ let build_from_agg ~agg ~stream =
 
 let build ~partitions ~stream = build_from_agg ~agg:(hist_aggregate ~partitions) ~stream
 
+(* Fused build over K stream summaries (sharded stores): the same merge
+   with the two-pointer walk generalised to a heap over the aggregate
+   plus every stream's value array.  For each distinct value the
+   historical bounds come from the aggregate exactly as in
+   [build_from_agg]; the stream bounds are the *sums* of the per-shard
+   Lemma 2 bounds — each shard's sketch brackets its own rank, so the
+   sums bracket the union rank, and the per-entry window widens only to
+   Σ_s ε₂·m_s = ε₂·m when every shard runs the same ε₂ (the additive
+   budget DESIGN.md §14 relies on).  [streams = [s]] produces entries
+   equal to [build_from_agg ~agg ~stream:s]. *)
+let build_fused ~agg ~streams =
+  let streams = Array.of_list streams in
+  let k = Array.length streams in
+  let svs = Array.map Stream_summary.values streams in
+  let hv = agg.hvalues in
+  let m_total = Array.fold_left (fun acc s -> acc + Stream_summary.stream_size s) 0 streams in
+  let total_values =
+    Array.length hv + Array.fold_left (fun acc v -> acc + Array.length v) 0 svs
+  in
+  (* Source 0 is the aggregate's value array; source s+1 is stream s. *)
+  let arr src = if src = 0 then hv else svs.(src - 1) in
+  let pos = Array.make (k + 1) 0 in
+  let heap = Heap.create (k + 1) in
+  for src = 0 to k do
+    if Array.length (arr src) > 0 then Heap.push heap { Heap.value = (arr src).(0); src }
+  done;
+  let out = Array.make (max 1 total_values) { value = 0; lower = 0.0; upper = 0.0 } in
+  let n = ref 0 in
+  while not (Heap.is_empty heap) do
+    let v = heap.Heap.data.(0).Heap.value in
+    while (not (Heap.is_empty heap)) && heap.Heap.data.(0).Heap.value = v do
+      let { Heap.src; _ } = Heap.pop heap in
+      let a = arr src in
+      let i = ref pos.(src) in
+      while !i < Array.length a && a.(!i) = v do incr i done;
+      pos.(src) <- !i;
+      if !i < Array.length a then Heap.push heap { Heap.value = a.(!i); src }
+    done;
+    let hlo_v, hhi_v =
+      if pos.(0) = 0 then (agg.base_lo, agg.base_hi) else (agg.hlo.(pos.(0) - 1), agg.hhi.(pos.(0) - 1))
+    in
+    let slo = ref 0.0 and shi = ref 0.0 in
+    for s = 0 to k - 1 do
+      slo := !slo +. Stream_summary.rank_lower streams.(s) v;
+      shi := !shi +. Stream_summary.rank_upper streams.(s) v
+    done;
+    out.(!n) <- { value = v; lower = float_of_int hlo_v +. !slo; upper = float_of_int hhi_v +. !shi };
+    incr n
+  done;
+  {
+    entries = Array.sub out 0 !n;
+    n_total = agg.agg_hist_elements + m_total;
+    m_stream = m_total;
+    hist_elements = agg.agg_hist_elements;
+  }
+
 let entries t = t.entries
 let size t = Array.length t.entries
 let n_total t = t.n_total

@@ -43,6 +43,16 @@ val build_from_agg : agg:hist_agg -> stream:Stream_summary.t -> t
     bitwise identical. *)
 val build : partitions:Hsq_hist.Partition.t list -> stream:Stream_summary.t -> t
 
+(** Fused build over K stream summaries (sharded stores, see
+    {!Hsq_shard.Shard_group}): [agg] aggregates the partitions of every
+    shard, and each entry's stream contribution is the sum of the
+    per-shard Lemma 2 bounds — valid because each shard's sketch
+    brackets its own rank, so the sums bracket the union rank, with the
+    per-entry window widening additively to Σ_s ε₂·m_s = ε₂·m when all
+    shards share ε₂. [build_fused ~agg ~streams:[s]] has the same
+    entries as [build_from_agg ~agg ~stream:s]. *)
+val build_fused : agg:hist_agg -> streams:Stream_summary.t list -> t
+
 val entries : t -> entry array
 val size : t -> int
 

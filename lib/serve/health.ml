@@ -13,6 +13,12 @@ type scrub_info = {
   reinstated : int;
 }
 
+type recovery_info = {
+  wal_replayed : int;
+  checkpoint_used : bool;
+  steps_reingested : int;
+}
+
 type t = {
   breaker : string; (* closed / open / half_open *)
   breaker_transitions : int;
@@ -20,6 +26,7 @@ type t = {
   quarantined_elements : int;
   per_level : (int * int) list; (* (level, quarantined partitions), nonzero only *)
   last_scrub : scrub_info option; (* None: no scrub recorded in this process *)
+  recovery : recovery_info option; (* None: engine was created, not recovered *)
 }
 
 let collect eng =
@@ -48,6 +55,19 @@ let collect eng =
           reinstated = int_of_float (gauge "hsq_scrub_last_reinstated");
         }
   in
+  (* open_or_recover publishes what the last open did as gauges; their
+     absence means this engine was created fresh, not recovered. *)
+  let recovery =
+    match Metrics.gauge_value reg "hsq_recovery_wal_replayed" with
+    | None -> None
+    | Some replayed ->
+      Some
+        {
+          wal_replayed = int_of_float replayed;
+          checkpoint_used = gauge "hsq_recovery_checkpoint_used" > 0.5;
+          steps_reingested = int_of_float (gauge "hsq_recovery_steps_reingested");
+        }
+  in
   {
     breaker =
       Hsq_storage.Breaker.state_to_string
@@ -57,6 +77,7 @@ let collect eng =
     quarantined_elements = Hsq_hist.Level_index.quarantined_elements hist;
     per_level;
     last_scrub;
+    recovery;
   }
 
 (* Healthy = fully un-degraded: the breaker admits probes and no
@@ -83,6 +104,13 @@ let to_lines h =
   | Some s ->
     add "health: last scrub: %d errors, %d quarantined, %d reinstated" s.errors s.quarantined
       s.reinstated);
+  (match h.recovery with
+  | None -> ()
+  | Some r ->
+    add "health: recovery: %d WAL records replayed, checkpoint %s, %d steps re-archived"
+      r.wal_replayed
+      (if r.checkpoint_used then "restored" else "absent")
+      r.steps_reingested);
   List.rev !lines
 
 (* The wire verb's fields — same record, JSON shape. *)
@@ -105,4 +133,88 @@ let to_fields h =
             ("quarantined", Json.int s.quarantined);
             ("reinstated", Json.int s.reinstated);
           ] );
+    ( "recovery",
+      match h.recovery with
+      | None -> Json.Null
+      | Some r ->
+        Json.Obj
+          [
+            ("wal_replayed", Json.int r.wal_replayed);
+            ("checkpoint_used", Json.Bool r.checkpoint_used);
+            ("steps_reingested", Json.int r.steps_reingested);
+          ] );
+  ]
+
+(* --- group rollup -------------------------------------------------------
+   A sharded store is healthy iff every shard is up and individually
+   healthy; a down shard reports its reason and frozen element count
+   instead of a breaker state. *)
+
+module G = Hsq_shard.Shard_group
+
+type shard_health =
+  | Shard_up of t
+  | Shard_down of { reason : string; elements : int }
+
+type group = (int * shard_health) list
+
+let collect_group g : group =
+  List.init (G.shard_count g) (fun i ->
+      match G.engine g i with
+      | Some e -> (i, Shard_up (collect e))
+      | None ->
+        ( i,
+          Shard_down
+            {
+              reason = Option.value ~default:"down" (G.down_reason g i);
+              elements = G.shard_elements g i;
+            } ))
+
+let group_healthy (gh : group) =
+  List.for_all (fun (_, s) -> match s with Shard_up h -> healthy h | Shard_down _ -> false) gh
+
+let group_exit_code gh = if group_healthy gh then 0 else 1
+
+let group_to_lines (gh : group) =
+  let lines = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> lines := s :: !lines) fmt in
+  let down = List.filter (fun (_, s) -> match s with Shard_down _ -> true | _ -> false) gh in
+  add "health: %d/%d shards up%s" (List.length gh - List.length down) (List.length gh)
+    (if group_healthy gh then ", all healthy" else "");
+  List.iter
+    (fun (i, s) ->
+      match s with
+      | Shard_down { reason; elements } ->
+        add "health: shard %d DOWN (%d elements dark): %s" i elements reason
+      | Shard_up h ->
+        add "health: shard %d %s" i (if healthy h then "healthy" else "degraded");
+        List.iter (fun l -> add "health:   [shard %d] %s" i l) (to_lines h))
+    gh;
+  List.rev !lines
+
+let group_to_fields (gh : group) =
+  [
+    ("healthy", Json.Bool (group_healthy gh));
+    ("shards", Json.int (List.length gh));
+    ( "shards_down",
+      Json.List
+        (List.filter_map
+           (fun (i, s) -> match s with Shard_down _ -> Some (Json.int i) | _ -> None)
+           gh) );
+    ( "per_shard",
+      Json.List
+        (List.map
+           (fun (i, s) ->
+             Json.Obj
+               (("shard", Json.int i)
+               ::
+               (match s with
+               | Shard_up h -> ("up", Json.Bool true) :: to_fields h
+               | Shard_down { reason; elements } ->
+                 [
+                   ("up", Json.Bool false);
+                   ("reason", Json.Str reason);
+                   ("elements", Json.int elements);
+                 ])))
+           gh) );
   ]

@@ -11,6 +11,12 @@ type scrub_info = {
   reinstated : int;
 }
 
+type recovery_info = {
+  wal_replayed : int;  (** WAL records replayed by the last open *)
+  checkpoint_used : bool;  (** the last open restored a sketch checkpoint *)
+  steps_reingested : int;  (** time steps re-archived by the last open *)
+}
+
 type t = {
   breaker : string;  (** closed / open / half_open *)
   breaker_transitions : int;
@@ -19,6 +25,8 @@ type t = {
   per_level : (int * int) list;
       (** (level, quarantined partitions); only nonzero levels listed *)
   last_scrub : scrub_info option;  (** [None]: no scrub in this process *)
+  recovery : recovery_info option;
+      (** [None]: the engine was created fresh, not opened from disk *)
 }
 
 (** Snapshot the engine's containment state (breaker, quarantine,
@@ -36,3 +44,22 @@ val to_lines : t -> string list
 
 (** The wire verb's response fields (["healthy"], ["breaker"], ...). *)
 val to_fields : t -> (string * Json.t) list
+
+(** {1 Sharded stores}
+
+    The same collect/render split, rolled up over a
+    {!Hsq_shard.Shard_group}: healthy iff every shard is up and
+    individually healthy; a down shard reports its reason and frozen
+    element count. *)
+
+type shard_health =
+  | Shard_up of t
+  | Shard_down of { reason : string; elements : int }
+
+type group = (int * shard_health) list
+
+val collect_group : Hsq_shard.Shard_group.t -> group
+val group_healthy : group -> bool
+val group_exit_code : group -> int
+val group_to_lines : group -> string list
+val group_to_fields : group -> (string * Json.t) list

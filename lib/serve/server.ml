@@ -24,20 +24,30 @@
    remainder.
 
    Drain (SIGTERM via request_stop, the `drain` verb, or stop):
-     1. stop accepting — the listen socket closes;
-     2. the queue stops admitting (submit -> shutting_down) but every
+     1. the queue stops admitting (submit -> shutting_down) but every
         already-admitted request is served or deadline-cut, then the
         engine thread exits;
-     3. checkpoint_now (forces a WAL sync) and Engine.close — both
-        idempotent, so a concurrent or repeated shutdown is safe;
-     4. connection sockets are shut down, their threads joined.
+     2. the listen socket stays open behind a refusal loop: a client
+        that connects mid-drain reads an explicit shutting_down error
+        instead of racing the close (hang on a half-accepted socket or
+        ECONNRESET — the old behavior);
+     3. checkpoint_now (forces a WAL sync) and close — both idempotent,
+        so a concurrent or repeated shutdown is safe;
+     4. connection sockets are shut down, their threads joined; only
+        then does the listener itself close, so connects after a
+        completed drain fail outright.
    A crash instead of a drain loses nothing acknowledged: every
    observe was WAL-appended before its ack, so open_or_recover replays
-   the suffix (chaos-tested by test_serve's kill/restart scenario). *)
+   the suffix (chaos-tested by test_serve's kill/restart scenario).
+
+   Backends: one engine (the default) or a Shard_group — the admission
+   queue, engine thread, and connection machinery are identical; only
+   request execution dispatches. *)
 
 module Metrics = Hsq_obs.Metrics
 module E = Hsq.Engine
 module BD = Hsq_storage.Block_device
+module G = Hsq_shard.Shard_group
 
 type listen =
   | Unix_sock of string
@@ -82,9 +92,16 @@ type counters = {
   conns_total : Metrics.Counter.t;
 }
 
+type backend =
+  | Single of E.t
+  | Group of G.t
+
 type t = {
   config : config;
-  engine : E.t;
+  backend : backend;
+  reg : Metrics.t; (* serve-owned metrics: the engine's registry for
+                      Single, a standalone one for Group (shard
+                      registries are merged at dump time) *)
   adm : Admission.t;
   started_at : float;
   stop_requested : bool Atomic.t;
@@ -109,14 +126,15 @@ let budget_ms_for t cls =
   | Protocol.Ingest_q -> b.ingest_ms
   | Protocol.Admin_q -> b.admin_ms
 
-let create config engine =
+let create_backend config backend =
   if config.queue_depth < 1 then invalid_arg "Server.create: queue_depth < 1";
-  let reg = E.metrics engine in
+  let reg = match backend with Single e -> E.metrics e | Group _ -> Metrics.create () in
   Hsq_obs.Process.register reg;
   let counter name help = Metrics.counter ~help reg name in
   {
     config;
-    engine;
+    backend;
+    reg;
     adm = Admission.create ~capacity:config.queue_depth ~metrics:reg ();
     started_at = Metrics.now_s ();
     stop_requested = Atomic.make false;
@@ -150,7 +168,19 @@ let create config engine =
       Metrics.histogram ~help:"Admission-queue wait" reg "hsq_serve_queue_wait_seconds";
   }
 
-let engine t = t.engine
+let create config engine = create_backend config (Single engine)
+let create_group config group = create_backend config (Group group)
+
+let engine t =
+  match t.backend with
+  | Single e -> e
+  | Group _ -> invalid_arg "Server.engine: sharded backend (use Server.group)"
+
+let group t =
+  match t.backend with
+  | Group g -> Some g
+  | Single _ -> None
+
 let uptime_s t = Metrics.now_s () -. t.started_at
 
 (* Async-signal-safe: just an atomic store; the accept thread polls it. *)
@@ -177,8 +207,7 @@ let rank_of_target ~n = function
     let r = int_of_float (ceil (p *. float_of_int n)) in
     if r < 1 then 1 else if r > n then n else r
 
-let execute t req ~deadline =
-  let eng = t.engine in
+let execute_single t eng req ~deadline =
   match req with
   | Protocol.Ping -> (`Ok, Protocol.ok [ ("pong", Json.Bool true) ])
   | Protocol.Drain ->
@@ -298,7 +327,7 @@ let execute t req ~deadline =
           ("durable", Json.Bool (d <> None));
         ] )
   | Protocol.Metrics_dump fmt -> (
-    let reg = E.metrics t.engine in
+    let reg = E.metrics eng in
     match fmt with
     | Protocol.Fmt_json ->
       (* Metrics.to_json is a single line by construction, so it can be
@@ -307,8 +336,148 @@ let execute t req ~deadline =
     | Protocol.Fmt_prometheus ->
       (`Ok, Protocol.ok [ ("body", Json.Str (Metrics.to_prometheus reg)) ]))
   | Protocol.Health_check ->
-    let h = Health.collect t.engine in
+    let h = Health.collect eng in
     (`Ok, Protocol.ok (Health.to_fields h))
+
+(* The sharded backend: fused queries and routed ingest via
+   Shard_group; the window machinery is per-engine state and stays a
+   single-backend feature. *)
+
+let group_degradation_fields (report : G.query_report) =
+  let down = match report.G.degradation with `Shard_down ks -> ks | _ -> [] in
+  [
+    ("bound", Json.Num report.G.rank_error_bound);
+    ("degradation", Json.Str (G.degradation_label report.G.degradation));
+    ("iterations", Json.int report.G.iterations);
+    ("io", Json.int (Hsq_storage.Io_stats.total report.G.io));
+    ("shards_down", Json.List (List.map Json.int down));
+  ]
+
+let execute_group t g req ~deadline =
+  match req with
+  | Protocol.Ping -> (`Ok, Protocol.ok [ ("pong", Json.Bool true) ])
+  | Protocol.Drain ->
+    request_stop t;
+    (`Ok, Protocol.ok [ ("draining", Json.Bool true) ])
+  | Protocol.Observe vals -> (
+    let applied = ref 0 in
+    try
+      Array.iter
+        (fun v ->
+          G.observe g v;
+          incr applied)
+        vals;
+      (`Ok, Protocol.ok [ ("applied", Json.int !applied) ])
+    with
+    | G.Shard_unavailable (i, reason) ->
+      (* The owning shard is down: everything before this element is
+         acknowledged, this one and the rest are not. *)
+      ( `Error,
+        Protocol.err Protocol.e_device
+          ~detail:(Printf.sprintf "shard %d down: %s" i reason)
+          ~extra:[ ("applied", Json.int !applied); ("shard", Json.int i) ] )
+    | BD.Device_error msg ->
+      ( `Error,
+        Protocol.err Protocol.e_wal ~detail:msg ~extra:[ ("applied", Json.int !applied) ] ))
+  | Protocol.End_step -> (
+    match G.end_time_step g with
+    | [] -> (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty step")
+    | results ->
+      let merges =
+        List.fold_left
+          (fun acc (_, r) ->
+            match r with
+            | Ok rep -> acc + rep.Hsq_hist.Level_index.merges_performed
+            | Error _ -> acc)
+          0 results
+      in
+      let failures =
+        List.filter_map (fun (i, r) -> match r with Error m -> Some (i, m) | Ok _ -> None) results
+      in
+      let fields = [ ("step", Json.int (G.time_steps g)); ("merges", Json.int merges) ] in
+      if failures = [] then (`Ok, Protocol.ok fields)
+      else
+        (* Healthy shards archived; the client learns exactly which
+           shards did not. *)
+        ( `Error,
+          Protocol.err Protocol.e_device
+            ~detail:
+              (String.concat "; "
+                 (List.map (fun (i, m) -> Printf.sprintf "shard %d: %s" i m) failures))
+            ~extra:(fields @ [ ("failed_shards", Json.List (List.map (fun (i, _) -> Json.int i) failures)) ]) ))
+  | Protocol.Quick { target; window } -> (
+    match window with
+    | Some _ ->
+      (`Bad, Protocol.err Protocol.e_bad_request ~detail:"windowed queries need a single-engine store")
+    | None -> (
+      let n = G.total_size g in
+      if n = 0 then (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty engine")
+      else
+        try
+          let rank = rank_of_target ~n target in
+          let v, bound, degradation = G.quick_with_bound g ~rank in
+          ( `Ok,
+            Protocol.ok
+              [
+                ("value", Json.int v);
+                ("rank", Json.int rank);
+                ("bound", Json.Num bound);
+                ("degradation", Json.Str (G.degradation_label degradation));
+              ] )
+        with
+        | Invalid_argument msg -> (`Bad, Protocol.err Protocol.e_bad_request ~detail:msg)
+        | BD.Device_error msg -> (`Error, Protocol.err Protocol.e_device ~detail:msg)))
+  | Protocol.Accurate { target; window; deadline_ms = _ } -> (
+    match window with
+    | Some _ ->
+      (`Bad, Protocol.err Protocol.e_bad_request ~detail:"windowed queries need a single-engine store")
+    | None -> (
+      let remaining_ms = Float.max 1.0 ((deadline -. Metrics.now_s ()) *. 1000.0) in
+      let n = G.total_size g in
+      if n = 0 then (`Bad, Protocol.err Protocol.e_bad_request ~detail:"empty engine")
+      else
+        try
+          let rank = rank_of_target ~n target in
+          let v, report = G.accurate ~deadline_ms:remaining_ms g ~rank in
+          ( `Ok,
+            Protocol.ok
+              ([ ("value", Json.int v); ("rank", Json.int rank) ]
+              @ group_degradation_fields report) )
+        with
+        | Invalid_argument msg -> (`Bad, Protocol.err Protocol.e_bad_request ~detail:msg)
+        | BD.Device_error msg -> (`Error, Protocol.err Protocol.e_device ~detail:msg)))
+  | Protocol.Stats ->
+    let durable = List.exists (fun (_, e) -> E.durability_status e <> None) (G.engines g) in
+    let epsilon = try G.epsilon g with Invalid_argument _ -> 0.0 in
+    ( `Ok,
+      Protocol.ok
+        [
+          ("n", Json.int (G.total_size g));
+          ("hist", Json.int (G.hist_size g));
+          ("stream", Json.int (G.stream_size g));
+          ("steps", Json.int (G.time_steps g));
+          ("epsilon", Json.Num epsilon);
+          ("memory_words", Json.int (G.memory_words g));
+          ("shards", Json.int (G.shard_count g));
+          ("shards_down", Json.List (List.map Json.int (G.shards_down g)));
+          ("down_elements", Json.int (G.down_elements g));
+          ("uptime_s", Json.Num (uptime_s t));
+          ("queue_depth", Json.int (Admission.depth t.adm));
+          ("queue_capacity", Json.int (Admission.capacity t.adm));
+          ("durable", Json.Bool durable);
+        ] )
+  | Protocol.Metrics_dump fmt -> (
+    match fmt with
+    | Protocol.Fmt_json ->
+      (`Ok, Printf.sprintf "{\"ok\":true,\"metrics\":%s}" (G.metrics_json ~extra:t.reg g))
+    | Protocol.Fmt_prometheus ->
+      (`Ok, Protocol.ok [ ("body", Json.Str (G.metrics_prometheus ~extra:t.reg g)) ]))
+  | Protocol.Health_check -> (`Ok, Protocol.ok (Health.group_to_fields (Health.collect_group g)))
+
+let execute t req ~deadline =
+  match t.backend with
+  | Single e -> execute_single t e req ~deadline
+  | Group g -> execute_group t g req ~deadline
 
 (* Drain every remaining queue item, then run the shutdown sequence.
    A request that spent its whole budget waiting is answered `timeout`
@@ -494,23 +663,47 @@ let bind_listener = function
 
 (* The drain sequence (runs on the accept thread, after its loop saw
    the stop flag).  Steps are individually guarded: a half-broken
-   engine must still release sockets and threads. *)
+   engine must still release sockets and threads.
+
+   Ordering matters for clients racing the shutdown: the queue stops
+   admitting FIRST, and the listen socket stays open behind a refusal
+   loop until the drain completes — a client that connects mid-drain
+   reads one explicit shutting_down error and a clean close, instead of
+   hanging in the kernel accept backlog (never accepted, never
+   refused) or catching ECONNRESET from a listener closed under it.
+   Only after everything admitted is served does the listener close,
+   so connects after a finished drain fail outright, as before. *)
 let drain t listen_fd =
-  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-  (match t.config.listen with
-  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
-  | Tcp _ -> ());
-  t.listen_fd <- None;
   Admission.begin_drain t.adm;
+  let refusing = Atomic.make true in
+  let refuse_thread =
+    Thread.create
+      (fun () ->
+        while Atomic.get refusing do
+          match Unix.select [ listen_fd ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept listen_fd with
+            | fd, _ ->
+              (try write_all fd (Protocol.err Protocol.e_shutting_down ^ "\n") with _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            | exception Unix.Unix_error _ -> ())
+          | exception Unix.Unix_error _ -> ()
+        done)
+      ()
+  in
   (match t.engine_thread with
   | Some thr ->
     Thread.join thr;
     t.engine_thread <- None
   | None -> ());
-  (* Engine is quiescent now: persist the stream side and close.  Both
+  (* Backend is quiescent now: persist the stream side and close.  Both
      are idempotent, so a signal-driven second shutdown is harmless. *)
-  (try E.checkpoint_now t.engine with _ -> ());
-  (try E.close t.engine with _ -> ());
+  (match t.backend with
+  | Single e ->
+    (try E.checkpoint_now e with _ -> ());
+    (try E.close e with _ -> ())
+  | Group g -> ( try G.close g with _ -> ()));
   (* Unblock any connection thread still parked in a read, then join. *)
   let remaining =
     Mutex.lock t.conn_lock;
@@ -521,7 +714,14 @@ let drain t listen_fd =
   List.iter
     (fun (fd, _) -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     remaining;
-  List.iter (fun (_, thr) -> try Thread.join thr with _ -> ()) remaining
+  List.iter (fun (_, thr) -> try Thread.join thr with _ -> ()) remaining;
+  Atomic.set refusing false;
+  (try Thread.join refuse_thread with _ -> ());
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match t.config.listen with
+  | Unix_sock path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ());
+  t.listen_fd <- None
 
 let accept_loop t listen_fd =
   while not (Atomic.get t.stop_requested) do
@@ -570,13 +770,21 @@ let stop t =
    request execution), blocking until it completes.  The chaos harness
    uses it to flip fault injectors and run repair scrubs without ever
    racing a live query. *)
-let submit_fn t f =
+let submit_job t job =
   let item =
-    Admission.make_item
-      (Admission.Job (fun () -> f t.engine))
-      Protocol.Admin_q
+    Admission.make_item (Admission.Job job) Protocol.Admin_q
       ~deadline:(Metrics.now_s () +. 60.0)
   in
   match Admission.submit t.adm item with
   | Admission.Admitted -> ignore (Admission.await item)
   | Admission.Overloaded _ | Admission.Draining -> invalid_arg "Server.submit_fn: not admitted"
+
+let submit_fn t f =
+  match t.backend with
+  | Single e -> submit_job t (fun () -> f e)
+  | Group _ -> invalid_arg "Server.submit_fn: sharded backend (use submit_group_fn)"
+
+let submit_group_fn t f =
+  match t.backend with
+  | Group g -> submit_job t (fun () -> f g)
+  | Single _ -> invalid_arg "Server.submit_group_fn: single-engine backend (use submit_fn)"

@@ -51,7 +51,22 @@ type t
     serve metrics (and process gauges) on the engine's registry. *)
 val create : config -> Hsq.Engine.t -> t
 
+(** Serve a {!Hsq_shard.Shard_group}: ingest routes across the shards,
+    queries fuse (and report [`Shard_down] degradations), [health]
+    rolls up per-shard state, and metric dumps merge every shard's
+    registry under [shard="<k>"] labels.  Windowed queries are a
+    single-engine feature and answer [bad_request].  Serve metrics live
+    on a standalone registry (exported as the unlabelled part of the
+    dumps). *)
+val create_group : config -> Hsq_shard.Shard_group.t -> t
+
+(** The single-engine backend.  Raises [Invalid_argument] on a sharded
+    server — use {!group}. *)
 val engine : t -> Hsq.Engine.t
+
+(** The sharded backend, if this server fronts one. *)
+val group : t -> Hsq_shard.Shard_group.t option
+
 val uptime_s : t -> float
 
 (** Bind, then spawn the accept and engine threads.  Raises
@@ -76,3 +91,8 @@ val stop : t -> unit
     server without racing queries.  Raises [Invalid_argument] if the
     queue is full or draining. *)
 val submit_fn : t -> (Hsq.Engine.t -> unit) -> unit
+
+(** {!submit_fn} for a sharded server: run [f group] on the engine
+    thread.  The shard chaos harness uses it to kill and rejoin shards
+    under live traffic. *)
+val submit_group_fn : t -> (Hsq_shard.Shard_group.t -> unit) -> unit

@@ -1,0 +1,769 @@
+(* A sharded warehouse: K independent engines, one fused query surface.
+
+   Ingest hash-partitions the stream (splitmix-style value hash mod K),
+   so each shard is a complete, unmodified single-submitter engine —
+   its own device, WAL, checkpoint, breaker, quarantine state and
+   metrics registry.  Queries fuse the per-shard state back together:
+
+   - quick: one Union_summary over the union of every up shard's
+     active partitions plus all K stream sketches
+     (Union_summary.build_fused).  Each entry's rank window is the sum
+     of the per-shard Lemma 2 windows; the sums bracket the union rank
+     because each shard's sketch brackets its own, and the window only
+     widens additively to Sigma_s eps2*m_s = eps2*m (all shards share
+     eps2) — the fused answer keeps the single-engine O(eps*N) error.
+
+   - accurate: the engine's Algorithms 6-8 lifted to the union: fused
+     filters, one value-domain bisection, per-partition disk probes
+     across every shard, and the *shared* stopping band
+     tolerance_factor * Sigma_s eps2*m_s under one deadline.  rho(z) is
+     exact over all probed partitions plus the summed stream estimates,
+     so the completed-query bound is the single-engine bound with m
+     read as the total stream size — the paper's O(eps*m), fused.
+
+   Fault domains.  A shard is DOWN (mark_down, failed recovery) or
+   dropped per-query (breaker open / probes exhausted mid-bisection):
+   either way its contribution leaves the fused answer and the bound
+   honestly widens by its element count — exactly the quarantine
+   argument one level up, with a shard playing the role of a partition
+   whose rank window collapsed to [0, size].  Degradations compose
+   worst-wins; `Shard_down carries the shard indices.
+
+   Like the engine, a group is single-submitter by contract. *)
+
+module E = Hsq.Engine
+module BD = Hsq_storage.Block_device
+module Metrics = Hsq_obs.Metrics
+module Us = Hsq.Union_summary
+module Ss = Hsq.Stream_summary
+module Li = Hsq_hist.Level_index
+
+exception Shard_unavailable of int * string
+
+type degradation =
+  [ `None | `Quarantined of int | `Deadline | `Device_open | `Shard_down of int list ]
+
+let degradation_label : degradation -> string = function
+  | #E.degradation as d -> E.degradation_label d
+  | `Shard_down _ -> "shard_down"
+
+let severity : degradation -> int = function
+  | `None -> 0
+  | `Quarantined _ -> 1
+  | `Deadline -> 2
+  | `Device_open -> 3
+  | `Shard_down _ -> 4
+
+(* Worst wins; equal severities merge their payloads so no information
+   is invented (quarantine counts max — they describe the same store —
+   and shard lists union). *)
+let worst_degradation (a : degradation) (b : degradation) : degradation =
+  match (a, b) with
+  | `Quarantined x, `Quarantined y -> `Quarantined (max x y)
+  | `Shard_down x, `Shard_down y -> `Shard_down (List.sort_uniq compare (x @ y))
+  | _ -> if severity a >= severity b then a else b
+
+type query_report = {
+  io : Hsq_storage.Io_stats.counters;
+  iterations : int;
+  degradation : degradation;
+  rank_error_bound : float;
+}
+
+type shard =
+  | Up of E.t
+  | Down of { reason : string; elements : int }
+
+type t = {
+  config : Hsq.Config.t;
+  k : int;
+  shards : shard array;
+  last_size : int array; (* last known element count per shard; frozen on death *)
+  root : string option; (* durable root; None = volatile (no rejoin) *)
+  (* Fused-summary cache: the historical aggregate is keyed on each
+     alive shard's partition-set epoch, the built summary additionally
+     on each stream's size (a shard's stream only changes via observe —
+     size grows — or end_time_step — epoch bump), mirroring the
+     engine's own two-level cache. *)
+  mutable agg_cache : ((int * int) list * Us.hist_agg) option;
+  mutable us_cache : ((int * int * int) list * (Ss.t list * Us.t)) option;
+  mutable closed : bool;
+}
+
+(* --- construction ------------------------------------------------------ *)
+
+let shard_dir ~root i = Filename.concat root (Printf.sprintf "shard-%d" i)
+
+let tag_shard_registry e i =
+  Metrics.Gauge.set
+    (Metrics.gauge ~help:"Index of this shard within its group" (E.metrics e) "hsq_shard_index")
+    (float_of_int i)
+
+let shard_config config ~wal_dir = { config with Hsq.Config.shards = 1; wal_dir }
+
+let create config =
+  let k = config.Hsq.Config.shards in
+  let shards =
+    Array.init k (fun i ->
+        let e = E.create (shard_config config ~wal_dir:None) in
+        tag_shard_registry e i;
+        Up e)
+  in
+  {
+    config;
+    k;
+    shards;
+    last_size = Array.make k 0;
+    root = None;
+    agg_cache = None;
+    us_cache = None;
+    closed = false;
+  }
+
+(* Best-effort element count of a store we failed to open: archived
+   elements from the sidecar's partition table plus Observe records
+   still in the WAL (the log rotates at each archived step, so the two
+   never overlap).  Unreadable pieces count 0 — with an intact WAL
+   under sync=Always this equals the acknowledged count; damage can
+   only lower the estimate, which the chaos harness tolerates by
+   checking the fused bound against the oracle, not this estimate. *)
+let estimate_elements dir =
+  let _, meta_path, wal_path, _ = E.store_paths ~dir in
+  let hist =
+    try
+      let body = Hsq.Meta.verify_checksum (Hsq.Meta.read_lines meta_path) in
+      List.fold_left
+        (fun acc line ->
+          match String.split_on_char ' ' line with
+          | "partition" :: _first_block :: len :: _ -> (
+            match int_of_string_opt len with Some l -> acc + l | None -> acc)
+          | _ -> acc)
+        0 body
+    with _ -> 0
+  in
+  let wal =
+    try
+      let records, _, _ = Hsq_storage.Wal.read_path ~path:wal_path in
+      List.fold_left
+        (fun acc (_, r) ->
+          match r with Hsq_storage.Wal.Observe _ -> acc + 1 | Hsq_storage.Wal.End_step _ -> acc)
+        0 records
+    with _ -> 0
+  in
+  hist + wal
+
+type shard_recovery = {
+  shard : int;
+  outcome : (E.recovery_report, string) result;
+}
+
+let open_or_recover config =
+  let root =
+    match config.Hsq.Config.wal_dir with
+    | Some d -> d
+    | None -> invalid_arg "Shard_group.open_or_recover: config.wal_dir not set"
+  in
+  let k = config.Hsq.Config.shards in
+  if Sys.file_exists root then begin
+    if not (Sys.is_directory root) then
+      invalid_arg "Shard_group.open_or_recover: wal_dir is not a directory"
+  end
+  else Sys.mkdir root 0o755;
+  let last_size = Array.make k 0 in
+  let recoveries = ref [] in
+  let shards =
+    Array.init k (fun i ->
+        (* K = 1 opens the root itself: a sharded build reads (and
+           keeps writing) a store laid out by a non-sharded one. *)
+        let dir = if k = 1 then root else shard_dir ~root i in
+        match E.open_or_recover (shard_config config ~wal_dir:(Some dir)) with
+        | e, report ->
+          tag_shard_registry e i;
+          last_size.(i) <- E.total_size e;
+          recoveries := { shard = i; outcome = Ok report } :: !recoveries;
+          Up e
+        | exception
+            (( BD.Device_error _ | Hsq.Meta.Corrupt_metadata _ | Sys_error _
+             | Invalid_argument _ ) as exn) ->
+          let reason = Printexc.to_string exn in
+          let elements = estimate_elements dir in
+          last_size.(i) <- elements;
+          recoveries := { shard = i; outcome = Error reason } :: !recoveries;
+          Down { reason; elements })
+  in
+  ( {
+      config;
+      k;
+      shards;
+      last_size;
+      root = Some root;
+      agg_cache = None;
+      us_cache = None;
+      closed = false;
+    },
+    List.rev !recoveries )
+
+(* --- topology ----------------------------------------------------------- *)
+
+let config t = t.config
+let shard_count t = t.k
+
+(* Xorshift-multiply finalizer (constants fit OCaml's 63-bit int):
+   uncorrelated with value order and with the block-level chaos coins,
+   so adversarial value patterns still spread across the shards. *)
+let route t v =
+  if t.k = 1 then 0
+  else begin
+    let x = v lxor (v lsr 33) in
+    let x = x * 0x2545F4914F6CDD1D in
+    let x = x lxor (x lsr 29) in
+    let x = x * 0x100000001B3 in
+    let x = x lxor (x lsr 32) in
+    (x land max_int) mod t.k
+  end
+
+let shards_down t =
+  let down = ref [] in
+  Array.iteri (fun i s -> match s with Down _ -> down := i :: !down | Up _ -> ()) t.shards;
+  List.rev !down
+
+let engine t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.engine: shard index out of range";
+  match t.shards.(i) with Up e -> Some e | Down _ -> None
+
+let engines t =
+  let up = ref [] in
+  Array.iteri (fun i s -> match s with Up e -> up := (i, e) :: !up | Down _ -> ()) t.shards;
+  List.rev !up
+
+let down_reason t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.down_reason: shard index out of range";
+  match t.shards.(i) with Down { reason; _ } -> Some reason | Up _ -> None
+
+let refresh_sizes t =
+  Array.iteri
+    (fun i s -> match s with Up e -> t.last_size.(i) <- E.total_size e | Down _ -> ())
+    t.shards
+
+let shard_elements t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.shard_elements: shard index out of range";
+  (match t.shards.(i) with Up e -> t.last_size.(i) <- E.total_size e | Down _ -> ());
+  t.last_size.(i)
+
+let down_elements t =
+  let sum = ref 0 in
+  Array.iteri
+    (fun i s -> match s with Down { elements = _; _ } -> sum := !sum + t.last_size.(i) | Up _ -> ())
+    t.shards;
+  !sum
+
+(* --- ingest ------------------------------------------------------------- *)
+
+let invalidate t = t.us_cache <- None
+
+let observe t v =
+  let i = route t v in
+  match t.shards.(i) with
+  | Down { reason; _ } -> raise (Shard_unavailable (i, reason))
+  | Up e ->
+    E.observe e v;
+    t.last_size.(i) <- t.last_size.(i) + 1;
+    invalidate t
+
+let end_time_step t =
+  let out = ref [] in
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Down _ -> ()
+      | Up e ->
+        if E.stream_size e > 0 then begin
+          match E.end_time_step e with
+          | report -> out := (i, Ok report) :: !out
+          | exception BD.Device_error msg -> out := (i, Error msg) :: !out
+        end)
+    t.shards;
+  t.agg_cache <- None;
+  invalidate t;
+  List.rev !out
+
+(* --- sizes -------------------------------------------------------------- *)
+
+let total_size t =
+  refresh_sizes t;
+  Array.fold_left ( + ) 0 t.last_size
+
+let hist_size t = List.fold_left (fun acc (_, e) -> acc + E.hist_size e) 0 (engines t)
+let stream_size t = List.fold_left (fun acc (_, e) -> acc + E.stream_size e) 0 (engines t)
+let time_steps t = List.fold_left (fun acc (_, e) -> max acc (E.time_steps e)) 0 (engines t)
+
+let epsilon t =
+  match engines t with
+  | [] -> invalid_arg "Shard_group.epsilon: every shard is down"
+  | (_, e) :: rest -> List.fold_left (fun acc (_, e) -> Float.max acc (E.epsilon e)) (E.epsilon e) rest
+
+let memory_words t = List.fold_left (fun acc (_, e) -> acc + E.memory_words e) 0 (engines t)
+
+(* --- fused view --------------------------------------------------------- *)
+
+let clamp_rank ~n r = if r < 1 then 1 else if r > n then n else r
+
+(* The state one fused query works from.  [excluded]/[excluded_elems]
+   name the shards whose data is NOT in [us] (permanently down plus any
+   runtime-dropped) — the honest widening of every answer derived from
+   this view. *)
+type view = {
+  alive : (int * E.t) list;
+  parts : (int * Hsq_hist.Partition.t) list; (* (owning shard, partition), active only *)
+  streams : Ss.t list;
+  us : Us.t;
+  excluded : int list;
+  excluded_elems : int;
+}
+
+let quarantined_sum alive =
+  List.fold_left (fun acc (_, e) -> acc + Li.quarantined_elements (E.hist e)) 0 alive
+
+let agg_key alive = List.map (fun (i, e) -> (i, Li.epoch (E.hist e))) alive
+let us_key alive = List.map (fun (i, e) -> (i, Li.epoch (E.hist e), E.stream_size e)) alive
+
+let fused_agg t alive =
+  let key = agg_key alive in
+  match t.agg_cache with
+  | Some (k, agg) when k = key -> agg
+  | _ ->
+    let partitions = List.concat_map (fun (_, e) -> Li.active_partitions (E.hist e)) alive in
+    let agg = Us.hist_aggregate ~partitions in
+    t.agg_cache <- Some (key, agg);
+    agg
+
+let fused_summaries t alive =
+  let key = us_key alive in
+  match t.us_cache with
+  | Some (k, v) when k = key -> v
+  | _ ->
+    let agg = fused_agg t alive in
+    let streams = List.map (fun (_, e) -> E.stream_summary e) alive in
+    let us = Us.build_fused ~agg ~streams in
+    let v = (streams, us) in
+    t.us_cache <- Some (key, v);
+    v
+
+let make_view t ~dropped =
+  refresh_sizes t;
+  let alive = List.filter (fun (i, _) -> not (List.mem i dropped)) (engines t) in
+  let excluded =
+    List.sort_uniq compare
+      (shards_down t @ List.filter (fun i -> i >= 0 && i < t.k) dropped)
+  in
+  let excluded_elems = List.fold_left (fun acc i -> acc + t.last_size.(i)) 0 excluded in
+  let streams, us =
+    (* The cache only serves the no-runtime-drops view; a mid-query
+       drop is rare and rebuilds fresh. *)
+    if dropped = [] then fused_summaries t alive
+    else
+      let partitions = List.concat_map (fun (_, e) -> Li.active_partitions (E.hist e)) alive in
+      let streams = List.map (fun (_, e) -> E.stream_summary e) alive in
+      (streams, Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams)
+  in
+  let parts =
+    List.concat_map
+      (fun (i, e) -> List.map (fun p -> (i, p)) (Li.active_partitions (E.hist e)))
+      alive
+  in
+  { alive; parts; streams; us; excluded; excluded_elems }
+
+(* Memory-only fallback when quarantine emptied the active view: the
+   full partition sets (quarantined included) still carry honest — if
+   wide — summary windows, at zero device reads (the engine's
+   quick_view argument, fused).  Returns [true] iff it substituted the
+   full-set summary, whose windows already cover the quarantined
+   elements (no double widening). *)
+let full_view_fallback view =
+  if Us.n_total view.us > 0 then (view, false)
+  else begin
+    let partitions = List.concat_map (fun (_, e) -> Li.partitions (E.hist e)) view.alive in
+    let streams = List.map (fun (_, e) -> E.stream_summary e) view.alive in
+    let full = Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams in
+    if Us.size full > 0 then ({ view with us = full; streams }, true) else (view, false)
+  end
+
+let rank_bound_of us ~rank v ~widen =
+  let r = float_of_int rank in
+  let lo, hi = Us.rank_window us v in
+  Float.max (hi -. r) (r -. lo) +. float_of_int widen
+
+let down_degradation view : degradation =
+  match view.excluded with [] -> `None | ks -> `Shard_down ks
+
+(* --- fused quick -------------------------------------------------------- *)
+
+let ensure_open t = if t.closed then invalid_arg "Shard_group: closed"
+
+let quick_with_bound t ~rank =
+  ensure_open t;
+  let view, fallback = full_view_fallback (make_view t ~dropped:[]) in
+  let n = Us.n_total view.us in
+  if n = 0 then invalid_arg "Shard_group.quick: no data";
+  let rank = clamp_rank ~n rank in
+  let v = Us.quick_select view.us ~rank in
+  let q = if fallback then 0 else quarantined_sum view.alive in
+  let widen = q + view.excluded_elems in
+  let degradation =
+    worst_degradation (down_degradation view) (if q > 0 then `Quarantined q else `None)
+  in
+  (v, rank_bound_of view.us ~rank v ~widen, degradation)
+
+let quick t ~rank =
+  let v, _, _ = quick_with_bound t ~rank in
+  v
+
+(* --- fused accurate ------------------------------------------------------ *)
+
+type probe_state = {
+  shard : int;
+  partition : Hsq_hist.Partition.t;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+exception Probe_failure of int * Hsq_hist.Partition.t * string
+exception Deadline_cut of int * int
+
+let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
+  ensure_open t;
+  let t0 = Metrics.now_s () in
+  let deadline_at =
+    match (deadline_ms, t.config.Hsq.Config.query_deadline_ms) with
+    | Some d, _ | None, Some d -> Some (t0 +. (d /. 1000.0))
+    | None, None -> None
+  in
+  let stats_before =
+    List.map
+      (fun (_, e) ->
+        let s = BD.stats (E.device e) in
+        (s, Hsq_storage.Io_stats.snapshot s))
+      (engines t)
+  in
+  let iterations = ref 0 in
+  let dropped = ref [] in
+  (* One bisection over a fixed view; raises Probe_failure on an
+     unrecoverable device error (carrying the owning shard) and
+     Deadline_cut between iterations. *)
+  let attempt view ~rank =
+    let us = view.us in
+    let u0, v0 = Us.filters us ~rank in
+    let probes =
+      Array.of_list
+        (List.map
+           (fun (shard, p) ->
+             let lo, hi =
+               Hsq_hist.Partition_summary.search_window (Hsq_hist.Partition.summary p) ~u:u0
+                 ~v:v0
+             in
+             { shard; partition = p; lo; hi })
+           view.parts)
+    in
+    (* The shared rank budget: the per-shard stream estimates are each
+       exact +-eps2*m_s, so the fused estimate is exact
+       +-Sigma_s eps2*m_s = eps2*m — one band for the whole group, not
+       one per shard (DESIGN.md §14). *)
+    let m_eps =
+      List.fold_left (fun acc ss -> acc +. (Ss.eps2 ss *. float_of_int (Ss.stream_size ss))) 0.0
+        view.streams
+    in
+    let tolerance = tolerance_factor *. m_eps in
+    let r = float_of_int rank in
+    let probe_one z st =
+      if st.lo >= st.hi then st.lo
+      else
+        try
+          Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo ~hi:st.hi
+            z
+        with BD.Device_error msg -> raise (Probe_failure (st.shard, st.partition, msg))
+    in
+    let estimate z =
+      let ranks = Array.map (probe_one z) probes in
+      let rho1 = Array.fold_left ( + ) 0 ranks in
+      let rho2 = List.fold_left (fun acc ss -> acc +. Ss.rank_estimate ss z) 0.0 view.streams in
+      (ranks, float_of_int rho1 +. rho2)
+    in
+    let narrow ~left ranks =
+      Array.iteri
+        (fun i st ->
+          let rank_z = ranks.(i) in
+          if left then st.hi <- min st.hi rank_z else st.lo <- max st.lo rank_z)
+        probes
+    in
+    let rec bisect u v =
+      (match deadline_at with
+      | Some d when Metrics.now_s () > d -> raise (Deadline_cut (u, v))
+      | _ -> ());
+      incr iterations;
+      if v - u <= 1 then begin
+        let _, rho_u = estimate u in
+        if rho_u >= r then u else v
+      end
+      else begin
+        let z = u + ((v - u) / 2) in
+        let ranks, rho = estimate z in
+        if r < rho -. tolerance then begin
+          narrow ~left:true ranks;
+          bisect u z
+        end
+        else if r > rho +. tolerance then begin
+          narrow ~left:false ranks;
+          bisect z v
+        end
+        else z
+      end
+    in
+    (bisect u0 v0, m_eps)
+  in
+  let finish t0_view ~rank degradation =
+    (* Memory answer from whatever summary is in hand.  Widening: live
+       quarantined elements plus every shard absent from this view's
+       summary — shards dropped *after* the view was built still have
+       their in-memory contribution inside [us], so they widen nothing
+       here (the summary covers them). *)
+    let q = quarantined_sum t0_view.alive in
+    let n = Us.n_total t0_view.us in
+    let rank = clamp_rank ~n rank in
+    let v = Us.quick_select t0_view.us ~rank in
+    (v, degradation, rank_bound_of t0_view.us ~rank v ~widen:(q + t0_view.excluded_elems))
+  in
+  let total_parts =
+    List.fold_left (fun acc (_, e) -> acc + Li.partition_count (E.hist e)) 0 (engines t)
+  in
+  let max_retries = (total_parts * t.config.Hsq.Config.quarantine_after) + t.k + 2 in
+  let rec go tries view_opt =
+    let view = match view_opt with Some v -> v | None -> make_view t ~dropped:!dropped in
+    let view, mem_fallback = full_view_fallback view in
+    let n = Us.n_total view.us in
+    if n = 0 then
+      (* Nothing reachable at all (every shard down or empty). *)
+      invalid_arg "Shard_group.accurate: no data"
+    else begin
+      let rank_c = clamp_rank ~n rank in
+      let down_deg = down_degradation view in
+      if mem_fallback || view.parts = [] && view.streams = [] then
+        finish view ~rank (worst_degradation down_deg `Device_open)
+      else begin
+        match attempt view ~rank:rank_c with
+        | answer, m_eps ->
+          List.iter (fun (i, p) ->
+              match t.shards.(i) with
+              | Up e -> Li.note_probe_success (E.hist e) p
+              | Down _ -> ())
+            view.parts;
+          let q = quarantined_sum view.alive in
+          let tolerance = tolerance_factor *. m_eps in
+          (* Completed-bisection bound: the stopping band, the summed
+             stream estimates' own uncertainty (±eps2·m_s each, with
+             integer-boundary slack per stream), plus everything the
+             probes could not see — quarantined and excluded-shard
+             elements. *)
+          let estimate_slack = m_eps +. (2.0 *. float_of_int (max 1 (List.length view.streams))) in
+          let degradation =
+            worst_degradation down_deg (if q > 0 then `Quarantined q else `None)
+          in
+          ( answer,
+            degradation,
+            tolerance +. estimate_slack +. float_of_int (q + view.excluded_elems) )
+        | exception Deadline_cut (u, v) ->
+          let q = quarantined_sum view.alive in
+          let qa = Us.quick_select view.us ~rank:rank_c in
+          let best = if v >= u then max u (min v qa) else qa in
+          ( best,
+            worst_degradation down_deg `Deadline,
+            rank_bound_of view.us ~rank:rank_c best ~widen:(q + view.excluded_elems) )
+        | exception Probe_failure (s, p, _msg) ->
+          let e = match t.shards.(s) with Up e -> Some e | Down _ -> None in
+          let breaker_open =
+            match e with
+            | Some e -> BD.breaker_state (E.device e) = Hsq_storage.Breaker.Open
+            | None -> true
+          in
+          (* Quarantine machinery still learns from every failure, so a
+             single sick partition quarantines instead of condemning its
+             whole shard. *)
+          let quarantined_now =
+            match e with
+            | Some e ->
+              Li.note_probe_failure (E.hist e) p ~threshold:t.config.Hsq.Config.quarantine_after
+            | None -> false
+          in
+          if breaker_open || tries >= max_retries then begin
+            (* The shard, not the partition, is the fault domain now:
+               drop it from this query and restart over the survivors.
+               Restart (rather than patching the probe set) is required
+               for correctness — earlier narrowing used the dropped
+               shard's ranks. *)
+            dropped := List.sort_uniq compare (s :: !dropped);
+            let survivors = List.filter (fun (i, _) -> not (List.mem i !dropped)) (engines t) in
+            if survivors = [] then
+              (* Every shard dropped: answer from the last summary in
+                 hand (it still covers the dropped shards' memory
+                 state). *)
+              finish view ~rank (worst_degradation (`Shard_down !dropped) `Device_open)
+            else go (tries + 1) None
+          end
+          else if quarantined_now then go (tries + 1) None (* epoch bumped: rebuild *)
+          else go (tries + 1) (Some view)
+      end
+    end
+  in
+  let answer, degradation, rank_error_bound = go 0 None in
+  let io =
+    List.fold_left
+      (fun acc (s, before) ->
+        Hsq_storage.Io_stats.add acc
+          (Hsq_storage.Io_stats.diff (Hsq_storage.Io_stats.snapshot s) before))
+      Hsq_storage.Io_stats.zero stats_before
+  in
+  (answer, { io; iterations = !iterations; degradation; rank_error_bound })
+
+let quantile t phi =
+  if not (phi >= 0.0 && phi <= 1.0) then invalid_arg "Shard_group.quantile: phi not in [0,1]";
+  let n = total_size t in
+  if n = 0 then invalid_arg "Shard_group.quantile: no data";
+  let rank = clamp_rank ~n (int_of_float (ceil (phi *. float_of_int n))) in
+  accurate t ~rank
+
+(* --- fault domains ------------------------------------------------------- *)
+
+let mark_down t i ~reason =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.mark_down: shard index out of range";
+  match t.shards.(i) with
+  | Down _ -> ()
+  | Up e ->
+    t.last_size.(i) <- (try E.total_size e with _ -> t.last_size.(i));
+    (* Crash-release, not close: a close would flush and might block on
+       the very device that just died; under WAL Always nothing
+       acknowledged is pending anyway. *)
+    (try E.crash e with _ -> ());
+    t.shards.(i) <- Down { reason; elements = t.last_size.(i) };
+    t.agg_cache <- None;
+    invalidate t
+
+let rejoin t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.rejoin: shard index out of range";
+  match t.shards.(i) with
+  | Up _ -> Error "shard is not down"
+  | Down _ -> (
+    match t.root with
+    | None -> Error "volatile shard cannot rejoin (its data died with it)"
+    | Some root -> (
+      let dir = if t.k = 1 then root else shard_dir ~root i in
+      match E.open_or_recover (shard_config t.config ~wal_dir:(Some dir)) with
+      | e, recovery -> (
+        tag_shard_registry e i;
+        match Hsq.Persist.scrub ~repair:true e with
+        | scrub ->
+          t.shards.(i) <- Up e;
+          t.last_size.(i) <- E.total_size e;
+          t.agg_cache <- None;
+          invalidate t;
+          Ok (recovery, scrub)
+        | exception exn ->
+          (try E.crash e with _ -> ());
+          Error ("rejoin scrub failed: " ^ Printexc.to_string exn))
+      | exception exn -> Error ("rejoin recovery failed: " ^ Printexc.to_string exn)))
+
+let scrub ?repair t =
+  List.map (fun (i, e) -> (i, Hsq.Persist.scrub ?repair e)) (engines t)
+
+(* --- lifecycle ----------------------------------------------------------- *)
+
+let checkpoint_now t = List.iter (fun (_, e) -> try E.checkpoint_now e with _ -> ()) (engines t)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun (_, e) ->
+        (try E.checkpoint_now e with _ -> ());
+        try E.close e with _ -> ())
+      (engines t)
+  end
+
+let crash t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter (fun (_, e) -> try E.crash e with _ -> ()) (engines t)
+  end
+
+let is_closed t = t.closed
+
+(* --- metrics -------------------------------------------------------------- *)
+
+(* Prometheus has no registry-level labels, so the group exporter
+   injects shard="<k>" into each per-shard line: after the opening
+   brace when the metric already carries labels (histogram buckets),
+   as a fresh label set otherwise.  Comment lines pass through. *)
+let label_prometheus_line ~label line =
+  if line = "" || line.[0] = '#' then line
+  else
+    match String.index_opt line ' ' with
+    | None -> line
+    | Some sp -> (
+      let name = String.sub line 0 sp in
+      let rest = String.sub line sp (String.length line - sp) in
+      match String.index_opt name '{' with
+      | Some b ->
+        String.sub name 0 (b + 1) ^ label ^ "," ^ String.sub name (b + 1) (String.length name - b - 1)
+        ^ rest
+      | None -> name ^ "{" ^ label ^ "}" ^ rest)
+
+let metrics_prometheus ?extra t =
+  let buf = Buffer.create 4096 in
+  (match extra with Some reg -> Buffer.add_string buf (Metrics.to_prometheus reg) | None -> ());
+  Array.iteri
+    (fun i s ->
+      match s with
+      | Down _ -> ()
+      | Up e ->
+        let label = Printf.sprintf "shard=\"%d\"" i in
+        String.split_on_char '\n' (Metrics.to_prometheus (E.metrics e))
+        |> List.iter (fun line ->
+               if line <> "" then begin
+                 Buffer.add_string buf (label_prometheus_line ~label line);
+                 Buffer.add_char buf '\n'
+               end))
+    t.shards;
+  Buffer.contents buf
+
+let metrics_json ?extra t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '{';
+  (match extra with
+  | Some reg ->
+    Buffer.add_string buf "\"group\":";
+    Buffer.add_string buf (Metrics.to_json reg);
+    Buffer.add_char buf ','
+  | None -> ());
+  Buffer.add_string buf "\"shards\":{";
+  Array.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\"%d\":" i;
+      match s with
+      | Up e -> Buffer.add_string buf (Metrics.to_json (E.metrics e))
+      | Down { reason; _ } ->
+        Printf.bprintf buf "{\"down\":true,\"reason\":%s}"
+          (let b = Buffer.create 32 in
+           Buffer.add_char b '"';
+           String.iter
+             (fun c ->
+               match c with
+               | '"' -> Buffer.add_string b "\\\""
+               | '\\' -> Buffer.add_string b "\\\\"
+               | '\n' -> Buffer.add_string b "\\n"
+               | c when Char.code c < 32 -> Printf.bprintf b "\\u%04x" (Char.code c)
+               | c -> Buffer.add_char b c)
+             reason;
+           Buffer.add_char b '"';
+           Buffer.contents b))
+    t.shards;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf

@@ -1,0 +1,205 @@
+(** A sharded warehouse: K fully independent engines behind one fused
+    query surface.
+
+    [observe] hash-partitions the stream across the shards — each shard
+    is a complete single-submitter {!Hsq.Engine} with its own block
+    device, WAL directory, checkpoint, circuit breaker, quarantine
+    state, and metrics registry — and queries fuse the per-shard
+    summaries back into one union answer:
+
+    - [quick] k-way-merges the shards' partition summaries and stream
+      sketches into one {!Hsq.Union_summary} ({!Hsq.Union_summary.build_fused});
+      per-entry rank windows are the sums of the per-shard Lemma 2
+      windows, so the fused bound stays ±ε·N (DESIGN.md §14).
+    - [accurate] runs one filter-bisection over the union of all
+      shards' partitions under a single shared rank budget
+      Σ_s ε₂·m_s = ε₂·m and one deadline, preserving the paper's ±ε·m
+      contract for the fused answer.
+
+    Per-shard fault domains: a shard that is down (failed recovery,
+    {!mark_down}) or whose breaker is open / probes keep failing during
+    an accurate query is dropped from the fused answer, with the bound
+    honestly widened by its element count and the report carrying
+    [`Shard_down ks]. A down shard {!rejoin}s via per-shard recovery +
+    repair scrub with zero acknowledged-observation loss (WAL
+    [Always]).
+
+    Like the engine, a group is single-submitter: serialize all calls
+    through one thread (the serve daemon's engine thread does). *)
+
+type t
+
+exception Shard_unavailable of int * string
+(** Raised by {!observe} / {!end_time_step} routing to a down shard:
+    the element is explicitly unacknowledged. *)
+
+(** {1 Degradation}
+
+    {!Hsq.Engine.degradation} extended with the sharding case. Severity
+    order (worst wins in fused reports):
+    [`None < `Quarantined < `Deadline < `Device_open < `Shard_down]. *)
+
+type degradation =
+  [ `None | `Quarantined of int | `Deadline | `Device_open | `Shard_down of int list ]
+
+val degradation_label : degradation -> string
+
+(** The more severe of the two (severity order above). [`Quarantined]
+    counts merge; [`Shard_down] lists union (sorted, deduplicated). *)
+val worst_degradation : degradation -> degradation -> degradation
+
+val severity : degradation -> int
+
+type query_report = {
+  io : Hsq_storage.Io_stats.counters;  (** summed over the shards probed *)
+  iterations : int;
+  degradation : degradation;
+  rank_error_bound : float;
+}
+
+(** {1 Construction} *)
+
+(** [create config] — [config.shards] volatile shards, each on its own
+    in-memory device (and therefore its own metrics registry). *)
+val create : Hsq.Config.t -> t
+
+type shard_recovery = {
+  shard : int;
+  outcome : (Hsq.Engine.recovery_report, string) result;
+      (** [Error reason]: that shard failed to recover and starts down
+          (its element count estimated from its sidecar + WAL, an
+          overcount-safe widening); the group still opens. *)
+}
+
+(** Open (or create) a durable group rooted at [config.wal_dir]:
+    shard [i] is a standard durable store in [shard_dir ~root i] —
+    except [shards = 1], which opens the root directly, bit-compatible
+    with a store written by a non-sharded build. Recovery runs per
+    shard; one shard's unrecoverable damage marks it down instead of
+    failing the group. *)
+val open_or_recover : Hsq.Config.t -> t * shard_recovery list
+
+(** [shard_dir ~root i] = [root/shard-<i>]. *)
+val shard_dir : root:string -> int -> string
+
+(** {1 Topology} *)
+
+val config : t -> Hsq.Config.t
+val shard_count : t -> int
+
+(** Deterministic shard for a value (splitmix-style hash mod K). *)
+val route : t -> int -> int
+
+(** Shards currently down, ascending. *)
+val shards_down : t -> int list
+
+(** The engine behind an up shard ([None] when down). Callers must
+    respect the single-submitter contract. *)
+val engine : t -> int -> Hsq.Engine.t option
+
+(** All up shards, ascending by index. *)
+val engines : t -> (int * Hsq.Engine.t) list
+
+(** Last known element count of a shard (live for up shards, frozen at
+    the value seen when a down shard died). *)
+val shard_elements : t -> int -> int
+
+(** {1 Ingest} *)
+
+(** Route and apply one element. Raises {!Shard_unavailable} when the
+    owning shard is down, and whatever the owning engine raises (e.g.
+    [Device_error] on a WAL append failure) — in every case the element
+    is unacknowledged. *)
+val observe : t -> int -> unit
+
+(** Close the time step on every up shard holding stream elements.
+    Failures are contained per shard ([Error msg]); healthy shards
+    still archive. *)
+val end_time_step :
+  t -> (int * (Hsq_hist.Level_index.update_report, string) result) list
+
+(** {1 Sizes}
+
+    [total_size] counts down shards at their last known element count —
+    the population the fused bounds are honest against. [hist_size] /
+    [stream_size] sum over up shards only. *)
+
+val total_size : t -> int
+
+val hist_size : t -> int
+val stream_size : t -> int
+val down_elements : t -> int
+
+(** Max over up shards. *)
+val time_steps : t -> int
+
+val epsilon : t -> float
+val memory_words : t -> int
+
+(** {1 Fused queries} *)
+
+(** Algorithm 5 over the fused union summary. Returns
+    (value, rank-error bound, degradation): the bound is the fused
+    Lemma 2 window widened by every quarantined and down element.
+    Raises [Invalid_argument] when no data is reachable. *)
+val quick_with_bound : t -> rank:int -> int * float * degradation
+
+val quick : t -> rank:int -> int
+
+(** Algorithms 6–8 across all shards: one bisection over the fused
+    filters, probing every up shard's partitions, with the shared
+    stopping band [tolerance_factor · Σ_s ε₂·m_s] and one deadline.
+    A shard whose breaker opens (or whose probes exhaust their
+    retries) mid-query is dropped and the bisection restarts over the
+    survivors with the bound widened by its elements; deadline cuts
+    return the fused quick answer clamped into the surviving filter
+    interval. The report's degradation composes worst-wins. *)
+val accurate :
+  ?tolerance_factor:float -> ?deadline_ms:float -> t -> rank:int -> int * query_report
+
+(** φ-quantile (rank = ⌈φ·N⌉ over the fused population). *)
+val quantile : t -> float -> int * query_report
+
+(** {1 Fault domains} *)
+
+(** Take a shard down administratively (its device died, its process
+    was killed): the engine is crash-released (nothing acknowledged is
+    lost under WAL [Always]), the shard's element count is frozen for
+    bound widening, and subsequent routing to it raises
+    {!Shard_unavailable}. No-op on an already-down shard. *)
+val mark_down : t -> int -> reason:string -> unit
+
+(** Reason a shard is down, if it is. *)
+val down_reason : t -> int -> string option
+
+(** Bring a down shard back: per-shard {!Hsq.Engine.open_or_recover} +
+    repair scrub, zero acknowledged-observation loss. Only durable
+    groups can rejoin (a volatile shard's data died with it). *)
+val rejoin :
+  t -> int -> (Hsq.Engine.recovery_report * Hsq.Persist.scrub_report, string) result
+
+(** Repair-scrub every up shard. *)
+val scrub : ?repair:bool -> t -> (int * Hsq.Persist.scrub_report) list
+
+(** {1 Lifecycle} *)
+
+val checkpoint_now : t -> unit
+val close : t -> unit
+
+(** Test helper: power-cut every up shard. *)
+val crash : t -> unit
+
+val is_closed : t -> bool
+
+(** {1 Metrics}
+
+    Each shard keeps its own registry (reachable via {!engine});
+    creation also sets an [hsq_shard_index] gauge in each. The group
+    exporters merge them, labelling per-shard metrics with
+    [shard="<k>"] (Prometheus) or nesting them under ["shards"]
+    (JSON). [extra] prepends another registry's metrics unlabelled —
+    the serve daemon passes its own. *)
+
+val metrics_json : ?extra:Hsq_obs.Metrics.t -> t -> string
+
+val metrics_prometheus : ?extra:Hsq_obs.Metrics.t -> t -> string

@@ -325,6 +325,108 @@ let test_flood () =
       | Some n -> Alcotest.(check int) "shed counter agrees" !shed n
       | None -> Alcotest.fail "no shed counter")
 
+(* Regression: a client connecting while the drain is in progress must
+   be told [shutting_down] and disconnected — never left hanging in the
+   accept backlog, never reset without an answer.  (The listener used
+   to stay silent between the drain request and the final close,
+   stranding mid-drain connectors.) *)
+let test_drain_race () =
+  let eng, _ = preloaded_engine ~seed:6 ~steps:2 ~per_step:500 ~stream:100 () in
+  with_server eng (fun srv listen ->
+      (* occupy the engine thread so the drain has admitted work to
+         wait for — that's the window the race lives in *)
+      let blocker =
+        Thread.create (fun () -> Server.submit_fn srv (fun _ -> Thread.delay 1.0)) ()
+      in
+      Thread.delay 0.1;
+      Server.request_stop srv;
+      Thread.delay 0.1 (* the drain is now blocked on the job above *);
+      let path = match listen with Server.Unix_sock p -> p | _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.7;
+      let buf = Bytes.create 1024 in
+      (match Unix.read fd buf 0 1024 with
+      | 0 -> Alcotest.fail "mid-drain connection closed without an answer"
+      | n -> (
+        let line = String.trim (Bytes.sub_string buf 0 n) in
+        match Json.of_string line with
+        | Error e -> Alcotest.failf "mid-drain refusal is not JSON (%s): %s" e line
+        | Ok r ->
+          Alcotest.(check (option string))
+            "mid-drain connect refused cleanly" (Some "shutting_down") (Client.error_kind r))
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Alcotest.fail "mid-drain connection hung with no refusal");
+      Unix.close fd;
+      Thread.join blocker;
+      Server.wait srv;
+      Alcotest.(check bool) "engine closed after drain" true (E.is_closed eng);
+      (* after the drain completes the socket is gone: connects fail
+         outright rather than being refused politely *)
+      match Client.connect ~retries:2 ~retry_delay_s:0.01 listen with
+      | c2 ->
+        Client.close c2;
+        Alcotest.fail "connect after full drain must fail"
+      | exception _ -> ())
+
+(* --- sharded backend over the wire -------------------------------------- *)
+
+module G = Hsq_shard.Shard_group
+
+let test_sharded_server () =
+  let config =
+    Hsq.Config.make ~kappa:3 ~block_size:32 ~shards:3 (Hsq.Config.Epsilon 0.05)
+  in
+  let g = G.create config in
+  let oracle = Hsq_workload.Oracle.create () in
+  with_temp_dir (fun dir ->
+      let listen = Server.Unix_sock (Filename.concat dir "hsq.sock") in
+      let srv = Server.create_group (Server.default_config listen) g in
+      Server.start srv;
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () ->
+          let c = Client.connect listen in
+          let rng = Hsq_util.Xoshiro.create 0x51AB in
+          for _ = 1 to 3 do
+            let batch = Array.init 400 (fun _ -> Hsq_util.Xoshiro.int rng 100_000) in
+            let applied = Client.observe c batch in
+            Alcotest.(check int) "all applied" (Array.length batch) applied;
+            Array.iter (Hsq_workload.Oracle.add oracle) batch;
+            Client.end_step c
+          done;
+          let stats = Client.stats c in
+          Alcotest.(check (option int)) "stats: shard count" (Some 3) (Json.get_int stats "shards");
+          Alcotest.(check (option int)) "stats: n" (Some 1_200) (Json.get_int stats "n");
+          check_bounded ~what:"group quick" oracle (Client.quick c (`Phi 0.5));
+          check_bounded ~what:"group accurate" oracle (Client.accurate c (`Phi 0.9));
+          (* windowed queries are a single-engine feature *)
+          Alcotest.(check (option string))
+            "windowed query refused" (Some "bad_request")
+            (Client.error_kind (Client.quick ~window:1 c (`Phi 0.5)));
+          (* kill a shard on the engine thread, under the live server:
+             fused answers keep flowing, degraded and honest *)
+          Server.submit_group_fn srv (fun g -> G.mark_down g 1 ~reason:"chaos");
+          let r = Client.quick c (`Phi 0.5) in
+          Alcotest.(check bool) "degraded quick still answers" true (Client.is_ok r);
+          Alcotest.(check (option string))
+            "degradation on the wire" (Some "shard_down") (Json.get_str r "degradation");
+          let acc = Client.accurate c (`Phi 0.5) in
+          Alcotest.(check bool) "degraded accurate still answers" true (Client.is_ok acc);
+          let h = Client.health c in
+          Alcotest.(check (option bool)) "rollup unhealthy" (Some false)
+            (Json.get_bool h "healthy");
+          (* a shard-labelled metrics dump *)
+          (match
+             Client.request c
+               (Json.Obj [ ("op", Json.Str "metrics"); ("format", Json.Str "prometheus") ])
+             |> fun m -> Json.get_str m "body"
+           with
+          | Some body ->
+            Alcotest.(check bool) "per-shard labels" true (contains body "shard=\"0\"")
+          | None -> Alcotest.fail "no prometheus body from the sharded server");
+          Client.close c))
+
 (* --- chaos: device faults under live client traffic -------------------- *)
 
 let chaos_coin ~seed ~salt addr pct =
@@ -524,6 +626,8 @@ let () =
           Alcotest.test_case "stalled client is cut" `Quick test_slow_client;
           Alcotest.test_case "queue-aged request times out" `Quick test_queue_deadline;
           Alcotest.test_case "2x-capacity flood sheds explicitly" `Quick test_flood;
+          Alcotest.test_case "mid-drain connect gets shutting_down" `Quick test_drain_race;
+          Alcotest.test_case "sharded backend over the wire" `Quick test_sharded_server;
         ] );
       ( "chaos",
         [

@@ -1,0 +1,445 @@
+(* Unit tests for the sharded warehouse: routing, fused-summary
+   equivalence, degradation algebra, exact bound widening for down
+   shards, worst-wins composition under deadlines, and the recovery
+   gauges surfaced through the health rollup. *)
+
+module E = Hsq.Engine
+module G = Hsq_shard.Shard_group
+module Us = Hsq.Union_summary
+module Li = Hsq_hist.Level_index
+module Metrics = Hsq_obs.Metrics
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let config ?(shards = 1) ?wal_dir () =
+  Hsq.Config.make ~kappa:3 ~block_size:32 ~quarantine_after:2 ~shards ?wal_dir
+    (Hsq.Config.Epsilon 0.05)
+
+let temp_dir prefix =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* --- routing ------------------------------------------------------------ *)
+
+let test_route_deterministic () =
+  let g = G.create (config ~shards:4 ()) in
+  let hits = Array.make 4 0 in
+  for v = 0 to 9_999 do
+    let s = G.route g v in
+    Alcotest.(check bool) "route in range" true (s >= 0 && s < 4);
+    Alcotest.(check int) "route is deterministic" s (G.route g v);
+    hits.(s) <- hits.(s) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n < 1_000 then Alcotest.failf "shard %d badly underloaded: %d/10000 values" i n)
+    hits;
+  G.close g
+
+let test_route_matches_observe () =
+  let g = G.create (config ~shards:3 ()) in
+  for v = 0 to 500 do
+    G.observe g (v * 7919)
+  done;
+  let by_engine = List.map (fun (i, e) -> (i, E.total_size e)) (G.engines g) in
+  List.iter
+    (fun (i, n) ->
+      let expected = ref 0 in
+      for v = 0 to 500 do
+        if G.route g (v * 7919) = i then incr expected
+      done;
+      Alcotest.(check int) (Printf.sprintf "shard %d got its routed values" i) !expected n)
+    by_engine;
+  Alcotest.(check int) "nothing lost" 501 (G.total_size g);
+  G.close g
+
+(* --- fused summary ------------------------------------------------------ *)
+
+(* With a single stream, build_fused must agree entry-for-entry
+   (including float bounds) with the steady-state single-engine path —
+   the K=1 fusion is literally the engine's own summary. *)
+let test_build_fused_singleton () =
+  let eng = E.create (config ()) in
+  let rng = Hsq_util.Xoshiro.create 0xF00D in
+  for _ = 1 to 5 do
+    ignore (E.ingest_batch eng (Array.init 400 (fun _ -> Hsq_util.Xoshiro.int rng 100_000)))
+  done;
+  for _ = 1 to 137 do
+    E.observe eng (Hsq_util.Xoshiro.int rng 100_000)
+  done;
+  let agg = Us.hist_aggregate ~partitions:(Li.active_partitions (E.hist eng)) in
+  let stream = E.stream_summary eng in
+  let reference = Us.build_from_agg ~agg ~stream in
+  let fused = Us.build_fused ~agg ~streams:[ stream ] in
+  Alcotest.(check bool) "fused[1 stream] == build_from_agg" true (Us.equal reference fused);
+  E.close eng
+
+(* Fused windows must bracket the true union rank: check every entry of
+   a K=3 fusion against an exact oracle. *)
+let test_fused_windows_bracket () =
+  let g = G.create (config ~shards:3 ()) in
+  let oracle = Hsq_workload.Oracle.create () in
+  let rng = Hsq_util.Xoshiro.create 0xBEEF in
+  for step = 1 to 4 do
+    for _ = 1 to 600 do
+      let v = Hsq_util.Xoshiro.int rng 50_000 in
+      G.observe g v;
+      Hsq_workload.Oracle.add oracle v
+    done;
+    if step < 4 then ignore (G.end_time_step g)
+  done;
+  let partitions =
+    List.concat_map (fun (_, e) -> Li.active_partitions (E.hist e)) (G.engines g)
+  in
+  let streams = List.map (fun (_, e) -> E.stream_summary e) (G.engines g) in
+  let us = Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams in
+  Alcotest.(check int) "fused n_total" (G.total_size g) (Us.n_total us);
+  Array.iter
+    (fun { Us.value; lower; upper } ->
+      (* a value answers any rank in [|{x<v}|+1, |{x≤v}|]; the fused
+         window must intersect that legitimate interval *)
+      let hi_true = float_of_int (Hsq_workload.Oracle.rank_of oracle value) in
+      let lo_true = float_of_int (Hsq_workload.Oracle.rank_of oracle (value - 1) + 1) in
+      if lower > hi_true || upper < lo_true then
+        Alcotest.failf "value %d: legitimate ranks [%.0f, %.0f] outside fused window [%.1f, %.1f]"
+          value lo_true hi_true lower upper)
+    (Us.entries us);
+  G.close g
+
+(* --- degradation algebra ------------------------------------------------ *)
+
+let test_worst_degradation () =
+  let check name expected a b =
+    Alcotest.(check string)
+      name
+      (G.degradation_label expected)
+      (G.degradation_label (G.worst_degradation a b));
+    (* symmetry (up to payload merge) *)
+    Alcotest.(check int)
+      (name ^ " symmetric severity")
+      (G.severity (G.worst_degradation a b))
+      (G.severity (G.worst_degradation b a))
+  in
+  check "none vs quarantined" (`Quarantined 3) `None (`Quarantined 3);
+  check "quarantined vs deadline" `Deadline (`Quarantined 3) `Deadline;
+  check "deadline vs device_open" `Device_open `Deadline `Device_open;
+  check "device_open vs shard_down" (`Shard_down [ 1 ]) `Device_open (`Shard_down [ 1 ]);
+  check "shard_down vs deadline" (`Shard_down [ 2 ]) (`Shard_down [ 2 ]) `Deadline;
+  (match G.worst_degradation (`Quarantined 2) (`Quarantined 7) with
+  | `Quarantined 7 -> ()
+  | d -> Alcotest.failf "quarantine merge: got %s" (G.degradation_label d));
+  match G.worst_degradation (`Shard_down [ 3; 1 ]) (`Shard_down [ 1; 2 ]) with
+  | `Shard_down [ 1; 2; 3 ] -> ()
+  | `Shard_down ks ->
+    Alcotest.failf "shard list union: got [%s]"
+      (String.concat ";" (List.map string_of_int ks))
+  | d -> Alcotest.failf "shard list union: got %s" (G.degradation_label d)
+
+(* --- exact widening ----------------------------------------------------- *)
+
+(* Two K=3 groups over the same value stream: A ingests everything and
+   then loses shard [victim]; B ingests only the values routed to A's
+   survivors.  The surviving state is identical, so the fused quick
+   answers must agree exactly and A's bound must exceed B's by exactly
+   the victim's element count — the down shard widens the bound by its
+   elements, no more, no less. *)
+let test_down_shard_widens_exactly () =
+  let a = G.create (config ~shards:3 ()) in
+  let b = G.create (config ~shards:3 ()) in
+  let victim = 1 in
+  let rng = Hsq_util.Xoshiro.create 0xACE in
+  let victim_count = ref 0 in
+  for step = 1 to 3 do
+    for _ = 1 to 500 do
+      let v = Hsq_util.Xoshiro.int rng 80_000 in
+      G.observe a v;
+      if G.route a v = victim then incr victim_count else G.observe b v
+    done;
+    if step < 3 then begin
+      ignore (G.end_time_step a);
+      ignore (G.end_time_step b)
+    end
+  done;
+  G.mark_down a victim ~reason:"unit test";
+  Alcotest.(check (list int)) "A reports the victim down" [ victim ] (G.shards_down a);
+  Alcotest.(check int) "frozen element count" !victim_count (G.down_elements a);
+  let n = G.total_size b in
+  List.iter
+    (fun rank ->
+      let va, bound_a, deg_a = G.quick_with_bound a ~rank in
+      let vb, bound_b, deg_b = G.quick_with_bound b ~rank in
+      Alcotest.(check int) (Printf.sprintf "rank %d: same answer" rank) vb va;
+      (match deg_a with
+      | `Shard_down [ s ] when s = victim -> ()
+      | d -> Alcotest.failf "rank %d: A degradation %s" rank (G.degradation_label d));
+      (match deg_b with
+      | `None -> ()
+      | d -> Alcotest.failf "rank %d: B degradation %s" rank (G.degradation_label d));
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "rank %d: bound widens by exactly the victim's %d elements" rank
+           !victim_count)
+        (bound_b +. float_of_int !victim_count)
+        bound_a)
+    [ 1; n / 4; n / 2; (3 * n) / 4; n ];
+  G.close a;
+  G.close b
+
+(* --- worst-wins under a deadline ---------------------------------------- *)
+
+let test_shard_down_beats_deadline () =
+  let g = G.create (config ~shards:3 ()) in
+  let oracle = Hsq_workload.Oracle.create () in
+  let rng = Hsq_util.Xoshiro.create 0xD1CE in
+  for _step = 1 to 4 do
+    for _ = 1 to 800 do
+      let v = Hsq_util.Xoshiro.int rng 200_000 in
+      G.observe g v;
+      Hsq_workload.Oracle.add oracle v
+    done;
+    ignore (G.end_time_step g)
+  done;
+  G.mark_down g 2 ~reason:"unit test";
+  let rank = G.total_size g / 2 in
+  (* An effectively-zero deadline forces a cut; the report must still
+     lead with the worse Shard_down and keep an honest bound. *)
+  let v, report = G.accurate ~deadline_ms:0.000_001 g ~rank in
+  (match report.G.degradation with
+  | `Shard_down [ 2 ] -> ()
+  | d -> Alcotest.failf "expected shard_down to win over deadline, got %s" (G.degradation_label d));
+  let err = Hsq_workload.Oracle.rank_error oracle ~rank ~value:v in
+  if float_of_int err > report.G.rank_error_bound then
+    Alcotest.failf "deadline-cut error %d above bound %.1f" err report.G.rank_error_bound;
+  G.close g
+
+(* --- accurate under a down shard holds its bound ------------------------ *)
+
+let test_accurate_bound_with_down_shard () =
+  let g = G.create (config ~shards:4 ()) in
+  let oracle = Hsq_workload.Oracle.create () in
+  let rng = Hsq_util.Xoshiro.create 0xFACE in
+  for _step = 1 to 5 do
+    for _ = 1 to 700 do
+      let v = Hsq_util.Xoshiro.int rng 1_000_000 in
+      G.observe g v;
+      Hsq_workload.Oracle.add oracle v
+    done;
+    ignore (G.end_time_step g)
+  done;
+  G.mark_down g 0 ~reason:"unit test";
+  let n = G.total_size g in
+  List.iter
+    (fun rank ->
+      let v, report = G.accurate g ~rank in
+      (match report.G.degradation with
+      | `Shard_down [ 0 ] -> ()
+      | d -> Alcotest.failf "rank %d: degradation %s" rank (G.degradation_label d));
+      let err = Hsq_workload.Oracle.rank_error oracle ~rank ~value:v in
+      if float_of_int err > report.G.rank_error_bound then
+        Alcotest.failf "rank %d: error %d above reported bound %.1f" rank err
+          report.G.rank_error_bound;
+      (* the widening is bounded by the dead shard's elements plus the
+         healthy ±εm band *)
+      let healthy_band = (G.epsilon g *. float_of_int (G.total_size g)) +. 20.0 in
+      if report.G.rank_error_bound > float_of_int (G.down_elements g) +. healthy_band then
+        Alcotest.failf "rank %d: bound %.1f wider than down elements %d + healthy band %.1f"
+          rank report.G.rank_error_bound (G.down_elements g) healthy_band)
+    [ 1; n / 3; n / 2; n ];
+  G.close g
+
+(* --- ingest containment ------------------------------------------------- *)
+
+let test_observe_down_shard_raises () =
+  let g = G.create (config ~shards:2 ()) in
+  for v = 0 to 99 do
+    G.observe g v
+  done;
+  G.mark_down g 0 ~reason:"gone";
+  let routed_down = List.filter (fun v -> G.route g v = 0) (List.init 50 (fun i -> i + 1000)) in
+  List.iter
+    (fun v ->
+      match G.observe g v with
+      | () -> Alcotest.fail "observe to a down shard must raise"
+      | exception G.Shard_unavailable (0, reason) ->
+        Alcotest.(check string) "carries the down reason" "gone" reason)
+    routed_down;
+  Alcotest.(check bool) "routed_down test values exist" true (routed_down <> []);
+  (* survivors keep acknowledging *)
+  let before = G.total_size g in
+  let routed_up = List.filter (fun v -> G.route g v = 1) (List.init 50 (fun i -> i + 2000)) in
+  List.iter (G.observe g) routed_up;
+  Alcotest.(check int) "survivor observes acked" (before + List.length routed_up)
+    (G.total_size g);
+  G.close g
+
+(* --- durable groups: recovery gauges, rejoin, health rollup ------------- *)
+
+let test_recovery_gauges_and_rejoin () =
+  let root = temp_dir "hsq_shard_recovery" in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf root with _ -> ())
+    (fun () ->
+      let cfg = config ~shards:2 ~wal_dir:root () in
+      let g, recs = G.open_or_recover cfg in
+      List.iter
+        (fun { G.shard = _; outcome } ->
+          if Result.is_error outcome then Alcotest.fail "fresh open must recover cleanly")
+        recs;
+      let rng = Hsq_util.Xoshiro.create 0x5EED in
+      let acked = ref [] in
+      for _ = 1 to 400 do
+        let v = Hsq_util.Xoshiro.int rng 30_000 in
+        G.observe g v;
+        acked := v :: !acked
+      done;
+      ignore (G.end_time_step g);
+      for _ = 1 to 120 do
+        let v = Hsq_util.Xoshiro.int rng 30_000 in
+        G.observe g v;
+        acked := v :: !acked
+      done;
+      let total = G.total_size g in
+      Alcotest.(check int) "acked count" (List.length !acked) total;
+      (* power-cut the whole group; reopen replays each shard's WAL *)
+      G.crash g;
+      let g2, recs2 = G.open_or_recover cfg in
+      List.iter
+        (fun { G.shard; outcome } ->
+          match outcome with
+          | Error msg -> Alcotest.failf "shard %d failed to recover: %s" shard msg
+          | Ok (r : E.recovery_report) -> (
+            (* satellite: the recovery counters are published as pull
+               gauges on the shard's own registry, exactly matching the
+               report the open returned *)
+            match G.engine g2 shard with
+            | None -> Alcotest.fail "recovered shard must be up"
+            | Some e ->
+              let gauge name =
+                match Metrics.gauge_value (E.metrics e) name with
+                | Some v -> int_of_float v
+                | None -> Alcotest.failf "shard %d: gauge %s missing" shard name
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "shard %d: hsq_recovery_wal_replayed" shard)
+                r.E.replayed
+                (gauge "hsq_recovery_wal_replayed");
+              Alcotest.(check int)
+                (Printf.sprintf "shard %d: hsq_recovery_checkpoint_used" shard)
+                (if r.E.checkpoint_used then 1 else 0)
+                (gauge "hsq_recovery_checkpoint_used");
+              Alcotest.(check int)
+                (Printf.sprintf "shard %d: hsq_recovery_steps_reingested" shard)
+                r.E.steps_reingested
+                (gauge "hsq_recovery_steps_reingested");
+              (* ... and the health surface exposes the same numbers *)
+              let h = Hsq_serve.Health.collect e in
+              (match h.Hsq_serve.Health.recovery with
+              | None -> Alcotest.failf "shard %d: health lost the recovery info" shard
+              | Some ri ->
+                Alcotest.(check int) "health wal_replayed" r.E.replayed
+                  ri.Hsq_serve.Health.wal_replayed;
+                Alcotest.(check bool) "health checkpoint_used" r.E.checkpoint_used
+                  ri.Hsq_serve.Health.checkpoint_used)))
+        recs2;
+      Alcotest.(check int) "zero acked loss across the crash" total (G.total_size g2);
+      (* mark one shard down, then rejoin: durable shards come back with
+         everything they acknowledged *)
+      G.mark_down g2 1 ~reason:"unit test";
+      let gh = Hsq_serve.Health.collect_group g2 in
+      Alcotest.(check bool) "rollup sees the down shard" false
+        (Hsq_serve.Health.group_healthy gh);
+      Alcotest.(check int) "rollup exit code" 1 (Hsq_serve.Health.group_exit_code gh);
+      (match G.rejoin g2 1 with
+      | Error msg -> Alcotest.failf "rejoin failed: %s" msg
+      | Ok (_recovery, scrub) ->
+        Alcotest.(check int) "rejoin scrub clean" 0 scrub.Hsq.Persist.still_quarantined);
+      Alcotest.(check (list int)) "no shards down after rejoin" [] (G.shards_down g2);
+      Alcotest.(check int) "zero acked loss across the rejoin" total (G.total_size g2);
+      Alcotest.(check bool) "rollup healthy again" true
+        (Hsq_serve.Health.group_healthy (Hsq_serve.Health.collect_group g2));
+      G.close g2)
+
+let test_volatile_rejoin_refused () =
+  let g = G.create (config ~shards:2 ()) in
+  G.mark_down g 0 ~reason:"gone";
+  (match G.rejoin g 0 with
+  | Ok _ -> Alcotest.fail "volatile rejoin must be refused"
+  | Error _ -> ());
+  G.close g
+
+(* --- metrics exporters -------------------------------------------------- *)
+
+let test_metrics_labels () =
+  let g = G.create (config ~shards:2 ()) in
+  for v = 0 to 200 do
+    G.observe g v
+  done;
+  ignore (G.end_time_step g);
+  let prom = G.metrics_prometheus g in
+  List.iter
+    (fun label ->
+      if not (contains ~sub:label prom) then Alcotest.failf "prometheus dump missing %s" label)
+    [ "shard=\"0\""; "shard=\"1\""; "hsq_shard_index{shard=\"0\"}" ];
+  (* every sample line carries a shard label; comments never do *)
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' && not (contains ~sub:"shard=\"" line) then
+        Alcotest.failf "unlabelled sample line: %s" line)
+    (String.split_on_char '\n' prom);
+  let json = G.metrics_json g in
+  List.iter
+    (fun sub ->
+      if not (contains ~sub json) then Alcotest.failf "json dump missing %s" sub)
+    [ "\"shards\":{"; "\"0\":{"; "\"1\":{" ];
+  G.mark_down g 1 ~reason:"x";
+  if not (contains ~sub:"\"down\":true" (G.metrics_json g)) then
+    Alcotest.fail "down shard must be marked in the json dump";
+  G.close g
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "deterministic and balanced" `Quick test_route_deterministic;
+          Alcotest.test_case "matches observe placement" `Quick test_route_matches_observe;
+        ] );
+      ( "fusion",
+        [
+          Alcotest.test_case "singleton fusion is exact" `Quick test_build_fused_singleton;
+          Alcotest.test_case "fused windows bracket true ranks" `Quick
+            test_fused_windows_bracket;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "worst wins, payloads merge" `Quick test_worst_degradation;
+          Alcotest.test_case "shard_down beats deadline" `Quick test_shard_down_beats_deadline;
+        ] );
+      ( "fault domains",
+        [
+          Alcotest.test_case "down shard widens bound exactly" `Quick
+            test_down_shard_widens_exactly;
+          Alcotest.test_case "accurate bound honest with a down shard" `Quick
+            test_accurate_bound_with_down_shard;
+          Alcotest.test_case "observe to a down shard raises" `Quick
+            test_observe_down_shard_raises;
+          Alcotest.test_case "volatile rejoin refused" `Quick test_volatile_rejoin_refused;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "recovery gauges, rejoin, health rollup" `Quick
+            test_recovery_gauges_and_rejoin;
+        ] );
+      ( "metrics", [ Alcotest.test_case "shard labels" `Quick test_metrics_labels ] );
+    ]
