@@ -1,0 +1,150 @@
+(* Concurrent-ingest scaling: observe throughput at D ∈ {1, 2, 4, 8}
+   ingest lanes, volatile and durable.
+
+   D = 1 is the classic single-writer path (per-element GK insert, the
+   paper's StreamUpdate); D > 1 drives the shard-local lane buffers
+   through the same persistent Parallel.Pool the CLI uses, so each lane
+   hands whole sorted runs into the sketch (Gk.insert_sorted_batch)
+   under one propagation lock.  On a small box the speedup is dominated
+   by that batching — one O(s + k) merge per hand-off instead of k
+   O(s) tuple-array shifts — with thread parallelism stacked on top
+   when cores allow, which is exactly the claim DESIGN.md §15 makes.
+
+   Durable rows run under group-commit (--wal-sync group:256 moral
+   equivalent) so the table shows lane scaling, not fsync latency; the
+   zero-acknowledged-loss policy (Always) is covered by the crash
+   harnesses, not a throughput table.
+
+   Exit status: nonzero if the D = 4 volatile row fails the >= 3x
+   speedup floor over D = 1 (the PR's acceptance gate), unless
+   --no-gate. *)
+
+let n_elements = 400_000
+let n_durable = 120_000
+let domains_axis = [ 1; 2; 4; 8 ]
+
+let now = Unix.gettimeofday
+
+type row = {
+  label : string;
+  elems : int;
+  elapsed : float;
+  speedup : float; (* vs the D = 1 row of the same storage mode *)
+}
+
+let rate r = float_of_int r.elems /. r.elapsed
+
+(* Drive [n] seeded elements into [eng] on D lanes; step every
+   [step_every] so the warehouse side participates too. *)
+let ingest eng ~domains ~n ~seed =
+  let rng = Random.State.make [| seed; domains |] in
+  let step_every = n / 4 in
+  let chunk = 4_096 in
+  let pool =
+    if domains > 1 then Some (Hsq_util.Parallel.Pool.create ~workers:(domains - 1) ())
+    else None
+  in
+  let buf = Array.make chunk 0 in
+  let t0 = now () in
+  let fed = ref 0 in
+  while !fed < n do
+    let k = min chunk (n - !fed) in
+    for i = 0 to k - 1 do
+      buf.(i) <- Random.State.int rng 10_000_000
+    done;
+    (match pool with
+    | None ->
+      for i = 0 to k - 1 do
+        Hsq.Engine.observe eng buf.(i)
+      done
+    | Some p ->
+      let per_lane = (k + domains - 1) / domains in
+      Hsq_util.Parallel.Pool.run p ~n:domains (fun d ->
+          let lo = d * per_lane in
+          let hi = min k (lo + per_lane) in
+          for i = lo to hi - 1 do
+            Hsq.Engine.observe_domain eng ~domain:d buf.(i)
+          done);
+      ignore (Hsq.Engine.checkpoint_if_due eng));
+    fed := !fed + k;
+    if !fed mod step_every = 0 && !fed < n then ignore (Hsq.Engine.end_time_step eng)
+  done;
+  Hsq.Engine.flush_ingest eng;
+  let elapsed = now () -. t0 in
+  Option.iter Hsq_util.Parallel.Pool.shutdown pool;
+  elapsed
+
+let run_volatile ~domains ~seed =
+  let eng =
+    Hsq.Engine.create (Hsq.Config.make ~ingest_domains:domains (Hsq.Config.Epsilon 0.01))
+  in
+  let elapsed = ingest eng ~domains ~n:n_elements ~seed in
+  let total = Hsq.Engine.total_size eng in
+  if total <> n_elements then (
+    Printf.eprintf "ingest_bench: VOLATILE D=%d lost elements (%d <> %d)\n" domains total
+      n_elements;
+    exit 2);
+  (elapsed, n_elements)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let run_durable ~domains ~seed =
+  let dir = Filename.temp_file "hsq-ingest-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let config =
+    Hsq.Config.make ~ingest_domains:domains ~wal_dir:dir
+      ~wal_sync:(Hsq_storage.Wal.Group 256) ~checkpoint_every:20_000
+      (Hsq.Config.Epsilon 0.01)
+  in
+  let eng, _ = Hsq.Engine.open_or_recover config in
+  let elapsed = ingest eng ~domains ~n:n_durable ~seed in
+  let total = Hsq.Engine.total_size eng in
+  Hsq.Engine.close eng;
+  (try rm_rf dir with Sys_error _ -> ());
+  if total <> n_durable then (
+    Printf.eprintf "ingest_bench: DURABLE D=%d lost elements (%d <> %d)\n" domains total
+      n_durable;
+    exit 2);
+  (elapsed, n_durable)
+
+let () =
+  let seed = ref 42 and gate = ref true in
+  let spec =
+    [
+      ("--seed", Arg.Set_int seed, "N workload seed");
+      ("--no-gate", Arg.Clear gate, " report only; do not enforce the 3x floor");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "ingest_bench [options]";
+  let measure mode runner =
+    let base = ref nan in
+    List.map
+      (fun d ->
+        let elapsed, elems = runner ~domains:d ~seed:!seed in
+        if d = 1 then base := elapsed;
+        {
+          label = Printf.sprintf "%s D=%d" mode d;
+          elems;
+          elapsed;
+          speedup = !base /. elapsed;
+        })
+      domains_axis
+  in
+  let vol = measure "volatile" run_volatile in
+  let dur = measure "durable " run_durable in
+  Printf.printf "ingest_bench: %d volatile / %d durable elements per row, seed %d\n" n_elements
+    n_durable !seed;
+  Printf.printf "%-14s %12s %12s %9s\n" "config" "elements/s" "elapsed_s" "speedup";
+  List.iter
+    (fun r -> Printf.printf "%-14s %12.0f %12.3f %8.2fx\n" r.label (rate r) r.elapsed r.speedup)
+    (vol @ dur);
+  let d4 = List.nth vol 2 in
+  Printf.printf "gate: volatile D=4 speedup %.2fx (floor 3.00x) — %s\n" d4.speedup
+    (if d4.speedup >= 3.0 then "PASS" else "FAIL");
+  if !gate && d4.speedup < 3.0 then exit 1

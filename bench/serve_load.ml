@@ -25,6 +25,8 @@ type opts = {
   mutable queue_depth : int;
   mutable seed : int;
   mutable shards : int;
+  mutable ingest_domains : int;
+  mutable ingest_heavy : bool;
 }
 
 let parse_args () =
@@ -37,6 +39,8 @@ let parse_args () =
       queue_depth = 128;
       seed = 42;
       shards = 1;
+      ingest_domains = 1;
+      ingest_heavy = false;
     }
   in
   let spec =
@@ -47,6 +51,12 @@ let parse_args () =
       ("--queue-depth", Arg.Int (fun n -> o.queue_depth <- n), "N self-serve admission capacity");
       ("--seed", Arg.Int (fun n -> o.seed <- n), "N workload seed");
       ("--shards", Arg.Int (fun k -> o.shards <- k), "K self-serve sharded backend (default 1)");
+      ( "--ingest-domains",
+        Arg.Int (fun d -> o.ingest_domains <- d),
+        "D self-serve concurrent ingest lanes (default 1)" );
+      ( "--ingest-heavy",
+        Arg.Unit (fun () -> o.ingest_heavy <- true),
+        " invert the mix to 20/10/70 quick/accurate/ingest (writer-bound load)" );
       ( "--smoke",
         Arg.Unit
           (fun () ->
@@ -78,8 +88,10 @@ let percentile sorted q =
 
 let now = Unix.gettimeofday
 
-(* One worker: a seeded 70/20/10 quick/accurate/ingest mix. *)
-let worker listen ~seed ~deadline tallies =
+(* One worker: a seeded quick/accurate/ingest mix — 70/20/10 by
+   default, 20/10/70 under --ingest-heavy (where the daemon's parallel
+   ingest lanes should keep writers from queueing behind queries). *)
+let worker listen ~seed ~deadline ~mix:(quick_lt, acc_lt) tallies =
   let rng = Random.State.make [| seed |] in
   let c = Client.connect listen in
   let record cls f =
@@ -106,9 +118,9 @@ let worker listen ~seed ~deadline tallies =
   (try
      while now () < deadline do
        let r = Random.State.int rng 100 in
-       if r < 70 then
+       if r < quick_lt then
          record 0 (fun () -> Client.quick c (`Phi (0.01 +. Random.State.float rng 0.98)))
-       else if r < 90 then
+       else if r < acc_lt then
          record 1 (fun () ->
              Client.accurate c ~deadline_ms:500.0 (`Phi (0.01 +. Random.State.float rng 0.98)))
        else
@@ -151,7 +163,8 @@ let () =
         if o.shards > 1 then begin
           let g =
             Hsq_shard.Shard_group.create
-              (Hsq.Config.make ~shards:o.shards (Hsq.Config.Epsilon 0.01))
+              (Hsq.Config.make ~shards:o.shards ~ingest_domains:o.ingest_domains
+                 (Hsq.Config.Epsilon 0.01))
           in
           preload
             ~observe:(Hsq_shard.Shard_group.observe g)
@@ -160,7 +173,10 @@ let () =
           Server.create_group config g
         end
         else begin
-          let eng = Hsq.Engine.create (Hsq.Config.make (Hsq.Config.Epsilon 0.01)) in
+          let eng =
+            Hsq.Engine.create
+              (Hsq.Config.make ~ingest_domains:o.ingest_domains (Hsq.Config.Epsilon 0.01))
+          in
           preload ~observe:(Hsq.Engine.observe eng)
             ~end_step:(fun () -> ignore (Hsq.Engine.end_time_step eng))
             ~seed:o.seed;
@@ -173,10 +189,13 @@ let () =
   let deadline = now () +. o.duration_s in
   let per_worker = Array.init o.conns (fun _ -> new_tallies ()) in
   let t0 = now () in
+  let mix = if o.ingest_heavy then (20, 30) else (70, 90) in
   let threads =
     Array.mapi
       (fun i tallies ->
-        Thread.create (fun () -> worker listen ~seed:(o.seed + (31 * i)) ~deadline tallies) ())
+        Thread.create
+          (fun () -> worker listen ~seed:(o.seed + (31 * i)) ~deadline ~mix tallies)
+          ())
       per_worker
   in
   Array.iter Thread.join threads;
@@ -207,8 +226,12 @@ let () =
           merged.(i).errors <- merged.(i).errors + t.errors)
         tallies)
     per_worker;
-  Printf.printf "serve_load: %d conns, %.1fs, %d shard%s, %s\n" o.conns elapsed o.shards
+  Printf.printf "serve_load: %d conns, %.1fs, %d shard%s, %d ingest lane%s%s, %s\n" o.conns
+    elapsed o.shards
     (if o.shards = 1 then "" else "s")
+    o.ingest_domains
+    (if o.ingest_domains = 1 then "" else "s")
+    (if o.ingest_heavy then ", ingest-heavy mix" else "")
     (match listen with Server.Unix_sock p -> "unix:" ^ p | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p);
   Printf.printf "%-9s %9s %12s %9s %9s %9s %6s %8s\n" "class" "count" "throughput" "p50_ms"
     "p99_ms" "p999_ms" "shed" "timeout";

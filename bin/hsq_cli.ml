@@ -71,6 +71,15 @@ let deadline_ms =
   in
   Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
 
+let ingest_domains =
+  let doc =
+    "Concurrent ingest lanes: observe calls spread across $(docv) shard-local stream buffers, \
+     each handing sorted batches into the sketch under one propagation lock (simulate/stream \
+     drive the lanes themselves; serve gives each connection its own lane). Answers and \
+     durability guarantees are identical at any setting; 1 = the classic single-writer path."
+  in
+  Arg.(value & opt int 1 & info [ "ingest-domains" ] ~docv:"D" ~doc)
+
 (* Durable-ingest options (simulate, stream). *)
 let wal_sync_conv =
   let parse s =
@@ -123,14 +132,14 @@ let report_recovery (r : Hsq.Engine.recovery_report) =
 
 let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_domains
     ?query_deadline_ms ?durable ?(wal_sync = Hsq_storage.Wal.Always)
-    ?(checkpoint_every = 10_000) () =
+    ?(checkpoint_every = 10_000) ?(ingest_domains = 1) () =
   match durable with
   | Some dir ->
     if device_path <> None then
       prerr_endline "warning: --device ignored with --durable (the store supplies its own)";
     let config =
       Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
-        ~wal_dir:dir ~wal_sync ~checkpoint_every (Hsq.Config.Epsilon epsilon)
+        ~wal_dir:dir ~wal_sync ~checkpoint_every ~ingest_domains (Hsq.Config.Epsilon epsilon)
     in
     let eng, report = Hsq.Engine.open_or_recover config in
     report_recovery report;
@@ -138,7 +147,7 @@ let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_doma
   | None -> (
     let config =
       Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
-        (Hsq.Config.Epsilon epsilon)
+        ~ingest_domains (Hsq.Config.Epsilon epsilon)
     in
     match device_path with
     | None -> Hsq.Engine.create config
@@ -165,12 +174,13 @@ let report_shard_recoveries recoveries =
 
 let make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint ?query_domains
     ?query_deadline_ms ?durable ?(wal_sync = Hsq_storage.Wal.Always)
-    ?(checkpoint_every = 10_000) () =
+    ?(checkpoint_every = 10_000) ?(ingest_domains = 1) () =
   match durable with
   | Some dir ->
     let config =
       Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
-        ~wal_dir:dir ~wal_sync ~checkpoint_every ~shards (Hsq.Config.Epsilon epsilon)
+        ~wal_dir:dir ~wal_sync ~checkpoint_every ~shards ~ingest_domains
+        (Hsq.Config.Epsilon epsilon)
     in
     let g, recoveries = G.open_or_recover config in
     report_shard_recoveries recoveries;
@@ -178,7 +188,7 @@ let make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint ?query_domains
   | None ->
     G.create
       (Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms ~shards
-         (Hsq.Config.Epsilon epsilon))
+         ~ingest_domains (Hsq.Config.Epsilon epsilon))
 
 let report_group_footprint g =
   let down = G.shards_down g in
@@ -231,24 +241,58 @@ let report_footprint eng =
   Printf.printf "summary memory: %d words (%.1f KiB)\n" (Hsq.Engine.memory_words eng)
     (float_of_int (8 * Hsq.Engine.memory_words eng) /. 1024.0)
 
+(* --- multi-lane ingest driver ------------------------------------------ *)
+
+(* Slice a batch across D ingest lanes, driven by a persistent
+   Parallel.Pool (workers = D - 1; the caller takes a lane too).  One
+   submission per batch: lane d observes its contiguous slice through
+   observe_domain, so cross-lane contention is the per-batch sketch
+   propagation, never per element. *)
+let pool_ingest pool ~domains ~observe_domain batch =
+  let len = Array.length batch in
+  if len > 0 then begin
+    let chunk = (len + domains - 1) / domains in
+    Hsq_util.Parallel.Pool.run pool ~n:domains (fun d ->
+        let lo = d * chunk in
+        let hi = min len (lo + chunk) in
+        for i = lo to hi - 1 do
+          observe_domain ~domain:d batch.(i)
+        done)
+  end
+
+let make_ingest_pool ~ingest_domains =
+  if ingest_domains > 1 then
+    Some (Hsq_util.Parallel.Pool.create ~workers:(ingest_domains - 1) ())
+  else None
+
 (* --- simulate ---------------------------------------------------------- *)
 
 let save_meta =
   let doc = "After the run, save warehouse metadata here (requires --device)." in
   Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
 
-let simulate_group ~shards dataset steps step_size seed epsilon kappa block_size query_domains
-    deadline_ms phis verify durable wal_sync checkpoint_every =
+let simulate_group ~shards ~ingest_domains dataset steps step_size seed epsilon kappa
+    block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every =
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let g =
     make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:steps ?query_domains
-      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
+  in
+  let pool = make_ingest_pool ~ingest_domains in
+  let ingest batch =
+    match pool with
+    | Some p ->
+      pool_ingest p ~domains:ingest_domains
+        ~observe_domain:(fun ~domain v -> G.observe_domain g ~domain v)
+        batch;
+      ignore (G.checkpoint_if_due g)
+    | None -> Array.iter (G.observe g) batch
   in
   let oracle = if verify then Some (Hsq_workload.Oracle.create ()) else None in
   for step = 1 to steps do
     let batch = Hsq_workload.Datasets.next_batch ds step_size in
     Option.iter (fun o -> Hsq_workload.Oracle.add_batch o batch) oracle;
-    Array.iter (G.observe g) batch;
+    ingest batch;
     List.iter
       (fun (i, r) ->
         match r with
@@ -259,7 +303,9 @@ let simulate_group ~shards dataset steps step_size seed epsilon kappa block_size
   done;
   let tail = Hsq_workload.Datasets.next_batch ds (max 1 (step_size / 2)) in
   Option.iter (fun o -> Hsq_workload.Oracle.add_batch o tail) oracle;
-  Array.iter (G.observe g) tail;
+  ingest tail;
+  G.flush_ingest g;
+  Option.iter Hsq_util.Parallel.Pool.shutdown pool;
   Printf.printf "dataset=%s  " dataset;
   report_group_footprint g;
   report_group_quantiles g phis;
@@ -278,27 +324,37 @@ let simulate_group ~shards dataset steps step_size seed epsilon kappa block_size
   0
 
 let simulate dataset steps step_size seed epsilon kappa block_size device_path query_domains
-    deadline_ms phis verify save_meta durable wal_sync checkpoint_every shards =
+    deadline_ms phis verify save_meta durable wal_sync checkpoint_every shards ingest_domains =
   if shards > 1 then begin
     if device_path <> None then
       prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
     if save_meta <> None then
       prerr_endline "warning: --save-meta ignored with --shards (shards keep their own sidecars)";
-    simulate_group ~shards dataset steps step_size seed epsilon kappa block_size query_domains
-      deadline_ms phis verify durable wal_sync checkpoint_every
+    simulate_group ~shards ~ingest_domains dataset steps step_size seed epsilon kappa
+      block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every
   end
   else begin
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps ?query_domains
-      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
+  in
+  let pool = make_ingest_pool ~ingest_domains in
+  let ingest batch =
+    match pool with
+    | Some p ->
+      pool_ingest p ~domains:ingest_domains
+        ~observe_domain:(fun ~domain v -> Hsq.Engine.observe_domain eng ~domain v)
+        batch;
+      ignore (Hsq.Engine.checkpoint_if_due eng)
+    | None -> Array.iter (Hsq.Engine.observe eng) batch
   in
   let oracle = if verify then Some (Hsq_workload.Oracle.create ()) else None in
   let total_io = ref Hsq_storage.Io_stats.zero in
   for step = 1 to steps do
     let batch = Hsq_workload.Datasets.next_batch ds step_size in
     Option.iter (fun o -> Hsq_workload.Oracle.add_batch o batch) oracle;
-    Array.iter (Hsq.Engine.observe eng) batch;
+    ingest batch;
     let report = Hsq.Engine.end_time_step eng in
     total_io := Hsq_storage.Io_stats.add !total_io report.Hsq_hist.Level_index.io_total;
     if step mod 10 = 0 then Printf.eprintf "[simulate] archived step %d/%d\n%!" step steps
@@ -306,7 +362,9 @@ let simulate dataset steps step_size seed epsilon kappa block_size device_path q
   (* live stream: half a batch *)
   let tail = Hsq_workload.Datasets.next_batch ds (max 1 (step_size / 2)) in
   Option.iter (fun o -> Hsq_workload.Oracle.add_batch o tail) oracle;
-  Array.iter (Hsq.Engine.observe eng) tail;
+  ingest tail;
+  Hsq.Engine.flush_ingest eng;
+  Option.iter Hsq_util.Parallel.Pool.shutdown pool;
   Printf.printf "dataset=%s  " dataset;
   report_footprint eng;
   Printf.printf "update I/O total: %s\n"
@@ -360,7 +418,7 @@ let simulate_cmd =
     Term.(
       const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
       $ device_path $ query_domains $ deadline_ms $ phis $ verify $ save_meta $ durable_dir
-      $ wal_sync $ checkpoint_every $ shards)
+      $ wal_sync $ checkpoint_every $ shards $ ingest_domains)
 
 (* --- stream ------------------------------------------------------------- *)
 
@@ -387,17 +445,33 @@ let stream_loop ~observe ~end_step ~step_every =
   with End_of_file -> ()
 
 let stream step_every epsilon kappa block_size device_path query_domains deadline_ms phis
-    durable wal_sync checkpoint_every shards =
+    durable wal_sync checkpoint_every shards ingest_domains =
+  (* stdin is read sequentially, so lanes are driven round-robin from
+     this one thread: the win is the lanes' batched sketch hand-off
+     (sorted-run merges instead of per-element inserts), not thread
+     parallelism.  Lane hand-offs only mark checkpoint debt; this
+     thread settles it between elements. *)
+  let lane = ref 0 in
+  let next_lane () =
+    let d = !lane in
+    lane := (d + 1) mod ingest_domains;
+    d
+  in
   if shards > 1 then begin
     if device_path <> None then
       prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
     let g =
       make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
-        ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
+        ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
     in
     stream_loop ~step_every
       ~observe:(fun v ->
-        try G.observe g v
+        try
+          if ingest_domains > 1 then begin
+            G.observe_domain g ~domain:(next_lane ()) v;
+            ignore (G.checkpoint_if_due g)
+          end
+          else G.observe g v
         with G.Shard_unavailable (i, reason) ->
           Printf.eprintf "[stream] DROPPED (shard %d down: %s)\n%!" i reason)
       ~end_step:(fun () ->
@@ -408,6 +482,7 @@ let stream step_every epsilon kappa block_size device_path query_domains deadlin
             | Error msg -> Printf.eprintf "[stream] shard %d archive failed: %s\n%!" i msg)
           (G.end_time_step g);
         Printf.eprintf "[stream] archived step %d\n%!" (G.time_steps g));
+    G.flush_ingest g;
     let code =
       if G.total_size g = 0 then begin
         prerr_endline "no data read";
@@ -425,15 +500,21 @@ let stream step_every epsilon kappa block_size device_path query_domains deadlin
   else begin
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100 ?query_domains
-      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
   in
   stream_loop ~step_every
-    ~observe:(Hsq.Engine.observe eng)
+    ~observe:(fun v ->
+      if ingest_domains > 1 then begin
+        Hsq.Engine.observe_domain eng ~domain:(next_lane ()) v;
+        ignore (Hsq.Engine.checkpoint_if_due eng)
+      end
+      else Hsq.Engine.observe eng v)
     ~end_step:(fun () ->
       let report = Hsq.Engine.end_time_step eng in
       Printf.eprintf "[stream] archived step %d (%d block I/Os)\n%!"
         (Hsq.Engine.time_steps eng)
         (Hsq_storage.Io_stats.total report.Hsq_hist.Level_index.io_total));
+  Hsq.Engine.flush_ingest eng;
   let code =
     if Hsq.Engine.total_size eng = 0 then begin
       prerr_endline "no data read";
@@ -462,7 +543,8 @@ let stream_cmd =
     (Cmd.info "stream" ~doc)
     Term.(
       const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ query_domains
-      $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every $ shards)
+      $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every $ shards
+      $ ingest_domains)
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
@@ -770,7 +852,7 @@ let status_one dir pool_blocks health =
              (fun (o, m) (_, r) ->
                match r with
                | Hsq_storage.Wal.Observe _ -> (o + 1, m)
-               | Hsq_storage.Wal.End_step _ -> (o, m + 1))
+               | Hsq_storage.Wal.End_step _ | Hsq_storage.Wal.End_step_cuts _ -> (o, m + 1))
              (0, 0) records
          in
          Printf.printf "wal: %d records (%d observes, %d commit markers), seq %d..%d\n"
@@ -913,7 +995,7 @@ let metrics_cmd =
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve socket tcp epsilon kappa block_size query_domains durable wal_sync checkpoint_every
-    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms shards =
+    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms shards ingest_domains =
   let listen =
     match (socket, tcp) with
     | Some path, None -> Some (Hsq_serve.Server.Unix_sock path)
@@ -939,11 +1021,11 @@ let serve socket tcp epsilon kappa block_size query_domains durable wal_sync che
         if shards > 1 then
           Hsq_serve.Server.create_group config
             (make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
-               ?durable ~wal_sync ~checkpoint_every ())
+               ?durable ~wal_sync ~checkpoint_every ~ingest_domains ())
         else
           Hsq_serve.Server.create config
             (make_engine ~epsilon ~kappa ~block_size ~device_path:None ~steps_hint:100
-               ?query_domains ?durable ~wal_sync ~checkpoint_every ())
+               ?query_domains ?durable ~wal_sync ~checkpoint_every ~ingest_domains ())
       in
       (* Signal handlers only flip the stop atomic; the accept loop
          notices within its poll interval and runs the drain. *)
@@ -957,7 +1039,8 @@ let serve socket tcp epsilon kappa block_size query_domains durable wal_sync che
         | Hsq_serve.Server.Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
         queue_depth
         (match durable with None -> "" | Some d -> ", durable at " ^ d)
-        (if shards > 1 then Printf.sprintf ", %d shards" shards else "");
+        ((if shards > 1 then Printf.sprintf ", %d shards" shards else "")
+        ^ if ingest_domains > 1 then Printf.sprintf ", %d ingest lanes" ingest_domains else "");
       Hsq_serve.Server.wait srv;
       prerr_endline "hsq serve: drained";
       0
@@ -1010,7 +1093,7 @@ let serve_cmd =
       $ budget "accurate-budget-ms" 2000.0 "accurate-query"
       $ budget "ingest-budget-ms" 2000.0 "ingest"
       $ budget "admin-budget-ms" 1000.0 "admin"
-      $ read_timeout_ms $ shards)
+      $ read_timeout_ms $ shards $ ingest_domains)
 
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in

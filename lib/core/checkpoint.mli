@@ -11,6 +11,14 @@ type t = {
   steps_done : int;   (** warehouse time steps committed at save time *)
   batch : int array;  (** the open step's spooled elements, in order *)
   gk : int array;     (** {!Hsq_sketch.Gk.serialize} of the stream sketch *)
+  lane_seqs : int array;
+      (** last covered WAL sequence per extra ingest lane (lanes 1..D-1
+          of a multi-domain engine; lane 0 is [seq]). [[||]] for a
+          single-lane engine, which keeps the on-disk format identical
+          to the pre-lane version; a checkpoint carrying lane cuts is
+          written as format version 2, which older readers reject —
+          and a rejected checkpoint reads as absent, falling back to
+          the always-correct full WAL replay. *)
 }
 
 (** Atomically write the checkpoint to [path]. *)

@@ -36,6 +36,10 @@ type t = {
   quarantine_after : int; (* consecutive unrecoverable probe failures before
                              a partition is quarantined *)
   shards : int; (* independent engine shards in a Shard_group; 1 = single engine *)
+  ingest_domains : int; (* concurrent ingest lanes feeding the stream sketch;
+                           1 = the classic single-writer observe path *)
+  ingest_batch : int; (* elements a lane buffers before one batched hand-off
+                         into the GK sketch (the propagation granularity) *)
 }
 
 let default =
@@ -54,13 +58,16 @@ let default =
     query_deadline_ms = None;
     quarantine_after = 3;
     shards = 1;
+    ingest_domains = 1;
+    ingest_batch = 512;
   }
 
 let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memory
     ?(steps_hint = default.steps_hint) ?(stream_fraction = default.stream_fraction) ?sort_domains
     ?query_domains ?wal_dir ?(wal_sync = default.wal_sync)
     ?(checkpoint_every = default.checkpoint_every) ?query_deadline_ms
-    ?(quarantine_after = default.quarantine_after) ?(shards = default.shards) sizing =
+    ?(quarantine_after = default.quarantine_after) ?(shards = default.shards)
+    ?(ingest_domains = default.ingest_domains) ?(ingest_batch = default.ingest_batch) sizing =
   (match sizing with
   | Epsilon e when not (e > 0.0 && e < 1.0) -> invalid_arg "Config.make: epsilon not in (0,1)"
   | Epsilon _ -> ()
@@ -86,6 +93,9 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
   | _ -> ());
   if quarantine_after < 1 then invalid_arg "Config.make: quarantine_after must be >= 1";
   if shards < 1 then invalid_arg "Config.make: shards must be >= 1";
+  if ingest_domains < 1 || ingest_domains > 32 then
+    invalid_arg "Config.make: ingest_domains must lie in [1, 32]";
+  if ingest_batch < 1 then invalid_arg "Config.make: ingest_batch must be >= 1";
   {
     sizing;
     kappa;
@@ -101,6 +111,8 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
     query_deadline_ms;
     quarantine_after;
     shards;
+    ingest_domains;
+    ingest_batch;
   }
 
 (* Maximum simultaneous partitions: kappa per level, over

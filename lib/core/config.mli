@@ -52,6 +52,19 @@ type t = {
           topology, like [query_domains]: each shard persists its own
           single-engine config, so this field is never written to a
           sidecar *)
+  ingest_domains : int;
+      (** concurrent ingest lanes feeding the stream sketch (Quancurrent
+          style, DESIGN.md §15): each lane buffers [ingest_batch]
+          elements locally and hands the sorted run into the GK sketch
+          under one propagation lock. 1 = the classic single-writer
+          [observe] path with no lane machinery at all. Runtime policy,
+          like [query_domains]: never persisted, and a durable store may
+          be reopened with any lane count (recovery consolidates).
+          Validated to [1, 32]. *)
+  ingest_batch : int;
+      (** elements a lane buffers before one batched hand-off into the
+          sketch; the propagation (and snapshot) granularity. Runtime
+          policy; default 512. *)
 }
 
 val default : t
@@ -73,6 +86,8 @@ val make :
   ?query_deadline_ms:float ->
   ?quarantine_after:int ->
   ?shards:int ->
+  ?ingest_domains:int ->
+  ?ingest_batch:int ->
   sizing ->
   t
 

@@ -105,8 +105,63 @@ val memory_words : t -> int
 (** StreamUpdate (Algorithm 4) plus batch spooling. On a durable engine
     (see {!open_or_recover}) the element is appended to the write-ahead
     log first: if the append raises, the element is unacknowledged and
-    in-memory state is untouched. *)
+    in-memory state is untouched.
+
+    With [config.ingest_domains = 1] (the default) the engine is
+    single-submitter: this is the classic paper path. With
+    [ingest_domains > 1] the call routes to lane 0 of
+    {!observe_domain} and may be issued concurrently with other
+    lanes. *)
 val observe : t -> int -> unit
+
+(** {2 Concurrent ingest lanes (DESIGN.md §15)}
+
+    With [config.ingest_domains = D > 1] the engine carries D
+    shard-local stream buffers. {!observe_domain} is safe to call from
+    any thread, concurrently across lanes (and even on the same lane —
+    the lane lock serializes); each lane buffers [config.ingest_batch]
+    elements and hands the sorted run into the GK sketch under one
+    propagation lock, so contention is per batch, not per element. On a
+    durable engine each lane appends to its own WAL
+    ([wal.log], [wal-1.log], …) before buffering — the acknowledged
+    prefix is exactly what recovery reproduces, in deterministic
+    lane-major order within each step.
+
+    Everything else — queries, {!end_time_step}, {!checkpoint_now},
+    {!close} — remains single-submitter ("the engine thread"): those
+    calls may run concurrently with [observe_domain], but not with each
+    other. Queries are snapshot-consistent: they seal nothing and see
+    only whole propagated batches ([end_time_step] and range queries
+    seal-and-drain all lanes first). *)
+
+(** [observe_domain t ~domain v] — observe [v] on lane
+    [domain mod ingest_domains]. Equal to {!observe} when
+    [ingest_domains = 1]. Raises [Invalid_argument] after {!close} /
+    {!crash}. *)
+val observe_domain : t -> domain:int -> int -> unit
+
+(** Configured lane count (≥ 1). *)
+val ingest_domains : t -> int
+
+(** Seal every lane and propagate all buffered elements into the
+    sketch, then release. Call from the engine thread before reading
+    exact totals; {!end_time_step} does this implicitly. *)
+val flush_ingest : t -> unit
+
+(** Elements currently buffered in lanes (not yet in the sketch).
+    Approximate under concurrency — for gauges, not invariants. *)
+val buffered_ingest : t -> int
+
+(** [true] when lane hand-offs have accumulated enough WAL records
+    since the last checkpoint ([config.checkpoint_every]) that the
+    engine thread should call {!checkpoint_if_due}. Lanes never
+    checkpoint themselves — the engine thread settles the debt, which
+    keeps the lock order (lanes before propagation) acyclic. *)
+val ingest_checkpoint_due : t -> bool
+
+(** Take the due checkpoint (a {!checkpoint_now}) if
+    {!ingest_checkpoint_due}; returns whether one was taken. *)
+val checkpoint_if_due : t -> bool
 
 (** HistUpdate (Algorithm 3) + StreamReset. Raises [Invalid_argument]
     on an empty batch — before any WAL write, so an empty rollover is a

@@ -102,6 +102,10 @@ type t = {
   reg : Metrics.t; (* serve-owned metrics: the engine's registry for
                       Single, a standalone one for Group (shard
                       registries are merged at dump time) *)
+  ingest_lanes : int; (* > 1: connection threads run Observe directly on
+                         their own ingest lane (engine observe_domain),
+                         bypassing the single-submitter queue *)
+  ckpt_scheduled : bool Atomic.t; (* a lane-debt checkpoint job is queued *)
   adm : Admission.t;
   started_at : float;
   stop_requested : bool Atomic.t;
@@ -131,10 +135,17 @@ let create_backend config backend =
   let reg = match backend with Single e -> E.metrics e | Group _ -> Metrics.create () in
   Hsq_obs.Process.register reg;
   let counter name help = Metrics.counter ~help reg name in
+  let ingest_lanes =
+    match backend with
+    | Single e -> E.ingest_domains e
+    | Group g -> (G.config g).Hsq.Config.ingest_domains
+  in
   {
     config;
     backend;
     reg;
+    ingest_lanes;
+    ckpt_scheduled = Atomic.make false;
     adm = Admission.create ~capacity:config.queue_depth ~metrics:reg ();
     started_at = Metrics.now_s ();
     stop_requested = Atomic.make false;
@@ -558,7 +569,94 @@ let submit_and_reply t req =
         ]
   | Admission.Draining -> Protocol.err Protocol.e_shutting_down
 
-let handle_line t fd line =
+(* --- direct ingest lanes (ingest_domains > 1) ---------------------------
+
+   With concurrent lanes configured, Observe verbs never queue: the
+   connection thread applies them itself through the engine's
+   thread-safe observe_domain, on the lane its connection id maps to.
+   Ingest therefore scales with connections instead of serializing
+   behind queries on the engine thread, and a slow accurate query no
+   longer stalls writers (it holds the propagation lock only while
+   merging whole batches).
+
+   Safety against the drain: Admission.draining is checked first (a
+   draining server stops acknowledging new elements), and the engine's
+   own closed flag — checked under the lane lock, i.e. after the point
+   where close could have cut in — backstops the race window with an
+   explicit shutting_down reply.  Elements applied before the failure
+   were WAL-acknowledged; the reply says exactly how many. *)
+
+(* Lane hand-offs accrue checkpoint debt but never checkpoint
+   themselves (lock order: lanes before propagation, and a checkpoint
+   seals every lane).  The first connection thread to notice debt
+   schedules one engine-thread job; the flag stops a thundering herd of
+   duplicates. *)
+let schedule_lane_checkpoint t =
+  let due =
+    match t.backend with
+    | Single e -> E.ingest_checkpoint_due e
+    | Group g -> List.exists (fun (_, e) -> E.ingest_checkpoint_due e) (G.engines g)
+  in
+  if due && not (Atomic.exchange t.ckpt_scheduled true) then begin
+    let job () =
+      Atomic.set t.ckpt_scheduled false;
+      match t.backend with
+      | Single e -> ignore (E.checkpoint_if_due e)
+      | Group g -> ignore (G.checkpoint_if_due g)
+    in
+    let item =
+      Admission.make_item (Admission.Job job) Protocol.Admin_q
+        ~deadline:(Metrics.now_s () +. 60.0)
+    in
+    match Admission.submit t.adm item with
+    | Admission.Admitted -> () (* fire-and-forget: nobody awaits the reply *)
+    | Admission.Overloaded _ | Admission.Draining ->
+      (* Queue full or draining: drop the attempt; debt persists and the
+         next observe re-schedules (or the drain's checkpoint_now pays). *)
+      Atomic.set t.ckpt_scheduled false
+  end
+
+let direct_observe t ~conn_id vals =
+  if Admission.draining t.adm then Protocol.err Protocol.e_shutting_down
+  else begin
+    let lane = conn_id mod t.ingest_lanes in
+    let applied = ref 0 in
+    let resp =
+      try
+        (match t.backend with
+        | Single e ->
+          Array.iter
+            (fun v ->
+              E.observe_domain e ~domain:lane v;
+              incr applied)
+            vals
+        | Group g ->
+          Array.iter
+            (fun v ->
+              G.observe_domain g ~domain:lane v;
+              incr applied)
+            vals);
+        Metrics.Counter.inc t.c.ok;
+        Protocol.ok [ ("applied", Json.int !applied); ("lane", Json.int lane) ]
+      with
+      | BD.Device_error msg ->
+        Metrics.Counter.inc t.c.internal;
+        Protocol.err Protocol.e_wal ~detail:msg ~extra:[ ("applied", Json.int !applied) ]
+      | G.Shard_unavailable (i, reason) ->
+        Metrics.Counter.inc t.c.internal;
+        Protocol.err Protocol.e_device
+          ~detail:(Printf.sprintf "shard %d down: %s" i reason)
+          ~extra:[ ("applied", Json.int !applied); ("shard", Json.int i) ]
+      | Invalid_argument _ ->
+        (* The engine closed under a racing drain; nothing past
+           [applied] was acknowledged. *)
+        Protocol.err Protocol.e_shutting_down ~extra:[ ("applied", Json.int !applied) ]
+    in
+    schedule_lane_checkpoint t;
+    resp
+  end
+
+let handle_line t ~conn_id fd line =
   match Json.of_string line with
   | Error msg ->
     Metrics.Counter.inc t.c.parse_error;
@@ -577,13 +675,15 @@ let handle_line t fd line =
       Metrics.Counter.inc t.c.ok;
       write_all fd (Protocol.ok [ ("draining", Json.Bool true) ] ^ "\n");
       request_stop t
+    | Ok (Protocol.Observe vals) when t.ingest_lanes > 1 ->
+      write_all fd (direct_observe t ~conn_id vals ^ "\n")
     | Ok req -> write_all fd (submit_and_reply t req ^ "\n"))
 
 (* Per-connection loop: a bounded line scanner over Unix.read.  The
    read and write timeouts (SO_RCVTIMEO / SO_SNDTIMEO) contain slow and
    stalled clients; a line above max_line_bytes is a protocol violation
    and closes the connection after an explicit parse error. *)
-let conn_loop t fd =
+let conn_loop t ~conn_id fd =
   let cfg = t.config in
   (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.read_timeout_s with Unix.Unix_error _ -> ());
   (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO cfg.write_timeout_s with Unix.Unix_error _ -> ());
@@ -609,7 +709,7 @@ let conn_loop t fd =
         Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
         let line = String.trim (String.sub s 0 i) in
         if line <> "" then (
-          try handle_line t fd line
+          try handle_line t ~conn_id fd line
           with Exit | Unix.Unix_error _ ->
             (* Write failed: stalled or vanished client; drop it. *)
             run := false)
@@ -636,7 +736,7 @@ let handle_conn t id fd =
       Mutex.lock t.conn_lock;
       Hashtbl.remove t.conns id;
       Mutex.unlock t.conn_lock)
-    (fun () -> try conn_loop t fd with _ -> ())
+    (fun () -> try conn_loop t ~conn_id:id fd with _ -> ())
 
 (* --- listener & lifecycle ---------------------------------------------- *)
 

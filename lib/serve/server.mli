@@ -11,6 +11,16 @@
     stalled clients, abrupt disconnects) are contained per-connection
     and surfaced in [hsq_serve_*] metrics.
 
+    Exception: with [config.ingest_domains > 1] on the backing engine
+    (or every shard of a group), [observe] verbs bypass the queue —
+    each connection thread applies them itself on the ingest lane its
+    connection id maps to ({!Hsq.Engine.observe_domain}, thread-safe
+    by design), so writers scale with connections instead of
+    serializing behind queries.  Replies still acknowledge exactly the
+    WAL-durable prefix, a draining server answers [shutting_down]
+    without acknowledging, and lane checkpoint debt is settled by a
+    job on the engine thread (DESIGN.md §15).
+
     Shutdown is a drain: {!request_stop} (async-signal-safe, suitable
     for a SIGTERM handler) or the wire verb [drain] stops the accept
     loop; already-admitted requests are served or deadline-cut; the

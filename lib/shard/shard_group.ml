@@ -146,7 +146,9 @@ let estimate_elements dir =
       let records, _, _ = Hsq_storage.Wal.read_path ~path:wal_path in
       List.fold_left
         (fun acc (_, r) ->
-          match r with Hsq_storage.Wal.Observe _ -> acc + 1 | Hsq_storage.Wal.End_step _ -> acc)
+          match r with
+          | Hsq_storage.Wal.Observe _ -> acc + 1
+          | Hsq_storage.Wal.End_step _ | Hsq_storage.Wal.End_step_cuts _ -> acc)
         0 records
     with _ -> 0
   in
@@ -269,6 +271,26 @@ let observe t v =
     E.observe e v;
     t.last_size.(i) <- t.last_size.(i) + 1;
     invalidate t
+
+(* Concurrent ingest: value-hash picks the shard (same routing as
+   [observe]), the caller's domain picks the lane within it.  No
+   [last_size] bump and no cache invalidation here — both are plain
+   mutable fields a concurrent writer would race; the us_cache key
+   embeds each engine's [stream_size] (which only moves under the
+   engine's propagation lock), so a query on the single-submitter
+   thread rebuilds exactly when propagated data changed, and
+   [refresh_sizes] re-reads sizes on every query path. *)
+let observe_domain t ~domain v =
+  let i = route t v in
+  match t.shards.(i) with
+  | Down { reason; _ } -> raise (Shard_unavailable (i, reason))
+  | Up e -> E.observe_domain e ~domain v
+
+(* Seal-and-drain every lane of every up shard (engine-thread only). *)
+let flush_ingest t = List.iter (fun (_, e) -> E.flush_ingest e) (engines t)
+
+let checkpoint_if_due t =
+  List.fold_left (fun acc (_, e) -> E.checkpoint_if_due e || acc) false (engines t)
 
 let end_time_step t =
   let out = ref [] in

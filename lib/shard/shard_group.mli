@@ -112,6 +112,23 @@ val shard_elements : t -> int -> int
     is unacknowledged. *)
 val observe : t -> int -> unit
 
+(** Concurrent variant (requires [config.ingest_domains > 1]): the
+    value hash picks the shard exactly as {!observe} does, then the
+    caller's [domain] picks the ingest lane within it
+    ({!Hsq.Engine.observe_domain}). Safe from any thread, concurrently
+    across domains; the group's query/step/lifecycle calls remain
+    single-submitter and may run concurrently with it. *)
+val observe_domain : t -> domain:int -> int -> unit
+
+(** Seal-and-drain every lane of every up shard (engine-thread only);
+    see {!Hsq.Engine.flush_ingest}. *)
+val flush_ingest : t -> unit
+
+(** Settle checkpoint debt accumulated by lane hand-offs on any shard
+    ({!Hsq.Engine.checkpoint_if_due}); returns [true] if at least one
+    shard checkpointed. Engine-thread only. *)
+val checkpoint_if_due : t -> bool
+
 (** Close the time step on every up shard holding stream elements.
     Failures are contained per shard ([Error msg]); healthy shards
     still archive. *)

@@ -132,6 +132,74 @@ let insert t v =
       enforce_budget t
     | Fixed | Capped _ -> ()
 
+(* Batched insert of a value-sorted run: one back-to-front merge pass
+   places all k elements in O(size + k) instead of k O(size) shifts, the
+   hand-off structure that makes concurrent ingest pay (cf. Quancurrent,
+   arXiv 2208.09265; Ivkin et al., arXiv 1907.00236).  Deltas replicate
+   what sequential ascending insertion of the same run would produce —
+   0 for elements landing past the old maximum or below the exact old
+   minimum (their ranks are known exactly at placement), the invariant
+   threshold minus one elsewhere — except the threshold is taken at the
+   post-batch n, which can only enlarge delta; g_i + delta_i <=
+   floor(2*eps*n) still holds and rmax stays a valid upper bound. *)
+let insert_sorted_batch t b =
+  let k = Array.length b in
+  if k = 1 then insert t b.(0)
+  else if k > 0 then begin
+    let old_size = t.size in
+    let new_n = t.n + k in
+    let thr = int_of_float (2.0 *. t.epsilon *. float_of_int new_n) in
+    let interior_delta = max 0 (thr - 1) in
+    let needed = old_size + k in
+    if needed > Array.length t.tuples then begin
+      let cap = ref (max 16 (Array.length t.tuples)) in
+      while !cap < needed do
+        cap := 2 * !cap
+      done;
+      let bigger = Array.make !cap dummy in
+      Array.blit t.tuples 0 bigger 0 old_size;
+      t.tuples <- bigger
+    end;
+    let old_min = if old_size = 0 then max_int else t.tuples.(0).value in
+    let old_max = if old_size = 0 then min_int else t.tuples.(old_size - 1).value in
+    let i = ref (old_size - 1) and j = ref (k - 1) in
+    let pos = ref (needed - 1) in
+    (* Once the batch is exhausted the surviving old prefix is already in
+       place, so the merge walks at most size + k positions total. *)
+    while !j >= 0 do
+      if !i >= 0 && t.tuples.(!i).value > b.(!j) then begin
+        t.tuples.(!pos) <- t.tuples.(!i);
+        decr i
+      end
+      else begin
+        let v = b.(!j) in
+        let delta =
+          if old_size = 0 then 0 (* sorted run into an empty sketch: every
+                                    element appends past the running max *)
+          else if v >= old_max || v < old_min then 0
+          else interior_delta
+        in
+        t.tuples.(!pos) <- { value = v; g = 1; delta };
+        decr j
+      end;
+      decr pos
+    done;
+    t.size <- needed;
+    t.n <- new_n;
+    t.since_compress <- t.since_compress + k;
+    let period = max 1 (int_of_float (1.0 /. (2.0 *. t.epsilon))) in
+    if t.since_compress >= period then begin
+      compress t;
+      enforce_budget t
+    end
+    else
+      match t.mode with
+      | Capped words when memory_words t > words ->
+        compress t;
+        enforce_budget t
+      | Fixed | Capped _ -> ()
+  end
+
 (* Smallest tuple index with rmin >= r - eps*n; by the invariant its rmax
    is < r + eps*n, so its value answers rank r within eps*n. *)
 let query_rank t r =

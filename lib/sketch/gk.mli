@@ -19,6 +19,14 @@ val create : epsilon:float -> t
 val create_capped : words:int -> t
 
 val insert : t -> int -> unit
+
+(** [insert_sorted_batch t b] inserts every element of [b], which MUST be
+    sorted ascending, in one O(size + k) merge pass — equivalent (same ε
+    guarantee, same count) to [Array.iter (insert t) b] but without the
+    per-element O(size) shift. The amortization that makes batched
+    concurrent ingest pay on the hand-off into the sketch. *)
+val insert_sorted_batch : t -> int array -> unit
+
 val count : t -> int
 
 (** Number of live tuples. *)

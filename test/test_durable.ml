@@ -314,7 +314,7 @@ let test_stale_checkpoint_ignored () =
       (* A checkpoint claiming a warehouse state that never committed. *)
       let _, _, _, ckpt_path = E.store_paths ~dir in
       Hsq.Checkpoint.save ~path:ckpt_path
-        { Hsq.Checkpoint.seq = 30; steps_done = 5; batch = [| 1; 2; 3 |]; gk = [| 0 |] };
+        { Hsq.Checkpoint.seq = 30; steps_done = 5; batch = [| 1; 2; 3 |]; gk = [| 0 |]; lane_seqs = [||] };
       let recovered, report = E.open_or_recover (config dir) in
       Alcotest.(check bool) "stale checkpoint ignored" false report.E.checkpoint_used;
       Alcotest.(check int) "full replay instead" 60 report.E.replayed;

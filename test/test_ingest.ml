@@ -1,0 +1,297 @@
+(* Concurrent multi-domain ingest (DESIGN.md §15).
+
+   The contract under test: with D lanes fed from D threads,
+   concurrently with queries, checkpoints, and crash-recovery on the
+   engine thread,
+
+   - counts are EXACT at quiescence (flush_ingest drains every lane);
+   - quantile answers stay inside their self-reported rank-error
+     bounds against an exact oracle — the same honesty check the chaos
+     harnesses use — both mid-flight and at quiescence;
+   - a durable engine recovers exactly the acknowledged prefix: every
+     observe_domain that returned is reproduced by replay, in any lane
+     topology (recovery consolidates or grows the lane files);
+   - the lane metrics (per-lane accumulators summed at export, and the
+     Atomic query counters) are exact at quiescence — the regression
+     test for the racy-int fix.
+
+   HSQ_INGEST_SEEDS scales the fuzz seed count (default 6; nightly CI
+   raises it). *)
+
+module E = Hsq.Engine
+module Metrics = Hsq_obs.Metrics
+
+let seeds =
+  match Sys.getenv_opt "HSQ_INGEST_SEEDS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 6)
+  | None -> 6
+
+let with_store f =
+  let dir = Filename.temp_file "hsq_ingest" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* Exact rank of [v] in [sorted]: elements <= v. *)
+let exact_rank sorted v =
+  let lo = ref 0 and hi = ref (Array.length sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if sorted.(mid) <= v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* The honesty check: the engine's own bound must cover the true rank
+   error against the exact population. *)
+let check_bounds ~msg eng sorted =
+  let n = Array.length sorted in
+  List.iter
+    (fun phi ->
+      let rank = max 1 (min n (int_of_float (ceil (phi *. float_of_int n)))) in
+      let v, bound = E.quick_with_bound eng ~rank in
+      let err = abs (exact_rank sorted v - rank) in
+      if float_of_int err > bound +. 1e-9 then
+        Alcotest.failf "%s: phi=%g rank=%d err=%d > bound=%.1f" msg phi rank err bound)
+    [ 0.05; 0.25; 0.5; 0.75; 0.95 ]
+
+(* Feed [per_lane] elements down each of [domains] lanes from
+   concurrent threads.  Returns the threads plus a live count the main
+   thread can poll while racing queries against the feeders. *)
+let concurrent_feed eng ~domains ~per_lane ~seed ~data =
+  let live = Atomic.make domains in
+  let threads =
+    Array.init domains (fun d ->
+        Thread.create
+          (fun () ->
+            let rng = Random.State.make [| seed; d |] in
+            for i = 0 to per_lane - 1 do
+              let v = data.((d * per_lane) + i) in
+              E.observe_domain eng ~domain:d v;
+              (* Stagger lanes so hand-offs interleave with queries. *)
+              if Random.State.int rng 97 = 0 then Thread.yield ()
+            done;
+            Atomic.decr live)
+          ())
+  in
+  (threads, live)
+
+let gen_data ~n ~seed =
+  let rng = Random.State.make [| seed; 0xDA7A |] in
+  Array.init n (fun _ -> Random.State.int rng 1_000_000)
+
+(* --- D = 1 routes through the classic path ----------------------------- *)
+
+let test_single_lane_identity () =
+  let mk () = E.create (Hsq.Config.make ~kappa:3 (Hsq.Config.Epsilon 0.02)) in
+  let a = mk () and b = mk () in
+  let data = gen_data ~n:5_000 ~seed:3 in
+  Array.iter (fun v -> E.observe a v) data;
+  Array.iter (fun v -> E.observe_domain b ~domain:42 v) data;
+  Alcotest.(check int) "sizes agree" (E.total_size a) (E.total_size b);
+  Alcotest.(check int) "lanes absent" 1 (E.ingest_domains b);
+  for rank = 1 to 4_999 do
+    if rank mod 500 = 0 then
+      Alcotest.(check int)
+        (Printf.sprintf "identical answer at rank %d" rank)
+        (E.quick a ~rank) (E.quick b ~rank)
+  done
+
+(* --- volatile equivalence fuzz ----------------------------------------- *)
+
+let fuzz_volatile seed () =
+  let rng = Random.State.make [| seed; 0xF0 |] in
+  let domains = 2 + Random.State.int rng 3 in
+  let ingest_batch = [| 16; 64; 256 |].(Random.State.int rng 3) in
+  let eng =
+    E.create
+      (Hsq.Config.make ~kappa:3 ~ingest_domains:domains ~ingest_batch
+         (Hsq.Config.Epsilon 0.02))
+  in
+  Alcotest.(check int) "lane count" domains (E.ingest_domains eng);
+  let archived = ref [] in
+  let rounds = 3 in
+  let per_lane = 2_000 + Random.State.int rng 2_000 in
+  for round = 1 to rounds do
+    let n = domains * per_lane in
+    let data = gen_data ~n ~seed:(seed + (round * 131)) in
+    let threads, live = concurrent_feed eng ~domains ~per_lane ~seed:(seed + round) ~data in
+    (* Engine thread: queries against the moving stream.  Mid-flight
+       answers only promise not to crash and to come from a consistent
+       snapshot (whole propagated batches); bounds are checked at
+       quiescence below. *)
+    let queries = ref 0 in
+    while Atomic.get live > 0 do
+      if E.total_size eng > 0 then begin
+        let n_now = E.total_size eng in
+        let rank = 1 + Random.State.int rng n_now in
+        let v = E.quick eng ~rank in
+        ignore (E.rank_of eng v);
+        incr queries
+      end;
+      Thread.yield ()
+    done;
+    Array.iter Thread.join threads;
+    E.flush_ingest eng;
+    archived := Array.to_list data @ !archived;
+    let all = Array.of_list !archived in
+    Array.sort Int.compare all;
+    Alcotest.(check int)
+      (Printf.sprintf "round %d: exact count (%d queries raced)" round !queries)
+      (Array.length all) (E.total_size eng);
+    check_bounds ~msg:(Printf.sprintf "seed %d round %d" seed round) eng all;
+    if round < rounds then ignore (E.end_time_step eng)
+  done
+
+(* --- durable: crash-recover reproduces the acknowledged prefix --------- *)
+
+let fuzz_durable seed () =
+  with_store (fun dir ->
+      let rng = Random.State.make [| seed; 0xD0 |] in
+      let domains = 2 + Random.State.int rng 3 in
+      let config ~ingest_domains =
+        Hsq.Config.make ~kappa:3 ~ingest_domains ~ingest_batch:32
+          ~checkpoint_every:(64 * (1 + Random.State.int rng 4))
+          ~wal_dir:dir (Hsq.Config.Epsilon 0.02)
+      in
+      let eng, _ = E.open_or_recover (config ~ingest_domains:domains) in
+      let per_lane = 1_500 in
+      let n = domains * per_lane in
+      let data = gen_data ~n ~seed:(seed + 17) in
+      let threads, live = concurrent_feed eng ~domains ~per_lane ~seed ~data in
+      (* Engine thread settles lane checkpoint debt while feeding. *)
+      let checkpoints = ref 0 in
+      while Atomic.get live > 0 do
+        if E.checkpoint_if_due eng then incr checkpoints;
+        Thread.yield ()
+      done;
+      Array.iter Thread.join threads;
+      (* Everything returned from observe_domain is acknowledged
+         (wal_sync = Always): a crash now must lose none of it. *)
+      E.crash eng;
+      (* Reopen under a DIFFERENT lane topology: recovery must replay
+         every lane deterministically, then consolidate or grow. *)
+      let domains' = [| 1; domains; domains + 2 |].(Random.State.int rng 3) in
+      let recovered, report = E.open_or_recover (config ~ingest_domains:domains') in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d: acked prefix exact (D=%d -> D=%d, %d ckpts, %d replayed)"
+           seed domains domains' !checkpoints report.E.replayed)
+        n (E.total_size recovered);
+      let sorted = Array.copy data in
+      Array.sort Int.compare sorted;
+      check_bounds ~msg:(Printf.sprintf "seed %d recovered" seed) recovered sorted;
+      (* The recovered store keeps working: feed its lanes again and
+         close cleanly. *)
+      let extra = gen_data ~n:200 ~seed:(seed + 29) in
+      Array.iteri (fun i v -> E.observe_domain recovered ~domain:i v) extra;
+      E.flush_ingest recovered;
+      Alcotest.(check int) "post-recovery ingest exact" (n + 200) (E.total_size recovered);
+      E.close recovered)
+
+(* --- lane topology reconciliation (deterministic) ----------------------- *)
+
+let test_lane_reconciliation () =
+  with_store (fun dir ->
+      let config ~ingest_domains =
+        Hsq.Config.make ~kappa:3 ~ingest_domains ~ingest_batch:16 ~checkpoint_every:64
+          ~wal_dir:dir (Hsq.Config.Epsilon 0.05)
+      in
+      let eng, _ = E.open_or_recover (config ~ingest_domains:4) in
+      for i = 0 to 999 do
+        E.observe_domain eng ~domain:(i mod 4) (i * 7919)
+      done;
+      E.crash eng;
+      Alcotest.(check bool) "extra lane files exist" true
+        (Sys.file_exists (Filename.concat dir "wal-3.log"));
+      (* Shrink: consolidation absorbs lanes 2..3 and deletes the files. *)
+      let narrow, _ = E.open_or_recover (config ~ingest_domains:2) in
+      Alcotest.(check int) "shrunk store exact" 1000 (E.total_size narrow);
+      Alcotest.(check bool) "lane 3 file gone" false
+        (Sys.file_exists (Filename.concat dir "wal-3.log"));
+      Alcotest.(check bool) "lane 2 file gone" false
+        (Sys.file_exists (Filename.concat dir "wal-2.log"));
+      for i = 0 to 199 do
+        E.observe_domain narrow ~domain:i (i * 104729)
+      done;
+      E.crash narrow;
+      (* Grow: fresh logs for the new lanes. *)
+      let wide, _ = E.open_or_recover (config ~ingest_domains:6) in
+      Alcotest.(check int) "grown store exact" 1200 (E.total_size wide);
+      Alcotest.(check bool) "lane 5 file created" true
+        (Sys.file_exists (Filename.concat dir "wal-5.log"));
+      E.close wide)
+
+(* --- metrics: per-lane accumulators and Atomic counters are exact ------ *)
+
+let counter_value reg name =
+  let prom = Metrics.to_prometheus reg in
+  let value = ref None in
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         match String.index_opt line ' ' with
+         | Some i when String.sub line 0 i = name ->
+           value := float_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+         | _ -> ());
+  match !value with
+  | Some v -> v
+  | None -> Alcotest.failf "metric %s not exported" name
+
+let test_lane_metrics_exact () =
+  let domains = 4 in
+  let eng =
+    E.create
+      (Hsq.Config.make ~kappa:3 ~ingest_domains:domains ~ingest_batch:64
+         (Hsq.Config.Epsilon 0.02))
+  in
+  let per_lane = 3_000 in
+  let data = gen_data ~n:(domains * per_lane) ~seed:99 in
+  let threads, live = concurrent_feed eng ~domains ~per_lane ~seed:99 ~data in
+  (* Export the registry WHILE lanes are writing: counter_fn closures
+     must read live per-lane state without tearing or raising, and the
+     snapshot must never exceed the final total. *)
+  let reg = E.metrics eng in
+  while Atomic.get live > 0 do
+    let mid = counter_value reg "hsq_ingest_observed_total" in
+    if mid > float_of_int (domains * per_lane) then
+      Alcotest.failf "mid-flight observed_total overshoots: %f" mid;
+    Thread.yield ()
+  done;
+  Array.iter Thread.join threads;
+  E.flush_ingest eng;
+  Alcotest.(check (float 0.0))
+    "observed_total exact at quiescence"
+    (float_of_int (domains * per_lane))
+    (counter_value reg "hsq_ingest_observed_total");
+  Alcotest.(check (float 0.0)) "buffered gauge drained" 0.0 (counter_value reg "hsq_ingest_buffered");
+  let handoffs = counter_value reg "hsq_ingest_handoffs_total" in
+  if handoffs < 1.0 then Alcotest.failf "no hand-offs recorded (%f)" handoffs;
+  (* Atomic query counters: exact under queries racing fresh ingest. *)
+  let q = 500 in
+  for i = 1 to q do
+    ignore (E.quick eng ~rank:(1 + (i mod E.total_size eng)))
+  done;
+  Alcotest.(check (float 0.0))
+    "quick_total exact" (float_of_int q)
+    (counter_value reg "hsq_query_quick_total")
+
+let () =
+  let fuzz name f =
+    List.init seeds (fun s -> Alcotest.test_case (Printf.sprintf "seed %d" s) `Slow (f s))
+    |> fun cases -> (name, cases)
+  in
+  Alcotest.run "ingest"
+    [
+      ( "lanes",
+        [
+          Alcotest.test_case "D=1 identity" `Quick test_single_lane_identity;
+          Alcotest.test_case "topology reconciliation" `Quick test_lane_reconciliation;
+          Alcotest.test_case "metrics exact" `Quick test_lane_metrics_exact;
+        ] );
+      fuzz "volatile equivalence" fuzz_volatile;
+      fuzz "durable crash-recover" fuzz_durable;
+    ]
