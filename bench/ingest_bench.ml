@@ -113,6 +113,23 @@ let run_durable ~domains ~seed =
     exit 2);
   (elapsed, n_durable)
 
+(* --- GK vs KLL stream sketch: throughput and checkpoint size ----------
+   Same driver, volatile, one row per (sketch, D): elements/s plus the
+   size of the sketch's serialized checkpoint image at the end of the
+   run (the bytes every checkpoint_every interval pays). *)
+
+let run_sketch_row ~stream_sketch ~domains ~seed =
+  let eng =
+    Hsq.Engine.create
+      (Hsq.Config.make ~ingest_domains:domains ~stream_sketch (Hsq.Config.Epsilon 0.01))
+  in
+  let elapsed = ingest eng ~domains ~n:n_elements ~seed in
+  if Hsq.Engine.total_size eng <> n_elements then (
+    Printf.eprintf "ingest_bench: SKETCH D=%d lost elements\n" domains;
+    exit 2);
+  let sk = Hsq.Engine.stream_sketch eng in
+  (elapsed, 8 * Array.length (Hsq.Stream_sketch.serialize sk))
+
 let () =
   let seed = ref 42 and gate = ref true in
   let spec =
@@ -144,6 +161,19 @@ let () =
   List.iter
     (fun r -> Printf.printf "%-14s %12.0f %12.3f %8.2fx\n" r.label (rate r) r.elapsed r.speedup)
     (vol @ dur);
+  Printf.printf "\nstream sketch (volatile, eps=0.01, %d elements):\n" n_elements;
+  Printf.printf "%-14s %12s %12s %12s\n" "config" "elements/s" "elapsed_s" "ckpt_bytes";
+  List.iter
+    (fun (label, kind) ->
+      List.iter
+        (fun d ->
+          let elapsed, ckpt_bytes = run_sketch_row ~stream_sketch:kind ~domains:d ~seed:!seed in
+          Printf.printf "%-14s %12.0f %12.3f %12d\n"
+            (Printf.sprintf "%s D=%d" label d)
+            (float_of_int n_elements /. elapsed)
+            elapsed ckpt_bytes)
+        [ 1; 4 ])
+    [ ("gk", `Gk); ("kll", `Kll) ];
   let d4 = List.nth vol 2 in
   Printf.printf "gate: volatile D=4 speedup %.2fx (floor 3.00x) — %s\n" d4.speedup
     (if d4.speedup >= 3.0 then "PASS" else "FAIL");

@@ -35,6 +35,15 @@ let kappa =
   let doc = "Merge threshold κ: maximum partitions per level." in
   Arg.(value & opt int 10 & info [ "kappa" ] ~docv:"K" ~doc)
 
+let sketch_kind =
+  let doc =
+    "Stream sketch for the open step: $(b,gk) (the paper's Greenwald-Khanna) or $(b,kll) \
+     (mergeable KLL; with --shards, fused quick answers compose the per-shard stream \
+     summaries by sketch merge). Checkpoints are tagged, so a durable store written under \
+     one kind reopens cleanly under the other (the open step rebuilds from the WAL)."
+  in
+  Arg.(value & opt (enum [ ("gk", `Gk); ("kll", `Kll) ]) `Gk & info [ "sketch" ] ~docv:"KIND" ~doc)
+
 let block_size =
   let doc = "Simulated disk block size, in elements." in
   Arg.(value & opt int 256 & info [ "block-size" ] ~docv:"B" ~doc)
@@ -132,14 +141,15 @@ let report_recovery (r : Hsq.Engine.recovery_report) =
 
 let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_domains
     ?query_deadline_ms ?durable ?(wal_sync = Hsq_storage.Wal.Always)
-    ?(checkpoint_every = 10_000) ?(ingest_domains = 1) () =
+    ?(checkpoint_every = 10_000) ?(ingest_domains = 1) ?(stream_sketch = `Gk) () =
   match durable with
   | Some dir ->
     if device_path <> None then
       prerr_endline "warning: --device ignored with --durable (the store supplies its own)";
     let config =
       Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
-        ~wal_dir:dir ~wal_sync ~checkpoint_every ~ingest_domains (Hsq.Config.Epsilon epsilon)
+        ~wal_dir:dir ~wal_sync ~checkpoint_every ~ingest_domains ~stream_sketch
+        (Hsq.Config.Epsilon epsilon)
     in
     let eng, report = Hsq.Engine.open_or_recover config in
     report_recovery report;
@@ -147,7 +157,7 @@ let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_doma
   | None -> (
     let config =
       Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
-        ~ingest_domains (Hsq.Config.Epsilon epsilon)
+        ~ingest_domains ~stream_sketch (Hsq.Config.Epsilon epsilon)
     in
     match device_path with
     | None -> Hsq.Engine.create config
@@ -174,12 +184,12 @@ let report_shard_recoveries recoveries =
 
 let make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint ?query_domains
     ?query_deadline_ms ?durable ?(wal_sync = Hsq_storage.Wal.Always)
-    ?(checkpoint_every = 10_000) ?(ingest_domains = 1) () =
+    ?(checkpoint_every = 10_000) ?(ingest_domains = 1) ?(stream_sketch = `Gk) () =
   match durable with
   | Some dir ->
     let config =
       Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
-        ~wal_dir:dir ~wal_sync ~checkpoint_every ~shards ~ingest_domains
+        ~wal_dir:dir ~wal_sync ~checkpoint_every ~shards ~ingest_domains ~stream_sketch
         (Hsq.Config.Epsilon epsilon)
     in
     let g, recoveries = G.open_or_recover config in
@@ -188,7 +198,7 @@ let make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint ?query_domains
   | None ->
     G.create
       (Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms ~shards
-         ~ingest_domains (Hsq.Config.Epsilon epsilon))
+         ~ingest_domains ~stream_sketch (Hsq.Config.Epsilon epsilon))
 
 let report_group_footprint g =
   let down = G.shards_down g in
@@ -271,12 +281,13 @@ let save_meta =
   let doc = "After the run, save warehouse metadata here (requires --device)." in
   Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
 
-let simulate_group ~shards ~ingest_domains dataset steps step_size seed epsilon kappa
-    block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every =
+let simulate_group ~shards ~ingest_domains ~stream_sketch dataset steps step_size seed epsilon
+    kappa block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every =
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let g =
     make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:steps ?query_domains
-      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains
+      ~stream_sketch ()
   in
   let pool = make_ingest_pool ~ingest_domains in
   let ingest batch =
@@ -324,20 +335,22 @@ let simulate_group ~shards ~ingest_domains dataset steps step_size seed epsilon 
   0
 
 let simulate dataset steps step_size seed epsilon kappa block_size device_path query_domains
-    deadline_ms phis verify save_meta durable wal_sync checkpoint_every shards ingest_domains =
+    deadline_ms phis verify save_meta durable wal_sync checkpoint_every shards ingest_domains
+    stream_sketch =
   if shards > 1 then begin
     if device_path <> None then
       prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
     if save_meta <> None then
       prerr_endline "warning: --save-meta ignored with --shards (shards keep their own sidecars)";
-    simulate_group ~shards ~ingest_domains dataset steps step_size seed epsilon kappa
-      block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every
+    simulate_group ~shards ~ingest_domains ~stream_sketch dataset steps step_size seed epsilon
+      kappa block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every
   end
   else begin
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:steps ?query_domains
-      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains
+      ~stream_sketch ()
   in
   let pool = make_ingest_pool ~ingest_domains in
   let ingest batch =
@@ -418,7 +431,7 @@ let simulate_cmd =
     Term.(
       const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
       $ device_path $ query_domains $ deadline_ms $ phis $ verify $ save_meta $ durable_dir
-      $ wal_sync $ checkpoint_every $ shards $ ingest_domains)
+      $ wal_sync $ checkpoint_every $ shards $ ingest_domains $ sketch_kind)
 
 (* --- stream ------------------------------------------------------------- *)
 
@@ -445,7 +458,7 @@ let stream_loop ~observe ~end_step ~step_every =
   with End_of_file -> ()
 
 let stream step_every epsilon kappa block_size device_path query_domains deadline_ms phis
-    durable wal_sync checkpoint_every shards ingest_domains =
+    durable wal_sync checkpoint_every shards ingest_domains stream_sketch =
   (* stdin is read sequentially, so lanes are driven round-robin from
      this one thread: the win is the lanes' batched sketch hand-off
      (sorted-run merges instead of per-element inserts), not thread
@@ -462,7 +475,8 @@ let stream step_every epsilon kappa block_size device_path query_domains deadlin
       prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
     let g =
       make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
-        ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
+        ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains
+        ~stream_sketch ()
     in
     stream_loop ~step_every
       ~observe:(fun v ->
@@ -500,7 +514,8 @@ let stream step_every epsilon kappa block_size device_path query_domains deadlin
   else begin
   let eng =
     make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint:100 ?query_domains
-      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains ()
+      ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains
+      ~stream_sketch ()
   in
   stream_loop ~step_every
     ~observe:(fun v ->
@@ -544,7 +559,7 @@ let stream_cmd =
     Term.(
       const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ query_domains
       $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every $ shards
-      $ ingest_domains)
+      $ ingest_domains $ sketch_kind)
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
@@ -995,7 +1010,8 @@ let metrics_cmd =
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve socket tcp epsilon kappa block_size query_domains durable wal_sync checkpoint_every
-    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms shards ingest_domains =
+    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms shards ingest_domains
+    stream_sketch =
   let listen =
     match (socket, tcp) with
     | Some path, None -> Some (Hsq_serve.Server.Unix_sock path)
@@ -1021,11 +1037,12 @@ let serve socket tcp epsilon kappa block_size query_domains durable wal_sync che
         if shards > 1 then
           Hsq_serve.Server.create_group config
             (make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
-               ?durable ~wal_sync ~checkpoint_every ~ingest_domains ())
+               ?durable ~wal_sync ~checkpoint_every ~ingest_domains ~stream_sketch ())
         else
           Hsq_serve.Server.create config
             (make_engine ~epsilon ~kappa ~block_size ~device_path:None ~steps_hint:100
-               ?query_domains ?durable ~wal_sync ~checkpoint_every ~ingest_domains ())
+               ?query_domains ?durable ~wal_sync ~checkpoint_every ~ingest_domains
+               ~stream_sketch ())
       in
       (* Signal handlers only flip the stop atomic; the accept loop
          notices within its poll interval and runs the drain. *)
@@ -1093,7 +1110,7 @@ let serve_cmd =
       $ budget "accurate-budget-ms" 2000.0 "accurate-query"
       $ budget "ingest-budget-ms" 2000.0 "ingest"
       $ budget "admin-budget-ms" 1000.0 "admin"
-      $ read_timeout_ms $ shards $ ingest_domains)
+      $ read_timeout_ms $ shards $ ingest_domains $ sketch_kind)
 
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in

@@ -40,6 +40,8 @@ type t = {
                            1 = the classic single-writer observe path *)
   ingest_batch : int; (* elements a lane buffers before one batched hand-off
                          into the GK sketch (the propagation granularity) *)
+  stream_sketch : [ `Gk | `Kll ]; (* which ε₂ rank sketch summarizes the open step:
+                                     GK (paper) or mergeable KLL *)
 }
 
 let default =
@@ -60,6 +62,7 @@ let default =
     shards = 1;
     ingest_domains = 1;
     ingest_batch = 512;
+    stream_sketch = `Gk;
   }
 
 let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memory
@@ -67,7 +70,8 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
     ?query_domains ?wal_dir ?(wal_sync = default.wal_sync)
     ?(checkpoint_every = default.checkpoint_every) ?query_deadline_ms
     ?(quarantine_after = default.quarantine_after) ?(shards = default.shards)
-    ?(ingest_domains = default.ingest_domains) ?(ingest_batch = default.ingest_batch) sizing =
+    ?(ingest_domains = default.ingest_domains) ?(ingest_batch = default.ingest_batch)
+    ?(stream_sketch = default.stream_sketch) sizing =
   (match sizing with
   | Epsilon e when not (e > 0.0 && e < 1.0) -> invalid_arg "Config.make: epsilon not in (0,1)"
   | Epsilon _ -> ()
@@ -113,6 +117,7 @@ let make ?(kappa = default.kappa) ?(block_size = default.block_size) ?sort_memor
     shards;
     ingest_domains;
     ingest_batch;
+    stream_sketch;
   }
 
 (* Maximum simultaneous partitions: kappa per level, over

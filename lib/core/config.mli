@@ -65,6 +65,14 @@ type t = {
       (** elements a lane buffers before one batched hand-off into the
           sketch; the propagation (and snapshot) granularity. Runtime
           policy; default 512. *)
+  stream_sketch : [ `Gk | `Kll ];
+      (** which ε₂ rank sketch summarizes the open step: [`Gk] (the
+          paper's Greenwald-Khanna, the default) or [`Kll] (mergeable,
+          so sharded quick answers can compose per-shard stream
+          summaries by sketch merge). Runtime policy, like
+          [query_domains]: never persisted — checkpoints tag the sketch
+          kind they carry, and reopening a store with the other kind
+          rebuilds the open step's sketch from the WAL. *)
 }
 
 val default : t
@@ -88,6 +96,7 @@ val make :
   ?shards:int ->
   ?ingest_domains:int ->
   ?ingest_batch:int ->
+  ?stream_sketch:[ `Gk | `Kll ] ->
   sizing ->
   t
 

@@ -103,7 +103,7 @@ type t = {
   config : Config.t;
   dev : Hsq_storage.Block_device.t;
   hist : Hsq_hist.Level_index.t;
-  mutable gk : Hsq_sketch.Gk.t;
+  mutable gk : Stream_sketch.t;
   mutable batch : int array;
   mutable batch_len : int;
   mutable durable : durability option;
@@ -199,12 +199,22 @@ let install_lanes t wals =
     "hsq_ingest_buffered" (fun () ->
       float_of_int (Array.fold_left (fun acc ln -> acc + ln.llen) 0 t.lanes))
 
+(* The sketch kind is config (runtime policy), but operators read it
+   back through the metrics surface, so each engine registers it as a
+   0/1 gauge alongside its other pull-style metrics. *)
+let register_sketch_metric t =
+  Metrics.gauge_fn ~help:"Stream sketch kind (0 = GK, 1 = KLL)"
+    (Hsq_storage.Io_stats.registry (Hsq_storage.Block_device.stats t.dev))
+    "hsq_stream_sketch_kll"
+    (fun () -> match Stream_sketch.kind t.gk with `Kll -> 1.0 | `Gk -> 0.0)
+
 let fresh_gk config =
+  let kind = config.Config.stream_sketch in
   match Config.gk_epsilon config with
-  | Some eps -> Hsq_sketch.Gk.create ~epsilon:eps
+  | Some eps -> Stream_sketch.create ~kind ~epsilon:eps ()
   | None -> (
     match Config.stream_words config with
-    | Some words -> Hsq_sketch.Gk.create_capped ~words
+    | Some words -> Stream_sketch.create_capped ~kind ~words ()
     | None -> assert false)
 
 let create ?device config =
@@ -239,6 +249,7 @@ let create ?device config =
   in
   if config.Config.ingest_domains > 1 then
     install_lanes t (Array.make config.Config.ingest_domains None);
+  register_sketch_metric t;
   t
 
 (* Recovery path (Persist): adopt a restored historical index.  The
@@ -262,6 +273,9 @@ let of_restored ~device config hist =
     tracer = None;
     closed = false;
   }
+  |> fun t ->
+  register_sketch_metric t;
+  t
 
 let config t = t.config
 let device t = t.dev
@@ -277,23 +291,23 @@ let set_tracer t tr =
 let tracer t = t.tracer
 let hist t = t.hist
 let stream_sketch t = t.gk
-let stream_size t = Hsq_sketch.Gk.count t.gk
+let stream_size t = Stream_sketch.count t.gk
 let hist_size t = Hsq_hist.Level_index.total_elements t.hist
 let total_size t = hist_size t + stream_size t
 let time_steps t = Hsq_hist.Level_index.time_steps t.hist
 
 (* eps2 as the engine currently provides it (2x the GK sketch's eps —
    see Config); eps = 4*eps2 inverts Algorithm 1. *)
-let eps2 t = 2.0 *. Hsq_sketch.Gk.epsilon t.gk
+let eps2 t = 2.0 *. Stream_sketch.epsilon t.gk
 let epsilon t = 4.0 *. eps2 t
 
 let memory_words t =
-  Hsq_hist.Level_index.memory_words t.hist + Hsq_sketch.Gk.memory_words t.gk
+  Hsq_hist.Level_index.memory_words t.hist + Stream_sketch.memory_words t.gk
 
 (* StreamUpdate (Algorithm 4) + batch spooling, without the WAL — the
    in-memory effect of one element, shared by live ingest and replay. *)
 let apply_observe t v =
-  Hsq_sketch.Gk.insert t.gk v;
+  Stream_sketch.insert t.gk v;
   if t.batch_len = Array.length t.batch then begin
     let bigger = Array.make (2 * t.batch_len) 0 in
     Array.blit t.batch 0 bigger 0 t.batch_len;
@@ -334,7 +348,7 @@ let propagate_locked t ln =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock t.prop_lock)
       (fun () ->
-        Hsq_sketch.Gk.insert_sorted_batch t.gk b;
+        Stream_sketch.insert_sorted_batch t.gk b;
         let need = t.batch_len + k in
         if need > Array.length t.batch then begin
           let cap = ref (max 1024 (Array.length t.batch)) in
@@ -401,7 +415,7 @@ let write_checkpoint_impl t d =
       Checkpoint.seq = Hsq_storage.Wal.last_seq d.wal;
       steps_done = Hsq_hist.Level_index.time_steps t.hist;
       batch = Array.sub t.batch 0 t.batch_len;
-      gk = Hsq_sketch.Gk.serialize t.gk;
+      gk = Stream_sketch.serialize t.gk;
       lane_seqs;
     }
   in
@@ -576,6 +590,16 @@ let expire t ~keep_steps = Hsq_hist.Level_index.expire t.hist ~keep_steps
    the snapshot-consistency contract. *)
 let stream_summary_unlocked t = Stream_summary.extract t.gk
 let stream_summary t = with_prop t (fun () -> stream_summary_unlocked t)
+
+let sketch_kind t = Stream_sketch.kind t.gk
+let sketch_label t = Stream_sketch.kind_label t.gk
+
+(* A private deep copy of the open step's KLL sketch (None under GK),
+   taken under the propagation lock so it is snapshot-consistent with
+   concurrent lane hand-offs.  Shard_group merges these to compose
+   fused stream summaries. *)
+let kll_snapshot t =
+  with_prop t (fun () -> Option.map Hsq_sketch.Kll.copy (Stream_sketch.as_kll t.gk))
 
 (* The cached historical aggregate, rebuilt only when the level index's
    epoch moved since it was computed (partition add / merge / expire /
@@ -1225,16 +1249,22 @@ let store_paths ~dir = durable_paths dir
    image means the file lied despite its checksum (or versions skewed):
    treat the checkpoint as absent, full replay is always correct. *)
 let restore_from_checkpoint t c =
-  match Hsq_sketch.Gk.deserialize c.Checkpoint.gk with
-  | gk ->
-    let len = Array.length c.Checkpoint.batch in
-    let batch = Array.make (max 1024 len) 0 in
-    Array.blit c.Checkpoint.batch 0 batch 0 len;
-    t.gk <- gk;
-    t.batch <- batch;
-    t.batch_len <- len;
-    true
+  match Stream_sketch.deserialize c.Checkpoint.gk with
   | exception Invalid_argument _ -> false
+  | gk ->
+    (* A checkpoint carrying the other sketch kind (the store was last
+       written under a different --sketch) cannot seed this engine:
+       treat it as absent and rebuild the open step from the WAL. *)
+    if Stream_sketch.kind gk <> t.config.Config.stream_sketch then false
+    else begin
+      let len = Array.length c.Checkpoint.batch in
+      let batch = Array.make (max 1024 len) 0 in
+      Array.blit c.Checkpoint.batch 0 batch 0 len;
+      t.gk <- gk;
+      t.batch <- batch;
+      t.batch_len <- len;
+      true
+    end
 
 let open_or_recover config =
   let dir =
@@ -1267,6 +1297,7 @@ let open_or_recover config =
           query_domains = config.Config.query_domains;
           ingest_domains = config.Config.ingest_domains;
           ingest_batch = config.Config.ingest_batch;
+          stream_sketch = config.Config.stream_sketch;
         }
       in
       of_restored ~device merged hist
@@ -1435,7 +1466,7 @@ let open_or_recover config =
           Checkpoint.seq = Hsq_storage.Wal.last_seq wal;
           steps_done = Hsq_hist.Level_index.time_steps t.hist;
           batch = Array.sub t.batch 0 t.batch_len;
-          gk = Hsq_sketch.Gk.serialize t.gk;
+          gk = Stream_sketch.serialize t.gk;
           lane_seqs;
         };
       Hsq_storage.Io_stats.note_checkpoint stats;

@@ -84,7 +84,18 @@ val set_tracer : t -> Hsq_obs.Trace.t option -> unit
 
 val tracer : t -> Hsq_obs.Trace.t option
 val hist : t -> Hsq_hist.Level_index.t
-val stream_sketch : t -> Hsq_sketch.Gk.t
+val stream_sketch : t -> Stream_sketch.t
+
+(** Which ε₂ sketch kind the open step runs ([`Gk] or [`Kll]), and its
+    label ("gk"/"kll") for status and metrics surfaces. *)
+val sketch_kind : t -> [ `Gk | `Kll ]
+
+val sketch_label : t -> string
+
+(** Snapshot-consistent deep copy of the open step's KLL sketch;
+    [None] when the engine runs GK.  {!Hsq_shard.Shard_group} merges
+    these to compose fused stream summaries by sketch merge. *)
+val kll_snapshot : t -> Hsq_sketch.Kll.t option
 
 (** m, n, N = n + m, and T (time steps archived). *)
 val stream_size : t -> int

@@ -330,6 +330,7 @@ let execute_single t eng req ~deadline =
           ("stream", Json.int (E.stream_size eng));
           ("steps", Json.int (E.time_steps eng));
           ("epsilon", Json.Num (E.epsilon eng));
+          ("sketch", Json.Str (E.sketch_label eng));
           ("memory_words", Json.int (E.memory_words eng));
           ("windows", Json.List (List.map Json.int (E.window_sizes eng)));
           ("uptime_s", Json.Num (uptime_s t));
@@ -468,6 +469,7 @@ let execute_group t g req ~deadline =
           ("stream", Json.int (G.stream_size g));
           ("steps", Json.int (G.time_steps g));
           ("epsilon", Json.Num epsilon);
+          ("sketch", Json.Str (G.sketch_label g));
           ("memory_words", Json.int (G.memory_words g));
           ("shards", Json.int (G.shard_count g));
           ("shards_down", Json.List (List.map Json.int (G.shards_down g)));

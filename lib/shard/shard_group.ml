@@ -210,6 +210,9 @@ let open_or_recover config =
 let config t = t.config
 let shard_count t = t.k
 
+let sketch_label t =
+  match t.config.Hsq.Config.stream_sketch with `Gk -> "gk" | `Kll -> "kll"
+
 (* Xorshift-multiply finalizer (constants fit OCaml's 63-bit int):
    uncorrelated with value order and with the block-level chaos coins,
    so adversarial value patterns still spread across the shards. *)
@@ -359,13 +362,40 @@ let fused_agg t alive =
     t.agg_cache <- Some (key, agg);
     agg
 
+(* Per-shard stream summaries for a fused build.  When every alive
+   shard runs the mergeable KLL sketch, the per-shard snapshots merge
+   into ONE sketch and the view carries a single stream summary: the
+   fused heap then brackets union ranks through sketch merge instead of
+   summed per-shard windows.  The merged sketch's error parameter is
+   the count-weighted average of the shards' (equal here, as all shards
+   share one config), so eps2*m is unchanged — but the per-stream
+   integer-boundary slack in fused accurate drops from K terms to 1.
+   Any GK shard (or an empty group) falls back to the summed-window
+   path unchanged. *)
+let streams_of alive =
+  let snapshots = List.map (fun (_, e) -> E.kll_snapshot e) alive in
+  if alive <> [] && List.for_all Option.is_some snapshots then
+    let merged =
+      List.fold_left
+        (fun acc s ->
+          match (acc, s) with
+          | None, s -> s
+          | acc, None -> acc
+          | Some a, Some b -> Some (Hsq_sketch.Kll.merge a b))
+        None snapshots
+    in
+    match merged with
+    | Some m -> [ Ss.extract (Hsq.Stream_sketch.Kll m) ]
+    | None -> []
+  else List.map (fun (_, e) -> E.stream_summary e) alive
+
 let fused_summaries t alive =
   let key = us_key alive in
   match t.us_cache with
   | Some (k, v) when k = key -> v
   | _ ->
     let agg = fused_agg t alive in
-    let streams = List.map (fun (_, e) -> E.stream_summary e) alive in
+    let streams = streams_of alive in
     let us = Us.build_fused ~agg ~streams in
     let v = (streams, us) in
     t.us_cache <- Some (key, v);
@@ -385,7 +415,7 @@ let make_view t ~dropped =
     if dropped = [] then fused_summaries t alive
     else
       let partitions = List.concat_map (fun (_, e) -> Li.active_partitions (E.hist e)) alive in
-      let streams = List.map (fun (_, e) -> E.stream_summary e) alive in
+      let streams = streams_of alive in
       (streams, Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams)
   in
   let parts =
@@ -405,7 +435,7 @@ let full_view_fallback view =
   if Us.n_total view.us > 0 then (view, false)
   else begin
     let partitions = List.concat_map (fun (_, e) -> Li.partitions (E.hist e)) view.alive in
-    let streams = List.map (fun (_, e) -> E.stream_summary e) view.alive in
+    let streams = streams_of view.alive in
     let full = Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams in
     if Us.size full > 0 then ({ view with us = full; streams }, true) else (view, false)
   end

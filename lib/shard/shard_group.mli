@@ -87,6 +87,11 @@ val shard_dir : root:string -> int -> string
 val config : t -> Hsq.Config.t
 val shard_count : t -> int
 
+(** The ε₂ stream-sketch kind every shard runs ("gk" or "kll"); with
+    "kll", fused quick answers compose the per-shard stream summaries
+    by sketch merge rather than summed rank windows. *)
+val sketch_label : t -> string
+
 (** Deterministic shard for a value (splitmix-style hash mod K). *)
 val route : t -> int -> int
 

@@ -35,15 +35,17 @@ let with_store f =
       end)
     (fun () -> f dir)
 
-let config ?(wal_sync = W.Always) ?(checkpoint_every = 0) dir =
-  Hsq.Config.make ~kappa:3 ~block_size ~wal_dir:dir ~wal_sync ~checkpoint_every
+let config ?(wal_sync = W.Always) ?(checkpoint_every = 0) ?(stream_sketch = `Gk) dir =
+  Hsq.Config.make ~kappa:3 ~block_size ~wal_dir:dir ~wal_sync ~checkpoint_every ~stream_sketch
     (Hsq.Config.Epsilon eps)
 
 let el seed i = (i * 2654435761) lxor seed
 
 (* Reference: the same element sequence through a volatile engine. *)
-let reference_engine elements step_breaks =
-  let eng = E.create (Hsq.Config.make ~kappa:3 ~block_size (Hsq.Config.Epsilon eps)) in
+let reference_engine ?(stream_sketch = `Gk) elements step_breaks =
+  let eng =
+    E.create (Hsq.Config.make ~kappa:3 ~block_size ~stream_sketch (Hsq.Config.Epsilon eps))
+  in
   List.iteri
     (fun i v ->
       E.observe eng v;
@@ -338,6 +340,125 @@ let test_corrupt_checkpoint_ignored () =
       Alcotest.(check int) "full replay recovers everything" 48 (E.total_size recovered);
       E.close recovered)
 
+(* --- KLL stream sketch: the same durability story ---------------------- *)
+
+(* The stream-sketch kind is runtime policy, not persisted state: the
+   checkpoint image is tagged with the kind that wrote it, and a
+   kind-mismatched (or damaged) image reads as absent, falling back to
+   full WAL replay into a fresh sketch of the configured kind. *)
+
+let test_kll_round_trip_crash () =
+  with_store (fun dir ->
+      let elements = List.init 500 (el 101) in
+      let breaks = [ 150; 300 ] in
+      let eng, _ = E.open_or_recover (config ~stream_sketch:`Kll dir) in
+      Alcotest.(check string) "runs the kll sketch" "kll" (E.sketch_label eng);
+      List.iteri
+        (fun i v ->
+          E.observe eng v;
+          if List.mem (i + 1) breaks then ignore (E.end_time_step eng))
+        elements;
+      E.crash eng;
+      let recovered, _ = E.open_or_recover (config ~stream_sketch:`Kll dir) in
+      Alcotest.(check string) "kll after recovery" "kll" (E.sketch_label recovered);
+      check_matches_reference ~msg:"kll crash/recover" recovered
+        (reference_engine ~stream_sketch:`Kll elements breaks);
+      E.close recovered)
+
+let test_kll_checkpoint_bounds_replay () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config ~checkpoint_every:100 ~stream_sketch:`Kll dir) in
+      for i = 1 to 350 do
+        E.observe eng (el 103 i)
+      done;
+      E.crash eng;
+      let recovered, report =
+        E.open_or_recover (config ~checkpoint_every:100 ~stream_sketch:`Kll dir)
+      in
+      Alcotest.(check bool) "kll checkpoint used" true report.E.checkpoint_used;
+      Alcotest.(check int) "replayed only the suffix" 50 report.E.replayed;
+      Alcotest.(check int) "nothing lost" 350 (E.total_size recovered);
+      check_matches_reference ~msg:"kll checkpointed recovery" recovered
+        (reference_engine ~stream_sketch:`Kll (List.init 350 (fun i -> el 103 (i + 1))) []);
+      E.close recovered)
+
+let test_kll_torn_checkpoint_ignored () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config ~stream_sketch:`Kll dir) in
+      for i = 1 to 60 do
+        E.observe eng (el 107 i)
+      done;
+      E.checkpoint_now eng;
+      E.crash eng;
+      (* Tear the checkpoint file mid-image: the torn read must count as
+         no checkpoint at all, never as a half-restored sketch. *)
+      let _, _, _, ckpt_path = E.store_paths ~dir in
+      let size = (Unix.stat ckpt_path).Unix.st_size in
+      let fd = Unix.openfile ckpt_path [ Unix.O_RDWR ] 0 in
+      Unix.ftruncate fd (size / 2);
+      Unix.close fd;
+      let recovered, report = E.open_or_recover (config ~stream_sketch:`Kll dir) in
+      Alcotest.(check bool) "torn kll checkpoint ignored" false report.E.checkpoint_used;
+      Alcotest.(check int) "full replay instead" 60 report.E.replayed;
+      Alcotest.(check int) "correct state" 60 (E.total_size recovered);
+      Alcotest.(check string) "still kll" "kll" (E.sketch_label recovered);
+      E.close recovered)
+
+let test_kll_corrupt_checkpoint_ignored () =
+  with_store (fun dir ->
+      let eng, _ = E.open_or_recover (config ~checkpoint_every:16 ~stream_sketch:`Kll dir) in
+      for i = 1 to 48 do
+        E.observe eng (el 109 i)
+      done;
+      E.crash eng;
+      let _, _, _, ckpt_path = E.store_paths ~dir in
+      let oc = open_out_bin ckpt_path in
+      output_string oc "hsq-ckpt 1\nnot a checkpoint at all\n";
+      close_out oc;
+      let recovered, report =
+        E.open_or_recover (config ~checkpoint_every:16 ~stream_sketch:`Kll dir)
+      in
+      Alcotest.(check bool) "corrupt kll checkpoint treated as absent" false
+        report.E.checkpoint_used;
+      Alcotest.(check int) "full replay recovers everything" 48 (E.total_size recovered);
+      E.close recovered)
+
+(* Reopen a GK-written store under `Kll (and back): the kind-mismatched
+   checkpoint is skipped, the WAL rebuilds the full state into the newly
+   configured sketch, and answers match the never-crashed reference. *)
+let run_cross_sketch_reopen ~first ~then_ =
+  with_store (fun dir ->
+      let elements = List.init 400 (el 113) in
+      let breaks = [ 120; 260 ] in
+      let eng, _ = E.open_or_recover (config ~stream_sketch:first dir) in
+      List.iteri
+        (fun i v ->
+          E.observe eng v;
+          if List.mem (i + 1) breaks then ignore (E.end_time_step eng))
+        elements;
+      E.checkpoint_now eng;
+      E.crash eng;
+      let recovered, report = E.open_or_recover (config ~stream_sketch:then_ dir) in
+      Alcotest.(check bool)
+        "kind-mismatched checkpoint skipped" false report.E.checkpoint_used;
+      Alcotest.(check string) "reopened under the configured kind"
+        (match then_ with `Gk -> "gk" | `Kll -> "kll")
+        (E.sketch_label recovered);
+      check_matches_reference ~msg:"cross-sketch reopen" recovered
+        (reference_engine ~stream_sketch:then_ elements breaks);
+      (* the store keeps working under the new kind, durably *)
+      for i = 1 to 50 do
+        E.observe recovered (el 127 i)
+      done;
+      E.crash recovered;
+      let again, report2 = E.open_or_recover (config ~stream_sketch:then_ dir) in
+      Alcotest.(check int) "appends after the switch survive" 450 (E.total_size again);
+      ignore report2;
+      E.close again)
+
+let test_gk_store_reopened_as_kll () = run_cross_sketch_reopen ~first:`Gk ~then_:`Kll
+let test_kll_store_reopened_as_gk () = run_cross_sketch_reopen ~first:`Kll ~then_:`Gk
+
 (* --- append rollback --------------------------------------------------- *)
 
 (* A failed append is transactional at the WAL layer: the sequence
@@ -500,6 +621,18 @@ let () =
             test_never_sync_loses_open_tail;
         ] );
       ("torn tails", [ Alcotest.test_case "floored and truncated" `Quick test_torn_tail_floored ]);
+      ( "kll sketch",
+        [
+          Alcotest.test_case "crash then recover" `Quick test_kll_round_trip_crash;
+          Alcotest.test_case "checkpoint bounds the replay" `Quick
+            test_kll_checkpoint_bounds_replay;
+          Alcotest.test_case "torn kll checkpoint ignored" `Quick
+            test_kll_torn_checkpoint_ignored;
+          Alcotest.test_case "corrupt kll checkpoint ignored" `Quick
+            test_kll_corrupt_checkpoint_ignored;
+          Alcotest.test_case "gk store reopened as kll" `Quick test_gk_store_reopened_as_kll;
+          Alcotest.test_case "kll store reopened as gk" `Quick test_kll_store_reopened_as_gk;
+        ] );
       ( "append rollback",
         [
           Alcotest.test_case "wal layer" `Quick test_wal_append_rollback_direct;
