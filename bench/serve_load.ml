@@ -25,6 +25,8 @@ type opts = {
   mutable queue_depth : int;
   mutable seed : int;
   mutable shards : int;
+  mutable replicas : int;
+  mutable kill_replica : bool;
   mutable ingest_domains : int;
   mutable ingest_heavy : bool;
 }
@@ -39,6 +41,8 @@ let parse_args () =
       queue_depth = 128;
       seed = 42;
       shards = 1;
+      replicas = 1;
+      kill_replica = false;
       ingest_domains = 1;
       ingest_heavy = false;
     }
@@ -51,6 +55,12 @@ let parse_args () =
       ("--queue-depth", Arg.Int (fun n -> o.queue_depth <- n), "N self-serve admission capacity");
       ("--seed", Arg.Int (fun n -> o.seed <- n), "N workload seed");
       ("--shards", Arg.Int (fun k -> o.shards <- k), "K self-serve sharded backend (default 1)");
+      ( "--replicas",
+        Arg.Int (fun r -> o.replicas <- r),
+        "R replicas per shard in the self-serve backend (default 1)" );
+      ( "--kill-replica",
+        Arg.Unit (fun () -> o.kill_replica <- true),
+        " kill one replica mid-run and assert answers stay undegraded" );
       ( "--ingest-domains",
         Arg.Int (fun d -> o.ingest_domains <- d),
         "D self-serve concurrent ingest lanes (default 1)" );
@@ -160,11 +170,11 @@ let () =
       let listen = Server.Unix_sock (Filename.concat dir "hsq.sock") in
       let config = { (Server.default_config listen) with Server.queue_depth = o.queue_depth } in
       let srv =
-        if o.shards > 1 then begin
+        if o.shards > 1 || o.replicas > 1 then begin
           let g =
             Hsq_shard.Shard_group.create
-              (Hsq.Config.make ~shards:o.shards ~ingest_domains:o.ingest_domains
-                 (Hsq.Config.Epsilon 0.01))
+              (Hsq.Config.make ~shards:o.shards ~replicas:o.replicas
+                 ~ingest_domains:o.ingest_domains (Hsq.Config.Epsilon 0.01))
           in
           preload
             ~observe:(Hsq_shard.Shard_group.observe g)
@@ -198,7 +208,47 @@ let () =
           ())
       per_worker
   in
+  (* Failover blip: halfway through the run, kill one replica through
+     the daemon's maintenance path, then probe over the wire — the
+     answer must stay fully undegraded (a live sibling serves the
+     shard at ±ε·m), and the workers above keep measuring latency
+     straight through the blip. *)
+  let failover_undegraded = ref true in
+  let chaos =
+    if not o.kill_replica then None
+    else
+      match server with
+      | Some srv when o.replicas > 1 -> (
+        match Server.group srv with
+        | Some _ ->
+          Some
+            (Thread.create
+               (fun () ->
+                 Thread.delay (o.duration_s /. 2.0);
+                 Server.submit_group_fn srv (fun g ->
+                     Hsq_shard.Shard_group.mark_replica_down g ~shard:0
+                       ~replica:(o.replicas - 1) ~reason:"bench: failover blip");
+                 let c = Client.connect listen in
+                 let r = Client.quick c (`Phi 0.5) in
+                 (match Json.get_str r "degradation" with
+                 | Some "none" -> ()
+                 | d ->
+                   failover_undegraded := false;
+                   Printf.eprintf "kill-replica probe: degradation %s\n%!"
+                     (Option.value d ~default:"<absent>"));
+                 Client.close c)
+               ())
+        | None ->
+          failover_undegraded := false;
+          prerr_endline "--kill-replica needs a group backend";
+          None)
+      | _ ->
+        failover_undegraded := false;
+        prerr_endline "--kill-replica needs self-serve mode with --replicas >= 2";
+        None
+  in
   Array.iter Thread.join threads;
+  Option.iter Thread.join chaos;
   let elapsed = now () -. t0 in
   (* Drain our own server; leave an external one running. *)
   let drained_clean =
@@ -226,9 +276,12 @@ let () =
           merged.(i).errors <- merged.(i).errors + t.errors)
         tallies)
     per_worker;
-  Printf.printf "serve_load: %d conns, %.1fs, %d shard%s, %d ingest lane%s%s, %s\n" o.conns
-    elapsed o.shards
+  Printf.printf "serve_load: %d conns, %.1fs, %d shard%s x %d replica%s%s, %d ingest lane%s%s, %s\n"
+    o.conns elapsed o.shards
     (if o.shards = 1 then "" else "s")
+    o.replicas
+    (if o.replicas = 1 then "" else "s")
+    (if o.kill_replica then " (one killed mid-run)" else "")
     o.ingest_domains
     (if o.ingest_domains = 1 then "" else "s")
     (if o.ingest_heavy then ", ingest-heavy mix" else "")
@@ -248,12 +301,15 @@ let () =
         (float_of_int (Array.length lat) /. elapsed)
         (ms 0.5) (ms 0.99) (ms 0.999) t.shed t.timeout)
     merged;
-  Printf.printf "total: %d ok, %.1f req/s, %d client-visible errors, drain %s\n" !total_ok
+  Printf.printf "total: %d ok, %.1f req/s, %d client-visible errors, drain %s%s\n" !total_ok
     (float_of_int !total_ok /. elapsed)
     !total_errors
-    (if drained_clean then "clean" else "UNCLEAN");
+    (if drained_clean then "clean" else "UNCLEAN")
+    (if o.kill_replica then
+       if !failover_undegraded then ", failover undegraded" else ", failover DEGRADED"
+     else "");
   if o.smoke then
-    if !total_ok > 0 && !total_errors = 0 && drained_clean then begin
+    if !total_ok > 0 && !total_errors = 0 && drained_clean && !failover_undegraded then begin
       print_endline "smoke: OK";
       exit 0
     end

@@ -6,7 +6,13 @@
    isolate what fusion itself costs: the k-way summary merge on quick,
    and the multi-shard probe fan-out on accurate.  A final column
    re-measures quick/accurate with one shard down (K=4), showing the
-   degraded path's cost next to its widened bound. *)
+   degraded path's cost next to its widened bound.
+
+   A replicated section follows: K=4 at R ∈ {1, 2} isolates the write
+   amplification of synchronous replica fan-out (every acked observe
+   applies to R engines), and a "1 rep down" row measures the failover
+   read path — one replica of a shard dark, answers still served at
+   full precision by its sibling — next to the healthy R=2 numbers. *)
 
 module G = Hsq_shard.Shard_group
 
@@ -33,8 +39,11 @@ type row = {
   acc_bound_mean : float;
 }
 
-let measure ~label ?down g =
+let measure ~label ?down ?down_replica g =
   (match down with Some s -> G.mark_down g s ~reason:"bench" | None -> ());
+  (match down_replica with
+  | Some (s, j) -> G.mark_replica_down g ~shard:s ~replica:j ~reason:"bench"
+  | None -> ());
   let quick_lat = Array.make n_queries 0.0 in
   let acc_lat = Array.make n_queries 0.0 in
   let bound_sum = ref 0.0 in
@@ -67,8 +76,8 @@ let measure ~label ?down g =
     acc_bound_mean = !bound_sum /. float_of_int n_queries;
   }
 
-let build k ~seed =
-  let g = G.create (Hsq.Config.make ~shards:k (Hsq.Config.Epsilon 0.01)) in
+let build ?(replicas = 1) k ~seed =
+  let g = G.create (Hsq.Config.make ~shards:k ~replicas (Hsq.Config.Epsilon 0.01)) in
   let rng = Random.State.make [| seed; k |] in
   let t0 = now () in
   for _step = 1 to n_hist_steps do
@@ -98,6 +107,15 @@ let () =
       end;
       G.close g)
     [ 1; 2; 4 ];
+  (* Replicated rows: same workload, K=4, R in {1, 2}.  The R=1 row is
+     the K=4 row above; R=2 shows the synchronous write amplification
+     on ingest, and the "1 rep down" row the failover read path. *)
+  let g_r2, ingest_r2 = build 4 ~replicas:2 ~seed in
+  rows := { (measure ~label:"K=4 R=2" g_r2) with ingest_per_s = ingest_r2 } :: !rows;
+  rows :=
+    { (measure ~label:"K=4 R=2, 1 rep down" ~down_replica:(0, 1) g_r2) with ingest_per_s = 0.0 }
+    :: !rows;
+  G.close g_r2;
   Printf.printf "shard_bench: %d hist + %d stream elements, %d queries per cell, seed %d\n"
     (n_hist_steps * per_step) n_stream n_queries seed;
   Printf.printf "%-12s %12s %12s %12s %12s %12s %12s\n" "config" "ingest/s" "quick_p50us"

@@ -65,6 +65,18 @@ let shards =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
 
+let replicas =
+  let doc =
+    "Run every logical shard as $(docv) replicated engines (own device, WAL, checkpoints, \
+     breaker per replica): writes fan out synchronously to each live replica and are \
+     acknowledged while at least one accepts, reads fail over to a sibling instead of \
+     widening bounds when a replica is down, downed replicas catch up from hinted handoff \
+     on rejoin, and $(b,hsq scrub) compares replica state digests and repairs divergence \
+     from the healthiest sibling. Works with or without --shards. 1 = unreplicated (the \
+     default)."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"R" ~doc)
+
 let query_domains =
   let doc =
     "Fan accurate-query disk probes across $(docv) domains per bisection step. Answers are \
@@ -169,46 +181,66 @@ let make_engine ~epsilon ~kappa ~block_size ~device_path ~steps_hint ?query_doma
 
 module G = Hsq_shard.Shard_group
 
-let report_shard_recoveries recoveries =
+let report_shard_recoveries ?(replicas = 1) recoveries =
   List.iter
-    (fun { G.shard; outcome } ->
+    (fun { G.shard; replica; outcome } ->
+      let who =
+        if replicas > 1 then Printf.sprintf "shard %d replica %d" shard replica
+        else Printf.sprintf "shard %d" shard
+      in
       match outcome with
       | Ok r -> if r.Hsq.Engine.replayed > 0 || r.Hsq.Engine.checkpoint_used then
-          Printf.eprintf "[recover] shard %d: replayed %d WAL records, %d steps re-archived%s\n%!"
-            shard r.Hsq.Engine.replayed r.Hsq.Engine.steps_reingested
+          Printf.eprintf "[recover] %s: replayed %d WAL records, %d steps re-archived%s\n%!"
+            who r.Hsq.Engine.replayed r.Hsq.Engine.steps_reingested
             (if r.Hsq.Engine.checkpoint_used then "; resumed from sketch checkpoint" else "")
       | Error msg ->
-        Printf.eprintf "[recover] shard %d FAILED, marked down (queries degrade, rejoin after repair): %s\n%!"
-          shard msg)
+        Printf.eprintf "[recover] %s FAILED, marked down (%s): %s\n%!" who
+          (if replicas > 1 then "siblings keep serving, rejoin after repair"
+           else "queries degrade, rejoin after repair")
+          msg)
     recoveries
 
-let make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint ?query_domains
+let make_group ~shards ?(replicas = 1) ~epsilon ~kappa ~block_size ~steps_hint ?query_domains
     ?query_deadline_ms ?durable ?(wal_sync = Hsq_storage.Wal.Always)
     ?(checkpoint_every = 10_000) ?(ingest_domains = 1) ?(stream_sketch = `Gk) () =
   match durable with
   | Some dir ->
     let config =
       Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms
-        ~wal_dir:dir ~wal_sync ~checkpoint_every ~shards ~ingest_domains ~stream_sketch
-        (Hsq.Config.Epsilon epsilon)
+        ~wal_dir:dir ~wal_sync ~checkpoint_every ~shards ~replicas ~ingest_domains
+        ~stream_sketch (Hsq.Config.Epsilon epsilon)
     in
     let g, recoveries = G.open_or_recover config in
-    report_shard_recoveries recoveries;
+    report_shard_recoveries ~replicas recoveries;
     g
   | None ->
     G.create
       (Hsq.Config.make ~kappa ~block_size ~steps_hint ?query_domains ?query_deadline_ms ~shards
-         ~ingest_domains ~stream_sketch (Hsq.Config.Epsilon epsilon))
+         ~replicas ~ingest_domains ~stream_sketch (Hsq.Config.Epsilon epsilon))
 
 let report_group_footprint g =
   let down = G.shards_down g in
-  Printf.printf "N=%d (historical %d + stream %d%s), %d time steps, %d shards%s\n"
+  Printf.printf "N=%d (historical %d + stream %d%s), %d time steps, %d shards%s%s\n"
     (G.total_size g) (G.hist_size g) (G.stream_size g)
     (match G.down_elements g with 0 -> "" | d -> Printf.sprintf " + %d dark on down shards" d)
     (G.time_steps g) (G.shard_count g)
+    (if G.replica_count g > 1 then Printf.sprintf " x %d replicas" (G.replica_count g) else "")
     (match down with
     | [] -> ""
     | ks -> Printf.sprintf " (DOWN: %s)" (String.concat "," (List.map string_of_int ks)));
+  (if G.replica_count g > 1 then begin
+     List.iter
+       (fun (i, j) ->
+         Printf.printf "replica %d of shard %d down (%s) — sibling serving at full precision\n"
+           j i
+           (Option.value ~default:"?" (G.replica_down_reason g ~shard:i ~replica:j)))
+       (G.replicas_down g);
+     List.iter
+       (fun (i, j) ->
+         Printf.printf "replica %d of shard %d DIVERGED — excluded from reads (scrub --repair)\n"
+           j i)
+       (G.diverged_replicas g)
+   end);
   Printf.printf "summary memory: %d words (%.1f KiB)\n" (G.memory_words g)
     (float_of_int (8 * G.memory_words g) /. 1024.0)
 
@@ -281,11 +313,12 @@ let save_meta =
   let doc = "After the run, save warehouse metadata here (requires --device)." in
   Arg.(value & opt (some string) None & info [ "save-meta" ] ~docv:"PATH" ~doc)
 
-let simulate_group ~shards ~ingest_domains ~stream_sketch dataset steps step_size seed epsilon
-    kappa block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every =
+let simulate_group ~shards ~replicas ~ingest_domains ~stream_sketch dataset steps step_size seed
+    epsilon kappa block_size query_domains deadline_ms phis verify durable wal_sync
+    checkpoint_every =
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
   let g =
-    make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:steps ?query_domains
+    make_group ~shards ~replicas ~epsilon ~kappa ~block_size ~steps_hint:steps ?query_domains
       ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains
       ~stream_sketch ()
   in
@@ -335,15 +368,16 @@ let simulate_group ~shards ~ingest_domains ~stream_sketch dataset steps step_siz
   0
 
 let simulate dataset steps step_size seed epsilon kappa block_size device_path query_domains
-    deadline_ms phis verify save_meta durable wal_sync checkpoint_every shards ingest_domains
-    stream_sketch =
-  if shards > 1 then begin
+    deadline_ms phis verify save_meta durable wal_sync checkpoint_every shards replicas
+    ingest_domains stream_sketch =
+  if shards > 1 || replicas > 1 then begin
     if device_path <> None then
-      prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
+      prerr_endline "warning: --device ignored with --shards/--replicas (each store owns its device)";
     if save_meta <> None then
-      prerr_endline "warning: --save-meta ignored with --shards (shards keep their own sidecars)";
-    simulate_group ~shards ~ingest_domains ~stream_sketch dataset steps step_size seed epsilon
-      kappa block_size query_domains deadline_ms phis verify durable wal_sync checkpoint_every
+      prerr_endline "warning: --save-meta ignored with --shards/--replicas (stores keep their own sidecars)";
+    simulate_group ~shards ~replicas ~ingest_domains ~stream_sketch dataset steps step_size seed
+      epsilon kappa block_size query_domains deadline_ms phis verify durable wal_sync
+      checkpoint_every
   end
   else begin
   let ds = Hsq_workload.Datasets.by_name ~seed dataset in
@@ -431,7 +465,7 @@ let simulate_cmd =
     Term.(
       const simulate $ dataset $ steps $ step_size $ seed $ epsilon $ kappa $ block_size
       $ device_path $ query_domains $ deadline_ms $ phis $ verify $ save_meta $ durable_dir
-      $ wal_sync $ checkpoint_every $ shards $ ingest_domains $ sketch_kind)
+      $ wal_sync $ checkpoint_every $ shards $ replicas $ ingest_domains $ sketch_kind)
 
 (* --- stream ------------------------------------------------------------- *)
 
@@ -458,7 +492,7 @@ let stream_loop ~observe ~end_step ~step_every =
   with End_of_file -> ()
 
 let stream step_every epsilon kappa block_size device_path query_domains deadline_ms phis
-    durable wal_sync checkpoint_every shards ingest_domains stream_sketch =
+    durable wal_sync checkpoint_every shards replicas ingest_domains stream_sketch =
   (* stdin is read sequentially, so lanes are driven round-robin from
      this one thread: the win is the lanes' batched sketch hand-off
      (sorted-run merges instead of per-element inserts), not thread
@@ -470,11 +504,11 @@ let stream step_every epsilon kappa block_size device_path query_domains deadlin
     lane := (d + 1) mod ingest_domains;
     d
   in
-  if shards > 1 then begin
+  if shards > 1 || replicas > 1 then begin
     if device_path <> None then
-      prerr_endline "warning: --device ignored with --shards (each shard owns its device)";
+      prerr_endline "warning: --device ignored with --shards/--replicas (each store owns its device)";
     let g =
-      make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
+      make_group ~shards ~replicas ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
         ?query_deadline_ms:deadline_ms ?durable ~wal_sync ~checkpoint_every ~ingest_domains
         ~stream_sketch ()
     in
@@ -558,26 +592,26 @@ let stream_cmd =
     (Cmd.info "stream" ~doc)
     Term.(
       const stream $ step_every $ epsilon $ kappa $ block_size $ device_path $ query_domains
-      $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every $ shards
+      $ deadline_ms $ phis $ durable_dir $ wal_sync $ checkpoint_every $ shards $ replicas
       $ ingest_domains $ sketch_kind)
 
 (* --- query (restored warehouse) ------------------------------------------ *)
 
-let query device meta query_domains deadline_ms phis heavy trace durable shards =
-  if shards > 1 then begin
+let query device meta query_domains deadline_ms phis heavy trace durable shards replicas =
+  if shards > 1 || replicas > 1 then begin
     match durable with
     | None ->
-      prerr_endline "query --shards requires --durable DIR (the sharded store root)";
+      prerr_endline "query --shards/--replicas requires --durable DIR (the sharded store root)";
       2
     | Some dir ->
-      if heavy <> None then prerr_endline "warning: --heavy ignored with --shards";
-      if trace then prerr_endline "warning: --trace ignored with --shards";
+      if heavy <> None then prerr_endline "warning: --heavy ignored with --shards/--replicas";
+      if trace then prerr_endline "warning: --trace ignored with --shards/--replicas";
       let config =
         Hsq.Config.make ?query_domains ?query_deadline_ms:deadline_ms ~wal_dir:dir ~shards
-          (Hsq.Config.Epsilon 0.01)
+          ~replicas (Hsq.Config.Epsilon 0.01)
       in
       let g, recoveries = G.open_or_recover config in
-      report_shard_recoveries recoveries;
+      report_shard_recoveries ~replicas recoveries;
       let code =
         if G.total_size g = 0 then begin
           prerr_endline "empty store";
@@ -586,6 +620,9 @@ let query device meta query_domains deadline_ms phis heavy trace durable shards 
         else begin
           report_group_footprint g;
           report_group_quantiles g phis;
+          (* Exit-code contract: degraded answers (a whole shard dark)
+             fail; a downed replica with a live sibling keeps full
+             precision and exits 0. *)
           if G.shards_down g = [] then 0 else 1
         end
       in
@@ -660,7 +697,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const query $ device_path $ meta $ query_domains $ deadline_ms $ phis $ heavy $ trace
-      $ durable_dir $ shards)
+      $ durable_dir $ shards $ replicas)
 
 (* --- inspect --------------------------------------------------------------- *)
 
@@ -713,32 +750,82 @@ let inspect_cmd =
 
 (* --- scrub ----------------------------------------------------------------- *)
 
-let scrub device meta repair durable shards =
-  if shards > 1 then begin
+let scrub device meta repair durable shards replicas =
+  if shards > 1 || replicas > 1 then begin
     match durable with
     | None ->
-      prerr_endline "scrub --shards requires --durable DIR (the sharded store root)";
+      prerr_endline "scrub --shards/--replicas requires --durable DIR (the sharded store root)";
       2
     | Some dir ->
-      let config = Hsq.Config.make ~wal_dir:dir ~shards (Hsq.Config.Epsilon 0.01) in
+      let config = Hsq.Config.make ~wal_dir:dir ~shards ~replicas (Hsq.Config.Epsilon 0.01) in
       let g, recoveries = G.open_or_recover config in
-      report_shard_recoveries recoveries;
+      report_shard_recoveries ~replicas recoveries;
       let errors = ref 0 in
-      List.iter
-        (fun (i, (r : Hsq.Persist.scrub_report)) ->
-          Printf.printf "shard %d: scrubbed %d partitions (%d block reads)" i
-            r.Hsq.Persist.partitions_checked r.Hsq.Persist.blocks_read;
-          if repair then
-            Printf.printf "; %d quarantined, %d reinstated, %d still quarantined"
-              r.Hsq.Persist.quarantined r.Hsq.Persist.reinstated
-              r.Hsq.Persist.still_quarantined;
-          print_newline ();
-          List.iter
-            (fun e ->
-              incr errors;
-              Printf.printf "SCRUB ERROR [shard %d]: %s\n" i e)
-            r.Hsq.Persist.errors)
-        (G.scrub ~repair g);
+      let print_report who (r : Hsq.Persist.scrub_report) =
+        Printf.printf "%s: scrubbed %d partitions (%d block reads)" who
+          r.Hsq.Persist.partitions_checked r.Hsq.Persist.blocks_read;
+        if repair then
+          Printf.printf "; %d quarantined, %d reinstated, %d still quarantined"
+            r.Hsq.Persist.quarantined r.Hsq.Persist.reinstated
+            r.Hsq.Persist.still_quarantined;
+        print_newline ();
+        List.iter
+          (fun e ->
+            incr errors;
+            Printf.printf "SCRUB ERROR [%s]: %s\n" who e)
+          r.Hsq.Persist.errors
+      in
+      if replicas > 1 then begin
+        (* Per-replica media scrub, then the anti-entropy digest pass:
+           replicas of a shard apply identical op sequences, so any
+           digest disagreement is real divergence. *)
+        List.iter
+          (fun ((i, j), r) -> print_report (Printf.sprintf "shard %d replica %d" i j) r)
+          (G.scrub_all ~repair g);
+        List.iter
+          (fun (er : G.entropy_report) ->
+            (match er.G.flagged with
+            | [] ->
+              Printf.printf "anti-entropy [shard %d]: %d replicas consistent\n"
+                er.G.entropy_shard
+                (List.length er.G.digests)
+            | flagged ->
+              List.iter
+                (fun (j, why) ->
+                  if List.mem j er.G.repaired then
+                    Printf.printf
+                      "anti-entropy [shard %d]: replica %d DIVERGED (%s); repaired from \
+                       healthiest sibling\n"
+                      er.G.entropy_shard j why
+                  else if not (List.mem_assoc j er.G.repair_failed) then begin
+                    incr errors;
+                    Printf.printf "ANTI-ENTROPY ERROR [shard %d]: replica %d diverged (%s)%s\n"
+                      er.G.entropy_shard j why
+                      (if repair then "" else "; re-run with --repair")
+                  end)
+                flagged);
+            List.iter
+              (fun (j, why) ->
+                incr errors;
+                Printf.printf "ANTI-ENTROPY ERROR [shard %d]: replica %d repair failed: %s\n"
+                  er.G.entropy_shard j why)
+              er.G.repair_failed)
+          (G.anti_entropy ~repair g);
+        (* Downed replicas with live siblings are warnings, not damage:
+           answers keep full precision and hints replay on rejoin. *)
+        List.iter
+          (fun (i, j) ->
+            if not (List.mem i (G.shards_down g)) then
+              Printf.printf
+                "scrub: shard %d replica %d down (%s) — sibling serving, catches up on rejoin\n"
+                i j
+                (Option.value ~default:"?" (G.replica_down_reason g ~shard:i ~replica:j)))
+          (G.replicas_down g)
+      end
+      else
+        List.iter
+          (fun (i, r) -> print_report (Printf.sprintf "shard %d" i) r)
+          (G.scrub ~repair g);
       let down = G.shards_down g in
       List.iter
         (fun i ->
@@ -812,7 +899,7 @@ let scrub_cmd =
      and sortedness. Exits non-zero if any damage is found."
   in
   Cmd.v (Cmd.info "scrub" ~doc)
-    Term.(const scrub $ device_path $ meta $ repair $ durable_dir $ shards)
+    Term.(const scrub $ device_path $ meta $ repair $ durable_dir $ shards $ replicas)
 
 (* --- status (durable store health) ----------------------------------------- *)
 
@@ -904,28 +991,79 @@ let status_one dir pool_blocks health =
     end
   end
 
-(* Sharded status: the same per-store checks on every shard directory,
-   rolled up into one verdict (0 only when every shard is OK). *)
-let status dir shards pool_blocks health =
-  if shards <= 1 then status_one dir pool_blocks health
+(* Sharded/replicated status: the same per-store checks on every
+   replica store, rolled up into one verdict.
+
+   Exit-code contract (documented in the README): 0 also covers
+   degraded-but-full-precision states — a damaged or missing replica
+   store whose sibling is intact keeps every answer inside ±ε·m, so it
+   is reported as a warning; only a shard with NO intact replica
+   (answers degraded) exits 1. With --replicas 1 this collapses to the
+   old per-shard verdict: any damaged shard exits 1. *)
+let status dir shards replicas pool_blocks health =
+  if shards <= 1 && replicas <= 1 then status_one dir pool_blocks health
   else begin
-    let codes =
+    let rows =
       List.init shards (fun i ->
-          let sdir = G.shard_dir ~root:dir i in
-          Printf.printf "== shard %d: %s ==\n" i sdir;
-          let code =
-            if Sys.file_exists sdir && Sys.is_directory sdir then status_one sdir pool_blocks health
-            else begin
-              Printf.printf "shard %d: MISSING (never created, or lost with its volume)\n" i;
-              1
-            end
-          in
-          print_newline ();
-          code)
+          List.init replicas (fun j ->
+              let sdir = G.store_dir ~root:dir ~shards ~replicas ~shard:i ~replica:j in
+              if replicas > 1 then Printf.printf "== shard %d replica %d: %s ==\n" i j sdir
+              else Printf.printf "== shard %d: %s ==\n" i sdir;
+              let code =
+                if Sys.file_exists sdir && Sys.is_directory sdir then
+                  status_one sdir pool_blocks health
+                else begin
+                  if replicas > 1 then
+                    Printf.printf
+                      "shard %d replica %d: MISSING (never created, or lost with its volume)\n"
+                      i j
+                  else
+                    Printf.printf "shard %d: MISSING (never created, or lost with its volume)\n" i;
+                  1
+                end
+              in
+              print_newline ();
+              code))
     in
-    let bad = List.length (List.filter (fun c -> c <> 0) codes) in
-    Printf.printf "status: %d/%d shards OK\n" (shards - bad) shards;
-    if bad = 0 then 0 else 1
+    if replicas > 1 then begin
+      (* Per-shard replica matrix: one row per shard, one cell per
+         replica store. *)
+      print_endline "replica matrix:";
+      List.iteri
+        (fun i row ->
+          Printf.printf "  shard %d: %s\n" i
+            (String.concat "  "
+               (List.mapi
+                  (fun j c -> Printf.sprintf "r%d=%s" j (if c = 0 then "OK" else "BAD"))
+                  row)))
+        rows;
+      let shard_ok = List.map (List.exists (fun c -> c = 0)) rows in
+      let bad_replicas =
+        List.fold_left
+          (fun acc row -> acc + List.length (List.filter (fun c -> c <> 0) row))
+          0 rows
+      in
+      Printf.printf "status: %d/%d replica stores OK, %d/%d shards with an intact replica\n"
+        ((shards * replicas) - bad_replicas)
+        (shards * replicas)
+        (List.length (List.filter Fun.id shard_ok))
+        shards;
+      if List.for_all Fun.id shard_ok then begin
+        if bad_replicas > 0 then
+          Printf.printf
+            "status: WARNING — %d damaged replica store(s); siblings keep full precision, \
+             repair on rejoin\n"
+            bad_replicas;
+        0
+      end
+      else 1
+    end
+    else begin
+      let codes = List.concat rows in
+      let bad = List.length (List.filter (fun c -> c <> 0) codes) in
+      Printf.printf "status: %d/%d shards OK\n" (shards - bad) shards;
+      if bad = 0 then 0 else 1
+    end
   end
 
 let status_cmd =
@@ -954,7 +1092,8 @@ let status_cmd =
      sketch-checkpoint coverage. Exits non-zero if the store is damaged beyond what recovery \
      handles."
   in
-  Cmd.v (Cmd.info "status" ~doc) Term.(const status $ dir $ shards $ pool_blocks $ health)
+  Cmd.v (Cmd.info "status" ~doc)
+    Term.(const status $ dir $ shards $ replicas $ pool_blocks $ health)
 
 (* --- metrics --------------------------------------------------------------- *)
 
@@ -1010,8 +1149,8 @@ let metrics_cmd =
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve socket tcp epsilon kappa block_size query_domains durable wal_sync checkpoint_every
-    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms shards ingest_domains
-    stream_sketch =
+    queue_depth quick_ms accurate_ms ingest_ms admin_ms read_timeout_ms shards replicas
+    ingest_domains stream_sketch =
   let listen =
     match (socket, tcp) with
     | Some path, None -> Some (Hsq_serve.Server.Unix_sock path)
@@ -1034,10 +1173,11 @@ let serve socket tcp epsilon kappa block_size query_domains durable wal_sync che
     in
     try
       let srv =
-        if shards > 1 then
+        if shards > 1 || replicas > 1 then
           Hsq_serve.Server.create_group config
-            (make_group ~shards ~epsilon ~kappa ~block_size ~steps_hint:100 ?query_domains
-               ?durable ~wal_sync ~checkpoint_every ~ingest_domains ~stream_sketch ())
+            (make_group ~shards ~replicas ~epsilon ~kappa ~block_size ~steps_hint:100
+               ?query_domains ?durable ~wal_sync ~checkpoint_every ~ingest_domains
+               ~stream_sketch ())
         else
           Hsq_serve.Server.create config
             (make_engine ~epsilon ~kappa ~block_size ~device_path:None ~steps_hint:100
@@ -1057,6 +1197,7 @@ let serve socket tcp epsilon kappa block_size query_domains durable wal_sync che
         queue_depth
         (match durable with None -> "" | Some d -> ", durable at " ^ d)
         ((if shards > 1 then Printf.sprintf ", %d shards" shards else "")
+        ^ (if replicas > 1 then Printf.sprintf ", %d replicas" replicas else "")
         ^ if ingest_domains > 1 then Printf.sprintf ", %d ingest lanes" ingest_domains else "");
       Hsq_serve.Server.wait srv;
       prerr_endline "hsq serve: drained";
@@ -1110,7 +1251,7 @@ let serve_cmd =
       $ budget "accurate-budget-ms" 2000.0 "accurate-query"
       $ budget "ingest-budget-ms" 2000.0 "ingest"
       $ budget "admin-budget-ms" 1000.0 "admin"
-      $ read_timeout_ms $ shards $ ingest_domains $ sketch_kind)
+      $ read_timeout_ms $ shards $ replicas $ ingest_domains $ sketch_kind)
 
 let () =
   let doc = "quantiles over the union of historical and streaming data (VLDB'16 reproduction)" in

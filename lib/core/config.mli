@@ -52,6 +52,16 @@ type t = {
           topology, like [query_domains]: each shard persists its own
           single-engine config, so this field is never written to a
           sidecar *)
+  replicas : int;
+      (** independent engine replicas per logical shard when the store
+          is driven through {!Shard_group}: writes are applied
+          synchronously to every live replica, reads take one live
+          replica per shard and fail over to a sibling on faults, so
+          answers keep full ±ε·m precision through any loss that leaves
+          ≥1 replica per shard. 1 = unreplicated (the classic layout,
+          bit-compatible with stores written before replication
+          existed). Runtime topology, like [shards]: never persisted.
+          Validated to [1, 8]. *)
   ingest_domains : int;
       (** concurrent ingest lanes feeding the stream sketch (Quancurrent
           style, DESIGN.md §15): each lane buffers [ingest_batch]
@@ -94,6 +104,7 @@ val make :
   ?query_deadline_ms:float ->
   ?quarantine_after:int ->
   ?shards:int ->
+  ?replicas:int ->
   ?ingest_domains:int ->
   ?ingest_batch:int ->
   ?stream_sketch:[ `Gk | `Kll ] ->

@@ -73,9 +73,12 @@ let render ~config ~descriptors =
   Buffer.contents buf
 
 (* Crash-atomic: write to a sibling temp file, flush, rename over the
-   destination.  A crash before the rename leaves the previous sidecar
-   untouched; a crash mid-write leaves only a stale .tmp that no load
-   path ever reads. *)
+   destination, then fsync tmp + parent directory (Atomic_file.commit).
+   A crash before the rename leaves the previous sidecar untouched; a
+   crash mid-write leaves only a stale .tmp that no load path ever
+   reads; and the directory fsync makes the rename itself survive a
+   power cut — without it the directory entry can roll back to the old
+   sidecar even though the new one's blocks hit disk. *)
 let write ~path contents =
   let tmp = path ^ ".tmp" in
   let oc = open_out tmp in
@@ -84,7 +87,7 @@ let write ~path contents =
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Hsq_storage.Atomic_file.commit ~tmp path
 
 let verify_checksum lines =
   match List.rev lines with

@@ -48,18 +48,54 @@ val to_fields : t -> (string * Json.t) list
 (** {1 Sharded stores}
 
     The same collect/render split, rolled up over a
-    {!Hsq_shard.Shard_group}: healthy iff every shard is up and
-    individually healthy; a down shard reports its reason and frozen
-    element count. *)
+    {!Hsq_shard.Shard_group} with a two-tier verdict:
 
-type shard_health =
-  | Shard_up of t
-  | Shard_down of { reason : string; elements : int }
+    - {b full precision} (exit 0): every shard serves reads through a
+      live, healthy, non-diverged replica — answers keep the complete
+      ±ε·m contract even if sibling replicas are down, draining hints,
+      or flagged diverged.  Those surface as {!group_warnings}.
+    - {b answers degraded} (exit 1): some shard cannot produce an
+      undegraded answer (whole replica set down, serving replica
+      quarantined/breaker-open, or only a diverged replica left).
+
+    With R = 1 this collapses exactly to the pre-replication contract:
+    exit 0 iff every shard is up and individually healthy. *)
+
+type replica_health = {
+  replica : int;
+  state : [ `Up of t | `Down of string ];
+  diverged : bool;  (** flagged by anti-entropy; excluded from reads *)
+  hints_pending : int option;
+      (** [Some n] while a dead replica has [n] hint records waiting *)
+}
+
+type shard_health = {
+  serving : (int * t) option;
+      (** the read replica's index and health; [None] = shard dark *)
+  elements : int;  (** live count while serving, frozen when dark *)
+  reason : string option;  (** why the shard is dark, when it is *)
+  replicas : replica_health list;  (** ascending; singleton when R = 1 *)
+}
 
 type group = (int * shard_health) list
 
 val collect_group : Hsq_shard.Shard_group.t -> group
+
+(** Warning-free: every replica of every shard live, healthy,
+    non-diverged. Equals the old all-up-and-healthy at R = 1. *)
 val group_healthy : group -> bool
+
+(** Answers keep full ±ε·m precision (serving replicas all healthy and
+    non-diverged) — drives the exit code. *)
+val group_full_precision : group -> bool
+
+(** Degraded-but-full-precision conditions: downed replicas with a
+    sibling serving, pending hints, diverged or degraded non-serving
+    replicas. Empty when [group_healthy]. *)
+val group_warnings : group -> string list
+
+(** 0 iff {!group_full_precision}; warnings alone do not fail it. *)
 val group_exit_code : group -> int
+
 val group_to_lines : group -> string list
 val group_to_fields : group -> (string * Json.t) list

@@ -357,12 +357,18 @@ let execute_single t eng req ~deadline =
 
 let group_degradation_fields (report : G.query_report) =
   let down = match report.G.degradation with `Shard_down ks -> ks | _ -> [] in
+  let diverged =
+    match report.G.degradation with `Replica_diverged srs -> srs | _ -> []
+  in
   [
     ("bound", Json.Num report.G.rank_error_bound);
     ("degradation", Json.Str (G.degradation_label report.G.degradation));
     ("iterations", Json.int report.G.iterations);
     ("io", Json.int (Hsq_storage.Io_stats.total report.G.io));
     ("shards_down", Json.List (List.map Json.int down));
+    ( "replicas_diverged",
+      Json.List
+        (List.map (fun (i, j) -> Json.List [ Json.int i; Json.int j ]) diverged) );
   ]
 
 let execute_group t g req ~deadline =
@@ -474,6 +480,17 @@ let execute_group t g req ~deadline =
           ("shards", Json.int (G.shard_count g));
           ("shards_down", Json.List (List.map Json.int (G.shards_down g)));
           ("down_elements", Json.int (G.down_elements g));
+          ("replicas", Json.int (G.replica_count g));
+          ( "replicas_down",
+            Json.List
+              (List.map
+                 (fun (i, j) -> Json.List [ Json.int i; Json.int j ])
+                 (G.replicas_down g)) );
+          ( "replicas_diverged",
+            Json.List
+              (List.map
+                 (fun (i, j) -> Json.List [ Json.int i; Json.int j ])
+                 (G.diverged_replicas g)) );
           ("uptime_s", Json.Num (uptime_s t));
           ("queue_depth", Json.int (Admission.depth t.adm));
           ("queue_capacity", Json.int (Admission.capacity t.adm));

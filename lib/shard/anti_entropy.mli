@@ -1,0 +1,33 @@
+(** Anti-entropy primitives for replicated shards: per-replica state
+    digests and the file-level copy a repair uses to converge a
+    diverged replica onto a healthy sibling.
+
+    Replicas of a shard apply identical op sequences and every engine
+    structure is deterministic in that sequence (merge cascade, GK,
+    and the KLL sketch's seeded coin stream), so healthy siblings
+    agree bit-for-bit — making structural digests a sound divergence
+    detector and byte-identical file copy a sound repair. *)
+
+type digest = {
+  elements : int;  (** total logical elements *)
+  steps : int;  (** archived time steps *)
+  hist_hash : int;  (** checksum over all partition descriptors *)
+  levels : (int * int) list;  (** (level, checksum over that level's descriptors) *)
+  sketch_hash : int;  (** checksum of the forced sketch checkpoint file; 0 = volatile *)
+}
+
+(** Digest an engine's state. With [store_dir] (the replica's durable
+    directory) a sketch checkpoint is forced first and its file bytes
+    checksummed, so the digest covers the open step too; without it
+    the sketch component is 0. *)
+val digest : ?store_dir:string -> Hsq.Engine.t -> digest
+
+val equal : digest -> digest -> bool
+val to_string : digest -> string
+
+(** Replace [dst]'s store files with byte-identical copies of
+    [src]'s (hint logs and [.tmp] droppings excluded; stale [dst]
+    files removed first). Both engines must be closed or
+    crash-released; the caller reopens [dst] afterwards. Copies are
+    fsynced, and the destination directory fsynced last. *)
+val copy_store : src:string -> dst:string -> unit

@@ -1,35 +1,40 @@
-(* A sharded warehouse: K independent engines, one fused query surface.
+(* A sharded, replicated warehouse: K logical shards × R replicas each,
+   one fused query surface.
 
-   Ingest hash-partitions the stream (splitmix-style value hash mod K),
-   so each shard is a complete, unmodified single-submitter engine —
+   Ingest hash-partitions the stream (splitmix-style value hash mod K);
+   within a shard every op is applied synchronously to every LIVE
+   replica — each a complete, unmodified single-submitter engine with
    its own device, WAL, checkpoint, breaker, quarantine state and
-   metrics registry.  Queries fuse the per-shard state back together:
+   metrics registry.  An observe is acknowledged iff at least one live
+   replica accepted it; a replica that fails its append is taken down
+   (and hinted to) rather than failing the ack.
 
-   - quick: one Union_summary over the union of every up shard's
-     active partitions plus all K stream sketches
-     (Union_summary.build_fused).  Each entry's rank window is the sum
-     of the per-shard Lemma 2 windows; the sums bracket the union rank
-     because each shard's sketch brackets its own, and the window only
-     widens additively to Sigma_s eps2*m_s = eps2*m (all shards share
-     eps2) — the fused answer keeps the single-engine O(eps*N) error.
+   Queries fuse per-shard state exactly as before (DESIGN.md §14), but
+   read ONE live replica per shard and FAIL OVER to a sibling when a
+   replica's breaker opens or its probes exhaust their retries —
+   answers keep the full ±ε·m precision through any loss that leaves at
+   least one replica per shard.  Only losing a shard's whole replica
+   set degrades to `Shard_down with the honest element-count widening.
 
-   - accurate: the engine's Algorithms 6-8 lifted to the union: fused
-     filters, one value-domain bisection, per-partition disk probes
-     across every shard, and the *shared* stopping band
-     tolerance_factor * Sigma_s eps2*m_s under one deadline.  rho(z) is
-     exact over all probed partitions plus the summed stream estimates,
-     so the completed-query bound is the single-engine bound with m
-     read as the total stream size — the paper's O(eps*m), fused.
+   Hinted handoff: while a replica is down its shard-mates buffer every
+   acked op into a per-peer hint WAL (Hint_log); rejoin drains the log
+   into the recovered replica — exactly-once via main-WAL sequence
+   arithmetic — before it re-enters the read set.
 
-   Fault domains.  A shard is DOWN (mark_down, failed recovery) or
-   dropped per-query (breaker open / probes exhausted mid-bisection):
-   either way its contribution leaves the fused answer and the bound
-   honestly widens by its element count — exactly the quarantine
-   argument one level up, with a shard playing the role of a partition
-   whose rank window collapsed to [0, size].  Degradations compose
-   worst-wins; `Shard_down carries the shard indices.
+   Anti-entropy: replicas applying identical op sequences converge
+   bit-for-bit (deterministic merge cascade and seeded sketch coins),
+   so a scrub-triggered pass compares per-replica state digests
+   (Anti_entropy), flags mismatches as `Replica_diverged, and repairs
+   the minority from the healthiest sibling by file copy.
 
-   Like the engine, a group is single-submitter by contract. *)
+   R = 1 is the classic layout, bit-compatible on disk and in metrics
+   with stores written before replication existed.
+
+   Concurrency: the group remains single-submitter for queries, steps
+   and lifecycle.  With R > 1 the write paths (observe, observe_domain,
+   end_time_step, replica up/down transitions) additionally serialize
+   on one mutex so a connection-thread ingest cannot race a failover
+   transition; R = 1 takes no locks at all. *)
 
 module E = Hsq.Engine
 module BD = Hsq_storage.Block_device
@@ -41,26 +46,34 @@ module Li = Hsq_hist.Level_index
 exception Shard_unavailable of int * string
 
 type degradation =
-  [ `None | `Quarantined of int | `Deadline | `Device_open | `Shard_down of int list ]
+  [ `None
+  | `Replica_diverged of (int * int) list
+  | `Quarantined of int
+  | `Deadline
+  | `Device_open
+  | `Shard_down of int list ]
 
 let degradation_label : degradation -> string = function
   | #E.degradation as d -> E.degradation_label d
+  | `Replica_diverged _ -> "replica_diverged"
   | `Shard_down _ -> "shard_down"
 
 let severity : degradation -> int = function
   | `None -> 0
-  | `Quarantined _ -> 1
-  | `Deadline -> 2
-  | `Device_open -> 3
-  | `Shard_down _ -> 4
+  | `Replica_diverged _ -> 1
+  | `Quarantined _ -> 2
+  | `Deadline -> 3
+  | `Device_open -> 4
+  | `Shard_down _ -> 5
 
 (* Worst wins; equal severities merge their payloads so no information
    is invented (quarantine counts max — they describe the same store —
-   and shard lists union). *)
+   and shard / replica lists union). *)
 let worst_degradation (a : degradation) (b : degradation) : degradation =
   match (a, b) with
   | `Quarantined x, `Quarantined y -> `Quarantined (max x y)
   | `Shard_down x, `Shard_down y -> `Shard_down (List.sort_uniq compare (x @ y))
+  | `Replica_diverged x, `Replica_diverged y -> `Replica_diverged (List.sort_uniq compare (x @ y))
   | _ -> if severity a >= severity b then a else b
 
 type query_report = {
@@ -70,55 +83,104 @@ type query_report = {
   rank_error_bound : float;
 }
 
-type shard =
-  | Up of E.t
-  | Down of { reason : string; elements : int }
+type rstate =
+  | Live of E.t
+  | Dead of string (* reason *)
+
+type replica = {
+  rep : int;
+  mutable state : rstate;
+  mutable hints : Hint_log.t option; (* per-peer handoff log, only while Dead *)
+  mutable diverged : bool; (* flagged by anti-entropy, cleared by repair/rejoin *)
+}
 
 type t = {
   config : Hsq.Config.t;
   k : int;
-  shards : shard array;
-  last_size : int array; (* last known element count per shard; frozen on death *)
-  root : string option; (* durable root; None = volatile (no rejoin) *)
-  (* Fused-summary cache: the historical aggregate is keyed on each
-     alive shard's partition-set epoch, the built summary additionally
-     on each stream's size (a shard's stream only changes via observe —
-     size grows — or end_time_step — epoch bump), mirroring the
-     engine's own two-level cache. *)
-  mutable agg_cache : ((int * int) list * Us.hist_agg) option;
-  mutable us_cache : ((int * int * int) list * (Ss.t list * Us.t)) option;
+  r : int;
+  slots : replica array array; (* k × r *)
+  last_size : int array; (* last known element count per shard; frozen when all replicas die *)
+  root : string option; (* durable root; None = volatile (no rejoin, no hints) *)
+  lock : Mutex.t; (* replica transitions + replicated writes (r > 1 only) *)
+  (* Fused-summary cache: keyed on the chosen read replica and its
+     partition-set epoch (the summary additionally on stream size), so
+     a failover to a sibling rebuilds. *)
+  mutable agg_cache : ((int * int * int) list * Us.hist_agg) option;
+  mutable us_cache : ((int * int * int * int) list * (Ss.t list * Us.t)) option;
   mutable closed : bool;
 }
 
-(* --- construction ------------------------------------------------------ *)
+let with_lock t f =
+  if t.r = 1 then f ()
+  else begin
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+  end
+
+(* --- layout -------------------------------------------------------------- *)
 
 let shard_dir ~root i = Filename.concat root (Printf.sprintf "shard-%d" i)
 
-let tag_shard_registry e i =
+(* K = 1 stores the (single) shard in the root itself; R = 1 stores the
+   (single) replica in the shard directory itself — so K = 1, R = 1 is
+   byte-identical to a store laid out by a non-sharded build. *)
+let store_dir ~root ~shards ~replicas ~shard ~replica =
+  let home = if shards = 1 then root else shard_dir ~root shard in
+  if replicas = 1 then home else Filename.concat home (Printf.sprintf "replica-%d" replica)
+
+(* The directory hint logs live in: the shard's home (hint files are
+   shard state, not any one replica's). *)
+let shard_home t i =
+  match t.root with
+  | None -> invalid_arg "Shard_group: volatile group has no directories"
+  | Some root -> if t.k = 1 then root else shard_dir ~root i
+
+let replica_store_dir t i j =
+  match t.root with
+  | None -> invalid_arg "Shard_group: volatile group has no directories"
+  | Some root -> store_dir ~root ~shards:t.k ~replicas:t.r ~shard:i ~replica:j
+
+let tag_registry t e i j =
   Metrics.Gauge.set
     (Metrics.gauge ~help:"Index of this shard within its group" (E.metrics e) "hsq_shard_index")
-    (float_of_int i)
+    (float_of_int i);
+  if t.r > 1 then
+    Metrics.Gauge.set
+      (Metrics.gauge ~help:"Index of this replica within its shard" (E.metrics e)
+         "hsq_replica_index")
+      (float_of_int j)
 
-let shard_config config ~wal_dir = { config with Hsq.Config.shards = 1; wal_dir }
+let shard_config config ~wal_dir = { config with Hsq.Config.shards = 1; replicas = 1; wal_dir }
 
-let create config =
-  let k = config.Hsq.Config.shards in
-  let shards =
-    Array.init k (fun i ->
-        let e = E.create (shard_config config ~wal_dir:None) in
-        tag_shard_registry e i;
-        Up e)
-  in
+(* --- construction ------------------------------------------------------- *)
+
+let make_t config ~k ~r ~slots ~last_size ~root =
   {
     config;
     k;
-    shards;
-    last_size = Array.make k 0;
-    root = None;
+    r;
+    slots;
+    last_size;
+    root;
+    lock = Mutex.create ();
     agg_cache = None;
     us_cache = None;
     closed = false;
   }
+
+let create config =
+  let k = config.Hsq.Config.shards in
+  let r = config.Hsq.Config.replicas in
+  let slots =
+    Array.init k (fun _ ->
+        Array.init r (fun j -> { rep = j; state = Live (E.create (shard_config config ~wal_dir:None)); hints = None; diverged = false }))
+  in
+  let t = make_t config ~k ~r ~slots ~last_size:(Array.make k 0) ~root:None in
+  Array.iteri
+    (fun i reps ->
+      Array.iter (fun rep -> match rep.state with Live e -> tag_registry t e i rep.rep | Dead _ -> ()) reps)
+    slots;
+  t
 
 (* Best-effort element count of a store we failed to open: archived
    elements from the sidecar's partition table plus Observe records
@@ -156,59 +218,131 @@ let estimate_elements dir =
 
 type shard_recovery = {
   shard : int;
+  replica : int;
   outcome : (E.recovery_report, string) result;
 }
 
-let open_or_recover config =
-  let root =
-    match config.Hsq.Config.wal_dir with
-    | Some d -> d
-    | None -> invalid_arg "Shard_group.open_or_recover: config.wal_dir not set"
-  in
-  let k = config.Hsq.Config.shards in
-  if Sys.file_exists root then begin
-    if not (Sys.is_directory root) then
-      invalid_arg "Shard_group.open_or_recover: wal_dir is not a directory"
-  end
-  else Sys.mkdir root 0o755;
-  let last_size = Array.make k 0 in
-  let recoveries = ref [] in
-  let shards =
-    Array.init k (fun i ->
-        (* K = 1 opens the root itself: a sharded build reads (and
-           keeps writing) a store laid out by a non-sharded one. *)
-        let dir = if k = 1 then root else shard_dir ~root i in
-        match E.open_or_recover (shard_config config ~wal_dir:(Some dir)) with
-        | e, report ->
-          tag_shard_registry e i;
-          last_size.(i) <- E.total_size e;
-          recoveries := { shard = i; outcome = Ok report } :: !recoveries;
-          Up e
-        | exception
-            (( BD.Device_error _ | Hsq.Meta.Corrupt_metadata _ | Sys_error _
-             | Invalid_argument _ ) as exn) ->
-          let reason = Printexc.to_string exn in
-          let elements = estimate_elements dir in
-          last_size.(i) <- elements;
-          recoveries := { shard = i; outcome = Error reason } :: !recoveries;
-          Down { reason; elements })
-  in
-  ( {
-      config;
-      k;
-      shards;
-      last_size;
-      root = Some root;
-      agg_cache = None;
-      us_cache = None;
-      closed = false;
-    },
-    List.rev !recoveries )
+(* --- topology accessors (declared early; open_or_recover needs them) --- *)
 
-(* --- topology ----------------------------------------------------------- *)
+let live_replicas_of reps =
+  let out = ref [] in
+  Array.iter (fun rep -> match rep.state with Live e -> out := (rep.rep, e) :: !out | Dead _ -> ()) reps;
+  List.rev !out
+
+(* The replica a query reads this shard through: the first live
+   non-diverged one, else the first live one (serving a diverged
+   replica is better than dropping the shard — the report says so). *)
+let read_replica t i =
+  let reps = t.slots.(i) in
+  let live = live_replicas_of reps in
+  let clean = List.filter (fun (j, _) -> not t.slots.(i).(j).diverged) live in
+  match (clean, live) with
+  | (j, e) :: _, _ -> Some (j, e, false)
+  | [], (j, e) :: _ -> Some (j, e, true)
+  | [], [] -> None
+
+let engine t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.engine: shard index out of range";
+  match read_replica t i with Some (_, e, _) -> Some e | None -> None
+
+let engines t =
+  let out = ref [] in
+  for i = t.k - 1 downto 0 do
+    match read_replica t i with Some (_, e, _) -> out := (i, e) :: !out | None -> ()
+  done;
+  !out
+
+let replica_engine t ~shard ~replica =
+  if shard < 0 || shard >= t.k then invalid_arg "Shard_group.replica_engine: shard out of range";
+  if replica < 0 || replica >= t.r then
+    invalid_arg "Shard_group.replica_engine: replica out of range";
+  match t.slots.(shard).(replica).state with Live e -> Some e | Dead _ -> None
+
+(* Every live replica, lexicographic by (shard, replica). *)
+let all_live t =
+  let out = ref [] in
+  for i = t.k - 1 downto 0 do
+    for j = t.r - 1 downto 0 do
+      match t.slots.(i).(j).state with
+      | Live e -> out := (i, j, e) :: !out
+      | Dead _ -> ()
+    done
+  done;
+  !out
+
+let live_replicas t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.live_replicas: shard index out of range";
+  List.map fst (live_replicas_of t.slots.(i))
+
+let shards_down t =
+  let down = ref [] in
+  for i = t.k - 1 downto 0 do
+    if live_replicas_of t.slots.(i) = [] then down := i :: !down
+  done;
+  !down
+
+let replicas_down t =
+  let out = ref [] in
+  for i = t.k - 1 downto 0 do
+    for j = t.r - 1 downto 0 do
+      match t.slots.(i).(j).state with Dead _ -> out := (i, j) :: !out | Live _ -> ()
+    done
+  done;
+  !out
+
+let diverged_replicas t =
+  let out = ref [] in
+  for i = t.k - 1 downto 0 do
+    for j = t.r - 1 downto 0 do
+      if t.slots.(i).(j).diverged then out := (i, j) :: !out
+    done
+  done;
+  !out
+
+let down_reason t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.down_reason: shard index out of range";
+  if live_replicas_of t.slots.(i) <> [] then None
+  else match t.slots.(i).(0).state with Dead reason -> Some reason | Live _ -> None
+
+let replica_down_reason t ~shard ~replica =
+  if shard < 0 || shard >= t.k then
+    invalid_arg "Shard_group.replica_down_reason: shard out of range";
+  if replica < 0 || replica >= t.r then
+    invalid_arg "Shard_group.replica_down_reason: replica out of range";
+  match t.slots.(shard).(replica).state with Dead reason -> Some reason | Live _ -> None
+
+let hints_pending t ~shard ~replica =
+  if shard < 0 || shard >= t.k then invalid_arg "Shard_group.hints_pending: shard out of range";
+  if replica < 0 || replica >= t.r then
+    invalid_arg "Shard_group.hints_pending: replica out of range";
+  match t.slots.(shard).(replica).hints with
+  | Some hl -> Some (Hint_log.record_count hl)
+  | None -> None
+
+let refresh_sizes t =
+  for i = 0 to t.k - 1 do
+    match read_replica t i with
+    | Some (_, e, _) -> t.last_size.(i) <- E.total_size e
+    | None -> ()
+  done
+
+let shard_elements t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.shard_elements: shard index out of range";
+  (match read_replica t i with
+  | Some (_, e, _) -> t.last_size.(i) <- E.total_size e
+  | None -> ());
+  t.last_size.(i)
+
+let down_elements t =
+  let sum = ref 0 in
+  for i = 0 to t.k - 1 do
+    if live_replicas_of t.slots.(i) = [] then sum := !sum + t.last_size.(i)
+  done;
+  !sum
 
 let config t = t.config
 let shard_count t = t.k
+let replica_count t = t.r
 
 let sketch_label t =
   match t.config.Hsq.Config.stream_sketch with `Gk -> "gk" | `Kll -> "kll"
@@ -227,89 +361,204 @@ let route t v =
     (x land max_int) mod t.k
   end
 
-let shards_down t =
-  let down = ref [] in
-  Array.iteri (fun i s -> match s with Down _ -> down := i :: !down | Up _ -> ()) t.shards;
-  List.rev !down
-
-let engine t i =
-  if i < 0 || i >= t.k then invalid_arg "Shard_group.engine: shard index out of range";
-  match t.shards.(i) with Up e -> Some e | Down _ -> None
-
-let engines t =
-  let up = ref [] in
-  Array.iteri (fun i s -> match s with Up e -> up := (i, e) :: !up | Down _ -> ()) t.shards;
-  List.rev !up
-
-let down_reason t i =
-  if i < 0 || i >= t.k then invalid_arg "Shard_group.down_reason: shard index out of range";
-  match t.shards.(i) with Down { reason; _ } -> Some reason | Up _ -> None
-
-let refresh_sizes t =
-  Array.iteri
-    (fun i s -> match s with Up e -> t.last_size.(i) <- E.total_size e | Down _ -> ())
-    t.shards
-
-let shard_elements t i =
-  if i < 0 || i >= t.k then invalid_arg "Shard_group.shard_elements: shard index out of range";
-  (match t.shards.(i) with Up e -> t.last_size.(i) <- E.total_size e | Down _ -> ());
-  t.last_size.(i)
-
-let down_elements t =
-  let sum = ref 0 in
-  Array.iteri
-    (fun i s -> match s with Down { elements = _; _ } -> sum := !sum + t.last_size.(i) | Up _ -> ())
-    t.shards;
-  !sum
-
-(* --- ingest ------------------------------------------------------------- *)
+(* --- replica transitions ------------------------------------------------ *)
 
 let invalidate t = t.us_cache <- None
 
+let drop_caches t =
+  t.agg_cache <- None;
+  invalidate t
+
+(* Take one replica down (caller holds the lock when r > 1).  The
+   engine is crash-released — a close would flush through the device
+   that just died; under WAL [Always] nothing acknowledged is pending.
+   If the replica is durable and single-lane, a hint log is started so
+   shard-mates can buffer subsequent acked ops for it: the base seq is
+   the replica's main-WAL next_seq, its op cursor (each op appends
+   exactly one record, so on rejoin [recovered next_seq - base_seq]
+   counts the hints already applied — exactly-once across crashes
+   mid-drain).  Multi-lane engines spread ops over several logs, the
+   arithmetic does not hold, and rejoin must repair from a sibling
+   instead. *)
+let replica_down_locked t i rep ~reason =
+  match rep.state with
+  | Dead _ -> ()
+  | Live e ->
+    (* Freeze the shard's element count if this was its last live
+       replica (refresh_sizes skips shards with nothing live). *)
+    if List.length (live_replicas_of t.slots.(i)) = 1 then
+      t.last_size.(i) <- (try E.total_size e with _ -> t.last_size.(i));
+    let base =
+      if t.r > 1 && t.root <> None && t.config.Hsq.Config.ingest_domains = 1 then
+        match E.durability_status e with Some ds -> Some ds.E.wal_next_seq | None -> None
+      else None
+    in
+    (try E.crash e with _ -> ());
+    rep.state <- Dead reason;
+    rep.diverged <- false;
+    (match rep.hints with
+    | Some hl ->
+      Hint_log.crash hl;
+      rep.hints <- None
+    | None -> ());
+    (match base with
+    | Some base_seq -> (
+      try
+        rep.hints <-
+          Some
+            (Hint_log.start ~dir:(shard_home t i) ~peer:rep.rep
+               ~sync:t.config.Hsq.Config.wal_sync ~base_seq)
+      with _ -> rep.hints <- None)
+    | None -> ());
+    drop_caches t
+
+let mark_replica_down t ~shard ~replica ~reason =
+  if shard < 0 || shard >= t.k then
+    invalid_arg "Shard_group.mark_replica_down: shard out of range";
+  if replica < 0 || replica >= t.r then
+    invalid_arg "Shard_group.mark_replica_down: replica out of range";
+  with_lock t (fun () -> replica_down_locked t shard t.slots.(shard).(replica) ~reason)
+
+let mark_down t i ~reason =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.mark_down: shard index out of range";
+  with_lock t (fun () ->
+      Array.iter (fun rep -> replica_down_locked t i rep ~reason) t.slots.(i))
+
+(* --- ingest ------------------------------------------------------------- *)
+
+(* Replicated write fan-out (r > 1, caller holds the lock): apply to
+   every live replica first — one that fails its append is taken down
+   (and from now on hinted to) instead of failing the ack; the op is
+   acknowledged iff at least one live replica accepted it.  Only then
+   are hints appended for the dead replicas: a hint must never cover an
+   op that was not acked.  A hint append that itself fails breaks the
+   pair ([mark_broken]) so rejoin falls back to repair — the ack
+   stands either way. *)
+let fanout_locked t i ~apply ~hint =
+  let reps = t.slots.(i) in
+  let acked = ref 0 in
+  let last_err = ref "every replica is down" in
+  Array.iter
+    (fun rep ->
+      match rep.state with
+      | Dead reason -> if !acked = 0 then last_err := reason
+      | Live e -> (
+        match apply e with
+        | () -> incr acked
+        | exception (BD.Device_error msg | Sys_error msg) ->
+          last_err := msg;
+          replica_down_locked t i rep ~reason:msg))
+    reps;
+  if !acked = 0 then raise (Shard_unavailable (i, !last_err));
+  Array.iter
+    (fun rep ->
+      match (rep.state, rep.hints) with
+      | Dead _, Some hl -> (
+        try hint hl
+        with _ ->
+          Hint_log.mark_broken hl;
+          rep.hints <- None)
+      | _ -> ())
+    reps
+
 let observe t v =
   let i = route t v in
-  match t.shards.(i) with
-  | Down { reason; _ } -> raise (Shard_unavailable (i, reason))
-  | Up e ->
-    E.observe e v;
-    t.last_size.(i) <- t.last_size.(i) + 1;
-    invalidate t
+  if t.r = 1 then begin
+    let rep = t.slots.(i).(0) in
+    match rep.state with
+    | Dead reason -> raise (Shard_unavailable (i, reason))
+    | Live e ->
+      E.observe e v;
+      t.last_size.(i) <- t.last_size.(i) + 1;
+      invalidate t
+  end
+  else
+    with_lock t (fun () ->
+        fanout_locked t i ~apply:(fun e -> E.observe e v) ~hint:(fun hl -> Hint_log.observe hl v);
+        t.last_size.(i) <- t.last_size.(i) + 1;
+        invalidate t)
 
 (* Concurrent ingest: value-hash picks the shard (same routing as
-   [observe]), the caller's domain picks the lane within it.  No
-   [last_size] bump and no cache invalidation here — both are plain
-   mutable fields a concurrent writer would race; the us_cache key
-   embeds each engine's [stream_size] (which only moves under the
-   engine's propagation lock), so a query on the single-submitter
-   thread rebuilds exactly when propagated data changed, and
-   [refresh_sizes] re-reads sizes on every query path. *)
+   [observe]), the caller's domain picks the lane within it.  With
+   r = 1 there is no [last_size] bump and no cache invalidation — both
+   are plain mutable fields a concurrent writer would race; the
+   us_cache key embeds each engine's [stream_size] (which only moves
+   under the engine's propagation lock), so a query on the
+   single-submitter thread rebuilds exactly when propagated data
+   changed, and [refresh_sizes] re-reads sizes on every query path.
+   With r > 1 the fan-out serializes on the group lock (replication
+   trades lane concurrency for redundancy; the bench's R rows price
+   it). *)
 let observe_domain t ~domain v =
   let i = route t v in
-  match t.shards.(i) with
-  | Down { reason; _ } -> raise (Shard_unavailable (i, reason))
-  | Up e -> E.observe_domain e ~domain v
+  if t.r = 1 then begin
+    match t.slots.(i).(0).state with
+    | Dead reason -> raise (Shard_unavailable (i, reason))
+    | Live e -> E.observe_domain e ~domain v
+  end
+  else
+    with_lock t (fun () ->
+        fanout_locked t i
+          ~apply:(fun e -> E.observe_domain e ~domain v)
+          ~hint:(fun hl -> Hint_log.observe hl v))
 
-(* Seal-and-drain every lane of every up shard (engine-thread only). *)
-let flush_ingest t = List.iter (fun (_, e) -> E.flush_ingest e) (engines t)
+(* Seal-and-drain every lane of every live replica (engine-thread only). *)
+let flush_ingest t = List.iter (fun (_, _, e) -> E.flush_ingest e) (all_live t)
 
 let checkpoint_if_due t =
-  List.fold_left (fun acc (_, e) -> E.checkpoint_if_due e || acc) false (engines t)
+  List.fold_left (fun acc (_, _, e) -> E.checkpoint_if_due e || acc) false (all_live t)
 
 let end_time_step t =
   let out = ref [] in
-  Array.iteri
-    (fun i s ->
-      match s with
-      | Down _ -> ()
-      | Up e ->
-        if E.stream_size e > 0 then begin
-          match E.end_time_step e with
-          | report -> out := (i, Ok report) :: !out
-          | exception BD.Device_error msg -> out := (i, Error msg) :: !out
-        end)
-    t.shards;
-  t.agg_cache <- None;
-  invalidate t;
+  with_lock t (fun () ->
+      Array.iteri
+        (fun i reps ->
+          if t.r = 1 then begin
+            match reps.(0).state with
+            | Dead _ -> ()
+            | Live e ->
+              if E.stream_size e > 0 then begin
+                match E.end_time_step e with
+                | report -> out := (i, Ok report) :: !out
+                | exception BD.Device_error msg -> out := (i, Error msg) :: !out
+              end
+          end
+          else begin
+            (* Cut on every live replica holding stream elements; a
+               replica that fails its cut goes down (its sibling's cut
+               stands).  The cut is then hinted to dead replicas so
+               their drains archive the same step boundary. *)
+            let ok = ref None in
+            let err = ref None in
+            Array.iter
+              (fun rep ->
+                match rep.state with
+                | Live e when E.stream_size e > 0 -> (
+                  match E.end_time_step e with
+                  | report -> if !ok = None then ok := Some (report, E.time_steps e)
+                  | exception BD.Device_error msg ->
+                    err := Some msg;
+                    replica_down_locked t i rep ~reason:msg)
+                | _ -> ())
+              reps;
+            match (!ok, !err) with
+            | Some (report, step), _ ->
+              out := (i, Ok report) :: !out;
+              Array.iter
+                (fun rep ->
+                  match (rep.state, rep.hints) with
+                  | Dead _, Some hl -> (
+                    try Hint_log.end_step hl ~step ~count:0
+                    with _ ->
+                      Hint_log.mark_broken hl;
+                      rep.hints <- None)
+                  | _ -> ())
+                reps
+            | None, Some msg -> out := (i, Error msg) :: !out
+            | None, None -> ()
+          end)
+        t.slots;
+      drop_caches t);
   List.rev !out
 
 (* --- sizes -------------------------------------------------------------- *)
@@ -327,53 +576,55 @@ let epsilon t =
   | [] -> invalid_arg "Shard_group.epsilon: every shard is down"
   | (_, e) :: rest -> List.fold_left (fun acc (_, e) -> Float.max acc (E.epsilon e)) (E.epsilon e) rest
 
-let memory_words t = List.fold_left (fun acc (_, e) -> acc + E.memory_words e) 0 (engines t)
+let memory_words t = List.fold_left (fun acc (_, _, e) -> acc + E.memory_words e) 0 (all_live t)
 
 (* --- fused view --------------------------------------------------------- *)
 
 let clamp_rank ~n r = if r < 1 then 1 else if r > n then n else r
 
-(* The state one fused query works from.  [excluded]/[excluded_elems]
-   name the shards whose data is NOT in [us] (permanently down plus any
-   runtime-dropped) — the honest widening of every answer derived from
-   this view. *)
+(* The state one fused query works from: ONE read replica per shard.
+   [excluded]/[excluded_elems] name the shards with no eligible replica
+   at all (permanently down plus any whose whole replica set was
+   dropped at runtime) — the honest widening of every answer derived
+   from this view.  A shard that merely lost its first-choice replica
+   fails over to a sibling and widens nothing: the sibling holds the
+   same logical data.  [served_diverged] lists read replicas serving
+   while flagged by anti-entropy (only chosen when no clean sibling is
+   live) — surfaced as `Replica_diverged. *)
 type view = {
-  alive : (int * E.t) list;
-  parts : (int * Hsq_hist.Partition.t) list; (* (owning shard, partition), active only *)
+  alive : (int * int * E.t) list; (* (shard, replica, engine) *)
+  parts : ((int * int) * Hsq_hist.Partition.t) list; (* (owner, partition), active only *)
   streams : Ss.t list;
   us : Us.t;
   excluded : int list;
   excluded_elems : int;
+  served_diverged : (int * int) list;
 }
 
 let quarantined_sum alive =
-  List.fold_left (fun acc (_, e) -> acc + Li.quarantined_elements (E.hist e)) 0 alive
+  List.fold_left (fun acc (_, _, e) -> acc + Li.quarantined_elements (E.hist e)) 0 alive
 
-let agg_key alive = List.map (fun (i, e) -> (i, Li.epoch (E.hist e))) alive
-let us_key alive = List.map (fun (i, e) -> (i, Li.epoch (E.hist e), E.stream_size e)) alive
+let agg_key alive = List.map (fun (i, j, e) -> (i, j, Li.epoch (E.hist e))) alive
+let us_key alive = List.map (fun (i, j, e) -> (i, j, Li.epoch (E.hist e), E.stream_size e)) alive
 
 let fused_agg t alive =
   let key = agg_key alive in
   match t.agg_cache with
   | Some (k, agg) when k = key -> agg
   | _ ->
-    let partitions = List.concat_map (fun (_, e) -> Li.active_partitions (E.hist e)) alive in
+    let partitions = List.concat_map (fun (_, _, e) -> Li.active_partitions (E.hist e)) alive in
     let agg = Us.hist_aggregate ~partitions in
     t.agg_cache <- Some (key, agg);
     agg
 
-(* Per-shard stream summaries for a fused build.  When every alive
-   shard runs the mergeable KLL sketch, the per-shard snapshots merge
+(* Per-shard stream summaries for a fused build.  When every read
+   replica runs the mergeable KLL sketch, the per-shard snapshots merge
    into ONE sketch and the view carries a single stream summary: the
    fused heap then brackets union ranks through sketch merge instead of
-   summed per-shard windows.  The merged sketch's error parameter is
-   the count-weighted average of the shards' (equal here, as all shards
-   share one config), so eps2*m is unchanged — but the per-stream
-   integer-boundary slack in fused accurate drops from K terms to 1.
-   Any GK shard (or an empty group) falls back to the summed-window
-   path unchanged. *)
+   summed per-shard windows (DESIGN.md §16).  Any GK shard (or an empty
+   group) falls back to the summed-window path unchanged. *)
 let streams_of alive =
-  let snapshots = List.map (fun (_, e) -> E.kll_snapshot e) alive in
+  let snapshots = List.map (fun (_, _, e) -> E.kll_snapshot e) alive in
   if alive <> [] && List.for_all Option.is_some snapshots then
     let merged =
       List.fold_left
@@ -387,7 +638,7 @@ let streams_of alive =
     match merged with
     | Some m -> [ Ss.extract (Hsq.Stream_sketch.Kll m) ]
     | None -> []
-  else List.map (fun (_, e) -> E.stream_summary e) alive
+  else List.map (fun (_, _, e) -> E.stream_summary e) alive
 
 let fused_summaries t alive =
   let key = us_key alive in
@@ -401,29 +652,41 @@ let fused_summaries t alive =
     t.us_cache <- Some (key, v);
     v
 
+(* [dropped] is (shard, replica) pairs disqualified for this query. *)
 let make_view t ~dropped =
   refresh_sizes t;
-  let alive = List.filter (fun (i, _) -> not (List.mem i dropped)) (engines t) in
-  let excluded =
-    List.sort_uniq compare
-      (shards_down t @ List.filter (fun i -> i >= 0 && i < t.k) dropped)
-  in
+  let alive = ref [] in
+  let excluded = ref [] in
+  let served_diverged = ref [] in
+  for i = t.k - 1 downto 0 do
+    let cands =
+      List.filter (fun (j, _) -> not (List.mem (i, j) dropped)) (live_replicas_of t.slots.(i))
+    in
+    let clean = List.filter (fun (j, _) -> not t.slots.(i).(j).diverged) cands in
+    match (clean, cands) with
+    | (j, e) :: _, _ -> alive := (i, j, e) :: !alive
+    | [], (j, e) :: _ ->
+      alive := (i, j, e) :: !alive;
+      served_diverged := (i, j) :: !served_diverged
+    | [], [] -> excluded := i :: !excluded
+  done;
+  let alive = !alive and excluded = !excluded in
   let excluded_elems = List.fold_left (fun acc i -> acc + t.last_size.(i)) 0 excluded in
   let streams, us =
     (* The cache only serves the no-runtime-drops view; a mid-query
        drop is rare and rebuilds fresh. *)
     if dropped = [] then fused_summaries t alive
     else
-      let partitions = List.concat_map (fun (_, e) -> Li.active_partitions (E.hist e)) alive in
+      let partitions = List.concat_map (fun (_, _, e) -> Li.active_partitions (E.hist e)) alive in
       let streams = streams_of alive in
       (streams, Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams)
   in
   let parts =
     List.concat_map
-      (fun (i, e) -> List.map (fun p -> (i, p)) (Li.active_partitions (E.hist e)))
+      (fun (i, j, e) -> List.map (fun p -> ((i, j), p)) (Li.active_partitions (E.hist e)))
       alive
   in
-  { alive; parts; streams; us; excluded; excluded_elems }
+  { alive; parts; streams; us; excluded; excluded_elems; served_diverged = !served_diverged }
 
 (* Memory-only fallback when quarantine emptied the active view: the
    full partition sets (quarantined included) still carry honest — if
@@ -434,7 +697,7 @@ let make_view t ~dropped =
 let full_view_fallback view =
   if Us.n_total view.us > 0 then (view, false)
   else begin
-    let partitions = List.concat_map (fun (_, e) -> Li.partitions (E.hist e)) view.alive in
+    let partitions = List.concat_map (fun (_, _, e) -> Li.partitions (E.hist e)) view.alive in
     let streams = streams_of view.alive in
     let full = Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams in
     if Us.size full > 0 then ({ view with us = full; streams }, true) else (view, false)
@@ -446,7 +709,13 @@ let rank_bound_of us ~rank v ~widen =
   Float.max (hi -. r) (r -. lo) +. float_of_int widen
 
 let down_degradation view : degradation =
-  match view.excluded with [] -> `None | ks -> `Shard_down ks
+  let shard_deg : degradation =
+    match view.excluded with [] -> `None | ks -> `Shard_down ks
+  in
+  let diverged_deg : degradation =
+    match view.served_diverged with [] -> `None | ps -> `Replica_diverged ps
+  in
+  worst_degradation shard_deg diverged_deg
 
 (* --- fused quick -------------------------------------------------------- *)
 
@@ -473,13 +742,13 @@ let quick t ~rank =
 (* --- fused accurate ------------------------------------------------------ *)
 
 type probe_state = {
-  shard : int;
+  owner : int * int; (* (shard, replica) the partition was read from *)
   partition : Hsq_hist.Partition.t;
   mutable lo : int;
   mutable hi : int;
 }
 
-exception Probe_failure of int * Hsq_hist.Partition.t * string
+exception Probe_failure of (int * int) * Hsq_hist.Partition.t * string
 exception Deadline_cut of int * int
 
 let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
@@ -490,30 +759,32 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
     | Some d, _ | None, Some d -> Some (t0 +. (d /. 1000.0))
     | None, None -> None
   in
+  (* IO accounting spans every live replica: a failover mid-query reads
+     a sibling that was not in the opening view. *)
   let stats_before =
     List.map
-      (fun (_, e) ->
+      (fun (_, _, e) ->
         let s = BD.stats (E.device e) in
         (s, Hsq_storage.Io_stats.snapshot s))
-      (engines t)
+      (all_live t)
   in
   let iterations = ref 0 in
   let dropped = ref [] in
   (* One bisection over a fixed view; raises Probe_failure on an
-     unrecoverable device error (carrying the owning shard) and
-     Deadline_cut between iterations. *)
+     unrecoverable device error (carrying the owning (shard, replica))
+     and Deadline_cut between iterations. *)
   let attempt view ~rank =
     let us = view.us in
     let u0, v0 = Us.filters us ~rank in
     let probes =
       Array.of_list
         (List.map
-           (fun (shard, p) ->
+           (fun (owner, p) ->
              let lo, hi =
                Hsq_hist.Partition_summary.search_window (Hsq_hist.Partition.summary p) ~u:u0
                  ~v:v0
              in
-             { shard; partition = p; lo; hi })
+             { owner; partition = p; lo; hi })
            view.parts)
     in
     (* The shared rank budget: the per-shard stream estimates are each
@@ -532,7 +803,7 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
         try
           Hsq_storage.Run.rank_between (Hsq_hist.Partition.run st.partition) ~lo:st.lo ~hi:st.hi
             z
-        with BD.Device_error msg -> raise (Probe_failure (st.shard, st.partition, msg))
+        with BD.Device_error msg -> raise (Probe_failure (st.owner, st.partition, msg))
     in
     let estimate z =
       let ranks = Array.map (probe_one z) probes in
@@ -585,9 +856,22 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
     (v, degradation, rank_bound_of t0_view.us ~rank v ~widen:(q + t0_view.excluded_elems))
   in
   let total_parts =
-    List.fold_left (fun acc (_, e) -> acc + Li.partition_count (E.hist e)) 0 (engines t)
+    List.fold_left (fun acc (_, _, e) -> acc + Li.partition_count (E.hist e)) 0 (all_live t)
   in
-  let max_retries = (total_parts * t.config.Hsq.Config.quarantine_after) + t.k + 2 in
+  let max_retries = (total_parts * t.config.Hsq.Config.quarantine_after) + (t.k * t.r) + 2 in
+  (* Shards with no live replica outside [dropped]: the only shards a
+     drop actually excludes from the next view. *)
+  let fully_dropped () =
+    let out = ref [] in
+    for i = t.k - 1 downto 0 do
+      if
+        List.for_all
+          (fun (j, _) -> List.mem (i, j) !dropped)
+          (live_replicas_of t.slots.(i))
+      then out := i :: !out
+    done;
+    !out
+  in
   let rec go tries view_opt =
     let view = match view_opt with Some v -> v | None -> make_view t ~dropped:!dropped in
     let view, mem_fallback = full_view_fallback view in
@@ -603,10 +887,11 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
       else begin
         match attempt view ~rank:rank_c with
         | answer, m_eps ->
-          List.iter (fun (i, p) ->
-              match t.shards.(i) with
-              | Up e -> Li.note_probe_success (E.hist e) p
-              | Down _ -> ())
+          List.iter
+            (fun ((i, j), p) ->
+              match t.slots.(i).(j).state with
+              | Live e -> Li.note_probe_success (E.hist e) p
+              | Dead _ -> ())
             view.parts;
           let q = quarantined_sum view.alive in
           let tolerance = tolerance_factor *. m_eps in
@@ -614,7 +899,10 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
              stream estimates' own uncertainty (±eps2·m_s each, with
              integer-boundary slack per stream), plus everything the
              probes could not see — quarantined and excluded-shard
-             elements. *)
+             elements.  Failed-over shards are NOT excluded: their
+             sibling replicas carry the same logical data, so the full
+             ±ε·m contract survives any loss that leaves one replica
+             per shard. *)
           let estimate_slack = m_eps +. (2.0 *. float_of_int (max 1 (List.length view.streams))) in
           let degradation =
             worst_degradation down_deg (if q > 0 then `Quarantined q else `None)
@@ -629,8 +917,9 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
           ( best,
             worst_degradation down_deg `Deadline,
             rank_bound_of view.us ~rank:rank_c best ~widen:(q + view.excluded_elems) )
-        | exception Probe_failure (s, p, _msg) ->
-          let e = match t.shards.(s) with Up e -> Some e | Down _ -> None in
+        | exception Probe_failure ((s, j), p, _msg) ->
+          let rep = t.slots.(s).(j) in
+          let e = match rep.state with Live e -> Some e | Dead _ -> None in
           let breaker_open =
             match e with
             | Some e -> BD.breaker_state (E.device e) = Hsq_storage.Breaker.Open
@@ -638,7 +927,7 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
           in
           (* Quarantine machinery still learns from every failure, so a
              single sick partition quarantines instead of condemning its
-             whole shard. *)
+             whole replica. *)
           let quarantined_now =
             match e with
             | Some e ->
@@ -646,18 +935,24 @@ let accurate ?(tolerance_factor = 0.5) ?deadline_ms t ~rank =
             | None -> false
           in
           if breaker_open || tries >= max_retries then begin
-            (* The shard, not the partition, is the fault domain now:
-               drop it from this query and restart over the survivors.
-               Restart (rather than patching the probe set) is required
-               for correctness — earlier narrowing used the dropped
-               shard's ranks. *)
-            dropped := List.sort_uniq compare (s :: !dropped);
-            let survivors = List.filter (fun (i, _) -> not (List.mem i !dropped)) (engines t) in
-            if survivors = [] then
-              (* Every shard dropped: answer from the last summary in
-                 hand (it still covers the dropped shards' memory
-                 state). *)
-              finish view ~rank (worst_degradation (`Shard_down !dropped) `Device_open)
+            (* The replica, not the partition, is the fault domain now:
+               drop it from this query and restart over the survivors —
+               the shard fails over to a sibling replica if it has one
+               (full precision preserved), and only a shard whose whole
+               replica set is gone leaves the fused answer.  Restart
+               (rather than patching the probe set) is required for
+               correctness — earlier narrowing used the dropped
+               replica's ranks. *)
+            dropped := List.sort_uniq compare ((s, j) :: !dropped);
+            let any_candidate =
+              List.exists (fun (i, jj, _) -> not (List.mem (i, jj) !dropped)) (all_live t)
+            in
+            if not any_candidate then
+              (* Every replica of every shard dropped: answer from the
+                 last summary in hand (it still covers the dropped
+                 replicas' memory state). *)
+              finish view ~rank
+                (worst_degradation (`Shard_down (fully_dropped ())) `Device_open)
             else go (tries + 1) None
           end
           else if quarantined_now then go (tries + 1) None (* epoch bumped: rebuild *)
@@ -682,67 +977,432 @@ let quantile t phi =
   let rank = clamp_rank ~n (int_of_float (ceil (phi *. float_of_int n))) in
   accurate t ~rank
 
-(* --- fault domains ------------------------------------------------------- *)
+(* --- anti-entropy -------------------------------------------------------- *)
 
-let mark_down t i ~reason =
-  if i < 0 || i >= t.k then invalid_arg "Shard_group.mark_down: shard index out of range";
-  match t.shards.(i) with
-  | Down _ -> ()
-  | Up e ->
-    t.last_size.(i) <- (try E.total_size e with _ -> t.last_size.(i));
-    (* Crash-release, not close: a close would flush and might block on
-       the very device that just died; under WAL Always nothing
-       acknowledged is pending anyway. *)
-    (try E.crash e with _ -> ());
-    t.shards.(i) <- Down { reason; elements = t.last_size.(i) };
-    t.agg_cache <- None;
-    invalidate t
+type entropy_report = {
+  entropy_shard : int;
+  digests : (int * Anti_entropy.digest) list; (* live replicas, ascending *)
+  flagged : (int * string) list; (* replicas flagged diverged this pass, with their digest *)
+  repaired : int list;
+  repair_failed : (int * string) list;
+}
 
-let rejoin t i =
-  if i < 0 || i >= t.k then invalid_arg "Shard_group.rejoin: shard index out of range";
-  match t.shards.(i) with
-  | Up _ -> Error "shard is not down"
-  | Down _ -> (
+(* The replica repairs copy from: among the candidate live replicas,
+   prefer a closed breaker, then the most data, then the lowest
+   index — "healthiest sibling". *)
+let healthiest candidates =
+  let score (j, e) =
+    let breaker_ok =
+      match BD.breaker_state (E.device e) with Hsq_storage.Breaker.Closed -> 1 | _ -> 0
+    in
+    (breaker_ok, E.total_size e, -j)
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    Some (List.fold_left (fun best c -> if score c > score best then c else best) first rest)
+
+(* Converge replica [rep] of shard [i] onto live sibling [src]: force a
+   checkpoint on the source so its files are a complete rendering of
+   its state, crash-release the target, copy the store byte-for-byte,
+   and recover the copy — recovery of identical bytes yields an
+   identical engine (deterministic replay).  Caller holds the lock. *)
+let repair_replica_locked t i rep ~src:(src_j, src_e) =
+  (try E.checkpoint_now src_e with _ -> ());
+  (match rep.state with
+  | Live e -> ( try E.crash e with _ -> ())
+  | Dead _ -> ());
+  rep.state <- Dead "repairing from sibling";
+  (match rep.hints with
+  | Some hl ->
+    Hint_log.discard hl;
+    rep.hints <- None
+  | None -> ());
+  match
+    Anti_entropy.copy_store ~src:(replica_store_dir t i src_j) ~dst:(replica_store_dir t i rep.rep);
+    E.open_or_recover (shard_config t.config ~wal_dir:(Some (replica_store_dir t i rep.rep)))
+  with
+  | e, _report ->
+    tag_registry t e i rep.rep;
+    rep.state <- Live e;
+    rep.diverged <- false;
+    drop_caches t;
+    Ok e
+  | exception exn ->
+    let reason = "repair failed: " ^ Printexc.to_string exn in
+    rep.state <- Dead reason;
+    drop_caches t;
+    Error reason
+
+(* Compare per-replica state digests within each shard; flag the
+   minority as diverged ([`Replica_diverged] in reports that must serve
+   them, a warning in health) and, with [repair], converge them onto
+   the healthiest sibling.  Digest equality is exact for single-lane
+   groups (replicas see identical op sequences); requires a durable
+   group with r > 1 — otherwise returns []. *)
+let anti_entropy ?(repair = false) t =
+  ensure_open t;
+  if t.r = 1 || t.root = None then []
+  else
+    with_lock t (fun () ->
+        let reports = ref [] in
+        for i = 0 to t.k - 1 do
+          let live = live_replicas_of t.slots.(i) in
+          if List.length live >= 2 then begin
+            let digests =
+              List.map
+                (fun (j, e) ->
+                  (j, Anti_entropy.digest ~store_dir:(replica_store_dir t i j) e))
+                live
+            in
+            (* Majority rule: the largest group of equal digests is the
+               truth; ties break toward the group holding the
+               healthiest replica. *)
+            let groups =
+              List.fold_left
+                (fun acc (j, d) ->
+                  match List.partition (fun (d', _) -> Anti_entropy.equal d d') acc with
+                  | [ (d', js) ], rest -> (d', j :: js) :: rest
+                  | _, rest -> (d, [ j ]) :: rest)
+                [] digests
+            in
+            let ref_group =
+              List.fold_left
+                (fun best (d, js) ->
+                  match best with
+                  | None -> Some (d, js)
+                  | Some (_, bjs) when List.length js > List.length bjs -> Some (d, js)
+                  | Some (bd, bjs) when List.length js = List.length bjs -> (
+                    let members jset =
+                      List.filter (fun (j, _) -> List.mem j jset) live
+                    in
+                    match (healthiest (members js), healthiest (members bjs)) with
+                    | Some (hj, _), Some (bhj, _) ->
+                      if d.Anti_entropy.elements > bd.Anti_entropy.elements
+                         || (d.Anti_entropy.elements = bd.Anti_entropy.elements && hj < bhj)
+                      then Some (d, js)
+                      else best
+                    | _ -> best)
+                  | best -> best)
+                None groups
+            in
+            match ref_group with
+            | None -> ()
+            | Some (ref_digest, ref_js) ->
+              let flagged = ref [] in
+              let repaired = ref [] in
+              let repair_failed = ref [] in
+              List.iter
+                (fun (j, d) ->
+                  let rep = t.slots.(i).(j) in
+                  if Anti_entropy.equal d ref_digest then rep.diverged <- false
+                  else begin
+                    rep.diverged <- true;
+                    flagged := (j, Anti_entropy.to_string d) :: !flagged;
+                    if repair then begin
+                      let src =
+                        healthiest (List.filter (fun (j', _) -> List.mem j' ref_js) live)
+                      in
+                      match src with
+                      | None -> ()
+                      | Some src -> (
+                        match repair_replica_locked t i rep ~src with
+                        | Ok _ -> repaired := j :: !repaired
+                        | Error reason -> repair_failed := (j, reason) :: !repair_failed)
+                    end
+                  end)
+                digests;
+              (* Flags (set or cleared) steer read-replica choice. *)
+              drop_caches t;
+              reports :=
+                {
+                  entropy_shard = i;
+                  digests;
+                  flagged = List.rev !flagged;
+                  repaired = List.rev !repaired;
+                  repair_failed = List.rev !repair_failed;
+                }
+                :: !reports
+          end
+        done;
+        List.rev !reports)
+
+(* --- rejoin -------------------------------------------------------------- *)
+
+(* Apply one drained hint record to a recovering replica. *)
+let apply_hint e = function
+  | Hsq_storage.Wal.Observe v -> E.observe e v
+  | Hsq_storage.Wal.End_step _ | Hsq_storage.Wal.End_step_cuts _ ->
+    if E.stream_size e > 0 then ignore (E.end_time_step e)
+
+(* Admit a freshly recovered engine [e] as replica [rep] of shard [i]:
+   drain its hint log (exactly-once via the seq arithmetic), verify the
+   result against a live sibling, and fall back to sibling repair on
+   any doubt.  Caller holds the lock; [rep.state] is Dead on entry. *)
+let admit_replica_locked t i rep e =
+  let sync = t.config.Hsq.Config.wal_sync in
+  let home = shard_home t i in
+  let had_pair = Hint_log.exists ~dir:home ~peer:rep.rep in
+  (* Any stale in-memory handle was closed by the caller; reattach from
+     disk so we read the complete flushed log. *)
+  let hl = if had_pair then Hint_log.reopen ~dir:home ~peer:rep.rep ~sync else None in
+  let single_lane = t.config.Hsq.Config.ingest_domains = 1 in
+  (* `Clean: nothing to drain. `Drained: hints applied. Any Error:
+     the replica's state is in doubt — repair from a sibling. *)
+  let drain =
+    match hl with
+    | None -> if had_pair then Error "hint log unreadable" else Ok `Clean
+    | Some _ when not single_lane -> Error "multi-lane replica cannot drain hints"
+    | Some hl -> (
+      match E.durability_status e with
+      | None -> Error "replica has no durability status"
+      | Some ds ->
+        let skip = ds.E.wal_next_seq - Hint_log.base_seq hl in
+        if skip < 0 then
+          (* The replica lost acknowledged ops that predate the hints
+             (possible under Group/Never sync): they are not in the
+             log, so only a repair can restore them. *)
+          Error "replica recovered below the hint base (pre-hint acked ops lost)"
+        else begin
+          let recs = Hint_log.records hl in
+          let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl in
+          let todo = drop skip recs in
+          match List.iter (apply_hint e) todo with
+          | () -> Ok (`Drained (List.length todo))
+          | exception exn -> Error ("hint drain failed: " ^ Printexc.to_string exn)
+        end)
+  in
+  let discard_pair () =
+    (match hl with
+    | Some hl -> Hint_log.discard hl
+    | None ->
+      (try Sys.remove (Hint_log.wal_path ~dir:home ~peer:rep.rep) with Sys_error _ -> ());
+      (try Sys.remove (Hint_log.base_path ~dir:home ~peer:rep.rep) with Sys_error _ -> ()));
+    rep.hints <- None
+  in
+  let sibling () =
+    healthiest
+      (List.filter (fun (j, _) -> j <> rep.rep) (live_replicas_of t.slots.(i)))
+  in
+  (* Cheap consistency check against a live sibling: op cursor and
+     logical sizes must agree once hints are drained (full digests run
+     under scrub's anti-entropy pass, which catches deeper divergence). *)
+  let consistent_with_sibling () =
+    match sibling () with
+    | None -> true (* nothing to compare against: this replica IS the best copy *)
+    | Some (_, se) -> (
+      E.total_size e = E.total_size se
+      && E.time_steps e = E.time_steps se
+      &&
+      match (E.durability_status e, E.durability_status se) with
+      | Some a, Some b -> a.E.wal_next_seq = b.E.wal_next_seq
+      | _ -> true)
+  in
+  let admit e =
+    tag_registry t e i rep.rep;
+    rep.state <- Live e;
+    rep.diverged <- false;
+    discard_pair ();
+    drop_caches t;
+    Ok e
+  in
+  match drain with
+  | Ok _ when consistent_with_sibling () -> admit e
+  | Ok _ | Error _ -> (
+    (* Drain impossible or the drained state disagrees with a live
+       sibling: converge by repair.  With no live sibling the recovered
+       state is the best copy there is — admit it as-is. *)
+    match sibling () with
+    | None -> admit e
+    | Some src ->
+      (try E.crash e with _ -> ());
+      rep.state <- Dead "repairing on rejoin";
+      discard_pair ();
+      repair_replica_locked t i rep ~src)
+
+let rejoin_replica t ~shard ~replica =
+  if shard < 0 || shard >= t.k then invalid_arg "Shard_group.rejoin_replica: shard out of range";
+  if replica < 0 || replica >= t.r then
+    invalid_arg "Shard_group.rejoin_replica: replica out of range";
+  let rep = t.slots.(shard).(replica) in
+  match rep.state with
+  | Live _ -> Error "replica is not down"
+  | Dead _ -> (
     match t.root with
     | None -> Error "volatile shard cannot rejoin (its data died with it)"
-    | Some root -> (
-      let dir = if t.k = 1 then root else shard_dir ~root i in
-      match E.open_or_recover (shard_config t.config ~wal_dir:(Some dir)) with
-      | e, recovery -> (
-        tag_shard_registry e i;
-        match Hsq.Persist.scrub ~repair:true e with
-        | scrub ->
-          t.shards.(i) <- Up e;
-          t.last_size.(i) <- E.total_size e;
-          t.agg_cache <- None;
-          invalidate t;
-          Ok (recovery, scrub)
-        | exception exn ->
-          (try E.crash e with _ -> ());
-          Error ("rejoin scrub failed: " ^ Printexc.to_string exn))
-      | exception exn -> Error ("rejoin recovery failed: " ^ Printexc.to_string exn)))
+    | Some _ ->
+      with_lock t (fun () ->
+          (* Flush and detach the in-memory hint handle so the on-disk
+             pair is complete before the drain re-reads it. *)
+          (match rep.hints with
+          | Some hl ->
+            Hint_log.close hl;
+            rep.hints <- None
+          | None -> ());
+          let dir = replica_store_dir t shard replica in
+          match E.open_or_recover (shard_config t.config ~wal_dir:(Some dir)) with
+          | exception exn ->
+            (* Still down; reattach the hint log so ongoing acked ops
+               keep accumulating for a later attempt. *)
+            rep.hints <-
+              Hint_log.reopen ~dir:(shard_home t shard) ~peer:replica
+                ~sync:t.config.Hsq.Config.wal_sync;
+            Error ("rejoin recovery failed: " ^ Printexc.to_string exn)
+          | e, recovery -> (
+            match admit_replica_locked t shard rep e with
+            | Error _ as err -> err
+            | Ok e -> (
+              match Hsq.Persist.scrub ~repair:true e with
+              | scrub ->
+                t.last_size.(shard) <- E.total_size e;
+                drop_caches t;
+                Ok (recovery, scrub)
+              | exception exn ->
+                replica_down_locked t shard rep
+                  ~reason:("rejoin scrub failed: " ^ Printexc.to_string exn);
+                Error ("rejoin scrub failed: " ^ Printexc.to_string exn)))))
+
+(* Shard-level rejoin: every dead replica of the shard attempts its
+   per-replica rejoin.  Succeeds if at least one replica came back
+   (the shard serves again); returns the first successful replica's
+   reports, matching the unreplicated signature. *)
+let rejoin t i =
+  if i < 0 || i >= t.k then invalid_arg "Shard_group.rejoin: shard index out of range";
+  let dead =
+    List.filter_map
+      (fun rep -> match rep.state with Dead _ -> Some rep.rep | Live _ -> None)
+      (Array.to_list t.slots.(i))
+  in
+  if dead = [] then Error "shard is not down"
+  else if t.root = None then Error "volatile shard cannot rejoin (its data died with it)"
+  else begin
+    let results = List.map (fun j -> rejoin_replica t ~shard:i ~replica:j) dead in
+    match List.find_opt Result.is_ok results with
+    | Some (Ok payload) -> Ok payload
+    | _ -> ( match results with Error e :: _ -> Error e | _ -> Error "rejoin failed")
+  end
+
+let open_or_recover config =
+  let root =
+    match config.Hsq.Config.wal_dir with
+    | Some d -> d
+    | None -> invalid_arg "Shard_group.open_or_recover: config.wal_dir not set"
+  in
+  let k = config.Hsq.Config.shards in
+  let r = config.Hsq.Config.replicas in
+  if Sys.file_exists root then begin
+    if not (Sys.is_directory root) then
+      invalid_arg "Shard_group.open_or_recover: wal_dir is not a directory"
+  end
+  else Sys.mkdir root 0o755;
+  let recoveries = ref [] in
+  let slots =
+    Array.init k (fun i ->
+        let home = if k = 1 then root else shard_dir ~root i in
+        if r > 1 && not (Sys.file_exists home) then Sys.mkdir home 0o755;
+        Array.init r (fun j ->
+            let dir = store_dir ~root ~shards:k ~replicas:r ~shard:i ~replica:j in
+            match E.open_or_recover (shard_config config ~wal_dir:(Some dir)) with
+            | e, report ->
+              recoveries := { shard = i; replica = j; outcome = Ok report } :: !recoveries;
+              { rep = j; state = Live e; hints = None; diverged = false }
+            | exception
+                (( BD.Device_error _ | Hsq.Meta.Corrupt_metadata _ | Sys_error _
+                 | Invalid_argument _ ) as exn) ->
+              let reason = Printexc.to_string exn in
+              recoveries := { shard = i; replica = j; outcome = Error reason } :: !recoveries;
+              { rep = j; state = Dead reason; hints = None; diverged = false }))
+  in
+  let t = make_t config ~k ~r ~slots ~last_size:(Array.make k 0) ~root:(Some root) in
+  (* Post-pass per shard: absorb stale hint pairs (a replica that was
+     down — or mid-drain — when the whole group died), reattach hint
+     logs for replicas still dead, and settle element counts. *)
+  for i = 0 to k - 1 do
+    if r > 1 then
+      Array.iter
+        (fun rep ->
+          if Hint_log.exists ~dir:(shard_home t i) ~peer:rep.rep then begin
+            match rep.state with
+            | Live e ->
+              (* Recovered but never finished its drain: re-run it
+                 (idempotent by the seq arithmetic) before the replica
+                 serves reads.  On failure the admit path repairs or, as
+                 a last resort, keeps it out with a reason. *)
+              rep.state <- Dead "absorbing stale hints";
+              (match admit_replica_locked t i rep e with Ok _ | Error _ -> ())
+            | Dead _ ->
+              rep.hints <-
+                Hint_log.reopen ~dir:(shard_home t i) ~peer:rep.rep
+                  ~sync:config.Hsq.Config.wal_sync
+          end)
+        t.slots.(i);
+    (* Element count: live read replica, else max estimate over the
+       replica stores (overcount-safe for bound widening). *)
+    (match read_replica t i with
+    | Some (_, e, _) -> t.last_size.(i) <- E.total_size e
+    | None ->
+      let est = ref 0 in
+      for j = 0 to r - 1 do
+        est := max !est (estimate_elements (store_dir ~root ~shards:k ~replicas:r ~shard:i ~replica:j))
+      done;
+      t.last_size.(i) <- !est);
+    Array.iter
+      (fun rep -> match rep.state with Live e -> tag_registry t e i rep.rep | Dead _ -> ())
+      t.slots.(i)
+  done;
+  (t, List.rev !recoveries)
+
+(* --- scrub ---------------------------------------------------------------- *)
 
 let scrub ?repair t =
   List.map (fun (i, e) -> (i, Hsq.Persist.scrub ?repair e)) (engines t)
 
+let scrub_all ?repair t =
+  List.map (fun (i, j, e) -> ((i, j), Hsq.Persist.scrub ?repair e)) (all_live t)
+
 (* --- lifecycle ----------------------------------------------------------- *)
 
-let checkpoint_now t = List.iter (fun (_, e) -> try E.checkpoint_now e with _ -> ()) (engines t)
+let checkpoint_now t = List.iter (fun (_, _, e) -> try E.checkpoint_now e with _ -> ()) (all_live t)
+
+let close_hints t =
+  Array.iter
+    (fun reps ->
+      Array.iter
+        (fun rep ->
+          match rep.hints with
+          | Some hl ->
+            (try Hint_log.close hl with _ -> ());
+            rep.hints <- None
+          | None -> ())
+        reps)
+    t.slots
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
     List.iter
-      (fun (_, e) ->
+      (fun (_, _, e) ->
         (try E.checkpoint_now e with _ -> ());
         try E.close e with _ -> ())
-      (engines t)
+      (all_live t);
+    close_hints t
   end
 
 let crash t =
   if not t.closed then begin
     t.closed <- true;
-    List.iter (fun (_, e) -> try E.crash e with _ -> ()) (engines t)
+    List.iter (fun (_, _, e) -> try E.crash e with _ -> ()) (all_live t);
+    Array.iter
+      (fun reps ->
+        Array.iter
+          (fun rep ->
+            match rep.hints with
+            | Some hl ->
+              (try Hint_log.crash hl with _ -> ());
+              rep.hints <- None
+            | None -> ())
+          reps)
+      t.slots
   end
 
 let is_closed t = t.closed
@@ -750,9 +1410,10 @@ let is_closed t = t.closed
 (* --- metrics -------------------------------------------------------------- *)
 
 (* Prometheus has no registry-level labels, so the group exporter
-   injects shard="<k>" into each per-shard line: after the opening
-   brace when the metric already carries labels (histogram buckets),
-   as a fresh label set otherwise.  Comment lines pass through. *)
+   injects shard="<k>" (and replica="<j>" when replicated) into each
+   per-shard line: after the opening brace when the metric already
+   carries labels (histogram buckets), as a fresh label set otherwise.
+   Comment lines pass through. *)
 let label_prometheus_line ~label line =
   if line = "" || line.[0] = '#' then line
   else
@@ -770,20 +1431,35 @@ let label_prometheus_line ~label line =
 let metrics_prometheus ?extra t =
   let buf = Buffer.create 4096 in
   (match extra with Some reg -> Buffer.add_string buf (Metrics.to_prometheus reg) | None -> ());
-  Array.iteri
-    (fun i s ->
-      match s with
-      | Down _ -> ()
-      | Up e ->
-        let label = Printf.sprintf "shard=\"%d\"" i in
-        String.split_on_char '\n' (Metrics.to_prometheus (E.metrics e))
-        |> List.iter (fun line ->
-               if line <> "" then begin
-                 Buffer.add_string buf (label_prometheus_line ~label line);
-                 Buffer.add_char buf '\n'
-               end))
-    t.shards;
+  List.iter
+    (fun (i, j, e) ->
+      let label =
+        if t.r = 1 then Printf.sprintf "shard=\"%d\"" i
+        else Printf.sprintf "shard=\"%d\",replica=\"%d\"" i j
+      in
+      String.split_on_char '\n' (Metrics.to_prometheus (E.metrics e))
+      |> List.iter (fun line ->
+             if line <> "" then begin
+               Buffer.add_string buf (label_prometheus_line ~label line);
+               Buffer.add_char buf '\n'
+             end))
+    (all_live t);
   Buffer.contents buf
+
+let json_escape reason =
+  let b = Buffer.create 32 in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    reason;
+  Buffer.add_char b '"';
+  Buffer.contents b
 
 let metrics_json ?extra t =
   let buf = Buffer.create 4096 in
@@ -796,26 +1472,36 @@ let metrics_json ?extra t =
   | None -> ());
   Buffer.add_string buf "\"shards\":{";
   Array.iteri
-    (fun i s ->
+    (fun i reps ->
       if i > 0 then Buffer.add_char buf ',';
       Printf.bprintf buf "\"%d\":" i;
-      match s with
-      | Up e -> Buffer.add_string buf (Metrics.to_json (E.metrics e))
-      | Down { reason; _ } ->
-        Printf.bprintf buf "{\"down\":true,\"reason\":%s}"
-          (let b = Buffer.create 32 in
-           Buffer.add_char b '"';
-           String.iter
-             (fun c ->
-               match c with
-               | '"' -> Buffer.add_string b "\\\""
-               | '\\' -> Buffer.add_string b "\\\\"
-               | '\n' -> Buffer.add_string b "\\n"
-               | c when Char.code c < 32 -> Printf.bprintf b "\\u%04x" (Char.code c)
-               | c -> Buffer.add_char b c)
-             reason;
-           Buffer.add_char b '"';
-           Buffer.contents b))
-    t.shards;
+      if t.r = 1 then begin
+        (* R = 1 keeps the pre-replication shape exactly. *)
+        match reps.(0).state with
+        | Live e -> Buffer.add_string buf (Metrics.to_json (E.metrics e))
+        | Dead reason -> Printf.bprintf buf "{\"down\":true,\"reason\":%s}" (json_escape reason)
+      end
+      else begin
+        let down = live_replicas_of reps = [] in
+        Printf.bprintf buf "{\"down\":%b,\"replicas\":{" down;
+        Array.iteri
+          (fun j rep ->
+            if j > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf "\"%d\":" j;
+            match rep.state with
+            | Live e ->
+              if rep.diverged then
+                Printf.bprintf buf "{\"diverged\":true,\"metrics\":%s}"
+                  (Metrics.to_json (E.metrics e))
+              else Buffer.add_string buf (Metrics.to_json (E.metrics e))
+            | Dead reason ->
+              Printf.bprintf buf "{\"down\":true,\"reason\":%s%s}" (json_escape reason)
+                (match rep.hints with
+                | Some hl -> Printf.sprintf ",\"hints_pending\":%d" (Hint_log.record_count hl)
+                | None -> ""))
+          reps;
+        Buffer.add_string buf "}}"
+      end)
+    t.slots;
   Buffer.add_string buf "}}";
   Buffer.contents buf

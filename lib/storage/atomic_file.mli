@@ -1,0 +1,38 @@
+(** Crash-atomic file replacement with real durability.
+
+    [commit ~tmp dest] is the one true rename-commit idiom: fsync the
+    tmp file, rename it over [dest], fsync the parent directory. The
+    directory fsync is what makes the rename itself survive a power
+    cut — without it the directory entry can roll back to the old file
+    even though the new data blocks reached disk.
+
+    The power-cut simulator makes the missing-fsync failure mode
+    testable: armed, every rename records the destination's prior
+    contents and only a directory fsync marks it durable; {!power_cut}
+    rolls every still-undurable rename back. *)
+
+(** Fsync [tmp], rename it over [dest], fsync the parent directory. *)
+val commit : tmp:string -> string -> unit
+
+(** The legacy idiom: rename without any fsync. Exists so the
+    regression tests can prove the simulator drops exactly these
+    renames; production code must use {!commit}. *)
+val rename_unsynced : tmp:string -> string -> unit
+
+(** Fsync a file by path (no-op if it cannot be opened). *)
+val fsync_file : string -> unit
+
+(** Fsync a directory, marking renames under it durable to the
+    simulator. Filesystems that refuse directory fsync are tolerated. *)
+val fsync_dir : string -> unit
+
+(** Arm/disarm the power-cut simulator ([false] clears pending state). *)
+val set_crash_sim : bool -> unit
+
+(** Roll back every rename not yet covered by a directory fsync:
+    destinations regain their pre-rename contents (or are removed if
+    they did not exist). *)
+val power_cut : unit -> unit
+
+(** Renames recorded but not yet made durable (0 when disarmed). *)
+val pending_renames : unit -> int

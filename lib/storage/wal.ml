@@ -281,7 +281,11 @@ let rotate t =
   Out_channel.flush oc;
   Out_channel.close oc;
   Out_channel.close t.channel;
-  Sys.rename tmp t.path;
+  (* Rename + directory fsync: a power cut after rotation must not roll
+     the directory entry back to the old (pre-truncation) log — its
+     records are only durable in the warehouse commit now, and replaying
+     them would race the sidecar the commit also renamed. *)
+  Atomic_file.commit ~tmp t.path;
   t.channel <- Out_channel.open_gen [ Open_binary; Open_append; Open_wronly ] 0o644 t.path;
   t.start_seq <- t.next_seq;
   Buffer.clear t.pending;
@@ -406,7 +410,9 @@ let open_existing ?(sync = Always) ~stats ~path () =
     Out_channel.output_string oc prefix;
     Out_channel.flush oc;
     Out_channel.close oc;
-    Sys.rename tmp path);
+    (* Same durability rule as [rotate]: the truncation commit is only
+       real once the parent directory is fsynced. *)
+    Atomic_file.commit ~tmp path);
   let channel = Out_channel.open_gen [ Open_binary; Open_append; Open_wronly ] 0o644 path in
   let append_hist, sync_hist = wal_metrics stats in
   let t =

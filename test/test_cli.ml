@@ -133,6 +133,49 @@ let test_status_missing_dir () =
   Alcotest.(check int) "status on a missing directory" 2
     (run "status /nonexistent/hsq-store")
 
+(* Replicated health contract: a damaged replica whose sibling is
+   intact keeps every answer at full precision, so status exits 0 with
+   a warning; only a shard with NO intact replica exits 1.  scrub
+   --repair converges the damaged replica back from its sibling. *)
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let test_status_replicated_contract () =
+  with_temp_dir (fun dir ->
+      let store = Filename.concat dir "store" in
+      let topo = Printf.sprintf "--shards 2 --replicas 2 --durable %s" (quote store) in
+      Alcotest.(check int) "replicated simulate exits 0" 0
+        (run
+           (Printf.sprintf "simulate --steps 3 --step-size 600 --block-size 32 %s" topo));
+      Alcotest.(check int) "status on a healthy replicated store" 0
+        (run (Printf.sprintf "status %s --shards 2 --replicas 2 --health" (quote store)));
+      (* One replica store dies; its sibling keeps full precision:
+         degraded-but-full-precision exits 0 and says WARNING. *)
+      rm_rf (Filename.concat store "shard-0/replica-1");
+      let code, out =
+        run_capture (Printf.sprintf "status %s --shards 2 --replicas 2" (quote store))
+      in
+      Alcotest.(check int) "one dead replica still exits 0" 0 code;
+      Alcotest.(check bool) "and is flagged as a warning" true (contains out "WARNING");
+      Alcotest.(check bool) "replica matrix shows the damage" true (contains out "r1=BAD");
+      (* scrub --repair rebuilds it from the healthy sibling. *)
+      Alcotest.(check int) "scrub --repair converges the replica" 0
+        (run (Printf.sprintf "scrub --repair %s" topo));
+      let code, out =
+        run_capture (Printf.sprintf "status %s --shards 2 --replicas 2" (quote store))
+      in
+      Alcotest.(check int) "repaired store exits 0" 0 code;
+      Alcotest.(check bool) "warning gone after repair" false (contains out "WARNING");
+      (* Losing EVERY replica of a shard degrades answers: exit 1. *)
+      rm_rf (Filename.concat store "shard-0");
+      Alcotest.(check int) "whole replica set lost exits 1" 1
+        (run (Printf.sprintf "status %s --shards 2 --replicas 2" (quote store)));
+      rm_rf store)
+
 let test_metrics_missing_args () =
   Alcotest.(check int) "metrics without --device/--meta" 2 (run "metrics")
 
@@ -229,6 +272,8 @@ let () =
         [
           Alcotest.test_case "healthy vs damaged" `Quick test_status_healthy_and_damaged;
           Alcotest.test_case "missing directory" `Quick test_status_missing_dir;
+          Alcotest.test_case "replicated: warning vs degraded" `Quick
+            test_status_replicated_contract;
         ] );
       ( "metrics",
         [

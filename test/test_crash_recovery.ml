@@ -309,6 +309,136 @@ let run_ingest_crash_seed ?(stream_sketch = `Gk) seed =
         end
       done)
 
+(* --- power-cut (missing directory fsync) regression -------------------
+
+   tmp-write + rename is atomic against process crashes, but a power
+   cut can undo a rename whose parent directory was never fsynced: the
+   new file's blocks are durable while the directory entry still names
+   the old one.  Every rename-commit site (metadata sidecar, sketch
+   checkpoint, WAL truncation/rotation) goes through
+   Atomic_file.commit — fsync tmp, rename, fsync parent dir.  The
+   simulator proves both halves: a bare rename_unsynced IS rolled back
+   by power_cut, and a full durable round under the armed simulator
+   loses nothing acknowledged. *)
+
+module AF = Hsq_storage.Atomic_file
+
+let test_power_cut_rolls_back_unsynced () =
+  let dir = Filename.temp_file "hsq_pcut" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      AF.set_crash_sim false;
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let dest = Filename.concat dir "meta" in
+      let write_tmp contents =
+        let tmp = Filename.concat dir "meta.tmp" in
+        let oc = open_out_bin tmp in
+        output_string oc contents;
+        close_out oc;
+        tmp
+      in
+      let read path =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      AF.commit ~tmp:(write_tmp "v1") dest;
+      AF.set_crash_sim true;
+      (* The buggy idiom this module replaced: rename, no directory fsync. *)
+      AF.rename_unsynced ~tmp:(write_tmp "v2") dest;
+      Alcotest.(check string) "rename visible before the cut" "v2" (read dest);
+      Alcotest.(check int) "rename pending durability" 1 (AF.pending_renames ());
+      AF.power_cut ();
+      Alcotest.(check string) "un-fsynced rename rolled back" "v1" (read dest);
+      (* The fixed idiom survives the same cut. *)
+      AF.commit ~tmp:(write_tmp "v3") dest;
+      Alcotest.(check int) "commit leaves nothing pending" 0 (AF.pending_renames ());
+      AF.power_cut ();
+      Alcotest.(check string) "committed rename survives the cut" "v3" (read dest);
+      (* A fresh creation (no prior contents) disappears entirely. *)
+      let dest2 = Filename.concat dir "side" in
+      AF.rename_unsynced ~tmp:(write_tmp "first") dest2;
+      AF.power_cut ();
+      Alcotest.(check bool) "un-fsynced creation removed" false (Sys.file_exists dest2))
+
+(* Durable rounds under the armed simulator: every crash is a power
+   cut that first rolls back all un-fsynced renames.  sync=always makes
+   the contract exact — zero acknowledged loss — so any rename-commit
+   site that skips its directory fsync (a stale sidecar over a newer
+   device, a resurrected pre-truncation WAL) fails this loudly. *)
+let run_power_cut_seed seed =
+  let store_dir = Filename.temp_file "hsq_pcut_e2e" "" in
+  Sys.remove store_dir;
+  Sys.mkdir store_dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      AF.set_crash_sim false;
+      if Sys.file_exists store_dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat store_dir f))
+          (Sys.readdir store_dir);
+        Sys.rmdir store_dir
+      end)
+    (fun () ->
+      let rng = Hsq_util.Xoshiro.create ((seed * 131) + 3) in
+      let config =
+        Hsq.Config.make ~kappa:3 ~block_size ~wal_dir:store_dir
+          ~wal_sync:Hsq_storage.Wal.Always
+          ~checkpoint_every:(1 + Hsq_util.Xoshiro.int rng 40)
+          (Hsq.Config.Epsilon eps)
+      in
+      let acked = ref [] in
+      let acked_n = ref 0 in
+      AF.set_crash_sim true;
+      let rounds = 3 in
+      for round = 1 to rounds do
+        let eng, _ = E.open_or_recover config in
+        let recovered = E.total_size eng in
+        if recovered <> !acked_n then
+          Alcotest.failf
+            "seed %d round %d: power cut lost %d acknowledged records under sync=always" seed
+            round (!acked_n - recovered);
+        Alcotest.(check (list string))
+          (Printf.sprintf "seed %d round %d: invariants" seed round)
+          []
+          (Hsq_hist.Level_index.check_invariants (E.hist eng));
+        if recovered > 0 then begin
+          let oracle = Hsq_workload.Oracle.create () in
+          List.iter (Hsq_workload.Oracle.add oracle) !acked;
+          let band = int_of_float (ceil (eps *. float_of_int recovered)) + 1 in
+          let r = max 1 (recovered / 2) in
+          let v, _ = E.accurate eng ~rank:r in
+          let err = Hsq_workload.Oracle.rank_error oracle ~rank:r ~value:v in
+          if err > band then
+            Alcotest.failf "seed %d round %d: median rank error %d > band %d" seed round err
+              band
+        end;
+        if round = rounds then E.close eng
+        else begin
+          let ops = 50 + Hsq_util.Xoshiro.int rng 300 in
+          for _ = 1 to ops do
+            if Hsq_util.Xoshiro.int rng 60 = 0 && E.stream_size eng > 0 then
+              ignore (E.end_time_step eng)
+            else begin
+              let v = Hsq_util.Xoshiro.int rng 1_000_000 in
+              E.observe eng v;
+              acked := v :: !acked;
+              incr acked_n
+            end
+          done;
+          (* The process dies without any further durability actions,
+             then the platter loses every rename whose directory fsync
+             never happened. *)
+          E.crash eng;
+          AF.power_cut ()
+        end
+      done)
+
 (* Seed counts scale through the environment: the PR-gating CI job runs
    the default, the nightly job cranks HSQ_CRASH_SEEDS up to hundreds. *)
 let seed_count default =
@@ -343,6 +473,14 @@ let kll_ingest_cases =
       Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (fun () ->
           run_ingest_crash_seed ~stream_sketch:`Kll seed))
 
+let power_cut_cases =
+  Alcotest.test_case "rename_unsynced rolled back, commit survives" `Quick
+    test_power_cut_rolls_back_unsynced
+  :: List.init (seed_count 10) (fun i ->
+         let seed = 9000 + (i * 11) in
+         Alcotest.test_case (Printf.sprintf "seed %d" seed) `Quick (fun () ->
+             run_power_cut_seed seed))
+
 let () =
   Alcotest.run "crash_recovery"
     [
@@ -350,4 +488,5 @@ let () =
       ("bit flip at rest", bitflip_cases);
       ("ingest crash (WAL)", ingest_cases);
       ("ingest crash (WAL, kll sketch)", kll_ingest_cases);
+      ("power cut (dir fsync)", power_cut_cases);
     ]

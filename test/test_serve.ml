@@ -427,6 +427,89 @@ let test_sharded_server () =
           | None -> Alcotest.fail "no prometheus body from the sharded server");
           Client.close c))
 
+(* Replicated smoke (the CI PR gate): a K=2, R=2 durable group behind
+   the live server loses one replica mid-traffic.  Answers must stay
+   fully UNDEGRADED — the sibling serves at full precision — while the
+   health rollup distinguishes the two tiers: full_precision stays
+   true (exit 0 contract) and healthy flips false (warning tier).
+   Rejoin drains the hints and restores the warning-free state. *)
+let test_replicated_server () =
+  let oracle = Hsq_workload.Oracle.create () in
+  with_temp_dir (fun dir ->
+      let config =
+        Hsq.Config.make ~kappa:3 ~block_size:32 ~shards:2 ~replicas:2
+          ~wal_dir:(Filename.concat dir "store") (Hsq.Config.Epsilon 0.05)
+      in
+      let g, recoveries = G.open_or_recover config in
+      List.iter
+        (fun { G.shard; replica; outcome } ->
+          if Result.is_error outcome then
+            Alcotest.failf "shard %d replica %d dirty on fresh open" shard replica)
+        recoveries;
+      let listen = Server.Unix_sock (Filename.concat dir "hsq.sock") in
+      let srv = Server.create_group (Server.default_config listen) g in
+      Server.start srv;
+      Fun.protect
+        ~finally:(fun () -> Server.stop srv)
+        (fun () ->
+          let c = Client.connect listen in
+          let rng = Hsq_util.Xoshiro.create 0x7E11 in
+          for _ = 1 to 3 do
+            let batch = Array.init 400 (fun _ -> Hsq_util.Xoshiro.int rng 100_000) in
+            let applied = Client.observe c batch in
+            Alcotest.(check int) "all applied" (Array.length batch) applied;
+            Array.iter (Hsq_workload.Oracle.add oracle) batch;
+            Client.end_step c
+          done;
+          let stats = Client.stats c in
+          Alcotest.(check (option int)) "stats: shards" (Some 2) (Json.get_int stats "shards");
+          Alcotest.(check (option int)) "stats: replicas" (Some 2)
+            (Json.get_int stats "replicas");
+          check_bounded ~what:"replicated quick" oracle (Client.quick c (`Phi 0.5));
+          (* kill one replica of shard 0 under the live server *)
+          Server.submit_group_fn srv (fun g ->
+              G.mark_replica_down g ~shard:0 ~replica:1 ~reason:"chaos: replica killed");
+          (* ingest keeps acking through the survivor (hints buffer for
+             the dead replica) and answers stay fully undegraded *)
+          let batch = Array.init 300 (fun _ -> Hsq_util.Xoshiro.int rng 100_000) in
+          let applied = Client.observe c batch in
+          Alcotest.(check int) "all applied with a replica down" (Array.length batch) applied;
+          Array.iter (Hsq_workload.Oracle.add oracle) batch;
+          let r = Client.quick c (`Phi 0.5) in
+          Alcotest.(check bool) "failover quick answers" true (Client.is_ok r);
+          Alcotest.(check (option string))
+            "failover quick undegraded" (Some "none") (Json.get_str r "degradation");
+          check_bounded ~what:"failover quick" oracle r;
+          let acc = Client.accurate c (`Phi 0.9) in
+          Alcotest.(check (option string))
+            "failover accurate undegraded" (Some "none") (Json.get_str acc "degradation");
+          check_bounded ~what:"failover accurate" oracle acc;
+          (* two-tier health rollup on the wire *)
+          let h = Client.health c in
+          Alcotest.(check (option bool)) "full precision with a sibling serving" (Some true)
+            (Json.get_bool h "full_precision");
+          Alcotest.(check (option bool)) "but not warning-free" (Some false)
+            (Json.get_bool h "healthy");
+          (* replica-labelled metrics *)
+          (match
+             Client.request c
+               (Json.Obj [ ("op", Json.Str "metrics"); ("format", Json.Str "prometheus") ])
+             |> fun m -> Json.get_str m "body"
+           with
+          | Some body ->
+            Alcotest.(check bool) "per-replica labels" true
+              (contains body "shard=\"0\",replica=\"0\"")
+          | None -> Alcotest.fail "no prometheus body from the replicated server");
+          (* rejoin drains the hints; the rollup is warning-free again *)
+          Server.submit_group_fn srv (fun g ->
+              match G.rejoin_replica g ~shard:0 ~replica:1 with
+              | Ok _ -> ()
+              | Error msg -> Alcotest.failf "rejoin failed: %s" msg);
+          let h = Client.health c in
+          Alcotest.(check (option bool)) "healthy after rejoin" (Some true)
+            (Json.get_bool h "healthy");
+          Client.close c))
+
 (* --- chaos: device faults under live client traffic -------------------- *)
 
 let chaos_coin ~seed ~salt addr pct =
@@ -628,6 +711,7 @@ let () =
           Alcotest.test_case "2x-capacity flood sheds explicitly" `Quick test_flood;
           Alcotest.test_case "mid-drain connect gets shutting_down" `Quick test_drain_race;
           Alcotest.test_case "sharded backend over the wire" `Quick test_sharded_server;
+          Alcotest.test_case "replicated failover over the wire" `Quick test_replicated_server;
         ] );
       ( "chaos",
         [

@@ -293,7 +293,7 @@ let test_recovery_gauges_and_rejoin () =
       let cfg = config ~shards:2 ~wal_dir:root () in
       let g, recs = G.open_or_recover cfg in
       List.iter
-        (fun { G.shard = _; outcome } ->
+        (fun { G.shard = _; outcome; _ } ->
           if Result.is_error outcome then Alcotest.fail "fresh open must recover cleanly")
         recs;
       let rng = Hsq_util.Xoshiro.create 0x5EED in
@@ -315,7 +315,7 @@ let test_recovery_gauges_and_rejoin () =
       G.crash g;
       let g2, recs2 = G.open_or_recover cfg in
       List.iter
-        (fun { G.shard; outcome } ->
+        (fun { G.shard; outcome; _ } ->
           match outcome with
           | Error msg -> Alcotest.failf "shard %d failed to recover: %s" shard msg
           | Ok (r : E.recovery_report) -> (

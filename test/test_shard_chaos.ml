@@ -89,7 +89,7 @@ let run_seed seed () =
       in
       let g, recoveries = G.open_or_recover cfg in
       List.iter
-        (fun { G.shard; outcome } ->
+        (fun { G.shard; outcome; _ } ->
           if Result.is_error outcome then Alcotest.failf "shard %d dirty on fresh open" shard)
         recoveries;
       let rng = Hsq_util.Xoshiro.create (0x5A5A_0000 + seed) in
@@ -241,9 +241,98 @@ let run_seed seed () =
         (sweep_ranks (G.total_size g));
       G.close g)
 
+(* --- kill two of four: exact widening ----------------------------------
+
+   Losing any two shards — adjacent in routing order or not — must
+   degrade fused quick answers to exactly the survivors' window plus
+   both victims' frozen element counts, with no hidden slack.  The test
+   recomputes the survivor summary through the same public pieces the
+   group itself fuses (active partitions → hist_aggregate → build_fused
+   → rank_window) and requires the reported bound to match to 1e-9. *)
+
+module Li = Hsq_hist.Level_index
+module Us = Hsq.Union_summary
+
+let run_two_kill ~victims seed () =
+  let root = temp_root (1000 + seed) in
+  Fun.protect
+    ~finally:(fun () -> try rm_rf root with _ -> ())
+    (fun () ->
+      let cfg =
+        Hsq.Config.make ~kappa:3 ~block_size:32 ~shards:k ~wal_dir:root ~checkpoint_every:500
+          (Hsq.Config.Epsilon 0.05)
+      in
+      let g, _ = G.open_or_recover cfg in
+      let rng = Hsq_util.Xoshiro.create (0x2B2B_0000 + seed) in
+      let oracle = Oracle.create () in
+      let domain = 1 + Hsq_util.Xoshiro.int rng 1_000_000 in
+      for _ = 1 to 3 do
+        ingest_acked g oracle rng (400 + Hsq_util.Xoshiro.int rng 200) domain;
+        List.iter
+          (fun (s, r) ->
+            if Result.is_error r then Alcotest.failf "end_time_step failed on shard %d" s)
+          (G.end_time_step g)
+      done;
+      ingest_acked g oracle rng 150 domain;
+      let v1, v2 = victims in
+      G.mark_down g v1 ~reason:"chaos: double kill";
+      G.mark_down g v2 ~reason:"chaos: double kill";
+      let victim_elems = G.shard_elements g v1 + G.shard_elements g v2 in
+      (* survivors keep acking *)
+      ingest_acked g oracle rng 200 domain;
+      Alcotest.(check int) "acked == stored" (Oracle.count oracle) (G.total_size g);
+      let survivors =
+        List.filter_map
+          (fun i -> if i = v1 || i = v2 then None else G.engine g i)
+          (List.init k Fun.id)
+      in
+      Alcotest.(check int) "two survivors" (k - 2) (List.length survivors);
+      let partitions = List.concat_map (fun e -> Li.active_partitions (E.hist e)) survivors in
+      let streams = List.map E.stream_summary survivors in
+      let us = Us.build_fused ~agg:(Us.hist_aggregate ~partitions) ~streams in
+      let n = Us.n_total us in
+      List.iter
+        (fun rank ->
+          let v, bound, deg = G.quick_with_bound g ~rank in
+          (match deg with
+          | `Shard_down ks when List.sort compare ks = List.sort compare [ v1; v2 ] -> ()
+          | d ->
+            Alcotest.failf "rank %d: expected shards %d,%d down, got %s" rank v1 v2
+              (G.degradation_label d));
+          let lo, hi = Us.rank_window us v in
+          let r = float_of_int rank in
+          let expected = Float.max (hi -. r) (r -. lo) +. float_of_int victim_elems in
+          if Float.abs (bound -. expected) > 1e-9 then
+            Alcotest.failf
+              "rank %d: reported bound %.12g, survivor window + victims gives %.12g" rank
+              bound expected;
+          let err = Oracle.rank_error oracle ~rank ~value:v in
+          if float_of_int err > bound then
+            Alcotest.failf "rank %d: true error %d above reported bound %.1f" rank err bound)
+        (sweep_ranks n);
+      G.close g)
+
 let () =
   let cases =
     List.init seeds (fun seed ->
         Alcotest.test_case (Printf.sprintf "seed %d" seed) `Slow (run_seed seed))
   in
-  Alcotest.run "shard_chaos" [ ("kill one of four shards", cases) ]
+  let two_kill_cases =
+    List.concat_map
+      (fun v ->
+        [
+          Alcotest.test_case
+            (Printf.sprintf "adjacent %d,%d" v ((v + 1) mod k))
+            `Slow
+            (run_two_kill ~victims:(v, (v + 1) mod k) (2 * v));
+          Alcotest.test_case
+            (Printf.sprintf "non-adjacent %d,%d" v ((v + 2) mod k))
+            `Slow
+            (run_two_kill ~victims:(v, (v + 2) mod k) ((2 * v) + 1));
+        ])
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.run "shard_chaos"
+    [
+      ("kill one of four shards", cases); ("kill two of four shards", two_kill_cases);
+    ]
